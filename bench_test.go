@@ -1,0 +1,90 @@
+package chime
+
+// Benchmark targets regenerating every table and figure of the CHIME
+// paper's evaluation. Each BenchmarkFigXX runs the corresponding
+// experiment from internal/bench and prints the rows the paper
+// artifact reports.
+//
+// By default the benches run at bench.SmallScale so `go test -bench=.`
+// finishes quickly; set CHIME_BENCH_SCALE=default (or use
+// cmd/chime-bench directly) for the full-size runs recorded in
+// EXPERIMENTS.md. Throughput and latency are measured in virtual fabric
+// time, so the numbers are stable across host machines.
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"chime/internal/bench"
+)
+
+func benchScale() bench.Scale {
+	if os.Getenv("CHIME_BENCH_SCALE") == "default" {
+		return bench.DefaultScale
+	}
+	return bench.SmallScale
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := bench.FindExperiment(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := exp.Run(&buf, sc); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == 0 {
+			os.Stdout.Write(buf.Bytes())
+		}
+	}
+}
+
+// §3 motivation: the two trade-offs and the metadata microbenchmarks.
+
+func BenchmarkFig3a_Tradeoff(b *testing.B)         { runExperiment(b, "fig3a") }
+func BenchmarkFig3b_LimitedBandwidth(b *testing.B) { runExperiment(b, "fig3b") }
+func BenchmarkFig3c_LimitedCache(b *testing.B)     { runExperiment(b, "fig3c") }
+func BenchmarkFig3d_LoadFactor(b *testing.B)       { runExperiment(b, "fig3d") }
+func BenchmarkFig4a_VacancyAccess(b *testing.B)    { runExperiment(b, "fig4a") }
+func BenchmarkFig4b_LeafMeta(b *testing.B)         { runExperiment(b, "fig4b") }
+func BenchmarkFig4c_Neighborhood(b *testing.B)     { runExperiment(b, "fig4c") }
+
+// Table 1: round trips per operation.
+
+func BenchmarkTable1_RoundTrips(b *testing.B) { runExperiment(b, "tab1") }
+
+// §5.2 main comparison.
+
+func BenchmarkFig12_YCSB(b *testing.B)             { runExperiment(b, "fig12") }
+func BenchmarkFig13_VarLen(b *testing.B)           { runExperiment(b, "fig13") }
+func BenchmarkFig14_CacheConsumption(b *testing.B) { runExperiment(b, "fig14") }
+
+// §5.3 factor analysis.
+
+func BenchmarkFig15_FactorAnalysis(b *testing.B)    { runExperiment(b, "fig15") }
+func BenchmarkFig15b_CHIMELearned(b *testing.B)     { runExperiment(b, "fig15b") }
+func BenchmarkFig16_SiblingValidation(b *testing.B) { runExperiment(b, "fig16") }
+func BenchmarkFig17_SpeculativeRead(b *testing.B)   { runExperiment(b, "fig17") }
+
+// §5.4 sensitivity analysis.
+
+func BenchmarkFig18a_Skewness(b *testing.B)               { runExperiment(b, "fig18a") }
+func BenchmarkFig18b_CacheSize(b *testing.B)              { runExperiment(b, "fig18b") }
+func BenchmarkFig18c_InlineValue(b *testing.B)            { runExperiment(b, "fig18c") }
+func BenchmarkFig18d_IndirectValue(b *testing.B)          { runExperiment(b, "fig18d") }
+func BenchmarkFig18e_SpanSize(b *testing.B)               { runExperiment(b, "fig18e") }
+func BenchmarkFig18f_NeighborhoodSize(b *testing.B)       { runExperiment(b, "fig18f") }
+func BenchmarkFig19a_SpanLoadFactor(b *testing.B)         { runExperiment(b, "fig19a") }
+func BenchmarkFig19b_NeighborhoodLoadFactor(b *testing.B) { runExperiment(b, "fig19b") }
+func BenchmarkFig19c_HotspotBuffer(b *testing.B)          { runExperiment(b, "fig19c") }
+
+// §4.5 discussion claims.
+
+func BenchmarkDisc_WriteAmplification(b *testing.B) { runExperiment(b, "disc-wamp") }
+func BenchmarkDisc_MemoryOverhead(b *testing.B)     { runExperiment(b, "disc-mem") }
+func BenchmarkDisc_TreeHeight(b *testing.B)         { runExperiment(b, "disc-height") }

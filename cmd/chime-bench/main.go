@@ -1,0 +1,103 @@
+// Command chime-bench regenerates the tables and figures of the CHIME
+// paper (SOSP '24) on the simulated disaggregated-memory fabric.
+//
+// Usage:
+//
+//	chime-bench -list
+//	chime-bench -run fig12
+//	chime-bench -run all -scale small
+//	chime-bench -run fig18e -load 200000 -ops 50000 -clients 64
+//
+// Each experiment prints the rows the corresponding paper artifact
+// reports (throughput in virtual-time Mops, latency percentiles in
+// virtual microseconds, bytes and round trips per operation, cache MB).
+// Absolute numbers differ from the paper's CloudLab testbed; the shapes
+// — who wins, by what factor, where the crossovers sit — are the
+// reproduction targets (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"chime/internal/bench"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "", "experiment id (e.g. fig12, tab1) or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		scale   = flag.String("scale", "default", "preset scale: small | default")
+		loadN   = flag.Int("load", 0, "override: items preloaded")
+		ops     = flag.Int("ops", 0, "override: measured operations per run")
+		clients = flag.Int("clients", 0, "override: fixed client count")
+		sweep   = flag.String("sweep", "", "override: comma-separated client sweep (e.g. 8,64,256)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, e := range bench.Experiments {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "usage: chime-bench -run <id>|all [-scale small|default] (see -list)")
+		os.Exit(2)
+	}
+
+	sc := bench.DefaultScale
+	if *scale == "small" {
+		sc = bench.SmallScale
+	}
+	if *loadN > 0 {
+		sc.LoadN = *loadN
+	}
+	if *ops > 0 {
+		sc.Ops = *ops
+	}
+	if *clients > 0 {
+		sc.Clients = *clients
+	}
+	if *sweep != "" {
+		var cs []int
+		for _, part := range strings.Split(*sweep, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "bad -sweep element %q\n", part)
+				os.Exit(2)
+			}
+			cs = append(cs, v)
+		}
+		sc.ClientSweep = cs
+	}
+
+	var exps []bench.Experiment
+	if *run == "all" {
+		exps = bench.Experiments
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, err := bench.FindExperiment(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	for _, e := range exps {
+		fmt.Printf("==== %s: %s (load=%d ops=%d) ====\n", e.ID, e.Title, sc.LoadN, sc.Ops)
+		start := time.Now()
+		if err := e.Run(os.Stdout, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("---- %s done in %v ----\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,119 @@
+// Command chimectl runs a single ad-hoc workload against one index on a
+// freshly simulated DM fabric and prints the measured point — a
+// one-liner for exploring configurations outside the paper's fixed
+// experiment grid.
+//
+// Examples:
+//
+//	chimectl -index CHIME -workload B -load 100000 -clients 64
+//	chimectl -index Sherman -workload C -span 128 -cache 4194304
+//	chimectl -index CHIME -workload A -value 128 -indirect
+//	chimectl -index SMART -workload E -ops 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chime/internal/bench"
+	"chime/internal/dmsim"
+	"chime/internal/ycsb"
+)
+
+func main() {
+	var (
+		index    = flag.String("index", "CHIME", "CHIME | Sherman | SMART | ROLEX")
+		workload = flag.String("workload", "C", "YCSB workload: A B C D E LOAD")
+		loadN    = flag.Int("load", 100000, "items preloaded")
+		ops      = flag.Int("ops", 40000, "measured operations")
+		clients  = flag.Int("clients", 32, "simulated clients")
+		mns      = flag.Int("mns", 1, "memory nodes")
+		mnSize   = flag.Int("mnsize", 2<<30, "bytes per memory node")
+		cache    = flag.Int64("cache", 0, "CN cache bytes (0 = paper-scaled)")
+		hotspot  = flag.Int64("hotspot", 0, "hotspot buffer bytes (0 = paper-scaled; CHIME only)")
+		span     = flag.Int("span", 0, "span size override")
+		neigh    = flag.Int("neighborhood", 0, "neighborhood override (CHIME)")
+		value    = flag.Int("value", 8, "value size in bytes")
+		indirect = flag.Bool("indirect", false, "store values out of line")
+		noRDWC   = flag.Bool("no-rdwc", false, "disable read delegation / write combining")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	mix, err := ycsb.MixByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	factory, ok := bench.Factories[*index]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown index %q (CHIME, Sherman, SMART, ROLEX)\n", *index)
+		os.Exit(2)
+	}
+
+	fcfg := dmsim.DefaultConfig()
+	fcfg.MNs = *mns
+	fcfg.MNSize = *mnSize
+	fcfg.ChunkBytes = 1 << 20
+	fabric, err := dmsim.NewFabric(fcfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	scaled := func(paperMB int64) int64 {
+		b := int64(*loadN) * paperMB << 20 / 60_000_000
+		if b < 2<<20 {
+			b = 2 << 20
+		}
+		return b
+	}
+	cfg := bench.SystemConfig{
+		Fabric:       fabric,
+		LoadKeys:     bench.SortedLoadKeys(*loadN),
+		ValueSize:    *value,
+		Indirect:     *indirect,
+		CacheBytes:   *cache,
+		HotspotBytes: *hotspot,
+		SpanSize:     *span,
+		Neighborhood: *neigh,
+		DisableRDWC:  *noRDWC,
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = scaled(100)
+	}
+	if cfg.HotspotBytes == 0 {
+		cfg.HotspotBytes = scaled(30)
+	}
+
+	fmt.Printf("loading %d items into %s...\n", *loadN, *index)
+	sys, err := factory(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	per := *ops / *clients
+	if per < 1 {
+		per = 1
+	}
+	res, err := bench.Run(sys, bench.RunConfig{
+		Mix:          mix,
+		Clients:      *clients,
+		OpsPerClient: per,
+		ValueSize:    *value,
+		KeySpace:     bench.NewKeySpaceFor(cfg.LoadKeys),
+		Seed:         *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(bench.FormatResults([]bench.Result{res}))
+
+	ns := fabric.TotalNICStats()
+	fmt.Printf("\nfabric: %d verbs, %.1f MB read, %.1f MB written, NIC busy %.2f ms (queued %.2f ms)\n",
+		ns.Verbs, float64(ns.BytesOut)/1e6, float64(ns.BytesIn)/1e6,
+		float64(ns.ServedNs)/1e6, float64(ns.QueuedNs)/1e6)
+}

@@ -1,0 +1,42 @@
+// Command loadfactor runs the hashing-scheme laboratory behind
+// Figures 3d, 19a and 19b of the CHIME paper: for each collision-
+// resolution scheme used on disaggregated memory, it measures the
+// maximum load factor a fixed-size table sustains before the first
+// insertion failure, alongside the scheme's read-amplification factor.
+//
+// Usage:
+//
+//	loadfactor [-entries 128] [-trials 100] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"chime/internal/hopscotch"
+)
+
+func main() {
+	entries := flag.Int("entries", 128, "hash table size in entries")
+	trials := flag.Int("trials", 100, "trials per configuration")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	fmt.Printf("hash-table load-factor lab: %d entries, %d trials\n\n", *entries, *trials)
+	fmt.Printf("%-14s %6s %10s\n", "scheme", "amp", "max-load")
+	for _, r := range hopscotch.Figure3d(*entries, *trials, *seed) {
+		fmt.Printf("%-14s %6d %10.3f\n", r.Name, r.ReadAmp, r.MaxLoadFactor)
+	}
+
+	fmt.Printf("\nhopscotch neighborhood sweep (Figure 19b, span 64):\n")
+	fmt.Printf("%-6s %10s\n", "H", "max-load")
+	for _, h := range []int{2, 4, 8, 16} {
+		fmt.Printf("%-6d %10.3f\n", h, hopscotch.MaxLoadFactorHopscotch(64, h, *trials, *seed))
+	}
+
+	fmt.Printf("\nhopscotch span sweep (Figure 19a, H=8):\n")
+	fmt.Printf("%-6s %10s\n", "span", "max-load")
+	for _, span := range []int{16, 32, 64, 128, 256, 512} {
+		fmt.Printf("%-6d %10.3f\n", span, hopscotch.MaxLoadFactorHopscotch(span, 8, *trials, *seed))
+	}
+}

@@ -1,0 +1,15 @@
+// Package chime is a from-scratch Go reproduction of CHIME (SOSP '24):
+// a cache-efficient, high-performance hybrid range index on
+// disaggregated memory that combines B+-tree internal nodes with
+// hopscotch-hashing leaf nodes.
+//
+// The repository contains the CHIME index itself (internal/core), the
+// three baselines its evaluation compares against — Sherman
+// (internal/sherman), SMART (internal/smartidx) and ROLEX
+// (internal/rolex) — a simulated disaggregated-memory fabric with
+// one-sided RDMA-style verbs and a calibrated NIC model
+// (internal/dmsim), a YCSB workload generator (internal/ycsb), and a
+// benchmark harness (internal/bench) that regenerates every table and
+// figure of the paper's evaluation. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package chime

@@ -1,0 +1,64 @@
+package chime
+
+// Smoke tests that build and run every example application end to end.
+// They execute `go run` as a subprocess, so a broken example fails the
+// suite rather than rotting silently.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func runExample(t *testing.T, dir string, wantSubstrings ...string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("example smoke tests skipped in -short mode")
+	}
+	start := time.Now()
+	cmd := exec.Command("go", "run", "./"+dir)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s failed after %v: %v\n%s", dir, time.Since(start), err, out)
+	}
+	for _, want := range wantSubstrings {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("%s output missing %q:\n%s", dir, want, out)
+		}
+	}
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	runExample(t, "examples/quickstart",
+		"after update",
+		"delete(43*7919) confirmed",
+		"remote traffic",
+	)
+}
+
+func TestExampleKVStore(t *testing.T) {
+	runExample(t, "examples/kvstore",
+		"CN0:",
+		"CN1:",
+		"hotspot buffer",
+		"fabric totals",
+	)
+}
+
+func TestExampleRangescan(t *testing.T) {
+	runExample(t, "examples/rangescan",
+		"scan queries agree on both indexes",
+		"CHIME",
+		"Sherman",
+	)
+}
+
+func TestExampleDocstore(t *testing.T) {
+	runExample(t, "examples/docstore",
+		"users/alice/profile",
+		"all orders:",
+		"fingerprint collision",
+		"survives the chain rebuild",
+	)
+}

@@ -1,0 +1,322 @@
+// Package bench is the benchmark harness that regenerates every table
+// and figure of the CHIME paper's evaluation (§3 and §5) on the
+// simulated DM fabric. It wraps the four indexes (CHIME, Sherman,
+// SMART, ROLEX) behind one interface, drives them with YCSB workloads
+// from multiple simulated clients, and reports throughput in virtual
+// time — so bandwidth-bound and IOPS-bound regimes appear exactly where
+// the NIC model puts them, independent of host speed.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"chime/internal/dmsim"
+	"chime/internal/ycsb"
+)
+
+// ErrNotFound is the harness's normalized not-found error; adapters map
+// each index's own sentinel onto it.
+var ErrNotFound = errors.New("bench: key not found")
+
+// Client is the per-simulated-client view of an index under test.
+type Client interface {
+	Search(key uint64) ([]byte, error)
+	Insert(key uint64, value []byte) error
+	Update(key uint64, value []byte) error
+	Delete(key uint64) error
+	// Scan returns the number of items found.
+	Scan(start uint64, count int) (int, error)
+	// DM exposes the fabric client (virtual clock, traffic counters).
+	DM() *dmsim.Client
+}
+
+// System is one index instance under test.
+type System interface {
+	Name() string
+	NewClient() Client
+	// CacheBytes reports the computing-side cache consumption after the
+	// run: internal-node cache plus any auxiliary structures (hotspot
+	// buffer, learned models).
+	CacheBytes() int64
+}
+
+// SystemConfig carries everything a factory needs to stand up a system.
+type SystemConfig struct {
+	Fabric *dmsim.Fabric
+
+	// LoadKeys are bulk-loaded before the measured phase. ROLEX trains
+	// its models over exactly these keys.
+	LoadKeys []uint64
+
+	ValueSize int
+	Indirect  bool
+
+	// CacheBytes is the per-CN cache budget (internal nodes).
+	CacheBytes int64
+	// HotspotBytes is CHIME's hotspot-buffer budget.
+	HotspotBytes int64
+
+	// SpanSize / Neighborhood override index defaults when non-zero.
+	SpanSize     int
+	Neighborhood int
+
+	// Ablations (CHIME only).
+	DisablePiggyback   bool
+	DisableReplication bool
+	DisableSpeculation bool
+
+	// DisableRDWC turns off the read-delegation/write-combining layer
+	// (applied to every system by default, as in §5.1).
+	DisableRDWC bool
+
+	// LoadClients parallelizes the bulk load (default 8).
+	LoadClients int
+}
+
+// Factory builds and loads a system.
+type Factory func(cfg SystemConfig) (System, error)
+
+// histogram is a log-bucketed latency histogram over virtual
+// nanoseconds, good to ~1% relative error.
+type histogram struct {
+	buckets [1024]int64
+	count   int64
+}
+
+func bucketOf(ns int64) int {
+	if ns < 1 {
+		ns = 1
+	}
+	// 64 log2 major buckets x 16 linear minor buckets.
+	l := 63 - int(leadingZeros(uint64(ns)))
+	minor := 0
+	if l >= 4 {
+		minor = int((ns >> (uint(l) - 4)) & 15)
+	}
+	idx := l*16 + minor
+	if idx >= len(histogram{}.buckets) {
+		idx = len(histogram{}.buckets) - 1
+	}
+	return idx
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if x&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+func bucketMid(idx int) int64 {
+	l := idx / 16
+	minor := idx % 16
+	if l < 4 {
+		return int64(1) << uint(l)
+	}
+	base := int64(1) << uint(l)
+	step := base / 16
+	return base + int64(minor)*step + step/2
+}
+
+func (h *histogram) add(ns int64) {
+	h.buckets[bucketOf(ns)]++
+	h.count++
+}
+
+func (h *histogram) merge(o *histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+}
+
+// quantile returns the latency at the given quantile (0 < q <= 1).
+func (h *histogram) quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	var cum int64
+	for i, b := range h.buckets {
+		cum += b
+		if cum >= target {
+			return bucketMid(i)
+		}
+	}
+	return bucketMid(len(h.buckets) - 1)
+}
+
+// RunConfig drives one measured workload phase.
+type RunConfig struct {
+	Mix          ycsb.Mix
+	Clients      int
+	OpsPerClient int
+	ValueSize    int
+	// KeySpace is the shared logical item counter; usually seeded with
+	// len(LoadKeys).
+	KeySpace *ycsb.KeySpace
+	Seed     int64
+}
+
+// Result is one measured point.
+type Result struct {
+	System  string
+	Mix     string
+	Clients int
+	Ops     int64
+
+	// ThroughputMops is ops per virtual microsecond x 1e0 — i.e.
+	// million ops per virtual second.
+	ThroughputMops float64
+	P50Us, P99Us   float64
+
+	TripsPerOp float64
+	ReadBytes  float64 // per op
+	WriteBytes float64 // per op
+
+	CacheBytes int64
+}
+
+// Run executes the workload against the system and aggregates metrics.
+func Run(sys System, cfg RunConfig) (Result, error) {
+	if cfg.Clients <= 0 || cfg.OpsPerClient <= 0 {
+		return Result{}, fmt.Errorf("bench: bad run config %+v", cfg)
+	}
+	if cfg.KeySpace == nil {
+		return Result{}, fmt.Errorf("bench: RunConfig.KeySpace required")
+	}
+
+	type clientOut struct {
+		hist     *histogram
+		ops      int64
+		duration int64 // virtual ns
+		stats    dmsim.ClientStats
+		err      error
+	}
+	outs := make([]clientOut, cfg.Clients)
+	// Create every client before any measured op runs: clients join the
+	// fabric at its current virtual-time frontier, and contention only
+	// exists when the whole cohort shares one epoch. (Creating clients
+	// inside the goroutines would let earlier-scheduled clients push the
+	// frontier past later ones, erasing queueing on a serialized host.)
+	clients := make([]Client, cfg.Clients)
+	for ci := range clients {
+		clients[ci] = sys.NewClient()
+		// Cohort membership bounds virtual-clock skew between clients so
+		// the NIC queueing model stays faithful.
+		clients[ci].DM().JoinCohort()
+	}
+	var wg sync.WaitGroup
+	for ci := 0; ci < cfg.Clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cl := clients[ci]
+			defer cl.DM().LeaveCohort()
+			gen, err := ycsb.NewGenerator(cfg.Mix, cfg.KeySpace, cfg.Seed+int64(ci)*7919)
+			if err != nil {
+				outs[ci].err = err
+				return
+			}
+			h := &histogram{}
+			dm := cl.DM()
+			dm.ResetStats()
+			start := dm.Now()
+			value := make([]byte, cfg.ValueSize)
+			for i := 0; i < cfg.OpsPerClient; i++ {
+				op := gen.Next()
+				t0 := dm.Now()
+				var err error
+				switch op.Kind {
+				case ycsb.OpRead:
+					_, err = cl.Search(op.Key)
+				case ycsb.OpUpdate:
+					err = cl.Update(op.Key, value)
+				case ycsb.OpInsert:
+					err = cl.Insert(op.Key, value)
+				case ycsb.OpScan:
+					_, err = cl.Scan(op.Key, op.ScanLen)
+				case ycsb.OpReadModifyWrite:
+					if _, err = cl.Search(op.Key); err == nil || errors.Is(err, ErrNotFound) {
+						err = cl.Update(op.Key, value)
+					}
+				}
+				if err != nil && !errors.Is(err, ErrNotFound) {
+					outs[ci].err = fmt.Errorf("bench: client %d op %d (%v %#x): %w", ci, i, op.Kind, op.Key, err)
+					return
+				}
+				h.add(dm.Now() - t0)
+			}
+			outs[ci] = clientOut{
+				hist:     h,
+				ops:      int64(cfg.OpsPerClient),
+				duration: dm.Now() - start,
+				stats:    dm.Stats(),
+			}
+		}(ci)
+	}
+	wg.Wait()
+
+	total := &histogram{}
+	var ops, maxDur int64
+	var stats dmsim.ClientStats
+	for _, o := range outs {
+		if o.err != nil {
+			return Result{}, o.err
+		}
+		total.merge(o.hist)
+		ops += o.ops
+		if o.duration > maxDur {
+			maxDur = o.duration
+		}
+		stats.Trips += o.stats.Trips
+		stats.BytesRead += o.stats.BytesRead
+		stats.BytesWritten += o.stats.BytesWritten
+	}
+	if maxDur == 0 {
+		maxDur = 1
+	}
+	res := Result{
+		System:         sys.Name(),
+		Mix:            cfg.Mix.Name,
+		Clients:        cfg.Clients,
+		Ops:            ops,
+		ThroughputMops: float64(ops) * 1e3 / float64(maxDur),
+		P50Us:          float64(total.quantile(0.50)) / 1e3,
+		P99Us:          float64(total.quantile(0.99)) / 1e3,
+		TripsPerOp:     float64(stats.Trips) / float64(ops),
+		ReadBytes:      float64(stats.BytesRead) / float64(ops),
+		WriteBytes:     float64(stats.BytesWritten) / float64(ops),
+		CacheBytes:     sys.CacheBytes(),
+	}
+	return res, nil
+}
+
+// FormatResults renders results as an aligned text table, one row per
+// result — the "same rows the paper reports" output format.
+func FormatResults(rows []Result) string {
+	out := fmt.Sprintf("%-22s %-5s %8s %10s %9s %9s %8s %10s %10s\n",
+		"system", "mix", "clients", "Mops", "p50(us)", "p99(us)", "trips/op", "rdB/op", "cacheMB")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-22s %-5s %8d %10.3f %9.1f %9.1f %8.2f %10.0f %10.2f\n",
+			r.System, r.Mix, r.Clients, r.ThroughputMops, r.P50Us, r.P99Us,
+			r.TripsPerOp, r.ReadBytes, float64(r.CacheBytes)/1e6)
+	}
+	return out
+}
+
+// SortedLoadKeys returns the first n logical keys in sorted order
+// (ROLEX's Build requires sorted input; the others don't care).
+func SortedLoadKeys(n int) []uint64 {
+	keys := ycsb.LoadKeys(uint64(n))
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

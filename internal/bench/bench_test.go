@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chime/internal/ycsb"
+)
+
+// tinyScale keeps unit tests fast; shape assertions use slightly larger
+// runs below where needed.
+var tinyScale = Scale{
+	LoadN:       4000,
+	Ops:         1500,
+	ClientSweep: []int{4},
+	Clients:     4,
+	MNSize:      512 << 20,
+	Trials:      3,
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &histogram{}
+	for i := int64(1); i <= 1000; i++ {
+		h.add(i * 1000) // 1..1000 us
+	}
+	p50 := h.quantile(0.5)
+	if p50 < 400_000 || p50 > 600_000 {
+		t.Fatalf("p50 = %d, want ~500us", p50)
+	}
+	p99 := h.quantile(0.99)
+	if p99 < 900_000 || p99 > 1_100_000 {
+		t.Fatalf("p99 = %d, want ~990us", p99)
+	}
+	if (&histogram{}).quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report 0")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := &histogram{}, &histogram{}
+	for i := 0; i < 100; i++ {
+		a.add(1000)
+		b.add(1_000_000)
+	}
+	a.merge(b)
+	if a.count != 200 {
+		t.Fatalf("merged count = %d", a.count)
+	}
+	if p := a.quantile(0.9); p < 500_000 {
+		t.Fatalf("upper tail lost in merge: %d", p)
+	}
+}
+
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for ns := int64(1); ns < 1e12; ns *= 3 {
+		b := bucketOf(ns)
+		if b < prev {
+			t.Fatalf("bucketOf not monotone at %d", ns)
+		}
+		prev = b
+	}
+}
+
+func TestRunAllSystemsYCSBC(t *testing.T) {
+	for _, name := range HeadToHeadSystems {
+		t.Run(name, func(t *testing.T) {
+			sys, cfg, err := buildSystem(name, tinyScale, 1, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := runPoint(sys, cfg, ycsb.WorkloadC, 4, 1200, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.ThroughputMops <= 0 || r.P50Us <= 0 {
+				t.Fatalf("degenerate result: %+v", r)
+			}
+			// Delegated reads (RDWC) pay no trips, so the average can dip
+			// slightly below 1 on skewed workloads.
+			if r.TripsPerOp < 0.5 {
+				t.Fatalf("implausibly few trips per search: %+v", r)
+			}
+		})
+	}
+}
+
+func TestRunMixedWorkloads(t *testing.T) {
+	sys, cfg, err := buildSystem("CHIME", tinyScale, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mix := range []ycsb.Mix{ycsb.WorkloadA, ycsb.WorkloadD, ycsb.WorkloadE, ycsb.WorkloadLoad} {
+		if _, err := runPoint(sys, cfg, mix, 4, 800, 2); err != nil {
+			t.Fatalf("mix %s: %v", mix.Name, err)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	sys, _, err := buildSystem("CHIME", tinyScale, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(sys, RunConfig{Clients: 0}); err == nil {
+		t.Fatal("zero clients must fail")
+	}
+	if _, err := Run(sys, RunConfig{Clients: 1, OpsPerClient: 1}); err == nil {
+		t.Fatal("missing keyspace must fail")
+	}
+}
+
+// TestShapeCHIMEBeatsShermanReadOnly is the headline claim at small
+// scale: with equal cache budgets on a bandwidth-limited fabric, CHIME's
+// neighborhood reads beat Sherman's whole-leaf reads on YCSB C.
+func TestShapeCHIMEBeatsShermanReadOnly(t *testing.T) {
+	sc := tinyScale
+	sc.LoadN = 8000
+	sc.Ops = 4000
+	results := map[string]Result{}
+	for _, name := range []string{"CHIME", "Sherman"} {
+		sys, cfg, err := buildSystem(name, sc, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := runPoint(sys, cfg, ycsb.WorkloadC, 16, sc.Ops, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[name] = r
+	}
+	if results["CHIME"].ReadBytes >= results["Sherman"].ReadBytes {
+		t.Fatalf("CHIME read bytes/op (%0.f) must undercut Sherman (%0.f)",
+			results["CHIME"].ReadBytes, results["Sherman"].ReadBytes)
+	}
+	if results["CHIME"].ThroughputMops <= results["Sherman"].ThroughputMops {
+		t.Fatalf("CHIME %.3f Mops must beat Sherman %.3f Mops on YCSB C",
+			results["CHIME"].ThroughputMops, results["Sherman"].ThroughputMops)
+	}
+}
+
+// TestShapeSMARTCacheHungry: SMART's cache grows with the key count far
+// beyond CHIME's.
+func TestShapeSMARTCacheHungry(t *testing.T) {
+	sc := tinyScale
+	cache := map[string]int64{}
+	for _, name := range []string{"CHIME", "SMART"} {
+		sys, cfg, err := buildSystem(name, sc, 1, func(c *SystemConfig) {
+			c.CacheBytes = 1 << 30
+			c.HotspotBytes = 0
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := sys.NewClient()
+		for _, k := range cfg.LoadKeys {
+			if _, err := cl.Search(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cache[name] = sys.CacheBytes()
+	}
+	if cache["SMART"] < 4*cache["CHIME"] {
+		t.Fatalf("SMART cache (%d) should dwarf CHIME's (%d)", cache["SMART"], cache["CHIME"])
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	want := []string{
+		"fig3a", "fig3b", "fig3c", "fig3d", "fig4a", "fig4b", "fig4c",
+		"tab1", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"fig18a", "fig18b", "fig18c", "fig18d", "fig18e", "fig18f",
+		"fig19a", "fig19b", "fig19c",
+	}
+	for _, id := range want {
+		if _, err := FindExperiment(id); err != nil {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if _, err := FindExperiment("nope"); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+// TestQuickExperimentsRun smoke-tests the cheap experiments end to end.
+func TestQuickExperimentsRun(t *testing.T) {
+	for _, id := range []string{"fig3a", "fig3d", "fig16", "fig19a", "fig19b", "fig4c"} {
+		exp, err := FindExperiment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := exp.Run(&buf, tinyScale); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+// TestTable1Shape runs the round-trip experiment and sanity-checks the
+// best-case numbers against the paper's Table 1.
+func TestTable1Shape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf, tinyScale); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "search") || !strings.Contains(out, "insert") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	t.Log("\n" + out)
+}
+
+func TestFormatResults(t *testing.T) {
+	s := FormatResults([]Result{{System: "X", Mix: "C", Clients: 4, ThroughputMops: 1.5}})
+	if !strings.Contains(s, "X") || !strings.Contains(s, "1.500") {
+		t.Fatalf("format: %q", s)
+	}
+}
+
+func TestSortedLoadKeys(t *testing.T) {
+	keys := SortedLoadKeys(1000)
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatal("not sorted/unique")
+		}
+	}
+}

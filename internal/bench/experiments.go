@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+
+	"chime/internal/dmsim"
+	"chime/internal/ycsb"
+)
+
+// Scale sets the size of every experiment. The paper runs 60M keys and
+// up to 640 clients on a 10-machine RDMA cluster; this reproduction
+// defaults to a laptop-sized dataset, with throughput and latency still
+// measured in virtual fabric time so regime boundaries (bandwidth-bound
+// vs IOPS-bound vs cache-miss-bound) land where the NIC model puts
+// them, not where the host CPU does.
+type Scale struct {
+	LoadN       int   // items preloaded before measurement
+	Ops         int   // total measured operations per run
+	ClientSweep []int // simulated client counts for sweep figures
+	Clients     int   // client count for fixed-client figures
+	MNSize      int   // bytes of remote memory per MN
+	Trials      int   // trials for load-factor experiments
+}
+
+// SmallScale keeps `go test ./...` fast.
+var SmallScale = Scale{
+	LoadN:       12000,
+	Ops:         6000,
+	ClientSweep: []int{8, 64},
+	Clients:     16,
+	MNSize:      1 << 30,
+	Trials:      5,
+}
+
+// DefaultScale is what cmd/chime-bench and the bench_test targets use.
+// The client sweep reaches past the point where whole-leaf readers
+// saturate the NIC (the regime Figures 3b and 12 probe with 640 clients
+// on the paper's testbed).
+var DefaultScale = Scale{
+	LoadN:       100000,
+	Ops:         40000,
+	ClientSweep: []int{8, 64, 256},
+	Clients:     64,
+	MNSize:      1536 << 20, // total pool bytes, split across MNs
+	Trials:      20,
+}
+
+// HeadToHeadSystems is the paper's comparison order.
+var HeadToHeadSystems = []string{"CHIME", "Sherman", "ROLEX", "SMART"}
+
+// baseConfig assembles the standard single-testbed system config:
+// 100 MB internal-node cache and 30 MB hotspot buffer (§5.1 defaults),
+// scaled to the dataset by the same ratio the paper uses when the
+// dataset itself is scaled.
+func baseConfig(f *dmsim.Fabric, sc Scale, loadKeys []uint64) SystemConfig {
+	return SystemConfig{
+		Fabric:       f,
+		LoadKeys:     loadKeys,
+		ValueSize:    8,
+		CacheBytes:   cacheBudgetFor(sc),
+		HotspotBytes: hotspotBudgetFor(sc),
+	}
+}
+
+// cacheBudgetFor scales the paper's 100 MB / 60M-key cache to the run's
+// dataset (≈1.7 bytes per key, floor 2 MB so tiny test runs behave).
+func cacheBudgetFor(sc Scale) int64 {
+	b := int64(sc.LoadN) * 100 << 20 / 60_000_000
+	if b < 2<<20 {
+		b = 2 << 20
+	}
+	return b
+}
+
+// hotspotBudgetFor scales the paper's 30 MB hotspot buffer the same way.
+func hotspotBudgetFor(sc Scale) int64 {
+	b := int64(sc.LoadN) * 30 << 20 / 60_000_000
+	if b < 512<<10 {
+		b = 512 << 10
+	}
+	return b
+}
+
+// buildSystem stands up one named system on a fresh fabric. Scale.MNSize
+// is the memory pool's TOTAL size, split across the MNs; the previous
+// system's multi-GB pool is explicitly released first so back-to-back
+// experiments fit small hosts.
+func buildSystem(name string, sc Scale, mns int, cfgMut func(*SystemConfig)) (System, SystemConfig, error) {
+	runtime.GC()
+	debug.FreeOSMemory()
+	f := DefaultFabric(mns, sc.MNSize/mns)
+	cfg := baseConfig(f, sc, SortedLoadKeys(sc.LoadN))
+	if cfgMut != nil {
+		cfgMut(&cfg)
+	}
+	factory, ok := Factories[name]
+	if !ok {
+		return nil, cfg, fmt.Errorf("bench: unknown system %q", name)
+	}
+	sys, err := factory(cfg)
+	return sys, cfg, err
+}
+
+// runPoint is the common "one measured point" helper.
+func runPoint(sys System, cfg SystemConfig, mix ycsb.Mix, clients, totalOps int, seed int64) (Result, error) {
+	per := totalOps / clients
+	if per < 1 {
+		per = 1
+	}
+	return Run(sys, RunConfig{
+		Mix:          mix,
+		Clients:      clients,
+		OpsPerClient: per,
+		ValueSize:    cfg.ValueSize,
+		KeySpace:     NewKeySpaceFor(cfg.LoadKeys),
+		Seed:         seed,
+	})
+}
+
+// Experiment is a named, runnable reproduction of one paper artifact.
+type Experiment struct {
+	ID    string // e.g. "fig12", "tab1"
+	Title string
+	Run   func(w io.Writer, sc Scale) error
+}
+
+// Experiments is the registry the CLI and bench targets dispatch on,
+// populated by the experiment files' init functions.
+var Experiments []Experiment
+
+func register(e Experiment) { Experiments = append(Experiments, e) }
+
+// FindExperiment resolves an experiment by ID.
+func FindExperiment(id string) (Experiment, error) {
+	for _, e := range Experiments {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", id)
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+
+	"chime/internal/ycsb"
+)
+
+// TestRDWCToggle verifies the combining layer is actually in the client
+// path: under a skewed read workload with many clients, delegated reads
+// reduce trips per op relative to the DisableRDWC configuration.
+func TestRDWCToggle(t *testing.T) {
+	sc := tinyScale
+	sc.LoadN = 8000
+	trips := map[bool]float64{}
+	for _, disable := range []bool{false, true} {
+		sys, cfg, err := buildSystem("CHIME", sc, 1, func(c *SystemConfig) {
+			c.DisableRDWC = disable
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := runPoint(sys, cfg, ycsb.WorkloadC, 32, 6000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trips[disable] = r.TripsPerOp
+	}
+	if trips[false] >= trips[true] {
+		t.Fatalf("RDWC on: %.3f trips/op, off: %.3f — delegation not engaging",
+			trips[false], trips[true])
+	}
+}
+
+// TestRDWCCorrectUnderWrites runs a read/update mix with combining on
+// and verifies the run completes without consistency errors (the Run
+// harness surfaces any index error).
+func TestRDWCCorrectUnderWrites(t *testing.T) {
+	sc := tinyScale
+	for _, name := range []string{"CHIME", "Sherman", "SMART", "ROLEX"} {
+		sys, cfg, err := buildSystem(name, sc, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := runPoint(sys, cfg, ycsb.WorkloadA, 16, 2000, 8); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"chime/internal/core"
+	"chime/internal/dmsim"
+	"chime/internal/rdwc"
+	"chime/internal/rolex"
+	"chime/internal/sherman"
+	"chime/internal/smartidx"
+	"chime/internal/ycsb"
+)
+
+// rdwcClient wraps an index client with the per-CN read-delegation /
+// write-combining layer the paper's evaluation applies to every system
+// (§5.1). Search and Update on the same key coalesce; structural
+// operations pass through.
+type rdwcClient struct {
+	Client
+	comb *rdwc.Combiner
+}
+
+func (r rdwcClient) Search(key uint64) ([]byte, error) {
+	return r.comb.Read(r.DM(), key, func() ([]byte, error) {
+		return r.Client.Search(key)
+	})
+}
+
+func (r rdwcClient) Update(key uint64, value []byte) error {
+	return r.comb.Write(r.DM(), key, value, func(v []byte) error {
+		return r.Client.Update(key, v)
+	})
+}
+
+// withRDWC wraps a client factory when the config enables combining.
+func withRDWC(cfg SystemConfig, comb *rdwc.Combiner, inner func() Client) func() Client {
+	if cfg.DisableRDWC {
+		return inner
+	}
+	return func() Client { return rdwcClient{Client: inner(), comb: comb} }
+}
+
+// Adapters wrapping each index behind the System/Client interfaces.
+// Every adapter normalizes its index's not-found sentinel to
+// bench.ErrNotFound and bulk-loads with parallel clients.
+
+func loadClients(cfg SystemConfig) int {
+	if cfg.LoadClients > 0 {
+		return cfg.LoadClients
+	}
+	return 8
+}
+
+// parallelLoad inserts the load keys through newClient handles.
+func parallelLoad(cfg SystemConfig, newClient func() Client) error {
+	n := len(cfg.LoadKeys)
+	if n == 0 {
+		return nil
+	}
+	workers := loadClients(cfg)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	chunk := (n + workers - 1) / workers
+	// Create loader clients up front so the cohort shares one virtual
+	// epoch (see bench.Run).
+	loaders := make([]Client, workers)
+	for w := range loaders {
+		loaders[w] = newClient()
+		loaders[w].DM().JoinCohort()
+	}
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(cl Client, keys []uint64) {
+			defer wg.Done()
+			defer cl.DM().LeaveCohort()
+			value := make([]byte, cfg.ValueSize)
+			for _, k := range keys {
+				if err := cl.Insert(k, value); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(loaders[w], cfg.LoadKeys[lo:hi])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	return nil
+}
+
+// ---- CHIME ----
+
+type chimeSystem struct {
+	comb *rdwc.Combiner
+	newC func() Client
+	ix   *core.Index
+	cn   *core.ComputeNode
+}
+
+type chimeClient struct{ cl *core.Client }
+
+func (c chimeClient) Search(key uint64) ([]byte, error) {
+	v, err := c.cl.Search(key)
+	if errors.Is(err, core.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+func (c chimeClient) Insert(key uint64, value []byte) error { return c.cl.Insert(key, value) }
+func (c chimeClient) Update(key uint64, value []byte) error {
+	err := c.cl.Update(key, value)
+	if errors.Is(err, core.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+func (c chimeClient) Delete(key uint64) error {
+	err := c.cl.Delete(key)
+	if errors.Is(err, core.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+func (c chimeClient) Scan(start uint64, count int) (int, error) {
+	kvs, err := c.cl.Scan(start, count)
+	return len(kvs), err
+}
+func (c chimeClient) DM() *dmsim.Client { return c.cl.DM() }
+
+func (s *chimeSystem) Name() string      { return "CHIME" }
+func (s *chimeSystem) NewClient() Client { return s.newC() }
+func (s *chimeSystem) CacheBytes() int64 {
+	cs := s.cn.CacheStats()
+	hs := s.cn.HotspotStats()
+	return cs.UsedBytes + int64(hs.Entries)*16
+}
+
+// NewCHIME builds and loads a CHIME tree per the config.
+func NewCHIME(cfg SystemConfig) (System, error) {
+	opts := core.DefaultOptions()
+	if cfg.SpanSize > 0 {
+		opts.SpanSize = cfg.SpanSize
+	}
+	if cfg.Neighborhood > 0 {
+		opts.Neighborhood = cfg.Neighborhood
+	}
+	opts.ValueSize = cfg.ValueSize
+	opts.Indirect = cfg.Indirect
+	opts.PiggybackVacancy = !cfg.DisablePiggyback
+	opts.ReplicateMeta = !cfg.DisableReplication
+	opts.SpeculativeRead = !cfg.DisableSpeculation
+	ix, err := core.Bootstrap(cfg.Fabric, opts)
+	if err != nil {
+		return nil, err
+	}
+	sys := &chimeSystem{ix: ix, cn: ix.NewComputeNode(cfg.CacheBytes, cfg.HotspotBytes), comb: rdwc.NewCombiner()}
+	sys.newC = withRDWC(cfg, sys.comb, func() Client { return chimeClient{cl: sys.cn.NewClient()} })
+	if err := parallelLoad(cfg, sys.NewClient); err != nil {
+		return nil, fmt.Errorf("chime load: %w", err)
+	}
+	return sys, nil
+}
+
+// ---- Sherman ----
+
+type shermanSystem struct {
+	comb *rdwc.Combiner
+	newC func() Client
+	ix   *sherman.Index
+	cn   *sherman.ComputeNode
+}
+
+type shermanClient struct{ cl *sherman.Client }
+
+func (c shermanClient) Search(key uint64) ([]byte, error) {
+	v, err := c.cl.Search(key)
+	if errors.Is(err, sherman.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+func (c shermanClient) Insert(key uint64, value []byte) error { return c.cl.Insert(key, value) }
+func (c shermanClient) Update(key uint64, value []byte) error {
+	err := c.cl.Update(key, value)
+	if errors.Is(err, sherman.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+func (c shermanClient) Delete(key uint64) error {
+	err := c.cl.Delete(key)
+	if errors.Is(err, sherman.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+func (c shermanClient) Scan(start uint64, count int) (int, error) {
+	kvs, err := c.cl.Scan(start, count)
+	return len(kvs), err
+}
+func (c shermanClient) DM() *dmsim.Client { return c.cl.DM() }
+
+func (s *shermanSystem) Name() string      { return "Sherman" }
+func (s *shermanSystem) NewClient() Client { return s.newC() }
+func (s *shermanSystem) CacheBytes() int64 {
+	_, _, _, used := s.cn.CacheStats()
+	return used
+}
+
+// NewSherman builds and loads a Sherman tree.
+func NewSherman(cfg SystemConfig) (System, error) {
+	opts := sherman.DefaultOptions()
+	if cfg.SpanSize > 0 {
+		opts.SpanSize = cfg.SpanSize
+	}
+	opts.ValueSize = cfg.ValueSize
+	opts.Indirect = cfg.Indirect
+	ix, err := sherman.Bootstrap(cfg.Fabric, opts)
+	if err != nil {
+		return nil, err
+	}
+	sys := &shermanSystem{ix: ix, cn: ix.NewComputeNode(cfg.CacheBytes), comb: rdwc.NewCombiner()}
+	sys.newC = withRDWC(cfg, sys.comb, func() Client { return shermanClient{cl: sys.cn.NewClient()} })
+	if err := parallelLoad(cfg, sys.NewClient); err != nil {
+		return nil, fmt.Errorf("sherman load: %w", err)
+	}
+	return sys, nil
+}
+
+// ---- SMART ----
+
+type smartSystem struct {
+	comb *rdwc.Combiner
+	newC func() Client
+	ix   *smartidx.Index
+	cn   *smartidx.ComputeNode
+}
+
+type smartClient struct{ cl *smartidx.Client }
+
+func (c smartClient) Search(key uint64) ([]byte, error) {
+	v, err := c.cl.Search(key)
+	if errors.Is(err, smartidx.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+func (c smartClient) Insert(key uint64, value []byte) error { return c.cl.Insert(key, value) }
+func (c smartClient) Update(key uint64, value []byte) error {
+	err := c.cl.Update(key, value)
+	if errors.Is(err, smartidx.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+func (c smartClient) Delete(key uint64) error {
+	err := c.cl.Delete(key)
+	if errors.Is(err, smartidx.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+func (c smartClient) Scan(start uint64, count int) (int, error) {
+	kvs, err := c.cl.Scan(start, count)
+	return len(kvs), err
+}
+func (c smartClient) DM() *dmsim.Client { return c.cl.DM() }
+
+func (s *smartSystem) Name() string      { return "SMART" }
+func (s *smartSystem) NewClient() Client { return s.newC() }
+func (s *smartSystem) CacheBytes() int64 {
+	_, _, _, used := s.cn.CacheStats()
+	return used
+}
+
+// NewSMART builds and loads a SMART tree. SMART ignores span/indirect
+// options: leaves are discrete KV blocks already.
+func NewSMART(cfg SystemConfig) (System, error) {
+	opts := smartidx.DefaultOptions()
+	opts.ValueSize = cfg.ValueSize
+	ix, err := smartidx.Bootstrap(cfg.Fabric, opts)
+	if err != nil {
+		return nil, err
+	}
+	sys := &smartSystem{ix: ix, cn: ix.NewComputeNode(cfg.CacheBytes), comb: rdwc.NewCombiner()}
+	sys.newC = withRDWC(cfg, sys.comb, func() Client { return smartClient{cl: sys.cn.NewClient()} })
+	if err := parallelLoad(cfg, sys.NewClient); err != nil {
+		return nil, fmt.Errorf("smart load: %w", err)
+	}
+	return sys, nil
+}
+
+// ---- ROLEX ----
+
+type rolexSystem struct {
+	comb *rdwc.Combiner
+	newC func() Client
+	ix   *rolex.Index
+	cn   *rolex.ComputeNode
+}
+
+type rolexClient struct{ cl *rolex.Client }
+
+func (c rolexClient) Search(key uint64) ([]byte, error) {
+	v, err := c.cl.Search(key)
+	if errors.Is(err, rolex.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+func (c rolexClient) Insert(key uint64, value []byte) error { return c.cl.Insert(key, value) }
+func (c rolexClient) Update(key uint64, value []byte) error {
+	err := c.cl.Update(key, value)
+	if errors.Is(err, rolex.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+func (c rolexClient) Delete(key uint64) error {
+	err := c.cl.Delete(key)
+	if errors.Is(err, rolex.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+func (c rolexClient) Scan(start uint64, count int) (int, error) {
+	kvs, err := c.cl.Scan(start, count)
+	return len(kvs), err
+}
+func (c rolexClient) DM() *dmsim.Client { return c.cl.DM() }
+
+func (s *rolexSystem) Name() string      { return "ROLEX" }
+func (s *rolexSystem) NewClient() Client { return s.newC() }
+func (s *rolexSystem) CacheBytes() int64 { return s.ix.CacheBytes() }
+
+// NewROLEX builds a ROLEX index, pre-training models over the load keys
+// (the CHIME paper's setup; ROLEX is excluded from YCSB LOAD for the
+// same reason the paper excludes it).
+func NewROLEX(cfg SystemConfig) (System, error) {
+	opts := rolex.DefaultOptions()
+	if cfg.SpanSize > 0 {
+		opts.SpanSize = cfg.SpanSize
+		opts.Epsilon = cfg.SpanSize
+	}
+	opts.ValueSize = cfg.ValueSize
+	opts.Indirect = cfg.Indirect
+	if len(cfg.LoadKeys) == 0 {
+		return nil, fmt.Errorf("rolex: needs load keys for pre-training")
+	}
+	ix, err := rolex.Build(cfg.Fabric, opts, cfg.LoadKeys, nil)
+	if err != nil {
+		return nil, err
+	}
+	sys := &rolexSystem{ix: ix, cn: ix.NewComputeNode(), comb: rdwc.NewCombiner()}
+	sys.newC = withRDWC(cfg, sys.comb, func() Client { return rolexClient{cl: sys.cn.NewClient()} })
+	return sys, nil
+}
+
+// Factories lists the head-to-head systems in the paper's order.
+var Factories = map[string]Factory{
+	"CHIME":   NewCHIME,
+	"Sherman": NewSherman,
+	"SMART":   NewSMART,
+	"ROLEX":   NewROLEX,
+}
+
+// DefaultFabric builds the standard 1-MN testbed fabric with enough
+// remote memory for the configured load. Allocation chunks are shrunk
+// to 1 MB so client-count sweeps into the hundreds fit a laptop-sized
+// MN (chunk size only changes allocation-RPC frequency; see
+// dmsim.Config.ChunkBytes).
+func DefaultFabric(mns int, mnSize int) *dmsim.Fabric {
+	cfg := dmsim.DefaultConfig()
+	cfg.MNs = mns
+	cfg.MNSize = mnSize
+	cfg.ChunkBytes = 1 << 20
+	return dmsim.MustNewFabric(cfg)
+}
+
+// NewKeySpaceFor returns the shared keyspace seeded with the load size.
+func NewKeySpaceFor(loadKeys []uint64) *ycsb.KeySpace {
+	return ycsb.NewKeySpace(uint64(len(loadKeys)))
+}

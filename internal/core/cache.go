@@ -1,0 +1,113 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"chime/internal/dmsim"
+)
+
+// nodeCache is the compute-node-side cache of internal tree nodes
+// (§2.2, §3.1). It is shared by all clients of one CN, keyed by remote
+// node address, and bounded by a byte budget measured in *encoded* node
+// bytes — the unit the paper reports cache consumption in.
+//
+// Eviction is LRU. The cache stores decoded nodes; lookups are local and
+// free of network cost.
+type nodeCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	lru    *list.List // front = most recent; values are *cacheSlot
+	items  map[dmsim.GAddr]*list.Element
+
+	hits, misses, invalidations int64
+}
+
+type cacheSlot struct {
+	addr dmsim.GAddr
+	node *internalNode
+	size int64
+}
+
+func newNodeCache(budget int64) *nodeCache {
+	return &nodeCache{
+		budget: budget,
+		lru:    list.New(),
+		items:  make(map[dmsim.GAddr]*list.Element),
+	}
+}
+
+// get returns the cached node, promoting it, or nil.
+func (c *nodeCache) get(addr dmsim.GAddr) *internalNode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[addr]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheSlot).node
+}
+
+// put inserts or replaces a node costing size bytes, evicting LRU
+// entries as needed. A budget of 0 disables caching entirely.
+func (c *nodeCache) put(addr dmsim.GAddr, n *internalNode, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget <= 0 || size > c.budget {
+		return
+	}
+	if el, ok := c.items[addr]; ok {
+		slot := el.Value.(*cacheSlot)
+		c.used += size - slot.size
+		slot.node, slot.size = n, size
+		c.lru.MoveToFront(el)
+	} else {
+		el := c.lru.PushFront(&cacheSlot{addr: addr, node: n, size: size})
+		c.items[addr] = el
+		c.used += size
+	}
+	for c.used > c.budget {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		slot := back.Value.(*cacheSlot)
+		c.lru.Remove(back)
+		delete(c.items, slot.addr)
+		c.used -= slot.size
+	}
+}
+
+// invalidate drops a stale node (a sibling-based cache validation
+// failure, §4.2.3).
+func (c *nodeCache) invalidate(addr dmsim.GAddr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[addr]; ok {
+		slot := el.Value.(*cacheSlot)
+		c.lru.Remove(el)
+		delete(c.items, addr)
+		c.used -= slot.size
+		c.invalidations++
+	}
+}
+
+// CacheStats is a snapshot of cache behaviour and footprint.
+type CacheStats struct {
+	Hits, Misses, Invalidations int64
+	UsedBytes, BudgetBytes      int64
+	Nodes                       int
+}
+
+func (c *nodeCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Invalidations: c.invalidations,
+		UsedBytes: c.used, BudgetBytes: c.budget, Nodes: len(c.items),
+	}
+}

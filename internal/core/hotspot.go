@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sync"
+
+	"chime/internal/dmsim"
+)
+
+// hotspotBuffer implements the hotness-aware speculative read support of
+// §4.3: a small per-CN cache mapping (leaf address, entry index) to a
+// key fingerprint and an access counter. Before a neighborhood read, a
+// client consults the buffer for hotspots inside the target neighborhood
+// whose fingerprint matches the key; on a hit it speculatively READs the
+// single hottest entry instead of the whole neighborhood.
+//
+// Each buffer entry costs hotspotEntryBytes (leaf address 8B + key index
+// 2B + fingerprint 2B + counter 4B, per Figure 11); eviction is least
+// frequently used.
+const hotspotEntryBytes = 16
+
+type hotspotKey struct {
+	leaf dmsim.GAddr
+	idx  uint16
+}
+
+type hotspotVal struct {
+	fp      uint16
+	counter uint32
+}
+
+type hotspotBuffer struct {
+	mu  sync.Mutex
+	cap int // max entries; 0 disables the buffer
+	m   map[hotspotKey]*hotspotVal
+
+	lookups, hits         int64
+	speculations, correct int64
+}
+
+// fingerprint derives the 2-byte key fingerprint stored in the buffer.
+func fingerprint(key uint64) uint16 {
+	x := key * 0x9E3779B97F4A7C15
+	return uint16(x >> 48)
+}
+
+func newHotspotBuffer(budgetBytes int64) *hotspotBuffer {
+	return &hotspotBuffer{
+		cap: int(budgetBytes / hotspotEntryBytes),
+		m:   make(map[hotspotKey]*hotspotVal),
+	}
+}
+
+// record updates the buffer after a remote KV entry access: bump an
+// existing hotspot (or refresh it when the fingerprint is stale), insert
+// a new one, evicting the LFU victim when full (§4.3).
+func (h *hotspotBuffer) record(leaf dmsim.GAddr, idx int, key uint64) {
+	if h.cap == 0 {
+		return
+	}
+	fp := fingerprint(key)
+	k := hotspotKey{leaf: leaf, idx: uint16(idx)}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if v, ok := h.m[k]; ok {
+		if v.fp != fp {
+			v.fp = fp
+			v.counter = 1
+		} else {
+			v.counter++
+		}
+		return
+	}
+	if len(h.m) >= h.cap {
+		// Evict the least frequently used entry.
+		var victim hotspotKey
+		min := uint32(1<<32 - 1)
+		for kk, vv := range h.m {
+			if vv.counter < min {
+				min = vv.counter
+				victim = kk
+			}
+		}
+		delete(h.m, victim)
+	}
+	h.m[k] = &hotspotVal{fp: fp, counter: 1}
+}
+
+// lookup returns the hottest recorded entry index within the
+// neighborhood [home, home+hn) (circular over span) whose fingerprint
+// matches key, or -1.
+func (h *hotspotBuffer) lookup(leaf dmsim.GAddr, key uint64, home, hn, span int) int {
+	if h.cap == 0 {
+		return -1
+	}
+	fp := fingerprint(key)
+	best, bestCount := -1, uint32(0)
+	h.mu.Lock()
+	h.lookups++
+	for d := 0; d < hn; d++ {
+		idx := (home + d) % span
+		if v, ok := h.m[hotspotKey{leaf: leaf, idx: uint16(idx)}]; ok {
+			if v.fp == fp && v.counter > bestCount {
+				best, bestCount = idx, v.counter
+			}
+		}
+	}
+	if best >= 0 {
+		h.hits++
+	}
+	h.mu.Unlock()
+	return best
+}
+
+// noteSpeculation records a speculative read's outcome for stats.
+func (h *hotspotBuffer) noteSpeculation(correct bool) {
+	h.mu.Lock()
+	h.speculations++
+	if correct {
+		h.correct++
+	}
+	h.mu.Unlock()
+}
+
+// drop removes a stale hotspot after an incorrect speculation.
+func (h *hotspotBuffer) drop(leaf dmsim.GAddr, idx int) {
+	h.mu.Lock()
+	delete(h.m, hotspotKey{leaf: leaf, idx: uint16(idx)})
+	h.mu.Unlock()
+}
+
+// HotspotStats is a snapshot of buffer behaviour.
+type HotspotStats struct {
+	Lookups, Hits         int64
+	Speculations, Correct int64
+	Entries, Cap          int
+}
+
+func (h *hotspotBuffer) stats() HotspotStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HotspotStats{
+		Lookups: h.lookups, Hits: h.hits,
+		Speculations: h.speculations, Correct: h.correct,
+		Entries: len(h.m), Cap: h.cap,
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"chime/internal/dmsim"
+)
+
+func haddr(off uint64) dmsim.GAddr { return dmsim.GAddr{Off: off} }
+
+func TestHotspotRecordAndLookup(t *testing.T) {
+	h := newHotspotBuffer(10 * hotspotEntryBytes)
+	leaf := haddr(4096)
+	h.record(leaf, 3, 0xABC)
+	h.record(leaf, 3, 0xABC)
+	h.record(leaf, 3, 0xABC)
+
+	// Lookup within a neighborhood containing slot 3.
+	if got := h.lookup(leaf, 0xABC, 0, 8, 64); got != 3 {
+		t.Fatalf("lookup = %d, want 3", got)
+	}
+	// Wrong key (fingerprint mismatch) must miss.
+	if got := h.lookup(leaf, 0xDEF, 0, 8, 64); got != -1 {
+		t.Fatalf("foreign key hit slot %d", got)
+	}
+	// Neighborhood not covering slot 3 must miss.
+	if got := h.lookup(leaf, 0xABC, 8, 8, 64); got != -1 {
+		t.Fatalf("out-of-neighborhood hit %d", got)
+	}
+	// Different leaf must miss.
+	if got := h.lookup(haddr(8192), 0xABC, 0, 8, 64); got != -1 {
+		t.Fatalf("foreign leaf hit %d", got)
+	}
+}
+
+func TestHotspotHottestWins(t *testing.T) {
+	h := newHotspotBuffer(10 * hotspotEntryBytes)
+	leaf := haddr(64)
+	// Two keys in the same neighborhood with colliding... use the same
+	// key recorded at two slots (it moved); the hotter slot must win.
+	h.record(leaf, 2, 0x77)
+	for i := 0; i < 5; i++ {
+		h.record(leaf, 5, 0x77)
+	}
+	if got := h.lookup(leaf, 0x77, 0, 8, 64); got != 5 {
+		t.Fatalf("hottest slot = %d, want 5", got)
+	}
+}
+
+func TestHotspotFingerprintRefresh(t *testing.T) {
+	h := newHotspotBuffer(10 * hotspotEntryBytes)
+	leaf := haddr(64)
+	for i := 0; i < 9; i++ {
+		h.record(leaf, 1, 0xAAA)
+	}
+	// The slot's occupant changed: recording a different key must reset
+	// the counter and refresh the fingerprint.
+	h.record(leaf, 1, 0xBBB)
+	if got := h.lookup(leaf, 0xAAA, 0, 8, 64); got != -1 {
+		t.Fatal("stale fingerprint survived occupant change")
+	}
+	if got := h.lookup(leaf, 0xBBB, 0, 8, 64); got != 1 {
+		t.Fatalf("new occupant not found: %d", got)
+	}
+}
+
+func TestHotspotLFUEviction(t *testing.T) {
+	h := newHotspotBuffer(2 * hotspotEntryBytes) // capacity 2
+	leaf := haddr(64)
+	for i := 0; i < 5; i++ {
+		h.record(leaf, 0, 100) // hot
+	}
+	h.record(leaf, 1, 200) // cold
+	h.record(leaf, 2, 300) // evicts the LFU (slot 1)
+	if got := h.lookup(leaf, 100, 0, 8, 64); got != 0 {
+		t.Fatal("hot entry evicted")
+	}
+	if got := h.lookup(leaf, 200, 0, 8, 64); got != -1 {
+		t.Fatal("LFU entry survived past capacity")
+	}
+	st := h.stats()
+	if st.Entries != 2 || st.Cap != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHotspotDisabled(t *testing.T) {
+	h := newHotspotBuffer(0)
+	h.record(haddr(64), 0, 1)
+	if got := h.lookup(haddr(64), 1, 0, 8, 64); got != -1 {
+		t.Fatal("disabled buffer must never hit")
+	}
+}
+
+func TestHotspotDrop(t *testing.T) {
+	h := newHotspotBuffer(4 * hotspotEntryBytes)
+	leaf := haddr(64)
+	h.record(leaf, 3, 9)
+	h.drop(leaf, 3)
+	if got := h.lookup(leaf, 9, 0, 8, 64); got != -1 {
+		t.Fatal("dropped entry still resolvable")
+	}
+}
+
+func TestNodeCacheLRUOrder(t *testing.T) {
+	c := newNodeCache(3 * 100)
+	n := &internalNode{valid: true}
+	c.put(haddr(1), n, 100)
+	c.put(haddr(2), n, 100)
+	c.put(haddr(3), n, 100)
+	// Touch 1 so 2 becomes LRU.
+	if c.get(haddr(1)) == nil {
+		t.Fatal("miss on resident node")
+	}
+	c.put(haddr(4), n, 100) // evicts 2
+	if c.get(haddr(2)) != nil {
+		t.Fatal("LRU victim survived")
+	}
+	if c.get(haddr(1)) == nil || c.get(haddr(3)) == nil || c.get(haddr(4)) == nil {
+		t.Fatal("wrong node evicted")
+	}
+}
+
+func TestNodeCacheOversizedRejected(t *testing.T) {
+	c := newNodeCache(100)
+	c.put(haddr(1), &internalNode{}, 500)
+	if c.get(haddr(1)) != nil {
+		t.Fatal("oversized entry must not be cached")
+	}
+	s := c.stats()
+	if s.UsedBytes != 0 {
+		t.Fatalf("used = %d", s.UsedBytes)
+	}
+}
+
+func TestNodeCacheReplaceSameAddr(t *testing.T) {
+	c := newNodeCache(1000)
+	a := &internalNode{level: 1}
+	b := &internalNode{level: 2}
+	c.put(haddr(1), a, 100)
+	c.put(haddr(1), b, 200)
+	if got := c.get(haddr(1)); got == nil || got.level != 2 {
+		t.Fatal("replacement not visible")
+	}
+	if s := c.stats(); s.UsedBytes != 200 || s.Nodes != 1 {
+		t.Fatalf("accounting after replace: %+v", s)
+	}
+}
+
+func TestFingerprintSpread(t *testing.T) {
+	seen := map[uint16]int{}
+	for k := uint64(0); k < 10000; k++ {
+		seen[fingerprint(k)]++
+	}
+	// 10k keys over 64k fingerprint space: no value should repeat often.
+	for fp, n := range seen {
+		if n > 8 {
+			t.Fatalf("fingerprint %#x repeats %d times", fp, n)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+)
+
+// Unit tests for the insert window machinery: the vacancy-bitmap-driven
+// probe count and the conservative vacancy updates (§4.2.1).
+
+func TestProbeCountExactBitmap(t *testing.T) {
+	// Span 8 -> one vacancy bit per entry (perBit = 1).
+	o := DefaultOptions()
+	o.SpanSize = 8
+	o.Neighborhood = 4
+	_, cl := newTestTree(t, o)
+
+	// All empty: the first group from home has a vacancy.
+	if got := cl.probeCount(0, 0); got < 1 || got > cl.ix.leaf.span {
+		t.Fatalf("probeCount(empty) = %d", got)
+	}
+	// Entries 0..4 full (bits 0-4 set), home 0: probe must reach entry 5.
+	vac := uint64(0b11111)
+	if got := cl.probeCount(0, vac); got != 6 {
+		t.Fatalf("probeCount = %d, want 6 (cover first free entry 5)", got)
+	}
+	// Everything full: whole-node signal.
+	if got := cl.probeCount(0, 0xFF); got != cl.ix.leaf.span {
+		t.Fatalf("probeCount(full) = %d, want span", got)
+	}
+	// Wrap-around: home 6 with entries 6,7 full, 0 free.
+	vac = uint64(0b11000000)
+	if got := cl.probeCount(6, vac); got != 3 {
+		t.Fatalf("wrap probeCount = %d, want 3 (entries 6,7,0)", got)
+	}
+}
+
+func TestProbeCountGroupedBitmap(t *testing.T) {
+	// Span 128 -> 43 groups of 3 entries: a zero bit means "some entry
+	// in this 3-entry group may be free", and the home group extends
+	// coverage to the next group.
+	o := DefaultOptions()
+	o.SpanSize = 128
+	o.Neighborhood = 8
+	_, cl := newTestTree(t, o)
+	lay := cl.ix.leaf
+	if lay.vacPerBit < 2 {
+		t.Fatalf("test expects grouped bitmap, perBit=%d", lay.vacPerBit)
+	}
+	// All bits zero, home mid-group: window must cover at least the
+	// home group and the following group.
+	got := cl.probeCount(1, 0)
+	if got < lay.vacPerBit {
+		t.Fatalf("grouped probeCount = %d, too small", got)
+	}
+	// All full: whole node.
+	full := (uint64(1) << uint(lay.vacGroups)) - 1
+	if got := cl.probeCount(0, full); got != lay.span {
+		t.Fatalf("grouped full probeCount = %d, want span", got)
+	}
+}
+
+func TestUpdateVacancySetsOnlyProvablyFullGroups(t *testing.T) {
+	o := DefaultOptions()
+	o.SpanSize = 8
+	o.Neighborhood = 4
+	_, cl := newTestTree(t, o)
+	lay := cl.ix.leaf
+	im := newLeafImage(lay)
+	fetched := make([]bool, lay.span)
+
+	// Fill entries 0 and 1, fetch only those: group of slot 0 (size 1
+	// at span 8) is provably full.
+	for i := 0; i < 2; i++ {
+		e := im.entry(i)
+		e.occupied = true
+		im.setEntryNoBump(i, e)
+		fetched[i] = true
+	}
+	vac := cl.updateVacancy(im, fetched, 0, 0)
+	if vac&1 == 0 {
+		t.Fatal("slot 0's group must be marked full")
+	}
+	// An unfetched group must stay conservative even if claimed full.
+	vac = cl.updateVacancy(im, fetched, 1<<5, 5)
+	if vac&(1<<5) != 0 {
+		t.Fatal("unfetched group must be cleared to 'may have vacancy'")
+	}
+}
+
+func TestArgmaxMaintenance(t *testing.T) {
+	o := DefaultOptions()
+	o.SpanSize = 8
+	o.Neighborhood = 4
+	_, cl := newTestTree(t, o)
+	lay := cl.ix.leaf
+	im := newLeafImage(lay)
+	fetched := make([]bool, lay.span)
+	for i := range fetched {
+		fetched[i] = true
+	}
+	e := im.entry(2)
+	e.occupied, e.key = true, 500
+	im.setEntryNoBump(2, e)
+
+	lw := lockWord{argmax: 2, argmaxValid: true}
+	// A larger key moves the argmax.
+	cl.updateArgmaxOnInsert(&lw, im, fetched, 5, 900)
+	if !lw.argmaxValid || lw.argmax != 5 {
+		t.Fatalf("argmax after larger insert: %+v", lw)
+	}
+	// A smaller key leaves it.
+	lw = lockWord{argmax: 2, argmaxValid: true}
+	cl.updateArgmaxOnInsert(&lw, im, fetched, 6, 100)
+	if !lw.argmaxValid || lw.argmax != 2 {
+		t.Fatalf("argmax after smaller insert: %+v", lw)
+	}
+	// Unfetched argmax entry invalidates the field.
+	lw = lockWord{argmax: 7, argmaxValid: true}
+	fetched[7] = false
+	cl.updateArgmaxOnInsert(&lw, im, fetched, 1, 50)
+	if lw.argmaxValid {
+		t.Fatal("unfetched argmax must invalidate")
+	}
+	// Invalid stays invalid (recomputed at the next node write).
+	lw = lockWord{}
+	cl.updateArgmaxOnInsert(&lw, im, fetched, 1, 50)
+	if lw.argmaxValid {
+		t.Fatal("invalid argmax must stay invalid on insert")
+	}
+}
+
+func TestRecomputeLockWord(t *testing.T) {
+	o := DefaultOptions()
+	o.SpanSize = 8
+	o.Neighborhood = 4
+	lay := newLeafLayout(o)
+	im := newLeafImage(lay)
+	// Keys at slots 1 (key 10), 4 (key 99), 5 (key 50).
+	for _, p := range []struct {
+		slot int
+		key  uint64
+	}{{1, 10}, {4, 99}, {5, 50}} {
+		e := im.entry(p.slot)
+		e.occupied, e.key = true, p.key
+		im.setEntryNoBump(p.slot, e)
+	}
+	lw := recomputeLockWord(im)
+	if !lw.argmaxValid || lw.argmax != 4 {
+		t.Fatalf("argmax = %+v, want slot 4", lw)
+	}
+	// With perBit 1 at span 8, only fully occupied groups set bits;
+	// here every group has one entry, so groups 1, 4, 5 are full.
+	want := uint64(1<<1 | 1<<4 | 1<<5)
+	if lw.vacancy != want {
+		t.Fatalf("vacancy = %b, want %b", lw.vacancy, want)
+	}
+}

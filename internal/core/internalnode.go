@@ -1,0 +1,186 @@
+package core
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"chime/internal/dmsim"
+)
+
+// Internal node remote layout (paper Figure 6):
+//
+//	off 0:   8-byte lock word (only the lock bit is used)
+//	off 64:  header cell: [1B flags][1B level][2B nkeys]
+//	                      [8B fenceLow][8B fenceHigh][8B sibling]
+//	                      [8B leftmost child]
+//	then:    span entry cells: [keySize pivot][8B child]
+//
+// Internal nodes keep their fence keys (only leaves shed them via
+// sibling-based validation, §4.2.3). Entry cells are only ever modified
+// under whole-node writes, so reads validate with the node-level version
+// alone. child[i] covers keys in [pivot[i], pivot[i+1]); the leftmost
+// child covers [fenceLow, pivot[0]).
+
+const (
+	inodeFlagValid    = 1 << 0
+	inodeFlagFenceInf = 1 << 1
+)
+
+// internalLayout is the derived byte geometry of internal nodes.
+type internalLayout struct {
+	span    int
+	keySize int
+
+	headerCell cell
+	entryCells []cell
+	allCells   []cell
+	size       int
+}
+
+func newInternalLayout(o Options) *internalLayout {
+	l := &internalLayout{span: o.SpanSize, keySize: o.KeySize}
+	headerContent := 1 + 1 + 2 + 8 + 8 + 8 + 8
+	entryContent := o.KeySize + 8
+	contents := []int{headerContent}
+	for i := 0; i < o.SpanSize; i++ {
+		contents = append(contents, entryContent)
+	}
+	cells, regionSize := layoutCells(lineSize, contents)
+	l.headerCell = cells[0]
+	l.entryCells = cells[1:]
+	l.allCells = cells
+	l.size = lineSize + regionSize
+	return l
+}
+
+// pivotEntry is one routing entry of a decoded internal node.
+type pivotEntry struct {
+	pivot uint64
+	child dmsim.GAddr
+}
+
+// internalNode is the decoded form. Pivots are kept sorted ascending.
+type internalNode struct {
+	addr     dmsim.GAddr
+	level    uint8
+	valid    bool
+	fenceLow uint64
+	fenceInf bool
+	fenceHi  uint64
+	sibling  dmsim.GAddr
+	leftmost dmsim.GAddr
+	entries  []pivotEntry
+}
+
+// covers reports whether the node's key range includes key.
+func (n *internalNode) covers(key uint64) bool {
+	return key >= n.fenceLow && (n.fenceInf || key < n.fenceHi)
+}
+
+// childFor returns the child covering key and the index of the routing
+// entry used (-1 for the leftmost child). It also returns the address of
+// the next sibling child (the "next child pointer" used for
+// sibling-based validation of leaves, §4.2.3); next is the nil address
+// when the child is the node's last.
+func (n *internalNode) childFor(key uint64) (child dmsim.GAddr, entryIdx int, next dmsim.GAddr) {
+	// First entry with pivot > key; the child before it covers key.
+	i := sort.Search(len(n.entries), func(i int) bool { return n.entries[i].pivot > key })
+	if i == 0 {
+		child = n.leftmost
+		entryIdx = -1
+	} else {
+		child = n.entries[i-1].child
+		entryIdx = i - 1
+	}
+	if i < len(n.entries) {
+		next = n.entries[i].child
+	}
+	return child, entryIdx, next
+}
+
+// insertEntry adds a routing entry, keeping pivots sorted. It reports
+// false when the node is already full.
+func (n *internalNode) insertEntry(span int, e pivotEntry) bool {
+	if len(n.entries) >= span {
+		return false
+	}
+	i := sort.Search(len(n.entries), func(i int) bool { return n.entries[i].pivot >= e.pivot })
+	n.entries = append(n.entries, pivotEntry{})
+	copy(n.entries[i+1:], n.entries[i:])
+	n.entries[i] = e
+	return true
+}
+
+// encodeInternal serializes the node into a fresh image, bumping the
+// node-level version relative to the previous image when prev is
+// non-nil (i.e. this encode represents a node write).
+func (l *internalLayout) encodeInternal(n *internalNode, prev []byte) []byte {
+	img := make([]byte, l.size)
+	if prev != nil {
+		copy(img, prev)
+	}
+
+	content := make([]byte, l.headerCell.Content)
+	if n.valid {
+		content[0] |= inodeFlagValid
+	}
+	if n.fenceInf {
+		content[0] |= inodeFlagFenceInf
+	}
+	content[1] = n.level
+	binary.LittleEndian.PutUint16(content[2:4], uint16(len(n.entries)))
+	binary.LittleEndian.PutUint64(content[4:12], n.fenceLow)
+	binary.LittleEndian.PutUint64(content[12:20], n.fenceHi)
+	binary.LittleEndian.PutUint64(content[20:28], n.sibling.Pack())
+	binary.LittleEndian.PutUint64(content[28:36], n.leftmost.Pack())
+	writeCellContent(img, l.headerCell, content)
+
+	ec := make([]byte, l.keySize+8)
+	for i, e := range n.entries {
+		for j := range ec {
+			ec[j] = 0
+		}
+		binary.LittleEndian.PutUint64(ec[0:8], e.pivot)
+		binary.LittleEndian.PutUint64(ec[l.keySize:], e.child.Pack())
+		writeCellContent(img, l.entryCells[i], ec)
+	}
+	if prev != nil {
+		bumpNV(img, l.allCells)
+	}
+	return img
+}
+
+// decodeInternal parses a fetched whole-node image after version
+// validation. addr is recorded for cache bookkeeping.
+func (l *internalLayout) decodeInternal(addr dmsim.GAddr, img []byte) *internalNode {
+	content := readCellContent(img, l.headerCell, make([]byte, 0, l.headerCell.Content))
+	n := &internalNode{
+		addr:     addr,
+		valid:    content[0]&inodeFlagValid != 0,
+		fenceInf: content[0]&inodeFlagFenceInf != 0,
+		level:    content[1],
+		fenceLow: binary.LittleEndian.Uint64(content[4:12]),
+		fenceHi:  binary.LittleEndian.Uint64(content[12:20]),
+		sibling:  dmsim.UnpackGAddr(binary.LittleEndian.Uint64(content[20:28])),
+		leftmost: dmsim.UnpackGAddr(binary.LittleEndian.Uint64(content[28:36])),
+	}
+	nkeys := int(binary.LittleEndian.Uint16(content[2:4]))
+	if nkeys > l.span {
+		nkeys = l.span // torn header defends itself; version check re-runs
+	}
+	buf := make([]byte, 0, l.keySize+8)
+	for i := 0; i < nkeys; i++ {
+		buf = readCellContent(img, l.entryCells[i], buf)
+		n.entries = append(n.entries, pivotEntry{
+			pivot: binary.LittleEndian.Uint64(buf[0:8]),
+			child: dmsim.UnpackGAddr(binary.LittleEndian.Uint64(buf[l.keySize:])),
+		})
+	}
+	return n
+}
+
+// checkInternalImage validates the version bytes of a fetched internal
+// node image.
+func (l *internalLayout) checkInternalImage(img []byte) error {
+	return checkVersions(img, 0, l.allCells)
+}

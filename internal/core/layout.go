@@ -1,0 +1,37 @@
+package core
+
+// The byte-level layout machinery (cell placement and two-level
+// cache-line versions, §4.1.1) lives in internal/nodelayout so the
+// Sherman and ROLEX baselines share the exact same implementation. The
+// aliases below keep the core package's call sites terse.
+
+import "chime/internal/nodelayout"
+
+const lineSize = nodelayout.LineSize
+
+type cell = nodelayout.Cell
+
+var errTornRead = nodelayout.ErrTornRead
+
+func packVer(nv, ev uint8) byte { return nodelayout.PackVer(nv, ev) }
+func verNV(b byte) uint8        { return nodelayout.VerNV(b) }
+func verEV(b byte) uint8        { return nodelayout.VerEV(b) }
+
+func layoutCells(start int, contents []int) ([]cell, int) {
+	return nodelayout.LayoutCells(start, contents)
+}
+
+func writeCellContent(img []byte, c cell, content []byte) {
+	nodelayout.WriteCellContent(img, c, content)
+}
+
+func readCellContent(img []byte, c cell, dst []byte) []byte {
+	return nodelayout.ReadCellContent(img, c, dst)
+}
+
+func bumpNV(img []byte, cells []cell) { nodelayout.BumpNV(img, cells) }
+func bumpEV(img []byte, c cell)       { nodelayout.BumpEV(img, c) }
+
+func checkVersions(win []byte, winOff int, cells []cell) error {
+	return nodelayout.CheckVersions(win, winOff, cells)
+}

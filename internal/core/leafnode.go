@@ -1,0 +1,308 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"chime/internal/dmsim"
+	"chime/internal/hopscotch"
+)
+
+// Leaf node remote layout (paper Figure 10, optimized):
+//
+//	off 0:   8-byte lock word (lock bit | vacancy bitmap | argmax)
+//	off 64:  groups, each = [metadata replica][H entries]
+//
+// A metadata replica precedes every H entries, so any H-entry
+// neighborhood read either contains a replica or starts right after one
+// and can include it by extending the window one cell to the left
+// (§4.2.2). Entry cells and replica cells carry the two-level version
+// bytes described in layout.go.
+//
+// Entry content:   [1B flags][2B hopscotch bitmap][keySize key][val]
+// Replica content: [1B flags][8B sibling][8B fenceHigh]
+//
+// The replica's fenceHigh is this implementation's safety net for the
+// one case sibling-based validation cannot decide: a reader that reaches
+// the *last* child of its parent has no "next child pointer" to compare
+// the leaf's sibling against, so it falls back to comparing the target
+// key with fenceHigh. See the DESIGN.md substitution notes.
+
+const (
+	entryFlagOccupied = 1 << 0
+
+	replicaFlagValid    = 1 << 0
+	replicaFlagFenceInf = 1 << 1
+)
+
+// leafLayout is the derived byte geometry of a leaf node for a given
+// Options. It is immutable and shared by all clients.
+type leafLayout struct {
+	span, h  int
+	keySize  int
+	valSize  int // stored bytes per value field (8 when indirect)
+	indirect bool
+
+	entryCells   []cell // indexed by entry index
+	replicaCells []cell // indexed by group (span/h groups)
+	allCells     []cell // every cell, for node-level version bumps
+	size         int    // total node footprint including lock word
+
+	vacGroups, vacPerBit int
+}
+
+func newLeafLayout(o Options) *leafLayout {
+	l := &leafLayout{
+		span:     o.SpanSize,
+		h:        o.Neighborhood,
+		keySize:  o.KeySize,
+		valSize:  o.ValueSize,
+		indirect: o.Indirect,
+	}
+	if o.Indirect || o.VarKeys {
+		l.valSize = 8 // pointer to the KV block / fingerprint chain
+	}
+	l.vacGroups, l.vacPerBit = vacancyGroups(o.SpanSize)
+
+	entryContent := 1 + 2 + l.keySize + l.valSize
+	replicaContent := 1 + 8 + 8
+	groups := o.SpanSize / o.Neighborhood
+
+	var contents []int
+	for g := 0; g < groups; g++ {
+		contents = append(contents, replicaContent)
+		for e := 0; e < o.Neighborhood; e++ {
+			contents = append(contents, entryContent)
+		}
+	}
+	cells, regionSize := layoutCells(lineSize, contents)
+	l.allCells = cells
+	l.size = lineSize + regionSize
+
+	for g := 0; g < groups; g++ {
+		base := g * (o.Neighborhood + 1)
+		l.replicaCells = append(l.replicaCells, cells[base])
+		l.entryCells = append(l.entryCells, cells[base+1:base+1+o.Neighborhood]...)
+	}
+	return l
+}
+
+// homeOf returns the home entry index of a key.
+func (l *leafLayout) homeOf(key uint64) int {
+	return int(hopscotch.Hash(key) % uint64(l.span))
+}
+
+// groupOfEntry returns the metadata-replica group of an entry index.
+func (l *leafLayout) groupOfEntry(idx int) int { return idx / l.h }
+
+// leafEntry is the decoded form of one leaf slot.
+type leafEntry struct {
+	occupied bool
+	hopBM    uint16
+	key      uint64
+	value    []byte // valSize bytes; the block pointer when indirect
+}
+
+// leafMeta is the decoded form of a metadata replica.
+type leafMeta struct {
+	valid    bool
+	sibling  dmsim.GAddr
+	fenceInf bool
+	fenceHi  uint64
+}
+
+// leafImage wraps a full-size leaf byte buffer. Depending on context the
+// buffer holds a complete node (splits, bootstrap) or a partial window
+// fetched into the right offsets (searches, inserts); callers track
+// which cells are populated.
+type leafImage struct {
+	lay *leafLayout
+	buf []byte
+}
+
+func newLeafImage(lay *leafLayout) *leafImage {
+	return &leafImage{lay: lay, buf: make([]byte, lay.size)}
+}
+
+// entry decodes slot i.
+func (im *leafImage) entry(i int) leafEntry {
+	c := im.lay.entryCells[i]
+	content := readCellContent(im.buf, c, make([]byte, 0, c.Content))
+	e := leafEntry{
+		occupied: content[0]&entryFlagOccupied != 0,
+		hopBM:    binary.LittleEndian.Uint16(content[1:3]),
+		key:      binary.LittleEndian.Uint64(content[3:11]),
+	}
+	e.value = content[3+im.lay.keySize : 3+im.lay.keySize+im.lay.valSize]
+	return e
+}
+
+// setEntry encodes slot i and bumps its entry-level version.
+func (im *leafImage) setEntry(i int, e leafEntry) {
+	c := im.lay.entryCells[i]
+	content := make([]byte, c.Content)
+	if e.occupied {
+		content[0] |= entryFlagOccupied
+	}
+	binary.LittleEndian.PutUint16(content[1:3], e.hopBM)
+	binary.LittleEndian.PutUint64(content[3:11], e.key)
+	copy(content[3+im.lay.keySize:], e.value)
+	writeCellContent(im.buf, c, content)
+	bumpEV(im.buf, c)
+}
+
+// setEntryNoBump encodes slot i without touching versions (bulk builds
+// followed by a whole-node write, which bumps NV instead).
+func (im *leafImage) setEntryNoBump(i int, e leafEntry) {
+	c := im.lay.entryCells[i]
+	content := make([]byte, c.Content)
+	if e.occupied {
+		content[0] |= entryFlagOccupied
+	}
+	binary.LittleEndian.PutUint16(content[1:3], e.hopBM)
+	binary.LittleEndian.PutUint64(content[3:11], e.key)
+	copy(content[3+im.lay.keySize:], e.value)
+	writeCellContent(im.buf, c, content)
+}
+
+// meta decodes the metadata replica of group g.
+func (im *leafImage) meta(g int) leafMeta {
+	c := im.lay.replicaCells[g]
+	content := readCellContent(im.buf, c, make([]byte, 0, c.Content))
+	return leafMeta{
+		valid:    content[0]&replicaFlagValid != 0,
+		fenceInf: content[0]&replicaFlagFenceInf != 0,
+		sibling:  dmsim.UnpackGAddr(binary.LittleEndian.Uint64(content[1:9])),
+		fenceHi:  binary.LittleEndian.Uint64(content[9:17]),
+	}
+}
+
+// setAllMeta writes the same metadata into every replica. Metadata only
+// changes under node writes (splits), which bump NV for the whole node,
+// so no EV bump here.
+func (im *leafImage) setAllMeta(m leafMeta) {
+	for g := range im.lay.replicaCells {
+		c := im.lay.replicaCells[g]
+		content := make([]byte, c.Content)
+		if m.valid {
+			content[0] |= replicaFlagValid
+		}
+		if m.fenceInf {
+			content[0] |= replicaFlagFenceInf
+		}
+		binary.LittleEndian.PutUint64(content[1:9], m.sibling.Pack())
+		binary.LittleEndian.PutUint64(content[9:17], m.fenceHi)
+		writeCellContent(im.buf, c, content)
+	}
+}
+
+// bumpAllNV increments the node-level version across the whole image.
+func (im *leafImage) bumpAllNV() { bumpNV(im.buf, im.lay.allCells) }
+
+// reconstructHopBitmap recomputes, from the actual keys stored in the
+// image, the hopscotch bitmap that the home entry `home` should carry:
+// bit d is set when slot (home+d)%span holds a key whose home is `home`.
+// Only the slots in [home, home+h) are examined, all of which a
+// neighborhood read fetches.
+func (im *leafImage) reconstructHopBitmap(home int) uint16 {
+	var bm uint16
+	for d := 0; d < im.lay.h; d++ {
+		i := (home + d) % im.lay.span
+		e := im.entry(i)
+		if e.occupied && im.lay.homeOf(e.key) == home {
+			bm |= 1 << uint(d)
+		}
+	}
+	return bm
+}
+
+// byteRange is a contiguous region of the node image.
+type byteRange struct{ Off, End int }
+
+func (r byteRange) size() int { return r.End - r.Off }
+
+// cellSpanRange returns the byte range covering entry indexes
+// [first, first+count) of a non-wrapping run, extended left to include
+// the metadata replica adjacent to or inside the run.
+func (l *leafLayout) cellSpanRange(first, count int, includeMeta bool) byteRange {
+	lo := l.entryCells[first].Off
+	hi := l.entryCells[first+count-1].End()
+	if includeMeta {
+		g := l.groupOfEntry(first)
+		if rc := l.replicaCells[g]; rc.Off < lo {
+			// The run starts mid-group; its own group's replica sits
+			// before it. If the run crosses into the next group it
+			// already contains that group's replica; otherwise extend
+			// left to the replica of the starting group.
+			if l.groupOfEntry(first+count-1) == g {
+				lo = rc.Off
+			}
+		}
+	}
+	return byteRange{Off: lo, End: hi}
+}
+
+// neighborhoodSegments returns the 1 or 2 byte ranges (2 on wrap-around)
+// covering entries [home, home+count) circularly, each extended to
+// include a metadata replica when includeMeta is set, plus the list of
+// covered entry indexes in fetch order.
+func (l *leafLayout) neighborhoodSegments(home, count int, includeMeta bool) ([]byteRange, []int) {
+	if count > l.span {
+		count = l.span
+	}
+	idxs := make([]int, count)
+	for i := range idxs {
+		idxs[i] = (home + i) % l.span
+	}
+	if home+count <= l.span {
+		return []byteRange{l.cellSpanRange(home, count, includeMeta)}, idxs
+	}
+	first := l.span - home
+	segs := []byteRange{
+		l.cellSpanRange(home, first, includeMeta),
+		// The second segment starts at entry 0, whose group replica is
+		// replica 0, located just before it.
+		l.cellSpanRange(0, count-first, false),
+	}
+	if includeMeta {
+		segs[1].Off = l.replicaCells[0].Off
+	}
+	return segs, idxs
+}
+
+// coveredCells lists the cells fully contained in the given ranges; used
+// to validate versions over exactly what was fetched.
+func (l *leafLayout) coveredCells(ranges []byteRange) []cell {
+	var out []cell
+	for _, c := range l.allCells {
+		for _, r := range ranges {
+			if c.Off >= r.Off && c.End() <= r.End {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// metaInRanges returns the group index of a metadata replica fully
+// contained in the ranges, or -1.
+func (l *leafLayout) metaInRanges(ranges []byteRange) int {
+	for g, c := range l.replicaCells {
+		for _, r := range ranges {
+			if c.Off >= r.Off && c.End() <= r.End {
+				return g
+			}
+		}
+	}
+	return -1
+}
+
+// lockAddr returns the remote address of the node's lock word.
+func leafLockAddr(node dmsim.GAddr) dmsim.GAddr { return node }
+
+// String renders layout geometry for diagnostics.
+func (l *leafLayout) String() string {
+	return fmt.Sprintf("leaf{span=%d h=%d key=%d val=%d size=%dB}",
+		l.span, l.h, l.keySize, l.valSize, l.size)
+}

@@ -1,0 +1,88 @@
+package core
+
+// The 8-byte lock word at offset 0 of every leaf node, per §4.2.1 and
+// §4.2.3 of the paper. RDMA atomics operate on 8-byte words, but a lock
+// needs only one bit, so CHIME packs the node's vacancy bitmap and the
+// argmax-of-keys index into the spare bits. A masked-CAS with a compare
+// mask of just the lock bit acquires the lock *and* returns the whole
+// word, so the writer learns the vacancy bitmap with no extra access;
+// the release WRITE carries the updated bitmap back for free.
+//
+// Bit layout (LSB first):
+//
+//	bit  0        lock
+//	bits 1..48    vacancy bitmap (48 groups; bit g = 1 means every entry
+//	              in group g is occupied — "no vacancy here")
+//	bits 49..58   argmax: entry index of the maximum key (10 bits)
+//	bit  59       argmax valid
+//	bits 60..63   unused
+
+const (
+	lockBit = uint64(1)
+
+	vacancyShift = 1
+	vacancyBits  = 48
+	vacancyMask  = ((uint64(1) << vacancyBits) - 1) << vacancyShift
+
+	argmaxShift = 49
+	argmaxBits  = 10
+	argmaxMask  = ((uint64(1) << argmaxBits) - 1) << argmaxShift
+
+	argmaxValidBit = uint64(1) << 59
+)
+
+// lockWord is the decoded form of a leaf's lock word.
+type lockWord struct {
+	locked      bool
+	vacancy     uint64 // bit g set = group g full
+	argmax      int    // entry index of the max key
+	argmaxValid bool
+}
+
+func decodeLockWord(w uint64) lockWord {
+	return lockWord{
+		locked:      w&lockBit != 0,
+		vacancy:     (w & vacancyMask) >> vacancyShift,
+		argmax:      int((w & argmaxMask) >> argmaxShift),
+		argmaxValid: w&argmaxValidBit != 0,
+	}
+}
+
+func (lw lockWord) encode() uint64 {
+	var w uint64
+	if lw.locked {
+		w |= lockBit
+	}
+	w |= (lw.vacancy << vacancyShift) & vacancyMask
+	w |= (uint64(lw.argmax) << argmaxShift) & argmaxMask
+	if lw.argmaxValid {
+		w |= argmaxValidBit
+	}
+	return w
+}
+
+// vacancyGroups returns how many vacancy-bitmap groups a span uses and
+// how many entries each bit covers. When the span exceeds the bitmap
+// width, each bit covers several entries "as evenly as possible" (§4.2.1
+// maps bits to entry groups; we use a uniform ceiling size).
+func vacancyGroups(span int) (groups, perBit int) {
+	if span <= vacancyBits {
+		return span, 1
+	}
+	perBit = (span + vacancyBits - 1) / vacancyBits
+	groups = (span + perBit - 1) / perBit
+	return groups, perBit
+}
+
+// groupOf returns the vacancy group of an entry index.
+func groupOf(idx, perBit int) int { return idx / perBit }
+
+// groupRange returns the entry index range [lo, hi) covered by group g.
+func groupRange(g, perBit, span int) (lo, hi int) {
+	lo = g * perBit
+	hi = lo + perBit
+	if hi > span {
+		hi = span
+	}
+	return lo, hi
+}

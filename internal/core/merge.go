@@ -1,0 +1,182 @@
+package core
+
+import (
+	"sort"
+
+	"chime/internal/dmsim"
+)
+
+// Leaf merging (§4.4 Delete: "Otherwise, a node merge is triggered like
+// DM B+ trees, where node-level versions are used to detect
+// inconsistencies").
+//
+// Policy: a leaf that a delete leaves completely empty is unlinked from
+// the B-link chain and its routing entry removed from the parent. The
+// left sibling absorbs the victim's (empty) key range, keeping the
+// fence invariants intact. Deadlock-freedom comes from a strict
+// acquisition order — parent, then left sibling, then victim — and from
+// the fact that no other code path holds more than one node lock at a
+// time.
+//
+// A leaf that is its parent's leftmost child is not merged (its left
+// sibling lives under a different parent); it stays valid and empty,
+// ready to absorb future inserts. Node memory is not recycled (the
+// allocator has no free list), matching the simulator's allocation
+// model.
+
+// maybeMergeLeaf is called after a delete observed a fully empty
+// neighborhood with an all-clear vacancy bitmap. It confirms emptiness
+// with a whole-node read and, when confirmed, performs the unlink.
+// All failures are silent: merging is an optimization, never required
+// for correctness.
+func (c *Client) maybeMergeLeaf(addr dmsim.GAddr, key uint64) {
+	// Confirm the leaf is empty outside any lock first (cheap bail-out).
+	im, _, metaG, err := c.fetchWholeLeaf(addr)
+	if err != nil {
+		return
+	}
+	if !im.meta(metaG).valid || !leafEmpty(im) {
+		return
+	}
+	c.mergeEmptyLeaf(addr, key)
+}
+
+func leafEmpty(im *leafImage) bool {
+	for i := 0; i < im.lay.span; i++ {
+		if im.entry(i).occupied {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeEmptyLeaf unlinks the (believed empty) leaf covering key.
+func (c *Client) mergeEmptyLeaf(victim dmsim.GAddr, key uint64) {
+	// Locate the parent with a fresh remote walk — the cache may be
+	// what is stale.
+	parentAddr, err := c.findParentAt(1, key)
+	if err != nil {
+		return
+	}
+	if err := c.lockNode(parentAddr); err != nil {
+		return
+	}
+	parent, parentImg, err := c.readInternal(parentAddr)
+	if err != nil || !parent.valid || parent.level != 1 || !parent.covers(key) {
+		c.unlockNode(parentAddr)
+		return
+	}
+
+	// Identify the victim's routing entry and its left neighbor.
+	child, entryIdx, _ := parent.childFor(key)
+	if child != victim || entryIdx < 0 {
+		// Either the tree moved, or the victim is the leftmost child
+		// (entryIdx == -1): skip.
+		c.unlockNode(parentAddr)
+		return
+	}
+	var leftAddr dmsim.GAddr
+	if entryIdx == 0 {
+		leftAddr = parent.leftmost
+	} else {
+		leftAddr = parent.entries[entryIdx-1].child
+	}
+	if leftAddr.IsNil() {
+		c.unlockNode(parentAddr)
+		return
+	}
+
+	// Lock left then victim (chain order).
+	leftLW, err := c.acquireLeafLock(leftAddr)
+	if err != nil {
+		c.unlockNode(parentAddr)
+		return
+	}
+	victimLW, err := c.acquireLeafLock(victim)
+	if err != nil {
+		c.unlockLeaf(leftAddr, leftLW)
+		c.unlockNode(parentAddr)
+		return
+	}
+
+	abort := func() {
+		c.unlockLeaf(victim, victimLW)
+		c.unlockLeaf(leftAddr, leftLW)
+		c.unlockNode(parentAddr)
+	}
+
+	// Re-verify under the locks: victim still empty and valid, left
+	// still points at it.
+	vIm, _, vMetaG, err := c.fetchWholeLeaf(victim)
+	if err != nil {
+		abort()
+		return
+	}
+	vMeta := vIm.meta(vMetaG)
+	if !vMeta.valid || !leafEmpty(vIm) {
+		abort()
+		return
+	}
+	lIm, _, lMetaG, err := c.fetchWholeLeaf(leftAddr)
+	if err != nil {
+		abort()
+		return
+	}
+	lMeta := lIm.meta(lMetaG)
+	if !lMeta.valid || lMeta.sibling != victim {
+		abort()
+		return
+	}
+
+	// 1. Left absorbs the victim's range: sibling and fence move over.
+	//    A node write: bump NV across the left node.
+	lIm.setAllMeta(leafMeta{
+		valid:    true,
+		sibling:  vMeta.sibling,
+		fenceInf: vMeta.fenceInf,
+		fenceHi:  vMeta.fenceHi,
+	})
+	lIm.bumpAllNV()
+	if err := c.dc.Write(leftAddr.Add(lineSize), lIm.buf[lineSize:]); err != nil {
+		abort()
+		return
+	}
+
+	// 2. Invalidate the victim so readers holding its address restart.
+	vIm.setAllMeta(leafMeta{valid: false, sibling: vMeta.sibling, fenceInf: vMeta.fenceInf, fenceHi: vMeta.fenceHi})
+	vIm.bumpAllNV()
+	if err := c.dc.Write(victim.Add(lineSize), vIm.buf[lineSize:]); err != nil {
+		abort()
+		return
+	}
+
+	// 3. Remove the routing entry from the parent and release it.
+	parent.entries = append(parent.entries[:entryIdx], parent.entries[entryIdx+1:]...)
+	img := c.ix.inner.encodeInternal(parent, parentImg)
+	if err := c.writeInternalAndUnlock(parentAddr, img); err != nil {
+		c.unlockLeaf(victim, victimLW)
+		c.unlockLeaf(leftAddr, leftLW)
+		return
+	}
+	c.cn.cache.put(parentAddr, parent, int64(c.ix.inner.size))
+
+	c.unlockLeaf(victim, victimLW)
+	c.unlockLeaf(leftAddr, leftLW)
+}
+
+// deleteLeftEmpty is invoked from the delete path: it reports whether
+// the post-delete window hints that the whole leaf might now be empty
+// (no occupied entry in the fetched neighborhood and an all-clear
+// vacancy bitmap), which gates the more expensive whole-node check.
+func deleteLeftEmpty(im *leafImage, idxs []int, lw lockWord) bool {
+	if lw.vacancy != 0 {
+		return false
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		if im.entry(i).occupied {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,20 @@
+package core
+
+// MetadataBytesPerEntry models the per-entry leaf metadata overhead of
+// CHIME (§4.5 "Remote memory consumption", Figure 16): the 2-byte
+// hopscotch bitmap, the two-level cache-line versions (1 byte per entry
+// plus 1 byte per 63 bytes of KV data), and the per-H-entries metadata
+// replica. With fence-key replication the replica carries both fence
+// keys (2·keySize) plus the sibling pointer and flags; sibling-based
+// validation (§4.2.3) shrinks the replica to the 10-byte sibling record.
+//
+// With keySize=8, valueSize=8, H=8 the fence/sibling ratio is ≈1.4×, and
+// at keySize=256 it is ≈8.6× — the endpoints Figure 16 reports.
+func MetadataBytesPerEntry(keySize, valueSize, h int, siblingValidation bool) float64 {
+	base := 2.0 + 1.0 + float64(keySize+valueSize)/63.0
+	replica := float64(2*keySize + 10)
+	if siblingValidation {
+		replica = 10
+	}
+	return base + replica/float64(h)
+}

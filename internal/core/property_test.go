@@ -1,0 +1,217 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chime/internal/dmsim"
+)
+
+// TestShadowModelProperty drives random operation sequences against a
+// shadow map and checks full agreement, including scans, across varied
+// geometries.
+func TestShadowModelProperty(t *testing.T) {
+	prop := func(seed int64, geomRaw uint8) bool {
+		geoms := []Options{
+			DefaultOptions(),
+			{SpanSize: 16, Neighborhood: 4, ValueSize: 8, KeySize: 8,
+				PiggybackVacancy: true, ReplicateMeta: true, SpeculativeRead: true},
+			{SpanSize: 32, Neighborhood: 16, ValueSize: 16, KeySize: 8,
+				PiggybackVacancy: true, ReplicateMeta: true},
+			{SpanSize: 8, Neighborhood: 2, ValueSize: 8, KeySize: 8,
+				PiggybackVacancy: true, ReplicateMeta: true, SpeculativeRead: true},
+		}
+		opts := geoms[int(geomRaw)%len(geoms)]
+		cfg := dmsim.DefaultConfig()
+		cfg.MNSize = 256 << 20
+		ix, err := Bootstrap(dmsim.MustNewFabric(cfg), opts)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		cl := ix.NewComputeNode(32<<20, 256<<10).NewClient()
+
+		r := rand.New(rand.NewSource(seed))
+		shadow := map[uint64][]byte{}
+		keys := make([]uint64, 0, 512)
+		val := func() []byte {
+			b := make([]byte, opts.ValueSize)
+			r.Read(b)
+			return b
+		}
+		for step := 0; step < 600; step++ {
+			var k uint64
+			if len(keys) > 0 && r.Float64() < 0.6 {
+				k = keys[r.Intn(len(keys))]
+			} else {
+				k = r.Uint64() % 4096
+			}
+			switch r.Intn(10) {
+			case 0, 1, 2, 3: // insert
+				v := val()
+				if err := cl.Insert(k, v); err != nil {
+					t.Logf("seed %d step %d insert: %v", seed, step, err)
+					return false
+				}
+				if _, ok := shadow[k]; !ok {
+					keys = append(keys, k)
+				}
+				shadow[k] = v
+			case 4, 5: // update
+				v := val()
+				err := cl.Update(k, v)
+				if _, ok := shadow[k]; ok {
+					if err != nil {
+						t.Logf("seed %d step %d update: %v", seed, step, err)
+						return false
+					}
+					shadow[k] = v
+				} else if !errors.Is(err, ErrNotFound) {
+					return false
+				}
+			case 6: // delete
+				err := cl.Delete(k)
+				if _, ok := shadow[k]; ok {
+					if err != nil {
+						return false
+					}
+					delete(shadow, k)
+				} else if !errors.Is(err, ErrNotFound) {
+					return false
+				}
+			case 7, 8: // search
+				got, err := cl.Search(k)
+				want, ok := shadow[k]
+				if ok {
+					if err != nil || string(got) != string(want) {
+						t.Logf("seed %d step %d search mismatch", seed, step)
+						return false
+					}
+				} else if !errors.Is(err, ErrNotFound) {
+					return false
+				}
+			case 9: // scan and verify against the shadow
+				out, err := cl.Scan(k, 20)
+				if err != nil {
+					return false
+				}
+				for i := 1; i < len(out); i++ {
+					if out[i-1].Key >= out[i].Key {
+						return false
+					}
+				}
+				for _, kv := range out {
+					want, ok := shadow[kv.Key]
+					if !ok || string(kv.Value) != string(want) {
+						t.Logf("seed %d step %d scan returned wrong item %#x", seed, step, kv.Key)
+						return false
+					}
+				}
+			}
+		}
+		// Final sweep: everything in the shadow must be present, ordered.
+		out, err := cl.Scan(0, len(shadow)+100)
+		if err != nil || len(out) != len(shadow) {
+			t.Logf("seed %d final scan %d items, want %d (%v)", seed, len(out), len(shadow), err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSequentialKeyInserts stresses the right-edge split path (ordered
+// inserts always hit the rightmost leaf).
+func TestSequentialKeyInserts(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	const n = 3000
+	for i := uint64(1); i <= n; i++ {
+		if err := cl.Insert(i, val8(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	out, err := cl.Scan(1, n)
+	if err != nil || len(out) != n {
+		t.Fatalf("scan: %d %v", len(out), err)
+	}
+	for i, kv := range out {
+		if kv.Key != uint64(i+1) {
+			t.Fatalf("position %d holds %d", i, kv.Key)
+		}
+	}
+}
+
+// TestReverseSequentialInserts stresses the left edge.
+func TestReverseSequentialInserts(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	const n = 2000
+	for i := n; i >= 1; i-- {
+		if err := cl.Insert(uint64(i), val8(uint64(i))); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i := uint64(1); i <= n; i++ {
+		got, err := cl.Search(i)
+		if err != nil || binary.LittleEndian.Uint64(got) != i {
+			t.Fatalf("search %d: %v %v", i, got, err)
+		}
+	}
+}
+
+// TestDeleteAllThenReuse empties the whole tree and refills it: cleared
+// entries, vacancy bits and hop bitmaps must all be reusable.
+func TestDeleteAllThenReuse(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	const n = 600
+	for i := uint64(0); i < n; i++ {
+		if err := cl.Insert(i*31, val8(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		if err := cl.Delete(i * 31); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	out, err := cl.Scan(0, n)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("emptied tree scan: %d %v", len(out), err)
+	}
+	for i := uint64(0); i < n; i++ {
+		if err := cl.Insert(i*31, val8(i+1)); err != nil {
+			t.Fatalf("reinsert %d: %v", i, err)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		got, err := cl.Search(i * 31)
+		if err != nil || binary.LittleEndian.Uint64(got) != i+1 {
+			t.Fatalf("reuse %d: %v %v", i, got, err)
+		}
+	}
+}
+
+// TestExtremeKeys covers the key-space boundaries.
+func TestExtremeKeys(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	keys := []uint64{0, 1, ^uint64(0), ^uint64(0) - 1, 1 << 63, 1<<63 - 1}
+	for i, k := range keys {
+		if err := cl.Insert(k, val8(uint64(i))); err != nil {
+			t.Fatalf("insert %#x: %v", k, err)
+		}
+	}
+	for i, k := range keys {
+		got, err := cl.Search(k)
+		if err != nil || binary.LittleEndian.Uint64(got) != uint64(i) {
+			t.Fatalf("search %#x: %v %v", k, got, err)
+		}
+	}
+	out, err := cl.Scan(0, 10)
+	if err != nil || len(out) != len(keys) || out[0].Key != 0 || out[len(out)-1].Key != ^uint64(0) {
+		t.Fatalf("extreme scan: %v %v", out, err)
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"chime/internal/dmsim"
+
+	"fmt"
+	"sort"
+)
+
+// KV is one result of a range scan.
+type KV struct {
+	Key   uint64
+	Value []byte
+}
+
+// Scan returns up to count items with keys >= start, in ascending key
+// order (§4.4). Leaves along the range are fetched whole (their entries
+// are hash-ordered, not key-ordered) and the sibling chain is followed;
+// each leaf costs one round trip, as in Table 1.
+func (c *Client) Scan(start uint64, count int) ([]KV, error) {
+	if count <= 0 {
+		return nil, nil
+	}
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		out, err := c.scanOnce(start, count)
+		if err == errRestart {
+			c.rootAddr = dmsim.NilGAddr
+			c.yield()
+			continue
+		}
+		return out, err
+	}
+	return nil, fmt.Errorf("core: Scan(%#x): retries exhausted", start)
+}
+
+func (c *Client) scanOnce(start uint64, count int) ([]KV, error) {
+	ref, err := c.traverse(start)
+	if err != nil {
+		return nil, err
+	}
+	lay := c.ix.leaf
+	var out []KV
+	addr := ref.addr
+	for leaves := 0; leaves <= maxRetries; leaves++ {
+		im, meta, err := c.readLeafForScan(addr)
+		if err != nil {
+			return nil, err
+		}
+		if !meta.valid {
+			return nil, errRestart
+		}
+
+		var batch []KV
+		for i := 0; i < lay.span; i++ {
+			e := im.entry(i)
+			if !e.occupied || e.key < start {
+				continue
+			}
+			var val []byte
+			if c.ix.opts.Indirect {
+				val, err = c.readIndirect(e.value, e.key)
+				if err == errRestart {
+					return nil, errRestart
+				}
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				val = append([]byte(nil), e.value...)
+			}
+			batch = append(batch, KV{Key: e.key, Value: val})
+		}
+		sort.Slice(batch, func(i, j int) bool { return batch[i].Key < batch[j].Key })
+		out = append(out, batch...)
+		if len(out) >= count {
+			return out[:count], nil
+		}
+		if meta.sibling.IsNil() {
+			return out, nil
+		}
+		addr = meta.sibling
+	}
+	return nil, fmt.Errorf("core: Scan(%#x): sibling chain too long", start)
+}
+
+// readLeafForScan fetches a whole leaf with full three-level
+// validation: version bytes, plus hopscotch-bitmap reconstruction for
+// every home entry so a mid-flight hop-range write cannot hide a key.
+func (c *Client) readLeafForScan(addr dmsim.GAddr) (*leafImage, leafMeta, error) {
+	lay := c.ix.leaf
+	for try := 0; try < maxRetries; try++ {
+		im, _, metaG, err := c.fetchWholeLeaf(addr)
+		if err != nil {
+			return nil, leafMeta{}, err
+		}
+		consistent := true
+		for home := 0; home < lay.span; home++ {
+			if im.entry(home).hopBM != im.reconstructHopBitmap(home) {
+				consistent = false
+				break
+			}
+		}
+		if !consistent {
+			c.yield()
+			continue
+		}
+		return im, im.meta(metaG), nil
+	}
+	return nil, leafMeta{}, fmt.Errorf("core: scan leaf %v: retries exhausted", addr)
+}

@@ -1,0 +1,451 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"chime/internal/dmsim"
+	"chime/internal/hopscotch"
+)
+
+// This file implements node splits and Sherman-style up-propagation
+// (§4.2.2, §4.4): a leaf that cannot absorb an insert moves its upper
+// half to a newly allocated right sibling; the split key then propagates
+// into the parent chain, splitting internal nodes (and eventually the
+// root) as needed. The new node is always written before the old one, so
+// it only becomes reachable once the old node's sibling pointer commits.
+
+type kvPair struct {
+	key uint64
+	val []byte
+}
+
+// splitLeaf splits a locked, fully fetched leaf. It allocates and writes
+// the new right node, rewrites the old node (moved entries cleared,
+// sibling pointer and fences updated) and releases the lock with the
+// same WRITE. The pending insert key is NOT placed; the caller
+// retraverses and retries, which is guaranteed to land in a half-empty
+// node.
+func (c *Client) splitLeaf(ref leafRef, im *leafImage, meta leafMeta, lw lockWord, pendingKey uint64) error {
+	lay := c.ix.leaf
+
+	// Collect all resident KV pairs.
+	var kvs []kvPair
+	for i := 0; i < lay.span; i++ {
+		if e := im.entry(i); e.occupied {
+			kvs = append(kvs, kvPair{key: e.key, val: append([]byte(nil), e.value...)})
+		}
+	}
+	if len(kvs) < 2 {
+		// A split cannot help a node this empty: the insert failed from
+		// pathological collisions, not from capacity.
+		c.unlockLeaf(ref.addr, lw)
+		return fmt.Errorf("core: leaf %v: hopscotch neighborhood saturated with %d keys (key %#x)",
+			ref.addr, len(kvs), pendingKey)
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].key < kvs[j].key })
+
+	// Try the median first, then move fewer keys if the right node's
+	// hopscotch build fails (vanishingly rare at half load).
+	var rightIm *leafImage
+	var splitKey uint64
+	var splitAt int
+	for splitAt = len(kvs) / 2; splitAt < len(kvs); splitAt++ {
+		splitKey = kvs[splitAt].key
+		var ok bool
+		rightIm, ok = buildLeafImage(lay, kvs[splitAt:])
+		if ok {
+			break
+		}
+	}
+	if rightIm == nil {
+		c.unlockLeaf(ref.addr, lw)
+		return fmt.Errorf("core: leaf %v: could not rebuild right node", ref.addr)
+	}
+
+	rightAddr, err := c.alloc.Alloc(lay.size)
+	if err != nil {
+		c.unlockLeaf(ref.addr, lw)
+		return err
+	}
+	rightIm.setAllMeta(leafMeta{
+		valid:    true,
+		sibling:  meta.sibling,
+		fenceInf: meta.fenceInf,
+		fenceHi:  meta.fenceHi,
+	})
+	copy(rightIm.buf[:8], encodeLockBytes(recomputeLockWord(rightIm)))
+	if err := c.dc.Write(rightAddr, rightIm.buf); err != nil {
+		c.unlockLeaf(ref.addr, lw)
+		return err
+	}
+
+	// Rewrite the old node: clear moved entries and their home-bitmap
+	// bits; this is a node write, so bump NV across the node.
+	moved := map[uint64]bool{}
+	for _, kv := range kvs[splitAt:] {
+		moved[kv.key] = true
+	}
+	for i := 0; i < lay.span; i++ {
+		e := im.entry(i)
+		if !e.occupied || !moved[e.key] {
+			continue
+		}
+		home := lay.homeOf(e.key)
+		hEntry := im.entry(home)
+		d := ((i-home)%lay.span + lay.span) % lay.span
+		hEntry.hopBM &^= 1 << uint(d)
+		im.setEntryNoBump(home, hEntry)
+		e = im.entry(i)
+		e.occupied = false
+		im.setEntryNoBump(i, e)
+	}
+	im.setAllMeta(leafMeta{
+		valid:    true,
+		sibling:  rightAddr,
+		fenceInf: false,
+		fenceHi:  splitKey,
+	})
+	im.bumpAllNV()
+
+	newLW := recomputeLockWord(im)
+	if err := c.dc.Write(ref.addr.Add(lineSize), im.buf[lineSize:]); err != nil {
+		c.unlockLeaf(ref.addr, lw)
+		return err
+	}
+	if err := c.unlockLeaf(ref.addr, newLW); err != nil {
+		return err
+	}
+
+	return c.propagateSplit(ref.path, 0, splitKey, rightAddr)
+}
+
+// buildLeafImage constructs a fresh leaf image holding the given pairs
+// via local hopscotch insertion. It reports ok=false when some key
+// cannot be placed (caller adjusts the split point).
+func buildLeafImage(lay *leafLayout, kvs []kvPair) (*leafImage, bool) {
+	im := newLeafImage(lay)
+	occupied := make([]bool, lay.span)
+	homes := make([]int, lay.span)
+	for _, kv := range kvs {
+		home := lay.homeOf(kv.key)
+		moves, free, err := hopscotch.Plan(lay.span, lay.h, home,
+			func(i int) bool { return occupied[i] },
+			func(i int) int { return homes[i] })
+		if err != nil {
+			return nil, false
+		}
+		for _, m := range moves {
+			e := im.entry(m.From)
+			kHome := lay.homeOf(e.key)
+			tgt := im.entry(m.To)
+			tgt.occupied, tgt.key, tgt.value = true, e.key, e.value
+			im.setEntryNoBump(m.To, tgt)
+			src := im.entry(m.From)
+			src.occupied = false
+			im.setEntryNoBump(m.From, src)
+			hE := im.entry(kHome)
+			dOld := ((m.From-kHome)%lay.span + lay.span) % lay.span
+			dNew := ((m.To-kHome)%lay.span + lay.span) % lay.span
+			hE.hopBM &^= 1 << uint(dOld)
+			hE.hopBM |= 1 << uint(dNew)
+			im.setEntryNoBump(kHome, hE)
+			occupied[m.To], occupied[m.From] = true, false
+			homes[m.To] = homes[m.From]
+		}
+		e := im.entry(free)
+		e.occupied, e.key = true, kv.key
+		e.value = kv.val
+		im.setEntryNoBump(free, e)
+		hE := im.entry(home)
+		d := ((free-home)%lay.span + lay.span) % lay.span
+		hE.hopBM |= 1 << uint(d)
+		im.setEntryNoBump(home, hE)
+		occupied[free] = true
+		homes[free] = home
+	}
+	return im, true
+}
+
+// recomputeLockWord derives the exact vacancy bitmap and argmax from a
+// complete image (used at node writes, where full information exists).
+func recomputeLockWord(im *leafImage) lockWord {
+	lay := im.lay
+	lw := lockWord{}
+	var maxKey uint64
+	for g := 0; g < lay.vacGroups; g++ {
+		lo, hi := groupRange(g, lay.vacPerBit, lay.span)
+		fullG := true
+		for i := lo; i < hi; i++ {
+			e := im.entry(i)
+			if !e.occupied {
+				fullG = false
+			} else if !lw.argmaxValid || e.key > maxKey {
+				maxKey = e.key
+				lw.argmax = i
+				lw.argmaxValid = true
+			}
+		}
+		if fullG {
+			lw.vacancy |= 1 << uint(g)
+		}
+	}
+	return lw
+}
+
+// propagateSplit inserts (splitKey, rightAddr) into the parent level
+// after a split of a node at childLevel, following the paper's Step 1–3.
+func (c *Client) propagateSplit(path []pathEntry, childLevel uint8, splitKey uint64, rightAddr dmsim.GAddr) error {
+	// Find the recorded parent at childLevel+1 (path runs root→level 1).
+	parentLevel := childLevel + 1
+	var parentAddr dmsim.GAddr
+	for _, pe := range path {
+		if pe.level == parentLevel {
+			parentAddr = pe.addr
+			break
+		}
+	}
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		if parentAddr.IsNil() {
+			// Either the split node was the root, or the tree grew while
+			// we worked. Re-check the root.
+			if err := c.refreshRoot(); err != nil {
+				return err
+			}
+			if c.rootLevel == childLevel {
+				// Step 3: allocate a new root.
+				done, err := c.growRoot(childLevel, splitKey, rightAddr)
+				if err != nil {
+					return err
+				}
+				if done {
+					return nil
+				}
+				continue // lost the root race; find the new parent
+			}
+			addr, err := c.findParentAt(parentLevel, splitKey)
+			if err != nil {
+				return err
+			}
+			parentAddr = addr
+		}
+
+		done, retryAddr, err := c.insertIntoParent(parentAddr, parentLevel, splitKey, rightAddr, path)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		parentAddr = retryAddr // nil forces a re-find
+		c.yield()
+	}
+	return fmt.Errorf("core: propagateSplit(%#x): retries exhausted", splitKey)
+}
+
+// growRoot performs Step 3: allocate a new root pointing at the old root
+// and the new right node, then CAS the super block. Reports done=false
+// when another client won the race.
+func (c *Client) growRoot(oldLevel uint8, splitKey uint64, rightAddr dmsim.GAddr) (bool, error) {
+	oldRoot, curLevel := c.rootAddr, c.rootLevel
+	if curLevel != oldLevel {
+		return false, nil
+	}
+	newRoot, err := c.dc.AllocRPC(0, c.ix.inner.size) // roots live on MN 0
+	if err != nil {
+		return false, err
+	}
+	n := &internalNode{
+		addr:     newRoot,
+		level:    oldLevel + 1,
+		valid:    true,
+		fenceInf: true,
+		leftmost: oldRoot,
+		entries:  []pivotEntry{{pivot: splitKey, child: rightAddr}},
+	}
+	if err := c.dc.Write(newRoot, c.ix.inner.encodeInternal(n, nil)); err != nil {
+		return false, err
+	}
+	prev, ok, err := c.dc.CAS(c.ix.super, packSuper(oldRoot, oldLevel), packSuper(newRoot, oldLevel+1))
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		c.rootAddr, c.rootLevel = unpackSuper(prev)
+		return false, nil
+	}
+	c.rootAddr, c.rootLevel = newRoot, oldLevel+1
+	return true, nil
+}
+
+// lockNode acquires an internal node's plain lock bit.
+func (c *Client) lockNode(addr dmsim.GAddr) error {
+	for try := 0; try < maxRetries; try++ {
+		_, ok, err := c.dc.MaskedCAS(addr, 0, lockBit, lockBit, lockBit)
+		if err != nil {
+			return err
+		}
+		if ok {
+			c.resetBackoff()
+			return nil
+		}
+		c.yield()
+	}
+	return fmt.Errorf("core: internal node %v: lock starved", addr)
+}
+
+func (c *Client) unlockNode(addr dmsim.GAddr) error {
+	return c.dc.Write(addr, encodeLockBytes(lockWord{}))
+}
+
+// insertIntoParent is Step 2: lock the candidate parent, validate that
+// it still covers the split key (chasing B-link siblings otherwise),
+// insert the routing entry, and split the parent when full. Returns
+// done=false with a new candidate address (or nil to re-find) when the
+// parent moved.
+func (c *Client) insertIntoParent(addr dmsim.GAddr, level uint8, splitKey uint64, rightAddr dmsim.GAddr, path []pathEntry) (bool, dmsim.GAddr, error) {
+	for hops := 0; hops <= maxRetries; hops++ {
+		if err := c.lockNode(addr); err != nil {
+			return false, dmsim.NilGAddr, err
+		}
+		n, img, err := c.readInternal(addr)
+		if err != nil {
+			c.unlockNode(addr)
+			return false, dmsim.NilGAddr, err
+		}
+		if !n.valid || n.level != level {
+			c.unlockNode(addr)
+			return false, dmsim.NilGAddr, nil // stale: re-find the parent
+		}
+		if !n.covers(splitKey) {
+			sib := n.sibling
+			c.unlockNode(addr)
+			if !n.fenceInf && splitKey >= n.fenceHi && !sib.IsNil() {
+				addr = sib
+				continue
+			}
+			return false, dmsim.NilGAddr, nil
+		}
+
+		if n.insertEntry(c.ix.inner.span, pivotEntry{pivot: splitKey, child: rightAddr}) {
+			img = c.ix.inner.encodeInternal(n, img)
+			if err := c.writeInternalAndUnlock(addr, img); err != nil {
+				return false, dmsim.NilGAddr, err
+			}
+			c.cn.cache.put(addr, n, int64(c.ix.inner.size))
+			return true, dmsim.NilGAddr, nil
+		}
+
+		// Parent full: split it, then recurse upward.
+		if err := c.splitInternal(n, img, splitKey, rightAddr, path); err != nil {
+			return false, dmsim.NilGAddr, err
+		}
+		return true, dmsim.NilGAddr, nil
+	}
+	return false, dmsim.NilGAddr, fmt.Errorf("core: insertIntoParent(%#x): sibling chain too long", splitKey)
+}
+
+// writeInternalAndUnlock writes a full internal image and clears the
+// lock word in one doorbell batch.
+func (c *Client) writeInternalAndUnlock(addr dmsim.GAddr, img []byte) error {
+	return c.dc.WriteBatch(
+		[]dmsim.GAddr{addr.Add(lineSize), addr},
+		[][]byte{img[lineSize:], encodeLockBytes(lockWord{})},
+	)
+}
+
+// splitInternal splits a locked internal node n that is full, first
+// logically adding (splitKey→rightAddr). The median pivot moves up.
+func (c *Client) splitInternal(n *internalNode, prevImg []byte, splitKey uint64, rightAddr dmsim.GAddr, path []pathEntry) error {
+	// Insert into the (local) decoded node beyond capacity, then split.
+	i := sort.Search(len(n.entries), func(i int) bool { return n.entries[i].pivot >= splitKey })
+	n.entries = append(n.entries, pivotEntry{})
+	copy(n.entries[i+1:], n.entries[i:])
+	n.entries[i] = pivotEntry{pivot: splitKey, child: rightAddr}
+
+	mid := len(n.entries) / 2
+	midKey := n.entries[mid].pivot
+
+	newAddr, err := c.alloc.Alloc(c.ix.inner.size)
+	if err != nil {
+		c.unlockNode(n.addr)
+		return err
+	}
+	right := &internalNode{
+		addr:     newAddr,
+		level:    n.level,
+		valid:    true,
+		fenceLow: midKey,
+		fenceInf: n.fenceInf,
+		fenceHi:  n.fenceHi,
+		sibling:  n.sibling,
+		leftmost: n.entries[mid].child,
+		entries:  append([]pivotEntry(nil), n.entries[mid+1:]...),
+	}
+	if err := c.dc.Write(newAddr, c.ix.inner.encodeInternal(right, nil)); err != nil {
+		c.unlockNode(n.addr)
+		return err
+	}
+
+	n.entries = n.entries[:mid]
+	n.fenceInf = false
+	n.fenceHi = midKey
+	n.sibling = newAddr
+	img := c.ix.inner.encodeInternal(n, prevImg)
+	if err := c.writeInternalAndUnlock(n.addr, img); err != nil {
+		return err
+	}
+	c.cn.cache.put(n.addr, n, int64(c.ix.inner.size))
+
+	return c.propagateSplit(path, n.level, midKey, newAddr)
+}
+
+// findParentAt traverses from the root (remote reads, no cache — the
+// cache may be what went stale) to the node at the given level covering
+// key.
+func (c *Client) findParentAt(level uint8, key uint64) (dmsim.GAddr, error) {
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		if err := c.refreshRoot(); err != nil {
+			return dmsim.NilGAddr, err
+		}
+		if c.rootLevel < level {
+			c.yield()
+			continue
+		}
+		cur := c.rootAddr
+		ok := true
+		for ok {
+			n, _, err := c.readInternal(cur)
+			if err != nil {
+				return dmsim.NilGAddr, err
+			}
+			if !n.valid {
+				ok = false
+				break
+			}
+			if !n.covers(key) {
+				if !n.fenceInf && key >= n.fenceHi && !n.sibling.IsNil() {
+					cur = n.sibling
+					continue
+				}
+				ok = false
+				break
+			}
+			if n.level == level {
+				return cur, nil
+			}
+			if n.level < level {
+				ok = false
+				break
+			}
+			child, _, _ := n.childFor(key)
+			if child.IsNil() {
+				ok = false
+				break
+			}
+			cur = child
+		}
+		c.yield()
+	}
+	return dmsim.NilGAddr, fmt.Errorf("core: findParentAt(level %d, %#x): retries exhausted", level, key)
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"chime/internal/dmsim"
+	"chime/internal/ycsb"
+)
+
+// TestCrossCNStaleCache exercises the sibling-based cache validation
+// (§4.2.3 rule 1) across compute nodes: CN2 splits leaves behind CN1's
+// cached parents; CN1's reads must detect the mismatch between the
+// leaf's sibling pointer and the cached parent's next-child pointer,
+// invalidate, and retry successfully.
+func TestCrossCNStaleCache(t *testing.T) {
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 512 << 20
+	ix, err := Bootstrap(dmsim.MustNewFabric(cfg), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn1 := ix.NewComputeNode(64<<20, 1<<20)
+	cn2 := ix.NewComputeNode(64<<20, 0)
+	cl1, cl2 := cn1.NewClient(), cn2.NewClient()
+
+	const phase1 = 800
+	for i := uint64(0); i < phase1; i++ {
+		if err := cl1.Insert(ycsb.KeyOf(i), val8(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < phase1; i++ { // warm CN1
+		if _, err := cl1.Search(ycsb.KeyOf(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := cn1.CacheStats()
+
+	const phase2 = 5000
+	for i := uint64(phase1); i < phase2; i++ {
+		if err := cl2.Insert(ycsb.KeyOf(i), val8(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := uint64(0); i < phase2; i += 7 {
+		got, err := cl1.Search(ycsb.KeyOf(i))
+		if err != nil || binary.LittleEndian.Uint64(got) != i {
+			t.Fatalf("stale-cache search %d: %v %v", i, got, err)
+		}
+	}
+	after := cn1.CacheStats()
+	if after.Invalidations == before.Invalidations {
+		t.Fatal("expected cache invalidations from sibling-based validation")
+	}
+
+	// Writes through the stale cache must land too.
+	for i := uint64(0); i < phase2; i += 113 {
+		if err := cl1.Update(ycsb.KeyOf(i), val8(i^0xF)); err != nil {
+			t.Fatalf("stale update %d: %v", i, err)
+		}
+		if err := cl1.Insert(ycsb.KeyOf(uint64(phase2)+i), val8(i)); err != nil {
+			t.Fatalf("stale insert %d: %v", i, err)
+		}
+	}
+	// Scans via the stale CN.
+	out, err := cl1.Scan(0, 200)
+	if err != nil || len(out) != 200 {
+		t.Fatalf("stale scan: %d %v", len(out), err)
+	}
+}
+
+// TestHotspotStaleAfterCrossCNUpdate: CN1's hotspot buffer records an
+// entry location; CN2 moves the key (delete + reinsert elsewhere) and
+// the speculative read must miss cleanly, fall back, and repair.
+func TestHotspotStaleAfterCrossCNUpdate(t *testing.T) {
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 256 << 20
+	ix, err := Bootstrap(dmsim.MustNewFabric(cfg), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn1 := ix.NewComputeNode(32<<20, 1<<20)
+	cn2 := ix.NewComputeNode(32<<20, 0)
+	cl1, cl2 := cn1.NewClient(), cn2.NewClient()
+
+	for i := uint64(0); i < 300; i++ {
+		if err := cl1.Insert(ycsb.KeyOf(i), val8(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hot := ycsb.KeyOf(42)
+	for i := 0; i < 30; i++ { // make it a hotspot on CN1
+		if _, err := cl1.Search(hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// CN2 rewrites the key's value out from under CN1's buffer.
+	if err := cl2.Update(hot, val8(999)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl1.Search(hot)
+	if err != nil || binary.LittleEndian.Uint64(got) != 999 {
+		t.Fatalf("speculative read returned stale cross-CN value: %v %v", got, err)
+	}
+	// CN2 deletes it; CN1 must see the absence despite its hotspot.
+	if err := cl2.Delete(hot); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl1.Search(hot); err == nil {
+		t.Fatal("deleted key still visible through hotspot buffer")
+	}
+}

@@ -1,0 +1,532 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"chime/internal/dmsim"
+	"chime/internal/locktable"
+)
+
+// Index is one CHIME tree living in the memory pool. It is cheap to
+// share: it holds only the fabric handle, options, derived layouts and
+// the address of the super block (root pointer). Create per-CN state
+// with NewComputeNode and per-client handles with ComputeNode.NewClient.
+type Index struct {
+	fabric *dmsim.Fabric
+	opts   Options
+	leaf   *leafLayout
+	inner  *internalLayout
+	super  dmsim.GAddr
+}
+
+// ErrNotFound reports that a key is absent from the tree.
+var ErrNotFound = errors.New("core: key not found")
+
+// errRestart is an internal signal: the current attempt observed a
+// structural change (stale cache, half-split, deleted node) and the
+// operation must retraverse.
+var errRestart = errors.New("core: restart traversal")
+
+// maxRetries bounds optimistic retry loops; exceeding it indicates a
+// livelock-grade problem and surfaces as an error rather than a hang.
+const maxRetries = 100000
+
+// localWorkNs is the CN-side compute charged per tree operation step
+// (hashing, local search) on the virtual clock.
+const localWorkNs = 150
+
+// Bootstrap creates a fresh tree on the fabric: a super block holding
+// the root pointer and one empty leaf as the root.
+func Bootstrap(f *dmsim.Fabric, opts Options) (*Index, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		fabric: f,
+		opts:   opts,
+		leaf:   newLeafLayout(opts),
+		inner:  newInternalLayout(opts),
+	}
+	boot := f.NewClient()
+
+	super, err := boot.AllocRPC(0, 8)
+	if err != nil {
+		return nil, fmt.Errorf("core: bootstrap super block: %w", err)
+	}
+	ix.super = super
+
+	leafAddr, err := boot.AllocRPC(0, ix.leaf.size)
+	if err != nil {
+		return nil, fmt.Errorf("core: bootstrap root leaf: %w", err)
+	}
+	im := newLeafImage(ix.leaf)
+	im.setAllMeta(leafMeta{valid: true, fenceInf: true})
+	if err := boot.Write(leafAddr, im.buf); err != nil {
+		return nil, err
+	}
+	if err := ix.writeSuper(boot, leafAddr, 0); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Options returns the tree's configuration.
+func (ix *Index) Options() Options { return ix.opts }
+
+// LeafNodeSize returns the encoded size of one leaf node in bytes.
+func (ix *Index) LeafNodeSize() int { return ix.leaf.size }
+
+// InternalNodeSize returns the encoded size of one internal node.
+func (ix *Index) InternalNodeSize() int { return ix.inner.size }
+
+// The super block is a single CAS-able word: level in the top byte, the
+// root node's MN-0 offset in the low 56 bits. Root nodes are always
+// allocated on MN 0 so the whole root identity fits one atomic word.
+func packSuper(addr dmsim.GAddr, level uint8) uint64 {
+	return uint64(level)<<56 | (addr.Off & ((1 << 56) - 1))
+}
+
+func unpackSuper(w uint64) (dmsim.GAddr, uint8) {
+	return dmsim.GAddr{MN: 0, Off: w & ((1 << 56) - 1)}, uint8(w >> 56)
+}
+
+func (ix *Index) writeSuper(c *dmsim.Client, root dmsim.GAddr, level uint8) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], packSuper(root, level))
+	return c.Write(ix.super, b[:])
+}
+
+// ComputeNode models one compute node: the internal-node cache and the
+// hotspot buffer shared by all of its clients (§2.2, §4.3).
+type ComputeNode struct {
+	ix      *Index
+	cache   *nodeCache
+	hotspot *hotspotBuffer
+	locks   *locktable.Table
+}
+
+// NewComputeNode creates CN-shared state with the given byte budgets for
+// the internal-node cache and the hotspot buffer. A zero hotspot budget,
+// or Options.SpeculativeRead=false, disables speculative reads.
+func (ix *Index) NewComputeNode(cacheBytes, hotspotBytes int64) *ComputeNode {
+	if !ix.opts.SpeculativeRead {
+		hotspotBytes = 0
+	}
+	return &ComputeNode{
+		ix:      ix,
+		cache:   newNodeCache(cacheBytes),
+		hotspot: newHotspotBuffer(hotspotBytes),
+		locks:   locktable.New(),
+	}
+}
+
+// LockTableStats reports local-lock acquisitions and handovers.
+func (cn *ComputeNode) LockTableStats() (acquires, handovers int64) {
+	return cn.locks.Stats()
+}
+
+// CacheStats reports the CN's internal-node cache counters.
+func (cn *ComputeNode) CacheStats() CacheStats { return cn.cache.stats() }
+
+// HotspotStats reports the CN's hotspot-buffer counters.
+func (cn *ComputeNode) HotspotStats() HotspotStats { return cn.hotspot.stats() }
+
+// Client is one client (CPU core / coroutine) on a compute node. Not
+// safe for concurrent use: each simulated client owns one goroutine.
+type Client struct {
+	cn    *ComputeNode
+	ix    *Index
+	dc    *dmsim.Client
+	alloc *dmsim.ChunkAllocator
+
+	rootAddr  dmsim.GAddr
+	rootLevel uint8
+
+	backoff int64
+}
+
+// NewClient creates a client handle bound to this compute node.
+func (cn *ComputeNode) NewClient() *Client {
+	dc := cn.ix.fabric.NewClient()
+	return &Client{
+		cn:    cn,
+		ix:    cn.ix,
+		dc:    dc,
+		alloc: dmsim.NewChunkAllocator(dc, int(dc.ID())%cn.ix.fabric.MNs()),
+	}
+}
+
+// DM returns the underlying fabric client (virtual clock and traffic
+// stats), used by the benchmark harness.
+func (c *Client) DM() *dmsim.Client { return c.dc }
+
+// yield backs off after an optimistic conflict: a little virtual time
+// plus a scheduler yield so the conflicting writer can finish in real
+// time too.
+func (c *Client) yield() {
+	if c.backoff < 64 {
+		c.backoff = 64
+	} else if c.backoff < 8192 {
+		c.backoff *= 2
+	}
+	c.dc.Advance(c.backoff)
+	runtime.Gosched()
+}
+
+func (c *Client) resetBackoff() { c.backoff = 0 }
+
+// refreshRoot re-reads the super block.
+func (c *Client) refreshRoot() error {
+	var b [8]byte
+	if err := c.dc.Read(c.ix.super, b[:]); err != nil {
+		return err
+	}
+	c.rootAddr, c.rootLevel = unpackSuper(binary.LittleEndian.Uint64(b[:]))
+	return nil
+}
+
+// readInternal fetches and validates an internal node, retrying torn
+// reads. It does not consult the cache. The raw image is returned
+// alongside the decoded node so that a subsequent node write can bump
+// the node-level versions relative to the fetched state.
+func (c *Client) readInternal(addr dmsim.GAddr) (*internalNode, []byte, error) {
+	img := make([]byte, c.ix.inner.size)
+	for try := 0; try < maxRetries; try++ {
+		if err := c.dc.Read(addr, img); err != nil {
+			return nil, nil, err
+		}
+		if err := c.ix.inner.checkInternalImage(img); err != nil {
+			c.yield()
+			continue
+		}
+		c.resetBackoff()
+		return c.ix.inner.decodeInternal(addr, img), img, nil
+	}
+	return nil, nil, fmt.Errorf("core: internal node %v: torn-read retries exhausted", addr)
+}
+
+// pathEntry records one internal node visited during traversal, for
+// split up-propagation.
+type pathEntry struct {
+	addr  dmsim.GAddr
+	level uint8
+}
+
+// leafRef identifies the leaf a traversal reached plus the context
+// needed for sibling-based validation (§4.2.3).
+type leafRef struct {
+	addr dmsim.GAddr
+
+	// expected is the "next child pointer" from the parent: what the
+	// leaf's sibling pointer should equal. Unknown (expectedKnown
+	// false) when the leaf is its parent's last child or was reached
+	// by sibling chase.
+	expected      dmsim.GAddr
+	expectedKnown bool
+
+	// parentAddr/fromCache drive cache invalidation on mismatch.
+	parentAddr      dmsim.GAddr
+	parentFromCache bool
+
+	path []pathEntry
+}
+
+// traverse walks internal nodes (cache first, remote on miss) down to
+// the leaf covering key.
+func (c *Client) traverse(key uint64) (leafRef, error) {
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		if c.rootAddr.IsNil() {
+			if err := c.refreshRoot(); err != nil {
+				return leafRef{}, err
+			}
+		}
+		ref, err := c.traverseFrom(c.rootAddr, c.rootLevel, key)
+		if err == errRestart {
+			c.rootAddr = dmsim.NilGAddr // force a super-block re-read
+			c.yield()
+			continue
+		}
+		if err == nil {
+			c.resetBackoff()
+		}
+		return ref, err
+	}
+	return leafRef{}, fmt.Errorf("core: traverse(%#x): restart loop exhausted", key)
+}
+
+func (c *Client) traverseFrom(root dmsim.GAddr, rootLevel uint8, key uint64) (leafRef, error) {
+	c.dc.Advance(localWorkNs)
+	if rootLevel == 0 {
+		// The root is a leaf.
+		return leafRef{addr: root}, nil
+	}
+	cur := root
+	var path []pathEntry
+	for hop := 0; hop < maxRetries; hop++ {
+		fromCache := true
+		n := c.cn.cache.get(cur)
+		if n == nil {
+			fromCache = false
+			fresh, _, err := c.readInternal(cur)
+			if err != nil {
+				return leafRef{}, err
+			}
+			if !fresh.valid {
+				return leafRef{}, errRestart
+			}
+			c.cn.cache.put(cur, fresh, int64(c.ix.inner.size))
+			n = fresh
+		}
+		if !n.covers(key) {
+			if fromCache {
+				// Stale cached node: drop it and retry this address
+				// remotely.
+				c.cn.cache.invalidate(cur)
+				continue
+			}
+			if !n.fenceInf && key >= n.fenceHi && !n.sibling.IsNil() {
+				// Half-split at this level: chase the B-link sibling.
+				cur = n.sibling
+				continue
+			}
+			return leafRef{}, errRestart
+		}
+		path = append(path, pathEntry{addr: cur, level: n.level})
+		child, _, next := n.childFor(key)
+		if child.IsNil() {
+			if fromCache {
+				c.cn.cache.invalidate(cur)
+				continue
+			}
+			return leafRef{}, errRestart
+		}
+		if n.level == 1 {
+			return leafRef{
+				addr:            child,
+				expected:        next,
+				expectedKnown:   !next.IsNil(),
+				parentAddr:      cur,
+				parentFromCache: fromCache,
+				path:            path,
+			}, nil
+		}
+		cur = child
+	}
+	return leafRef{}, fmt.Errorf("core: traverseFrom(%#x): descent loop exhausted", key)
+}
+
+// fetchLeafWindow reads entries [home, home+count) of a leaf (circular),
+// including a metadata replica, into a fresh image, validating versions
+// and returning the covered entry indexes and the replica group. When
+// the ReplicateMeta ablation is off, the replica is fetched with a
+// dedicated extra READ, as §3.2.2 describes.
+func (c *Client) fetchLeafWindow(leaf dmsim.GAddr, home, count int) (*leafImage, []int, int, error) {
+	lay := c.ix.leaf
+	im := newLeafImage(lay)
+	segs, idxs := lay.neighborhoodSegments(home, count, c.ix.opts.ReplicateMeta)
+
+	for try := 0; try < maxRetries; try++ {
+		var err error
+		if len(segs) == 1 {
+			err = c.dc.Read(leaf.Add(uint64(segs[0].Off)), im.buf[segs[0].Off:segs[0].End])
+		} else {
+			addrs := make([]dmsim.GAddr, len(segs))
+			bufs := make([][]byte, len(segs))
+			for i, s := range segs {
+				addrs[i] = leaf.Add(uint64(s.Off))
+				bufs[i] = im.buf[s.Off:s.End]
+			}
+			err = c.dc.ReadBatch(addrs, bufs)
+		}
+		if err != nil {
+			return nil, nil, 0, err
+		}
+
+		ranges := segs
+		metaG := lay.metaInRanges(ranges)
+		if !c.ix.opts.ReplicateMeta || metaG < 0 {
+			// Dedicated metadata READ (the "+Leaf Meta" ablation): fetch
+			// replica 0 separately, costing one extra round trip.
+			rc := lay.replicaCells[0]
+			if err := c.dc.Read(leaf.Add(uint64(rc.Off)), im.buf[rc.Off:rc.End()]); err != nil {
+				return nil, nil, 0, err
+			}
+			metaG = 0
+			ranges = append(append([]byteRange{}, segs...), byteRange{Off: rc.Off, End: rc.End()})
+		}
+
+		if err := checkVersions(im.buf, 0, lay.coveredCells(ranges)); err != nil {
+			c.yield()
+			continue
+		}
+		c.resetBackoff()
+		return im, idxs, metaG, nil
+	}
+	return nil, nil, 0, fmt.Errorf("core: leaf %v: torn-read retries exhausted", leaf)
+}
+
+// validateLeafMeta applies sibling-based validation to a fetched leaf
+// window. Returns errRestart for stale caches and deleted nodes; reports
+// followSibling=true when the reader should continue into the sibling
+// (possible half-split).
+func (c *Client) validateLeafMeta(ref *leafRef, meta leafMeta, key uint64, found bool) (followSibling bool, err error) {
+	if !meta.valid {
+		return false, errRestart
+	}
+	mismatch := ref.expectedKnown && meta.sibling != ref.expected
+	if mismatch && ref.parentFromCache {
+		// Cache validation (§4.2.3 rule 1): the cached parent predates a
+		// split; invalidate and retry the whole search.
+		c.cn.cache.invalidate(ref.parentAddr)
+		return false, errRestart
+	}
+	if found {
+		return false, nil
+	}
+	// Half-split validation (§4.2.3 rule 2): key absent, sibling pointer
+	// mismatched (or unknown with the key beyond the fence) — the key may
+	// have moved right.
+	if mismatch {
+		return true, nil
+	}
+	if !ref.expectedKnown && !meta.fenceInf && key >= meta.fenceHi && !meta.sibling.IsNil() {
+		return true, nil
+	}
+	return false, nil
+}
+
+// Search performs a point query (§4.4). It returns ErrNotFound when the
+// key is absent.
+func (c *Client) Search(key uint64) ([]byte, error) {
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		ref, err := c.traverse(key)
+		if err != nil {
+			return nil, err
+		}
+		val, err := c.searchLeafChain(ref, key)
+		if err == errRestart {
+			c.rootAddr = dmsim.NilGAddr // a split root-leaf invalidates it
+			c.yield()
+			continue
+		}
+		return val, err
+	}
+	return nil, fmt.Errorf("core: Search(%#x): retries exhausted", key)
+}
+
+// searchLeafChain searches the leaf ref points at, following sibling
+// pointers across half-splits.
+func (c *Client) searchLeafChain(ref leafRef, key uint64) ([]byte, error) {
+	lay := c.ix.leaf
+	home := lay.homeOf(key)
+	cur := ref
+	for hops := 0; hops <= maxRetries; hops++ {
+		// Hotness-aware speculative read (§4.3): try the single hot
+		// entry first.
+		if idx := c.cn.hotspot.lookup(cur.addr, key, home, lay.h, lay.span); idx >= 0 {
+			val, ok, err := c.speculativeRead(cur.addr, idx, key)
+			if err != nil {
+				return nil, err
+			}
+			c.cn.hotspot.noteSpeculation(ok)
+			if ok {
+				return val, nil
+			}
+			c.cn.hotspot.drop(cur.addr, idx)
+		}
+
+		im, idxs, metaG, err := c.fetchLeafWindow(cur.addr, home, lay.h)
+		if err != nil {
+			return nil, err
+		}
+
+		// Third synchronization level (§4.1.2): the stored hopscotch
+		// bitmap of the home entry must match the bitmap reconstructed
+		// from the keys actually fetched; a mismatch means a concurrent
+		// hop-range write was caught mid-flight.
+		homeEntry := im.entry(home)
+		if homeEntry.hopBM != im.reconstructHopBitmap(home) {
+			return nil, errRestart
+		}
+
+		foundIdx := -1
+		var foundVal []byte
+		for d := 0; d < lay.h; d++ {
+			if homeEntry.hopBM&(1<<uint(d)) == 0 {
+				continue
+			}
+			e := im.entry(idxs[d])
+			if e.occupied && e.key == key {
+				foundIdx = idxs[d]
+				foundVal = e.value
+				break
+			}
+		}
+
+		meta := im.meta(metaG)
+		follow, err := c.validateLeafMeta(&cur, meta, key, foundIdx >= 0)
+		if err != nil {
+			return nil, err
+		}
+		if foundIdx >= 0 {
+			c.cn.hotspot.record(cur.addr, foundIdx, key)
+			if c.ix.opts.Indirect {
+				return c.readIndirect(foundVal, key)
+			}
+			return append([]byte(nil), foundVal...), nil
+		}
+		if follow {
+			cur = leafRef{addr: meta.sibling}
+			continue
+		}
+		return nil, ErrNotFound
+	}
+	return nil, fmt.Errorf("core: Search(%#x): sibling chain too long", key)
+}
+
+// speculativeRead fetches one entry cell and reports whether it held the
+// key with consistent versions.
+func (c *Client) speculativeRead(leaf dmsim.GAddr, idx int, key uint64) ([]byte, bool, error) {
+	lay := c.ix.leaf
+	cellC := lay.entryCells[idx]
+	im := newLeafImage(lay)
+	if err := c.dc.Read(leaf.Add(uint64(cellC.Off)), im.buf[cellC.Off:cellC.End()]); err != nil {
+		return nil, false, err
+	}
+	if err := checkVersions(im.buf, 0, []cell{cellC}); err != nil {
+		return nil, false, nil // torn: treat as misspeculation
+	}
+	e := im.entry(idx)
+	if !e.occupied || e.key != key {
+		return nil, false, nil
+	}
+	if c.ix.opts.Indirect {
+		val, err := c.readIndirect(e.value, key)
+		if err == errRestart {
+			return nil, false, nil
+		}
+		return val, err == nil, err
+	}
+	return append([]byte(nil), e.value...), true, nil
+}
+
+// readIndirect follows a leaf entry's block pointer and returns the
+// value stored in the KV block (§4.5). The block holds [8B key][value];
+// a key mismatch means the entry was concurrently re-pointed.
+func (c *Client) readIndirect(ptrBytes []byte, key uint64) ([]byte, error) {
+	ptr := dmsim.UnpackGAddr(binary.LittleEndian.Uint64(ptrBytes[:8]))
+	if ptr.IsNil() {
+		return nil, errRestart
+	}
+	buf := make([]byte, 8+c.ix.opts.ValueSize)
+	if err := c.dc.Read(ptr, buf); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(buf[:8]) != key {
+		return nil, errRestart
+	}
+	return buf[8:], nil
+}

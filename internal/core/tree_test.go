@@ -1,0 +1,720 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"chime/internal/dmsim"
+	"chime/internal/ycsb"
+)
+
+func testFabric(t *testing.T) *dmsim.Fabric {
+	t.Helper()
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 512 << 20
+	return dmsim.MustNewFabric(cfg)
+}
+
+func newTestTree(t *testing.T, opts Options) (*Index, *Client) {
+	t.Helper()
+	ix, err := Bootstrap(testFabric(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := ix.NewComputeNode(64<<20, 1<<20)
+	return ix, cn.NewClient()
+}
+
+func val8(x uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, x)
+	return b
+}
+
+func TestBootstrapEmptySearch(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	if _, err := cl.Search(42); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("search on empty tree: %v, want ErrNotFound", err)
+	}
+}
+
+func TestInsertSearchSingle(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	if err := cl.Insert(42, val8(4242)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Search(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint64(got) != 4242 {
+		t.Fatalf("value = %v", got)
+	}
+	if _, err := cl.Search(43); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("absent key: %v", err)
+	}
+}
+
+func TestInsertUpsert(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	if err := cl.Insert(7, val8(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Insert(7, val8(2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Search(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint64(got) != 2 {
+		t.Fatalf("upsert result = %v", got)
+	}
+}
+
+func TestFillSingleLeaf(t *testing.T) {
+	// Stay below one leaf's capacity: no splits involved.
+	_, cl := newTestTree(t, DefaultOptions())
+	r := rand.New(rand.NewSource(1))
+	want := map[uint64]uint64{}
+	for len(want) < 30 {
+		k := r.Uint64()
+		if err := cl.Insert(k, val8(k^0xFF)); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = k ^ 0xFF
+	}
+	for k, v := range want {
+		got, err := cl.Search(k)
+		if err != nil {
+			t.Fatalf("Search(%#x): %v", k, err)
+		}
+		if binary.LittleEndian.Uint64(got) != v {
+			t.Fatalf("Search(%#x) = %d, want %d", k, binary.LittleEndian.Uint64(got), v)
+		}
+	}
+}
+
+func TestInsertWithSplits(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	const n = 5000 // forces multiple levels of splits at span 64
+	for i := uint64(0); i < n; i++ {
+		k := ycsb.KeyOf(i)
+		if err := cl.Insert(k, val8(i)); err != nil {
+			t.Fatalf("insert %d (%#x): %v", i, k, err)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		k := ycsb.KeyOf(i)
+		got, err := cl.Search(k)
+		if err != nil {
+			t.Fatalf("search %d (%#x): %v", i, k, err)
+		}
+		if binary.LittleEndian.Uint64(got) != i {
+			t.Fatalf("search %d = %d", i, binary.LittleEndian.Uint64(got))
+		}
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	for i := uint64(0); i < 500; i++ {
+		if err := cl.Insert(ycsb.KeyOf(i), val8(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Update half.
+	for i := uint64(0); i < 500; i += 2 {
+		if err := cl.Update(ycsb.KeyOf(i), val8(i+10000)); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	// Delete a quarter.
+	for i := uint64(1); i < 500; i += 4 {
+		if err := cl.Delete(ycsb.KeyOf(i)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	for i := uint64(0); i < 500; i++ {
+		got, err := cl.Search(ycsb.KeyOf(i))
+		switch {
+		case i%4 == 1:
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("deleted key %d: %v", i, err)
+			}
+		case i%2 == 0:
+			if err != nil || binary.LittleEndian.Uint64(got) != i+10000 {
+				t.Fatalf("updated key %d: %v %v", i, got, err)
+			}
+		default:
+			if err != nil || binary.LittleEndian.Uint64(got) != i {
+				t.Fatalf("untouched key %d: %v %v", i, got, err)
+			}
+		}
+	}
+}
+
+func TestUpdateMissing(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	if err := cl.Update(99, val8(1)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("update missing: %v", err)
+	}
+	if err := cl.Delete(99); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete missing: %v", err)
+	}
+}
+
+func TestDeleteThenReinsert(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	if err := cl.Insert(5, val8(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Insert(5, val8(2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Search(5)
+	if err != nil || binary.LittleEndian.Uint64(got) != 2 {
+		t.Fatalf("reinserted: %v %v", got, err)
+	}
+}
+
+func TestScanOrderedAcrossLeaves(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	const n = 2000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = ycsb.KeyOf(uint64(i))
+		if err := cl.Insert(keys[i], val8(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := cl.Scan(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 100 {
+		t.Fatalf("scan returned %d items", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Key >= out[i].Key {
+			t.Fatal("scan results not sorted")
+		}
+	}
+	// Scan starting mid-range must begin at the right key.
+	mid := out[50].Key
+	out2, err := cl.Scan(mid, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2[0].Key != mid {
+		t.Fatalf("scan from %#x starts at %#x", mid, out2[0].Key)
+	}
+	// Scanning past the end returns what exists.
+	outAll, err := cl.Scan(0, n+500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outAll) != n {
+		t.Fatalf("full scan returned %d of %d", len(outAll), n)
+	}
+	if got, _ := cl.Scan(5, 0); got != nil {
+		t.Fatal("count=0 scan must return nil")
+	}
+}
+
+func TestSmallSpanWrapAround(t *testing.T) {
+	// Small spans make wrap-around neighborhoods common (§4.4's corner
+	// case and the Figure 18e note).
+	o := DefaultOptions()
+	o.SpanSize = 8
+	o.Neighborhood = 4
+	_, cl := newTestTree(t, o)
+	for i := uint64(0); i < 1000; i++ {
+		if err := cl.Insert(ycsb.KeyOf(i), val8(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i := uint64(0); i < 1000; i++ {
+		got, err := cl.Search(ycsb.KeyOf(i))
+		if err != nil || binary.LittleEndian.Uint64(got) != i {
+			t.Fatalf("search %d: %v %v", i, got, err)
+		}
+	}
+}
+
+func TestLargeSpanVacancyGrouping(t *testing.T) {
+	// Span 128 > 48 vacancy bits: each bit covers several entries.
+	o := DefaultOptions()
+	o.SpanSize = 128
+	o.Neighborhood = 8
+	_, cl := newTestTree(t, o)
+	for i := uint64(0); i < 2000; i++ {
+		if err := cl.Insert(ycsb.KeyOf(i), val8(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i := uint64(0); i < 2000; i++ {
+		if _, err := cl.Search(ycsb.KeyOf(i)); err != nil {
+			t.Fatalf("search %d: %v", i, err)
+		}
+	}
+}
+
+func TestAblationConfigs(t *testing.T) {
+	// Every Figure 15 ablation must remain correct, just slower.
+	configs := map[string]func(*Options){
+		"no-piggyback":   func(o *Options) { o.PiggybackVacancy = false },
+		"no-replication": func(o *Options) { o.ReplicateMeta = false },
+		"no-speculation": func(o *Options) { o.SpeculativeRead = false },
+	}
+	for name, mutate := range configs {
+		t.Run(name, func(t *testing.T) {
+			o := DefaultOptions()
+			mutate(&o)
+			_, cl := newTestTree(t, o)
+			for i := uint64(0); i < 800; i++ {
+				if err := cl.Insert(ycsb.KeyOf(i), val8(i)); err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+			}
+			for i := uint64(0); i < 800; i++ {
+				got, err := cl.Search(ycsb.KeyOf(i))
+				if err != nil || binary.LittleEndian.Uint64(got) != i {
+					t.Fatalf("search %d: %v %v", i, got, err)
+				}
+			}
+		})
+	}
+}
+
+func TestIndirectValues(t *testing.T) {
+	o := DefaultOptions()
+	o.Indirect = true
+	o.ValueSize = 64
+	_, cl := newTestTree(t, o)
+	for i := uint64(0); i < 500; i++ {
+		if err := cl.Insert(ycsb.KeyOf(i), ycsb.FillValue(ycsb.KeyOf(i), 64, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 500; i++ {
+		k := ycsb.KeyOf(i)
+		got, err := cl.Search(k)
+		if err != nil {
+			t.Fatalf("search %d: %v", i, err)
+		}
+		want := ycsb.FillValue(k, 64, 0)
+		if string(got) != string(want) {
+			t.Fatalf("indirect value mismatch for %d", i)
+		}
+	}
+	// Update rewrites the block pointer.
+	k := ycsb.KeyOf(3)
+	if err := cl.Update(k, ycsb.FillValue(k, 64, 1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Search(k)
+	if err != nil || string(got) != string(ycsb.FillValue(k, 64, 1)) {
+		t.Fatal("indirect update not visible")
+	}
+	// Scans resolve blocks too.
+	out, err := cl.Scan(0, 10)
+	if err != nil || len(out) != 10 {
+		t.Fatalf("indirect scan: %d %v", len(out), err)
+	}
+}
+
+func TestLargeInlineValues(t *testing.T) {
+	o := DefaultOptions()
+	o.ValueSize = 256
+	_, cl := newTestTree(t, o)
+	for i := uint64(0); i < 300; i++ {
+		k := ycsb.KeyOf(i)
+		if err := cl.Insert(k, ycsb.FillValue(k, 256, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 300; i++ {
+		k := ycsb.KeyOf(i)
+		got, err := cl.Search(k)
+		if err != nil || string(got) != string(ycsb.FillValue(k, 256, 0)) {
+			t.Fatalf("256B value mismatch for %d: %v", i, err)
+		}
+	}
+}
+
+func TestValueSizeMismatchRejected(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	if err := cl.Insert(1, []byte("short")); err == nil {
+		t.Fatal("wrong-size value must be rejected")
+	}
+}
+
+func TestHotspotSpeculation(t *testing.T) {
+	ix, cl := newTestTree(t, DefaultOptions())
+	cn := cl.cn
+	for i := uint64(0); i < 200; i++ {
+		if err := cl.Insert(ycsb.KeyOf(i), val8(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hot := ycsb.KeyOf(17)
+	for i := 0; i < 50; i++ {
+		if _, err := cl.Search(hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hs := cn.HotspotStats()
+	if hs.Hits == 0 || hs.Speculations == 0 {
+		t.Fatalf("hot key never hit the hotspot buffer: %+v", hs)
+	}
+	if hs.Correct < hs.Speculations*9/10 {
+		t.Fatalf("speculation accuracy too low: %+v", hs)
+	}
+	_ = ix
+}
+
+func TestSpeculationAfterUpdateStaysCorrect(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	k := ycsb.KeyOf(5)
+	if err := cl.Insert(k, val8(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := cl.Search(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Update(k, val8(99)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Search(k)
+	if err != nil || binary.LittleEndian.Uint64(got) != 99 {
+		t.Fatalf("speculative read returned stale value: %v %v", got, err)
+	}
+}
+
+func TestCacheStatsAndConsumption(t *testing.T) {
+	ix, cl := newTestTree(t, DefaultOptions())
+	for i := uint64(0); i < 3000; i++ {
+		if err := cl.Insert(ycsb.KeyOf(i), val8(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 3000; i++ {
+		if _, err := cl.Search(ycsb.KeyOf(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := cl.cn.CacheStats()
+	if cs.Nodes == 0 || cs.UsedBytes == 0 {
+		t.Fatalf("internal nodes never cached: %+v", cs)
+	}
+	if cs.UsedBytes != int64(cs.Nodes)*int64(ix.InternalNodeSize()) {
+		t.Fatalf("cache accounting: %d nodes, %d bytes, node size %d",
+			cs.Nodes, cs.UsedBytes, ix.InternalNodeSize())
+	}
+	if cs.Hits == 0 {
+		t.Fatal("repeated searches must hit the cache")
+	}
+}
+
+func TestTinyCacheStillCorrect(t *testing.T) {
+	ix, err := Bootstrap(testFabric(t), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := ix.NewComputeNode(0, 0) // no cache at all
+	cl := cn.NewClient()
+	for i := uint64(0); i < 1500; i++ {
+		if err := cl.Insert(ycsb.KeyOf(i), val8(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 1500; i++ {
+		got, err := cl.Search(ycsb.KeyOf(i))
+		if err != nil || binary.LittleEndian.Uint64(got) != i {
+			t.Fatalf("uncached search %d: %v %v", i, got, err)
+		}
+	}
+	if cs := cn.CacheStats(); cs.Nodes != 0 {
+		t.Fatalf("budget-0 cache stored %d nodes", cs.Nodes)
+	}
+}
+
+func TestMultiMNPlacement(t *testing.T) {
+	cfg := dmsim.DefaultConfig()
+	cfg.MNs = 4
+	cfg.MNSize = 128 << 20
+	f := dmsim.MustNewFabric(cfg)
+	ix, err := Bootstrap(f, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := ix.NewComputeNode(16<<20, 0).NewClient()
+	for i := uint64(0); i < 4000; i++ {
+		if err := cl.Insert(ycsb.KeyOf(i), val8(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 4000; i++ {
+		if _, err := cl.Search(ycsb.KeyOf(i)); err != nil {
+			t.Fatalf("search %d: %v", i, err)
+		}
+	}
+}
+
+// TestConcurrentInsertsDisjoint is the core integration test: many
+// clients, disjoint key ranges, shared tree — no insert may be lost and
+// every optimistic-synchronization path gets hammered for real.
+func TestConcurrentInsertsDisjoint(t *testing.T) {
+	ix, err := Bootstrap(testFabric(t), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := ix.NewComputeNode(64<<20, 1<<20)
+	const clients, perClient = 8, 400
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := cn.NewClient()
+			for i := 0; i < perClient; i++ {
+				id := uint64(c*perClient + i)
+				if err := cl.Insert(ycsb.KeyOf(id), val8(id)); err != nil {
+					errs <- fmt.Errorf("client %d insert %d: %w", c, i, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	cl := cn.NewClient()
+	for id := uint64(0); id < clients*perClient; id++ {
+		got, err := cl.Search(ycsb.KeyOf(id))
+		if err != nil {
+			t.Fatalf("lost insert %d: %v", id, err)
+		}
+		if binary.LittleEndian.Uint64(got) != id {
+			t.Fatalf("insert %d corrupted: %v", id, got)
+		}
+	}
+}
+
+// TestConcurrentReadWriteConsistency checks the read side of the
+// three-level synchronization: readers racing updaters on hot keys must
+// only ever observe values some writer actually wrote.
+func TestConcurrentReadWriteConsistency(t *testing.T) {
+	ix, err := Bootstrap(testFabric(t), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := ix.NewComputeNode(64<<20, 1<<20)
+	loader := cn.NewClient()
+	const hotKeys = 32
+	for i := uint64(0); i < hotKeys; i++ {
+		if err := loader.Insert(ycsb.KeyOf(i), val8(i<<32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+
+	// Writers: value encodes (key, version) so readers can validate.
+	for w := 0; w < 3; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			cl := cn.NewClient()
+			r := rand.New(rand.NewSource(int64(w)))
+			for v := uint64(1); ; v++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(r.Intn(hotKeys))
+				if err := cl.Update(ycsb.KeyOf(k), val8(k<<32|v)); err != nil {
+					errs <- fmt.Errorf("writer: %w", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers: the high 32 bits must always equal the key id.
+	for rd := 0; rd < 5; rd++ {
+		readers.Add(1)
+		go func(rd int) {
+			defer readers.Done()
+			cl := cn.NewClient()
+			r := rand.New(rand.NewSource(int64(100 + rd)))
+			for i := 0; i < 3000; i++ {
+				k := uint64(r.Intn(hotKeys))
+				got, err := cl.Search(ycsb.KeyOf(k))
+				if err != nil {
+					errs <- fmt.Errorf("reader: %w", err)
+					return
+				}
+				if binary.LittleEndian.Uint64(got)>>32 != k {
+					errs <- fmt.Errorf("reader saw torn value %x for key %d", got, k)
+					return
+				}
+			}
+		}(rd)
+	}
+
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentMixedWorkload runs inserts, updates, deletes and scans
+// together and then verifies a shadow model built from per-key
+// single-writer ownership.
+func TestConcurrentMixedWorkload(t *testing.T) {
+	ix, err := Bootstrap(testFabric(t), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := ix.NewComputeNode(64<<20, 1<<20)
+	const clients, perClient = 6, 300
+	finals := make([]map[uint64]uint64, clients) // key -> final value (0 = deleted)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := cn.NewClient()
+			r := rand.New(rand.NewSource(int64(c)))
+			mine := map[uint64]uint64{}
+			for i := 0; i < perClient; i++ {
+				id := uint64(c)<<32 | uint64(r.Intn(perClient))
+				k := ycsb.KeyOf(id)
+				switch r.Intn(10) {
+				case 0, 1, 2, 3, 4, 5: // insert/overwrite
+					v := uint64(i) + 1
+					if err := cl.Insert(k, val8(v)); err != nil {
+						errs <- err
+						return
+					}
+					mine[k] = v
+				case 6, 7: // delete
+					err := cl.Delete(k)
+					if err != nil && !errors.Is(err, ErrNotFound) {
+						errs <- err
+						return
+					}
+					delete(mine, k)
+				case 8: // read own key
+					got, err := cl.Search(k)
+					if want, ok := mine[k]; ok {
+						if err != nil || binary.LittleEndian.Uint64(got) != want {
+							errs <- fmt.Errorf("own key %#x = %v,%v want %d", k, got, err, want)
+							return
+						}
+					} else if !errors.Is(err, ErrNotFound) && err != nil {
+						errs <- err
+						return
+					}
+				case 9: // scan
+					if _, err := cl.Scan(k, 20); err != nil {
+						errs <- fmt.Errorf("scan: %w", err)
+						return
+					}
+				}
+			}
+			finals[c] = mine
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	cl := cn.NewClient()
+	for c, mine := range finals {
+		for k, want := range mine {
+			got, err := cl.Search(k)
+			if err != nil {
+				t.Fatalf("client %d key %#x lost: %v", c, k, err)
+			}
+			if binary.LittleEndian.Uint64(got) != want {
+				t.Fatalf("client %d key %#x = %v, want %d", c, k, got, want)
+			}
+		}
+	}
+}
+
+func TestTripsPerOperationMatchTable1(t *testing.T) {
+	// Table 1 best case (all internal nodes cached): search 1–2 trips,
+	// insert 3, update 3–4.
+	_, cl := newTestTree(t, DefaultOptions())
+	for i := uint64(0); i < 3000; i++ {
+		if err := cl.Insert(ycsb.KeyOf(i), val8(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the cache fully.
+	for i := uint64(0); i < 3000; i++ {
+		if _, err := cl.Search(ycsb.KeyOf(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	trips := func(f func()) int64 {
+		before := cl.DM().Stats().Trips
+		f()
+		return cl.DM().Stats().Trips - before
+	}
+
+	// A cold key (not in the hotspot buffer) with a warm node cache.
+	k := ycsb.KeyOf(1234)
+	got := trips(func() {
+		if _, err := cl.Search(k); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got < 1 || got > 2 {
+		t.Errorf("search best-case trips = %d, want 1-2", got)
+	}
+
+	got = trips(func() {
+		if err := cl.Update(k, val8(1)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got < 3 || got > 4 {
+		t.Errorf("update best-case trips = %d, want 3-4", got)
+	}
+
+	// Fresh key insert with no split.
+	got = trips(func() {
+		if err := cl.Insert(ycsb.KeyOf(999999), val8(1)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got < 3 || got > 4 {
+		t.Errorf("insert best-case trips = %d, want 3 (4 with allocation)", got)
+	}
+}

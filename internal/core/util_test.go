@@ -1,0 +1,6 @@
+package core
+
+import "chime/internal/dmsim"
+
+// gaddr is a test helper constructing remote addresses tersely.
+func gaddr(mn uint8, off uint64) dmsim.GAddr { return dmsim.GAddr{MN: mn, Off: off} }

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"chime/internal/dmsim"
+)
+
+func newVarTree(t *testing.T) (*Index, *Client) {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.VarKeys = true
+	return newTestTree(t, opts)
+}
+
+func TestVarKeysOptionValidation(t *testing.T) {
+	o := DefaultOptions()
+	o.VarKeys = true
+	o.Indirect = true
+	if err := o.Validate(); err == nil {
+		t.Fatal("VarKeys+Indirect must be rejected")
+	}
+}
+
+func TestFingerprintOrder(t *testing.T) {
+	// Fingerprints must preserve bytewise prefix order.
+	keys := [][]byte{
+		[]byte("a"), []byte("aa"), []byte("ab"), []byte("b"),
+		[]byte("hello"), []byte("hello-world"), []byte("hellp"),
+	}
+	for i := 1; i < len(keys); i++ {
+		if bytes.Compare(keys[i-1], keys[i]) >= 0 {
+			t.Fatal("test keys must be sorted")
+		}
+		if FingerprintOf(keys[i-1]) > FingerprintOf(keys[i]) {
+			t.Fatalf("fingerprint order violated between %q and %q", keys[i-1], keys[i])
+		}
+	}
+}
+
+func TestVarKVRoundTrip(t *testing.T) {
+	_, cl := newVarTree(t)
+	pairs := map[string]string{
+		"user:1001":             "alice",
+		"user:1002":             "bob with a much longer profile value " + string(bytes.Repeat([]byte("x"), 300)),
+		"a":                     "single-byte key",
+		"order:2026-07-04:0001": "shipped",
+	}
+	for k, v := range pairs {
+		if err := cl.InsertKV([]byte(k), []byte(v)); err != nil {
+			t.Fatalf("insert %q: %v", k, err)
+		}
+	}
+	for k, v := range pairs {
+		got, err := cl.SearchKV([]byte(k))
+		if err != nil {
+			t.Fatalf("search %q: %v", k, err)
+		}
+		if string(got) != v {
+			t.Fatalf("search %q = %q, want %q", k, got, v)
+		}
+	}
+	if _, err := cl.SearchKV([]byte("missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+}
+
+func TestVarKVRejectsOnFixedTree(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	if err := cl.InsertKV([]byte("k"), []byte("v")); err == nil {
+		t.Fatal("KV API on a fixed-key tree must error")
+	}
+}
+
+func TestVarKVValidation(t *testing.T) {
+	_, cl := newVarTree(t)
+	if err := cl.InsertKV(nil, []byte("v")); err == nil {
+		t.Fatal("empty key must be rejected")
+	}
+	if _, err := cl.SearchKV(nil); err == nil {
+		t.Fatal("empty key search must be rejected")
+	}
+}
+
+// TestVarKVFingerprintCollisions is the §4.5 collision case: keys
+// sharing their first 8 bytes land in one chain and must all remain
+// individually addressable.
+func TestVarKVFingerprintCollisions(t *testing.T) {
+	_, cl := newVarTree(t)
+	keys := []string{
+		"collide-suffix-A",
+		"collide-suffix-B",
+		"collide-suffix-CCCCCC",
+		"collide-", // exactly the 8-byte prefix
+	}
+	fp := FingerprintOf([]byte(keys[0]))
+	for _, k := range keys {
+		if FingerprintOf([]byte(k)) != fp {
+			t.Fatalf("test setup: %q does not collide", k)
+		}
+	}
+	for i, k := range keys {
+		if err := cl.InsertKV([]byte(k), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("insert %q: %v", k, err)
+		}
+	}
+	for i, k := range keys {
+		got, err := cl.SearchKV([]byte(k))
+		if err != nil || string(got) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("collided key %q: %q %v", k, got, err)
+		}
+	}
+	// Update one collided key; others must survive.
+	if err := cl.InsertKV([]byte(keys[1]), []byte("updated")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := cl.SearchKV([]byte(keys[1]))
+	if string(got) != "updated" {
+		t.Fatalf("collided update lost: %q", got)
+	}
+	for i, k := range keys {
+		if i == 1 {
+			continue
+		}
+		if got, err := cl.SearchKV([]byte(k)); err != nil || string(got) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("neighbor %q corrupted: %q %v", k, got, err)
+		}
+	}
+	// Delete from the middle of the chain.
+	if err := cl.DeleteKV([]byte(keys[2])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.SearchKV([]byte(keys[2])); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted collided key still present: %v", err)
+	}
+	for i, k := range keys {
+		if i == 2 {
+			continue
+		}
+		if _, err := cl.SearchKV([]byte(k)); err != nil {
+			t.Fatalf("chain rebuild lost %q: %v", k, err)
+		}
+	}
+}
+
+func TestVarKVUpdateDelete(t *testing.T) {
+	_, cl := newVarTree(t)
+	if err := cl.UpdateKV([]byte("ghost"), []byte("v")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("update missing: %v", err)
+	}
+	if err := cl.DeleteKV([]byte("ghost")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete missing: %v", err)
+	}
+	if err := cl.InsertKV([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.UpdateKV([]byte("k1"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := cl.SearchKV([]byte("k1"))
+	if string(got) != "v2" {
+		t.Fatalf("update: %q", got)
+	}
+	if err := cl.DeleteKV([]byte("k1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.SearchKV([]byte("k1")); !errors.Is(err, ErrNotFound) {
+		t.Fatal("delete failed")
+	}
+	// Reinsert after the entry was dropped.
+	if err := cl.InsertKV([]byte("k1"), []byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = cl.SearchKV([]byte("k1"))
+	if string(got) != "v3" {
+		t.Fatalf("reinsert: %q", got)
+	}
+}
+
+func TestVarKVManyKeysWithSplits(t *testing.T) {
+	_, cl := newVarTree(t)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%06d", i)
+		v := fmt.Sprintf("value-%d", i*i)
+		if err := cl.InsertKV([]byte(k), []byte(v)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%06d", i)
+		got, err := cl.SearchKV([]byte(k))
+		if err != nil || string(got) != fmt.Sprintf("value-%d", i*i) {
+			t.Fatalf("search %d: %q %v", i, got, err)
+		}
+	}
+}
+
+func TestVarKVScan(t *testing.T) {
+	_, cl := newVarTree(t)
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("item/%05d", i)
+		if err := cl.InsertKV([]byte(k), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := cl.ScanKV([]byte("item/00100"), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 50 {
+		t.Fatalf("scan returned %d", len(out))
+	}
+	if string(out[0].Key) != "item/00100" {
+		t.Fatalf("scan starts at %q", out[0].Key)
+	}
+	for i := 1; i < len(out); i++ {
+		if bytes.Compare(out[i-1].Key, out[i].Key) >= 0 {
+			t.Fatal("scan unsorted")
+		}
+	}
+	// Scan past the end.
+	tail, err := cl.ScanKV([]byte("item/00495"), 100)
+	if err != nil || len(tail) != 5 {
+		t.Fatalf("tail scan: %d %v", len(tail), err)
+	}
+	if got, _ := cl.ScanKV([]byte("z"), 10); len(got) != 0 {
+		t.Fatalf("out-of-range scan returned %d", len(got))
+	}
+}
+
+func TestVarKVLargeValues(t *testing.T) {
+	_, cl := newVarTree(t)
+	big := bytes.Repeat([]byte{0xCD}, 4096)
+	if err := cl.InsertKV([]byte("big"), big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.SearchKV([]byte("big"))
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("large value round trip failed: %d bytes, %v", len(got), err)
+	}
+}
+
+func TestVarKVConcurrent(t *testing.T) {
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 512 << 20
+	f := dmsim.MustNewFabric(cfg)
+	opts := DefaultOptions()
+	opts.VarKeys = true
+	ix, err := Bootstrap(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := ix.NewComputeNode(64<<20, 1<<20)
+	const clients, per = 6, 200
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := cn.NewClient()
+			r := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < per; i++ {
+				k := []byte(fmt.Sprintf("client%d/key%04d", c, r.Intn(per)))
+				switch r.Intn(3) {
+				case 0, 1:
+					if err := cl.InsertKV(k, []byte(fmt.Sprintf("%d", i))); err != nil {
+						errs <- err
+						return
+					}
+				case 2:
+					if _, err := cl.SearchKV(k); err != nil && !errors.Is(err, ErrNotFound) {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,701 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"chime/internal/dmsim"
+	"chime/internal/hopscotch"
+)
+
+// This file implements CHIME's write path (§4.4): lock-based writes with
+// vacancy-bitmap piggybacking, hop-range inserts, entry-granular updates
+// and deletes, and node splits with Sherman-style up-propagation.
+
+// acquireLeafLock locks a leaf. Same-CN contention is absorbed by the
+// local lock table (Sherman's design, which CHIME inherits — §2.2): a
+// local handover delivers the lock together with the current lock-word
+// payload and costs no network traffic. The first local contender takes
+// the remote lock with the masked-CAS piggyback protocol (§4.2.1):
+// compare only the lock bit, swap the whole word, and receive the
+// previous word — which carries the vacancy bitmap and argmax for free.
+// With the PiggybackVacancy ablation disabled, a plain lock CAS is
+// followed by a dedicated READ of the word (the extra access Figure 4a
+// measures).
+func (c *Client) acquireLeafLock(leaf dmsim.GAddr) (lockWord, error) {
+	if word, handover := c.cn.locks.Acquire(c.dc, leaf.Pack()); handover {
+		return decodeLockWord(word), nil
+	}
+	addr := leafLockAddr(leaf)
+	for try := 0; try < maxRetries; try++ {
+		if c.ix.opts.PiggybackVacancy {
+			prev, ok, err := c.dc.MaskedCAS(addr, 0, lockBit, lockBit, ^uint64(0))
+			if err != nil {
+				return lockWord{}, err
+			}
+			if ok {
+				c.resetBackoff()
+				return decodeLockWord(prev), nil
+			}
+		} else {
+			_, ok, err := c.dc.MaskedCAS(addr, 0, lockBit, lockBit, lockBit)
+			if err != nil {
+				return lockWord{}, err
+			}
+			if ok {
+				var b [8]byte
+				if err := c.dc.Read(addr, b[:]); err != nil {
+					return lockWord{}, err
+				}
+				c.resetBackoff()
+				return decodeLockWord(binary.LittleEndian.Uint64(b[:])), nil
+			}
+		}
+		c.yield()
+	}
+	return lockWord{}, fmt.Errorf("core: leaf %v: lock acquisition starved", leaf)
+}
+
+func encodeLockBytes(lw lockWord) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], lw.encode())
+	return b[:]
+}
+
+// unlockLeaf releases the lock. When a same-CN contender is queued the
+// lock is handed over locally — the remote word stays locked and the
+// payload (vacancy bitmap, argmax) travels with it; otherwise the
+// updated word is written back with the lock bit cleared.
+func (c *Client) unlockLeaf(leaf dmsim.GAddr, lw lockWord) error {
+	lw.locked = true
+	if c.cn.locks.ReleaseHandover(c.dc, leaf.Pack(), lw.encode()) {
+		return nil
+	}
+	lw.locked = false
+	if err := c.dc.Write(leafLockAddr(leaf), encodeLockBytes(lw)); err != nil {
+		return err
+	}
+	c.cn.locks.ReleaseRemote(c.dc, leaf.Pack())
+	return nil
+}
+
+// writeRangeAndUnlock writes a contiguous image range back and releases
+// the lock. With no local contender the unlock word joins the data in
+// one doorbell batch — the combined WRITE pattern CHIME borrows from
+// Sherman, costing a single round trip. With a local contender queued,
+// only the data is written and the lock is handed over locally.
+func (c *Client) writeRangeAndUnlock(leaf dmsim.GAddr, im *leafImage, ranges []byteRange, lw lockWord) error {
+	addrs := make([]dmsim.GAddr, 0, len(ranges)+1)
+	bufs := make([][]byte, 0, len(ranges)+1)
+	for _, r := range ranges {
+		if r.size() <= 0 {
+			continue
+		}
+		addrs = append(addrs, leaf.Add(uint64(r.Off)))
+		bufs = append(bufs, im.buf[r.Off:r.End])
+	}
+	if c.cn.locks.HasWaiters(leaf.Pack()) {
+		if len(addrs) > 0 {
+			if err := c.dc.WriteBatch(addrs, bufs); err != nil {
+				return err
+			}
+		}
+		lw.locked = true
+		if c.cn.locks.ReleaseHandover(c.dc, leaf.Pack(), lw.encode()) {
+			return nil
+		}
+		// The queued waiter vanished between the check and the handover
+		// (cannot happen today — waiters never abandon — but stay safe):
+		// fall through to a remote unlock.
+		lw.locked = false
+		if err := c.dc.Write(leafLockAddr(leaf), encodeLockBytes(lw)); err != nil {
+			return err
+		}
+		c.cn.locks.ReleaseRemote(c.dc, leaf.Pack())
+		return nil
+	}
+	lw.locked = false
+	addrs = append(addrs, leafLockAddr(leaf))
+	bufs = append(bufs, encodeLockBytes(lw))
+	if err := c.dc.WriteBatch(addrs, bufs); err != nil {
+		return err
+	}
+	c.cn.locks.ReleaseRemote(c.dc, leaf.Pack())
+	return nil
+}
+
+// Insert adds or overwrites a key (upsert semantics, as YCSB inserts
+// and loads expect).
+func (c *Client) Insert(key uint64, value []byte) error {
+	val, err := c.prepareValue(key, value)
+	if err != nil {
+		return err
+	}
+	return c.insertWith(key, func([]byte, bool) ([]byte, error) { return val, nil })
+}
+
+// insertWith runs the insert protocol with a value callback: valFn is
+// invoked under the leaf lock with the existing stored bytes (exists
+// true) for an upsert, or (nil, false) for a fresh placement, and
+// returns the bytes to store. Variable-length-key chains (§4.5) use the
+// callback to splice blocks atomically.
+func (c *Client) insertWith(key uint64, valFn func(old []byte, exists bool) ([]byte, error)) error {
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		ref, err := c.traverse(key)
+		if err != nil {
+			return err
+		}
+		done, err := c.insertIntoLeaf(ref, key, valFn)
+		if err == errRestart {
+			// The leaf moved under us (split/delete). Re-read the super
+			// block too: when the root itself was a leaf that split, the
+			// cached root pointer is what went stale.
+			c.rootAddr = dmsim.NilGAddr
+			c.yield()
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		// A split happened; retraverse and retry.
+	}
+	return fmt.Errorf("core: Insert(%#x): retries exhausted", key)
+}
+
+// prepareValue returns the bytes stored in the leaf entry: the value
+// itself, or a pointer to a freshly written KV block in indirect mode.
+func (c *Client) prepareValue(key uint64, value []byte) ([]byte, error) {
+	if !c.ix.opts.Indirect {
+		if len(value) != c.ix.opts.ValueSize {
+			return nil, fmt.Errorf("core: value is %dB, tree stores %dB", len(value), c.ix.opts.ValueSize)
+		}
+		return value, nil
+	}
+	block := make([]byte, 8+len(value))
+	binary.LittleEndian.PutUint64(block[:8], key)
+	copy(block[8:], value)
+	addr, err := c.alloc.Alloc(len(block))
+	if err != nil {
+		return nil, err
+	}
+	if err := c.dc.Write(addr, block); err != nil {
+		return nil, err
+	}
+	ptr := make([]byte, 8)
+	binary.LittleEndian.PutUint64(ptr, addr.Pack())
+	return ptr, nil
+}
+
+// invalidateRefParent drops the cached parent a leafRef was resolved
+// through; stale parents must leave the cache or they re-route every
+// retry to the same outdated leaf.
+func (c *Client) invalidateRefParent(ref leafRef) {
+	if ref.parentFromCache && !ref.parentAddr.IsNil() {
+		c.cn.cache.invalidate(ref.parentAddr)
+	}
+}
+
+// insertIntoLeaf performs the §4.4 insert protocol on one leaf. It
+// returns done=false when it split the node (the caller retries), and
+// errRestart when the key belongs elsewhere (stale ref).
+func (c *Client) insertIntoLeaf(ref leafRef, key uint64, valFn func([]byte, bool) ([]byte, error)) (done bool, err error) {
+	lay := c.ix.leaf
+	lw, err := c.acquireLeafLock(ref.addr)
+	if err != nil {
+		return false, err
+	}
+	// From here every early exit must unlock.
+	home := lay.homeOf(key)
+
+	im, fetched, full, metaG, err := c.fetchInsertWindow(ref.addr, home, lw)
+	if err != nil {
+		c.unlockLeaf(ref.addr, lw)
+		return false, err
+	}
+
+	// Validate that this leaf still covers the key (half-split during
+	// our traversal): the lock is held, so the metadata is stable.
+	meta := im.meta(metaG)
+	if !meta.valid {
+		c.unlockLeaf(ref.addr, lw)
+		c.invalidateRefParent(ref)
+		return false, errRestart
+	}
+	if ref.expectedKnown && meta.sibling != ref.expected && ref.parentFromCache {
+		// Cache validation (§4.2.3): the cached parent predates a split.
+		c.unlockLeaf(ref.addr, lw)
+		c.invalidateRefParent(ref)
+		return false, errRestart
+	}
+	if !meta.fenceInf && key >= meta.fenceHi {
+		// The key moved right; §4.2.3's corner case. With the argmax we
+		// could test the split node's max key, but the fenceHigh replica
+		// answers directly: release, drop any stale cached parent (or it
+		// would route us straight back here), and retraverse.
+		c.unlockLeaf(ref.addr, lw)
+		c.invalidateRefParent(ref)
+		return false, errRestart
+	}
+
+	// Upsert: if the key already exists in its neighborhood, update it.
+	for d := 0; d < lay.h; d++ {
+		i := (home + d) % lay.span
+		if !fetched[i] {
+			continue
+		}
+		if e := im.entry(i); e.occupied && e.key == key {
+			val, err := valFn(e.value, true)
+			if err != nil {
+				c.unlockLeaf(ref.addr, lw)
+				return false, err
+			}
+			e.value = val
+			im.setEntry(i, e)
+			cellC := lay.entryCells[i]
+			err = c.writeRangeAndUnlock(ref.addr, im, []byteRange{{Off: cellC.Off, End: cellC.End()}}, lw)
+			return true, err
+		}
+	}
+
+	// Hop planning over the fetched occupancy; unfetched slots are
+	// treated as occupied-and-immovable, which is exact for every slot
+	// the plan may touch (see fetchInsertWindow).
+	moves, free, planErr := hopscotch.Plan(lay.span, lay.h, home,
+		func(i int) bool {
+			if !fetched[i] {
+				return true
+			}
+			return im.entry(i).occupied
+		},
+		func(i int) int {
+			if !fetched[i] {
+				return i
+			}
+			return lay.homeOf(im.entry(i).key)
+		},
+	)
+	if planErr != nil && !full {
+		// The conservative window could not prove a feasible hop; fetch
+		// the whole node and re-plan with exact occupancy.
+		im, fetched, metaG, err = c.fetchWholeLeaf(ref.addr)
+		if err != nil {
+			c.unlockLeaf(ref.addr, lw)
+			return false, err
+		}
+		full = true
+		meta = im.meta(metaG)
+		moves, free, planErr = hopscotch.Plan(lay.span, lay.h, home,
+			func(i int) bool { return im.entry(i).occupied },
+			func(i int) int { return lay.homeOf(im.entry(i).key) },
+		)
+	}
+	if planErr != nil {
+		// Genuinely no room: split the node (unlocks internally).
+		if err := c.splitLeaf(ref, im, meta, lw, key); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
+
+	val, err := valFn(nil, false)
+	if err != nil {
+		c.unlockLeaf(ref.addr, lw)
+		return false, err
+	}
+	changed := c.applyHops(im, moves, free, home, key, val)
+
+	// Lock-word bookkeeping (§4.2.1, §4.2.3): vacancy bit of the filled
+	// slot's group, and the argmax index.
+	lw.vacancy = c.updateVacancy(im, fetched, lw.vacancy, free)
+	c.updateArgmaxOnInsert(&lw, im, fetched, free, key)
+
+	ranges := c.changedRanges(changed, home)
+	if err := c.writeRangeAndUnlock(ref.addr, im, ranges, lw); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// fetchInsertWindow reads the insert working set in one round trip: the
+// neighborhood of home extended through the first vacancy-bitmap group
+// that may contain an empty slot, plus the argmax entry when it falls
+// outside (fetched in the same doorbell batch). It returns the image,
+// a per-entry fetched mask, whether the whole node was read, and the
+// metadata replica group.
+func (c *Client) fetchInsertWindow(leaf dmsim.GAddr, home int, lw lockWord) (*leafImage, []bool, bool, int, error) {
+	lay := c.ix.leaf
+
+	// Walk vacancy groups forward from home's group looking for a group
+	// that may contain an empty slot.
+	count := c.probeCount(home, lw.vacancy)
+	if count >= lay.span {
+		im, fetched, metaG, err := c.fetchWholeLeaf(leaf)
+		return im, fetched, true, metaG, err
+	}
+	if count < lay.h {
+		count = lay.h
+	}
+
+	segs, idxs := lay.neighborhoodSegments(home, count, c.ix.opts.ReplicateMeta)
+	ranges := segs
+
+	// Include the argmax entry in the same batch when it is outside the
+	// window (no extra round trip; §4.2.3).
+	fetchedSet := make(map[int]bool, len(idxs))
+	for _, i := range idxs {
+		fetchedSet[i] = true
+	}
+	if lw.argmaxValid && !fetchedSet[lw.argmax] && lw.argmax < lay.span {
+		cellC := lay.entryCells[lw.argmax]
+		ranges = append(append([]byteRange{}, segs...), byteRange{Off: cellC.Off, End: cellC.End()})
+		fetchedSet[lw.argmax] = true
+	}
+
+	im := newLeafImage(lay)
+	for try := 0; try < maxRetries; try++ {
+		addrs := make([]dmsim.GAddr, 0, len(ranges)+1)
+		bufs := make([][]byte, 0, len(ranges)+1)
+		for _, r := range ranges {
+			addrs = append(addrs, leaf.Add(uint64(r.Off)))
+			bufs = append(bufs, im.buf[r.Off:r.End])
+		}
+		var err error
+		if len(addrs) == 1 {
+			err = c.dc.Read(addrs[0], bufs[0])
+		} else {
+			err = c.dc.ReadBatch(addrs, bufs)
+		}
+		if err != nil {
+			return nil, nil, false, 0, err
+		}
+
+		checkRanges := ranges
+		metaG := lay.metaInRanges(checkRanges)
+		if !c.ix.opts.ReplicateMeta || metaG < 0 {
+			rc := lay.replicaCells[0]
+			if err := c.dc.Read(leaf.Add(uint64(rc.Off)), im.buf[rc.Off:rc.End()]); err != nil {
+				return nil, nil, false, 0, err
+			}
+			metaG = 0
+			checkRanges = append(append([]byteRange{}, ranges...), byteRange{Off: rc.Off, End: rc.End()})
+		}
+		// We hold the lock, so no writer races us; a version mismatch
+		// can only come from our own read tearing against nothing —
+		// still validate for defense in depth.
+		if err := checkVersions(im.buf, 0, lay.coveredCells(checkRanges)); err != nil {
+			c.yield()
+			continue
+		}
+		fetched := make([]bool, lay.span)
+		for i := range fetchedSet {
+			fetched[i] = true
+		}
+		return im, fetched, false, metaG, nil
+	}
+	return nil, nil, false, 0, fmt.Errorf("core: leaf %v: insert window retries exhausted", leaf)
+}
+
+// probeCount returns how many entries past home must be fetched so that
+// the first truly-empty slot (per the vacancy bitmap) is covered, or
+// span when every group advertises full.
+func (c *Client) probeCount(home int, vacancy uint64) int {
+	lay := c.ix.leaf
+	groups, perBit := lay.vacGroups, lay.vacPerBit
+	g := groupOf(home, perBit)
+	for step := 0; step < groups; step++ {
+		gg := (g + step) % groups
+		if vacancy&(1<<uint(gg)) == 0 {
+			_, hi := groupRange(gg, perBit, lay.span)
+			count := ((hi - 1 - home + lay.span) % lay.span) + 1
+			if step == 0 && perBit > 1 {
+				// The home group's free slot may precede home; make the
+				// window also cover the next group so the probe usually
+				// still lands inside the fetch (whole-node fallback
+				// otherwise).
+				g2 := (gg + 1) % groups
+				_, hi2 := groupRange(g2, perBit, lay.span)
+				count = ((hi2 - 1 - home + lay.span) % lay.span) + 1
+			}
+			if count > lay.span {
+				count = lay.span
+			}
+			return count
+		}
+	}
+	return lay.span
+}
+
+// fetchWholeLeaf reads the complete leaf image (splits and fallbacks).
+func (c *Client) fetchWholeLeaf(leaf dmsim.GAddr) (*leafImage, []bool, int, error) {
+	lay := c.ix.leaf
+	im := newLeafImage(lay)
+	for try := 0; try < maxRetries; try++ {
+		if err := c.dc.Read(leaf.Add(lineSize), im.buf[lineSize:]); err != nil {
+			return nil, nil, 0, err
+		}
+		if err := checkVersions(im.buf, 0, lay.allCells); err != nil {
+			c.yield()
+			continue
+		}
+		fetched := make([]bool, lay.span)
+		for i := range fetched {
+			fetched[i] = true
+		}
+		return im, fetched, 0, nil
+	}
+	return nil, nil, 0, fmt.Errorf("core: leaf %v: whole-node read retries exhausted", leaf)
+}
+
+// applyHops executes the hop moves on the local image, inserts the key
+// at the freed slot, and returns the indexes of all modified entries.
+// Hop-entry modifications bump entry-level versions; readers detect the
+// intermediate states via the reused-hopscotch-bitmap check (§4.1.2).
+func (c *Client) applyHops(im *leafImage, moves []hopscotch.Move, free, home int, key uint64, val []byte) []int {
+	lay := im.lay
+	changedSet := map[int]bool{}
+	for _, m := range moves {
+		e := im.entry(m.From)
+		kHome := lay.homeOf(e.key)
+
+		// Relocate the key: clear source, fill target.
+		target := im.entry(m.To)
+		target.occupied = true
+		target.key = e.key
+		target.value = e.value
+		im.setEntry(m.To, target)
+
+		src := im.entry(m.From)
+		src.occupied = false
+		im.setEntry(m.From, src)
+
+		// Update the hopscotch bitmap in the key's home entry.
+		hEntry := im.entry(kHome)
+		dOld := ((m.From-kHome)%lay.span + lay.span) % lay.span
+		dNew := ((m.To-kHome)%lay.span + lay.span) % lay.span
+		hEntry.hopBM &^= 1 << uint(dOld)
+		hEntry.hopBM |= 1 << uint(dNew)
+		im.setEntry(kHome, hEntry)
+
+		changedSet[m.From] = true
+		changedSet[m.To] = true
+		changedSet[kHome] = true
+	}
+
+	e := im.entry(free)
+	e.occupied = true
+	e.key = key
+	e.value = val
+	im.setEntry(free, e)
+	hEntry := im.entry(home)
+	d := ((free-home)%lay.span + lay.span) % lay.span
+	hEntry.hopBM |= 1 << uint(d)
+	im.setEntry(home, hEntry)
+	changedSet[free] = true
+	changedSet[home] = true
+
+	changed := make([]int, 0, len(changedSet))
+	for i := range changedSet {
+		changed = append(changed, i)
+	}
+	sort.Ints(changed)
+	return changed
+}
+
+// changedRanges converts modified entry indexes into 1–2 contiguous
+// write-back byte ranges. The fetched window is circularly contiguous
+// starting at home, so indexes >= home belong to the window's first
+// (high) segment and indexes < home to its wrapped (low) segment;
+// splitting there guarantees every byte written back — including
+// untouched cells between changed ones — was fetched. Safe under the
+// node lock.
+func (c *Client) changedRanges(changed []int, home int) []byteRange {
+	lay := c.ix.leaf
+	if len(changed) == 0 {
+		return nil
+	}
+	var high, low []int // sorted input keeps each part sorted
+	for _, i := range changed {
+		if i >= home {
+			high = append(high, i)
+		} else {
+			low = append(low, i)
+		}
+	}
+	var ranges []byteRange
+	for _, run := range [][]int{high, low} {
+		if len(run) == 0 {
+			continue
+		}
+		lo := lay.entryCells[run[0]].Off
+		hi := lay.entryCells[run[len(run)-1]].End()
+		ranges = append(ranges, byteRange{Off: lo, End: hi})
+	}
+	return ranges
+}
+
+// updateVacancy recomputes the vacancy bit of the group containing the
+// filled slot. A bit is set ("full") only when the writer can prove
+// every entry of the group is occupied from fetched data; otherwise it
+// stays conservative at 0.
+func (c *Client) updateVacancy(im *leafImage, fetched []bool, vacancy uint64, filled int) uint64 {
+	lay := c.ix.leaf
+	g := groupOf(filled, lay.vacPerBit)
+	lo, hi := groupRange(g, lay.vacPerBit, lay.span)
+	for i := lo; i < hi; i++ {
+		if !fetched[i] || !im.entry(i).occupied {
+			return vacancy &^ (1 << uint(g))
+		}
+	}
+	return vacancy | (1 << uint(g))
+}
+
+// updateArgmaxOnInsert maintains the argmax-of-keys field (§4.2.3).
+func (c *Client) updateArgmaxOnInsert(lw *lockWord, im *leafImage, fetched []bool, slot int, key uint64) {
+	if !lw.argmaxValid {
+		return // recomputed at the next node write
+	}
+	if lw.argmax >= c.ix.leaf.span || !fetched[lw.argmax] {
+		lw.argmaxValid = false
+		return
+	}
+	cur := im.entry(lw.argmax)
+	if !cur.occupied {
+		// The tracked max was removed without invalidation (shouldn't
+		// happen, but stay safe).
+		lw.argmaxValid = false
+		return
+	}
+	if key > cur.key {
+		lw.argmax = slot
+	}
+}
+
+// Update overwrites the value of an existing key, returning ErrNotFound
+// if the key is absent.
+func (c *Client) Update(key uint64, value []byte) error {
+	val, err := c.prepareValue(key, value)
+	if err != nil {
+		return err
+	}
+	return c.modifyEntry(key, func(e *leafEntry) (bool, error) {
+		e.value = val
+		return true, nil
+	})
+}
+
+// Delete removes a key, returning ErrNotFound if it is absent. Per
+// §4.4, a delete clears the target entry via the update path; leaf
+// merges are not triggered (structural merging is a rare path the paper
+// inherits from DM B+ trees).
+func (c *Client) Delete(key uint64) error {
+	return c.modifyEntry(key, nil)
+}
+
+// modifyEntry implements the shared update/delete protocol: lock, read
+// the neighborhood, mutate (or clear) the entry, write back + unlock in
+// one trip. mutate == nil means delete; a non-nil mutate runs under the
+// leaf lock (it may issue verbs) and returns keep=false to delete the
+// entry after all.
+func (c *Client) modifyEntry(key uint64, mutate func(*leafEntry) (bool, error)) error {
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		ref, err := c.traverse(key)
+		if err != nil {
+			return err
+		}
+		err = c.modifyInLeaf(ref, key, mutate)
+		if err == errRestart {
+			c.rootAddr = dmsim.NilGAddr
+			c.yield()
+			continue
+		}
+		return err
+	}
+	return fmt.Errorf("core: modify(%#x): retries exhausted", key)
+}
+
+func (c *Client) modifyInLeaf(ref leafRef, key uint64, mutate func(*leafEntry) (bool, error)) error {
+	lay := c.ix.leaf
+	addr := ref.addr
+	for hops := 0; hops <= maxRetries; hops++ {
+		lw, err := c.acquireLeafLock(addr)
+		if err != nil {
+			return err
+		}
+		home := lay.homeOf(key)
+		im, idxs, metaG, err := c.fetchLeafWindow(addr, home, lay.h)
+		if err != nil {
+			c.unlockLeaf(addr, lw)
+			return err
+		}
+		meta := im.meta(metaG)
+		if !meta.valid {
+			c.unlockLeaf(addr, lw)
+			return errRestart
+		}
+
+		foundIdx := -1
+		for _, i := range idxs {
+			if e := im.entry(i); e.occupied && e.key == key {
+				foundIdx = i
+				break
+			}
+		}
+		if foundIdx < 0 {
+			// Half-split: the key may live in a right sibling.
+			if !meta.fenceInf && key >= meta.fenceHi && !meta.sibling.IsNil() {
+				next := meta.sibling
+				c.unlockLeaf(addr, lw)
+				addr = next
+				continue
+			}
+			c.unlockLeaf(addr, lw)
+			return ErrNotFound
+		}
+
+		changed := []int{foundIdx}
+		keep := false
+		if mutate != nil {
+			e := im.entry(foundIdx)
+			k, err := mutate(&e)
+			if err != nil {
+				c.unlockLeaf(addr, lw)
+				return err
+			}
+			keep = k
+			if keep {
+				im.setEntry(foundIdx, e)
+			}
+		}
+		if !keep {
+			// Delete: clear the entry and its home-bitmap bit, update
+			// vacancy and argmax.
+			e := im.entry(foundIdx)
+			e.occupied = false
+			im.setEntry(foundIdx, e)
+			hEntry := im.entry(home)
+			d := ((foundIdx-home)%lay.span + lay.span) % lay.span
+			hEntry.hopBM &^= 1 << uint(d)
+			im.setEntry(home, hEntry)
+			changed = append(changed, home)
+			sort.Ints(changed)
+
+			g := groupOf(foundIdx, lay.vacPerBit)
+			lw.vacancy &^= 1 << uint(g)
+			if lw.argmaxValid && lw.argmax == foundIdx {
+				lw.argmaxValid = false
+			}
+		}
+		err = c.writeRangeAndUnlock(addr, im, c.changedRanges(changed, home), lw)
+		if err == nil && !keep && deleteLeftEmpty(im, idxs, lw) {
+			// §4.4: a delete that may have emptied the leaf triggers a
+			// node merge (confirmed with a whole-node read).
+			c.maybeMergeLeaf(addr, key)
+		}
+		return err
+	}
+	return fmt.Errorf("core: modify(%#x): sibling chain too long", key)
+}

@@ -1,0 +1,40 @@
+package dmsim
+
+import "fmt"
+
+// GAddr is a global address in the memory pool: a memory-node index plus
+// a byte offset within that node's region. The zero GAddr (MN 0, offset
+// 0) is reserved as the nil address; allocators never hand it out.
+type GAddr struct {
+	MN  uint8
+	Off uint64
+}
+
+// NilGAddr is the null remote pointer.
+var NilGAddr = GAddr{}
+
+// IsNil reports whether a is the null remote pointer.
+func (a GAddr) IsNil() bool { return a == NilGAddr }
+
+// Add returns the address d bytes past a within the same MN.
+func (a GAddr) Add(d uint64) GAddr { return GAddr{MN: a.MN, Off: a.Off + d} }
+
+// Pack encodes the address into a single uint64 (high byte = MN) so it
+// can be stored in 8-byte remote pointers, mirroring how DM indexes pack
+// pointers into CAS-able words.
+func (a GAddr) Pack() uint64 {
+	return uint64(a.MN)<<56 | (a.Off & ((1 << 56) - 1))
+}
+
+// UnpackGAddr decodes a packed remote pointer.
+func UnpackGAddr(v uint64) GAddr {
+	return GAddr{MN: uint8(v >> 56), Off: v & ((1 << 56) - 1)}
+}
+
+// String formats the address for diagnostics.
+func (a GAddr) String() string {
+	if a.IsNil() {
+		return "nil"
+	}
+	return fmt.Sprintf("mn%d:0x%x", a.MN, a.Off)
+}

@@ -1,0 +1,312 @@
+package dmsim
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ClientStats counts the remote traffic one client has generated.
+// Batched reads count one Trip but one Read per segment, matching how
+// doorbell batching behaves on real NICs.
+type ClientStats struct {
+	Reads        int64
+	Writes       int64
+	Atomics      int64
+	RPCs         int64
+	Trips        int64
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Client is one simulated compute-side client (one CPU core / coroutine
+// on a CN in the paper's terminology). A Client is NOT safe for
+// concurrent use: each simulated client owns exactly one goroutine, and
+// its virtual clock advances as it issues verbs.
+//
+// All verbs are synchronous: they return after the simulated round trip
+// completes and advance the client's clock accordingly.
+type Client struct {
+	f     *Fabric
+	id    int64
+	now   int64 // virtual nanoseconds
+	gated bool  // member of the fabric's time-gate cohort
+
+	stats ClientStats
+
+	rttNs   int64
+	issueNs int64
+	rpcNs   int64
+}
+
+// NewClient registers a new client on the fabric. Its clock starts at
+// the fabric's virtual-time frontier (the latest NIC busy time), so a
+// client created after a bulk-load phase joins "now" rather than
+// queueing behind history.
+func (f *Fabric) NewClient() *Client {
+	return &Client{
+		f:       f,
+		id:      f.clientSeq.Add(1),
+		now:     f.Frontier(),
+		rttNs:   f.cfg.BaseRTT.Nanoseconds(),
+		issueNs: f.cfg.IssueOverhead.Nanoseconds(),
+		rpcNs:   f.cfg.RPCServiceTime.Nanoseconds(),
+	}
+}
+
+// ID returns the client's fabric-unique identifier.
+func (c *Client) ID() int64 { return c.id }
+
+// Now returns the client's virtual clock in nanoseconds.
+func (c *Client) Now() int64 { return c.now }
+
+// Advance adds local (CN-side) compute time to the client's clock.
+func (c *Client) Advance(ns int64) {
+	if ns > 0 {
+		c.now += ns
+	}
+}
+
+// JoinCohort enrolls the client in the fabric's virtual-time gate: its
+// verbs will stay within one RTT-sized quantum of every other cohort
+// member, which keeps the NIC queueing model faithful when many
+// simulated clients share few host CPUs. Benchmark cohorts must join
+// before issuing measured operations and call LeaveCohort when done.
+func (c *Client) JoinCohort() {
+	if !c.gated {
+		c.gated = true
+		c.f.gate.join(c.now)
+	}
+}
+
+// LeaveCohort withdraws the client from the time gate.
+func (c *Client) LeaveCohort() {
+	if c.gated {
+		c.gated = false
+		c.f.gate.leave()
+	}
+}
+
+// syncGate blocks a cohort member until its clock is inside the gate
+// window; freewheeling clients pass straight through.
+func (c *Client) syncGate() {
+	if c.gated {
+		c.f.gate.sync(c.now)
+	}
+}
+
+// Suspend temporarily withdraws a cohort member that is about to block
+// on another client's progress (e.g. a delegated read waiting for its
+// leader). A suspended member no longer holds up the gate window; it
+// must call Resume before issuing verbs again. No-op for freewheeling
+// clients. Returns whether the client was actually suspended.
+func (c *Client) Suspend() bool {
+	if !c.gated {
+		return false
+	}
+	c.gated = false
+	c.f.gate.leave()
+	return true
+}
+
+// Resume re-enrolls a suspended client, optionally fast-forwarding its
+// clock to at least now (virtual time never runs backward). The gate
+// window is NOT widened: the client blocks at its next verb until the
+// cohort's window reaches its (possibly far-ahead) clock.
+func (c *Client) Resume(now int64) {
+	if now > c.now {
+		c.now = now
+	}
+	c.gated = true
+	c.f.gate.rejoin()
+}
+
+// Stats returns a snapshot of the client's traffic counters.
+func (c *Client) Stats() ClientStats { return c.stats }
+
+// ResetStats zeroes the traffic counters (the clock keeps running).
+func (c *Client) ResetStats() { c.stats = ClientStats{} }
+
+// finish advances the client past a round trip that completed at the NIC
+// at nicDone.
+func (c *Client) finish(nicDone int64) {
+	c.now = nicDone + c.rttNs
+}
+
+// Read fetches len(buf) bytes from the remote address into buf using a
+// one-sided READ. Individual 64-byte lines are copied atomically, but a
+// multi-line transfer is not atomic as a whole: concurrent writers can
+// interleave at line boundaries, so readers must validate with version
+// checks, exactly as on real RDMA hardware.
+func (c *Client) Read(a GAddr, buf []byte) error {
+	c.syncGate()
+	mn, err := c.f.checkRange(a, len(buf))
+	if err != nil {
+		return err
+	}
+	mn.copyOut(a.Off, buf)
+
+	done := mn.nic.serve(c.now+c.issueNs, len(buf))
+	mn.nic.bytesOut.Add(int64(len(buf)))
+	c.finish(done)
+
+	c.stats.Reads++
+	c.stats.Trips++
+	c.stats.BytesRead += int64(len(buf))
+	return nil
+}
+
+// ReadBatch issues several READs as one doorbell batch: the client pays
+// a single round trip while the NIC services every segment. All
+// addresses must live on the same MN (the common case in the paper:
+// wrap-around segments of one node).
+func (c *Client) ReadBatch(addrs []GAddr, bufs [][]byte) error {
+	c.syncGate()
+	if len(addrs) != len(bufs) {
+		return fmt.Errorf("dmsim: ReadBatch got %d addrs, %d bufs", len(addrs), len(bufs))
+	}
+	if len(addrs) == 0 {
+		return nil
+	}
+	mn0 := addrs[0].MN
+	payloads := make([]int, len(addrs))
+	var total int64
+	for i, a := range addrs {
+		if a.MN != mn0 {
+			return fmt.Errorf("dmsim: ReadBatch spans MNs %d and %d", mn0, a.MN)
+		}
+		mn, err := c.f.checkRange(a, len(bufs[i]))
+		if err != nil {
+			return err
+		}
+		mn.copyOut(a.Off, bufs[i])
+		payloads[i] = len(bufs[i])
+		total += int64(len(bufs[i]))
+	}
+	mn := c.f.mns[mn0]
+	done := mn.nic.serveBatch(c.now+c.issueNs, payloads)
+	mn.nic.bytesOut.Add(total)
+	c.finish(done)
+
+	c.stats.Reads += int64(len(addrs))
+	c.stats.Trips++
+	c.stats.BytesRead += total
+	return nil
+}
+
+// Write stores data at the remote address using a one-sided WRITE.
+func (c *Client) Write(a GAddr, data []byte) error {
+	c.syncGate()
+	mn, err := c.f.checkRange(a, len(data))
+	if err != nil {
+		return err
+	}
+	mn.copyIn(a.Off, data)
+
+	done := mn.nic.serve(c.now+c.issueNs, len(data))
+	mn.nic.bytesIn.Add(int64(len(data)))
+	c.finish(done)
+
+	c.stats.Writes++
+	c.stats.Trips++
+	c.stats.BytesWritten += int64(len(data))
+	return nil
+}
+
+// WriteBatch issues several WRITEs as one doorbell batch (one round
+// trip). Used for wrap-around hop-range write-back and the combined
+// "write entry + unlock" pattern from Sherman and CHIME.
+func (c *Client) WriteBatch(addrs []GAddr, datas [][]byte) error {
+	c.syncGate()
+	if len(addrs) != len(datas) {
+		return fmt.Errorf("dmsim: WriteBatch got %d addrs, %d bufs", len(addrs), len(datas))
+	}
+	if len(addrs) == 0 {
+		return nil
+	}
+	mn0 := addrs[0].MN
+	payloads := make([]int, len(addrs))
+	var total int64
+	for i, a := range addrs {
+		if a.MN != mn0 {
+			return fmt.Errorf("dmsim: WriteBatch spans MNs %d and %d", mn0, a.MN)
+		}
+		mn, err := c.f.checkRange(a, len(datas[i]))
+		if err != nil {
+			return err
+		}
+		mn.copyIn(a.Off, datas[i])
+		payloads[i] = len(datas[i])
+		total += int64(len(datas[i]))
+	}
+	mn := c.f.mns[mn0]
+	done := mn.nic.serveBatch(c.now+c.issueNs, payloads)
+	mn.nic.bytesIn.Add(total)
+	c.finish(done)
+
+	c.stats.Writes += int64(len(addrs))
+	c.stats.Trips++
+	c.stats.BytesWritten += total
+	return nil
+}
+
+// CAS atomically compares the 8-byte word at a with old and, when equal,
+// replaces it with new. It returns the value observed before the swap
+// and whether the swap happened. Word encoding is little-endian.
+func (c *Client) CAS(a GAddr, old, new uint64) (uint64, bool, error) {
+	return c.MaskedCAS(a, old, new, ^uint64(0), ^uint64(0))
+}
+
+// MaskedCAS is the RDMA extended atomic used by CHIME's vacancy-bitmap
+// piggybacking (§4.2.1): compare only the bits under cmpMask, swap only
+// the bits under swapMask, and return the full previous word either way.
+func (c *Client) MaskedCAS(a GAddr, cmp, swap, cmpMask, swapMask uint64) (uint64, bool, error) {
+	c.syncGate()
+	mn, err := c.f.checkRange(a, 8)
+	if err != nil {
+		return 0, false, err
+	}
+	lk := mn.casLock(a.Off)
+	lk.Lock()
+	word := mn.mem[a.Off : a.Off+8]
+	prev := binary.LittleEndian.Uint64(word)
+	ok := prev&cmpMask == cmp&cmpMask
+	if ok {
+		next := (prev &^ swapMask) | (swap & swapMask)
+		binary.LittleEndian.PutUint64(word, next)
+	}
+	lk.Unlock()
+
+	done := mn.nic.serve(c.now+c.issueNs, 8)
+	c.finish(done)
+
+	c.stats.Atomics++
+	c.stats.Trips++
+	c.stats.BytesRead += 8
+	c.stats.BytesWritten += 8
+	return prev, ok, nil
+}
+
+// FetchAdd atomically adds delta to the 8-byte word at a and returns the
+// previous value (RDMA FETCH_AND_ADD).
+func (c *Client) FetchAdd(a GAddr, delta uint64) (uint64, error) {
+	c.syncGate()
+	mn, err := c.f.checkRange(a, 8)
+	if err != nil {
+		return 0, err
+	}
+	lk := mn.casLock(a.Off)
+	lk.Lock()
+	word := mn.mem[a.Off : a.Off+8]
+	prev := binary.LittleEndian.Uint64(word)
+	binary.LittleEndian.PutUint64(word, prev+delta)
+	lk.Unlock()
+
+	done := mn.nic.serve(c.now+c.issueNs, 8)
+	c.finish(done)
+
+	c.stats.Atomics++
+	c.stats.Trips++
+	c.stats.BytesRead += 8
+	c.stats.BytesWritten += 8
+	return prev, nil
+}

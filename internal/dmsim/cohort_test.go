@@ -1,0 +1,44 @@
+package dmsim
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCohortOverlapsVirtualTime(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MNSize = 1 << 20
+	f := MustNewFabric(cfg)
+	const clients, ops = 8, 200
+	cls := make([]*Client, clients)
+	for i := range cls {
+		cls[i] = f.NewClient()
+		cls[i].JoinCohort()
+	}
+	var wg sync.WaitGroup
+	durs := make([]int64, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer cls[i].LeaveCohort()
+			c := cls[i]
+			start := c.Now()
+			buf := make([]byte, 64)
+			for j := 0; j < ops; j++ {
+				c.Read(GAddr{Off: 64}, buf)
+			}
+			durs[i] = c.Now() - start
+		}(i)
+	}
+	wg.Wait()
+	// Each client's span is ~ops*2.4us; if spans overlap, every span is
+	// close to that, not k times it.
+	perOp := int64(2400)
+	for i, d := range durs {
+		t.Logf("client %d: %dus", i, d/1000)
+		if d > ops*perOp*3 {
+			t.Errorf("client %d span %dns: cohort not overlapping", i, d)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package dmsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// memoryNode is one node in the memory pool: a flat byte region, its
+// NIC, a striped lock table for atomic verbs, and a bump allocator that
+// services chunk-allocation RPCs.
+type memoryNode struct {
+	mem   []byte
+	nic   *nic
+	locks [256]sync.Mutex // striped by address for CAS atomicity
+
+	allocMu  sync.Mutex
+	allocOff uint64
+}
+
+// casLock returns the stripe lock guarding atomics on the given offset.
+// Real NICs serialize atomics to the same cache line; striping by the
+// 64-byte line index reproduces that without a global bottleneck.
+func (m *memoryNode) casLock(off uint64) *sync.Mutex {
+	return &m.locks[(off>>6)%uint64(len(m.locks))]
+}
+
+// copyOut copies remote memory into buf one 64-byte-aligned line at a
+// time, each line under its stripe lock. This models the atomicity
+// granularity of real RDMA data paths (PCIe TLPs): a transfer never
+// tears *within* a cache line, but transfers spanning multiple lines can
+// interleave with concurrent writers at line boundaries — the torn reads
+// that cache-line versioning exists to detect.
+func (m *memoryNode) copyOut(off uint64, buf []byte) {
+	for len(buf) > 0 {
+		lineEnd := (off | 63) + 1
+		n := int(lineEnd - off)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		lk := m.casLock(off)
+		lk.Lock()
+		copy(buf[:n], m.mem[off:off+uint64(n)])
+		lk.Unlock()
+		buf = buf[n:]
+		off += uint64(n)
+	}
+}
+
+// copyIn is the write-side counterpart of copyOut.
+func (m *memoryNode) copyIn(off uint64, data []byte) {
+	for len(data) > 0 {
+		lineEnd := (off | 63) + 1
+		n := int(lineEnd - off)
+		if n > len(data) {
+			n = len(data)
+		}
+		lk := m.casLock(off)
+		lk.Lock()
+		copy(m.mem[off:off+uint64(n)], data[:n])
+		lk.Unlock()
+		data = data[n:]
+		off += uint64(n)
+	}
+}
+
+// Fabric is the simulated disaggregated-memory pool: a set of memory
+// nodes reachable from any number of clients. Create one with NewFabric
+// and hand each simulated client its own *Client via NewClient.
+type Fabric struct {
+	cfg  Config
+	mns  []*memoryNode
+	gate *timeGate
+
+	clientSeq atomic.Int64
+}
+
+// NewFabric builds a fabric from the configuration.
+func NewFabric(cfg Config) (*Fabric, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fabric{cfg: cfg, gate: newTimeGate(cfg.BaseRTT.Nanoseconds())}
+	for i := 0; i < cfg.MNs; i++ {
+		f.mns = append(f.mns, &memoryNode{
+			mem: make([]byte, cfg.MNSize),
+			nic: newNIC(cfg),
+			// Offset 0 is the nil address; start allocating at 64.
+			allocOff: 64,
+		})
+	}
+	return f, nil
+}
+
+// MustNewFabric is NewFabric that panics on a bad configuration. Useful
+// in tests and examples where the config is a literal.
+func MustNewFabric(cfg Config) *Fabric {
+	f, err := NewFabric(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Config returns the fabric's configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// MNs returns the number of memory nodes.
+func (f *Fabric) MNs() int { return len(f.mns) }
+
+func (f *Fabric) node(a GAddr) (*memoryNode, error) {
+	if int(a.MN) >= len(f.mns) {
+		return nil, fmt.Errorf("dmsim: address %v references MN %d of %d", a, a.MN, len(f.mns))
+	}
+	return f.mns[a.MN], nil
+}
+
+// checkRange validates that [a, a+n) lies inside the MN region.
+func (f *Fabric) checkRange(a GAddr, n int) (*memoryNode, error) {
+	mn, err := f.node(a)
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || a.Off+uint64(n) > uint64(len(mn.mem)) {
+		return nil, fmt.Errorf("dmsim: access [%v, +%d) out of bounds (MN size %d)", a, n, len(mn.mem))
+	}
+	return mn, nil
+}
+
+// Frontier returns the fabric's current virtual time: the latest point
+// any NIC is busy until. New clients start their clocks here.
+func (f *Fabric) Frontier() int64 {
+	var frontier int64
+	for _, m := range f.mns {
+		m.nic.mu.Lock()
+		if m.nic.freeAt > frontier {
+			frontier = m.nic.freeAt
+		}
+		m.nic.mu.Unlock()
+	}
+	return frontier
+}
+
+// NICStatsFor returns a snapshot of one MN's NIC counters.
+func (f *Fabric) NICStatsFor(mn int) NICStats {
+	return f.mns[mn].nic.stats()
+}
+
+// TotalNICStats sums NIC counters across all MNs.
+func (f *Fabric) TotalNICStats() NICStats {
+	var t NICStats
+	for _, m := range f.mns {
+		s := m.nic.stats()
+		t.Verbs += s.Verbs
+		t.BytesIn += s.BytesIn
+		t.BytesOut += s.BytesOut
+		t.QueuedNs += s.QueuedNs
+		t.ServedNs += s.ServedNs
+	}
+	return t
+}
+
+// Peek copies remote bytes without charging network cost. It exists for
+// tests and debugging only — index code must use Client verbs.
+func (f *Fabric) Peek(a GAddr, buf []byte) error {
+	mn, err := f.checkRange(a, len(buf))
+	if err != nil {
+		return err
+	}
+	copy(buf, mn.mem[a.Off:])
+	return nil
+}
+
+// Poke writes remote bytes without charging network cost. Tests only.
+func (f *Fabric) Poke(a GAddr, data []byte) error {
+	mn, err := f.checkRange(a, len(data))
+	if err != nil {
+		return err
+	}
+	copy(mn.mem[a.Off:], data)
+	return nil
+}

@@ -1,0 +1,115 @@
+package dmsim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// nic models one memory-node NIC as a single shared queueing resource.
+// A verb's service time is the larger of its bandwidth cost
+// (bytes / BandwidthBps) and its message cost (1 / IOPS), so streams of
+// small verbs are IOPS-bound and large transfers are bandwidth-bound.
+//
+// Completion follows the classic single-server recurrence
+//
+//	completion = max(arrival, free) + service
+//
+// under a mutex; clients arrive with their own virtual clocks, and the
+// max() term is what creates queueing delay when the NIC saturates.
+type nic struct {
+	mu     sync.Mutex
+	freeAt int64 // virtual ns at which the NIC next idles
+
+	nsPerByte float64
+	nsPerOp   float64
+
+	verbs    atomic.Int64
+	bytesIn  atomic.Int64 // written to the MN
+	bytesOut atomic.Int64 // read from the MN
+	queuedNs atomic.Int64 // total time verbs spent waiting for the NIC
+	servedNs atomic.Int64 // total service time consumed
+}
+
+func newNIC(cfg Config) *nic {
+	return &nic{
+		nsPerByte: 1e9 / cfg.BandwidthBps,
+		nsPerOp:   1e9 / cfg.IOPS,
+	}
+}
+
+// serve charges one verb of the given payload size arriving at the given
+// virtual time and returns its completion time at the NIC.
+func (n *nic) serve(arrival int64, payload int) int64 {
+	service := n.nsPerOp
+	if bw := float64(payload) * n.nsPerByte; bw > service {
+		service = bw
+	}
+	sNs := int64(service)
+	if sNs < 1 {
+		sNs = 1
+	}
+
+	n.mu.Lock()
+	start := arrival
+	if n.freeAt > start {
+		start = n.freeAt
+	}
+	completion := start + sNs
+	n.freeAt = completion
+	n.mu.Unlock()
+
+	n.verbs.Add(1)
+	n.queuedNs.Add(start - arrival)
+	n.servedNs.Add(sNs)
+	return completion
+}
+
+// serveBatch charges a doorbell batch: each segment is serviced
+// back-to-back at the NIC, but the caller pays only one round trip.
+func (n *nic) serveBatch(arrival int64, payloads []int) int64 {
+	var total int64
+	for _, p := range payloads {
+		service := n.nsPerOp
+		if bw := float64(p) * n.nsPerByte; bw > service {
+			service = bw
+		}
+		sNs := int64(service)
+		if sNs < 1 {
+			sNs = 1
+		}
+		total += sNs
+	}
+
+	n.mu.Lock()
+	start := arrival
+	if n.freeAt > start {
+		start = n.freeAt
+	}
+	completion := start + total
+	n.freeAt = completion
+	n.mu.Unlock()
+
+	n.verbs.Add(int64(len(payloads)))
+	n.queuedNs.Add(start - arrival)
+	n.servedNs.Add(total)
+	return completion
+}
+
+// NICStats is a snapshot of one MN NIC's counters.
+type NICStats struct {
+	Verbs    int64
+	BytesIn  int64
+	BytesOut int64
+	QueuedNs int64
+	ServedNs int64
+}
+
+func (n *nic) stats() NICStats {
+	return NICStats{
+		Verbs:    n.verbs.Load(),
+		BytesIn:  n.bytesIn.Load(),
+		BytesOut: n.bytesOut.Load(),
+		QueuedNs: n.queuedNs.Load(),
+		ServedNs: n.servedNs.Load(),
+	}
+}

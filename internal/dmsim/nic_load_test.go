@@ -1,0 +1,44 @@
+package dmsim
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNICQueueingUnderLoad(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MNSize = 1 << 20
+	f := MustNewFabric(cfg)
+	const clients, ops, size = 64, 100, 1400
+	var wg sync.WaitGroup
+	durs := make([]int64, clients)
+	cls := make([]*Client, clients)
+	for i := range cls {
+		cls[i] = f.NewClient()
+	}
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := cls[i]
+			start := c.Now()
+			buf := make([]byte, size)
+			for j := 0; j < ops; j++ {
+				c.Read(GAddr{Off: 64}, buf)
+			}
+			durs[i] = c.Now() - start
+		}(i)
+	}
+	wg.Wait()
+	var max int64
+	for _, d := range durs {
+		if d > max {
+			max = d
+		}
+	}
+	totalService := int64(clients*ops) * int64(float64(size)*1e9/cfg.BandwidthBps)
+	t.Logf("maxDur=%dus totalService=%dus", max/1000, totalService/1000)
+	if max < totalService {
+		t.Fatalf("max client duration %dns < total NIC service %dns: NIC not serializing", max, totalService)
+	}
+}

@@ -1,0 +1,130 @@
+package dmsim
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSuspendResumeFreewheel(t *testing.T) {
+	f := MustNewFabric(func() Config { c := DefaultConfig(); c.MNSize = 1 << 20; return c }())
+	c := f.NewClient()
+	if c.Suspend() {
+		t.Fatal("freewheeling client must not report suspension")
+	}
+	c.Resume(0) // must not panic; client becomes gated
+	c.LeaveCohort()
+}
+
+func TestSuspendReleasesGate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MNSize = 1 << 20
+	f := MustNewFabric(cfg)
+	a, b := f.NewClient(), f.NewClient()
+	a.JoinCohort()
+	b.JoinCohort()
+
+	// b suspends; a must be able to run many windows alone.
+	if !b.Suspend() {
+		t.Fatal("gated client must suspend")
+	}
+	buf := make([]byte, 64)
+	for i := 0; i < 50; i++ {
+		if err := a.Read(GAddr{Off: 64}, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	aNow := a.Now()
+	if aNow < 50*2000 {
+		t.Fatalf("a stalled at %dns despite b's suspension", aNow)
+	}
+
+	// b resumes far ahead; the window must NOT jump: a continues from
+	// its own clock, not from b's.
+	b.Resume(aNow + 1_000_000)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := a.Read(GAddr{Off: 64}, buf); err != nil {
+				t.Error(err)
+			}
+		}
+		a.LeaveCohort()
+	}()
+	go func() {
+		defer wg.Done()
+		if err := b.Read(GAddr{Off: 64}, buf); err != nil {
+			t.Error(err)
+		}
+		b.LeaveCohort()
+	}()
+	go func() { wg.Wait(); close(done) }()
+	<-done
+	if b.Now() < aNow+1_000_000 {
+		t.Fatalf("b clock %d regressed below resume point", b.Now())
+	}
+}
+
+func TestFrontierTracksNICBusy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MNSize = 1 << 20
+	f := MustNewFabric(cfg)
+	if f.Frontier() != 0 {
+		t.Fatal("fresh fabric frontier must be 0")
+	}
+	c := f.NewClient()
+	if err := c.Write(GAddr{Off: 64}, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if f.Frontier() <= 0 {
+		t.Fatal("frontier must advance with NIC busy time")
+	}
+	// A later client starts at the frontier.
+	c2 := f.NewClient()
+	if c2.Now() != f.Frontier() {
+		t.Fatalf("new client clock %d, frontier %d", c2.Now(), f.Frontier())
+	}
+}
+
+func TestWriteBatchStats(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MNSize = 1 << 20
+	f := MustNewFabric(cfg)
+	c := f.NewClient()
+	err := c.WriteBatch(
+		[]GAddr{{Off: 64}, {Off: 256}},
+		[][]byte{make([]byte, 10), make([]byte, 20)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Writes != 2 || s.Trips != 1 || s.BytesWritten != 30 {
+		t.Fatalf("batch stats: %+v", s)
+	}
+	if err := c.WriteBatch(nil, nil); err != nil {
+		t.Fatal("empty batch must be a no-op")
+	}
+	if err := c.WriteBatch([]GAddr{{Off: 0}}, [][]byte{{1}, {2}}); err == nil {
+		t.Fatal("mismatched batch must error")
+	}
+}
+
+func TestChunkAllocatorOversized(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MNSize = 64 << 20
+	cfg.ChunkBytes = 1 << 20
+	f := MustNewFabric(cfg)
+	c := f.NewClient()
+	al := NewChunkAllocator(c, 0)
+	// Larger than a chunk: dedicated RPC.
+	addr, err := al.Alloc(2 << 20)
+	if err != nil || addr.IsNil() {
+		t.Fatalf("oversized alloc: %v %v", addr, err)
+	}
+	if _, err := al.Alloc(-1); err == nil {
+		t.Fatal("negative alloc must fail")
+	}
+}

@@ -1,0 +1,119 @@
+package dmsim
+
+import "sync"
+
+// timeGate is a conservative virtual-time synchronizer. The NIC's FIFO
+// queueing recurrence (completion = max(arrival, free) + service) is
+// only faithful when verbs arrive in roughly nondecreasing virtual-time
+// order. Goroutines on a small host run in long real-time slices, so an
+// unsynchronized cohort would present arrivals wildly out of order: one
+// client's entire run executes first, pushing the NIC's busy horizon
+// far past the epoch, and every later client appears to queue behind
+// history that "hasn't happened yet".
+//
+// The gate bounds the skew: member clients may only issue verbs while
+// their clock is inside the current window [0, window); a client that
+// reaches the edge blocks until every other member has also reached it,
+// then the window advances by one quantum past the slowest member. The
+// NIC then sees arrival times that are ordered to within one quantum,
+// which is set to the base RTT — about one operation per window.
+//
+// Membership is voluntary: clients that never join (bootstrap loaders,
+// unit tests) freewheel exactly as before.
+type timeGate struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	quantum int64
+
+	window  int64 // exclusive upper bound of runnable virtual time
+	members int
+	waiting int    // members registered at the edge since the last advance
+	minNow  int64  // smallest clock among registered members
+	gen     uint64 // bumped by every advance; consumes registrations
+}
+
+const maxInt64 = int64(1<<63 - 1)
+
+func newTimeGate(quantum int64) *timeGate {
+	if quantum < 1 {
+		quantum = 1
+	}
+	g := &timeGate{quantum: quantum, minNow: maxInt64}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// join adds a member whose clock currently reads now, opening the
+// window to cover it (cohort setup, where all members share an epoch).
+func (g *timeGate) join(now int64) {
+	g.mu.Lock()
+	g.members++
+	if w := now + g.quantum; w > g.window {
+		g.window = w
+	}
+	g.mu.Unlock()
+}
+
+// rejoin re-adds a member that temporarily suspended (e.g. a delegated
+// read waiting on its leader) WITHOUT widening the window: the member's
+// clock may have jumped ahead to its leader's completion, and opening
+// the window that far would let every laggard race through it,
+// unbounding the very skew the gate exists to limit. The rejoined
+// member simply blocks at its next verb until the window catches up.
+func (g *timeGate) rejoin() {
+	g.mu.Lock()
+	g.members++
+	g.mu.Unlock()
+}
+
+// leave removes a member; if everyone else is registered at the window
+// edge, the window advances so they can proceed.
+func (g *timeGate) leave() {
+	g.mu.Lock()
+	g.members--
+	if g.members <= 1 {
+		g.cond.Broadcast() // lone member freewheels; wake it if blocked
+	} else if g.waiting >= g.members {
+		g.advanceLocked()
+	}
+	g.mu.Unlock()
+}
+
+// sync blocks until the member's clock is inside the window. A blocked
+// member registers exactly once per window generation: the advance
+// consumes every registration (waiting is reset), so a member that was
+// signalled but not yet rescheduled cannot be double-counted toward the
+// next advance — the bug that would otherwise let one hot goroutine
+// march the window forward alone on a small host.
+func (g *timeGate) sync(now int64) {
+	g.mu.Lock()
+	for now >= g.window && g.members > 1 {
+		if now < g.minNow {
+			g.minNow = now
+		}
+		g.waiting++
+		if g.waiting >= g.members {
+			g.advanceLocked()
+			continue
+		}
+		gen := g.gen
+		for gen == g.gen && now >= g.window && g.members > 1 {
+			g.cond.Wait()
+		}
+	}
+	g.mu.Unlock()
+}
+
+// advanceLocked opens the window one quantum past the slowest
+// registered member, consumes all registrations, and wakes everyone.
+func (g *timeGate) advanceLocked() {
+	next := g.minNow + g.quantum
+	if next <= g.window {
+		next = g.window + g.quantum
+	}
+	g.window = next
+	g.minNow = maxInt64
+	g.waiting = 0
+	g.gen++
+	g.cond.Broadcast()
+}

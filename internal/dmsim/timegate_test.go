@@ -1,0 +1,66 @@
+package dmsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateDirect(t *testing.T) {
+	g := newTimeGate(1000)
+	g.join(0)
+	g.join(0)
+	var wg sync.WaitGroup
+	spans := make([]int64, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer g.leave()
+			now := int64(0)
+			for j := 0; j < 100; j++ {
+				g.sync(now)
+				now += 1000
+			}
+			spans[i] = now
+		}(i)
+	}
+	wg.Wait()
+	t.Logf("spans: %v, final window %d", spans, g.window)
+	if g.window > 110000 {
+		t.Fatalf("window ran to %d, want ~101000 (lockstep)", g.window)
+	}
+}
+
+func TestGateJoinLeaveChurn(t *testing.T) {
+	// Members joining and leaving mid-flight must never wedge the gate.
+	g := newTimeGate(1000)
+	const members = 6
+	var wg sync.WaitGroup
+	for m := 0; m < members; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			now := int64(m * 100)
+			g.join(now)
+			for j := 0; j < 200; j++ {
+				g.sync(now)
+				now += int64(500 + m*37)
+				if j%50 == 25 {
+					// Simulate a suspend/resume cycle.
+					g.leave()
+					now += 10_000
+					g.rejoin()
+				}
+			}
+			g.leave()
+		}(m)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("gate wedged under join/leave churn")
+	}
+}

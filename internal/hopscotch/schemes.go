@@ -1,0 +1,170 @@
+package hopscotch
+
+import "math/rand"
+
+// This file is the hashing-scheme laboratory behind Figure 3d of the
+// CHIME paper: for each collision-resolution scheme used on DM, measure
+// the maximum load factor a fixed-size table sustains, alongside the
+// scheme's read-amplification factor (how many entries one lookup must
+// fetch). Tables have 128 entries in the paper; trials insert random
+// keys until the first insertion failure.
+
+// SchemeResult is one point of Figure 3d.
+type SchemeResult struct {
+	Name          string
+	MaxLoadFactor float64 // mean over trials
+	ReadAmp       int     // entries fetched per lookup
+}
+
+// MaxLoadFactorHopscotch measures hopscotch hashing with the given
+// table size and neighborhood.
+func MaxLoadFactorHopscotch(n, h, trials int, seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	var sum float64
+	for t := 0; t < trials; t++ {
+		tbl, err := NewTable(n, h)
+		if err != nil {
+			panic(err)
+		}
+		for {
+			if err := tbl.Put(r.Uint64(), 0); err != nil {
+				break
+			}
+		}
+		sum += tbl.LoadFactor()
+	}
+	return sum / float64(trials)
+}
+
+// MaxLoadFactorAssociative measures a single-choice associative-bucket
+// table: n entries grouped into buckets of size b; a key may only live
+// in its home bucket. Read amplification is b.
+func MaxLoadFactorAssociative(n, b, trials int, seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	buckets := n / b
+	var sum float64
+	for t := 0; t < trials; t++ {
+		fill := make([]int, buckets)
+		inserted := 0
+		for {
+			h := int(defaultHash(r.Uint64()) % uint64(buckets))
+			if fill[h] == b {
+				break
+			}
+			fill[h]++
+			inserted++
+		}
+		sum += float64(inserted) / float64(n)
+	}
+	return sum / float64(trials)
+}
+
+// MaxLoadFactorRACE measures the RACE hash-table design (ATC '21):
+// associativity + two choices + overflow colocation. The table is a row
+// of bucket groups, each group holding [main1 | overflow | main2]; a key
+// hashes to two main buckets in different groups and may also use the
+// overflow bucket adjacent to each. A lookup fetches both candidate
+// (main+overflow) pairs, so the read amplification is 4·b.
+func MaxLoadFactorRACE(n, b, trials int, seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	// n entries total; each group holds 3 buckets of size b.
+	groups := n / (3 * b)
+	if groups < 2 {
+		groups = 2
+	}
+	total := groups * 3 * b
+	var sum float64
+	for t := 0; t < trials; t++ {
+		fill := make([]int, groups*3) // bucket fill counts
+		inserted := 0
+		for {
+			k := r.Uint64()
+			h1 := int(defaultHash(k) % uint64(groups))
+			h2 := int(defaultHash(k^0xDEADBEEF) % uint64(groups))
+			if h2 == h1 {
+				h2 = (h1 + 1) % groups
+			}
+			// Candidate buckets: (main1, overflow) of group h1 and
+			// (main2, overflow) of group h2.
+			cands := []int{h1*3 + 0, h1*3 + 1, h2*3 + 2, h2*3 + 1}
+			best := -1
+			for _, c := range cands {
+				if fill[c] < b && (best == -1 || fill[c] < fill[best]) {
+					best = c
+				}
+			}
+			if best == -1 {
+				break
+			}
+			fill[best]++
+			inserted++
+		}
+		sum += float64(inserted) / float64(total)
+	}
+	return sum / float64(trials)
+}
+
+// MaxLoadFactorFaRM measures FaRM's chained associative hopscotch
+// (NSDI '14) with the chained overflow blocks disabled, as the CHIME
+// paper does: hopscotch hashing whose neighborhood is two associative
+// buckets (2·b entries) and whose reads fetch both buckets, giving a
+// read amplification of 2·b.
+func MaxLoadFactorFaRM(n, b, trials int, seed int64) float64 {
+	// Neighborhood of two b-entry buckets = hopscotch with H = 2b over
+	// bucket-aligned homes.
+	r := rand.New(rand.NewSource(seed))
+	var sum float64
+	for t := 0; t < trials; t++ {
+		tbl, err := NewTable(n, 2*b)
+		if err != nil {
+			panic(err)
+		}
+		// Bucket-aligned homes: hash to a bucket, home = bucket start.
+		buckets := n / b
+		tbl.hash = func(k uint64) int { return int(defaultHash(k)%uint64(buckets)) * b }
+		for {
+			if err := tbl.Put(r.Uint64(), 0); err != nil {
+				break
+			}
+		}
+		sum += tbl.LoadFactor()
+	}
+	return sum / float64(trials)
+}
+
+// Figure3d runs the full Figure 3d sweep over a table of n entries and
+// returns one result per scheme configuration, in the paper's layout:
+// associativity with bucket sizes, hopscotch with neighborhood sizes,
+// RACE and FaRM with their default bucket geometry.
+func Figure3d(n, trials int, seed int64) []SchemeResult {
+	var out []SchemeResult
+	for _, b := range []int{2, 4, 8, 16} {
+		out = append(out, SchemeResult{
+			Name:          "associative",
+			MaxLoadFactor: MaxLoadFactorAssociative(n, b, trials, seed),
+			ReadAmp:       b,
+		})
+	}
+	for _, h := range []int{2, 4, 8, 16} {
+		out = append(out, SchemeResult{
+			Name:          "hopscotch",
+			MaxLoadFactor: MaxLoadFactorHopscotch(n, h, trials, seed),
+			ReadAmp:       h,
+		})
+	}
+	for _, b := range []int{2, 4} {
+		out = append(out, SchemeResult{
+			Name:          "RACE",
+			MaxLoadFactor: MaxLoadFactorRACE(n, b, trials, seed),
+			ReadAmp:       4 * b,
+		})
+	}
+	for _, b := range []int{2, 4} {
+		out = append(out, SchemeResult{
+			Name:          "FaRM",
+			MaxLoadFactor: MaxLoadFactorFaRM(n, b, trials, seed),
+			ReadAmp:       2 * b,
+		})
+	}
+	return out
+}

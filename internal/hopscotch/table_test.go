@@ -1,0 +1,314 @@
+package hopscotch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTableGeometry(t *testing.T) {
+	if _, err := NewTable(0, 4); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := NewTable(8, 0); err == nil {
+		t.Error("h=0 must fail")
+	}
+	if _, err := NewTable(8, 16); err == nil {
+		t.Error("h>n must fail")
+	}
+	if _, err := NewTable(64, 33); err == nil {
+		t.Error("h>32 must fail (bitmap width)")
+	}
+	tbl, err := NewTable(128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Cap() != 128 || tbl.H() != 8 || tbl.Len() != 0 {
+		t.Fatalf("geometry: cap=%d h=%d len=%d", tbl.Cap(), tbl.H(), tbl.Len())
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	tbl, _ := NewTable(128, 8)
+	keys := map[uint64]uint64{}
+	r := rand.New(rand.NewSource(1))
+	for len(keys) < 80 {
+		k, v := r.Uint64(), r.Uint64()
+		if err := tbl.Put(k, v); err != nil {
+			t.Fatalf("put failed at %d keys: %v", len(keys), err)
+		}
+		keys[k] = v
+	}
+	if err := tbl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range keys {
+		got, ok := tbl.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%#x) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	if _, ok := tbl.Get(0xDEAD); ok {
+		t.Fatal("found absent key")
+	}
+	// Delete half, verify, re-check invariants.
+	n := 0
+	for k := range keys {
+		if n%2 == 0 {
+			if !tbl.Delete(k) {
+				t.Fatalf("Delete(%#x) missed", k)
+			}
+			delete(keys, k)
+		}
+		n++
+	}
+	if tbl.Delete(0xDEAD) {
+		t.Fatal("deleted absent key")
+	}
+	if err := tbl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range keys {
+		if got, ok := tbl.Get(k); !ok || got != v {
+			t.Fatalf("after deletes Get(%#x) = %d,%v", k, got, ok)
+		}
+	}
+}
+
+func TestPutUpdatesInPlace(t *testing.T) {
+	tbl, _ := NewTable(64, 8)
+	if err := tbl.Put(7, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Put(7, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("len = %d after update, want 1", tbl.Len())
+	}
+	if v, _ := tbl.Get(7); v != 2 {
+		t.Fatalf("value = %d, want 2", v)
+	}
+}
+
+// TestInvariantsUnderRandomOps is the package's core property test:
+// arbitrary put/delete sequences preserve the hopscotch invariants and
+// a shadow map.
+func TestInvariantsUnderRandomOps(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tbl, _ := NewTable(64, 8)
+		shadow := map[uint64]uint64{}
+		keys := make([]uint64, 0, 64)
+		for i := 0; i < 500; i++ {
+			if r.Float64() < 0.7 || len(keys) == 0 {
+				k, v := r.Uint64()%1000, r.Uint64()
+				if err := tbl.Put(k, v); err == nil {
+					if _, dup := shadow[k]; !dup {
+						keys = append(keys, k)
+					}
+					shadow[k] = v
+				}
+			} else {
+				k := keys[r.Intn(len(keys))]
+				tbl.Delete(k)
+				delete(shadow, k)
+			}
+			if err := tbl.CheckInvariants(); err != nil {
+				t.Logf("seed %d step %d: %v", seed, i, err)
+				return false
+			}
+		}
+		if tbl.Len() != len(shadow) {
+			return false
+		}
+		for k, v := range shadow {
+			if got, ok := tbl.Get(k); !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanRejectsBadGeometry(t *testing.T) {
+	occ := func(int) bool { return false }
+	hm := func(int) int { return 0 }
+	if _, _, err := Plan(0, 4, 0, occ, hm); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, _, err := Plan(8, 9, 0, occ, hm); err == nil {
+		t.Error("h>n must fail")
+	}
+	if _, _, err := Plan(8, 4, 8, occ, hm); err == nil {
+		t.Error("home out of range must fail")
+	}
+}
+
+func TestPlanDirectPlacement(t *testing.T) {
+	// Slot 3 free inside the neighborhood of home 2: no moves needed.
+	occupied := map[int]bool{0: true, 1: true, 2: true}
+	moves, free, err := Plan(8, 4, 2,
+		func(i int) bool { return occupied[i] },
+		func(i int) int { return i })
+	if err != nil || len(moves) != 0 || free != 3 {
+		t.Fatalf("moves=%v free=%d err=%v", moves, free, err)
+	}
+}
+
+func TestPlanSingleHop(t *testing.T) {
+	// Table of 8, H=2, home=0. Slots 0..2 occupied (homes 0,1,2), slot 3
+	// free. Free slot 3 is outside [0,2); key at 2 (home 2) can hop to 3.
+	// Then hole at 2 still outside; key at 1 (home 1) hops to 2; hole at
+	// 1 is within [0,2).
+	homes := map[int]int{0: 0, 1: 1, 2: 2}
+	occ := map[int]bool{0: true, 1: true, 2: true}
+	moves, free, err := Plan(8, 2, 0,
+		func(i int) bool { return occ[i] },
+		func(i int) int { return homes[i] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free != 1 {
+		t.Fatalf("free = %d, want 1", free)
+	}
+	want := []Move{{From: 2, To: 3}, {From: 1, To: 2}}
+	if len(moves) != len(want) {
+		t.Fatalf("moves = %v, want %v", moves, want)
+	}
+	for i := range want {
+		if moves[i] != want[i] {
+			t.Fatalf("moves = %v, want %v", moves, want)
+		}
+	}
+}
+
+func TestPlanFullTable(t *testing.T) {
+	// All slots occupied by keys homed at their own positions: no probe
+	// target exists at all.
+	_, _, err := Plan(8, 4, 0,
+		func(i int) bool { return true },
+		func(i int) int { return i })
+	if err != ErrFull {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+}
+
+func TestPlanInfeasibleHop(t *testing.T) {
+	// H=2, home=0, slots 0..5 hold keys that are all exactly at their
+	// home; slot 6 free. Key at 5 could move (home 5, dist to 6 = 1 <2).
+	// Construct instead homes such that no predecessor can move: give
+	// each slot a home exactly H-1 behind it... then they CAN move.
+	// Make every occupied slot's key already at max displacement: home
+	// = slot-1 (for H=2, dist from home to slot = 1, moving to slot+1
+	// would be dist 2 >= H). Then no hop is legal.
+	occ := func(i int) bool { return i != 6 }
+	homeOf := func(i int) int { return (i - 1 + 8) % 8 }
+	_, _, err := Plan(8, 2, 0, occ, homeOf)
+	if err != ErrFull {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+}
+
+func TestPlanWrapAround(t *testing.T) {
+	// Home near the end of the table: the neighborhood wraps.
+	n, h := 8, 4
+	occ := map[int]bool{7: true}
+	moves, free, err := Plan(n, h, 7,
+		func(i int) bool { return occ[i] },
+		func(i int) int { return 7 })
+	if err != nil || len(moves) != 0 {
+		t.Fatalf("moves=%v err=%v", moves, err)
+	}
+	if free != 0 { // wraps to slot 0
+		t.Fatalf("free = %d, want 0", free)
+	}
+}
+
+func TestHopRange(t *testing.T) {
+	// No moves: range is just the neighborhood.
+	start, length := HopRange(64, 8, 5, nil, 7)
+	if start != 5 || length != 8 {
+		t.Fatalf("range = [%d,+%d), want [5,+8)", start, length)
+	}
+	// With a move extending past the neighborhood.
+	moves := []Move{{From: 12, To: 14}, {From: 9, To: 12}}
+	start, length = HopRange(64, 8, 5, moves, 9)
+	if start != 5 || length != 10 { // slot 14 is at distance 9 from home 5
+		t.Fatalf("range = [%d,+%d), want [5,+10)", start, length)
+	}
+}
+
+func TestHighLoadFill(t *testing.T) {
+	// A 128-slot, H=8 table should comfortably exceed 75% before the
+	// first failure (paper reports ≈90% mean).
+	tbl, _ := NewTable(128, 8)
+	r := rand.New(rand.NewSource(42))
+	for {
+		if err := tbl.Put(r.Uint64(), 0); err != nil {
+			break
+		}
+	}
+	if lf := tbl.LoadFactor(); lf < 0.75 {
+		t.Fatalf("first-failure load factor %.3f, want >= 0.75", lf)
+	}
+	if err := tbl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemeLoadFactors(t *testing.T) {
+	const n, trials = 128, 20
+	hop8 := MaxLoadFactorHopscotch(n, 8, trials, 1)
+	hop16 := MaxLoadFactorHopscotch(n, 16, trials, 1)
+	hop2 := MaxLoadFactorHopscotch(n, 2, trials, 1)
+	assoc4 := MaxLoadFactorAssociative(n, 4, trials, 1)
+	race4 := MaxLoadFactorRACE(n, 4, trials, 1)
+	farm4 := MaxLoadFactorFaRM(n, 4, trials, 1)
+
+	// Paper Figure 3d / 19b shapes:
+	if hop8 < 0.8 {
+		t.Errorf("hopscotch H=8 load factor %.3f, want >= 0.8 (paper ~0.9)", hop8)
+	}
+	if hop16 < hop8 {
+		t.Errorf("H=16 (%.3f) must beat H=8 (%.3f)", hop16, hop8)
+	}
+	if hop2 > hop8 {
+		t.Errorf("H=2 (%.3f) must trail H=8 (%.3f)", hop2, hop8)
+	}
+	if hop2 < 0.2 || hop2 > 0.6 {
+		t.Errorf("H=2 load factor %.3f, paper reports ~0.38", hop2)
+	}
+	// Hopscotch with amplification 8 must beat associativity with the
+	// same amplification... associativity's amp-8 config is bucket 8.
+	assoc8 := MaxLoadFactorAssociative(n, 8, trials, 1)
+	if hop8 <= assoc8 {
+		t.Errorf("hopscotch(8) %.3f must beat associative(8) %.3f at equal amp", hop8, assoc8)
+	}
+	if assoc4 < 0.3 || assoc4 > 0.9 {
+		t.Errorf("associative(4) load factor %.3f out of plausible range", assoc4)
+	}
+	if race4 <= assoc4 {
+		t.Errorf("RACE(4) %.3f should beat single-choice associative(4) %.3f", race4, assoc4)
+	}
+	if farm4 <= assoc4 {
+		t.Errorf("FaRM(4) %.3f should beat associative(4) %.3f", farm4, assoc4)
+	}
+	t.Logf("hop2=%.3f hop8=%.3f hop16=%.3f assoc4=%.3f race4=%.3f farm4=%.3f",
+		hop2, hop8, hop16, assoc4, race4, farm4)
+}
+
+func TestFigure3dSweep(t *testing.T) {
+	results := Figure3d(128, 5, 1)
+	if len(results) != 12 {
+		t.Fatalf("got %d results, want 12", len(results))
+	}
+	for _, r := range results {
+		if r.MaxLoadFactor <= 0 || r.MaxLoadFactor > 1 {
+			t.Errorf("%s amp=%d: load factor %.3f out of (0,1]", r.Name, r.ReadAmp, r.MaxLoadFactor)
+		}
+	}
+}

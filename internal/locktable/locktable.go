@@ -1,0 +1,151 @@
+// Package locktable implements Sherman's local lock table (SIGMOD '22),
+// which CHIME inherits (§2.2 of the CHIME paper: Sherman "reduces
+// lock-fail retries with shared local lock tables"): clients on the same
+// compute node serialize on a local queue per remote lock before
+// touching the remote lock word. Only the first local contender issues
+// the remote CAS; when it releases while local waiters queue, the lock
+// is handed over locally — the remote word stays locked and the next
+// holder receives the current lock-word payload (CHIME's piggybacked
+// vacancy bitmap and argmax) without any network traffic. The remote
+// word is only written back when no local contender wants the lock.
+//
+// Virtual-time semantics: waiters Suspend from the fabric's time gate
+// and Resume at the releaser's clock plus a small local handover cost,
+// which is exactly the latency a handover costs on real hardware.
+package locktable
+
+import (
+	"sync"
+
+	"chime/internal/dmsim"
+)
+
+// handoverNs is the local CPU cost of passing a lock between clients of
+// one CN.
+const handoverNs = 200
+
+type handoff struct {
+	word uint64 // lock-word payload carried across the handover
+	ok   bool   // false: lock not held remotely; acquire it yourself
+	at   int64  // releaser's virtual time
+}
+
+type waiter struct {
+	ch chan handoff
+}
+
+type lockState struct {
+	held    bool
+	waiters []*waiter
+}
+
+// Table is one compute node's local lock table. Safe for concurrent use.
+type Table struct {
+	mu sync.Mutex
+	m  map[uint64]*lockState
+
+	handovers int64
+	acquires  int64
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{m: make(map[uint64]*lockState)}
+}
+
+// Stats reports total acquisitions and how many were served by local
+// handover (no remote CAS).
+func (t *Table) Stats() (acquires, handovers int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.acquires, t.handovers
+}
+
+// Acquire claims the local slot for a remote lock. It returns
+// viaHandover=true with the handed-over lock-word payload when a local
+// releaser passed the (still remotely held) lock directly; otherwise the
+// caller must acquire the remote lock itself (the slot is reserved for
+// it, so same-CN contention is off the wire).
+func (t *Table) Acquire(dc *dmsim.Client, addr uint64) (word uint64, viaHandover bool) {
+	t.mu.Lock()
+	t.acquires++
+	st := t.m[addr]
+	if st == nil {
+		st = &lockState{}
+		t.m[addr] = st
+	}
+	if !st.held {
+		st.held = true
+		t.mu.Unlock()
+		return 0, false
+	}
+	w := &waiter{ch: make(chan handoff, 1)}
+	st.waiters = append(st.waiters, w)
+	t.mu.Unlock()
+
+	suspended := dc.Suspend()
+	h := <-w.ch
+	at := h.at + handoverNs
+	if suspended {
+		dc.Resume(at)
+	} else if at > dc.Now() {
+		dc.Advance(at - dc.Now())
+	}
+	if h.ok {
+		t.mu.Lock()
+		t.handovers++
+		t.mu.Unlock()
+	}
+	return h.word, h.ok
+}
+
+// HasWaiters reports whether a local contender is queued; releasers use
+// it to decide between a combined remote unlock and a local handover.
+func (t *Table) HasWaiters(addr uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.m[addr]
+	return st != nil && len(st.waiters) > 0
+}
+
+// ReleaseHandover passes the (still remotely held) lock to the next
+// local waiter along with the current lock-word payload. It reports
+// false when no waiter was queued after all — the caller must then
+// release the remote lock and call ReleaseRemote.
+func (t *Table) ReleaseHandover(dc *dmsim.Client, addr uint64, word uint64) bool {
+	t.mu.Lock()
+	st := t.m[addr]
+	if st == nil || len(st.waiters) == 0 {
+		t.mu.Unlock()
+		return false
+	}
+	w := st.waiters[0]
+	st.waiters = st.waiters[1:]
+	t.mu.Unlock()
+	w.ch <- handoff{word: word, ok: true, at: dc.Now()}
+	return true
+}
+
+// ReleaseRemote marks the slot free after the caller released the
+// remote lock. A waiter that raced in since the HasWaiters check is
+// woken with instructions to acquire remotely itself (the slot passes
+// to it).
+func (t *Table) ReleaseRemote(dc *dmsim.Client, addr uint64) {
+	t.mu.Lock()
+	st := t.m[addr]
+	if st == nil {
+		t.mu.Unlock()
+		return
+	}
+	if len(st.waiters) > 0 {
+		w := st.waiters[0]
+		st.waiters = st.waiters[1:]
+		// Slot stays held, now owned by the woken waiter.
+		t.mu.Unlock()
+		w.ch <- handoff{ok: false, at: dc.Now()}
+		return
+	}
+	st.held = false
+	delete(t.m, addr)
+	t.mu.Unlock()
+}

@@ -1,0 +1,192 @@
+// Package nodelayout provides the byte-level node layout machinery
+// shared by every remote index in this repository: cell placement around
+// 64-byte cache-line boundaries and the two-level cache-line versions of
+// CHIME §4.1.1 (which Sherman also uses, after the paper's correction of
+// its original bookend versioning).
+//
+// A node image is a flat byte region carved into "Cells" (header, each
+// entry, each metadata replica). Every cell carries version bytes:
+//
+//   - a cell whose content fits in one 64-byte line (content <= 63
+//     bytes) is placed so it never crosses a line boundary and carries a
+//     single leading version byte;
+//   - a larger cell is line-aligned and carries one version byte at the
+//     start of every line it occupies, content packed into the remaining
+//     63 bytes per line (the "1-byte version per 63 bytes of data"
+//     overhead the paper reports).
+//
+// Each version byte packs a 4-bit node-level version NV (high nibble)
+// and a 4-bit entry-level version EV (low nibble). A node write
+// increments NV in every version byte of the node; an entry write
+// increments EV only in the cell's own version bytes. A reader accepts a
+// fetched window only if all NVs in it match and, within each cell, all
+// version bytes are identical. The dmsim fabric copies 64-byte-aligned
+// lines atomically (PCIe TLP atomicity), so a version byte is always
+// consistent with the rest of its line.
+package nodelayout
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LineSize is the cache-line granularity of version placement.
+const LineSize = 64
+
+// PackVer packs node-level and entry-level version nibbles.
+func PackVer(nv, ev uint8) byte { return byte(nv&0xF)<<4 | byte(ev&0xF) }
+
+// VerNV extracts the node-level version nibble.
+func VerNV(b byte) uint8 { return uint8(b >> 4) }
+
+// VerEV extracts the entry-level version nibble.
+func VerEV(b byte) uint8 { return uint8(b & 0xF) }
+
+// Cell describes one versioned region inside a node image.
+type Cell struct {
+	Off     int // byte offset of the first version byte
+	Content int // content bytes (excluding version bytes)
+	Big     bool
+	Lines   int // big cells: number of 64-byte lines occupied
+}
+
+// Physical returns the cell's total footprint in the image.
+func (c Cell) Physical() int {
+	if c.Big {
+		return c.Lines * LineSize
+	}
+	return 1 + c.Content
+}
+
+// End returns the byte offset just past the cell.
+func (c Cell) End() int { return c.Off + c.Physical() }
+
+// VersionOffsets appends the image offsets of the cell's version bytes.
+func (c Cell) VersionOffsets(dst []int) []int {
+	if !c.Big {
+		return append(dst, c.Off)
+	}
+	for l := 0; l < c.Lines; l++ {
+		dst = append(dst, c.Off+l*LineSize)
+	}
+	return dst
+}
+
+// LayoutCells places cells with the given content sizes sequentially
+// from byte offset start, respecting the line-crossing rule, and returns
+// the cells plus the total region size.
+func LayoutCells(start int, contents []int) ([]Cell, int) {
+	cells := make([]Cell, len(contents))
+	cur := start
+	for i, c := range contents {
+		if c <= LineSize-1 {
+			phys := 1 + c
+			if cur%LineSize+phys > LineSize {
+				cur += LineSize - cur%LineSize // pad to next line
+			}
+			cells[i] = Cell{Off: cur, Content: c}
+			cur += phys
+		} else {
+			if cur%LineSize != 0 {
+				cur += LineSize - cur%LineSize
+			}
+			lines := (c + LineSize - 2) / (LineSize - 1) // ceil(c/63)
+			cells[i] = Cell{Off: cur, Content: c, Big: true, Lines: lines}
+			cur += lines * LineSize
+		}
+	}
+	return cells, cur - start
+}
+
+// WriteCellContent scatters content bytes into the image around the
+// cell's version bytes. len(content) must equal c.Content.
+func WriteCellContent(img []byte, c Cell, content []byte) {
+	if len(content) != c.Content {
+		panic(fmt.Sprintf("nodelayout: cell content %d bytes, cell holds %d", len(content), c.Content))
+	}
+	if !c.Big {
+		copy(img[c.Off+1:], content)
+		return
+	}
+	rem := content
+	for l := 0; l < c.Lines && len(rem) > 0; l++ {
+		n := LineSize - 1
+		if n > len(rem) {
+			n = len(rem)
+		}
+		copy(img[c.Off+l*LineSize+1:], rem[:n])
+		rem = rem[n:]
+	}
+}
+
+// ReadCellContent gathers a cell's content bytes from the image.
+func ReadCellContent(img []byte, c Cell, dst []byte) []byte {
+	dst = dst[:0]
+	if !c.Big {
+		return append(dst, img[c.Off+1:c.Off+1+c.Content]...)
+	}
+	rem := c.Content
+	for l := 0; l < c.Lines && rem > 0; l++ {
+		n := LineSize - 1
+		if n > rem {
+			n = rem
+		}
+		base := c.Off + l*LineSize + 1
+		dst = append(dst, img[base:base+n]...)
+		rem -= n
+	}
+	return dst
+}
+
+// BumpNV increments the node-level version in every version byte of the
+// given cells (a node write).
+func BumpNV(img []byte, cells []Cell) {
+	var offs []int
+	for _, c := range cells {
+		offs = c.VersionOffsets(offs[:0])
+		for _, o := range offs {
+			b := img[o]
+			img[o] = PackVer(VerNV(b)+1, VerEV(b))
+		}
+	}
+}
+
+// BumpEV increments the entry-level version in one cell's version bytes
+// (an entry write).
+func BumpEV(img []byte, c Cell) {
+	var offs [16]int
+	for _, o := range c.VersionOffsets(offs[:0]) {
+		b := img[o]
+		img[o] = PackVer(VerNV(b), VerEV(b)+1)
+	}
+}
+
+// ErrTornRead is returned when version validation fails: the reader
+// raced a concurrent write and must retry.
+var ErrTornRead = errors.New("nodelayout: torn read (version mismatch)")
+
+// CheckVersions validates a fetched window: every version byte of every
+// given cell must carry the same NV, and within each cell all version
+// bytes must be identical (same NV and EV). Cell offsets are image
+// offsets; winOff is the image offset where the window begins.
+func CheckVersions(win []byte, winOff int, cells []Cell) error {
+	first := true
+	var nv uint8
+	var offs [16]int
+	for _, c := range cells {
+		vo := c.VersionOffsets(offs[:0])
+		b0 := win[vo[0]-winOff]
+		if first {
+			nv = VerNV(b0)
+			first = false
+		} else if VerNV(b0) != nv {
+			return ErrTornRead
+		}
+		for _, o := range vo[1:] {
+			if win[o-winOff] != b0 {
+				return ErrTornRead
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package nodelayout
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackVerRoundTrip(t *testing.T) {
+	for nv := uint8(0); nv < 16; nv++ {
+		for ev := uint8(0); ev < 16; ev++ {
+			b := PackVer(nv, ev)
+			if VerNV(b) != nv || VerEV(b) != ev {
+				t.Fatalf("PackVer(%d,%d) -> (%d,%d)", nv, ev, VerNV(b), VerEV(b))
+			}
+		}
+	}
+}
+
+func TestLayoutNeverCrossesLinesForSmallCells(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		contents := make([]int, n)
+		for i := range contents {
+			contents[i] = 1 + r.Intn(63)
+		}
+		cells, size := LayoutCells(r.Intn(4)*LineSize, contents)
+		prevEnd := 0
+		for i, c := range cells {
+			if c.Big {
+				return false
+			}
+			if c.Off%LineSize+c.Physical() > LineSize {
+				t.Logf("seed %d: cell %d crosses line", seed, i)
+				return false
+			}
+			if c.Off < prevEnd {
+				return false
+			}
+			prevEnd = c.End()
+		}
+		return size >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBigCellGeometry(t *testing.T) {
+	for _, content := range []int{64, 63*2 - 1, 63 * 2, 63*2 + 1, 1000} {
+		cells, _ := LayoutCells(0, []int{content})
+		c := cells[0]
+		if !c.Big {
+			t.Fatalf("content %d should be big", content)
+		}
+		wantLines := (content + LineSize - 2) / (LineSize - 1)
+		if c.Lines != wantLines {
+			t.Fatalf("content %d: %d lines, want %d", content, c.Lines, wantLines)
+		}
+		if c.Physical() != wantLines*LineSize {
+			t.Fatalf("content %d: physical %d", content, c.Physical())
+		}
+	}
+}
+
+func TestContentRoundTripProperty(t *testing.T) {
+	prop := func(seed int64, sz uint16) bool {
+		size := int(sz)%500 + 1
+		cells, total := LayoutCells(0, []int{size})
+		img := make([]byte, total)
+		r := rand.New(rand.NewSource(seed))
+		content := make([]byte, size)
+		r.Read(content)
+		WriteCellContent(img, cells[0], content)
+		return bytes.Equal(ReadCellContent(img, cells[0], nil), content)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionIsolationBetweenAdjacentCells(t *testing.T) {
+	// Two small cells in the same line: bumping one's EV must not
+	// disturb the other's content or version.
+	cells, total := LayoutCells(0, []int{20, 20})
+	img := make([]byte, total)
+	WriteCellContent(img, cells[0], bytes.Repeat([]byte{1}, 20))
+	WriteCellContent(img, cells[1], bytes.Repeat([]byte{2}, 20))
+	BumpEV(img, cells[0])
+	if VerEV(img[cells[1].Off]) != 0 {
+		t.Fatal("EV bump leaked to neighbor")
+	}
+	if !bytes.Equal(ReadCellContent(img, cells[1], nil), bytes.Repeat([]byte{2}, 20)) {
+		t.Fatal("neighbor content disturbed")
+	}
+}
+
+func TestCheckVersionsAcceptsConsistentWindow(t *testing.T) {
+	cells, total := LayoutCells(0, []int{30, 30, 200})
+	img := make([]byte, total)
+	for i := 0; i < 5; i++ {
+		BumpNV(img, cells)
+	}
+	BumpEV(img, cells[1])
+	if err := CheckVersions(img, 0, cells); err != nil {
+		t.Fatalf("consistent image rejected: %v", err)
+	}
+}
+
+func TestCheckVersionsRejectsMixedNV(t *testing.T) {
+	cells, total := LayoutCells(0, []int{30, 30})
+	img := make([]byte, total)
+	BumpNV(img, cells[:1])
+	if err := CheckVersions(img, 0, cells); err != ErrTornRead {
+		t.Fatalf("mixed NV accepted: %v", err)
+	}
+}
+
+func TestCheckVersionsRejectsIntraCellMix(t *testing.T) {
+	cells, total := LayoutCells(0, []int{300})
+	img := make([]byte, total)
+	offs := cells[0].VersionOffsets(nil)
+	if len(offs) < 2 {
+		t.Fatal("big cell must have multiple version bytes")
+	}
+	img[offs[len(offs)-1]] = PackVer(0, 3)
+	if err := CheckVersions(img, 0, cells); err != ErrTornRead {
+		t.Fatalf("intra-cell mix accepted: %v", err)
+	}
+}
+
+func TestNibbleWraparoundStaysConsistent(t *testing.T) {
+	// 20 NV bumps wrap the 4-bit nibble; consistency must survive.
+	cells, total := LayoutCells(0, []int{30, 200})
+	img := make([]byte, total)
+	for i := 0; i < 20; i++ {
+		BumpNV(img, cells)
+		if err := CheckVersions(img, 0, cells); err != nil {
+			t.Fatalf("bump %d: %v", i, err)
+		}
+	}
+	if VerNV(img[cells[0].Off]) != 20%16 {
+		t.Fatalf("NV = %d, want 4", VerNV(img[cells[0].Off]))
+	}
+}
+
+func TestWriteCellContentPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cells, total := LayoutCells(0, []int{10})
+	WriteCellContent(make([]byte, total), cells[0], make([]byte, 11))
+}

@@ -1,0 +1,216 @@
+package rolex
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"chime/internal/dmsim"
+	"chime/internal/ycsb"
+)
+
+func hopOptions() Options {
+	o := DefaultOptions()
+	o.HopscotchLeaves = true
+	o.Neighborhood = 8
+	return o
+}
+
+func buildHop(t *testing.T, n int) (*Index, *Client) {
+	t.Helper()
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 512 << 20
+	ix, err := Build(dmsim.MustNewFabric(cfg), hopOptions(), sortedKeys(n), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, ix.NewComputeNode().NewClient()
+}
+
+func TestHopLeafOptionValidation(t *testing.T) {
+	o := hopOptions()
+	o.Neighborhood = 3 // does not divide span 16
+	if err := o.Validate(); err == nil {
+		t.Fatal("indivisible neighborhood must be rejected")
+	}
+	o = hopOptions()
+	o.Neighborhood = 32
+	if err := o.Validate(); err == nil {
+		t.Fatal("H > span must be rejected")
+	}
+	if err := hopOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopLeafSearch(t *testing.T) {
+	const n = 4000
+	_, cl := buildHop(t, n)
+	for _, k := range sortedKeys(n) {
+		got, err := cl.Search(k)
+		if err != nil {
+			t.Fatalf("search %#x: %v", k, err)
+		}
+		if len(got) != 8 {
+			t.Fatalf("value length %d", len(got))
+		}
+	}
+	if _, err := cl.Search(999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("absent: %v", err)
+	}
+}
+
+func TestHopLeafReadAmplification(t *testing.T) {
+	// CHIME-Learned must read ~2 neighborhoods, far less than ROLEX's 2
+	// whole leaves.
+	const n = 4000
+	ixHop, clHop := buildHop(t, n)
+	cfgPlain := dmsim.DefaultConfig()
+	cfgPlain.MNSize = 512 << 20
+	ixPlain, err := Build(dmsim.MustNewFabric(cfgPlain), DefaultOptions(), sortedKeys(n), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clPlain := ixPlain.NewComputeNode().NewClient()
+
+	keys := sortedKeys(n)
+	perOp := func(cl *Client) float64 {
+		before := cl.DM().Stats().BytesRead
+		for i := 0; i < 200; i++ {
+			if _, err := cl.Search(keys[(i*13)%n]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(cl.DM().Stats().BytesRead-before) / 200
+	}
+	hop, plain := perOp(clHop), perOp(clPlain)
+	if hop >= plain {
+		t.Fatalf("hopscotch leaves read %.0f B/op, plain %.0f: no amplification win", hop, plain)
+	}
+	t.Logf("bytes/search: CHIME-Learned %.0f vs ROLEX %.0f", hop, plain)
+	_ = ixHop
+	_ = ixPlain
+}
+
+func TestHopLeafInsertUpdateDelete(t *testing.T) {
+	const n = 1000
+	_, cl := buildHop(t, n)
+	val := func(x uint64) []byte {
+		b := make([]byte, 8)
+		binary.LittleEndian.PutUint64(b, x)
+		return b
+	}
+	// Insert fresh keys.
+	r := rand.New(rand.NewSource(9))
+	fresh := map[uint64]uint64{}
+	for len(fresh) < 300 {
+		k := r.Uint64()
+		if err := cl.Insert(k, val(k>>3)); err != nil {
+			t.Fatalf("insert %#x: %v", k, err)
+		}
+		fresh[k] = k >> 3
+	}
+	for k, v := range fresh {
+		got, err := cl.Search(k)
+		if err != nil || binary.LittleEndian.Uint64(got) != v {
+			t.Fatalf("fresh %#x: %v %v", k, got, err)
+		}
+	}
+	// Update and delete trained keys.
+	keys := sortedKeys(n)
+	for i, k := range keys {
+		switch i % 3 {
+		case 0:
+			if err := cl.Update(k, val(uint64(i))); err != nil {
+				t.Fatalf("update: %v", err)
+			}
+		case 1:
+			if err := cl.Delete(k); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+		}
+	}
+	for i, k := range keys {
+		got, err := cl.Search(k)
+		switch i % 3 {
+		case 0:
+			if err != nil || binary.LittleEndian.Uint64(got) != uint64(i) {
+				t.Fatalf("updated %d: %v %v", i, got, err)
+			}
+		case 1:
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("deleted %d: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestHopLeafScan(t *testing.T) {
+	const n = 2000
+	_, cl := buildHop(t, n)
+	keys := sortedKeys(n)
+	out, err := cl.Scan(keys[50], 120)
+	if err != nil || len(out) != 120 {
+		t.Fatalf("scan: %d %v", len(out), err)
+	}
+	if out[0].Key != keys[50] {
+		t.Fatalf("scan start %#x, want %#x", out[0].Key, keys[50])
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Key >= out[i].Key {
+			t.Fatal("unsorted")
+		}
+	}
+}
+
+func TestHopLeafConcurrent(t *testing.T) {
+	const n = 3000
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 512 << 20
+	ix, err := Build(dmsim.MustNewFabric(cfg), hopOptions(), sortedKeys(n), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := ix.NewComputeNode()
+	keys := sortedKeys(n)
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := cn.NewClient()
+			r := rand.New(rand.NewSource(int64(c)))
+			b := make([]byte, 8)
+			for i := 0; i < 400; i++ {
+				k := keys[r.Intn(n)]
+				switch r.Intn(3) {
+				case 0:
+					if _, err := cl.Search(k); err != nil && !errors.Is(err, ErrNotFound) {
+						errs <- fmt.Errorf("search: %w", err)
+						return
+					}
+				case 1:
+					if err := cl.Update(k, b); err != nil && !errors.Is(err, ErrNotFound) {
+						errs <- fmt.Errorf("update: %w", err)
+						return
+					}
+				case 2:
+					if err := cl.Insert(ycsb.KeyOf(uint64(c)<<40|uint64(i)), b); err != nil {
+						errs <- fmt.Errorf("insert: %w", err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Package rolex implements the ROLEX baseline (FAST '23): a learned
+// range index on disaggregated memory. Piecewise-linear-regression (PLR)
+// models trained over the sorted key set live on each compute node as a
+// tiny cache; they predict a key's position within an error bound ε, so
+// a point query fetches the predicted leaf group (the leaf plus its
+// overflow buddy — 2·span entries, the read amplification the CHIME
+// paper measures for ROLEX).
+//
+// Following the CHIME evaluation (§5.1, footnote 3), models are
+// pre-trained over the loaded keys and retraining is avoided: inserts
+// obey ROLEX's data-movement constraint and stay within the leaf group
+// their key routes to, spilling into the group's overflow chain.
+package rolex
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Segment is one linear model: for keys in [StartKey, next segment's
+// StartKey), position ≈ Intercept + Slope·(key−StartKey).
+type Segment struct {
+	StartKey  uint64
+	Slope     float64
+	Intercept float64
+}
+
+// PLR is a piecewise-linear model over a sorted key array, guaranteeing
+// |Predict(k) − rank(k)| <= Epsilon for every trained key.
+type PLR struct {
+	Epsilon  int
+	Segments []Segment
+}
+
+// TrainPLR fits a PLR with the given error bound over sorted, unique
+// keys using a greedy shrinking-cone pass (the standard one-pass PLR
+// construction learned indexes use).
+func TrainPLR(keys []uint64, epsilon int) (*PLR, error) {
+	if epsilon < 1 {
+		return nil, fmt.Errorf("rolex: epsilon %d < 1", epsilon)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			return nil, fmt.Errorf("rolex: keys not sorted/unique at %d", i)
+		}
+	}
+	p := &PLR{Epsilon: epsilon}
+	if len(keys) == 0 {
+		return p, nil
+	}
+
+	eps := float64(epsilon)
+	start := 0
+	for start < len(keys) {
+		// Grow a segment from keys[start] while the slope cone stays
+		// non-empty: every point must be reachable within ±eps.
+		x0 := float64(keys[start])
+		loSlope, hiSlope := 0.0, 1e18 // cone bounds
+		end := start + 1
+		for end < len(keys) {
+			dx := float64(keys[end]) - x0
+			dy := float64(end - start)
+			lo := (dy - eps) / dx
+			hi := (dy + eps) / dx
+			if lo > loSlope {
+				loSlope = lo
+			}
+			if hi < hiSlope {
+				hiSlope = hi
+			}
+			if loSlope > hiSlope {
+				break
+			}
+			end++
+		}
+		slope := (loSlope + hiSlope) / 2
+		if end == start+1 {
+			slope = 0
+		}
+		p.Segments = append(p.Segments, Segment{
+			StartKey:  keys[start],
+			Slope:     slope,
+			Intercept: float64(start),
+		})
+		start = end
+	}
+	return p, nil
+}
+
+// Predict returns the estimated rank of key, clamped to [0, n).
+func (p *PLR) Predict(key uint64, n int) int {
+	if len(p.Segments) == 0 || n == 0 {
+		return 0
+	}
+	// Last segment with StartKey <= key.
+	i := sort.Search(len(p.Segments), func(i int) bool { return p.Segments[i].StartKey > key }) - 1
+	if i < 0 {
+		i = 0
+	}
+	s := p.Segments[i]
+	var dx float64
+	if key > s.StartKey {
+		dx = float64(key - s.StartKey)
+	}
+	pos := int(s.Intercept + s.Slope*dx + 0.5) // round: truncation would leak past ±ε
+	if pos < 0 {
+		pos = 0
+	}
+	if pos >= n {
+		pos = n - 1
+	}
+	return pos
+}
+
+// SizeBytes reports the model's memory footprint (24 bytes per segment),
+// the quantity ROLEX counts as computing-side cache consumption.
+func (p *PLR) SizeBytes() int64 { return int64(len(p.Segments)) * 24 }

@@ -1,0 +1,377 @@
+package rolex
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"chime/internal/dmsim"
+	"chime/internal/ycsb"
+)
+
+func sortedKeys(n int) []uint64 {
+	keys := ycsb.LoadKeys(uint64(n))
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func buildTest(t *testing.T, opts Options, n int) (*Index, *Client) {
+	t.Helper()
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 512 << 20
+	ix, err := Build(dmsim.MustNewFabric(cfg), opts, sortedKeys(n), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, ix.NewComputeNode().NewClient()
+}
+
+func val8(x uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, x)
+	return b
+}
+
+func TestPLRErrorBound(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 200 + r.Intn(2000)
+		keys := make([]uint64, 0, n)
+		cur := uint64(0)
+		for i := 0; i < n; i++ {
+			cur += 1 + uint64(r.Intn(1000))
+			keys = append(keys, cur)
+		}
+		eps := 1 + r.Intn(32)
+		p, err := TrainPLR(keys, eps)
+		if err != nil {
+			return false
+		}
+		for i, k := range keys {
+			pred := p.Predict(k, n)
+			diff := pred - i
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > eps {
+				t.Logf("seed %d: key %d rank %d predicted %d (eps %d)", seed, k, i, pred, eps)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPLRCompresses(t *testing.T) {
+	// A perfectly linear key set must collapse to very few segments.
+	keys := make([]uint64, 10000)
+	for i := range keys {
+		keys[i] = uint64(i) * 17
+	}
+	p, err := TrainPLR(keys, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Segments) > 5 {
+		t.Fatalf("linear data needed %d segments", len(p.Segments))
+	}
+	if p.SizeBytes() != int64(len(p.Segments))*24 {
+		t.Fatal("SizeBytes accounting")
+	}
+}
+
+func TestPLRRejectsBadInput(t *testing.T) {
+	if _, err := TrainPLR([]uint64{1, 1}, 4); err == nil {
+		t.Fatal("duplicate keys must fail")
+	}
+	if _, err := TrainPLR([]uint64{2, 1}, 4); err == nil {
+		t.Fatal("unsorted keys must fail")
+	}
+	if _, err := TrainPLR([]uint64{1}, 0); err == nil {
+		t.Fatal("epsilon 0 must fail")
+	}
+	p, err := TrainPLR(nil, 4)
+	if err != nil || p.Predict(5, 0) != 0 {
+		t.Fatal("empty model must predict 0")
+	}
+}
+
+func TestBuildAndSearch(t *testing.T) {
+	const n = 5000
+	_, cl := buildTest(t, DefaultOptions(), n)
+	for _, k := range sortedKeys(n) {
+		got, err := cl.Search(k)
+		if err != nil {
+			t.Fatalf("Search(%#x): %v", k, err)
+		}
+		if len(got) != 8 {
+			t.Fatalf("value size %d", len(got))
+		}
+	}
+	if _, err := cl.Search(12345); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("absent key: %v", err)
+	}
+}
+
+func TestBuildWithValues(t *testing.T) {
+	keys := sortedKeys(100)
+	vals := map[uint64][]byte{}
+	for _, k := range keys {
+		vals[k] = val8(k ^ 0xAA)
+	}
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 64 << 20
+	ix, err := Build(dmsim.MustNewFabric(cfg), DefaultOptions(), keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := ix.NewComputeNode().NewClient()
+	for _, k := range keys {
+		got, err := cl.Search(k)
+		if err != nil || binary.LittleEndian.Uint64(got) != k^0xAA {
+			t.Fatalf("key %#x: %v %v", k, got, err)
+		}
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 16 << 20
+	f := dmsim.MustNewFabric(cfg)
+	if _, err := Build(f, DefaultOptions(), nil, nil); err == nil {
+		t.Fatal("empty build must fail")
+	}
+	if _, err := Build(f, DefaultOptions(), []uint64{5, 5}, nil); err == nil {
+		t.Fatal("duplicate build must fail")
+	}
+	bad := DefaultOptions()
+	bad.SpanSize = 0
+	if _, err := Build(f, bad, []uint64{1}, nil); err == nil {
+		t.Fatal("bad options must fail")
+	}
+}
+
+func TestInsertIntoGroups(t *testing.T) {
+	const n = 2000
+	_, cl := buildTest(t, DefaultOptions(), n)
+	// Insert new keys interleaved between trained ones.
+	r := rand.New(rand.NewSource(3))
+	inserted := map[uint64]uint64{}
+	for len(inserted) < 500 {
+		k := r.Uint64()
+		if _, dup := inserted[k]; dup {
+			continue
+		}
+		if err := cl.Insert(k, val8(k>>1)); err != nil {
+			t.Fatalf("insert %#x: %v", k, err)
+		}
+		inserted[k] = k >> 1
+	}
+	for k, v := range inserted {
+		got, err := cl.Search(k)
+		if err != nil || binary.LittleEndian.Uint64(got) != v {
+			t.Fatalf("inserted %#x: %v %v", k, got, err)
+		}
+	}
+}
+
+func TestOverflowChaining(t *testing.T) {
+	// Hammer one group far past 2x span to force chained leaves.
+	const n = 64
+	ix, cl := buildTest(t, DefaultOptions(), n)
+	keys := sortedKeys(n)
+	lo := keys[0]
+	// All inserts below the first fence route to group 0.
+	var mine []uint64
+	for k := uint64(1); k < lo && len(mine) < 100; k += (lo / 120) + 1 {
+		if err := cl.Insert(k, val8(k)); err != nil {
+			t.Fatalf("overflow insert %#x: %v", k, err)
+		}
+		mine = append(mine, k)
+	}
+	if len(mine) < 40 {
+		t.Skipf("key space too tight for the test: %d inserts", len(mine))
+	}
+	for _, k := range mine {
+		got, err := cl.Search(k)
+		if err != nil || binary.LittleEndian.Uint64(got) != k {
+			t.Fatalf("chained key %#x: %v %v", k, got, err)
+		}
+	}
+	_ = ix
+}
+
+func TestUpdateDelete(t *testing.T) {
+	const n = 1000
+	_, cl := buildTest(t, DefaultOptions(), n)
+	keys := sortedKeys(n)
+	for i, k := range keys {
+		if i%2 == 0 {
+			if err := cl.Update(k, val8(uint64(i))); err != nil {
+				t.Fatalf("update: %v", err)
+			}
+		} else if i%5 == 1 {
+			if err := cl.Delete(k); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+		}
+	}
+	for i, k := range keys {
+		got, err := cl.Search(k)
+		switch {
+		case i%2 == 0:
+			if err != nil || binary.LittleEndian.Uint64(got) != uint64(i) {
+				t.Fatalf("updated %d: %v %v", i, got, err)
+			}
+		case i%5 == 1:
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("deleted %d: %v", i, err)
+			}
+		}
+	}
+	if err := cl.Update(999999999, val8(0)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("update absent: %v", err)
+	}
+}
+
+func TestScanOrdered(t *testing.T) {
+	const n = 3000
+	_, cl := buildTest(t, DefaultOptions(), n)
+	keys := sortedKeys(n)
+	out, err := cl.Scan(keys[100], 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 200 {
+		t.Fatalf("scan returned %d", len(out))
+	}
+	if out[0].Key != keys[100] {
+		t.Fatalf("scan starts at %#x, want %#x", out[0].Key, keys[100])
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Key >= out[i].Key {
+			t.Fatal("scan unsorted")
+		}
+	}
+}
+
+func TestSearchIsTwoLeavesOneTrip(t *testing.T) {
+	const n = 4000
+	ix, cl := buildTest(t, DefaultOptions(), n)
+	keys := sortedKeys(n)
+	before := cl.DM().Stats()
+	const reads = 100
+	for i := 0; i < reads; i++ {
+		if _, err := cl.Search(keys[i*7]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := cl.DM().Stats()
+	if trips := after.Trips - before.Trips; trips != reads {
+		t.Fatalf("trips = %d for %d searches, want 1 each", trips, reads)
+	}
+	perOp := float64(after.BytesRead-before.BytesRead) / reads
+	want := 2 * float64(ix.LeafNodeSize()-64)
+	if perOp < want*0.99 || perOp > want*1.2 {
+		t.Fatalf("per-search bytes %.0f, want ≈ 2 leaf bodies %.0f", perOp, want)
+	}
+}
+
+func TestIndirectValues(t *testing.T) {
+	o := DefaultOptions()
+	o.Indirect = true
+	o.ValueSize = 32
+	keys := sortedKeys(300)
+	vals := map[uint64][]byte{}
+	for _, k := range keys {
+		vals[k] = ycsb.FillValue(k, 32, 0)
+	}
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 128 << 20
+	ix, err := Build(dmsim.MustNewFabric(cfg), o, keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := ix.NewComputeNode().NewClient()
+	for _, k := range keys {
+		got, err := cl.Search(k)
+		if err != nil || string(got) != string(ycsb.FillValue(k, 32, 0)) {
+			t.Fatalf("indirect %#x: %v", k, err)
+		}
+	}
+	k := keys[7]
+	if err := cl.Update(k, ycsb.FillValue(k, 32, 1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Search(k)
+	if err != nil || string(got) != string(ycsb.FillValue(k, 32, 1)) {
+		t.Fatal("indirect update lost")
+	}
+}
+
+func TestCacheBytesSmall(t *testing.T) {
+	const n = 50000
+	ix, _ := buildTest(t, DefaultOptions(), n)
+	// ROLEX's selling point: the model cache is tiny relative to data.
+	dataBytes := int64(n * 16)
+	if ix.CacheBytes() > dataBytes {
+		t.Fatalf("cache %d bytes exceeds data %d", ix.CacheBytes(), dataBytes)
+	}
+	t.Logf("cache = %d bytes for %d keys (%d segments)", ix.CacheBytes(), n, len(ix.model.Segments))
+}
+
+func TestConcurrentMixed(t *testing.T) {
+	const n = 4000
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 512 << 20
+	ix, err := Build(dmsim.MustNewFabric(cfg), DefaultOptions(), sortedKeys(n), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := ix.NewComputeNode()
+	keys := sortedKeys(n)
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := cn.NewClient()
+			r := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < 400; i++ {
+				k := keys[r.Intn(n)]
+				switch r.Intn(3) {
+				case 0:
+					if _, err := cl.Search(k); err != nil && !errors.Is(err, ErrNotFound) {
+						errs <- fmt.Errorf("search: %w", err)
+						return
+					}
+				case 1:
+					if err := cl.Update(k, val8(uint64(i))); err != nil && !errors.Is(err, ErrNotFound) {
+						errs <- fmt.Errorf("update: %w", err)
+						return
+					}
+				case 2:
+					if _, err := cl.Scan(k, 10); err != nil {
+						errs <- fmt.Errorf("scan: %w", err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

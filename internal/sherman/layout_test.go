@@ -1,0 +1,101 @@
+package sherman
+
+import (
+	"testing"
+
+	"chime/internal/dmsim"
+)
+
+func TestHeaderCodecRoundTrip(t *testing.T) {
+	lay := newLayout(DefaultOptions(), false)
+	img := make([]byte, lay.size)
+	want := header{
+		valid:    true,
+		fenceInf: true,
+		level:    3,
+		nkeys:    17,
+		fenceLow: 100,
+		fenceHi:  99999,
+		sibling:  dmsim.GAddr{MN: 1, Off: 4096},
+		leftmost: dmsim.GAddr{MN: 0, Off: 8192},
+	}
+	lay.encodeHeader(img, want)
+	got := lay.decodeHeader(img)
+	if got != want {
+		t.Fatalf("header round trip: %+v != %+v", got, want)
+	}
+}
+
+func TestHeaderNkeysClamped(t *testing.T) {
+	lay := newLayout(DefaultOptions(), false)
+	img := make([]byte, lay.size)
+	lay.encodeHeader(img, header{nkeys: 9999})
+	if got := lay.decodeHeader(img); got.nkeys > lay.span {
+		t.Fatalf("torn nkeys not clamped: %d", got.nkeys)
+	}
+}
+
+func TestEntryCodecRoundTrip(t *testing.T) {
+	for _, leaf := range []bool{true, false} {
+		lay := newLayout(DefaultOptions(), leaf)
+		img := make([]byte, lay.size)
+		val := make([]byte, len(lay.decodeEntry(img, 0).val))
+		for i := range val {
+			val[i] = byte(i)
+		}
+		lay.encodeEntry(img, 3, entry{occupied: true, key: 0xABCDEF, val: val}, true)
+		got := lay.decodeEntry(img, 3)
+		if !got.occupied || got.key != 0xABCDEF || string(got.val) != string(val) {
+			t.Fatalf("leaf=%v entry round trip: %+v", leaf, got)
+		}
+		if lay.decodeEntry(img, 2).occupied || lay.decodeEntry(img, 4).occupied {
+			t.Fatal("neighbors contaminated")
+		}
+	}
+}
+
+func TestChildForBoundaries(t *testing.T) {
+	n := &node{
+		hdr: header{leftmost: dmsim.GAddr{Off: 1}},
+		piv: []uint64{10, 20, 30},
+		kids: []dmsim.GAddr{
+			{Off: 2}, {Off: 3}, {Off: 4},
+		},
+	}
+	n.hdr.leftmost = dmsim.GAddr{Off: 1}
+	cases := map[uint64]uint64{0: 1, 9: 1, 10: 2, 19: 2, 20: 3, 30: 4, 1000: 4}
+	for key, want := range cases {
+		if got := n.childFor(key); got.Off != want {
+			t.Errorf("childFor(%d) = %d, want %d", key, got.Off, want)
+		}
+	}
+}
+
+func TestSortEntries(t *testing.T) {
+	es := []entry{
+		{occupied: true, key: 30},
+		{occupied: false, key: 5}, // skipped
+		{occupied: true, key: 10},
+		{occupied: true, key: 20},
+	}
+	out := sortEntries(es)
+	if len(out) != 3 || out[0].key != 10 || out[2].key != 30 {
+		t.Fatalf("sortEntries: %+v", out)
+	}
+}
+
+func TestScanStartBeyondAllKeys(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	for i := uint64(1); i <= 100; i++ {
+		if err := cl.Insert(i, val8(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := cl.Scan(1000, 10)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("past-end scan: %d %v", len(out), err)
+	}
+	if out, _ := cl.Scan(50, 0); out != nil {
+		t.Fatal("count=0 must return nil")
+	}
+}

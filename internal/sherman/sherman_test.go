@@ -1,0 +1,246 @@
+package sherman
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"chime/internal/dmsim"
+	"chime/internal/ycsb"
+)
+
+func newTestTree(t *testing.T, opts Options) (*Index, *Client) {
+	t.Helper()
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 512 << 20
+	ix, err := Bootstrap(dmsim.MustNewFabric(cfg), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, ix.NewComputeNode(64 << 20).NewClient()
+}
+
+func val8(x uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, x)
+	return b
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, bad := range []Options{
+		{SpanSize: 1, ValueSize: 8, KeySize: 8},
+		{SpanSize: 64, ValueSize: 0, KeySize: 8},
+		{SpanSize: 64, ValueSize: 8, KeySize: 2},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("case %d must fail", i)
+		}
+	}
+}
+
+func TestEmptySearch(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	if _, err := cl.Search(1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty search: %v", err)
+	}
+}
+
+func TestInsertSearchUpdateDelete(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	const n = 3000
+	for i := uint64(0); i < n; i++ {
+		if err := cl.Insert(ycsb.KeyOf(i), val8(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		got, err := cl.Search(ycsb.KeyOf(i))
+		if err != nil || binary.LittleEndian.Uint64(got) != i {
+			t.Fatalf("search %d: %v %v", i, got, err)
+		}
+	}
+	for i := uint64(0); i < n; i += 3 {
+		if err := cl.Update(ycsb.KeyOf(i), val8(i+n)); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	for i := uint64(1); i < n; i += 5 {
+		if i%3 == 0 {
+			continue
+		}
+		if err := cl.Delete(ycsb.KeyOf(i)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		got, err := cl.Search(ycsb.KeyOf(i))
+		switch {
+		case i%3 == 0:
+			if err != nil || binary.LittleEndian.Uint64(got) != i+n {
+				t.Fatalf("updated %d: %v %v", i, got, err)
+			}
+		case i%5 == 1:
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("deleted %d: %v", i, err)
+			}
+		default:
+			if err != nil || binary.LittleEndian.Uint64(got) != i {
+				t.Fatalf("plain %d: %v %v", i, got, err)
+			}
+		}
+	}
+}
+
+func TestUpsert(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	if err := cl.Insert(9, val8(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Insert(9, val8(2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Search(9)
+	if err != nil || binary.LittleEndian.Uint64(got) != 2 {
+		t.Fatalf("upsert: %v %v", got, err)
+	}
+}
+
+func TestScan(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	const n = 2000
+	for i := uint64(0); i < n; i++ {
+		if err := cl.Insert(ycsb.KeyOf(i), val8(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := cl.Scan(0, 150)
+	if err != nil || len(out) != 150 {
+		t.Fatalf("scan: %d items, %v", len(out), err)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Key >= out[i].Key {
+			t.Fatal("scan unsorted")
+		}
+	}
+	all, err := cl.Scan(0, n+10)
+	if err != nil || len(all) != n {
+		t.Fatalf("full scan: %d of %d, %v", len(all), n, err)
+	}
+}
+
+func TestIndirect(t *testing.T) {
+	o := DefaultOptions()
+	o.Indirect = true
+	o.ValueSize = 32
+	_, cl := newTestTree(t, o)
+	for i := uint64(0); i < 400; i++ {
+		k := ycsb.KeyOf(i)
+		if err := cl.Insert(k, ycsb.FillValue(k, 32, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 400; i++ {
+		k := ycsb.KeyOf(i)
+		got, err := cl.Search(k)
+		if err != nil || string(got) != string(ycsb.FillValue(k, 32, 0)) {
+			t.Fatalf("indirect %d: %v", i, err)
+		}
+	}
+	out, err := cl.Scan(0, 5)
+	if err != nil || len(out) != 5 {
+		t.Fatalf("indirect scan: %v", err)
+	}
+}
+
+func TestReadAmplificationIsWholeLeaf(t *testing.T) {
+	// Sherman's defining property: a cached-path search reads one whole
+	// leaf node.
+	ix, cl := newTestTree(t, DefaultOptions())
+	for i := uint64(0); i < 1000; i++ {
+		if err := cl.Insert(ycsb.KeyOf(i), val8(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 1000; i++ { // warm cache
+		if _, err := cl.Search(ycsb.KeyOf(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := cl.DM().Stats()
+	const reads = 200
+	for i := uint64(0); i < reads; i++ {
+		if _, err := cl.Search(ycsb.KeyOf(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := cl.DM().Stats()
+	perOp := float64(after.BytesRead-before.BytesRead) / reads
+	leafBody := float64(ix.LeafNodeSize() - 64)
+	if perOp < leafBody*0.99 {
+		t.Fatalf("per-search bytes %.0f, want ≈ leaf body %.0f", perOp, leafBody)
+	}
+	trips := after.Trips - before.Trips
+	if trips != reads {
+		t.Fatalf("cached search trips = %d for %d reads, want 1 each", trips, reads)
+	}
+}
+
+func TestConcurrentInserts(t *testing.T) {
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 512 << 20
+	ix, err := Bootstrap(dmsim.MustNewFabric(cfg), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := ix.NewComputeNode(64 << 20)
+	const clients, per = 6, 300
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := cn.NewClient()
+			for i := 0; i < per; i++ {
+				id := uint64(c*per + i)
+				if err := cl.Insert(ycsb.KeyOf(id), val8(id)); err != nil {
+					errs <- fmt.Errorf("client %d: %w", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	cl := cn.NewClient()
+	for id := uint64(0); id < clients*per; id++ {
+		got, err := cl.Search(ycsb.KeyOf(id))
+		if err != nil || binary.LittleEndian.Uint64(got) != id {
+			t.Fatalf("lost insert %d: %v %v", id, got, err)
+		}
+	}
+}
+
+func TestSmallSpan(t *testing.T) {
+	o := DefaultOptions()
+	o.SpanSize = 8
+	_, cl := newTestTree(t, o)
+	for i := uint64(0); i < 800; i++ {
+		if err := cl.Insert(ycsb.KeyOf(i), val8(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i := uint64(0); i < 800; i++ {
+		if _, err := cl.Search(ycsb.KeyOf(i)); err != nil {
+			t.Fatalf("search %d: %v", i, err)
+		}
+	}
+}

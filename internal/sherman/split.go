@@ -1,0 +1,238 @@
+package sherman
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"chime/internal/dmsim"
+	"chime/internal/nodelayout"
+)
+
+// Up-propagation after a split, following the same Step 1–3 protocol as
+// CHIME (which inherits it from Sherman, §4.4 of the CHIME paper).
+
+func (c *Client) propagate(path []pathEntry, childLevel uint8, splitKey uint64, rightAddr dmsim.GAddr) error {
+	parentLevel := childLevel + 1
+	var parentAddr dmsim.GAddr
+	for _, pe := range path {
+		if pe.level == parentLevel {
+			parentAddr = pe.addr
+			break
+		}
+	}
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		if parentAddr.IsNil() {
+			if err := c.refreshRoot(); err != nil {
+				return err
+			}
+			if c.rootLevel == childLevel {
+				done, err := c.growRoot(childLevel, splitKey, rightAddr)
+				if err != nil {
+					return err
+				}
+				if done {
+					return nil
+				}
+				continue
+			}
+			addr, err := c.findParentAt(parentLevel, splitKey)
+			if err != nil {
+				return err
+			}
+			parentAddr = addr
+		}
+		done, err := c.insertIntoParent(parentAddr, parentLevel, splitKey, rightAddr, path)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		parentAddr = dmsim.NilGAddr
+		c.ys.yield(c.dc)
+	}
+	return fmt.Errorf("sherman: propagate(%#x) exhausted", splitKey)
+}
+
+func (c *Client) growRoot(oldLevel uint8, splitKey uint64, rightAddr dmsim.GAddr) (bool, error) {
+	oldRoot, curLevel := c.rootAddr, c.rootLevel
+	if curLevel != oldLevel {
+		return false, nil
+	}
+	newRoot, err := c.dc.AllocRPC(0, c.ix.inner.size)
+	if err != nil {
+		return false, err
+	}
+	img := make([]byte, c.ix.inner.size)
+	c.ix.inner.encodeHeader(img, header{
+		valid: true, fenceInf: true, level: oldLevel + 1, nkeys: 1,
+		leftmost: oldRoot,
+	})
+	child := make([]byte, 8)
+	binary.LittleEndian.PutUint64(child, rightAddr.Pack())
+	c.ix.inner.encodeEntry(img, 0, entry{occupied: true, key: splitKey, val: child}, false)
+	if err := c.dc.Write(newRoot, img); err != nil {
+		return false, err
+	}
+	prev, ok, err := c.dc.CAS(c.ix.super, packSuper(oldRoot, oldLevel), packSuper(newRoot, oldLevel+1))
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		c.rootAddr, c.rootLevel = unpackSuper(prev)
+		return false, nil
+	}
+	c.rootAddr, c.rootLevel = newRoot, oldLevel+1
+	return true, nil
+}
+
+// encodeInternalNode serializes a decoded internal node over prev (nil
+// for fresh nodes; non-nil bumps NV as a node write).
+func (c *Client) encodeInternalNode(n *node, prev []byte) []byte {
+	lay := c.ix.inner
+	img := make([]byte, lay.size)
+	if prev != nil {
+		copy(img, prev)
+	}
+	hdr := n.hdr
+	hdr.nkeys = len(n.piv)
+	c.ix.inner.encodeHeader(img, hdr)
+	child := make([]byte, 8)
+	for i := range n.piv {
+		binary.LittleEndian.PutUint64(child, n.kids[i].Pack())
+		lay.encodeEntry(img, i, entry{occupied: true, key: n.piv[i], val: child}, false)
+	}
+	if prev != nil {
+		nodelayout.BumpNV(img, lay.allCells)
+	}
+	return img
+}
+
+func (c *Client) insertIntoParent(addr dmsim.GAddr, level uint8, splitKey uint64, rightAddr dmsim.GAddr, path []pathEntry) (bool, error) {
+	for hops := 0; hops <= maxRetries; hops++ {
+		if err := c.lock(addr); err != nil {
+			return false, err
+		}
+		img, hdr, err := c.readNode(c.ix.inner, addr)
+		if err != nil {
+			c.unlock(addr)
+			return false, err
+		}
+		if !hdr.valid || hdr.level != level {
+			c.unlock(addr)
+			return false, nil
+		}
+		n := c.decodeInternal(addr, img, hdr)
+		if !n.covers(splitKey) {
+			sib := hdr.sibling
+			c.unlock(addr)
+			if !hdr.fenceInf && splitKey >= hdr.fenceHi && !sib.IsNil() {
+				addr = sib
+				continue
+			}
+			return false, nil
+		}
+
+		// Sorted insert of the routing entry.
+		pos := 0
+		for pos < len(n.piv) && n.piv[pos] < splitKey {
+			pos++
+		}
+		n.piv = append(n.piv, 0)
+		copy(n.piv[pos+1:], n.piv[pos:])
+		n.piv[pos] = splitKey
+		n.kids = append(n.kids, dmsim.NilGAddr)
+		copy(n.kids[pos+1:], n.kids[pos:])
+		n.kids[pos] = rightAddr
+
+		if len(n.piv) <= c.ix.inner.span {
+			out := c.encodeInternalNode(n, img)
+			if err := c.writeNodeAndUnlock(addr, out); err != nil {
+				return false, err
+			}
+			c.cn.cachePut(addr, n)
+			return true, nil
+		}
+
+		// Parent overflow: split it; the median pivot moves up.
+		mid := len(n.piv) / 2
+		midKey := n.piv[mid]
+		newAddr, err := c.alloc.Alloc(c.ix.inner.size)
+		if err != nil {
+			c.unlock(addr)
+			return false, err
+		}
+		right := &node{
+			addr: newAddr,
+			hdr: header{
+				valid: true, level: level,
+				fenceLow: midKey, fenceHi: hdr.fenceHi, fenceInf: hdr.fenceInf,
+				sibling: hdr.sibling,
+			},
+			piv:  append([]uint64(nil), n.piv[mid+1:]...),
+			kids: append([]dmsim.GAddr(nil), n.kids[mid+1:]...),
+		}
+		right.hdr.leftmost = n.kids[mid]
+		if err := c.dc.Write(newAddr, c.encodeInternalNode(right, nil)); err != nil {
+			c.unlock(addr)
+			return false, err
+		}
+		n.piv = n.piv[:mid]
+		n.kids = n.kids[:mid]
+		n.hdr.fenceInf = false
+		n.hdr.fenceHi = midKey
+		n.hdr.sibling = newAddr
+		if err := c.writeNodeAndUnlock(addr, c.encodeInternalNode(n, img)); err != nil {
+			return false, err
+		}
+		c.cn.cachePut(addr, n)
+		if err := c.propagate(path, level, midKey, newAddr); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, fmt.Errorf("sherman: insertIntoParent(%#x) exhausted", splitKey)
+}
+
+func (c *Client) findParentAt(level uint8, key uint64) (dmsim.GAddr, error) {
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		if err := c.refreshRoot(); err != nil {
+			return dmsim.NilGAddr, err
+		}
+		if c.rootLevel < level {
+			c.ys.yield(c.dc)
+			continue
+		}
+		cur := c.rootAddr
+		for {
+			img, hdr, err := c.readNode(c.ix.inner, cur)
+			if err != nil {
+				return dmsim.NilGAddr, err
+			}
+			if !hdr.valid {
+				break
+			}
+			if key < hdr.fenceLow || (!hdr.fenceInf && key >= hdr.fenceHi) {
+				if !hdr.fenceInf && key >= hdr.fenceHi && !hdr.sibling.IsNil() {
+					cur = hdr.sibling
+					continue
+				}
+				break
+			}
+			if hdr.level == level {
+				return cur, nil
+			}
+			if hdr.level < level {
+				break
+			}
+			n := c.decodeInternal(cur, img, hdr)
+			child := n.childFor(key)
+			if child.IsNil() {
+				break
+			}
+			cur = child
+		}
+		c.ys.yield(c.dc)
+	}
+	return dmsim.NilGAddr, fmt.Errorf("sherman: findParentAt(%d, %#x) exhausted", level, key)
+}

@@ -1,0 +1,156 @@
+package smartidx
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"chime/internal/dmsim"
+)
+
+func TestPrefixMatch(t *testing.T) {
+	h := header{depth: 2, prefixLen: 3}
+	copy(h.prefix[:], []byte{0xAA, 0xBB, 0xCC})
+	kb := [8]byte{0, 0, 0xAA, 0xBB, 0xCC, 0xDD, 0, 0}
+	if got := prefixMatch(h, kb); got != 3 {
+		t.Fatalf("full match = %d", got)
+	}
+	kb[3] = 0x00
+	if got := prefixMatch(h, kb); got != 1 {
+		t.Fatalf("partial match = %d", got)
+	}
+	kb[2] = 0x00
+	if got := prefixMatch(h, kb); got != 0 {
+		t.Fatalf("no match = %d", got)
+	}
+}
+
+func TestKeyBytesBigEndianOrder(t *testing.T) {
+	a, b := keyBytes(0x0102030405060708), keyBytes(0x0102030405060709)
+	for i := 0; i < 7; i++ {
+		if a[i] != b[i] {
+			t.Fatal("prefix bytes must match")
+		}
+	}
+	if a[7] >= b[7] {
+		t.Fatal("byte order must follow numeric order")
+	}
+	if binary.BigEndian.Uint64(a[:]) != 0x0102030405060708 {
+		t.Fatal("keyBytes must be big-endian")
+	}
+}
+
+func TestSubtreeMax(t *testing.T) {
+	var acc [8]byte
+	acc[0] = 0x12
+	if got := subtreeMax(acc, 1); got != 0x12FFFFFFFFFFFFFF {
+		t.Fatalf("subtreeMax = %#x", got)
+	}
+	if got := subtreeMax(acc, 0); got != ^uint64(0) {
+		t.Fatalf("unbounded subtreeMax = %#x", got)
+	}
+}
+
+func TestKindFor(t *testing.T) {
+	cases := map[int]int{1: kindN4, 4: kindN4, 5: kindN16, 16: kindN16, 17: kindN48, 48: kindN48, 49: kindN256, 256: kindN256}
+	for count, want := range cases {
+		if got := kindFor(count); got != want {
+			t.Errorf("kindFor(%d) = %d, want %d", count, got, want)
+		}
+	}
+}
+
+func TestExpansionChainN4ToN256(t *testing.T) {
+	// Keys sharing a 7-byte prefix force one node through every
+	// expansion: N4 -> N16 -> N48 -> N256.
+	_, cn, cl := newTest(t)
+	base := uint64(0xAABBCCDDEEFF0000)
+	for i := uint64(0); i < 256; i++ {
+		if err := cl.Insert(base|i, val8(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i := uint64(0); i < 256; i++ {
+		got, err := cl.Search(base | i)
+		if err != nil || binary.LittleEndian.Uint64(got) != i {
+			t.Fatalf("search %d: %v %v", i, got, err)
+		}
+	}
+	// Order preserved through the expansions.
+	out, err := cl.Scan(base, 256)
+	if err != nil || len(out) != 256 {
+		t.Fatalf("scan: %d %v", len(out), err)
+	}
+	for i, kv := range out {
+		if kv.Key != base|uint64(i) {
+			t.Fatalf("scan position %d = %#x", i, kv.Key)
+		}
+	}
+	_ = cn
+}
+
+func TestValueSizeMismatch(t *testing.T) {
+	_, _, cl := newTest(t)
+	if err := cl.Insert(1, []byte("short")); err == nil {
+		t.Fatal("wrong-size value must be rejected")
+	}
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 1 << 20
+	if _, err := Bootstrap(dmsim.MustNewFabric(cfg), Options{ValueSize: 0}); err == nil {
+		t.Fatal("bad options must fail")
+	}
+}
+
+// TestCrossCNStale: CN2 restructures the tree (expansions, prefix
+// splits) behind CN1's cache; CN1 must recover via invalidation flags.
+func TestCrossCNStale(t *testing.T) {
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 512 << 20
+	ix, err := Bootstrap(dmsim.MustNewFabric(cfg), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn1 := ix.NewComputeNode(128 << 20)
+	cn2 := ix.NewComputeNode(128 << 20)
+	cl1, cl2 := cn1.NewClient(), cn2.NewClient()
+
+	base := uint64(0x1122334455660000)
+	for i := uint64(0); i < 3; i++ {
+		if err := cl1.Insert(base|i, val8(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 3; i++ { // warm CN1 down to the N4
+		if _, err := cl1.Search(base | i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// CN2 forces expansions N4 -> ... -> N256 on that node.
+	for i := uint64(3); i < 200; i++ {
+		if err := cl2.Insert(base|i, val8(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 200; i++ {
+		got, err := cl1.Search(base | i)
+		if err != nil {
+			t.Fatalf("stale search %d: %v", i, err)
+		}
+		if binary.LittleEndian.Uint64(got) != i {
+			t.Fatalf("stale search %d wrong value", i)
+		}
+	}
+	// Updates and deletes through the stale CN.
+	if err := cl1.Update(base|7, val8(700)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl1.Delete(base | 9); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := cl2.Search(base | 7)
+	if binary.LittleEndian.Uint64(got) != 700 {
+		t.Fatal("cross-CN update lost")
+	}
+}

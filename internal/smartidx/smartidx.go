@@ -1,0 +1,317 @@
+// Package smartidx implements the SMART baseline (OSDI '23): an
+// adaptive radix tree (ART) on disaggregated memory. SMART is the
+// KV-discrete design point: every key's value lives in its own small
+// leaf block, so point queries have a read amplification of ~1, but the
+// compute-side cache must hold the radix tree's internal nodes — whose
+// count grows with the number of keys — giving the high cache
+// consumption the CHIME paper measures (Figure 14).
+//
+// Keys are fixed 8-byte integers traversed big-endian (so radix order
+// equals numeric order and scans work). Nodes are adaptive (Node4 /
+// Node16 / Node48 / Node256) with path compression. Child slots are
+// 16-byte aligned records whose first word is the packed child pointer;
+// a slot update is a single line-atomic write or CAS, mirroring SMART's
+// one-sided CAS installs. Structural changes (slot installs, node
+// expansion, prefix splits) serialize on a per-node lock; lookups are
+// lock-free and validate via node invalidation flags.
+package smartidx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"chime/internal/dmsim"
+)
+
+// Options configures a SMART index.
+type Options struct {
+	// ValueSize is the value payload stored in each leaf block.
+	ValueSize int
+}
+
+// DefaultOptions returns the paper's default configuration.
+func DefaultOptions() Options { return Options{ValueSize: 8} }
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if o.ValueSize < 1 || o.ValueSize > 4096 {
+		return fmt.Errorf("smartidx: ValueSize %d out of [1,4096]", o.ValueSize)
+	}
+	return nil
+}
+
+// ErrNotFound reports an absent key.
+var ErrNotFound = errors.New("smartidx: key not found")
+
+var errRestart = errors.New("smartidx: restart traversal")
+
+const maxRetries = 100000
+
+// Node kinds.
+const (
+	kindN4 = iota
+	kindN16
+	kindN48
+	kindN256
+)
+
+var kindSlots = [4]int{4, 16, 48, 256}
+
+// Remote node layout:
+//
+//	off 0:  8B lock word
+//	off 8:  header: [1B kind][1B depth][1B prefixLen][1B valid][8B prefix][4B pad]
+//	off 24: kindN48 only: 256B child index (keybyte -> slot+1)
+//	then:   slot records, 16B each, 16-byte aligned:
+//	        [8B child][1B keybyte][7B pad]
+//
+// A slot record never crosses a cache line, so the fabric's line-atomic
+// copies make slot reads/writes atomic without version bytes; the child
+// word doubles as the occupancy flag (0 = empty).
+const (
+	hdrOff    = 8
+	hdrSize   = 16
+	n48IdxOff = hdrOff + hdrSize
+	slotSize  = 16
+)
+
+func slotsOff(kind int) int {
+	if kind == kindN48 {
+		return n48IdxOff + 256
+	}
+	return hdrOff + hdrSize
+	// slots start 16-aligned in both cases (24 is not 16-aligned; see
+	// nodeSize/slotOff which round up)
+}
+
+func slotOff(kind, i int) int {
+	base := (slotsOff(kind) + slotSize - 1) &^ (slotSize - 1)
+	return base + i*slotSize
+}
+
+func nodeSize(kind int) int {
+	return slotOff(kind, kindSlots[kind])
+}
+
+// Child pointers are packed GAddrs with bit 55 tagging leaves and bits
+// 53-54 carrying the child node's kind, so a parent pointer alone tells
+// the reader how many bytes to fetch — one READ per node, never a
+// header probe first.
+const (
+	leafTag   = uint64(1) << 55
+	kindShift = 53
+	kindMask  = uint64(3) << kindShift
+	childMask = ^(leafTag | kindMask)
+)
+
+func packChild(a dmsim.GAddr, leaf bool, kind int) uint64 {
+	v := a.Pack()
+	if leaf {
+		v |= leafTag
+	}
+	v |= uint64(kind) << kindShift
+	return v
+}
+
+func unpackChild(v uint64) (addr dmsim.GAddr, leaf bool, kind int) {
+	leaf = v&leafTag != 0
+	kind = int((v & kindMask) >> kindShift)
+	return dmsim.UnpackGAddr(v & childMask), leaf, kind
+}
+
+// header is a node's decoded header.
+type header struct {
+	kind      int
+	depth     int // key bytes consumed before this node's prefix
+	prefixLen int
+	valid     bool
+	prefix    [8]byte
+}
+
+func encodeHeader(img []byte, h header) {
+	img[hdrOff+0] = byte(h.kind)
+	img[hdrOff+1] = byte(h.depth)
+	img[hdrOff+2] = byte(h.prefixLen)
+	if h.valid {
+		img[hdrOff+3] = 1
+	} else {
+		img[hdrOff+3] = 0
+	}
+	copy(img[hdrOff+4:hdrOff+12], h.prefix[:])
+}
+
+func decodeHeader(img []byte) header {
+	h := header{
+		kind:      int(img[hdrOff+0]),
+		depth:     int(img[hdrOff+1]),
+		prefixLen: int(img[hdrOff+2]),
+		valid:     img[hdrOff+3] == 1,
+	}
+	copy(h.prefix[:], img[hdrOff+4:hdrOff+12])
+	if h.kind > kindN256 {
+		h.kind = kindN256
+	}
+	return h
+}
+
+// slot is one decoded child record.
+type slot struct {
+	child   uint64 // packed+tagged; 0 = empty
+	keyByte byte
+}
+
+func encodeSlot(img []byte, kind, i int, s slot) {
+	off := slotOff(kind, i)
+	binary.LittleEndian.PutUint64(img[off:off+8], s.child)
+	img[off+8] = s.keyByte
+}
+
+func decodeSlot(img []byte, kind, i int) slot {
+	off := slotOff(kind, i)
+	return slot{
+		child:   binary.LittleEndian.Uint64(img[off : off+8]),
+		keyByte: img[off+8],
+	}
+}
+
+// keyBytes returns the big-endian byte path of a key.
+func keyBytes(key uint64) [8]byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], key)
+	return b
+}
+
+// node is a decoded internal node.
+type node struct {
+	addr dmsim.GAddr
+	hdr  header
+	// children maps keybyte -> packed child (tagged); absent = none.
+	children map[byte]uint64
+	// slotOf maps keybyte -> slot index (for in-place updates).
+	slotOf map[byte]int
+	nSlots int // occupied slots
+}
+
+func decodeNode(addr dmsim.GAddr, img []byte) *node {
+	h := decodeHeader(img)
+	n := &node{
+		addr:     addr,
+		hdr:      h,
+		children: make(map[byte]uint64),
+		slotOf:   make(map[byte]int),
+	}
+	switch h.kind {
+	case kindN48:
+		for kb := 0; kb < 256; kb++ {
+			si := img[n48IdxOff+kb]
+			if si == 0 {
+				continue
+			}
+			s := decodeSlot(img, h.kind, int(si-1))
+			if s.child != 0 {
+				n.children[byte(kb)] = s.child
+				n.slotOf[byte(kb)] = int(si - 1)
+				n.nSlots++
+			}
+		}
+	case kindN256:
+		for i := 0; i < 256; i++ {
+			s := decodeSlot(img, h.kind, i)
+			if s.child != 0 {
+				n.children[byte(i)] = s.child
+				n.slotOf[byte(i)] = i
+				n.nSlots++
+			}
+		}
+	default:
+		for i := 0; i < kindSlots[h.kind]; i++ {
+			s := decodeSlot(img, h.kind, i)
+			if s.child != 0 {
+				n.children[s.keyByte] = s.child
+				n.slotOf[s.keyByte] = i
+				n.nSlots++
+			}
+		}
+	}
+	return n
+}
+
+// encodeNode builds a fresh image for a node from its decoded form.
+func encodeNode(n *node) []byte {
+	img := make([]byte, nodeSize(n.hdr.kind))
+	encodeHeader(img, n.hdr)
+	switch n.hdr.kind {
+	case kindN48:
+		i := 0
+		for kb, ch := range n.children {
+			encodeSlot(img, kindN48, i, slot{child: ch, keyByte: kb})
+			img[n48IdxOff+int(kb)] = byte(i + 1)
+			i++
+		}
+	case kindN256:
+		for kb, ch := range n.children {
+			encodeSlot(img, kindN256, int(kb), slot{child: ch, keyByte: kb})
+		}
+	default:
+		i := 0
+		for kb, ch := range n.children {
+			encodeSlot(img, n.hdr.kind, i, slot{child: ch, keyByte: kb})
+			i++
+		}
+	}
+	return img
+}
+
+// grow returns the next node kind able to hold count children.
+func kindFor(count int) int {
+	switch {
+	case count <= 4:
+		return kindN4
+	case count <= 16:
+		return kindN16
+	case count <= 48:
+		return kindN48
+	default:
+		return kindN256
+	}
+}
+
+// Index is one SMART tree on the fabric.
+type Index struct {
+	fabric *dmsim.Fabric
+	opts   Options
+	root   dmsim.GAddr
+	leafSz int
+}
+
+// Bootstrap creates an empty SMART tree whose root is a Node256 at
+// depth 0 (the root is never replaced, so no root pointer CAS races).
+func Bootstrap(f *dmsim.Fabric, opts Options) (*Index, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	ix := &Index{fabric: f, opts: opts, leafSz: 8 + opts.ValueSize}
+	boot := f.NewClient()
+	root, err := boot.AllocRPC(0, nodeSize(kindN256))
+	if err != nil {
+		return nil, err
+	}
+	img := make([]byte, nodeSize(kindN256))
+	encodeHeader(img, header{kind: kindN256, valid: true})
+	if err := boot.Write(root, img); err != nil {
+		return nil, err
+	}
+	ix.root = root
+	return ix, nil
+}
+
+// Options returns the index configuration.
+func (ix *Index) Options() Options { return ix.opts }
+
+// NodeSizeOf reports the encoded size of a node kind (exported for
+// cache-consumption accounting in benchmarks).
+func (ix *Index) NodeSizeOf(kind int) int { return nodeSize(kind) }
+
+// LeafSize reports the leaf block footprint.
+func (ix *Index) LeafSize() int { return ix.leafSz }

@@ -1,0 +1,242 @@
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+)
+
+// OpKind is the type of one generated operation.
+type OpKind uint8
+
+const (
+	OpRead OpKind = iota
+	OpUpdate
+	OpInsert
+	OpScan
+	OpReadModifyWrite
+)
+
+// String names the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "READ"
+	case OpUpdate:
+		return "UPDATE"
+	case OpInsert:
+		return "INSERT"
+	case OpScan:
+		return "SCAN"
+	case OpReadModifyWrite:
+		return "RMW"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one generated request.
+type Op struct {
+	Kind    OpKind
+	Key     uint64
+	ScanLen int // number of items for OpScan
+}
+
+// Distribution selects how request keys are drawn.
+type Distribution uint8
+
+const (
+	// DistZipfian draws keys with YCSB's default Zipfian(0.99) skew.
+	DistZipfian Distribution = iota
+	// DistUniform draws keys uniformly.
+	DistUniform
+	// DistLatest skews toward the most recently inserted keys
+	// (YCSB workload D).
+	DistLatest
+)
+
+// Mix is a workload definition: operation proportions plus the request
+// distribution. Proportions must sum to 1.
+type Mix struct {
+	Name       string
+	ReadPct    float64
+	UpdatePct  float64
+	InsertPct  float64
+	ScanPct    float64
+	RMWPct     float64 // read-modify-write (YCSB F)
+	Dist       Distribution
+	Theta      float64 // Zipfian skew; 0 means the YCSB default 0.99
+	MaxScanLen int     // upper bound for OpScan lengths (YCSB E: 100)
+}
+
+// The six workloads the CHIME evaluation uses (§5.1).
+var (
+	WorkloadA    = Mix{Name: "A", ReadPct: 0.5, UpdatePct: 0.5, Dist: DistZipfian}
+	WorkloadB    = Mix{Name: "B", ReadPct: 0.95, UpdatePct: 0.05, Dist: DistZipfian}
+	WorkloadC    = Mix{Name: "C", ReadPct: 1.0, Dist: DistZipfian}
+	WorkloadD    = Mix{Name: "D", ReadPct: 0.95, InsertPct: 0.05, Dist: DistLatest}
+	WorkloadE    = Mix{Name: "E", ScanPct: 0.95, InsertPct: 0.05, Dist: DistZipfian, MaxScanLen: 100}
+	WorkloadF    = Mix{Name: "F", ReadPct: 0.5, RMWPct: 0.5, Dist: DistZipfian}
+	WorkloadLoad = Mix{Name: "LOAD", InsertPct: 1.0, Dist: DistUniform}
+)
+
+// MixByName resolves a workload by its YCSB letter.
+func MixByName(name string) (Mix, error) {
+	switch name {
+	case "A", "a":
+		return WorkloadA, nil
+	case "B", "b":
+		return WorkloadB, nil
+	case "C", "c":
+		return WorkloadC, nil
+	case "D", "d":
+		return WorkloadD, nil
+	case "E", "e":
+		return WorkloadE, nil
+	case "F", "f":
+		return WorkloadF, nil
+	case "LOAD", "load":
+		return WorkloadLoad, nil
+	}
+	return Mix{}, fmt.Errorf("ycsb: unknown workload %q", name)
+}
+
+// Validate reports whether the mix's proportions sum to 1.
+func (m Mix) Validate() error {
+	sum := m.ReadPct + m.UpdatePct + m.InsertPct + m.ScanPct + m.RMWPct
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("ycsb: workload %q proportions sum to %g, want 1", m.Name, sum)
+	}
+	if m.ScanPct > 0 && m.MaxScanLen <= 0 {
+		return fmt.Errorf("ycsb: workload %q has scans but MaxScanLen %d", m.Name, m.MaxScanLen)
+	}
+	return nil
+}
+
+// KeySpace tracks how many logical items exist. It is shared by all
+// generators of a run so that inserts from one client become visible to
+// the request distributions of every client, as in YCSB.
+type KeySpace struct {
+	count atomic.Uint64
+}
+
+// NewKeySpace returns a keyspace pre-loaded with n items (logical IDs
+// [0, n)).
+func NewKeySpace(n uint64) *KeySpace {
+	ks := &KeySpace{}
+	ks.count.Store(n)
+	return ks
+}
+
+// Count returns the current number of logical items.
+func (ks *KeySpace) Count() uint64 { return ks.count.Load() }
+
+// Claim reserves the next logical ID for an insert.
+func (ks *KeySpace) Claim() uint64 { return ks.count.Add(1) - 1 }
+
+// KeyOf maps a logical item ID to its 8-byte key.
+func KeyOf(id uint64) uint64 { return Mix64(id) }
+
+// LoadKeys returns the keys of the first n logical items, the set a run
+// populates before issuing requests.
+func LoadKeys(n uint64) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = KeyOf(uint64(i))
+	}
+	return keys
+}
+
+// Generator produces the operation stream for one client. Not safe for
+// concurrent use; create one per client with a distinct seed.
+type Generator struct {
+	mix Mix
+	ks  *KeySpace
+	rng *rand.Rand
+	zip *Zipfian
+}
+
+// NewGenerator builds a per-client generator over the shared keyspace.
+func NewGenerator(mix Mix, ks *KeySpace, seed int64) (*Generator, error) {
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+	theta := mix.Theta
+	if theta == 0 {
+		theta = 0.99
+	}
+	g := &Generator{
+		mix: mix,
+		ks:  ks,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+	if mix.Dist == DistZipfian || mix.Dist == DistLatest {
+		g.zip = NewZipfian(ks.Count(), theta)
+	}
+	return g, nil
+}
+
+// MustNewGenerator panics on an invalid mix; for literals in tests and
+// examples.
+func MustNewGenerator(mix Mix, ks *KeySpace, seed int64) *Generator {
+	g, err := NewGenerator(mix, ks, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// chooseKey draws a request key from the live keyspace.
+func (g *Generator) chooseKey() uint64 {
+	n := g.ks.Count()
+	if n == 0 {
+		return KeyOf(0)
+	}
+	var id uint64
+	switch g.mix.Dist {
+	case DistUniform:
+		id = g.rng.Uint64() % n
+	case DistZipfian:
+		id = g.zip.NextN(n, g.rng.Float64())
+	case DistLatest:
+		// Most recent item is the most popular.
+		rank := g.zip.NextN(n, g.rng.Float64())
+		id = n - 1 - rank
+	}
+	return KeyOf(id)
+}
+
+// Next generates one operation.
+func (g *Generator) Next() Op {
+	u := g.rng.Float64()
+	m := g.mix
+	switch {
+	case u < m.ReadPct:
+		return Op{Kind: OpRead, Key: g.chooseKey()}
+	case u < m.ReadPct+m.UpdatePct:
+		return Op{Kind: OpUpdate, Key: g.chooseKey()}
+	case u < m.ReadPct+m.UpdatePct+m.InsertPct:
+		return Op{Kind: OpInsert, Key: KeyOf(g.ks.Claim())}
+	case u < m.ReadPct+m.UpdatePct+m.InsertPct+m.RMWPct:
+		return Op{Kind: OpReadModifyWrite, Key: g.chooseKey()}
+	default:
+		return Op{
+			Kind:    OpScan,
+			Key:     g.chooseKey(),
+			ScanLen: 1 + g.rng.Intn(m.MaxScanLen),
+		}
+	}
+}
+
+// FillValue deterministically derives a value payload for a key, sized
+// valueSize bytes; used by load phases and update operations so that
+// verification can recompute the expected value.
+func FillValue(key uint64, valueSize int, version uint32) []byte {
+	v := make([]byte, valueSize)
+	seed := key ^ uint64(version)*0x9E3779B97F4A7C15
+	for i := range v {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		v[i] = byte(seed >> 56)
+	}
+	return v
+}

@@ -1,0 +1,284 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfianInRange(t *testing.T) {
+	prop := func(seed int64, nRaw uint16) bool {
+		n := uint64(nRaw)%10000 + 1
+		z := NewZipfian(n, 0.99)
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			if v := z.Next(r.Float64()); v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	const n = 10000
+	z := NewZipfian(n, 0.99)
+	r := rand.New(rand.NewSource(1))
+	counts := make([]int, n)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Next(r.Float64())]++
+	}
+	// Rank 0 should dominate: YCSB zipfian(0.99) over 10k items gives the
+	// top item roughly 10% of the mass.
+	if counts[0] < draws/20 {
+		t.Fatalf("rank-0 frequency %d of %d: distribution not skewed", counts[0], draws)
+	}
+	// And the head must dominate the tail.
+	var head, tail int
+	for i := 0; i < 100; i++ {
+		head += counts[i]
+	}
+	for i := n - 100; i < n; i++ {
+		tail += counts[i]
+	}
+	if head < 10*tail {
+		t.Fatalf("head %d vs tail %d: not zipfian", head, tail)
+	}
+}
+
+func TestZipfianLowSkewIsFlatter(t *testing.T) {
+	const n = 1000
+	const draws = 100000
+	freqTop := func(theta float64) int {
+		z := NewZipfian(n, theta)
+		r := rand.New(rand.NewSource(7))
+		top := 0
+		for i := 0; i < draws; i++ {
+			if z.Next(r.Float64()) == 0 {
+				top++
+			}
+		}
+		return top
+	}
+	if low, high := freqTop(0.5), freqTop(0.99); low >= high {
+		t.Fatalf("theta=0.5 top freq %d >= theta=0.99 top freq %d", low, high)
+	}
+}
+
+func TestZipfianGrow(t *testing.T) {
+	z := NewZipfian(100, 0.99)
+	r := rand.New(rand.NewSource(2))
+	seen := false
+	for i := 0; i < 10000; i++ {
+		v := z.NextN(1000, r.Float64())
+		if v >= 1000 {
+			t.Fatalf("draw %d out of grown range", v)
+		}
+		if v >= 100 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("grown range never sampled")
+	}
+	if z.N() != 1000 {
+		t.Fatalf("N() = %d after grow", z.N())
+	}
+	// Growing must be monotone: NextN with a smaller n must not shrink.
+	z.NextN(500, 0.5)
+	if z.N() != 1000 {
+		t.Fatal("grow must never shrink")
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	seen := make(map[uint64]bool, 100000)
+	for i := uint64(0); i < 100000; i++ {
+		k := Mix64(i)
+		if seen[k] {
+			t.Fatalf("collision at id %d", i)
+		}
+		seen[k] = true
+	}
+}
+
+func TestMixValidate(t *testing.T) {
+	for _, m := range []Mix{WorkloadA, WorkloadB, WorkloadC, WorkloadD, WorkloadE, WorkloadF, WorkloadLoad} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("workload %s: %v", m.Name, err)
+		}
+	}
+	bad := Mix{Name: "bad", ReadPct: 0.5}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected proportion error")
+	}
+	badScan := Mix{Name: "badscan", ScanPct: 1.0}
+	if err := badScan.Validate(); err == nil {
+		t.Error("expected scan-length error")
+	}
+}
+
+func TestMixByName(t *testing.T) {
+	for _, name := range []string{"A", "B", "C", "D", "E", "F", "LOAD", "a", "f", "load"} {
+		if _, err := MixByName(name); err != nil {
+			t.Errorf("MixByName(%q): %v", name, err)
+		}
+	}
+	if _, err := MixByName("Z"); err == nil {
+		t.Error("expected unknown-workload error")
+	}
+}
+
+func TestGeneratorProportions(t *testing.T) {
+	ks := NewKeySpace(10000)
+	g := MustNewGenerator(WorkloadB, ks, 42)
+	var reads, updates int
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		switch g.Next().Kind {
+		case OpRead:
+			reads++
+		case OpUpdate:
+			updates++
+		default:
+			t.Fatal("workload B generated a non-read/update op")
+		}
+	}
+	gotRead := float64(reads) / draws
+	if gotRead < 0.94 || gotRead > 0.96 {
+		t.Fatalf("read fraction %.3f, want ~0.95", gotRead)
+	}
+}
+
+func TestGeneratorInsertGrowsKeyspace(t *testing.T) {
+	ks := NewKeySpace(100)
+	g := MustNewGenerator(WorkloadLoad, ks, 1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		if op.Kind != OpInsert {
+			t.Fatal("LOAD must be all inserts")
+		}
+		if seen[op.Key] {
+			t.Fatalf("duplicate insert key %#x", op.Key)
+		}
+		seen[op.Key] = true
+	}
+	if ks.Count() != 1100 {
+		t.Fatalf("keyspace = %d, want 1100", ks.Count())
+	}
+}
+
+func TestGeneratorLatestSkewsRecent(t *testing.T) {
+	ks := NewKeySpace(100000)
+	g := MustNewGenerator(WorkloadD, ks, 3)
+	recent := map[uint64]bool{}
+	for id := uint64(99000); id < 100000; id++ {
+		recent[KeyOf(id)] = true
+	}
+	hits := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		op := g.Next()
+		if op.Kind == OpRead && recent[op.Key] {
+			hits++
+		}
+	}
+	// The latest 1% of items should draw far more than 1% of requests.
+	if hits < draws/10 {
+		t.Fatalf("latest-1%% drew %d/%d reads: not 'latest' skewed", hits, draws)
+	}
+}
+
+func TestGeneratorScanLens(t *testing.T) {
+	ks := NewKeySpace(1000)
+	g := MustNewGenerator(WorkloadE, ks, 5)
+	sawScan := false
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		if op.Kind == OpScan {
+			sawScan = true
+			if op.ScanLen < 1 || op.ScanLen > 100 {
+				t.Fatalf("scan length %d out of [1,100]", op.ScanLen)
+			}
+		}
+	}
+	if !sawScan {
+		t.Fatal("workload E produced no scans")
+	}
+}
+
+func TestGeneratorRejectsInvalidMix(t *testing.T) {
+	if _, err := NewGenerator(Mix{Name: "x"}, NewKeySpace(1), 0); err == nil {
+		t.Fatal("expected error for empty mix")
+	}
+}
+
+func TestKeySpaceClaim(t *testing.T) {
+	ks := NewKeySpace(5)
+	if got := ks.Claim(); got != 5 {
+		t.Fatalf("Claim = %d, want 5", got)
+	}
+	if ks.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", ks.Count())
+	}
+}
+
+func TestLoadKeysUnique(t *testing.T) {
+	keys := LoadKeys(10000)
+	seen := make(map[uint64]bool, len(keys))
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatal("duplicate load key")
+		}
+		seen[k] = true
+	}
+}
+
+func TestFillValueDeterministic(t *testing.T) {
+	a := FillValue(42, 16, 1)
+	b := FillValue(42, 16, 1)
+	c := FillValue(42, 16, 2)
+	if string(a) != string(b) {
+		t.Fatal("FillValue must be deterministic")
+	}
+	if string(a) == string(c) {
+		t.Fatal("FillValue must vary with version")
+	}
+	if len(FillValue(1, 100, 0)) != 100 {
+		t.Fatal("FillValue size mismatch")
+	}
+}
+
+func TestWorkloadFGeneratesRMW(t *testing.T) {
+	ks := NewKeySpace(1000)
+	g := MustNewGenerator(WorkloadF, ks, 11)
+	var rmw, reads int
+	for i := 0; i < 10000; i++ {
+		switch g.Next().Kind {
+		case OpReadModifyWrite:
+			rmw++
+		case OpRead:
+			reads++
+		default:
+			t.Fatal("workload F produced an unexpected op kind")
+		}
+	}
+	frac := float64(rmw) / 10000
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("RMW fraction %.3f, want ~0.5", frac)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	cases := map[OpKind]string{OpRead: "READ", OpUpdate: "UPDATE", OpInsert: "INSERT", OpScan: "SCAN", OpReadModifyWrite: "RMW", OpKind(9): "OpKind(9)"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

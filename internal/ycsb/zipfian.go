@@ -1,0 +1,97 @@
+// Package ycsb generates YCSB-style key-value workloads (Cooper et al.,
+// SoCC '10): the six core mixes the CHIME paper evaluates (A, B, C, D, E
+// and LOAD), with Zipfian, uniform and latest request distributions over
+// a keyspace that can grow under inserts.
+//
+// Keys are 8-byte integers produced by a bijective 64-bit mixer, so the
+// i-th logical item maps to a unique, uniformly spread key — YCSB's
+// default "hashed inserts" behaviour, which keeps B+-tree splits spread
+// across the tree instead of hammering the right edge.
+package ycsb
+
+import "math"
+
+// Zipfian draws from a Zipfian distribution over [0, n) with parameter
+// theta, using the incremental-zeta method from Gray et al. ("Quickly
+// generating billion-record synthetic databases", SIGMOD '94), the same
+// algorithm YCSB uses. It supports a growing n: zeta is extended
+// incrementally rather than recomputed.
+//
+// A Zipfian is not safe for concurrent use; give each client its own.
+type Zipfian struct {
+	theta float64
+	n     uint64
+
+	alpha, zetan, eta, zeta2theta float64
+}
+
+// NewZipfian builds a generator over [0, n) with the given skew
+// (YCSB default 0.99). n must be at least 1; theta must be in (0, 1).
+func NewZipfian(n uint64, theta float64) *Zipfian {
+	if n < 1 {
+		n = 1
+	}
+	z := &Zipfian{theta: theta}
+	z.zeta2theta = zetaStatic(2, theta)
+	z.grow(n)
+	return z
+}
+
+func zetaStatic(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// grow extends the distribution to cover [0, n).
+func (z *Zipfian) grow(n uint64) {
+	if n <= z.n {
+		return
+	}
+	for i := z.n + 1; i <= n; i++ {
+		z.zetan += 1 / math.Pow(float64(i), z.theta)
+	}
+	z.n = n
+	z.alpha = 1 / (1 - z.theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-z.theta)) / (1 - z.zeta2theta/z.zetan)
+}
+
+// N returns the current item count the distribution covers.
+func (z *Zipfian) N() uint64 { return z.n }
+
+// Next draws one rank in [0, n); rank 0 is the most popular item. u must
+// be uniform in [0, 1).
+func (z *Zipfian) Next(u float64) uint64 {
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// NextN grows the distribution to cover n items and draws a rank. This
+// is how insert-heavy workloads keep the distribution in step with the
+// growing keyspace.
+func (z *Zipfian) NextN(n uint64, u float64) uint64 {
+	z.grow(n)
+	return z.Next(u)
+}
+
+// Mix64 is the splitmix64 finalizer: a bijection on uint64 used to
+// scatter sequential logical item IDs across the key space. Because it
+// is a bijection, distinct IDs always yield distinct keys.
+func Mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
