@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all vet build test race check bench-pipeline
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The async verb layer and the pipelined clients are the most
+# concurrency-sensitive packages; run them under the race detector.
+race:
+	$(GO) test -race ./internal/dmsim/... ./internal/core/...
+
+check: vet build test race
+
+# Regenerate the committed pipeline-depth artifact.
+bench-pipeline:
+	$(GO) run ./cmd/chime-bench -run pipeline -scale small -json BENCH_PIPELINE.json

@@ -36,6 +36,8 @@ func main() {
 		ops     = flag.Int("ops", 0, "override: measured operations per run")
 		clients = flag.Int("clients", 0, "override: fixed client count")
 		sweep   = flag.String("sweep", "", "override: comma-separated client sweep (e.g. 8,64,256)")
+		depths  = flag.String("depths", "", "pipeline experiment: comma-separated SearchBatch depths (default 1,2,4,8,16)")
+		jsonOut = flag.String("json", "", "pipeline experiment: also write rows as JSON to this file")
 	)
 	flag.Parse()
 
@@ -75,6 +77,46 @@ func main() {
 			cs = append(cs, v)
 		}
 		sc.ClientSweep = cs
+	}
+
+	// The pipeline experiment supports depth overrides and a JSON
+	// artifact (BENCH_PIPELINE.json); it is dispatched directly so the
+	// structured rows are available for marshaling.
+	if *run == "pipeline" {
+		var ds []int
+		for _, part := range strings.Split(*depths, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			v, err := strconv.Atoi(part)
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "bad -depths element %q\n", part)
+				os.Exit(2)
+			}
+			ds = append(ds, v)
+		}
+		fmt.Printf("==== pipeline: SearchBatch depth sweep (load=%d ops=%d) ====\n", sc.LoadN, sc.Ops)
+		start := time.Now()
+		rows, err := bench.RunPipeline(sc, ds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipeline failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatPipelineRows(rows))
+		if *jsonOut != "" {
+			blob, err := bench.MarshalPipelineJSON(sc, rows)
+			if err == nil {
+				err = os.WriteFile(*jsonOut, blob, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		fmt.Printf("---- pipeline done in %v ----\n\n", time.Since(start).Round(time.Millisecond))
+		return
 	}
 
 	var exps []bench.Experiment

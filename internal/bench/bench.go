@@ -34,6 +34,14 @@ type Client interface {
 	DM() *dmsim.Client
 }
 
+// BatchSearcher is the optional pipelined multi-get interface: clients
+// that multiplex several lookups over posted verbs implement it.
+// Results are positionally aligned with keys; absent keys report the
+// index's not-found sentinel (normalized to ErrNotFound by adapters).
+type BatchSearcher interface {
+	SearchBatch(keys []uint64, depth int) ([][]byte, []error)
+}
+
 // System is one index instance under test.
 type System interface {
 	Name() string

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"testing"
+
+	"chime/internal/ycsb"
+)
+
+// TestMultiGetPipelineSpeedup pins the tentpole acceptance criterion:
+// on cold-cache YCSB C, SearchBatch at depth 8 must deliver at least
+// 1.8x the virtual-time read throughput of depth 1.
+func TestMultiGetPipelineSpeedup(t *testing.T) {
+	sc := SmallScale
+	sys, cfg, err := buildSystem("CHIME", sc, 1, func(c *SystemConfig) {
+		c.CacheBytes = 0
+		c.DisableRDWC = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := pipelineClients(sc)
+	point := func(depth int) MultiGetResult {
+		r, err := RunMultiGet(sys, MultiGetConfig{
+			Mix:          ycsb.WorkloadC,
+			Clients:      clients,
+			OpsPerClient: maxInt(sc.Ops/clients, 1),
+			Depth:        depth,
+			ValueSize:    cfg.ValueSize,
+			KeySpace:     NewKeySpaceFor(cfg.LoadKeys),
+			Seed:         31,
+		})
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		return r
+	}
+	d1 := point(1)
+	d8 := point(8)
+	speedup := d8.ThroughputMops / d1.ThroughputMops
+	t.Logf("cold-cache YCSB C: depth-1 %.3f Mops, depth-8 %.3f Mops (%.2fx, max inflight %d)",
+		d1.ThroughputMops, d8.ThroughputMops, speedup, d8.MaxInflight)
+	if speedup < 1.8 {
+		t.Fatalf("depth-8 speedup %.2fx < 1.8x", speedup)
+	}
+	if d8.MaxInflight < 2 {
+		t.Fatalf("depth-8 run never had >1 verb in flight (MaxInflight=%d)", d8.MaxInflight)
+	}
+}
+
+// TestRunMultiGetRejectsRDWC: the combining wrapper hides SearchBatch;
+// the harness must say so rather than silently degrade.
+func TestRunMultiGetRejectsRDWC(t *testing.T) {
+	sc := SmallScale
+	sc.LoadN, sc.Ops = 2000, 500
+	sys, cfg, err := buildSystem("CHIME", sc, 1, nil) // RDWC enabled
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunMultiGet(sys, MultiGetConfig{
+		Mix:          ycsb.WorkloadC,
+		Clients:      2,
+		OpsPerClient: 10,
+		Depth:        4,
+		ValueSize:    cfg.ValueSize,
+		KeySpace:     NewKeySpaceFor(cfg.LoadKeys),
+	})
+	if err == nil {
+		t.Fatal("RunMultiGet accepted a non-BatchSearcher client")
+	}
+}
+
+// TestRunMultiGetMixedWorkload drives YCSB B (updates interleaved with
+// batched reads) end to end at several depths.
+func TestRunMultiGetMixedWorkload(t *testing.T) {
+	sc := SmallScale
+	sc.LoadN, sc.Ops = 4000, 2000
+	for _, name := range []string{"CHIME", "Sherman"} {
+		sys, cfg, err := buildSystem(name, sc, 1, func(c *SystemConfig) {
+			c.DisableRDWC = true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, depth := range []int{1, 8} {
+			r, err := RunMultiGet(sys, MultiGetConfig{
+				Mix:          ycsb.WorkloadB,
+				Clients:      4,
+				OpsPerClient: sc.Ops / 4,
+				Depth:        depth,
+				ValueSize:    cfg.ValueSize,
+				KeySpace:     NewKeySpaceFor(cfg.LoadKeys),
+				Seed:         7,
+			})
+			if err != nil {
+				t.Fatalf("%s depth %d: %v", name, depth, err)
+			}
+			if r.ThroughputMops <= 0 || r.Ops != int64(sc.Ops) {
+				t.Fatalf("%s depth %d: bad result %+v", name, depth, r)
+			}
+		}
+	}
+}

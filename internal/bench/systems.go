@@ -141,6 +141,15 @@ func (c chimeClient) Scan(start uint64, count int) (int, error) {
 	kvs, err := c.cl.Scan(start, count)
 	return len(kvs), err
 }
+func (c chimeClient) SearchBatch(keys []uint64, depth int) ([][]byte, []error) {
+	vals, errs := c.cl.SearchBatch(keys, depth)
+	for i, err := range errs {
+		if errors.Is(err, core.ErrNotFound) {
+			errs[i] = ErrNotFound
+		}
+	}
+	return vals, errs
+}
 func (c chimeClient) DM() *dmsim.Client { return c.cl.DM() }
 
 func (s *chimeSystem) Name() string      { return "CHIME" }
@@ -213,6 +222,15 @@ func (c shermanClient) Delete(key uint64) error {
 func (c shermanClient) Scan(start uint64, count int) (int, error) {
 	kvs, err := c.cl.Scan(start, count)
 	return len(kvs), err
+}
+func (c shermanClient) SearchBatch(keys []uint64, depth int) ([][]byte, []error) {
+	vals, errs := c.cl.SearchBatch(keys, depth)
+	for i, err := range errs {
+		if errors.Is(err, sherman.ErrNotFound) {
+			errs[i] = ErrNotFound
+		}
+	}
+	return vals, errs
 }
 func (c shermanClient) DM() *dmsim.Client { return c.cl.DM() }
 

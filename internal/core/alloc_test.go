@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"chime/internal/dmsim"
+)
+
+// buildAllocTree loads a tree big enough to have real internal levels,
+// returning a client with a warm node cache.
+func buildAllocTree(tb testing.TB, n int) *Client {
+	tb.Helper()
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 512 << 20
+	f := dmsim.MustNewFabric(cfg)
+	ix, err := Bootstrap(f, DefaultOptions())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cn := ix.NewComputeNode(64<<20, 1<<20)
+	cl := cn.NewClient()
+	for i := 1; i <= n; i++ {
+		if err := cl.Insert(uint64(i)*7, val8(uint64(i))); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return cl
+}
+
+// TestSearchAllocsBounded pins the effect of image pooling on the read
+// path. A warm-cache search fetches one leaf window into a pooled
+// buffer; without pooling every search allocates a full leaf image
+// (plus an internal image per cache miss), which pushes the allocation
+// count well past this ceiling. The bound is ~2x the measured warm
+// figure so it only trips on structural regressions, not noise.
+func TestSearchAllocsBounded(t *testing.T) {
+	cl := buildAllocTree(t, 2000)
+	key := uint64(700) * 7
+	for i := 0; i < 3; i++ { // warm cache and pools
+		if _, err := cl.Search(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := cl.Search(key); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const maxAllocs = 40
+	if avg > maxAllocs {
+		t.Fatalf("warm Search allocates %.1f objects/op, want <= %d (image pooling regressed?)", avg, maxAllocs)
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	cl := buildAllocTree(b, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i%2000+1) * 7
+		if _, err := cl.Search(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	cl := buildAllocTree(b, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Scan(uint64(i%1000+1)*7, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -12,9 +12,25 @@ import (
 // node address, and bounded by a byte budget measured in *encoded* node
 // bytes — the unit the paper reports cache consumption in.
 //
-// Eviction is LRU. The cache stores decoded nodes; lookups are local and
-// free of network cost.
+// The cache is lock-striped into cacheShards independent shards, each
+// with its own mutex, LRU list and byte budget: a single global mutex
+// would serialize every traversal of every client goroutine on the CN,
+// which shows up as wall-clock contention at high client counts.
+// Eviction is LRU per shard (global LRU order is approximated, which is
+// standard for striped caches). Decoded nodes are stored; lookups are
+// local and free of network cost.
+const cacheShards = 16
+
+// minShardBudget keeps striping from starving tiny caches: a shard that
+// cannot hold a handful of nodes is useless, so small budgets collapse
+// to fewer shards (1 in the limit — the pre-sharding behaviour).
+const minShardBudget = 64 << 10
+
 type nodeCache struct {
+	shards []cacheShard
+}
+
+type cacheShard struct {
 	mu     sync.Mutex
 	budget int64
 	used   int64
@@ -31,72 +47,99 @@ type cacheSlot struct {
 }
 
 func newNodeCache(budget int64) *nodeCache {
-	return &nodeCache{
-		budget: budget,
-		lru:    list.New(),
-		items:  make(map[dmsim.GAddr]*list.Element),
+	n := cacheShards
+	for n > 1 && budget/int64(n) < minShardBudget {
+		n /= 2
 	}
+	c := &nodeCache{shards: make([]cacheShard, n)}
+	// Split the budget across shards; remainder bytes go to shard 0 so
+	// the total is preserved exactly.
+	per := budget / int64(n)
+	for i := range c.shards {
+		b := per
+		if i == 0 {
+			b += budget - per*int64(n)
+		}
+		c.shards[i] = cacheShard{
+			budget: b,
+			lru:    list.New(),
+			items:  make(map[dmsim.GAddr]*list.Element),
+		}
+	}
+	return c
+}
+
+// shardOf maps a node address to its shard. Node addresses are 64-byte
+// aligned, so the low 6 bits are dead; mix the meaningful bits.
+func (c *nodeCache) shardOf(addr dmsim.GAddr) *cacheShard {
+	h := (addr.Off >> 6) * 0x9e3779b97f4a7c15
+	h ^= uint64(addr.MN) * 0xff51afd7ed558ccd
+	return &c.shards[(h>>32)%uint64(len(c.shards))]
 }
 
 // get returns the cached node, promoting it, or nil.
 func (c *nodeCache) get(addr dmsim.GAddr) *internalNode {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[addr]
+	s := c.shardOf(addr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[addr]
 	if !ok {
-		c.misses++
+		s.misses++
 		return nil
 	}
-	c.hits++
-	c.lru.MoveToFront(el)
+	s.hits++
+	s.lru.MoveToFront(el)
 	return el.Value.(*cacheSlot).node
 }
 
 // put inserts or replaces a node costing size bytes, evicting LRU
-// entries as needed. A budget of 0 disables caching entirely.
+// entries from its shard as needed. A budget of 0 disables caching.
 func (c *nodeCache) put(addr dmsim.GAddr, n *internalNode, size int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.budget <= 0 || size > c.budget {
+	s := c.shardOf(addr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.budget <= 0 || size > s.budget {
 		return
 	}
-	if el, ok := c.items[addr]; ok {
+	if el, ok := s.items[addr]; ok {
 		slot := el.Value.(*cacheSlot)
-		c.used += size - slot.size
+		s.used += size - slot.size
 		slot.node, slot.size = n, size
-		c.lru.MoveToFront(el)
+		s.lru.MoveToFront(el)
 	} else {
-		el := c.lru.PushFront(&cacheSlot{addr: addr, node: n, size: size})
-		c.items[addr] = el
-		c.used += size
+		el := s.lru.PushFront(&cacheSlot{addr: addr, node: n, size: size})
+		s.items[addr] = el
+		s.used += size
 	}
-	for c.used > c.budget {
-		back := c.lru.Back()
+	for s.used > s.budget {
+		back := s.lru.Back()
 		if back == nil {
 			break
 		}
 		slot := back.Value.(*cacheSlot)
-		c.lru.Remove(back)
-		delete(c.items, slot.addr)
-		c.used -= slot.size
+		s.lru.Remove(back)
+		delete(s.items, slot.addr)
+		s.used -= slot.size
 	}
 }
 
 // invalidate drops a stale node (a sibling-based cache validation
 // failure, §4.2.3).
 func (c *nodeCache) invalidate(addr dmsim.GAddr) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[addr]; ok {
+	s := c.shardOf(addr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[addr]; ok {
 		slot := el.Value.(*cacheSlot)
-		c.lru.Remove(el)
-		delete(c.items, addr)
-		c.used -= slot.size
-		c.invalidations++
+		s.lru.Remove(el)
+		delete(s.items, addr)
+		s.used -= slot.size
+		s.invalidations++
 	}
 }
 
-// CacheStats is a snapshot of cache behaviour and footprint.
+// CacheStats is a snapshot of cache behaviour and footprint, aggregated
+// over all shards.
 type CacheStats struct {
 	Hits, Misses, Invalidations int64
 	UsedBytes, BudgetBytes      int64
@@ -104,10 +147,17 @@ type CacheStats struct {
 }
 
 func (c *nodeCache) stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{
-		Hits: c.hits, Misses: c.misses, Invalidations: c.invalidations,
-		UsedBytes: c.used, BudgetBytes: c.budget, Nodes: len(c.items),
+	var st CacheStats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Invalidations += s.invalidations
+		st.UsedBytes += s.used
+		st.BudgetBytes += s.budget
+		st.Nodes += len(s.items)
+		s.mu.Unlock()
 	}
+	return st
 }

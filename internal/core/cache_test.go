@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"chime/internal/dmsim"
+)
+
+func cacheAddr(i int) dmsim.GAddr {
+	return dmsim.GAddr{MN: uint8(i % 3), Off: uint64(64 + 64*i)}
+}
+
+func TestCacheShardingBudgetSplit(t *testing.T) {
+	const budget = int64(1<<20) + 37 // deliberately not shard-divisible
+	c := newNodeCache(budget)
+	if got := c.stats().BudgetBytes; got != budget {
+		t.Fatalf("aggregate budget %d, want %d", got, budget)
+	}
+}
+
+func TestCachePutGetInvalidate(t *testing.T) {
+	c := newNodeCache(1 << 20)
+	n := &internalNode{level: 1}
+	for i := 0; i < 100; i++ {
+		c.put(cacheAddr(i), n, 1024)
+	}
+	for i := 0; i < 100; i++ {
+		if c.get(cacheAddr(i)) == nil {
+			t.Fatalf("addr %d missing after put", i)
+		}
+	}
+	st := c.stats()
+	if st.Nodes != 100 || st.UsedBytes != 100*1024 {
+		t.Fatalf("stats = %+v, want 100 nodes / %d bytes", st, 100*1024)
+	}
+	for i := 0; i < 100; i += 2 {
+		c.invalidate(cacheAddr(i))
+	}
+	st = c.stats()
+	if st.Nodes != 50 || st.Invalidations != 50 {
+		t.Fatalf("after invalidations: %+v", st)
+	}
+	if c.get(cacheAddr(0)) != nil {
+		t.Fatal("invalidated entry still cached")
+	}
+	if c.get(cacheAddr(1)) == nil {
+		t.Fatal("untouched entry evicted by invalidate")
+	}
+}
+
+func TestCacheEvictionStaysWithinBudget(t *testing.T) {
+	const budget = int64(64 << 10)
+	c := newNodeCache(budget)
+	n := &internalNode{}
+	for i := 0; i < 1000; i++ {
+		c.put(cacheAddr(i), n, 1024)
+	}
+	st := c.stats()
+	if st.UsedBytes > budget {
+		t.Fatalf("used %d exceeds budget %d", st.UsedBytes, budget)
+	}
+	if st.Nodes == 0 {
+		t.Fatal("eviction emptied the cache entirely")
+	}
+}
+
+func TestCacheZeroBudgetDisables(t *testing.T) {
+	c := newNodeCache(0)
+	c.put(cacheAddr(1), &internalNode{}, 64)
+	if c.get(cacheAddr(1)) != nil {
+		t.Fatal("zero-budget cache stored a node")
+	}
+}
+
+// TestCacheConcurrentSharded hammers the cache from many goroutines;
+// run under -race this pins the lock striping's soundness, and the
+// address set is spread so multiple shards are exercised.
+func TestCacheConcurrentSharded(t *testing.T) {
+	c := newNodeCache(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := &internalNode{}
+			for i := 0; i < 2000; i++ {
+				a := cacheAddr((g*31 + i) % 256)
+				switch i % 4 {
+				case 0:
+					c.put(a, n, 512)
+				case 1, 2:
+					c.get(a)
+				case 3:
+					c.invalidate(a)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.stats()
+	if st.UsedBytes < 0 {
+		t.Fatalf("accounting went negative: %+v", st)
+	}
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+}
+
+// TestCacheShardDistribution: 64-byte-aligned sequential node addresses
+// must not all land in one shard.
+func TestCacheShardDistribution(t *testing.T) {
+	c := newNodeCache(1 << 20)
+	seen := map[*cacheShard]int{}
+	for i := 0; i < 1024; i++ {
+		seen[c.shardOf(dmsim.GAddr{Off: uint64(64 * i)})]++
+	}
+	if len(seen) < cacheShards/2 {
+		t.Fatalf("sequential addresses hit only %d of %d shards", len(seen), cacheShards)
+	}
+	for s, n := range seen {
+		if n > 1024/2 {
+			t.Fatalf("shard %p absorbed %d of 1024 addresses", s, n)
+		}
+	}
+}

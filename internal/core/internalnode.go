@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"sort"
+	"sync"
 
 	"chime/internal/dmsim"
 )
@@ -26,7 +27,10 @@ const (
 	inodeFlagFenceInf = 1 << 1
 )
 
-// internalLayout is the derived byte geometry of internal nodes.
+// internalLayout is the derived byte geometry of internal nodes. The
+// image pool recycles fetch buffers on the hot traversal path; decoded
+// nodes copy every byte they keep, so a buffer can be recycled as soon
+// as decoding finishes.
 type internalLayout struct {
 	span    int
 	keySize int
@@ -35,6 +39,23 @@ type internalLayout struct {
 	entryCells []cell
 	allCells   []cell
 	size       int
+
+	imgPool sync.Pool // of []byte, len == size
+}
+
+// getImage returns a (possibly recycled) internal-node image buffer.
+func (l *internalLayout) getImage() []byte {
+	if b, ok := l.imgPool.Get().([]byte); ok && len(b) == l.size {
+		return b
+	}
+	return make([]byte, l.size)
+}
+
+// putImage recycles a buffer previously returned by getImage.
+func (l *internalLayout) putImage(b []byte) {
+	if len(b) == l.size {
+		l.imgPool.Put(b)
+	}
 }
 
 func newInternalLayout(o Options) *internalLayout {

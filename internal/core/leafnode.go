@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"chime/internal/dmsim"
 	"chime/internal/hopscotch"
@@ -36,7 +37,8 @@ const (
 )
 
 // leafLayout is the derived byte geometry of a leaf node for a given
-// Options. It is immutable and shared by all clients.
+// Options. It is immutable and shared by all clients (the image pool is
+// internally synchronized).
 type leafLayout struct {
 	span, h  int
 	keySize  int
@@ -49,6 +51,8 @@ type leafLayout struct {
 	size         int    // total node footprint including lock word
 
 	vacGroups, vacPerBit int
+
+	imgPool sync.Pool // of *leafImage; hot read paths recycle images
 }
 
 func newLeafLayout(o Options) *leafLayout {
@@ -122,6 +126,27 @@ type leafImage struct {
 
 func newLeafImage(lay *leafLayout) *leafImage {
 	return &leafImage{lay: lay, buf: make([]byte, lay.size)}
+}
+
+// getImage returns a (possibly recycled) full-size leaf image. Recycled
+// buffers hold stale bytes from a previous node; that is safe for every
+// read path because consumers only decode cells whose version bytes were
+// validated over the ranges actually fetched.
+func (l *leafLayout) getImage() *leafImage {
+	if im, ok := l.imgPool.Get().(*leafImage); ok && im != nil {
+		return im
+	}
+	return newLeafImage(l)
+}
+
+// putImage recycles an image once no decoded state references it.
+// Decoded entries and metadata copy their bytes out (readCellContent),
+// so releasing after the last entry()/meta() call is safe.
+func (l *leafLayout) putImage(im *leafImage) {
+	if im == nil || len(im.buf) != l.size {
+		return
+	}
+	l.imgPool.Put(im)
 }
 
 // entry decodes slot i.

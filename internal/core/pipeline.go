@@ -1,0 +1,440 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"chime/internal/dmsim"
+)
+
+// Pipelined multi-get (async verb pipelining). SearchBatch drives up to
+// `depth` point lookups through the tree at once on ONE client: each key
+// is a small state machine whose remote reads are posted verbs, so the
+// round trips of different keys overlap on the virtual clock exactly as
+// coroutine-multiplexed lookups overlap on a real NIC (the CHIME
+// artifact runs several coroutines per CPU thread for this reason).
+//
+// Scheduling is FIFO round-robin: the op whose read was posted earliest
+// is polled first (its completion is the oldest, so polling it advances
+// the clock the least), then it posts its next read and goes to the back
+// of the queue. Cache hits advance an op several levels without posting
+// anything. Optimistic-retry failures (torn reads, stale caches,
+// half-splits) are isolated per key: one key restarting its traversal
+// never unwinds its neighbors.
+//
+// Hotness-aware speculation (§4.3) is deliberately skipped in batch
+// mode: a speculative single-entry read saves bytes but serializes an
+// extra dependent round trip per key, which is exactly what pipelining
+// is trying to hide. Found entries are still *recorded* in the hotspot
+// buffer so interleaved synchronous Searches keep their speculation.
+
+// searchOp states.
+const (
+	opStart = iota
+	opRootWait
+	opInternalWait
+	opLeafWait
+	opIndirectWait
+	opDone
+)
+
+// searchOp is one in-flight key of a SearchBatch.
+type searchOp struct {
+	key uint64
+	idx int // position in the input / result slices
+
+	state int
+
+	// Traversal state (mirrors traverse/traverseFrom).
+	root      dmsim.GAddr
+	rootLevel uint8
+	cur       dmsim.GAddr
+	path      []pathEntry
+	ref       leafRef
+	hops      int
+
+	// In-flight reads. h2 is the dedicated metadata READ when the
+	// ReplicateMeta ablation is off.
+	h, h2   *dmsim.Completion
+	rootBuf [8]byte
+	img     []byte     // internal-node image (pooled)
+	im      *leafImage // leaf window image (pooled)
+	idxs    []int
+	metaG   int
+	ranges  []byteRange
+	valBuf  []byte // indirect KV block ([8B key][value])
+
+	restarts, torn int
+
+	val []byte
+	err error
+}
+
+// SearchBatch performs up to depth point lookups concurrently on this
+// client, returning per-key values and errors (ErrNotFound for absent
+// keys). depth <= 1 degenerates to sequential pipelining of one key at
+// a time; results are positionally aligned with keys.
+func (c *Client) SearchBatch(keys []uint64, depth int) ([][]byte, []error) {
+	n := len(keys)
+	vals := make([][]byte, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return vals, errs
+	}
+	if depth < 1 {
+		depth = 1
+	}
+
+	ops := make([]*searchOp, 0, depth)
+	next := 0
+	admit := func() {
+		for next < n && len(ops) < depth {
+			op := &searchOp{key: keys[next], idx: next}
+			next++
+			c.beginOp(op)
+			if op.state == opDone {
+				vals[op.idx], errs[op.idx] = op.val, op.err
+				continue
+			}
+			ops = append(ops, op)
+		}
+	}
+	admit()
+	for len(ops) > 0 {
+		op := ops[0]
+		ops = ops[1:]
+		c.stepOp(op)
+		if op.state == opDone {
+			vals[op.idx], errs[op.idx] = op.val, op.err
+			admit()
+		} else {
+			ops = append(ops, op)
+		}
+	}
+	return vals, errs
+}
+
+// beginOp (re)starts a key's traversal: post the super-block read if the
+// root is unknown, otherwise descend through the cache from the root.
+func (c *Client) beginOp(op *searchOp) {
+	op.path = nil
+	op.hops = 0
+	c.dc.Advance(localWorkNs)
+	if c.rootAddr.IsNil() {
+		h, err := c.dc.PostRead(c.ix.super, op.rootBuf[:])
+		if err != nil {
+			c.failOp(op, err)
+			return
+		}
+		op.h = h
+		op.state = opRootWait
+		return
+	}
+	op.root, op.rootLevel = c.rootAddr, c.rootLevel
+	c.descendFromRoot(op)
+}
+
+// stepOp polls the op's outstanding completion(s) and advances its state
+// machine until it either posts again or completes.
+func (c *Client) stepOp(op *searchOp) {
+	switch op.state {
+	case opRootWait:
+		c.dc.Poll(op.h)
+		op.h = nil
+		addr, lvl := unpackSuper(binary.LittleEndian.Uint64(op.rootBuf[:]))
+		c.rootAddr, c.rootLevel = addr, lvl
+		op.root, op.rootLevel = addr, lvl
+		c.descendFromRoot(op)
+
+	case opInternalWait:
+		c.dc.Poll(op.h)
+		op.h = nil
+		if err := c.ix.inner.checkInternalImage(op.img); err != nil {
+			op.torn++
+			if op.torn > maxRetries {
+				c.failOp(op, fmt.Errorf("core: internal node %v: torn-read retries exhausted", op.cur))
+				return
+			}
+			c.yield()
+			h, perr := c.dc.PostRead(op.cur, op.img)
+			if perr != nil {
+				c.failOp(op, perr)
+				return
+			}
+			op.h = h
+			return
+		}
+		fresh := c.ix.inner.decodeInternal(op.cur, op.img)
+		c.ix.inner.putImage(op.img)
+		op.img = nil
+		if !fresh.valid {
+			c.restartOp(op)
+			return
+		}
+		c.cn.cache.put(op.cur, fresh, int64(c.ix.inner.size))
+		if c.stepNode(op, fresh, false) {
+			c.descendLoop(op)
+		}
+
+	case opLeafWait:
+		c.dc.Poll(op.h)
+		c.dc.Poll(op.h2)
+		op.h, op.h2 = nil, nil
+		c.finishLeafOp(op)
+
+	case opIndirectWait:
+		c.dc.Poll(op.h)
+		op.h = nil
+		if binary.LittleEndian.Uint64(op.valBuf[:8]) != op.key {
+			c.restartOp(op)
+			return
+		}
+		op.val = op.valBuf[8:]
+		c.completeOp(op)
+
+	default:
+		c.failOp(op, fmt.Errorf("core: SearchBatch: step in state %d", op.state))
+	}
+}
+
+func (c *Client) descendFromRoot(op *searchOp) {
+	if op.rootLevel == 0 {
+		op.ref = leafRef{addr: op.root}
+		c.postLeafOp(op)
+		return
+	}
+	op.cur = op.root
+	c.descendLoop(op)
+}
+
+// descendLoop walks internal levels through the cache until it needs a
+// remote read (posting it) or reaches level 1 (posting the leaf window).
+func (c *Client) descendLoop(op *searchOp) {
+	for ; op.hops < maxRetries; op.hops++ {
+		n := c.cn.cache.get(op.cur)
+		if n == nil {
+			op.img = c.ix.inner.getImage()
+			h, err := c.dc.PostRead(op.cur, op.img)
+			if err != nil {
+				c.failOp(op, err)
+				return
+			}
+			op.h = h
+			op.state = opInternalWait
+			return
+		}
+		if !c.stepNode(op, n, true) {
+			return
+		}
+	}
+	c.failOp(op, fmt.Errorf("core: SearchBatch(%#x): descent loop exhausted", op.key))
+}
+
+// stepNode applies one internal node to the op's descent (the body of
+// traverseFrom's loop). It reports whether the caller should keep
+// descending locally; false means the op posted a read, restarted, or
+// failed.
+func (c *Client) stepNode(op *searchOp, n *internalNode, fromCache bool) bool {
+	key := op.key
+	if !n.covers(key) {
+		if fromCache {
+			// Stale cached node: drop it and retry this address remotely.
+			c.cn.cache.invalidate(op.cur)
+			return true
+		}
+		if !n.fenceInf && key >= n.fenceHi && !n.sibling.IsNil() {
+			op.cur = n.sibling // half-split: chase the B-link sibling
+			return true
+		}
+		c.restartOp(op)
+		return false
+	}
+	op.path = append(op.path, pathEntry{addr: op.cur, level: n.level})
+	child, _, nextC := n.childFor(key)
+	if child.IsNil() {
+		if fromCache {
+			c.cn.cache.invalidate(op.cur)
+			return true
+		}
+		c.restartOp(op)
+		return false
+	}
+	if n.level == 1 {
+		op.ref = leafRef{
+			addr:            child,
+			expected:        nextC,
+			expectedKnown:   !nextC.IsNil(),
+			parentAddr:      op.cur,
+			parentFromCache: fromCache,
+			path:            op.path,
+		}
+		c.postLeafOp(op)
+		return false
+	}
+	op.cur = child
+	return true
+}
+
+// postLeafOp posts the leaf neighborhood window read(s) for op.ref,
+// mirroring fetchLeafWindow's geometry. When the metadata replica is not
+// covered (the "+Leaf Meta" ablation), the dedicated replica READ is
+// posted alongside rather than after — both complete before the window
+// is decoded, so validation is unchanged, but the two round trips
+// overlap.
+func (c *Client) postLeafOp(op *searchOp) {
+	lay := c.ix.leaf
+	home := lay.homeOf(op.key)
+	if op.im == nil {
+		op.im = lay.getImage()
+	}
+	segs, idxs := lay.neighborhoodSegments(home, lay.h, c.ix.opts.ReplicateMeta)
+	op.idxs = idxs
+	op.ranges = segs
+	op.metaG = lay.metaInRanges(segs)
+
+	var err error
+	if len(segs) == 1 {
+		op.h, err = c.dc.PostRead(op.ref.addr.Add(uint64(segs[0].Off)), op.im.buf[segs[0].Off:segs[0].End])
+	} else {
+		addrs := make([]dmsim.GAddr, len(segs))
+		bufs := make([][]byte, len(segs))
+		for i, s := range segs {
+			addrs[i] = op.ref.addr.Add(uint64(s.Off))
+			bufs[i] = op.im.buf[s.Off:s.End]
+		}
+		op.h, err = c.dc.PostReadBatch(addrs, bufs)
+	}
+	if err != nil {
+		c.failOp(op, err)
+		return
+	}
+	if !c.ix.opts.ReplicateMeta || op.metaG < 0 {
+		rc := lay.replicaCells[0]
+		op.h2, err = c.dc.PostRead(op.ref.addr.Add(uint64(rc.Off)), op.im.buf[rc.Off:rc.End()])
+		if err != nil {
+			c.failOp(op, err)
+			return
+		}
+		op.metaG = 0
+		op.ranges = append(append([]byteRange{}, op.ranges...), byteRange{Off: rc.Off, End: rc.End()})
+	}
+	op.state = opLeafWait
+}
+
+// finishLeafOp validates and decodes a completed leaf window, exactly as
+// searchLeafChain does for the synchronous path.
+func (c *Client) finishLeafOp(op *searchOp) {
+	lay := c.ix.leaf
+	if err := checkVersions(op.im.buf, 0, lay.coveredCells(op.ranges)); err != nil {
+		op.torn++
+		if op.torn > maxRetries {
+			c.failOp(op, fmt.Errorf("core: leaf %v: torn-read retries exhausted", op.ref.addr))
+			return
+		}
+		c.yield()
+		c.postLeafOp(op) // repost the same window into the same image
+		return
+	}
+	c.resetBackoff()
+
+	home := lay.homeOf(op.key)
+	homeEntry := op.im.entry(home)
+	if homeEntry.hopBM != op.im.reconstructHopBitmap(home) {
+		c.restartOp(op) // concurrent hop-range write caught mid-flight
+		return
+	}
+
+	foundIdx := -1
+	var foundVal []byte
+	for d := 0; d < lay.h; d++ {
+		if homeEntry.hopBM&(1<<uint(d)) == 0 {
+			continue
+		}
+		e := op.im.entry(op.idxs[d])
+		if e.occupied && e.key == op.key {
+			foundIdx = op.idxs[d]
+			foundVal = e.value
+			break
+		}
+	}
+
+	meta := op.im.meta(op.metaG)
+	lay.putImage(op.im)
+	op.im = nil
+	follow, err := c.validateLeafMeta(&op.ref, meta, op.key, foundIdx >= 0)
+	if err != nil {
+		c.restartOp(op)
+		return
+	}
+	if foundIdx >= 0 {
+		c.cn.hotspot.record(op.ref.addr, foundIdx, op.key)
+		if c.ix.opts.Indirect {
+			ptr := dmsim.UnpackGAddr(binary.LittleEndian.Uint64(foundVal[:8]))
+			if ptr.IsNil() {
+				c.restartOp(op)
+				return
+			}
+			op.valBuf = make([]byte, 8+c.ix.opts.ValueSize)
+			h, perr := c.dc.PostRead(ptr, op.valBuf)
+			if perr != nil {
+				c.failOp(op, perr)
+				return
+			}
+			op.h = h
+			op.state = opIndirectWait
+			return
+		}
+		op.val = append([]byte(nil), foundVal...)
+		c.completeOp(op)
+		return
+	}
+	if follow {
+		op.ref = leafRef{addr: meta.sibling}
+		c.postLeafOp(op)
+		return
+	}
+	op.err = ErrNotFound
+	c.completeOp(op)
+}
+
+// restartOp retraverses one key after an optimistic conflict; other keys
+// in the batch are untouched.
+func (c *Client) restartOp(op *searchOp) {
+	op.restarts++
+	if op.restarts > maxRetries {
+		c.failOp(op, fmt.Errorf("core: SearchBatch(%#x): retries exhausted", op.key))
+		return
+	}
+	c.releaseOpBuffers(op)
+	c.rootAddr = dmsim.NilGAddr // a split root invalidates it
+	c.yield()
+	c.beginOp(op)
+}
+
+func (c *Client) completeOp(op *searchOp) {
+	c.resetBackoff()
+	c.releaseOpBuffers(op)
+	op.state = opDone
+}
+
+func (c *Client) failOp(op *searchOp, err error) {
+	op.err = err
+	c.releaseOpBuffers(op)
+	op.state = opDone
+}
+
+// releaseOpBuffers drains any in-flight completions (Poll is idempotent
+// and nil-safe) and returns pooled images.
+func (c *Client) releaseOpBuffers(op *searchOp) {
+	c.dc.Poll(op.h)
+	c.dc.Poll(op.h2)
+	op.h, op.h2 = nil, nil
+	if op.img != nil {
+		c.ix.inner.putImage(op.img)
+		op.img = nil
+	}
+	if op.im != nil {
+		c.ix.leaf.putImage(op.im)
+		op.im = nil
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+
+	"chime/internal/dmsim"
+)
+
+// TestSearchBatchMatchesSearch checks positional correctness of the
+// pipelined multi-get against the synchronous path, across depths and
+// with absent keys mixed in.
+func TestSearchBatchMatchesSearch(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	const n = 3000
+	for i := 1; i <= n; i++ {
+		if err := cl.Insert(uint64(i)*5, val8(uint64(i)*11)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys []uint64
+	for i := 0; i < 200; i++ {
+		k := uint64(i*37%n+1) * 5
+		if i%7 == 0 {
+			k++ // absent: not a multiple of 5
+		}
+		keys = append(keys, k)
+	}
+	for _, depth := range []int{1, 2, 4, 8, 16, 64} {
+		vals, errs := cl.SearchBatch(keys, depth)
+		if len(vals) != len(keys) || len(errs) != len(keys) {
+			t.Fatalf("depth %d: result length mismatch", depth)
+		}
+		for i, k := range keys {
+			if k%5 != 0 {
+				if !errors.Is(errs[i], ErrNotFound) {
+					t.Fatalf("depth %d key %d: err = %v, want ErrNotFound", depth, k, errs[i])
+				}
+				continue
+			}
+			if errs[i] != nil {
+				t.Fatalf("depth %d key %d: %v", depth, k, errs[i])
+			}
+			want := (k / 5) * 11
+			if got := binary.LittleEndian.Uint64(vals[i]); got != want {
+				t.Fatalf("depth %d key %d: value %d, want %d", depth, k, got, want)
+			}
+		}
+	}
+}
+
+// TestSearchBatchIndirect exercises the posted indirect-block read leg.
+func TestSearchBatchIndirect(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Indirect = true
+	opts.ValueSize = 64
+	_, cl := newTestTree(t, opts)
+	for i := 1; i <= 500; i++ {
+		v := make([]byte, 64)
+		binary.LittleEndian.PutUint64(v, uint64(i)*3)
+		if err := cl.Insert(uint64(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys []uint64
+	for i := 1; i <= 100; i++ {
+		keys = append(keys, uint64(i*4))
+	}
+	vals, errs := cl.SearchBatch(keys, 8)
+	for i, k := range keys {
+		if k <= 500 {
+			if errs[i] != nil {
+				t.Fatalf("key %d: %v", k, errs[i])
+			}
+			if got := binary.LittleEndian.Uint64(vals[i]); got != k*3 {
+				t.Fatalf("key %d: value %d, want %d", k, got, k*3)
+			}
+		} else if !errors.Is(errs[i], ErrNotFound) {
+			t.Fatalf("key %d: err = %v, want ErrNotFound", k, errs[i])
+		}
+	}
+}
+
+// TestSearchBatchPipelinesColdCache pins the tentpole speedup in
+// virtual time: with a cold (disabled) internal-node cache every lookup
+// pays full-depth round trips, and depth-8 pipelining must finish the
+// batch in well under half the virtual time of depth-1.
+func TestSearchBatchPipelinesColdCache(t *testing.T) {
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 512 << 20
+	f := dmsim.MustNewFabric(cfg)
+	ix, err := Bootstrap(f, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadCN := ix.NewComputeNode(64<<20, 0)
+	loader := loadCN.NewClient()
+	const n = 5000
+	for i := 1; i <= n; i++ {
+		if err := loader.Insert(uint64(i)*3, val8(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys []uint64
+	for i := 0; i < 256; i++ {
+		keys = append(keys, uint64(i*19%n+1)*3)
+	}
+
+	elapsed := func(depth int) int64 {
+		cn := ix.NewComputeNode(0, 0) // cold: cache disabled
+		cl := cn.NewClient()
+		start := cl.DM().Now()
+		vals, errs := cl.SearchBatch(keys, depth)
+		for i := range keys {
+			if errs[i] != nil {
+				t.Fatalf("depth %d key %d: %v", depth, keys[i], errs[i])
+			}
+			if binary.LittleEndian.Uint64(vals[i]) != keys[i]/3 {
+				t.Fatalf("depth %d: wrong value for key %d", depth, keys[i])
+			}
+		}
+		return cl.DM().Now() - start
+	}
+
+	seq := elapsed(1)
+	pipe := elapsed(8)
+	t.Logf("cold-cache batch of %d keys: depth-1 %dns, depth-8 %dns (%.2fx)",
+		len(keys), seq, pipe, float64(seq)/float64(pipe))
+	if pipe*2 >= seq {
+		t.Fatalf("depth-8 pipelining too slow: %dns vs sequential %dns", pipe, seq)
+	}
+}
+
+// TestSearchBatchUnderWriters races the pipelined reader against
+// concurrent inserters (splits included); run with -race this also pins
+// the shared cache/hotspot structures. Keys below the preload watermark
+// must always be found with their original values.
+func TestSearchBatchUnderWriters(t *testing.T) {
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 512 << 20
+	f := dmsim.MustNewFabric(cfg)
+	ix, err := Bootstrap(f, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := ix.NewComputeNode(4<<20, 0)
+	loader := cn.NewClient()
+	const stable = 2000
+	for i := 1; i <= stable; i++ {
+		if err := loader.Insert(uint64(i), val8(uint64(i)*7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wr := cn.NewClient()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(stable + 1 + w*100000 + i)
+				if err := wr.Insert(k, val8(k)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	reader := cn.NewClient()
+	for round := 0; round < 30; round++ {
+		var keys []uint64
+		for i := 0; i < 64; i++ {
+			keys = append(keys, uint64((round*64+i)%stable+1))
+		}
+		vals, errs := reader.SearchBatch(keys, 8)
+		for i, k := range keys {
+			if errs[i] != nil {
+				t.Fatalf("round %d key %d: %v", round, k, errs[i])
+			}
+			if got := binary.LittleEndian.Uint64(vals[i]); got != k*7 {
+				t.Fatalf("round %d key %d: value %d, want %d", round, k, got, k*7)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSearchBatchEmptyAndDegenerate covers the trivial shapes.
+func TestSearchBatchEmptyAndDegenerate(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	vals, errs := cl.SearchBatch(nil, 8)
+	if len(vals) != 0 || len(errs) != 0 {
+		t.Fatal("empty batch returned results")
+	}
+	if err := cl.Insert(9, val8(90)); err != nil {
+		t.Fatal(err)
+	}
+	vals, errs = cl.SearchBatch([]uint64{9}, 0) // depth clamps to 1
+	if errs[0] != nil || binary.LittleEndian.Uint64(vals[0]) != 90 {
+		t.Fatalf("degenerate batch: vals=%v errs=%v", vals, errs)
+	}
+	if cl.DM().Inflight() != 0 {
+		t.Fatalf("leaked %d in-flight verbs", cl.DM().Inflight())
+	}
+}

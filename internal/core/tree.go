@@ -193,7 +193,7 @@ func (c *Client) refreshRoot() error {
 // alongside the decoded node so that a subsequent node write can bump
 // the node-level versions relative to the fetched state.
 func (c *Client) readInternal(addr dmsim.GAddr) (*internalNode, []byte, error) {
-	img := make([]byte, c.ix.inner.size)
+	img := c.ix.inner.getImage()
 	for try := 0; try < maxRetries; try++ {
 		if err := c.dc.Read(addr, img); err != nil {
 			return nil, nil, err
@@ -270,10 +270,13 @@ func (c *Client) traverseFrom(root dmsim.GAddr, rootLevel uint8, key uint64) (le
 		n := c.cn.cache.get(cur)
 		if n == nil {
 			fromCache = false
-			fresh, _, err := c.readInternal(cur)
+			fresh, img, err := c.readInternal(cur)
 			if err != nil {
 				return leafRef{}, err
 			}
+			// The decoded node copies everything it keeps; recycle the
+			// fetch buffer.
+			c.ix.inner.putImage(img)
 			if !fresh.valid {
 				return leafRef{}, errRestart
 			}
@@ -325,7 +328,7 @@ func (c *Client) traverseFrom(root dmsim.GAddr, rootLevel uint8, key uint64) (le
 // dedicated extra READ, as §3.2.2 describes.
 func (c *Client) fetchLeafWindow(leaf dmsim.GAddr, home, count int) (*leafImage, []int, int, error) {
 	lay := c.ix.leaf
-	im := newLeafImage(lay)
+	im := lay.getImage()
 	segs, idxs := lay.neighborhoodSegments(home, count, c.ix.opts.ReplicateMeta)
 
 	for try := 0; try < maxRetries; try++ {
@@ -342,6 +345,7 @@ func (c *Client) fetchLeafWindow(leaf dmsim.GAddr, home, count int) (*leafImage,
 			err = c.dc.ReadBatch(addrs, bufs)
 		}
 		if err != nil {
+			lay.putImage(im)
 			return nil, nil, 0, err
 		}
 
@@ -352,6 +356,7 @@ func (c *Client) fetchLeafWindow(leaf dmsim.GAddr, home, count int) (*leafImage,
 			// replica 0 separately, costing one extra round trip.
 			rc := lay.replicaCells[0]
 			if err := c.dc.Read(leaf.Add(uint64(rc.Off)), im.buf[rc.Off:rc.End()]); err != nil {
+				lay.putImage(im)
 				return nil, nil, 0, err
 			}
 			metaG = 0
@@ -365,6 +370,7 @@ func (c *Client) fetchLeafWindow(leaf dmsim.GAddr, home, count int) (*leafImage,
 		c.resetBackoff()
 		return im, idxs, metaG, nil
 	}
+	lay.putImage(im)
 	return nil, nil, 0, fmt.Errorf("core: leaf %v: torn-read retries exhausted", leaf)
 }
 
@@ -449,6 +455,7 @@ func (c *Client) searchLeafChain(ref leafRef, key uint64) ([]byte, error) {
 		// hop-range write was caught mid-flight.
 		homeEntry := im.entry(home)
 		if homeEntry.hopBM != im.reconstructHopBitmap(home) {
+			lay.putImage(im)
 			return nil, errRestart
 		}
 
@@ -467,6 +474,9 @@ func (c *Client) searchLeafChain(ref leafRef, key uint64) ([]byte, error) {
 		}
 
 		meta := im.meta(metaG)
+		// Everything consumed below (foundVal, meta) is already copied
+		// out of the image; recycle it before the verdict.
+		lay.putImage(im)
 		follow, err := c.validateLeafMeta(&cur, meta, key, foundIdx >= 0)
 		if err != nil {
 			return nil, err
@@ -492,7 +502,8 @@ func (c *Client) searchLeafChain(ref leafRef, key uint64) ([]byte, error) {
 func (c *Client) speculativeRead(leaf dmsim.GAddr, idx int, key uint64) ([]byte, bool, error) {
 	lay := c.ix.leaf
 	cellC := lay.entryCells[idx]
-	im := newLeafImage(lay)
+	im := lay.getImage()
+	defer lay.putImage(im)
 	if err := c.dc.Read(leaf.Add(uint64(cellC.Off)), im.buf[cellC.Off:cellC.End()]); err != nil {
 		return nil, false, err
 	}

@@ -432,9 +432,16 @@ func (c *Client) probeCount(home int, vacancy uint64) int {
 // fetchWholeLeaf reads the complete leaf image (splits and fallbacks).
 func (c *Client) fetchWholeLeaf(leaf dmsim.GAddr) (*leafImage, []bool, int, error) {
 	lay := c.ix.leaf
-	im := newLeafImage(lay)
+	im := lay.getImage()
+	// A recycled buffer carries a stale lock line; the read below only
+	// fills the cell region, so clear the first line to match a fresh
+	// image (split paths encode over the whole buffer).
+	for i := range im.buf[:lineSize] {
+		im.buf[i] = 0
+	}
 	for try := 0; try < maxRetries; try++ {
 		if err := c.dc.Read(leaf.Add(lineSize), im.buf[lineSize:]); err != nil {
+			lay.putImage(im)
 			return nil, nil, 0, err
 		}
 		if err := checkVersions(im.buf, 0, lay.allCells); err != nil {
@@ -447,6 +454,7 @@ func (c *Client) fetchWholeLeaf(leaf dmsim.GAddr) (*leafImage, []bool, int, erro
 		}
 		return im, fetched, 0, nil
 	}
+	lay.putImage(im)
 	return nil, nil, 0, fmt.Errorf("core: leaf %v: whole-node read retries exhausted", leaf)
 }
 

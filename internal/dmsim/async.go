@@ -1,0 +1,286 @@
+package dmsim
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Asynchronous verbs (post/poll). A real RDMA NIC decouples posting a
+// work request from reaping its completion: the CPU rings the doorbell
+// and moves on, and several verbs from one QP overlap their round trips
+// on the wire. CHIME's artifact exploits exactly this by running
+// multiple coroutines per CPU thread; this layer gives the simulator the
+// same capability with explicit completion handles.
+//
+// Virtual-clock rules:
+//
+//   - Posting charges the NIC immediately (the single-server recurrence
+//     runs at post time, so NIC queueing between outstanding verbs of
+//     one client — and across clients — is preserved) but advances the
+//     issuing client's clock only by IssueOverhead.
+//   - Poll advances the client's clock to the verb's completion time
+//     (NIC completion + one RTT), never backward. Polling an already
+//     overtaken completion costs nothing.
+//   - WaitAll is Poll over a set: the clock lands on the latest
+//     completion. An empty set is a no-op.
+//
+// Data movement happens at post time, exactly when the synchronous verbs
+// move it: a posted READ snapshots remote memory when posted and a
+// posted WRITE lands immediately. Completions carry timing (and CAS
+// results), not payloads. This keeps program order between a client's
+// own posted verbs trivially intact; cross-client interleavings remain
+// as racy as real hardware and must be validated by the layers above
+// (version checks), as with the synchronous verbs.
+//
+// The time-gate contract is unchanged: posting synchronizes with the
+// cohort window (a gated client cannot flood the NIC with posts from the
+// future), while polling is local and never blocks on the gate. A client
+// that Suspend()s with verbs in flight may still Poll them; the clock
+// jump is reconciled by Resume exactly as for synchronous waiters.
+
+// Completion is the handle for one posted verb. It is owned by the
+// client that posted it and, like the client itself, is not safe for
+// concurrent use.
+type Completion struct {
+	c       *Client
+	nicDone int64 // completion time at the NIC (before the return RTT)
+	polled  bool
+
+	// CAS / FetchAdd results. Valid once the completion is polled
+	// (consuming them earlier is a simulation-order bug, guarded by
+	// CASResult).
+	prev    uint64
+	swapped bool
+	isAtom  bool
+}
+
+// Done reports whether the completion has been polled.
+func (h *Completion) Done() bool { return h.polled }
+
+// CASResult returns the previous word and swap outcome of a posted
+// atomic. It panics when the completion has not been polled yet or did
+// not come from PostCAS/PostMaskedCAS/PostFetchAdd — consuming a result
+// before its virtual completion would let simulated code act on data it
+// cannot have yet.
+func (h *Completion) CASResult() (uint64, bool) {
+	if !h.polled {
+		panic("dmsim: CASResult before Poll")
+	}
+	if !h.isAtom {
+		panic("dmsim: CASResult on a non-atomic completion")
+	}
+	return h.prev, h.swapped
+}
+
+// post charges issue overhead, tracks in-flight depth, and wraps the NIC
+// completion time.
+func (c *Client) post(nicDone int64) *Completion {
+	c.now += c.issueNs
+	c.inflight++
+	if c.inflight > c.stats.MaxInflight {
+		c.stats.MaxInflight = c.inflight
+	}
+	c.stats.Posted++
+	return &Completion{c: c, nicDone: nicDone}
+}
+
+// Poll reaps one completion: the client's clock advances to the verb's
+// completion time (never backward) and the handle is marked done.
+// Polling twice is harmless. Returns the client's clock after the poll.
+func (c *Client) Poll(h *Completion) int64 {
+	if h == nil || h.polled {
+		return c.now
+	}
+	if h.c != c {
+		panic("dmsim: Poll on another client's completion")
+	}
+	h.polled = true
+	c.inflight--
+	if t := h.nicDone + c.rttNs; t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// WaitAll reaps every completion in the set; the clock lands on the
+// latest of them. An empty or all-nil set is a no-op.
+func (c *Client) WaitAll(hs ...*Completion) int64 {
+	for _, h := range hs {
+		c.Poll(h)
+	}
+	return c.now
+}
+
+// Inflight returns the number of posted-but-unpolled verbs.
+func (c *Client) Inflight() int { return int(c.inflight) }
+
+// PostRead posts a one-sided READ and returns immediately. buf is
+// filled at post time (see the package comment on data movement); the
+// completion carries the verb's timing.
+func (c *Client) PostRead(a GAddr, buf []byte) (*Completion, error) {
+	c.syncGate()
+	mn, err := c.f.checkRange(a, len(buf))
+	if err != nil {
+		return nil, err
+	}
+	mn.copyOut(a.Off, buf)
+
+	done := mn.nic.serve(c.now+c.issueNs, len(buf))
+	mn.nic.bytesOut.Add(int64(len(buf)))
+
+	c.stats.Reads++
+	c.stats.Trips++
+	c.stats.BytesRead += int64(len(buf))
+	return c.post(done), nil
+}
+
+// PostReadBatch posts a doorbell batch of READs (one round trip, every
+// segment serviced back-to-back, all on one MN) and returns immediately.
+func (c *Client) PostReadBatch(addrs []GAddr, bufs [][]byte) (*Completion, error) {
+	c.syncGate()
+	if len(addrs) != len(bufs) {
+		return nil, fmt.Errorf("dmsim: PostReadBatch got %d addrs, %d bufs", len(addrs), len(bufs))
+	}
+	if len(addrs) == 0 {
+		// A degenerate batch completes instantly: nothing was posted.
+		return &Completion{c: c, nicDone: c.now - c.rttNs, polled: true}, nil
+	}
+	mn0 := addrs[0].MN
+	payloads := make([]int, len(addrs))
+	var total int64
+	for i, a := range addrs {
+		if a.MN != mn0 {
+			return nil, fmt.Errorf("dmsim: PostReadBatch spans MNs %d and %d", mn0, a.MN)
+		}
+		mn, err := c.f.checkRange(a, len(bufs[i]))
+		if err != nil {
+			return nil, err
+		}
+		mn.copyOut(a.Off, bufs[i])
+		payloads[i] = len(bufs[i])
+		total += int64(len(bufs[i]))
+	}
+	mn := c.f.mns[mn0]
+	done := mn.nic.serveBatch(c.now+c.issueNs, payloads)
+	mn.nic.bytesOut.Add(total)
+
+	c.stats.Reads += int64(len(addrs))
+	c.stats.Trips++
+	c.stats.BytesRead += total
+	return c.post(done), nil
+}
+
+// PostWrite posts a one-sided WRITE; data lands in remote memory at post
+// time, the completion carries the verb's timing.
+func (c *Client) PostWrite(a GAddr, data []byte) (*Completion, error) {
+	c.syncGate()
+	mn, err := c.f.checkRange(a, len(data))
+	if err != nil {
+		return nil, err
+	}
+	mn.copyIn(a.Off, data)
+
+	done := mn.nic.serve(c.now+c.issueNs, len(data))
+	mn.nic.bytesIn.Add(int64(len(data)))
+
+	c.stats.Writes++
+	c.stats.Trips++
+	c.stats.BytesWritten += int64(len(data))
+	return c.post(done), nil
+}
+
+// PostWriteBatch posts a doorbell batch of WRITEs (one round trip, all
+// on one MN) and returns immediately.
+func (c *Client) PostWriteBatch(addrs []GAddr, datas [][]byte) (*Completion, error) {
+	c.syncGate()
+	if len(addrs) != len(datas) {
+		return nil, fmt.Errorf("dmsim: PostWriteBatch got %d addrs, %d bufs", len(addrs), len(datas))
+	}
+	if len(addrs) == 0 {
+		return &Completion{c: c, nicDone: c.now - c.rttNs, polled: true}, nil
+	}
+	mn0 := addrs[0].MN
+	payloads := make([]int, len(addrs))
+	var total int64
+	for i, a := range addrs {
+		if a.MN != mn0 {
+			return nil, fmt.Errorf("dmsim: PostWriteBatch spans MNs %d and %d", mn0, a.MN)
+		}
+		mn, err := c.f.checkRange(a, len(datas[i]))
+		if err != nil {
+			return nil, err
+		}
+		mn.copyIn(a.Off, datas[i])
+		payloads[i] = len(datas[i])
+		total += int64(len(datas[i]))
+	}
+	mn := c.f.mns[mn0]
+	done := mn.nic.serveBatch(c.now+c.issueNs, payloads)
+	mn.nic.bytesIn.Add(total)
+
+	c.stats.Writes += int64(len(addrs))
+	c.stats.Trips++
+	c.stats.BytesWritten += total
+	return c.post(done), nil
+}
+
+// PostCAS posts an 8-byte compare-and-swap. The atomic applies at post
+// time; read the outcome with CASResult after polling.
+func (c *Client) PostCAS(a GAddr, old, new uint64) (*Completion, error) {
+	return c.PostMaskedCAS(a, old, new, ^uint64(0), ^uint64(0))
+}
+
+// PostMaskedCAS posts the RDMA extended masked atomic (§4.2.1).
+func (c *Client) PostMaskedCAS(a GAddr, cmp, swap, cmpMask, swapMask uint64) (*Completion, error) {
+	c.syncGate()
+	mn, err := c.f.checkRange(a, 8)
+	if err != nil {
+		return nil, err
+	}
+	lk := mn.casLock(a.Off)
+	lk.Lock()
+	word := mn.mem[a.Off : a.Off+8]
+	prev := binary.LittleEndian.Uint64(word)
+	ok := prev&cmpMask == cmp&cmpMask
+	if ok {
+		next := (prev &^ swapMask) | (swap & swapMask)
+		binary.LittleEndian.PutUint64(word, next)
+	}
+	lk.Unlock()
+
+	done := mn.nic.serve(c.now+c.issueNs, 8)
+
+	c.stats.Atomics++
+	c.stats.Trips++
+	c.stats.BytesRead += 8
+	c.stats.BytesWritten += 8
+	h := c.post(done)
+	h.prev, h.swapped, h.isAtom = prev, ok, true
+	return h, nil
+}
+
+// PostFetchAdd posts an 8-byte FETCH_AND_ADD; the previous value is
+// available via CASResult (swap outcome always true) after polling.
+func (c *Client) PostFetchAdd(a GAddr, delta uint64) (*Completion, error) {
+	c.syncGate()
+	mn, err := c.f.checkRange(a, 8)
+	if err != nil {
+		return nil, err
+	}
+	lk := mn.casLock(a.Off)
+	lk.Lock()
+	word := mn.mem[a.Off : a.Off+8]
+	prev := binary.LittleEndian.Uint64(word)
+	binary.LittleEndian.PutUint64(word, prev+delta)
+	lk.Unlock()
+
+	done := mn.nic.serve(c.now+c.issueNs, 8)
+
+	c.stats.Atomics++
+	c.stats.Trips++
+	c.stats.BytesRead += 8
+	c.stats.BytesWritten += 8
+	h := c.post(done)
+	h.prev, h.swapped, h.isAtom = prev, true, true
+	return h, nil
+}

@@ -1,10 +1,5 @@
 package dmsim
 
-import (
-	"encoding/binary"
-	"fmt"
-)
-
 // ClientStats counts the remote traffic one client has generated.
 // Batched reads count one Trip but one Read per segment, matching how
 // doorbell batching behaves on real NICs.
@@ -16,6 +11,12 @@ type ClientStats struct {
 	Trips        int64
 	BytesRead    int64
 	BytesWritten int64
+
+	// Posted counts verbs issued through the asynchronous layer
+	// (synchronous verbs are post+wait, so every verb counts).
+	// MaxInflight is the deepest post/poll pipeline the client reached.
+	Posted      int64
+	MaxInflight int64
 }
 
 // Client is one simulated compute-side client (one CPU core / coroutine
@@ -23,13 +24,23 @@ type ClientStats struct {
 // concurrent use: each simulated client owns exactly one goroutine, and
 // its virtual clock advances as it issues verbs.
 //
-// All verbs are synchronous: they return after the simulated round trip
-// completes and advance the client's clock accordingly.
+// Verbs come in two flavors:
+//
+//   - Synchronous (Read, Write, CAS, ...): return after the simulated
+//     round trip completes and advance the client's clock accordingly.
+//   - Asynchronous (PostRead, PostWrite, PostCAS, ... in async.go):
+//     return a *Completion immediately, advancing the clock only by the
+//     issue overhead; Poll/WaitAll advance it to the completion time.
+//
+// The synchronous verbs are implemented as post + immediate wait, so
+// both flavors share one NIC-charging path and identical semantics.
 type Client struct {
 	f     *Fabric
 	id    int64
 	now   int64 // virtual nanoseconds
 	gated bool  // member of the fabric's time-gate cohort
+
+	inflight int64 // posted but not yet polled completions
 
 	stats ClientStats
 
@@ -123,11 +134,12 @@ func (c *Client) Resume(now int64) {
 // Stats returns a snapshot of the client's traffic counters.
 func (c *Client) Stats() ClientStats { return c.stats }
 
-// ResetStats zeroes the traffic counters (the clock keeps running).
+// ResetStats zeroes the traffic counters (the clock keeps running, and
+// in-flight completions remain in flight).
 func (c *Client) ResetStats() { c.stats = ClientStats{} }
 
 // finish advances the client past a round trip that completed at the NIC
-// at nicDone.
+// at nicDone (two-sided RPCs, which have no posted form).
 func (c *Client) finish(nicDone int64) {
 	c.now = nicDone + c.rttNs
 }
@@ -138,20 +150,11 @@ func (c *Client) finish(nicDone int64) {
 // interleave at line boundaries, so readers must validate with version
 // checks, exactly as on real RDMA hardware.
 func (c *Client) Read(a GAddr, buf []byte) error {
-	c.syncGate()
-	mn, err := c.f.checkRange(a, len(buf))
+	h, err := c.PostRead(a, buf)
 	if err != nil {
 		return err
 	}
-	mn.copyOut(a.Off, buf)
-
-	done := mn.nic.serve(c.now+c.issueNs, len(buf))
-	mn.nic.bytesOut.Add(int64(len(buf)))
-	c.finish(done)
-
-	c.stats.Reads++
-	c.stats.Trips++
-	c.stats.BytesRead += int64(len(buf))
+	c.Poll(h)
 	return nil
 }
 
@@ -160,55 +163,21 @@ func (c *Client) Read(a GAddr, buf []byte) error {
 // addresses must live on the same MN (the common case in the paper:
 // wrap-around segments of one node).
 func (c *Client) ReadBatch(addrs []GAddr, bufs [][]byte) error {
-	c.syncGate()
-	if len(addrs) != len(bufs) {
-		return fmt.Errorf("dmsim: ReadBatch got %d addrs, %d bufs", len(addrs), len(bufs))
+	h, err := c.PostReadBatch(addrs, bufs)
+	if err != nil {
+		return err
 	}
-	if len(addrs) == 0 {
-		return nil
-	}
-	mn0 := addrs[0].MN
-	payloads := make([]int, len(addrs))
-	var total int64
-	for i, a := range addrs {
-		if a.MN != mn0 {
-			return fmt.Errorf("dmsim: ReadBatch spans MNs %d and %d", mn0, a.MN)
-		}
-		mn, err := c.f.checkRange(a, len(bufs[i]))
-		if err != nil {
-			return err
-		}
-		mn.copyOut(a.Off, bufs[i])
-		payloads[i] = len(bufs[i])
-		total += int64(len(bufs[i]))
-	}
-	mn := c.f.mns[mn0]
-	done := mn.nic.serveBatch(c.now+c.issueNs, payloads)
-	mn.nic.bytesOut.Add(total)
-	c.finish(done)
-
-	c.stats.Reads += int64(len(addrs))
-	c.stats.Trips++
-	c.stats.BytesRead += total
+	c.Poll(h)
 	return nil
 }
 
 // Write stores data at the remote address using a one-sided WRITE.
 func (c *Client) Write(a GAddr, data []byte) error {
-	c.syncGate()
-	mn, err := c.f.checkRange(a, len(data))
+	h, err := c.PostWrite(a, data)
 	if err != nil {
 		return err
 	}
-	mn.copyIn(a.Off, data)
-
-	done := mn.nic.serve(c.now+c.issueNs, len(data))
-	mn.nic.bytesIn.Add(int64(len(data)))
-	c.finish(done)
-
-	c.stats.Writes++
-	c.stats.Trips++
-	c.stats.BytesWritten += int64(len(data))
+	c.Poll(h)
 	return nil
 }
 
@@ -216,36 +185,11 @@ func (c *Client) Write(a GAddr, data []byte) error {
 // trip). Used for wrap-around hop-range write-back and the combined
 // "write entry + unlock" pattern from Sherman and CHIME.
 func (c *Client) WriteBatch(addrs []GAddr, datas [][]byte) error {
-	c.syncGate()
-	if len(addrs) != len(datas) {
-		return fmt.Errorf("dmsim: WriteBatch got %d addrs, %d bufs", len(addrs), len(datas))
+	h, err := c.PostWriteBatch(addrs, datas)
+	if err != nil {
+		return err
 	}
-	if len(addrs) == 0 {
-		return nil
-	}
-	mn0 := addrs[0].MN
-	payloads := make([]int, len(addrs))
-	var total int64
-	for i, a := range addrs {
-		if a.MN != mn0 {
-			return fmt.Errorf("dmsim: WriteBatch spans MNs %d and %d", mn0, a.MN)
-		}
-		mn, err := c.f.checkRange(a, len(datas[i]))
-		if err != nil {
-			return err
-		}
-		mn.copyIn(a.Off, datas[i])
-		payloads[i] = len(datas[i])
-		total += int64(len(datas[i]))
-	}
-	mn := c.f.mns[mn0]
-	done := mn.nic.serveBatch(c.now+c.issueNs, payloads)
-	mn.nic.bytesIn.Add(total)
-	c.finish(done)
-
-	c.stats.Writes += int64(len(addrs))
-	c.stats.Trips++
-	c.stats.BytesWritten += total
+	c.Poll(h)
 	return nil
 }
 
@@ -260,53 +204,23 @@ func (c *Client) CAS(a GAddr, old, new uint64) (uint64, bool, error) {
 // piggybacking (§4.2.1): compare only the bits under cmpMask, swap only
 // the bits under swapMask, and return the full previous word either way.
 func (c *Client) MaskedCAS(a GAddr, cmp, swap, cmpMask, swapMask uint64) (uint64, bool, error) {
-	c.syncGate()
-	mn, err := c.f.checkRange(a, 8)
+	h, err := c.PostMaskedCAS(a, cmp, swap, cmpMask, swapMask)
 	if err != nil {
 		return 0, false, err
 	}
-	lk := mn.casLock(a.Off)
-	lk.Lock()
-	word := mn.mem[a.Off : a.Off+8]
-	prev := binary.LittleEndian.Uint64(word)
-	ok := prev&cmpMask == cmp&cmpMask
-	if ok {
-		next := (prev &^ swapMask) | (swap & swapMask)
-		binary.LittleEndian.PutUint64(word, next)
-	}
-	lk.Unlock()
-
-	done := mn.nic.serve(c.now+c.issueNs, 8)
-	c.finish(done)
-
-	c.stats.Atomics++
-	c.stats.Trips++
-	c.stats.BytesRead += 8
-	c.stats.BytesWritten += 8
+	c.Poll(h)
+	prev, ok := h.CASResult()
 	return prev, ok, nil
 }
 
 // FetchAdd atomically adds delta to the 8-byte word at a and returns the
 // previous value (RDMA FETCH_AND_ADD).
 func (c *Client) FetchAdd(a GAddr, delta uint64) (uint64, error) {
-	c.syncGate()
-	mn, err := c.f.checkRange(a, 8)
+	h, err := c.PostFetchAdd(a, delta)
 	if err != nil {
 		return 0, err
 	}
-	lk := mn.casLock(a.Off)
-	lk.Lock()
-	word := mn.mem[a.Off : a.Off+8]
-	prev := binary.LittleEndian.Uint64(word)
-	binary.LittleEndian.PutUint64(word, prev+delta)
-	lk.Unlock()
-
-	done := mn.nic.serve(c.now+c.issueNs, 8)
-	c.finish(done)
-
-	c.stats.Atomics++
-	c.stats.Trips++
-	c.stats.BytesRead += 8
-	c.stats.BytesWritten += 8
+	c.Poll(h)
+	prev, _ := h.CASResult()
 	return prev, nil
 }

@@ -66,8 +66,16 @@ func (n *nic) serve(arrival int64, payload int) int64 {
 
 // serveBatch charges a doorbell batch: each segment is serviced
 // back-to-back at the NIC, but the caller pays only one round trip.
+//
+// Accounting attributes queued-vs-service nanoseconds per segment
+// exactly as serve would if the same segments arrived individually at
+// the batch's arrival time: segment k waits for the NIC to free up AND
+// for the k-1 segments ahead of it in the batch, so
+// queued_k = (start - arrival) + sum(service_0..service_{k-1}).
+// This keeps NICStats.QueuedNs/ServedNs comparable between batched and
+// unbatched runs of the same verb stream.
 func (n *nic) serveBatch(arrival int64, payloads []int) int64 {
-	var total int64
+	var total, queuedInBatch int64
 	for _, p := range payloads {
 		service := n.nsPerOp
 		if bw := float64(p) * n.nsPerByte; bw > service {
@@ -77,6 +85,7 @@ func (n *nic) serveBatch(arrival int64, payloads []int) int64 {
 		if sNs < 1 {
 			sNs = 1
 		}
+		queuedInBatch += total // this segment waits behind its predecessors
 		total += sNs
 	}
 
@@ -90,7 +99,7 @@ func (n *nic) serveBatch(arrival int64, payloads []int) int64 {
 	n.mu.Unlock()
 
 	n.verbs.Add(int64(len(payloads)))
-	n.queuedNs.Add(start - arrival)
+	n.queuedNs.Add((start-arrival)*int64(len(payloads)) + queuedInBatch)
 	n.servedNs.Add(total)
 	return completion
 }

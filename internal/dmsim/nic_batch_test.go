@@ -1,0 +1,57 @@
+package dmsim
+
+import "testing"
+
+// TestServeBatchAccountingMatchesServe pins the invariant that a
+// doorbell batch attributes queued/served nanoseconds per segment
+// exactly like the same verb stream issued unbatched at one arrival
+// time: NICStats must be comparable between batched and unbatched runs.
+func TestServeBatchAccountingMatchesServe(t *testing.T) {
+	cfg := DefaultConfig()
+	payloads := []int{64, 1400, 8, 4096, 200}
+
+	for _, backlog := range []int64{0, 12345} {
+		a := newNIC(cfg)
+		b := newNIC(cfg)
+		a.freeAt = backlog
+		b.freeAt = backlog
+
+		const arrival = int64(100)
+		var lastSeq int64
+		for _, p := range payloads {
+			lastSeq = a.serve(arrival, p)
+		}
+		lastBatch := b.serveBatch(arrival, payloads)
+
+		if lastSeq != lastBatch {
+			t.Fatalf("backlog %d: completion %d (sequential) != %d (batched)", backlog, lastSeq, lastBatch)
+		}
+		sa, sb := a.stats(), b.stats()
+		if sa.Verbs != sb.Verbs {
+			t.Fatalf("backlog %d: verbs %d != %d", backlog, sa.Verbs, sb.Verbs)
+		}
+		if sa.ServedNs != sb.ServedNs {
+			t.Fatalf("backlog %d: ServedNs %d (sequential) != %d (batched)", backlog, sa.ServedNs, sb.ServedNs)
+		}
+		if sa.QueuedNs != sb.QueuedNs {
+			t.Fatalf("backlog %d: QueuedNs %d (sequential) != %d (batched)", backlog, sa.QueuedNs, sb.QueuedNs)
+		}
+	}
+}
+
+// TestServeBatchQueuedNsZeroLoad: a batch arriving at an idle NIC still
+// charges intra-batch queueing to every segment after the first.
+func TestServeBatchQueuedNsZeroLoad(t *testing.T) {
+	cfg := DefaultConfig()
+	n := newNIC(cfg)
+	perOp := int64(1e9 / cfg.IOPS)
+	n.serveBatch(0, []int{8, 8, 8})
+	s := n.stats()
+	// Segment 0 waits 0, segment 1 waits one service, segment 2 waits two.
+	if want := 3 * perOp; s.QueuedNs != want {
+		t.Fatalf("QueuedNs = %d, want %d (intra-batch head-of-line wait)", s.QueuedNs, want)
+	}
+	if want := 3 * perOp; s.ServedNs != want {
+		t.Fatalf("ServedNs = %d, want %d", s.ServedNs, want)
+	}
+}

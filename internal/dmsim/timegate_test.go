@@ -32,6 +32,65 @@ func TestGateDirect(t *testing.T) {
 	}
 }
 
+// TestGateRejoinAheadDoesNotWidenWindow models a poll-after-suspend: a
+// member leaves, its clock jumps far ahead (polling a completion that
+// landed past the window), and it rejoins. The window must not be
+// widened by the rejoin — the laggards march it forward quantum by
+// quantum while the rejoined member blocks in sync until the window
+// catches up to its advanced clock.
+func TestGateRejoinAheadDoesNotWidenWindow(t *testing.T) {
+	g := newTimeGate(1000)
+	g.join(0)
+	g.join(0)
+	g.join(0)
+
+	const ahead = int64(50_000)
+	released := make(chan int64, 1)
+	go func() {
+		// Suspended member polls a far-future completion, rejoins, and
+		// issues its next verb.
+		g.leave()
+		g.rejoin()
+		g.sync(ahead)
+		released <- ahead
+		g.leave() // done issuing; a member that stops syncing must leave
+	}()
+
+	// The two laggards advance in lockstep; the rejoined member must not
+	// unblock before the window actually reaches its clock.
+	var wg sync.WaitGroup
+	for m := 0; m < 2; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			defer g.leave()
+			now := int64(0)
+			for now < ahead+2000 {
+				g.sync(now)
+				now += 1000
+				select {
+				case <-released:
+					g.mu.Lock()
+					w := g.window
+					g.mu.Unlock()
+					if w <= ahead {
+						t.Errorf("ahead member released with window %d <= its clock %d", w, ahead)
+					}
+					released <- ahead // let the other laggard observe too
+				default:
+				}
+			}
+		}(m)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("gate wedged: rejoined-ahead member blocked the cohort")
+	}
+}
+
 func TestGateJoinLeaveChurn(t *testing.T) {
 	// Members joining and leaving mid-flight must never wedge the gate.
 	g := newTimeGate(1000)

@@ -1,0 +1,332 @@
+package sherman
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"chime/internal/dmsim"
+	"chime/internal/nodelayout"
+)
+
+// Pipelined multi-get for the Sherman baseline: the same posted-verb
+// state machine as core.SearchBatch, so the pipelining sensitivity
+// experiment compares the two systems through an identical interface.
+// Sherman reads whole leaves (its read amplification is the point of
+// the comparison), so each in-flight key posts full-node READs.
+
+const (
+	sOpStart = iota
+	sOpRootWait
+	sOpInternalWait
+	sOpLeafWait
+	sOpIndirectWait
+	sOpDone
+)
+
+type batchOp struct {
+	key uint64
+	idx int
+
+	state int
+
+	root      dmsim.GAddr
+	rootLevel uint8
+	cur       dmsim.GAddr // internal node being fetched / descended
+	leaf      dmsim.GAddr
+	hops      int
+
+	h       *dmsim.Completion
+	rootBuf [8]byte
+	img     []byte
+	valBuf  []byte
+
+	restarts, torn int
+
+	val []byte
+	err error
+}
+
+// SearchBatch performs up to depth point lookups concurrently on this
+// client; results are positionally aligned with keys and absent keys
+// report ErrNotFound.
+func (c *Client) SearchBatch(keys []uint64, depth int) ([][]byte, []error) {
+	n := len(keys)
+	vals := make([][]byte, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return vals, errs
+	}
+	if depth < 1 {
+		depth = 1
+	}
+
+	ops := make([]*batchOp, 0, depth)
+	next := 0
+	admit := func() {
+		for next < n && len(ops) < depth {
+			op := &batchOp{key: keys[next], idx: next}
+			next++
+			c.beginOp(op)
+			if op.state == sOpDone {
+				vals[op.idx], errs[op.idx] = op.val, op.err
+				continue
+			}
+			ops = append(ops, op)
+		}
+	}
+	admit()
+	for len(ops) > 0 {
+		op := ops[0]
+		ops = ops[1:]
+		c.stepOp(op)
+		if op.state == sOpDone {
+			vals[op.idx], errs[op.idx] = op.val, op.err
+			admit()
+		} else {
+			ops = append(ops, op)
+		}
+	}
+	return vals, errs
+}
+
+func (c *Client) beginOp(op *batchOp) {
+	op.hops = 0
+	c.dc.Advance(localWorkNs)
+	if c.rootAddr.IsNil() {
+		h, err := c.dc.PostRead(c.ix.super, op.rootBuf[:])
+		if err != nil {
+			c.failOp(op, err)
+			return
+		}
+		op.h = h
+		op.state = sOpRootWait
+		return
+	}
+	op.root, op.rootLevel = c.rootAddr, c.rootLevel
+	c.descendFromRoot(op)
+}
+
+func (c *Client) descendFromRoot(op *batchOp) {
+	if op.rootLevel == 0 {
+		op.leaf = op.root
+		c.postLeafOp(op)
+		return
+	}
+	op.cur = op.root
+	c.descendLoop(op)
+}
+
+func (c *Client) descendLoop(op *batchOp) {
+	for ; op.hops < maxRetries; op.hops++ {
+		n := c.cn.cacheGet(op.cur)
+		if n == nil {
+			c.postInternalOp(op)
+			return
+		}
+		if !c.stepNode(op, n, true) {
+			return
+		}
+	}
+	c.failOp(op, fmt.Errorf("sherman: SearchBatch(%#x): descent loop exhausted", op.key))
+}
+
+// stepNode applies one internal node to the descent; false means the op
+// posted a read, restarted, or failed.
+func (c *Client) stepNode(op *batchOp, n *node, fromCache bool) bool {
+	key := op.key
+	if !n.covers(key) {
+		if fromCache {
+			c.cn.cacheDrop(op.cur)
+			return true
+		}
+		if !n.hdr.fenceInf && key >= n.hdr.fenceHi && !n.hdr.sibling.IsNil() {
+			op.cur = n.hdr.sibling
+			return true
+		}
+		c.restartOp(op)
+		return false
+	}
+	child := n.childFor(key)
+	if child.IsNil() {
+		if fromCache {
+			c.cn.cacheDrop(op.cur)
+			return true
+		}
+		c.restartOp(op)
+		return false
+	}
+	if n.hdr.level == 1 {
+		op.leaf = child
+		c.postLeafOp(op)
+		return false
+	}
+	op.cur = child
+	return true
+}
+
+func (c *Client) postInternalOp(op *batchOp) {
+	if op.img == nil || len(op.img) != c.ix.inner.size {
+		op.img = make([]byte, c.ix.inner.size)
+	}
+	h, err := c.dc.PostRead(op.cur.Add(lineSize), op.img[lineSize:])
+	if err != nil {
+		c.failOp(op, err)
+		return
+	}
+	op.h = h
+	op.state = sOpInternalWait
+}
+
+func (c *Client) postLeafOp(op *batchOp) {
+	if op.img == nil || len(op.img) != c.ix.leaf.size {
+		op.img = make([]byte, c.ix.leaf.size)
+	}
+	h, err := c.dc.PostRead(op.leaf.Add(lineSize), op.img[lineSize:])
+	if err != nil {
+		c.failOp(op, err)
+		return
+	}
+	op.h = h
+	op.state = sOpLeafWait
+}
+
+func (c *Client) stepOp(op *batchOp) {
+	switch op.state {
+	case sOpRootWait:
+		c.dc.Poll(op.h)
+		op.h = nil
+		addr, lvl := unpackSuper(binary.LittleEndian.Uint64(op.rootBuf[:]))
+		c.rootAddr, c.rootLevel = addr, lvl
+		op.root, op.rootLevel = addr, lvl
+		c.descendFromRoot(op)
+
+	case sOpInternalWait:
+		c.dc.Poll(op.h)
+		op.h = nil
+		if err := nodelayout.CheckVersions(op.img, 0, c.ix.inner.allCells); err != nil {
+			if !c.retryTorn(op, func() { c.postInternalOp(op) }) {
+				return
+			}
+			return
+		}
+		c.ys.reset()
+		hdr := c.ix.inner.decodeHeader(op.img)
+		if !hdr.valid {
+			c.restartOp(op)
+			return
+		}
+		n := c.decodeInternal(op.cur, op.img, hdr)
+		c.cn.cachePut(op.cur, n)
+		op.img = nil
+		if c.stepNode(op, n, false) {
+			c.descendLoop(op)
+		}
+
+	case sOpLeafWait:
+		c.dc.Poll(op.h)
+		op.h = nil
+		if err := nodelayout.CheckVersions(op.img, 0, c.ix.leaf.allCells); err != nil {
+			if !c.retryTorn(op, func() { c.postLeafOp(op) }) {
+				return
+			}
+			return
+		}
+		c.ys.reset()
+		c.finishLeafOp(op)
+
+	case sOpIndirectWait:
+		c.dc.Poll(op.h)
+		op.h = nil
+		if binary.LittleEndian.Uint64(op.valBuf[:8]) != op.key {
+			c.restartOp(op)
+			return
+		}
+		op.val = op.valBuf[8:]
+		op.state = sOpDone
+
+	default:
+		c.failOp(op, fmt.Errorf("sherman: SearchBatch: step in state %d", op.state))
+	}
+}
+
+// retryTorn reposts after a torn read; returns false when the op failed
+// on the retry guard.
+func (c *Client) retryTorn(op *batchOp, repost func()) bool {
+	op.torn++
+	if op.torn > maxRetries {
+		c.failOp(op, fmt.Errorf("sherman: node %v: torn-read retries exhausted", op.cur))
+		return false
+	}
+	c.ys.yield(c.dc)
+	repost()
+	return true
+}
+
+func (c *Client) finishLeafOp(op *batchOp) {
+	lay := c.ix.leaf
+	hdr := lay.decodeHeader(op.img)
+	if !hdr.valid || op.key < hdr.fenceLow {
+		c.restartOp(op)
+		return
+	}
+	if !hdr.fenceInf && op.key >= hdr.fenceHi {
+		if hdr.sibling.IsNil() {
+			c.restartOp(op)
+			return
+		}
+		op.hops++
+		if op.hops > maxRetries {
+			c.failOp(op, fmt.Errorf("sherman: SearchBatch(%#x): leaf chain too long", op.key))
+			return
+		}
+		op.leaf = hdr.sibling
+		c.postLeafOp(op)
+		return
+	}
+	for i := 0; i < lay.span; i++ {
+		e := lay.decodeEntry(op.img, i)
+		if e.occupied && e.key == op.key {
+			if c.ix.opts.Indirect {
+				ptr := dmsim.UnpackGAddr(binary.LittleEndian.Uint64(e.val[:8]))
+				if ptr.IsNil() {
+					c.restartOp(op)
+					return
+				}
+				op.valBuf = make([]byte, 8+c.ix.opts.ValueSize)
+				h, err := c.dc.PostRead(ptr, op.valBuf)
+				if err != nil {
+					c.failOp(op, err)
+					return
+				}
+				op.h = h
+				op.state = sOpIndirectWait
+				return
+			}
+			op.val = append([]byte(nil), e.val[:lay.valSize]...)
+			op.state = sOpDone
+			return
+		}
+	}
+	op.err = ErrNotFound
+	op.state = sOpDone
+}
+
+func (c *Client) restartOp(op *batchOp) {
+	op.restarts++
+	if op.restarts > maxRetries {
+		c.failOp(op, fmt.Errorf("sherman: SearchBatch(%#x): retries exhausted", op.key))
+		return
+	}
+	c.dc.Poll(op.h)
+	op.h = nil
+	c.rootAddr = dmsim.NilGAddr
+	c.ys.yield(c.dc)
+	c.beginOp(op)
+}
+
+func (c *Client) failOp(op *batchOp, err error) {
+	c.dc.Poll(op.h)
+	op.h = nil
+	op.err = err
+	op.state = sOpDone
+}

@@ -1,0 +1,88 @@
+package sherman
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"chime/internal/dmsim"
+)
+
+func TestSearchBatchMatchesSearch(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	const n = 2000
+	for i := 1; i <= n; i++ {
+		if err := cl.Insert(uint64(i)*5, val8(uint64(i)*13)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys []uint64
+	for i := 0; i < 150; i++ {
+		k := uint64(i*41%n+1) * 5
+		if i%6 == 0 {
+			k += 2 // absent
+		}
+		keys = append(keys, k)
+	}
+	for _, depth := range []int{1, 4, 8, 32} {
+		vals, errs := cl.SearchBatch(keys, depth)
+		for i, k := range keys {
+			if k%5 != 0 {
+				if !errors.Is(errs[i], ErrNotFound) {
+					t.Fatalf("depth %d key %d: err = %v, want ErrNotFound", depth, k, errs[i])
+				}
+				continue
+			}
+			if errs[i] != nil {
+				t.Fatalf("depth %d key %d: %v", depth, k, errs[i])
+			}
+			if got := binary.LittleEndian.Uint64(vals[i]); got != (k/5)*13 {
+				t.Fatalf("depth %d key %d: value %d, want %d", depth, k, got, (k/5)*13)
+			}
+		}
+	}
+	if cl.DM().Inflight() != 0 {
+		t.Fatalf("leaked %d in-flight verbs", cl.DM().Inflight())
+	}
+}
+
+func TestSearchBatchPipelinesColdCache(t *testing.T) {
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 512 << 20
+	ix, err := Bootstrap(dmsim.MustNewFabric(cfg), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := ix.NewComputeNode(64 << 20).NewClient()
+	const n = 4000
+	for i := 1; i <= n; i++ {
+		if err := loader.Insert(uint64(i)*3, val8(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys []uint64
+	for i := 0; i < 200; i++ {
+		keys = append(keys, uint64(i*23%n+1)*3)
+	}
+	elapsed := func(depth int) int64 {
+		cl := ix.NewComputeNode(0).NewClient() // cold: cache disabled
+		start := cl.DM().Now()
+		vals, errs := cl.SearchBatch(keys, depth)
+		for i := range keys {
+			if errs[i] != nil {
+				t.Fatalf("depth %d key %d: %v", depth, keys[i], errs[i])
+			}
+			if binary.LittleEndian.Uint64(vals[i]) != keys[i]/3 {
+				t.Fatalf("depth %d: wrong value for key %d", depth, keys[i])
+			}
+		}
+		return cl.DM().Now() - start
+	}
+	seq := elapsed(1)
+	pipe := elapsed(8)
+	t.Logf("sherman cold-cache batch: depth-1 %dns, depth-8 %dns (%.2fx)",
+		seq, pipe, float64(seq)/float64(pipe))
+	if pipe*2 >= seq {
+		t.Fatalf("depth-8 pipelining too slow: %dns vs sequential %dns", pipe, seq)
+	}
+}

@@ -848,6 +848,10 @@ func (c *Client) scanNode(addr dmsim.GAddr, kind int, acc [8]byte, start uint64,
 			return err
 		}
 		if !n.hdr.valid {
+			// The replacement lives at a new address that only the
+			// parent knows; the parent's stale cached pointer routes
+			// here forever (see descend). errRestart drops each cached
+			// node on the way back up the recursion.
 			return errRestart
 		}
 	}
@@ -881,6 +885,9 @@ func (c *Client) scanNode(addr dmsim.GAddr, kind int, acc [8]byte, start uint64,
 			continue
 		}
 		if err := c.scanNode(caddr, ckind, acc, start, count, out); err != nil {
+			if err == errRestart {
+				c.cn.cacheDrop(addr)
+			}
 			return err
 		}
 	}
