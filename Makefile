@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench-pipeline
+.PHONY: all vet build test race check bench-pipeline bench-writepipe
 
 all: check
 
@@ -16,10 +16,14 @@ test:
 # The async verb layer and the pipelined clients are the most
 # concurrency-sensitive packages; run them under the race detector.
 race:
-	$(GO) test -race ./internal/dmsim/... ./internal/core/...
+	$(GO) test -race ./internal/dmsim/... ./internal/core/... ./internal/sherman/...
 
 check: vet build test race
 
 # Regenerate the committed pipeline-depth artifact.
 bench-pipeline:
 	$(GO) run ./cmd/chime-bench -run pipeline -scale small -json BENCH_PIPELINE.json
+
+# Regenerate the committed batch-write-depth artifact.
+bench-writepipe:
+	$(GO) run ./cmd/chime-bench -run writepipe -scale small -json BENCH_WRITEPIPE.json

@@ -119,6 +119,46 @@ func main() {
 		return
 	}
 
+	// The writepipe experiment (batched writes over posted verbs) gets
+	// the same direct dispatch: depth overrides plus a JSON artifact
+	// (BENCH_WRITEPIPE.json).
+	if *run == "writepipe" {
+		var ds []int
+		for _, part := range strings.Split(*depths, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			v, err := strconv.Atoi(part)
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "bad -depths element %q\n", part)
+				os.Exit(2)
+			}
+			ds = append(ds, v)
+		}
+		fmt.Printf("==== writepipe: batch-write depth sweep (load=%d ops=%d) ====\n", sc.LoadN, sc.Ops)
+		start := time.Now()
+		rows, err := bench.RunWritepipe(sc, ds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writepipe failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatWritepipeRows(rows))
+		if *jsonOut != "" {
+			blob, err := bench.MarshalWritepipeJSON(sc, rows)
+			if err == nil {
+				err = os.WriteFile(*jsonOut, blob, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		fmt.Printf("---- writepipe done in %v ----\n\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
 	var exps []bench.Experiment
 	if *run == "all" {
 		exps = bench.Experiments

@@ -42,6 +42,22 @@ type BatchSearcher interface {
 	SearchBatch(keys []uint64, depth int) ([][]byte, []error)
 }
 
+// BatchWriter is the optional pipelined write interface: clients whose
+// write path drives several keys through posted lock/fetch/write state
+// machines implement it. Results align positionally with keys;
+// UpdateBatch reports ErrNotFound (normalized) per absent key.
+type BatchWriter interface {
+	MultiPut(keys []uint64, values [][]byte, depth int) []error
+	UpdateBatch(keys []uint64, values [][]byte, depth int) []error
+}
+
+// WriteCombineReporter exposes per-client write-combining counters from
+// the batch write pipeline (cycles executed, keys absorbed into an
+// already-open same-leaf cycle).
+type WriteCombineReporter interface {
+	WriteCombineStats() (cycles, combinedKeys int64)
+}
+
 // System is one index instance under test.
 type System interface {
 	Name() string

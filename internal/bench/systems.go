@@ -150,10 +150,26 @@ func (c chimeClient) SearchBatch(keys []uint64, depth int) ([][]byte, []error) {
 	}
 	return vals, errs
 }
+func (c chimeClient) MultiPut(keys []uint64, values [][]byte, depth int) []error {
+	return c.cl.MultiPut(keys, values, depth)
+}
+func (c chimeClient) UpdateBatch(keys []uint64, values [][]byte, depth int) []error {
+	errs := c.cl.UpdateBatch(keys, values, depth)
+	for i, err := range errs {
+		if errors.Is(err, core.ErrNotFound) {
+			errs[i] = ErrNotFound
+		}
+	}
+	return errs
+}
+func (c chimeClient) WriteCombineStats() (cycles, combinedKeys int64) {
+	return c.cl.WriteCombineStats()
+}
 func (c chimeClient) DM() *dmsim.Client { return c.cl.DM() }
 
-func (s *chimeSystem) Name() string      { return "CHIME" }
-func (s *chimeSystem) NewClient() Client { return s.newC() }
+func (s *chimeSystem) Name() string             { return "CHIME" }
+func (s *chimeSystem) NewClient() Client        { return s.newC() }
+func (s *chimeSystem) Combiner() *rdwc.Combiner { return s.comb }
 func (s *chimeSystem) CacheBytes() int64 {
 	cs := s.cn.CacheStats()
 	hs := s.cn.HotspotStats()
@@ -232,10 +248,26 @@ func (c shermanClient) SearchBatch(keys []uint64, depth int) ([][]byte, []error)
 	}
 	return vals, errs
 }
+func (c shermanClient) MultiPut(keys []uint64, values [][]byte, depth int) []error {
+	return c.cl.MultiPut(keys, values, depth)
+}
+func (c shermanClient) UpdateBatch(keys []uint64, values [][]byte, depth int) []error {
+	errs := c.cl.UpdateBatch(keys, values, depth)
+	for i, err := range errs {
+		if errors.Is(err, sherman.ErrNotFound) {
+			errs[i] = ErrNotFound
+		}
+	}
+	return errs
+}
+func (c shermanClient) WriteCombineStats() (cycles, combinedKeys int64) {
+	return c.cl.WriteCombineStats()
+}
 func (c shermanClient) DM() *dmsim.Client { return c.cl.DM() }
 
-func (s *shermanSystem) Name() string      { return "Sherman" }
-func (s *shermanSystem) NewClient() Client { return s.newC() }
+func (s *shermanSystem) Name() string             { return "Sherman" }
+func (s *shermanSystem) NewClient() Client        { return s.newC() }
+func (s *shermanSystem) Combiner() *rdwc.Combiner { return s.comb }
 func (s *shermanSystem) CacheBytes() int64 {
 	_, _, _, used := s.cn.CacheStats()
 	return used

@@ -1,0 +1,414 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"chime/internal/dmsim"
+	"chime/internal/rdwc"
+	"chime/internal/ycsb"
+)
+
+// Pipelined multi-put experiment (async verb pipelining, write side).
+// RunMultiPut drives a workload where ops accumulate into per-kind
+// batches and are issued through the batch interfaces with a given
+// pipeline depth: inserts via BatchWriter.MultiPut, updates via
+// BatchWriter.UpdateBatch, reads via BatchSearcher.SearchBatch. Depth 1
+// reproduces sequential writes through the same code path, so the sweep
+// isolates what posting the lock CAS / window fetch / doorbell
+// write+unlock of several keys concurrently buys.
+
+// MultiPutConfig drives one RunMultiPut phase.
+type MultiPutConfig struct {
+	Mix          ycsb.Mix
+	Clients      int
+	OpsPerClient int
+	// BatchSize is how many same-kind keys accumulate before a batch is
+	// issued (default 64).
+	BatchSize int
+	// Depth is the pipeline depth passed to the batch interfaces.
+	Depth     int
+	ValueSize int
+	KeySpace  *ycsb.KeySpace
+	Seed      int64
+}
+
+// MultiPutResult extends the pipeline result with write-combining
+// counters summed over the cohort's clients.
+type MultiPutResult struct {
+	MultiGetResult
+	WriteCycles  int64
+	CombinedKeys int64
+}
+
+// RunMultiPut executes the batched workload. The system's clients must
+// implement BatchWriter (and BatchSearcher when the mix reads).
+func RunMultiPut(sys System, cfg MultiPutConfig) (MultiPutResult, error) {
+	if cfg.Clients <= 0 || cfg.OpsPerClient <= 0 {
+		return MultiPutResult{}, fmt.Errorf("bench: bad multiput config %+v", cfg)
+	}
+	if cfg.KeySpace == nil {
+		return MultiPutResult{}, fmt.Errorf("bench: MultiPutConfig.KeySpace required")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.Depth < 1 {
+		cfg.Depth = 1
+	}
+
+	type clientOut struct {
+		hist     *histogram
+		ops      int64
+		duration int64
+		stats    dmsim.ClientStats
+		cycles   int64
+		combined int64
+		err      error
+	}
+	outs := make([]clientOut, cfg.Clients)
+	clients := make([]Client, cfg.Clients)
+	for ci := range clients {
+		clients[ci] = sys.NewClient()
+		if _, ok := clients[ci].(BatchWriter); !ok {
+			return MultiPutResult{}, fmt.Errorf("bench: %s clients do not implement MultiPut/UpdateBatch (RDWC enabled?)", sys.Name())
+		}
+		clients[ci].DM().JoinCohort()
+	}
+	var wg sync.WaitGroup
+	for ci := 0; ci < cfg.Clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cl := clients[ci]
+			defer cl.DM().LeaveCohort()
+			bw := cl.(BatchWriter)
+			bs, _ := cl.(BatchSearcher)
+			gen, err := ycsb.NewGenerator(cfg.Mix, cfg.KeySpace, cfg.Seed+int64(ci)*7919)
+			if err != nil {
+				outs[ci].err = err
+				return
+			}
+			h := &histogram{}
+			dm := cl.DM()
+			dm.ResetStats()
+			start := dm.Now()
+			value := make([]byte, cfg.ValueSize)
+
+			// Per-kind pending batches. Values are the constant benchmark
+			// payload, so one shared slice serves every slot.
+			var readKeys, insKeys, updKeys []uint64
+			var insVals, updVals [][]byte
+			amortize := func(t0 int64, n int) {
+				per := (dm.Now() - t0) / int64(n)
+				for i := 0; i < n; i++ {
+					h.add(per)
+				}
+			}
+			flushBatch := func(kind string, run func() []error, n func() int) error {
+				if n() == 0 {
+					return nil
+				}
+				t0 := dm.Now()
+				errs := run()
+				for _, e := range errs {
+					if e != nil && !errors.Is(e, ErrNotFound) {
+						return fmt.Errorf("%s batch: %w", kind, e)
+					}
+				}
+				amortize(t0, len(errs))
+				return nil
+			}
+			flushReads := func() error {
+				if len(readKeys) == 0 {
+					return nil
+				}
+				if bs == nil {
+					return fmt.Errorf("bench: %s clients do not implement SearchBatch", sys.Name())
+				}
+				err := flushBatch("read", func() []error {
+					_, errs := bs.SearchBatch(readKeys, cfg.Depth)
+					return errs
+				}, func() int { return len(readKeys) })
+				readKeys = readKeys[:0]
+				return err
+			}
+			flushInserts := func() error {
+				err := flushBatch("insert", func() []error {
+					return bw.MultiPut(insKeys, insVals, cfg.Depth)
+				}, func() int { return len(insKeys) })
+				insKeys, insVals = insKeys[:0], insVals[:0]
+				return err
+			}
+			flushUpdates := func() error {
+				err := flushBatch("update", func() []error {
+					return bw.UpdateBatch(updKeys, updVals, cfg.Depth)
+				}, func() int { return len(updKeys) })
+				updKeys, updVals = updKeys[:0], updVals[:0]
+				return err
+			}
+			fail := func(i int, err error) {
+				outs[ci].err = fmt.Errorf("bench: client %d op %d: %w", ci, i, err)
+			}
+			for i := 0; i < cfg.OpsPerClient; i++ {
+				op := gen.Next()
+				switch op.Kind {
+				case ycsb.OpRead:
+					readKeys = append(readKeys, op.Key)
+					if len(readKeys) >= cfg.BatchSize {
+						if err := flushReads(); err != nil {
+							fail(i, err)
+							return
+						}
+					}
+				case ycsb.OpInsert:
+					insKeys, insVals = append(insKeys, op.Key), append(insVals, value)
+					if len(insKeys) >= cfg.BatchSize {
+						if err := flushInserts(); err != nil {
+							fail(i, err)
+							return
+						}
+					}
+				case ycsb.OpUpdate:
+					updKeys, updVals = append(updKeys, op.Key), append(updVals, value)
+					if len(updKeys) >= cfg.BatchSize {
+						if err := flushUpdates(); err != nil {
+							fail(i, err)
+							return
+						}
+					}
+				default:
+					// Scan / RMW flush everything and run synchronously.
+					if err := flushReads(); err != nil {
+						fail(i, err)
+						return
+					}
+					if err := flushInserts(); err != nil {
+						fail(i, err)
+						return
+					}
+					if err := flushUpdates(); err != nil {
+						fail(i, err)
+						return
+					}
+					t0 := dm.Now()
+					var err error
+					switch op.Kind {
+					case ycsb.OpScan:
+						_, err = cl.Scan(op.Key, op.ScanLen)
+					case ycsb.OpReadModifyWrite:
+						if _, err = cl.Search(op.Key); err == nil || errors.Is(err, ErrNotFound) {
+							err = cl.Update(op.Key, value)
+						}
+					}
+					if err != nil && !errors.Is(err, ErrNotFound) {
+						fail(i, err)
+						return
+					}
+					h.add(dm.Now() - t0)
+				}
+			}
+			if err := flushReads(); err != nil {
+				fail(cfg.OpsPerClient, err)
+				return
+			}
+			if err := flushInserts(); err != nil {
+				fail(cfg.OpsPerClient, err)
+				return
+			}
+			if err := flushUpdates(); err != nil {
+				fail(cfg.OpsPerClient, err)
+				return
+			}
+			out := clientOut{
+				hist:     h,
+				ops:      int64(cfg.OpsPerClient),
+				duration: dm.Now() - start,
+				stats:    dm.Stats(),
+			}
+			if wr, ok := cl.(WriteCombineReporter); ok {
+				out.cycles, out.combined = wr.WriteCombineStats()
+			}
+			outs[ci] = out
+		}(ci)
+	}
+	wg.Wait()
+
+	total := &histogram{}
+	var ops, maxDur, maxInflight, cycles, combined int64
+	var stats dmsim.ClientStats
+	for _, o := range outs {
+		if o.err != nil {
+			return MultiPutResult{}, o.err
+		}
+		total.merge(o.hist)
+		ops += o.ops
+		if o.duration > maxDur {
+			maxDur = o.duration
+		}
+		if o.stats.MaxInflight > maxInflight {
+			maxInflight = o.stats.MaxInflight
+		}
+		stats.Trips += o.stats.Trips
+		stats.BytesRead += o.stats.BytesRead
+		stats.BytesWritten += o.stats.BytesWritten
+		cycles += o.cycles
+		combined += o.combined
+	}
+	if maxDur == 0 {
+		maxDur = 1
+	}
+	// Fold the batch pipeline's per-leaf combining into the CN-level
+	// combiner counter, so one figure covers both coalescing layers.
+	if cs, ok := sys.(interface{ Combiner() *rdwc.Combiner }); ok {
+		cs.Combiner().NoteExternalCombined(combined)
+	}
+	return MultiPutResult{
+		MultiGetResult: MultiGetResult{
+			Result: Result{
+				System:         sys.Name(),
+				Mix:            cfg.Mix.Name,
+				Clients:        cfg.Clients,
+				Ops:            ops,
+				ThroughputMops: float64(ops) * 1e3 / float64(maxDur),
+				P50Us:          float64(total.quantile(0.50)) / 1e3,
+				P99Us:          float64(total.quantile(0.99)) / 1e3,
+				TripsPerOp:     float64(stats.Trips) / float64(ops),
+				ReadBytes:      float64(stats.BytesRead) / float64(ops),
+				WriteBytes:     float64(stats.BytesWritten) / float64(ops),
+				CacheBytes:     sys.CacheBytes(),
+			},
+			Depth:       cfg.Depth,
+			MaxInflight: maxInflight,
+		},
+		WriteCycles:  cycles,
+		CombinedKeys: combined,
+	}, nil
+}
+
+// WritepipeRow is one point of the write-pipeline depth sweep,
+// JSON-serializable for the committed BENCH_WRITEPIPE.json artifact.
+type WritepipeRow struct {
+	System          string  `json:"system"`
+	Mix             string  `json:"mix"`
+	Depth           int     `json:"depth"`
+	Clients         int     `json:"clients"`
+	Ops             int64   `json:"ops"`
+	ThroughputMops  float64 `json:"throughput_mops"`
+	SpeedupVsDepth1 float64 `json:"speedup_vs_depth1"`
+	P50Us           float64 `json:"p50_us"`
+	P99Us           float64 `json:"p99_us"`
+	TripsPerOp      float64 `json:"trips_per_op"`
+	MaxInflight     int64   `json:"max_inflight"`
+	WriteCycles     int64   `json:"write_cycles"`
+	CombinedKeys    int64   `json:"combined_keys"`
+}
+
+// RunWritepipe sweeps batch-write pipeline depth for CHIME and Sherman
+// under YCSB A (50% read / 50% update, zipfian) and YCSB LOAD (100%
+// insert) with a COLD internal-node cache: every descent pays remote
+// reads, the regime where posting several write state machines at once
+// matters most. RDWC is disabled so the harness reaches the concrete
+// batch interfaces; the pipeline's own per-leaf combining stands in for
+// it and is reported per row.
+func RunWritepipe(sc Scale, depths []int) ([]WritepipeRow, error) {
+	if len(depths) == 0 {
+		depths = PipelineDepths
+	}
+	clients := pipelineClients(sc)
+	var rows []WritepipeRow
+	for _, name := range []string{"CHIME", "Sherman"} {
+		for _, mix := range []ycsb.Mix{ycsb.WorkloadA, ycsb.WorkloadLoad} {
+			sys, cfg, err := buildSystem(name, sc, 1, func(c *SystemConfig) {
+				c.CacheBytes = 0 // cold: every internal hop is remote
+				c.DisableRDWC = true
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			var base float64
+			for _, depth := range depths {
+				r, err := RunMultiPut(sys, MultiPutConfig{
+					Mix:          mix,
+					Clients:      clients,
+					OpsPerClient: maxInt(sc.Ops/clients, 1),
+					Depth:        depth,
+					ValueSize:    cfg.ValueSize,
+					KeySpace:     NewKeySpaceFor(cfg.LoadKeys),
+					Seed:         31,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s %s depth=%d: %w", name, mix.Name, depth, err)
+				}
+				if base == 0 {
+					base = r.ThroughputMops
+				}
+				rows = append(rows, WritepipeRow{
+					System:          name,
+					Mix:             mix.Name,
+					Depth:           depth,
+					Clients:         clients,
+					Ops:             r.Ops,
+					ThroughputMops:  r.ThroughputMops,
+					SpeedupVsDepth1: r.ThroughputMops / base,
+					P50Us:           r.P50Us,
+					P99Us:           r.P99Us,
+					TripsPerOp:      r.TripsPerOp,
+					MaxInflight:     r.MaxInflight,
+					WriteCycles:     r.WriteCycles,
+					CombinedKeys:    r.CombinedKeys,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FormatWritepipeRows renders the sweep as an aligned table.
+func FormatWritepipeRows(rows []WritepipeRow) string {
+	out := fmt.Sprintf("%-10s %-6s %6s %8s %10s %9s %9s %9s %8s %9s %8s %9s\n",
+		"system", "mix", "depth", "clients", "Mops", "speedup", "p50(us)", "p99(us)", "trips", "inflight", "cycles", "combined")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-10s %-6s %6d %8d %10.3f %9.2f %9.1f %9.1f %8.2f %9d %8d %9d\n",
+			r.System, r.Mix, r.Depth, r.Clients, r.ThroughputMops,
+			r.SpeedupVsDepth1, r.P50Us, r.P99Us, r.TripsPerOp, r.MaxInflight,
+			r.WriteCycles, r.CombinedKeys)
+	}
+	return out
+}
+
+// MarshalWritepipeJSON renders the rows as the BENCH_WRITEPIPE.json
+// artifact format.
+func MarshalWritepipeJSON(sc Scale, rows []WritepipeRow) ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Experiment string         `json:"experiment"`
+		LoadN      int            `json:"load_n"`
+		Ops        int            `json:"ops"`
+		ColdCache  bool           `json:"cold_cache"`
+		Rows       []WritepipeRow `json:"rows"`
+	}{
+		Experiment: "writepipe",
+		LoadN:      sc.LoadN,
+		Ops:        sc.Ops,
+		ColdCache:  true,
+		Rows:       rows,
+	}, "", "  ")
+}
+
+func init() {
+	register(Experiment{ID: "writepipe", Title: "Batch-write pipeline depth sweep (cold cache)", Run: Writepipe})
+}
+
+// Writepipe is the registered experiment wrapper around RunWritepipe.
+func Writepipe(w io.Writer, sc Scale) error {
+	fmt.Fprintf(w, "# Write-pipeline depth sweep: posted lock/fetch/write batches, cold internal-node cache\n")
+	rows, err := RunWritepipe(sc, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, FormatWritepipeRows(rows))
+	return nil
+}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"testing"
+
+	"chime/internal/ycsb"
+)
+
+// TestMultiPutPipelineSpeedup pins the tentpole acceptance criterion:
+// on a cold cache, batched writes at depth 8 must deliver at least 3x
+// the virtual-time throughput of depth 1 on BOTH YCSB A and the
+// 100%-insert LOAD mix.
+func TestMultiPutPipelineSpeedup(t *testing.T) {
+	sc := SmallScale
+	clients := pipelineClients(sc)
+	for _, mix := range []ycsb.Mix{ycsb.WorkloadA, ycsb.WorkloadLoad} {
+		sys, cfg, err := buildSystem("CHIME", sc, 1, func(c *SystemConfig) {
+			c.CacheBytes = 0
+			c.DisableRDWC = true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		point := func(depth int) MultiPutResult {
+			r, err := RunMultiPut(sys, MultiPutConfig{
+				Mix:          mix,
+				Clients:      clients,
+				OpsPerClient: maxInt(sc.Ops/clients, 1),
+				Depth:        depth,
+				ValueSize:    cfg.ValueSize,
+				KeySpace:     NewKeySpaceFor(cfg.LoadKeys),
+				Seed:         31,
+			})
+			if err != nil {
+				t.Fatalf("%s depth %d: %v", mix.Name, depth, err)
+			}
+			return r
+		}
+		d1 := point(1)
+		d8 := point(8)
+		speedup := d8.ThroughputMops / d1.ThroughputMops
+		t.Logf("cold-cache YCSB %s: depth-1 %.3f Mops, depth-8 %.3f Mops (%.2fx, cycles %d, combined %d)",
+			mix.Name, d1.ThroughputMops, d8.ThroughputMops, speedup, d8.WriteCycles, d8.CombinedKeys)
+		if speedup < 3 {
+			t.Fatalf("%s: depth-8 speedup %.2fx < 3x", mix.Name, speedup)
+		}
+		if d8.MaxInflight < 2 {
+			t.Fatalf("%s: depth-8 run never had >1 verb in flight (MaxInflight=%d)", mix.Name, d8.MaxInflight)
+		}
+		if d8.WriteCycles == 0 {
+			t.Fatalf("%s: no write cycles recorded", mix.Name)
+		}
+	}
+}
+
+// TestRunMultiPutRejectsRDWC: the combining wrapper hides the batch
+// write interface; the harness must say so rather than silently
+// degrade.
+func TestRunMultiPutRejectsRDWC(t *testing.T) {
+	sc := SmallScale
+	sc.LoadN, sc.Ops = 2000, 500
+	sys, cfg, err := buildSystem("CHIME", sc, 1, nil) // RDWC enabled
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunMultiPut(sys, MultiPutConfig{
+		Mix:          ycsb.WorkloadLoad,
+		Clients:      2,
+		OpsPerClient: 10,
+		Depth:        4,
+		ValueSize:    cfg.ValueSize,
+		KeySpace:     NewKeySpaceFor(cfg.LoadKeys),
+	})
+	if err == nil {
+		t.Fatal("RunMultiPut accepted a non-BatchWriter client")
+	}
+}
+
+// TestRunMultiPutBothSystems drives the mixed and insert-only mixes end
+// to end for both batch-writing systems at several depths.
+func TestRunMultiPutBothSystems(t *testing.T) {
+	sc := SmallScale
+	sc.LoadN, sc.Ops = 4000, 2000
+	for _, name := range []string{"CHIME", "Sherman"} {
+		for _, mix := range []ycsb.Mix{ycsb.WorkloadA, ycsb.WorkloadLoad} {
+			sys, cfg, err := buildSystem(name, sc, 1, func(c *SystemConfig) {
+				c.DisableRDWC = true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, depth := range []int{1, 8} {
+				r, err := RunMultiPut(sys, MultiPutConfig{
+					Mix:          mix,
+					Clients:      4,
+					OpsPerClient: sc.Ops / 4,
+					Depth:        depth,
+					ValueSize:    cfg.ValueSize,
+					KeySpace:     NewKeySpaceFor(cfg.LoadKeys),
+					Seed:         7,
+				})
+				if err != nil {
+					t.Fatalf("%s %s depth %d: %v", name, mix.Name, depth, err)
+				}
+				if r.ThroughputMops <= 0 || r.Ops != int64(sc.Ops) {
+					t.Fatalf("%s %s depth %d: bad result %+v", name, mix.Name, depth, r)
+				}
+				if r.WriteCycles == 0 {
+					t.Fatalf("%s %s depth %d: no write cycles", name, mix.Name, depth)
+				}
+			}
+		}
+	}
+}

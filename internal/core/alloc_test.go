@@ -52,6 +52,50 @@ func TestSearchAllocsBounded(t *testing.T) {
 	}
 }
 
+// TestInsertAllocsBounded pins image pooling on the write path: a warm
+// upsert (same key re-inserted) locks, fetches one insert window into a
+// pooled buffer, and writes back. Without pooling every write allocates
+// a full leaf image, blowing well past this ceiling.
+func TestInsertAllocsBounded(t *testing.T) {
+	cl := buildAllocTree(t, 2000)
+	key := uint64(700) * 7
+	for i := 0; i < 3; i++ { // warm cache and pools
+		if err := cl.Insert(key, val8(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := cl.Insert(key, val8(2)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const maxAllocs = 60
+	if avg > maxAllocs {
+		t.Fatalf("warm Insert allocates %.1f objects/op, want <= %d (write-path image pooling regressed?)", avg, maxAllocs)
+	}
+}
+
+// TestUpdateAllocsBounded does the same for the update/delete window
+// path (fetchLeafWindow + writeRangeAndUnlock).
+func TestUpdateAllocsBounded(t *testing.T) {
+	cl := buildAllocTree(t, 2000)
+	key := uint64(700) * 7
+	for i := 0; i < 3; i++ {
+		if err := cl.Update(key, val8(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := cl.Update(key, val8(3)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const maxAllocs = 60
+	if avg > maxAllocs {
+		t.Fatalf("warm Update allocates %.1f objects/op, want <= %d (write-path image pooling regressed?)", avg, maxAllocs)
+	}
+}
+
 func BenchmarkSearch(b *testing.B) {
 	cl := buildAllocTree(b, 2000)
 	b.ReportAllocs()

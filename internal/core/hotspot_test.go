@@ -1,9 +1,15 @@
 package core
 
 import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"chime/internal/dmsim"
+	"chime/internal/ycsb"
 )
 
 func haddr(off uint64) dmsim.GAddr { return dmsim.GAddr{Off: off} }
@@ -99,6 +105,180 @@ func TestHotspotDrop(t *testing.T) {
 	h.drop(leaf, 3)
 	if got := h.lookup(leaf, 9, 0, 8, 64); got != -1 {
 		t.Fatal("dropped entry still resolvable")
+	}
+}
+
+// TestHotspotStaleSlotSpeculation pins the write/speculation contract
+// (§4.3): a hotspot entry pointing at a slot the key no longer occupies
+// (it was relocated by a concurrent insert's hop moves) must fail the
+// speculative read's occupied+key validation, be dropped, and fall back
+// to the window read — never serve a wrong value.
+func TestHotspotStaleSlotSpeculation(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	key := ycsb.KeyOf(1)
+	if err := cl.Insert(key, val8(111)); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := cl.traverse(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := cl.ix.leaf
+	home := lay.homeOf(key)
+	// Poison the hotspot buffer: record the key as hot at a neighborhood
+	// slot it does not occupy — exactly what a concurrent relocation
+	// leaves behind.
+	wrong := (home + lay.h - 1) % lay.span
+	for i := 0; i < 5; i++ {
+		cl.cn.hotspot.record(ref.addr, wrong, key)
+	}
+	if got := cl.cn.hotspot.lookup(ref.addr, key, home, lay.h, lay.span); got != wrong {
+		t.Fatalf("hotspot primed at %d, want %d", got, wrong)
+	}
+	got, err := cl.Search(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint64(got) != 111 {
+		t.Fatalf("stale speculation served %x", got)
+	}
+	if got := cl.cn.hotspot.lookup(ref.addr, key, home, lay.h, lay.span); got == wrong {
+		t.Fatal("failed speculative slot was not dropped")
+	}
+}
+
+// TestHotspotDeletedKeySpeculation: a hot key that gets deleted must
+// read back ErrNotFound, not a stale speculative hit.
+func TestHotspotDeletedKeySpeculation(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	key := ycsb.KeyOf(2)
+	if err := cl.Insert(key, val8(5)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ { // make it hot
+		if _, err := cl.Search(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Search(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted hot key: %v, want ErrNotFound", err)
+	}
+}
+
+// TestHotspotRelocationByColliders drives real hop relocations: keys
+// sharing (or preceding) the hot key's home slot pile into its
+// neighborhood until inserts relocate entries and eventually split the
+// leaf. After every insert the hot key must still read back correctly
+// through whatever mix of speculation hits, validation misses, and
+// window fallbacks results.
+func TestHotspotRelocationByColliders(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	lay := cl.ix.leaf
+	key := ycsb.KeyOf(3)
+	home := lay.homeOf(key)
+	if err := cl.Insert(key, val8(42)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // make it hot so every Search speculates
+		if _, err := cl.Search(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Collect colliders homed into [home-h+1, home]: their inserts need
+	// free slots in the hot key's neighborhood and trigger hop moves.
+	var colliders []uint64
+	for id := uint64(1000); len(colliders) < 3*lay.h && id < 200000; id++ {
+		k := ycsb.KeyOf(id)
+		d := ((home - lay.homeOf(k)) % lay.span + lay.span) % lay.span
+		if k != key && d < lay.h {
+			colliders = append(colliders, k)
+		}
+	}
+	for i, k := range colliders {
+		if err := cl.Insert(k, val8(uint64(i))); err != nil {
+			t.Fatalf("collider %d: %v", i, err)
+		}
+		got, err := cl.Search(key)
+		if err != nil {
+			t.Fatalf("hot key lost after collider %d: %v", i, err)
+		}
+		if binary.LittleEndian.Uint64(got) != 42 {
+			t.Fatalf("hot key corrupted after collider %d: %x", i, got)
+		}
+	}
+}
+
+// TestHotspotConcurrentWriteRead races writers upserting a hot key
+// against speculating readers: every read must return a value some
+// writer actually wrote (the entry version check is what stands between
+// speculation and torn values). Run under -race this also gates the
+// hotspot buffer's internal locking against the write path.
+func TestHotspotConcurrentWriteRead(t *testing.T) {
+	ix, err := Bootstrap(testFabric(t), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := ix.NewComputeNode(64<<20, 1<<20)
+	key := ycsb.KeyOf(9)
+	loader := cn.NewClient()
+	if err := loader.Insert(key, val8(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ { // prime the hotspot entry
+		if _, err := loader.Search(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var maxWritten atomic.Uint64
+	maxWritten.Store(1)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		cl := cn.NewClient()
+		for v := uint64(2); v < 1500; v++ {
+			if err := cl.Insert(key, val8(v)); err != nil {
+				errCh <- err
+				return
+			}
+			maxWritten.Store(v)
+		}
+	}()
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := cn.NewClient()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				got, err := cl.Search(key)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				v := binary.LittleEndian.Uint64(got)
+				if v < 1 || v > maxWritten.Load()+1 {
+					errCh <- fmt.Errorf("reader saw value %d never written (max %d)", v, maxWritten.Load())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
 	}
 }
 

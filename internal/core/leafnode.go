@@ -139,6 +139,17 @@ func (l *leafLayout) getImage() *leafImage {
 	return newLeafImage(l)
 }
 
+// getImageZeroed returns a pooled image with every byte cleared, for
+// building fresh node contents that are written out whole (splits): a
+// recycled buffer's stale cells would otherwise reach the wire.
+func (l *leafLayout) getImageZeroed() *leafImage {
+	im := l.getImage()
+	for i := range im.buf {
+		im.buf[i] = 0
+	}
+	return im
+}
+
 // putImage recycles an image once no decoded state references it.
 // Decoded entries and metadata copy their bytes out (readCellContent),
 // so releasing after the last entry()/meta() call is safe.

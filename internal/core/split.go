@@ -62,6 +62,7 @@ func (c *Client) splitLeaf(ref leafRef, im *leafImage, meta leafMeta, lw lockWor
 		c.unlockLeaf(ref.addr, lw)
 		return fmt.Errorf("core: leaf %v: could not rebuild right node", ref.addr)
 	}
+	defer lay.putImage(rightIm)
 
 	rightAddr, err := c.alloc.Alloc(lay.size)
 	if err != nil {
@@ -124,7 +125,7 @@ func (c *Client) splitLeaf(ref leafRef, im *leafImage, meta leafMeta, lw lockWor
 // via local hopscotch insertion. It reports ok=false when some key
 // cannot be placed (caller adjusts the split point).
 func buildLeafImage(lay *leafLayout, kvs []kvPair) (*leafImage, bool) {
-	im := newLeafImage(lay)
+	im := lay.getImageZeroed()
 	occupied := make([]bool, lay.span)
 	homes := make([]int, lay.span)
 	for _, kv := range kvs {
@@ -133,6 +134,7 @@ func buildLeafImage(lay *leafLayout, kvs []kvPair) (*leafImage, bool) {
 			func(i int) bool { return occupied[i] },
 			func(i int) int { return homes[i] })
 		if err != nil {
+			lay.putImage(im)
 			return nil, false
 		}
 		for _, m := range moves {

@@ -146,6 +146,11 @@ type Client struct {
 	rootLevel uint8
 
 	backoff int64
+
+	// Write-pipeline counters: leaf write cycles executed and batch keys
+	// absorbed into an already-open cycle (per-leaf write combining).
+	wcCycles   int64
+	wcCombined int64
 }
 
 // NewClient creates a client handle bound to this compute node.

@@ -80,12 +80,15 @@ func (c *Client) unlockLeaf(leaf dmsim.GAddr, lw lockWord) error {
 	return nil
 }
 
-// writeRangeAndUnlock writes a contiguous image range back and releases
-// the lock. With no local contender the unlock word joins the data in
-// one doorbell batch — the combined WRITE pattern CHIME borrows from
-// Sherman, costing a single round trip. With a local contender queued,
-// only the data is written and the lock is handed over locally.
-func (c *Client) writeRangeAndUnlock(leaf dmsim.GAddr, im *leafImage, ranges []byteRange, lw lockWord) error {
+// postWriteRangesAndUnlock posts the modified image ranges together
+// with the cleared lock word as ONE doorbell batch and returns the
+// completion without polling: a single round trip whose latency
+// pipelined callers overlap with other keys' work. dmsim moves data at
+// post time, so the remote lock is observably released the moment this
+// returns; the local lock-table slot is cleared for the same reason.
+// Callers that need a local handover (HasWaiters) must not use this —
+// the handover keeps the remote word locked.
+func (c *Client) postWriteRangesAndUnlock(leaf dmsim.GAddr, im *leafImage, ranges []byteRange, lw lockWord) (*dmsim.Completion, error) {
 	addrs := make([]dmsim.GAddr, 0, len(ranges)+1)
 	bufs := make([][]byte, 0, len(ranges)+1)
 	for _, r := range ranges {
@@ -95,7 +98,33 @@ func (c *Client) writeRangeAndUnlock(leaf dmsim.GAddr, im *leafImage, ranges []b
 		addrs = append(addrs, leaf.Add(uint64(r.Off)))
 		bufs = append(bufs, im.buf[r.Off:r.End])
 	}
+	lw.locked = false
+	addrs = append(addrs, leafLockAddr(leaf))
+	bufs = append(bufs, encodeLockBytes(lw))
+	h, err := c.dc.PostWriteBatch(addrs, bufs)
+	if err != nil {
+		return nil, err
+	}
+	c.cn.locks.ReleaseRemote(c.dc, leaf.Pack())
+	return h, nil
+}
+
+// writeRangeAndUnlock writes a contiguous image range back and releases
+// the lock. With no local contender the unlock word joins the data in
+// one doorbell batch — the combined WRITE pattern CHIME borrows from
+// Sherman, costing a single round trip. With a local contender queued,
+// only the data is written and the lock is handed over locally.
+func (c *Client) writeRangeAndUnlock(leaf dmsim.GAddr, im *leafImage, ranges []byteRange, lw lockWord) error {
 	if c.cn.locks.HasWaiters(leaf.Pack()) {
+		addrs := make([]dmsim.GAddr, 0, len(ranges))
+		bufs := make([][]byte, 0, len(ranges))
+		for _, r := range ranges {
+			if r.size() <= 0 {
+				continue
+			}
+			addrs = append(addrs, leaf.Add(uint64(r.Off)))
+			bufs = append(bufs, im.buf[r.Off:r.End])
+		}
 		if len(addrs) > 0 {
 			if err := c.dc.WriteBatch(addrs, bufs); err != nil {
 				return err
@@ -115,13 +144,11 @@ func (c *Client) writeRangeAndUnlock(leaf dmsim.GAddr, im *leafImage, ranges []b
 		c.cn.locks.ReleaseRemote(c.dc, leaf.Pack())
 		return nil
 	}
-	lw.locked = false
-	addrs = append(addrs, leafLockAddr(leaf))
-	bufs = append(bufs, encodeLockBytes(lw))
-	if err := c.dc.WriteBatch(addrs, bufs); err != nil {
+	h, err := c.postWriteRangesAndUnlock(leaf, im, ranges, lw)
+	if err != nil {
 		return err
 	}
-	c.cn.locks.ReleaseRemote(c.dc, leaf.Pack())
+	c.dc.Poll(h)
 	return nil
 }
 
@@ -216,6 +243,9 @@ func (c *Client) insertIntoLeaf(ref leafRef, key uint64, valFn func([]byte, bool
 		c.unlockLeaf(ref.addr, lw)
 		return false, err
 	}
+	// Every write verb below copies out of the image at post time, so the
+	// buffer can be recycled on any exit (split paths included).
+	defer func() { lay.putImage(im) }()
 
 	// Validate that this leaf still covers the key (half-split during
 	// our traversal): the lock is held, so the metadata is stable.
@@ -281,6 +311,7 @@ func (c *Client) insertIntoLeaf(ref leafRef, key uint64, valFn func([]byte, bool
 	if planErr != nil && !full {
 		// The conservative window could not prove a feasible hop; fetch
 		// the whole node and re-plan with exact occupancy.
+		lay.putImage(im)
 		im, fetched, metaG, err = c.fetchWholeLeaf(ref.addr)
 		if err != nil {
 			c.unlockLeaf(ref.addr, lw)
@@ -355,7 +386,10 @@ func (c *Client) fetchInsertWindow(leaf dmsim.GAddr, home int, lw lockWord) (*le
 		fetchedSet[lw.argmax] = true
 	}
 
-	im := newLeafImage(lay)
+	// Pooled image: only the fetched ranges are ever decoded or written
+	// back (the fetched mask gates every consumer), so a recycled buffer's
+	// stale bytes are unreachable.
+	im := lay.getImage()
 	for try := 0; try < maxRetries; try++ {
 		addrs := make([]dmsim.GAddr, 0, len(ranges)+1)
 		bufs := make([][]byte, 0, len(ranges)+1)
@@ -370,6 +404,7 @@ func (c *Client) fetchInsertWindow(leaf dmsim.GAddr, home int, lw lockWord) (*le
 			err = c.dc.ReadBatch(addrs, bufs)
 		}
 		if err != nil {
+			lay.putImage(im)
 			return nil, nil, false, 0, err
 		}
 
@@ -378,6 +413,7 @@ func (c *Client) fetchInsertWindow(leaf dmsim.GAddr, home int, lw lockWord) (*le
 		if !c.ix.opts.ReplicateMeta || metaG < 0 {
 			rc := lay.replicaCells[0]
 			if err := c.dc.Read(leaf.Add(uint64(rc.Off)), im.buf[rc.Off:rc.End()]); err != nil {
+				lay.putImage(im)
 				return nil, nil, false, 0, err
 			}
 			metaG = 0
@@ -396,6 +432,7 @@ func (c *Client) fetchInsertWindow(leaf dmsim.GAddr, home int, lw lockWord) (*le
 		}
 		return im, fetched, false, metaG, nil
 	}
+	lay.putImage(im)
 	return nil, nil, false, 0, fmt.Errorf("core: leaf %v: insert window retries exhausted", leaf)
 }
 
@@ -642,6 +679,7 @@ func (c *Client) modifyInLeaf(ref leafRef, key uint64, mutate func(*leafEntry) (
 		meta := im.meta(metaG)
 		if !meta.valid {
 			c.unlockLeaf(addr, lw)
+			lay.putImage(im)
 			return errRestart
 		}
 
@@ -657,10 +695,12 @@ func (c *Client) modifyInLeaf(ref leafRef, key uint64, mutate func(*leafEntry) (
 			if !meta.fenceInf && key >= meta.fenceHi && !meta.sibling.IsNil() {
 				next := meta.sibling
 				c.unlockLeaf(addr, lw)
+				lay.putImage(im)
 				addr = next
 				continue
 			}
 			c.unlockLeaf(addr, lw)
+			lay.putImage(im)
 			return ErrNotFound
 		}
 
@@ -671,6 +711,7 @@ func (c *Client) modifyInLeaf(ref leafRef, key uint64, mutate func(*leafEntry) (
 			k, err := mutate(&e)
 			if err != nil {
 				c.unlockLeaf(addr, lw)
+				lay.putImage(im)
 				return err
 			}
 			keep = k
@@ -698,7 +739,9 @@ func (c *Client) modifyInLeaf(ref leafRef, key uint64, mutate func(*leafEntry) (
 			}
 		}
 		err = c.writeRangeAndUnlock(addr, im, c.changedRanges(changed, home), lw)
-		if err == nil && !keep && deleteLeftEmpty(im, idxs, lw) {
+		mergeCheck := err == nil && !keep && deleteLeftEmpty(im, idxs, lw)
+		lay.putImage(im)
+		if mergeCheck {
 			// §4.4: a delete that may have emptied the leaf triggers a
 			// node merge (confirmed with a whole-node read).
 			c.maybeMergeLeaf(addr, key)

@@ -1,0 +1,924 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"chime/internal/dmsim"
+	"chime/internal/hopscotch"
+)
+
+// Pipelined batch writes (async verb pipelining, write side). InsertBatch
+// and UpdateBatch drive up to `depth` writes through the tree at once on
+// ONE client, mirroring SearchBatch: each key is a state machine whose
+// remote verbs are posted, so the lock CAS, window fetch, and doorbell
+// write+unlock of different keys overlap on the virtual clock.
+//
+// On top of per-key pipelining, keys that resolve to the same leaf are
+// COMBINED into one write cycle: the first arrival becomes the cycle
+// leader and posts the lock CAS; later arrivals park on the cycle and
+// ride its single lock/fetch/write round trips. A cycle keeps collecting
+// until its fetch is posted — CAS conflict retries therefore widen the
+// combining window exactly when the leaf is contended, which is when
+// combining pays most. Multi-key cycles always fetch the whole node
+// (exact occupancy for several hop plans); singleton cycles keep the
+// narrow insert/update window geometry of the synchronous path.
+//
+// The batch path intentionally bypasses the local lock table: its
+// blocking Acquire would stall every other key in the batch. The posted
+// CAS retry loop is always correct against lock-table holders on this or
+// any other compute node — the remote word is the ground truth — and
+// per-leaf combining already serves the role local handover plays for
+// same-CN contention. Restart handling is per key: a stale ref, moved
+// fence, or split restarts only the key(s) involved, never the batch.
+
+// writeOp states.
+const (
+	wpRootWait = iota + 1
+	wpInternalWait
+	wpLockWait
+	wpLockRead
+	wpFetchWait
+	wpWriteWait
+	wpJoined
+	wpDone
+)
+
+type writeKind int
+
+const (
+	writeUpsert writeKind = iota // insert-or-overwrite (YCSB insert/load)
+	writeUpdate                  // overwrite-only, ErrNotFound when absent
+)
+
+// writeOp is one in-flight key of an InsertBatch/UpdateBatch.
+type writeOp struct {
+	kind writeKind
+	key  uint64
+	val  []byte // prepared value bytes (pointer block in indirect mode)
+	idx  int    // position in the input / result slices
+
+	state int
+
+	// Traversal state (mirrors searchOp).
+	root      dmsim.GAddr
+	rootLevel uint8
+	cur       dmsim.GAddr
+	path      []pathEntry
+	ref       leafRef
+	hops      int
+
+	h       *dmsim.Completion
+	rootBuf [8]byte
+	img     []byte // internal-node image (pooled)
+
+	restarts, torn, casFails int
+
+	cy       *writeCycle
+	notFound bool // update key absent; reported once the cycle commits
+
+	err error
+}
+
+// writeCycle is one lock/fetch/write round over a single leaf, shared by
+// every batch key that resolved to that leaf while it was collecting.
+type writeCycle struct {
+	leaf       dmsim.GAddr
+	leader     *writeOp
+	ops        []*writeOp
+	collecting bool
+
+	lw      lockWord
+	lockBuf [8]byte // dedicated word read (PiggybackVacancy off)
+
+	im        *leafImage
+	fetched   []bool
+	full      bool
+	metaG     int
+	ranges    []byteRange
+	metaRange byteRange
+	h, h2     *dmsim.Completion
+
+	// settled holds the ops whose outcome (success or ErrNotFound) commits
+	// when the posted doorbell write+unlock completes.
+	settled []*writeOp
+}
+
+// wpSched is the per-batch scheduler state.
+type wpSched struct {
+	// cycles maps packed leaf address -> the currently collecting cycle.
+	cycles map[uint64]*writeCycle
+	// wake collects ops whose state was changed off-queue (restarted or
+	// completed followers, promoted leaders); the scheduler re-settles
+	// them after every step.
+	wake []*writeOp
+
+	cyclesN  int64
+	combined int64
+}
+
+// InsertBatch performs up to depth concurrent upserts (Insert semantics)
+// on this client. Results are positionally aligned with keys; a nil
+// error means the key is durably written.
+func (c *Client) InsertBatch(keys []uint64, values [][]byte, depth int) []error {
+	return c.runWriteBatch(writeUpsert, keys, values, depth)
+}
+
+// UpdateBatch performs up to depth concurrent overwrite-only updates,
+// returning ErrNotFound per absent key.
+func (c *Client) UpdateBatch(keys []uint64, values [][]byte, depth int) []error {
+	return c.runWriteBatch(writeUpdate, keys, values, depth)
+}
+
+// MultiPut is the bench-facing alias for InsertBatch.
+func (c *Client) MultiPut(keys []uint64, values [][]byte, depth int) []error {
+	return c.InsertBatch(keys, values, depth)
+}
+
+// WriteCombineStats reports how many leaf write cycles the batch write
+// pipeline has executed on this client and how many batch keys were
+// absorbed into an already-open cycle on the same leaf.
+func (c *Client) WriteCombineStats() (cycles, combinedKeys int64) {
+	return c.wcCycles, c.wcCombined
+}
+
+func (c *Client) runWriteBatch(kind writeKind, keys []uint64, values [][]byte, depth int) []error {
+	n := len(keys)
+	errs := make([]error, n)
+	if n == 0 {
+		return errs
+	}
+	if len(values) != n {
+		err := fmt.Errorf("core: write batch: %d keys but %d values", n, len(values))
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	if depth < 1 {
+		depth = 1
+	}
+
+	st := &wpSched{cycles: make(map[uint64]*writeCycle)}
+	var queue []*writeOp
+	var all []*writeOp
+	live := 0
+	next := 0
+
+	settle := func(op *writeOp) {
+		switch op.state {
+		case wpDone:
+			errs[op.idx] = op.err
+			live--
+		case wpJoined:
+			// Parked on a cycle; its leader drives it from here.
+		default:
+			queue = append(queue, op)
+		}
+	}
+	drain := func() {
+		for len(st.wake) > 0 {
+			w := st.wake
+			st.wake = nil
+			for _, op := range w {
+				settle(op)
+			}
+		}
+	}
+	admit := func() {
+		for next < n && live < depth {
+			op := &writeOp{kind: kind, key: keys[next], idx: next}
+			next++
+			live++
+			all = append(all, op)
+			val, err := c.prepareValue(op.key, values[op.idx])
+			if err != nil {
+				op.err, op.state = err, wpDone
+			} else {
+				op.val = val
+				c.beginWriteOp(st, op)
+			}
+			settle(op)
+			drain()
+		}
+	}
+
+	admit()
+	for live > 0 {
+		if len(queue) == 0 {
+			// Every live op must be queued or parked under a queued leader;
+			// an empty queue with live ops is a scheduler bug. Fail them
+			// rather than spin forever.
+			for _, op := range all {
+				if op.state != wpDone {
+					errs[op.idx] = fmt.Errorf("core: write batch(%#x): scheduler stalled in state %d", op.key, op.state)
+				}
+			}
+			break
+		}
+		op := queue[0]
+		queue = queue[1:]
+		c.stepWriteOp(st, op)
+		settle(op)
+		drain()
+		admit()
+	}
+
+	c.wcCycles += st.cyclesN
+	c.wcCombined += st.combined
+	return errs
+}
+
+// beginWriteOp (re)starts a key's traversal toward its leaf.
+func (c *Client) beginWriteOp(st *wpSched, op *writeOp) {
+	op.path = nil
+	op.hops = 0
+	op.cy = nil
+	op.notFound = false
+	c.dc.Advance(localWorkNs)
+	if c.rootAddr.IsNil() {
+		h, err := c.dc.PostRead(c.ix.super, op.rootBuf[:])
+		if err != nil {
+			c.failWriteOp(op, err)
+			return
+		}
+		op.h = h
+		op.state = wpRootWait
+		return
+	}
+	op.root, op.rootLevel = c.rootAddr, c.rootLevel
+	c.descendWriteFromRoot(st, op)
+}
+
+func (c *Client) descendWriteFromRoot(st *wpSched, op *writeOp) {
+	if op.rootLevel == 0 {
+		op.ref = leafRef{addr: op.root}
+		c.arriveWriteAtLeaf(st, op)
+		return
+	}
+	op.cur = op.root
+	c.descendWriteLoop(st, op)
+}
+
+// descendWriteLoop walks internal levels through the cache until it
+// needs a remote read (posting it) or reaches level 1 (arriving at the
+// leaf and joining/opening a write cycle).
+func (c *Client) descendWriteLoop(st *wpSched, op *writeOp) {
+	for ; op.hops < maxRetries; op.hops++ {
+		n := c.cn.cache.get(op.cur)
+		if n == nil {
+			op.img = c.ix.inner.getImage()
+			h, err := c.dc.PostRead(op.cur, op.img)
+			if err != nil {
+				c.failWriteOp(op, err)
+				return
+			}
+			op.h = h
+			op.state = wpInternalWait
+			return
+		}
+		if !c.stepWriteNode(st, op, n, true) {
+			return
+		}
+	}
+	c.failWriteOp(op, fmt.Errorf("core: write batch(%#x): descent loop exhausted", op.key))
+}
+
+// stepWriteNode applies one internal node to the descent; false means
+// the op posted, arrived at its leaf, restarted, or failed.
+func (c *Client) stepWriteNode(st *wpSched, op *writeOp, n *internalNode, fromCache bool) bool {
+	key := op.key
+	if !n.covers(key) {
+		if fromCache {
+			c.cn.cache.invalidate(op.cur)
+			return true
+		}
+		if !n.fenceInf && key >= n.fenceHi && !n.sibling.IsNil() {
+			op.cur = n.sibling
+			return true
+		}
+		c.restartWriteOp(st, op)
+		return false
+	}
+	op.path = append(op.path, pathEntry{addr: op.cur, level: n.level})
+	child, _, nextC := n.childFor(key)
+	if child.IsNil() {
+		if fromCache {
+			c.cn.cache.invalidate(op.cur)
+			return true
+		}
+		c.restartWriteOp(st, op)
+		return false
+	}
+	if n.level == 1 {
+		op.ref = leafRef{
+			addr:            child,
+			expected:        nextC,
+			expectedKnown:   !nextC.IsNil(),
+			parentAddr:      op.cur,
+			parentFromCache: fromCache,
+			path:            op.path,
+		}
+		c.arriveWriteAtLeaf(st, op)
+		return false
+	}
+	op.cur = child
+	return true
+}
+
+// arriveWriteAtLeaf joins the leaf's collecting cycle, or opens a new
+// one and posts its lock CAS.
+func (c *Client) arriveWriteAtLeaf(st *wpSched, op *writeOp) {
+	k := op.ref.addr.Pack()
+	if cy, ok := st.cycles[k]; ok && cy.collecting {
+		op.cy = cy
+		cy.ops = append(cy.ops, op)
+		op.state = wpJoined
+		st.combined++
+		return
+	}
+	cy := &writeCycle{leaf: op.ref.addr, leader: op, ops: []*writeOp{op}, collecting: true}
+	st.cycles[k] = cy
+	st.cyclesN++
+	op.cy = cy
+	c.postCycleLock(st, op)
+}
+
+// postCycleLock posts the leaf lock masked CAS (the §4.2.1 piggyback
+// variant swaps the whole word so the previous vacancy/argmax payload
+// arrives with the lock; the ablation keeps a dedicated word read).
+func (c *Client) postCycleLock(st *wpSched, op *writeOp) {
+	cy := op.cy
+	addr := leafLockAddr(cy.leaf)
+	var h *dmsim.Completion
+	var err error
+	if c.ix.opts.PiggybackVacancy {
+		h, err = c.dc.PostMaskedCAS(addr, 0, lockBit, lockBit, ^uint64(0))
+	} else {
+		h, err = c.dc.PostMaskedCAS(addr, 0, lockBit, lockBit, lockBit)
+	}
+	if err != nil {
+		c.failCycle(st, op, err, false)
+		return
+	}
+	cy.h = h
+	op.state = wpLockWait
+}
+
+// stepWriteOp polls the op's (or its cycle's) outstanding completions
+// and advances the state machine.
+func (c *Client) stepWriteOp(st *wpSched, op *writeOp) {
+	switch op.state {
+	case wpRootWait:
+		c.dc.Poll(op.h)
+		op.h = nil
+		addr, lvl := unpackSuper(binary.LittleEndian.Uint64(op.rootBuf[:]))
+		c.rootAddr, c.rootLevel = addr, lvl
+		op.root, op.rootLevel = addr, lvl
+		c.descendWriteFromRoot(st, op)
+
+	case wpInternalWait:
+		c.dc.Poll(op.h)
+		op.h = nil
+		if err := c.ix.inner.checkInternalImage(op.img); err != nil {
+			op.torn++
+			if op.torn > maxRetries {
+				c.failWriteOp(op, fmt.Errorf("core: internal node %v: torn-read retries exhausted", op.cur))
+				return
+			}
+			c.yield()
+			h, perr := c.dc.PostRead(op.cur, op.img)
+			if perr != nil {
+				c.failWriteOp(op, perr)
+				return
+			}
+			op.h = h
+			return
+		}
+		fresh := c.ix.inner.decodeInternal(op.cur, op.img)
+		c.ix.inner.putImage(op.img)
+		op.img = nil
+		if !fresh.valid {
+			c.restartWriteOp(st, op)
+			return
+		}
+		c.cn.cache.put(op.cur, fresh, int64(c.ix.inner.size))
+		if c.stepWriteNode(st, op, fresh, false) {
+			c.descendWriteLoop(st, op)
+		}
+
+	case wpLockWait:
+		cy := op.cy
+		c.dc.Poll(cy.h)
+		prev, ok := cy.h.CASResult()
+		cy.h = nil
+		if !ok {
+			op.casFails++
+			if op.casFails > maxRetries {
+				c.failCycle(st, op, fmt.Errorf("core: leaf %v: lock acquisition starved", cy.leaf), false)
+				return
+			}
+			c.yield()
+			c.postCycleLock(st, op) // the cycle keeps collecting meanwhile
+			return
+		}
+		c.resetBackoff()
+		if c.ix.opts.PiggybackVacancy {
+			cy.lw = decodeLockWord(prev)
+			c.postCycleFetch(st, op)
+			return
+		}
+		h, err := c.dc.PostRead(leafLockAddr(cy.leaf), cy.lockBuf[:])
+		if err != nil {
+			c.failCycle(st, op, err, true)
+			return
+		}
+		cy.h = h
+		op.state = wpLockRead
+
+	case wpLockRead:
+		cy := op.cy
+		c.dc.Poll(cy.h)
+		cy.h = nil
+		cy.lw = decodeLockWord(binary.LittleEndian.Uint64(cy.lockBuf[:]))
+		c.postCycleFetch(st, op)
+
+	case wpFetchWait:
+		cy := op.cy
+		c.dc.Poll(cy.h)
+		c.dc.Poll(cy.h2)
+		cy.h, cy.h2 = nil, nil
+		check := cy.ranges
+		if cy.metaRange.size() > 0 {
+			check = append(append([]byteRange{}, cy.ranges...), cy.metaRange)
+		}
+		// The lock is held, so tearing cannot happen; validate anyway for
+		// defense in depth (mirrors the sync path).
+		if err := checkVersions(cy.im.buf, 0, c.ix.leaf.coveredCells(check)); err != nil {
+			op.torn++
+			if op.torn > maxRetries {
+				c.failCycle(st, op, fmt.Errorf("core: leaf %v: torn-read retries exhausted", cy.leaf), true)
+				return
+			}
+			c.yield()
+			c.postCycleRanges(st, op)
+			return
+		}
+		c.applyCycle(st, op)
+
+	case wpWriteWait:
+		cy := op.cy
+		c.dc.Poll(cy.h)
+		cy.h = nil
+		c.resetBackoff()
+		for _, d := range cy.settled {
+			d.cy = nil
+			if d.notFound {
+				d.err = ErrNotFound
+			}
+			d.state = wpDone
+			if d != op {
+				st.wake = append(st.wake, d)
+			}
+		}
+		c.releaseCycle(cy)
+
+	default:
+		c.failWriteOp(op, fmt.Errorf("core: write batch: step in state %d", op.state))
+	}
+}
+
+// postCycleFetch freezes the cycle's membership and posts the read(s) of
+// its working set: singleton cycles keep the synchronous path's narrow
+// window geometry (insert window with vacancy probe + argmax rider for
+// upserts, neighborhood window for updates); multi-key cycles read the
+// whole node so several hop plans share exact occupancy.
+func (c *Client) postCycleFetch(st *wpSched, drv *writeOp) {
+	cy := drv.cy
+	lay := c.ix.leaf
+	cy.collecting = false
+	if cur, ok := st.cycles[cy.leaf.Pack()]; ok && cur == cy {
+		delete(st.cycles, cy.leaf.Pack())
+	}
+	if len(cy.ops) == 1 {
+		op := cy.ops[0]
+		home := lay.homeOf(op.key)
+		count := lay.h
+		if op.kind == writeUpsert {
+			count = c.probeCount(home, cy.lw.vacancy)
+			if count < lay.h {
+				count = lay.h
+			}
+		}
+		if count < lay.span {
+			segs, idxs := lay.neighborhoodSegments(home, count, c.ix.opts.ReplicateMeta)
+			ranges := segs
+			fetchedSet := make(map[int]bool, len(idxs))
+			for _, i := range idxs {
+				fetchedSet[i] = true
+			}
+			if op.kind == writeUpsert && cy.lw.argmaxValid && !fetchedSet[cy.lw.argmax] && cy.lw.argmax < lay.span {
+				cellC := lay.entryCells[cy.lw.argmax]
+				ranges = append(append([]byteRange{}, segs...), byteRange{Off: cellC.Off, End: cellC.End()})
+				fetchedSet[cy.lw.argmax] = true
+			}
+			if cy.im == nil {
+				cy.im = lay.getImage()
+			}
+			cy.full = false
+			cy.ranges = ranges
+			cy.metaRange = byteRange{}
+			cy.metaG = lay.metaInRanges(ranges)
+			if !c.ix.opts.ReplicateMeta || cy.metaG < 0 {
+				rc := lay.replicaCells[0]
+				cy.metaRange = byteRange{Off: rc.Off, End: rc.End()}
+				cy.metaG = 0
+			}
+			fetched := make([]bool, lay.span)
+			for i := range fetchedSet {
+				fetched[i] = true
+			}
+			cy.fetched = fetched
+			c.postCycleRanges(st, drv)
+			return
+		}
+	}
+	c.postCycleWholeFetch(st, drv)
+}
+
+// postCycleWholeFetch (re)posts a whole-node read into the cycle's
+// image; also the escalation path when a window cannot prove a hop plan.
+func (c *Client) postCycleWholeFetch(st *wpSched, drv *writeOp) {
+	cy := drv.cy
+	lay := c.ix.leaf
+	if cy.im == nil {
+		cy.im = lay.getImage()
+	}
+	// A recycled buffer carries a stale lock line; the read below only
+	// fills the cell region (split paths encode over the whole buffer).
+	for i := range cy.im.buf[:lineSize] {
+		cy.im.buf[i] = 0
+	}
+	cy.full = true
+	cy.ranges = []byteRange{{Off: lineSize, End: lay.size}}
+	cy.metaRange = byteRange{}
+	cy.metaG = 0
+	fetched := make([]bool, lay.span)
+	for i := range fetched {
+		fetched[i] = true
+	}
+	cy.fetched = fetched
+	c.postCycleRanges(st, drv)
+}
+
+// postCycleRanges posts the cycle's recorded fetch geometry (initial
+// fetch and torn-read reposts share it).
+func (c *Client) postCycleRanges(st *wpSched, drv *writeOp) {
+	cy := drv.cy
+	var err error
+	if cy.full {
+		cy.h, err = c.dc.PostRead(cy.leaf.Add(lineSize), cy.im.buf[lineSize:])
+	} else if len(cy.ranges) == 1 {
+		r := cy.ranges[0]
+		cy.h, err = c.dc.PostRead(cy.leaf.Add(uint64(r.Off)), cy.im.buf[r.Off:r.End])
+	} else {
+		addrs := make([]dmsim.GAddr, len(cy.ranges))
+		bufs := make([][]byte, len(cy.ranges))
+		for i, r := range cy.ranges {
+			addrs[i] = cy.leaf.Add(uint64(r.Off))
+			bufs[i] = cy.im.buf[r.Off:r.End]
+		}
+		cy.h, err = c.dc.PostReadBatch(addrs, bufs)
+	}
+	if err == nil && cy.metaRange.size() > 0 {
+		cy.h2, err = c.dc.PostRead(cy.leaf.Add(uint64(cy.metaRange.Off)), cy.im.buf[cy.metaRange.Off:cy.metaRange.End])
+	}
+	if err != nil {
+		c.failCycle(st, drv, err, true)
+		return
+	}
+	drv.state = wpFetchWait
+}
+
+// applyCycle validates and mutates the fetched image for every op of the
+// cycle, then posts ONE doorbell batch carrying all changed ranges plus
+// the cleared lock word. Per-key conflicts (stale refs, moved fences)
+// peel only the affected ops off the cycle.
+func (c *Client) applyCycle(st *wpSched, stepped *writeOp) {
+	cy := stepped.cy
+	lay := c.ix.leaf
+	meta := cy.im.meta(cy.metaG)
+
+	leave := func(op *writeOp, f func(*writeOp)) {
+		op.cy = nil
+		f(op)
+		if op != stepped {
+			st.wake = append(st.wake, op)
+		}
+	}
+
+	if !meta.valid {
+		// The node vanished under us (merge): release and restart all.
+		c.unlockLeaf(cy.leaf, cy.lw)
+		for _, op := range cy.ops {
+			leave(op, func(op *writeOp) {
+				c.invalidateRefParent(op.ref)
+				c.restartWriteOp(st, op)
+			})
+		}
+		c.releaseCycle(cy)
+		return
+	}
+
+	pending := make([]*writeOp, 0, len(cy.ops))
+	for _, op := range cy.ops {
+		if op.ref.expectedKnown && meta.sibling != op.ref.expected && op.ref.parentFromCache {
+			// Cache validation (§4.2.3): the cached parent predates a split.
+			leave(op, func(op *writeOp) {
+				c.invalidateRefParent(op.ref)
+				c.restartWriteOp(st, op)
+			})
+			continue
+		}
+		if !meta.fenceInf && op.key >= meta.fenceHi {
+			if op.kind == writeUpdate && !meta.sibling.IsNil() {
+				// Half-split: the key may live in a right sibling. Chase it
+				// (a restart could livelock against a parent that simply
+				// has not absorbed the split yet).
+				sib := meta.sibling
+				leave(op, func(op *writeOp) { c.rearriveWriteOp(st, op, sib) })
+			} else {
+				leave(op, func(op *writeOp) {
+					c.invalidateRefParent(op.ref)
+					c.restartWriteOp(st, op)
+				})
+			}
+			continue
+		}
+		pending = append(pending, op)
+	}
+	cy.ops = pending
+
+	if len(pending) == 0 {
+		// Everyone left; just release the lock (rare — sync is fine).
+		c.unlockLeaf(cy.leaf, cy.lw)
+		c.releaseCycle(cy)
+		return
+	}
+	if !containsWriteOp(pending, cy.leader) {
+		cy.leader = pending[0]
+	}
+
+	changed := map[int]bool{}
+	newLW := cy.lw
+	var done []*writeOp
+	for pi, op := range pending {
+		if i := cy.findSlot(lay, op.key); i >= 0 {
+			e := cy.im.entry(i)
+			e.value = op.val
+			cy.im.setEntry(i, e)
+			changed[i] = true
+			done = append(done, op)
+			continue
+		}
+		if op.kind == writeUpdate {
+			op.notFound = true
+			done = append(done, op)
+			continue
+		}
+		// Fresh placement: hop planning over the fetched occupancy;
+		// unfetched slots are occupied-and-immovable (window cycles only).
+		home := lay.homeOf(op.key)
+		moves, free, planErr := hopscotch.Plan(lay.span, lay.h, home,
+			func(i int) bool {
+				if !cy.fetched[i] {
+					return true
+				}
+				return cy.im.entry(i).occupied
+			},
+			func(i int) int {
+				if !cy.fetched[i] {
+					return i
+				}
+				return lay.homeOf(cy.im.entry(i).key)
+			},
+		)
+		if planErr != nil && !cy.full {
+			// The conservative window could not prove a feasible hop.
+			// Escalate to a whole-node fetch and re-apply with exact
+			// occupancy; only singleton cycles use windows, so nothing has
+			// been applied yet.
+			drv := cy.leader
+			c.postCycleWholeFetch(st, drv)
+			if drv != stepped {
+				st.wake = append(st.wake, drv)
+			}
+			return
+		}
+		if planErr != nil {
+			c.splitCycle(st, cy, stepped, op, meta, newLW, done, pending[pi+1:])
+			return
+		}
+		for _, i := range c.applyHops(cy.im, moves, free, home, op.key, op.val) {
+			changed[i] = true
+		}
+		if !cy.full {
+			newLW.vacancy = c.updateVacancy(cy.im, cy.fetched, newLW.vacancy, free)
+			c.updateArgmaxOnInsert(&newLW, cy.im, cy.fetched, free, op.key)
+		}
+		done = append(done, op)
+	}
+
+	var ranges []byteRange
+	if cy.full {
+		// A node-granular write: derive the exact lock word from the image.
+		newLW = recomputeLockWord(cy.im)
+		ranges = mergedCellRanges(lay, changed)
+	} else {
+		idxs := make([]int, 0, len(changed))
+		for i := range changed {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		ranges = c.changedRanges(idxs, lay.homeOf(pending[0].key))
+	}
+	h, err := c.postWriteRangesAndUnlock(cy.leaf, cy.im, ranges, newLW)
+	if err != nil {
+		c.unlockLeaf(cy.leaf, cy.lw)
+		for _, op := range pending {
+			leave(op, func(op *writeOp) { c.failWriteOp(op, err) })
+		}
+		c.releaseCycle(cy)
+		return
+	}
+	cy.h = h
+	cy.settled = done
+	drv := cy.leader
+	drv.state = wpWriteWait
+	if drv != stepped {
+		st.wake = append(st.wake, drv)
+	}
+}
+
+// splitCycle handles a full leaf discovered mid-apply: the synchronous
+// splitLeaf commits every mutation already applied to the image (both
+// halves are rewritten from it, and it unlocks internally), so the
+// already-applied ops complete; the splitting op and the not-yet-applied
+// rest retraverse into the half-split leaves.
+func (c *Client) splitCycle(st *wpSched, cy *writeCycle, stepped, splitter *writeOp, meta leafMeta, lw lockWord, done, rest []*writeOp) {
+	err := c.splitLeaf(splitter.ref, cy.im, meta, lw, splitter.key)
+	for _, op := range done {
+		op.cy = nil
+		if op.notFound {
+			op.err = ErrNotFound
+		}
+		op.state = wpDone
+		if op != stepped {
+			st.wake = append(st.wake, op)
+		}
+	}
+	splitter.cy = nil
+	if err != nil {
+		c.failWriteOp(splitter, err)
+	} else {
+		c.restartWriteOp(st, splitter)
+	}
+	if splitter != stepped {
+		st.wake = append(st.wake, splitter)
+	}
+	for _, op := range rest {
+		op.cy = nil
+		c.restartWriteOp(st, op)
+		if op != stepped {
+			st.wake = append(st.wake, op)
+		}
+	}
+	c.releaseCycle(cy)
+}
+
+// findSlot locates key in its fetched neighborhood, or -1.
+func (cy *writeCycle) findSlot(lay *leafLayout, key uint64) int {
+	home := lay.homeOf(key)
+	for d := 0; d < lay.h; d++ {
+		i := (home + d) % lay.span
+		if !cy.fetched[i] {
+			continue
+		}
+		if e := cy.im.entry(i); e.occupied && e.key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// mergedCellRanges converts a changed-slot set into write-back ranges,
+// merging exactly-abutting cells. Unlike changedRanges it never spans
+// untouched cells — node-granular cycles may dirty non-contiguous slots
+// with unfetchable gaps between them.
+func mergedCellRanges(lay *leafLayout, changed map[int]bool) []byteRange {
+	if len(changed) == 0 {
+		return nil
+	}
+	idxs := make([]int, 0, len(changed))
+	for i := range changed {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	var out []byteRange
+	for _, i := range idxs {
+		cell := lay.entryCells[i]
+		if n := len(out); n > 0 && out[n-1].End >= cell.Off {
+			if cell.End() > out[n-1].End {
+				out[n-1].End = cell.End()
+			}
+		} else {
+			out = append(out, byteRange{Off: cell.Off, End: cell.End()})
+		}
+	}
+	return out
+}
+
+func containsWriteOp(ops []*writeOp, op *writeOp) bool {
+	for _, o := range ops {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// rearriveWriteOp re-enters the leaf layer at a sibling (B-link chase).
+func (c *Client) rearriveWriteOp(st *wpSched, op *writeOp, leaf dmsim.GAddr) {
+	op.hops++
+	if op.hops > maxRetries {
+		c.failWriteOp(op, fmt.Errorf("core: write batch(%#x): sibling chain too long", op.key))
+		return
+	}
+	op.ref = leafRef{addr: leaf}
+	c.arriveWriteAtLeaf(st, op)
+}
+
+// restartWriteOp retraverses one key after an optimistic conflict; the
+// rest of the batch is untouched.
+func (c *Client) restartWriteOp(st *wpSched, op *writeOp) {
+	op.restarts++
+	if op.restarts > maxRetries {
+		c.failWriteOp(op, fmt.Errorf("core: write batch(%#x): retries exhausted", op.key))
+		return
+	}
+	c.releaseWriteOpBuffers(op)
+	c.rootAddr = dmsim.NilGAddr // a split root invalidates it
+	c.yield()
+	c.beginWriteOp(st, op)
+}
+
+func (c *Client) failWriteOp(op *writeOp, err error) {
+	op.err = err
+	c.releaseWriteOpBuffers(op)
+	op.state = wpDone
+}
+
+// failCycle fails every op of the cycle; locked says whether the leaf
+// lock is held (post errors after a won CAS) and must be released.
+func (c *Client) failCycle(st *wpSched, stepped *writeOp, err error, locked bool) {
+	cy := stepped.cy
+	if locked {
+		c.unlockLeaf(cy.leaf, cy.lw)
+	}
+	if cur, ok := st.cycles[cy.leaf.Pack()]; ok && cur == cy {
+		delete(st.cycles, cy.leaf.Pack())
+	}
+	for _, op := range cy.ops {
+		op.cy = nil
+		c.failWriteOp(op, err)
+		if op != stepped {
+			st.wake = append(st.wake, op)
+		}
+	}
+	c.releaseCycle(cy)
+}
+
+// releaseCycle drains any in-flight completions and recycles the image.
+func (c *Client) releaseCycle(cy *writeCycle) {
+	c.dc.Poll(cy.h)
+	c.dc.Poll(cy.h2)
+	cy.h, cy.h2 = nil, nil
+	if cy.im != nil {
+		c.ix.leaf.putImage(cy.im)
+		cy.im = nil
+	}
+	cy.settled = nil
+	cy.ops = nil
+}
+
+// releaseWriteOpBuffers drains the op's own in-flight completion and
+// returns its pooled internal image (cycle resources are cycle-owned).
+func (c *Client) releaseWriteOpBuffers(op *writeOp) {
+	c.dc.Poll(op.h)
+	op.h = nil
+	if op.img != nil {
+		c.ix.inner.putImage(op.img)
+		op.img = nil
+	}
+}

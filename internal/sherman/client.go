@@ -137,6 +137,11 @@ type Client struct {
 	rootAddr  dmsim.GAddr
 	rootLevel uint8
 	ys        yieldState
+
+	// Write-pipeline counters: leaf write cycles executed and batch keys
+	// absorbed into an already-open cycle (per-leaf write combining).
+	wcCycles   int64
+	wcCombined int64
 }
 
 // NewClient creates a client bound to the compute node.

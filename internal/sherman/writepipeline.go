@@ -1,0 +1,719 @@
+package sherman
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"chime/internal/dmsim"
+	"chime/internal/nodelayout"
+)
+
+// Pipelined batch writes for the Sherman baseline: the same posted-verb
+// write state machine as core.InsertBatch, so the write-pipelining
+// sensitivity experiment compares the two systems through an identical
+// interface. Sherman fetches whole leaves under the lock (its write path
+// reads the full node before picking a slot), so every cycle posts a
+// full-node READ; the write-back is fine-grained — only the touched
+// entry cells ride the doorbell batch alongside the cleared lock word.
+//
+// Keys resolving to the same leaf while its cycle is still collecting
+// are combined into one lock/fetch/write round, exactly as in core. The
+// batch path bypasses the local lock table (its blocking Acquire would
+// stall the rest of the batch); the remote lock word stays the ground
+// truth and ReleaseRemote on a never-Acquired address is a no-op.
+
+// wOp states.
+const (
+	swRootWait = iota + 1
+	swInternalWait
+	swLockWait
+	swFetchWait
+	swWriteWait
+	swJoined
+	swDone
+)
+
+type writeKind int
+
+const (
+	writeUpsert writeKind = iota // insert-or-overwrite
+	writeUpdate                  // overwrite-only, ErrNotFound when absent
+)
+
+// wOp is one in-flight key of an InsertBatch/UpdateBatch.
+type wOp struct {
+	kind writeKind
+	key  uint64
+	val  []byte
+	idx  int
+
+	state int
+
+	root      dmsim.GAddr
+	rootLevel uint8
+	cur       dmsim.GAddr
+	path      []pathEntry
+	leaf      dmsim.GAddr
+	hops      int
+
+	h       *dmsim.Completion
+	rootBuf [8]byte
+	img     []byte // internal-node image
+
+	restarts, torn, casFails int
+
+	cy       *wCycle
+	notFound bool
+	err      error
+}
+
+// wCycle is one lock/fetch/write round over a single leaf, shared by
+// every batch key that resolved to that leaf while it was collecting.
+type wCycle struct {
+	leaf       dmsim.GAddr
+	leader     *wOp
+	ops        []*wOp
+	collecting bool
+
+	img []byte
+	h   *dmsim.Completion
+
+	// settled holds the ops whose outcome commits when the posted
+	// doorbell write+unlock completes.
+	settled []*wOp
+}
+
+// swSched is the per-batch scheduler state.
+type swSched struct {
+	cycles map[uint64]*wCycle
+	wake   []*wOp
+
+	cyclesN  int64
+	combined int64
+}
+
+// InsertBatch performs up to depth concurrent upserts on this client;
+// results are positionally aligned with keys.
+func (c *Client) InsertBatch(keys []uint64, values [][]byte, depth int) []error {
+	return c.runWriteBatch(writeUpsert, keys, values, depth)
+}
+
+// UpdateBatch performs up to depth concurrent overwrite-only updates,
+// returning ErrNotFound per absent key.
+func (c *Client) UpdateBatch(keys []uint64, values [][]byte, depth int) []error {
+	return c.runWriteBatch(writeUpdate, keys, values, depth)
+}
+
+// MultiPut is the bench-facing alias for InsertBatch.
+func (c *Client) MultiPut(keys []uint64, values [][]byte, depth int) []error {
+	return c.InsertBatch(keys, values, depth)
+}
+
+// WriteCombineStats reports executed leaf write cycles and batch keys
+// absorbed into an already-open cycle on the same leaf.
+func (c *Client) WriteCombineStats() (cycles, combinedKeys int64) {
+	return c.wcCycles, c.wcCombined
+}
+
+func (c *Client) runWriteBatch(kind writeKind, keys []uint64, values [][]byte, depth int) []error {
+	n := len(keys)
+	errs := make([]error, n)
+	if n == 0 {
+		return errs
+	}
+	if len(values) != n {
+		err := fmt.Errorf("sherman: write batch: %d keys but %d values", n, len(values))
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	if depth < 1 {
+		depth = 1
+	}
+
+	st := &swSched{cycles: make(map[uint64]*wCycle)}
+	var queue []*wOp
+	var all []*wOp
+	live := 0
+	next := 0
+
+	settle := func(op *wOp) {
+		switch op.state {
+		case swDone:
+			errs[op.idx] = op.err
+			live--
+		case swJoined:
+			// Parked on a cycle; its leader drives it from here.
+		default:
+			queue = append(queue, op)
+		}
+	}
+	drain := func() {
+		for len(st.wake) > 0 {
+			w := st.wake
+			st.wake = nil
+			for _, op := range w {
+				settle(op)
+			}
+		}
+	}
+	admit := func() {
+		for next < n && live < depth {
+			op := &wOp{kind: kind, key: keys[next], idx: next}
+			next++
+			live++
+			all = append(all, op)
+			val, err := c.prepareValue(op.key, values[op.idx])
+			if err != nil {
+				op.err, op.state = err, swDone
+			} else {
+				op.val = val
+				c.beginWOp(st, op)
+			}
+			settle(op)
+			drain()
+		}
+	}
+
+	admit()
+	for live > 0 {
+		if len(queue) == 0 {
+			for _, op := range all {
+				if op.state != swDone {
+					errs[op.idx] = fmt.Errorf("sherman: write batch(%#x): scheduler stalled in state %d", op.key, op.state)
+				}
+			}
+			break
+		}
+		op := queue[0]
+		queue = queue[1:]
+		c.stepWOp(st, op)
+		settle(op)
+		drain()
+		admit()
+	}
+
+	c.wcCycles += st.cyclesN
+	c.wcCombined += st.combined
+	return errs
+}
+
+// beginWOp (re)starts a key's traversal toward its leaf.
+func (c *Client) beginWOp(st *swSched, op *wOp) {
+	op.path = nil
+	op.hops = 0
+	op.cy = nil
+	op.notFound = false
+	c.dc.Advance(localWorkNs)
+	if c.rootAddr.IsNil() {
+		h, err := c.dc.PostRead(c.ix.super, op.rootBuf[:])
+		if err != nil {
+			c.failWOp(op, err)
+			return
+		}
+		op.h = h
+		op.state = swRootWait
+		return
+	}
+	op.root, op.rootLevel = c.rootAddr, c.rootLevel
+	c.descendWFromRoot(st, op)
+}
+
+func (c *Client) descendWFromRoot(st *swSched, op *wOp) {
+	if op.rootLevel == 0 {
+		op.leaf = op.root
+		c.arriveWAtLeaf(st, op)
+		return
+	}
+	op.cur = op.root
+	c.descendWLoop(st, op)
+}
+
+func (c *Client) descendWLoop(st *swSched, op *wOp) {
+	for ; op.hops < maxRetries; op.hops++ {
+		n := c.cn.cacheGet(op.cur)
+		if n == nil {
+			c.postWInternal(op)
+			return
+		}
+		if !c.stepWNode(st, op, n, true) {
+			return
+		}
+	}
+	c.failWOp(op, fmt.Errorf("sherman: write batch(%#x): descent loop exhausted", op.key))
+}
+
+// stepWNode applies one internal node to the descent; false means the
+// op posted, arrived at its leaf, restarted, or failed.
+func (c *Client) stepWNode(st *swSched, op *wOp, n *node, fromCache bool) bool {
+	key := op.key
+	if !n.covers(key) {
+		if fromCache {
+			c.cn.cacheDrop(op.cur)
+			return true
+		}
+		if !n.hdr.fenceInf && key >= n.hdr.fenceHi && !n.hdr.sibling.IsNil() {
+			op.cur = n.hdr.sibling
+			return true
+		}
+		c.restartWOp(st, op)
+		return false
+	}
+	op.path = append(op.path, pathEntry{addr: op.cur, level: n.hdr.level})
+	child := n.childFor(key)
+	if child.IsNil() {
+		if fromCache {
+			c.cn.cacheDrop(op.cur)
+			return true
+		}
+		c.restartWOp(st, op)
+		return false
+	}
+	if n.hdr.level == 1 {
+		op.leaf = child
+		c.arriveWAtLeaf(st, op)
+		return false
+	}
+	op.cur = child
+	return true
+}
+
+func (c *Client) postWInternal(op *wOp) {
+	if op.img == nil || len(op.img) != c.ix.inner.size {
+		op.img = make([]byte, c.ix.inner.size)
+	}
+	h, err := c.dc.PostRead(op.cur.Add(lineSize), op.img[lineSize:])
+	if err != nil {
+		c.failWOp(op, err)
+		return
+	}
+	op.h = h
+	op.state = swInternalWait
+}
+
+// arriveWAtLeaf joins the leaf's collecting cycle, or opens a new one
+// and posts its lock CAS.
+func (c *Client) arriveWAtLeaf(st *swSched, op *wOp) {
+	k := op.leaf.Pack()
+	if cy, ok := st.cycles[k]; ok && cy.collecting {
+		op.cy = cy
+		cy.ops = append(cy.ops, op)
+		op.state = swJoined
+		st.combined++
+		return
+	}
+	cy := &wCycle{leaf: op.leaf, leader: op, ops: []*wOp{op}, collecting: true}
+	st.cycles[k] = cy
+	st.cyclesN++
+	op.cy = cy
+	c.postWCycleLock(st, op)
+}
+
+// postWCycleLock posts the leaf lock CAS (Sherman's plain lock bit; no
+// piggyback payload).
+func (c *Client) postWCycleLock(st *swSched, op *wOp) {
+	cy := op.cy
+	h, err := c.dc.PostMaskedCAS(cy.leaf, 0, 1, 1, 1)
+	if err != nil {
+		c.failWCycle(st, op, err, false)
+		return
+	}
+	cy.h = h
+	op.state = swLockWait
+}
+
+// postWCycleFetch freezes the cycle's membership and posts the
+// whole-node read (Sherman always reads the full leaf under the lock).
+func (c *Client) postWCycleFetch(st *swSched, drv *wOp) {
+	cy := drv.cy
+	cy.collecting = false
+	if cur, ok := st.cycles[cy.leaf.Pack()]; ok && cur == cy {
+		delete(st.cycles, cy.leaf.Pack())
+	}
+	if cy.img == nil || len(cy.img) != c.ix.leaf.size {
+		cy.img = make([]byte, c.ix.leaf.size)
+	}
+	h, err := c.dc.PostRead(cy.leaf.Add(lineSize), cy.img[lineSize:])
+	if err != nil {
+		c.failWCycle(st, drv, err, true)
+		return
+	}
+	cy.h = h
+	drv.state = swFetchWait
+}
+
+func (c *Client) stepWOp(st *swSched, op *wOp) {
+	switch op.state {
+	case swRootWait:
+		c.dc.Poll(op.h)
+		op.h = nil
+		addr, lvl := unpackSuper(binary.LittleEndian.Uint64(op.rootBuf[:]))
+		c.rootAddr, c.rootLevel = addr, lvl
+		op.root, op.rootLevel = addr, lvl
+		c.descendWFromRoot(st, op)
+
+	case swInternalWait:
+		c.dc.Poll(op.h)
+		op.h = nil
+		if err := nodelayout.CheckVersions(op.img, 0, c.ix.inner.allCells); err != nil {
+			op.torn++
+			if op.torn > maxRetries {
+				c.failWOp(op, fmt.Errorf("sherman: node %v: torn-read retries exhausted", op.cur))
+				return
+			}
+			c.ys.yield(c.dc)
+			c.postWInternal(op)
+			return
+		}
+		c.ys.reset()
+		hdr := c.ix.inner.decodeHeader(op.img)
+		if !hdr.valid {
+			c.restartWOp(st, op)
+			return
+		}
+		n := c.decodeInternal(op.cur, op.img, hdr)
+		c.cn.cachePut(op.cur, n)
+		op.img = nil
+		if c.stepWNode(st, op, n, false) {
+			c.descendWLoop(st, op)
+		}
+
+	case swLockWait:
+		cy := op.cy
+		c.dc.Poll(cy.h)
+		_, ok := cy.h.CASResult()
+		cy.h = nil
+		if !ok {
+			op.casFails++
+			if op.casFails > maxRetries {
+				c.failWCycle(st, op, fmt.Errorf("sherman: leaf %v: lock acquisition starved", cy.leaf), false)
+				return
+			}
+			c.ys.yield(c.dc)
+			c.postWCycleLock(st, op) // the cycle keeps collecting meanwhile
+			return
+		}
+		c.ys.reset()
+		c.postWCycleFetch(st, op)
+
+	case swFetchWait:
+		cy := op.cy
+		c.dc.Poll(cy.h)
+		cy.h = nil
+		// The lock is held, so tearing cannot happen; validate anyway for
+		// defense in depth (mirrors the sync readNode).
+		if err := nodelayout.CheckVersions(cy.img, 0, c.ix.leaf.allCells); err != nil {
+			op.torn++
+			if op.torn > maxRetries {
+				c.failWCycle(st, op, fmt.Errorf("sherman: leaf %v: torn-read retries exhausted", cy.leaf), true)
+				return
+			}
+			c.ys.yield(c.dc)
+			h, perr := c.dc.PostRead(cy.leaf.Add(lineSize), cy.img[lineSize:])
+			if perr != nil {
+				c.failWCycle(st, op, perr, true)
+				return
+			}
+			cy.h = h
+			return
+		}
+		c.applyWCycle(st, op)
+
+	case swWriteWait:
+		cy := op.cy
+		c.dc.Poll(cy.h)
+		cy.h = nil
+		c.ys.reset()
+		for _, d := range cy.settled {
+			d.cy = nil
+			if d.notFound {
+				d.err = ErrNotFound
+			}
+			d.state = swDone
+			if d != op {
+				st.wake = append(st.wake, d)
+			}
+		}
+		c.releaseWCycle(cy)
+
+	default:
+		c.failWOp(op, fmt.Errorf("sherman: write batch: step in state %d", op.state))
+	}
+}
+
+// applyWCycle validates and mutates the fetched leaf image for every op
+// of the cycle, then posts ONE doorbell batch carrying the changed entry
+// cells plus the cleared lock word. Per-key conflicts (moved fences)
+// peel only the affected ops off the cycle.
+func (c *Client) applyWCycle(st *swSched, stepped *wOp) {
+	cy := stepped.cy
+	lay := c.ix.leaf
+	hdr := lay.decodeHeader(cy.img)
+
+	leave := func(op *wOp, f func(*wOp)) {
+		op.cy = nil
+		f(op)
+		if op != stepped {
+			st.wake = append(st.wake, op)
+		}
+	}
+
+	if !hdr.valid {
+		c.batchUnlock(cy.leaf)
+		for _, op := range cy.ops {
+			leave(op, func(op *wOp) { c.restartWOp(st, op) })
+		}
+		c.releaseWCycle(cy)
+		return
+	}
+
+	pending := make([]*wOp, 0, len(cy.ops))
+	for _, op := range cy.ops {
+		if op.key < hdr.fenceLow {
+			leave(op, func(op *wOp) { c.restartWOp(st, op) })
+			continue
+		}
+		if !hdr.fenceInf && op.key >= hdr.fenceHi {
+			if !hdr.sibling.IsNil() {
+				// Half-split: chase the B-link sibling chain, as the sync
+				// insert and modify paths do.
+				sib := hdr.sibling
+				leave(op, func(op *wOp) { c.rearriveWOp(st, op, sib) })
+			} else {
+				leave(op, func(op *wOp) { c.restartWOp(st, op) })
+			}
+			continue
+		}
+		pending = append(pending, op)
+	}
+	cy.ops = pending
+
+	if len(pending) == 0 {
+		c.batchUnlock(cy.leaf)
+		c.releaseWCycle(cy)
+		return
+	}
+	if !containsWOp(pending, cy.leader) {
+		cy.leader = pending[0]
+	}
+
+	changed := map[int]bool{}
+	var done []*wOp
+	for pi, op := range pending {
+		slot, free := -1, -1
+		for i := 0; i < lay.span; i++ {
+			e := lay.decodeEntry(cy.img, i)
+			if e.occupied && e.key == op.key {
+				slot = i
+				break
+			}
+			if !e.occupied && free < 0 {
+				free = i
+			}
+		}
+		if slot < 0 && op.kind == writeUpdate {
+			op.notFound = true
+			done = append(done, op)
+			continue
+		}
+		if slot < 0 {
+			slot = free
+		}
+		if slot < 0 {
+			// Leaf full: split synchronously; both halves are rewritten from
+			// the image, so the already-applied ops commit with the split.
+			c.splitWCycle(st, cy, stepped, op, hdr, done, pending[pi+1:])
+			return
+		}
+		lay.encodeEntry(cy.img, slot, entry{occupied: true, key: op.key, val: op.val}, true)
+		changed[slot] = true
+		done = append(done, op)
+	}
+
+	if len(changed) == 0 {
+		// Every pending op was an absent-key update: nothing to write back.
+		c.batchUnlock(cy.leaf)
+		for _, op := range done {
+			leave(op, func(op *wOp) {
+				op.err = ErrNotFound
+				op.state = swDone
+			})
+		}
+		c.releaseWCycle(cy)
+		return
+	}
+
+	ranges := mergedWCellRanges(lay, changed)
+	addrs := make([]dmsim.GAddr, 0, len(ranges)+1)
+	bufs := make([][]byte, 0, len(ranges)+1)
+	for _, r := range ranges {
+		addrs = append(addrs, cy.leaf.Add(uint64(r.off)))
+		bufs = append(bufs, cy.img[r.off:r.end])
+	}
+	var zero [8]byte
+	addrs = append(addrs, cy.leaf)
+	bufs = append(bufs, zero[:])
+	h, err := c.dc.PostWriteBatch(addrs, bufs)
+	if err != nil {
+		c.batchUnlock(cy.leaf)
+		for _, op := range pending {
+			leave(op, func(op *wOp) { c.failWOp(op, err) })
+		}
+		c.releaseWCycle(cy)
+		return
+	}
+	c.cn.locks.ReleaseRemote(c.dc, cy.leaf.Pack())
+	cy.h = h
+	cy.settled = done
+	drv := cy.leader
+	drv.state = swWriteWait
+	if drv != stepped {
+		st.wake = append(st.wake, drv)
+	}
+}
+
+// splitWCycle handles a full leaf discovered mid-apply: the synchronous
+// splitLeaf rewrites both halves from the image (committing every
+// already-applied mutation) and unlocks internally. Applied ops
+// complete; the splitting op and the not-yet-applied rest retraverse.
+func (c *Client) splitWCycle(st *swSched, cy *wCycle, stepped, splitter *wOp, hdr header, done, rest []*wOp) {
+	err := c.splitLeaf(cy.leaf, splitter.path, cy.img, hdr)
+	for _, op := range done {
+		op.cy = nil
+		if op.notFound {
+			op.err = ErrNotFound
+		}
+		op.state = swDone
+		if op != stepped {
+			st.wake = append(st.wake, op)
+		}
+	}
+	splitter.cy = nil
+	if err != nil {
+		c.failWOp(splitter, err)
+	} else {
+		c.restartWOp(st, splitter)
+	}
+	if splitter != stepped {
+		st.wake = append(st.wake, splitter)
+	}
+	for _, op := range rest {
+		op.cy = nil
+		c.restartWOp(st, op)
+		if op != stepped {
+			st.wake = append(st.wake, op)
+		}
+	}
+	c.releaseWCycle(cy)
+}
+
+// wCellRange is a half-open byte range [off, end) within a leaf image.
+type wCellRange struct{ off, end int }
+
+// mergedWCellRanges converts a changed-slot set into write-back ranges,
+// merging exactly-abutting entry cells.
+func mergedWCellRanges(lay *layout, changed map[int]bool) []wCellRange {
+	idxs := make([]int, 0, len(changed))
+	for i := range changed {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	var out []wCellRange
+	for _, i := range idxs {
+		cell := lay.entryCells[i]
+		if n := len(out); n > 0 && out[n-1].end >= cell.Off {
+			if cell.End() > out[n-1].end {
+				out[n-1].end = cell.End()
+			}
+		} else {
+			out = append(out, wCellRange{off: cell.Off, end: cell.End()})
+		}
+	}
+	return out
+}
+
+func containsWOp(ops []*wOp, op *wOp) bool {
+	for _, o := range ops {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// batchUnlock releases a batch-held leaf lock without the local lock
+// table's handover path (the batch never Acquired the local slot).
+func (c *Client) batchUnlock(leaf dmsim.GAddr) {
+	var zero [8]byte
+	if err := c.dc.Write(leaf, zero[:]); err != nil {
+		return
+	}
+	c.cn.locks.ReleaseRemote(c.dc, leaf.Pack())
+}
+
+// rearriveWOp re-enters the leaf layer at a sibling (B-link chase). The
+// op keeps its path: sibling leaves propagate splits through the same
+// ancestors, exactly as the synchronous chase does.
+func (c *Client) rearriveWOp(st *swSched, op *wOp, leaf dmsim.GAddr) {
+	op.hops++
+	if op.hops > maxRetries {
+		c.failWOp(op, fmt.Errorf("sherman: write batch(%#x): sibling chain too long", op.key))
+		return
+	}
+	op.leaf = leaf
+	c.arriveWAtLeaf(st, op)
+}
+
+// restartWOp retraverses one key after an optimistic conflict; the rest
+// of the batch is untouched.
+func (c *Client) restartWOp(st *swSched, op *wOp) {
+	op.restarts++
+	if op.restarts > maxRetries {
+		c.failWOp(op, fmt.Errorf("sherman: write batch(%#x): retries exhausted", op.key))
+		return
+	}
+	c.dc.Poll(op.h)
+	op.h = nil
+	op.img = nil
+	c.rootAddr = dmsim.NilGAddr
+	c.ys.yield(c.dc)
+	c.beginWOp(st, op)
+}
+
+func (c *Client) failWOp(op *wOp, err error) {
+	c.dc.Poll(op.h)
+	op.h = nil
+	op.err = err
+	op.state = swDone
+}
+
+// failWCycle fails every op of the cycle; locked says whether the leaf
+// lock is held and must be released.
+func (c *Client) failWCycle(st *swSched, stepped *wOp, err error, locked bool) {
+	cy := stepped.cy
+	if locked {
+		c.batchUnlock(cy.leaf)
+	}
+	if cur, ok := st.cycles[cy.leaf.Pack()]; ok && cur == cy {
+		delete(st.cycles, cy.leaf.Pack())
+	}
+	for _, op := range cy.ops {
+		op.cy = nil
+		c.failWOp(op, err)
+		if op != stepped {
+			st.wake = append(st.wake, op)
+		}
+	}
+	c.releaseWCycle(cy)
+}
+
+// releaseWCycle drains any in-flight completion and drops the image.
+func (c *Client) releaseWCycle(cy *wCycle) {
+	c.dc.Poll(cy.h)
+	cy.h = nil
+	cy.img = nil
+	cy.settled = nil
+	cy.ops = nil
+}

@@ -1,0 +1,291 @@
+package sherman
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"chime/internal/dmsim"
+	"chime/internal/ycsb"
+)
+
+func checkAllW(t *testing.T, cl *Client, want map[uint64]uint64) {
+	t.Helper()
+	for k, v := range want {
+		got, err := cl.Search(k)
+		if err != nil {
+			t.Fatalf("key %#x lost: %v", k, err)
+		}
+		if binary.LittleEndian.Uint64(got) != v {
+			t.Fatalf("key %#x = %x, want %d", k, got, v)
+		}
+	}
+}
+
+func TestShermanInsertBatchBasic(t *testing.T) {
+	for _, depth := range []int{1, 8} {
+		t.Run(fmt.Sprintf("depth%d", depth), func(t *testing.T) {
+			_, cl := newTestTree(t, DefaultOptions())
+			const n = 500
+			keys := make([]uint64, n)
+			vals := make([][]byte, n)
+			want := map[uint64]uint64{}
+			for i := range keys {
+				keys[i] = ycsb.KeyOf(uint64(i))
+				vals[i] = val8(uint64(i) + 1)
+				want[keys[i]] = uint64(i) + 1
+			}
+			for i, err := range cl.InsertBatch(keys, vals, depth) {
+				if err != nil {
+					t.Fatalf("key %d: %v", i, err)
+				}
+			}
+			checkAllW(t, cl, want)
+		})
+	}
+}
+
+func TestShermanInsertBatchUpsert(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	const n = 300
+	keys := make([]uint64, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = ycsb.KeyOf(uint64(i))
+		vals[i] = val8(uint64(i) + 1)
+		if err := cl.Insert(keys[i], val8(0xdead)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := map[uint64]uint64{}
+	for i, k := range keys {
+		want[k] = uint64(i) + 1
+	}
+	for i, err := range cl.InsertBatch(keys, vals, 8) {
+		if err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+	}
+	checkAllW(t, cl, want)
+}
+
+func TestShermanUpdateBatchMixed(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	const n = 200
+	keys := make([]uint64, n)
+	vals := make([][]byte, n)
+	want := map[uint64]uint64{}
+	for i := range keys {
+		keys[i] = ycsb.KeyOf(uint64(i))
+		vals[i] = val8(uint64(i) + 1)
+		if i%3 != 0 {
+			continue // every third key is never inserted
+		}
+		if err := cl.Insert(keys[i], val8(7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	errs := cl.UpdateBatch(keys, vals, 8)
+	for i, err := range errs {
+		if i%3 == 0 {
+			if err != nil {
+				t.Fatalf("present key %d: %v", i, err)
+			}
+			want[keys[i]] = uint64(i) + 1
+		} else if !errors.Is(err, ErrNotFound) {
+			t.Fatalf("absent key %d: err = %v, want ErrNotFound", i, err)
+		}
+	}
+	checkAllW(t, cl, want)
+	for i := range keys {
+		if i%3 != 0 {
+			if _, err := cl.Search(keys[i]); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("absent key %d materialized: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestShermanInsertBatchSplits(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	const n = 2500
+	keys := make([]uint64, n)
+	vals := make([][]byte, n)
+	want := map[uint64]uint64{}
+	for i := range keys {
+		keys[i] = ycsb.KeyOf(uint64(i))
+		vals[i] = val8(uint64(i) + 1)
+		want[keys[i]] = uint64(i) + 1
+	}
+	for i, err := range cl.InsertBatch(keys, vals, 16) {
+		if err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+	}
+	checkAllW(t, cl, want)
+}
+
+func TestShermanWriteBatchCombining(t *testing.T) {
+	_, cl := newTestTree(t, DefaultOptions())
+	const n = 8
+	keys := make([]uint64, n)
+	vals := make([][]byte, n)
+	want := map[uint64]uint64{}
+	for i := range keys {
+		keys[i] = ycsb.KeyOf(uint64(i))
+		vals[i] = val8(uint64(i) + 1)
+		want[keys[i]] = uint64(i) + 1
+	}
+	for i, err := range cl.InsertBatch(keys, vals, n) {
+		if err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+	}
+	cycles, combined := cl.WriteCombineStats()
+	if cycles == 0 {
+		t.Fatal("no write cycles recorded")
+	}
+	if combined == 0 {
+		t.Fatalf("no combining on a single-leaf batch (cycles=%d)", cycles)
+	}
+	checkAllW(t, cl, want)
+}
+
+func TestShermanWriteBatchRestartIsolation(t *testing.T) {
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 512 << 20
+	ix, err := Bootstrap(dmsim.MustNewFabric(cfg), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := ix.NewComputeNode(64 << 20)
+	const writers, perWriter = 4, 600
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := cn.NewClient()
+			keys := make([]uint64, perWriter)
+			vals := make([][]byte, perWriter)
+			for i := range keys {
+				id := uint64(i*writers + w) // interleaved ownership
+				keys[i] = ycsb.KeyOf(id)
+				vals[i] = val8(id + 1)
+			}
+			for i, err := range cl.InsertBatch(keys, vals, 8) {
+				if err != nil {
+					errCh <- fmt.Errorf("writer %d key %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	cl := cn.NewClient()
+	for id := uint64(0); id < writers*perWriter; id++ {
+		got, err := cl.Search(ycsb.KeyOf(id))
+		if err != nil {
+			t.Fatalf("lost batched insert %d: %v", id, err)
+		}
+		if binary.LittleEndian.Uint64(got) != id+1 {
+			t.Fatalf("batched insert %d corrupted: %x", id, got)
+		}
+	}
+}
+
+// TestShermanWriteBatchVsSyncWriters races the lock-table-bypassing
+// batch path against synchronous clients that do use the local lock
+// table, on overlapping leaves with disjoint keys.
+func TestShermanWriteBatchVsSyncWriters(t *testing.T) {
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 512 << 20
+	ix, err := Bootstrap(dmsim.MustNewFabric(cfg), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := ix.NewComputeNode(64 << 20)
+	const n = 800
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		cl := cn.NewClient()
+		keys := make([]uint64, n)
+		vals := make([][]byte, n)
+		for i := range keys {
+			keys[i] = ycsb.KeyOf(uint64(2 * i)) // even ids
+			vals[i] = val8(uint64(2*i) + 1)
+		}
+		for i, err := range cl.InsertBatch(keys, vals, 8) {
+			if err != nil {
+				errCh <- fmt.Errorf("batch key %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		cl := cn.NewClient()
+		for i := 0; i < n; i++ {
+			id := uint64(2*i + 1) // odd ids
+			if err := cl.Insert(ycsb.KeyOf(id), val8(id+1)); err != nil {
+				errCh <- fmt.Errorf("sync insert %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	cl := cn.NewClient()
+	for id := uint64(0); id < 2*n; id++ {
+		got, err := cl.Search(ycsb.KeyOf(id))
+		if err != nil {
+			t.Fatalf("lost id %d: %v", id, err)
+		}
+		if binary.LittleEndian.Uint64(got) != id+1 {
+			t.Fatalf("id %d corrupted: %x", id, got)
+		}
+	}
+}
+
+func TestShermanInsertBatchIndirect(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Indirect = true
+	opts.ValueSize = 24
+	_, cl := newTestTree(t, opts)
+	const n = 400
+	keys := make([]uint64, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = ycsb.KeyOf(uint64(i))
+		v := make([]byte, 24)
+		binary.LittleEndian.PutUint64(v, uint64(i)+1)
+		vals[i] = v
+	}
+	for i, err := range cl.InsertBatch(keys, vals, 8) {
+		if err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+	}
+	for i, k := range keys {
+		got, err := cl.Search(k)
+		if err != nil {
+			t.Fatalf("key %d lost: %v", i, err)
+		}
+		if binary.LittleEndian.Uint64(got[:8]) != uint64(i)+1 {
+			t.Fatalf("key %d = %x", i, got)
+		}
+	}
+}
