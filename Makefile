@@ -13,10 +13,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The async verb layer and the pipelined clients are the most
-# concurrency-sensitive packages; run them under the race detector.
+# The async verb layer, the pipelined clients, the remaining index
+# baselines, the shared instruments and the multi-goroutine harness are
+# the concurrency-sensitive packages; run them under the race detector.
 race:
-	$(GO) test -race ./internal/dmsim/... ./internal/core/... ./internal/sherman/...
+	$(GO) test -race ./internal/dmsim/... ./internal/core/... ./internal/sherman/... \
+		./internal/smartidx/... ./internal/rolex/... ./internal/obs/... ./internal/bench/...
 
 check: vet build test race
 

@@ -38,6 +38,9 @@ func main() {
 		sweep   = flag.String("sweep", "", "override: comma-separated client sweep (e.g. 8,64,256)")
 		depths  = flag.String("depths", "", "pipeline experiment: comma-separated SearchBatch depths (default 1,2,4,8,16)")
 		jsonOut = flag.String("json", "", "pipeline experiment: also write rows as JSON to this file")
+
+		metricsOut = flag.String("metrics-json", "", "write the unified metrics registry (counters, NIC/latency histograms, per-run rows) as JSON to this file")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON (about:tracing / Perfetto) of per-op spans and NIC timelines to this file")
 	)
 	flag.Parse()
 
@@ -77,6 +80,42 @@ func main() {
 			cs = append(cs, v)
 		}
 		sc.ClientSweep = cs
+	}
+	// One observer spans every experiment of the invocation; tracing is
+	// only turned on when a trace artifact was asked for (span buffering
+	// is the one observability cost worth gating).
+	if *metricsOut != "" || *traceOut != "" {
+		sc.Obs = bench.NewObserver(*traceOut != "")
+	}
+	writeObsArtifacts := func() {
+		if sc.Obs == nil {
+			return
+		}
+		if *metricsOut != "" {
+			blob, err := sc.Obs.MetricsJSON()
+			if err == nil {
+				err = os.WriteFile(*metricsOut, blob, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *metricsOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *metricsOut)
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err == nil {
+				err = sc.Obs.WriteTrace(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *traceOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *traceOut)
+		}
 	}
 
 	// The pipeline experiment supports depth overrides and a JSON
@@ -182,4 +221,5 @@ func main() {
 		}
 		fmt.Printf("---- %s done in %v ----\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	writeObsArtifacts()
 }

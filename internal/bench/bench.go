@@ -10,11 +10,12 @@ package bench
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 
 	"chime/internal/dmsim"
+	"chime/internal/obs"
+	"chime/internal/rdwc"
 	"chime/internal/ycsb"
 )
 
@@ -99,84 +100,19 @@ type SystemConfig struct {
 
 	// LoadClients parallelizes the bulk load (default 8).
 	LoadClients int
+
+	// Obs, when set, is wired into the system's compute node (by the
+	// factory) and the fabric's NICs (by buildSystem), enabling the
+	// protocol-event counters and per-operation trace spans.
+	Obs *Observer
 }
 
 // Factory builds and loads a system.
 type Factory func(cfg SystemConfig) (System, error)
 
-// histogram is a log-bucketed latency histogram over virtual
-// nanoseconds, good to ~1% relative error.
-type histogram struct {
-	buckets [1024]int64
-	count   int64
-}
-
-func bucketOf(ns int64) int {
-	if ns < 1 {
-		ns = 1
-	}
-	// 64 log2 major buckets x 16 linear minor buckets.
-	l := 63 - int(leadingZeros(uint64(ns)))
-	minor := 0
-	if l >= 4 {
-		minor = int((ns >> (uint(l) - 4)) & 15)
-	}
-	idx := l*16 + minor
-	if idx >= len(histogram{}.buckets) {
-		idx = len(histogram{}.buckets) - 1
-	}
-	return idx
-}
-
-func leadingZeros(x uint64) int {
-	n := 0
-	for i := 63; i >= 0; i-- {
-		if x&(1<<uint(i)) != 0 {
-			return n
-		}
-		n++
-	}
-	return 64
-}
-
-func bucketMid(idx int) int64 {
-	l := idx / 16
-	minor := idx % 16
-	if l < 4 {
-		return int64(1) << uint(l)
-	}
-	base := int64(1) << uint(l)
-	step := base / 16
-	return base + int64(minor)*step + step/2
-}
-
-func (h *histogram) add(ns int64) {
-	h.buckets[bucketOf(ns)]++
-	h.count++
-}
-
-func (h *histogram) merge(o *histogram) {
-	for i := range h.buckets {
-		h.buckets[i] += o.buckets[i]
-	}
-	h.count += o.count
-}
-
-// quantile returns the latency at the given quantile (0 < q <= 1).
-func (h *histogram) quantile(q float64) int64 {
-	if h.count == 0 {
-		return 0
-	}
-	target := int64(math.Ceil(q * float64(h.count)))
-	var cum int64
-	for i, b := range h.buckets {
-		cum += b
-		if cum >= target {
-			return bucketMid(i)
-		}
-	}
-	return bucketMid(len(h.buckets) - 1)
-}
+// Latency histograms are obs.Histogram: the log-bucketed histogram this
+// harness grew first now lives in internal/obs, shared with the NIC
+// service/queue distributions.
 
 // RunConfig drives one measured workload phase.
 type RunConfig struct {
@@ -188,6 +124,12 @@ type RunConfig struct {
 	// len(LoadKeys).
 	KeySpace *ycsb.KeySpace
 	Seed     int64
+
+	// Obs, when set, folds the observer's registry deltas into the
+	// Result and records the row for the metrics JSON artifact. The
+	// system must have been built with the same observer (SystemConfig
+	// .Obs) for the protocol-event columns to be populated.
+	Obs *Observer
 }
 
 // Result is one measured point.
@@ -207,6 +149,44 @@ type Result struct {
 	WriteBytes float64 // per op
 
 	CacheBytes int64
+
+	// Observability columns. The combiner, write-combining, cache-hit
+	// and NIC-utilization figures are folded on every run; the per-op
+	// protocol-event rates (retries, torn reads, lock backoffs, sibling
+	// chases, splits, merges, hotspot ratio) come from the observer's
+	// registry and stay zero unless the system and run share one
+	// RunConfig.Obs.
+	RetriesPerOp       float64
+	TornReadsPerOp     float64
+	LockBackoffsPerOp  float64
+	SiblingChasesPerOp float64
+	Splits             int64
+	Merges             int64
+	CacheHitRatio      float64
+	HotspotHitRatio    float64
+	NICUtilization     float64
+	DelegatedReads     int64
+	CombinedWrites     int64
+	WCCycles           int64
+	WCCombinedKeys     int64
+}
+
+// CacheHitMissReporter is the optional System interface exposing the
+// CN-side node-cache counters (cumulative; Run folds the per-run delta).
+type CacheHitMissReporter interface {
+	CacheHitMiss() (hits, misses int64)
+}
+
+// HotspotReporter is the optional System interface exposing CHIME's
+// hotspot-buffer counters (cumulative).
+type HotspotReporter interface {
+	HotspotHitMiss() (hits, lookups int64)
+}
+
+// CombinerReporter is the optional System interface exposing the shared
+// read-delegation/write-combining layer.
+type CombinerReporter interface {
+	Combiner() *rdwc.Combiner
 }
 
 // Run executes the workload against the system and aggregates metrics.
@@ -218,8 +198,29 @@ func Run(sys System, cfg RunConfig) (Result, error) {
 		return Result{}, fmt.Errorf("bench: RunConfig.KeySpace required")
 	}
 
+	// Before-state for the cumulative sources folded as per-run deltas.
+	var snapBefore obs.Snapshot
+	if cfg.Obs != nil {
+		snapBefore = cfg.Obs.Sink().Registry().Snapshot()
+	}
+	var dlgBefore, cwBefore int64
+	comb, _ := sys.(CombinerReporter)
+	if comb != nil && comb.Combiner() != nil {
+		dlgBefore, cwBefore = comb.Combiner().Stats()
+	}
+	var cacheHitsBefore, cacheMissesBefore int64
+	cacheRep, _ := sys.(CacheHitMissReporter)
+	if cacheRep != nil {
+		cacheHitsBefore, cacheMissesBefore = cacheRep.CacheHitMiss()
+	}
+	var hotHitsBefore, hotLookupsBefore int64
+	hotRep, _ := sys.(HotspotReporter)
+	if hotRep != nil {
+		hotHitsBefore, hotLookupsBefore = hotRep.HotspotHitMiss()
+	}
+
 	type clientOut struct {
-		hist     *histogram
+		hist     *obs.Histogram
 		ops      int64
 		duration int64 // virtual ns
 		stats    dmsim.ClientStats
@@ -238,6 +239,8 @@ func Run(sys System, cfg RunConfig) (Result, error) {
 		// the NIC queueing model stays faithful.
 		clients[ci].DM().JoinCohort()
 	}
+	fab := clients[0].DM().Fabric()
+	nicServedBefore := fab.TotalNICStats().ServedNs
 	var wg sync.WaitGroup
 	for ci := 0; ci < cfg.Clients; ci++ {
 		wg.Add(1)
@@ -250,7 +253,7 @@ func Run(sys System, cfg RunConfig) (Result, error) {
 				outs[ci].err = err
 				return
 			}
-			h := &histogram{}
+			h := obs.NewHistogram()
 			dm := cl.DM()
 			dm.ResetStats()
 			start := dm.Now()
@@ -277,7 +280,7 @@ func Run(sys System, cfg RunConfig) (Result, error) {
 					outs[ci].err = fmt.Errorf("bench: client %d op %d (%v %#x): %w", ci, i, op.Kind, op.Key, err)
 					return
 				}
-				h.add(dm.Now() - t0)
+				h.Observe(dm.Now() - t0)
 			}
 			outs[ci] = clientOut{
 				hist:     h,
@@ -289,14 +292,14 @@ func Run(sys System, cfg RunConfig) (Result, error) {
 	}
 	wg.Wait()
 
-	total := &histogram{}
+	total := obs.NewHistogram()
 	var ops, maxDur int64
 	var stats dmsim.ClientStats
 	for _, o := range outs {
 		if o.err != nil {
 			return Result{}, o.err
 		}
-		total.merge(o.hist)
+		total.Merge(o.hist)
 		ops += o.ops
 		if o.duration > maxDur {
 			maxDur = o.duration
@@ -314,14 +317,78 @@ func Run(sys System, cfg RunConfig) (Result, error) {
 		Clients:        cfg.Clients,
 		Ops:            ops,
 		ThroughputMops: float64(ops) * 1e3 / float64(maxDur),
-		P50Us:          float64(total.quantile(0.50)) / 1e3,
-		P99Us:          float64(total.quantile(0.99)) / 1e3,
+		P50Us:          float64(total.Quantile(0.50)) / 1e3,
+		P99Us:          float64(total.Quantile(0.99)) / 1e3,
 		TripsPerOp:     float64(stats.Trips) / float64(ops),
 		ReadBytes:      float64(stats.BytesRead) / float64(ops),
 		WriteBytes:     float64(stats.BytesWritten) / float64(ops),
 		CacheBytes:     sys.CacheBytes(),
 	}
+
+	// NIC utilization: fraction of the run's virtual wall time the NICs
+	// spent serving verbs (issued by anyone sharing the fabric, i.e.
+	// this cohort).
+	nicServed := fab.TotalNICStats().ServedNs - nicServedBefore
+	res.NICUtilization = float64(nicServed) / float64(int64(fab.MNs())*maxDur)
+
+	// Per-client write-combining counters (rdwcClient forwards to the
+	// wrapped index client).
+	for _, cl := range clients {
+		if wr, ok := cl.(WriteCombineReporter); ok {
+			cyc, comb := wr.WriteCombineStats()
+			res.WCCycles += cyc
+			res.WCCombinedKeys += comb
+		}
+	}
+
+	if comb != nil && comb.Combiner() != nil {
+		dlg, cw := comb.Combiner().Stats()
+		res.DelegatedReads = dlg - dlgBefore
+		res.CombinedWrites = cw - cwBefore
+	}
+	if cacheRep != nil {
+		h, m := cacheRep.CacheHitMiss()
+		if dh, dm := h-cacheHitsBefore, m-cacheMissesBefore; dh+dm > 0 {
+			res.CacheHitRatio = float64(dh) / float64(dh+dm)
+		}
+	}
+	if hotRep != nil {
+		h, l := hotRep.HotspotHitMiss()
+		if dh, dl := h-hotHitsBefore, l-hotLookupsBefore; dl > 0 {
+			res.HotspotHitRatio = float64(dh) / float64(dl)
+		}
+	}
+	if cfg.Obs != nil {
+		snap := cfg.Obs.Sink().Registry().Snapshot()
+		perOp := func(name string) float64 {
+			return float64(snap.CounterDelta(snapBefore, name)) / float64(ops)
+		}
+		res.RetriesPerOp = perOp(obs.NameRetry)
+		res.TornReadsPerOp = perOp(obs.NameTornRead)
+		res.LockBackoffsPerOp = perOp(obs.NameLockBackoff)
+		res.SiblingChasesPerOp = perOp(obs.NameSiblingChase)
+		res.Splits = snap.CounterDelta(snapBefore, obs.NameSplit)
+		res.Merges = snap.CounterDelta(snapBefore, obs.NameMerge)
+		cfg.Obs.record(res)
+	}
 	return res, nil
+}
+
+// FormatObsResults renders the observability columns Run folds into each
+// row: protocol-event rates per op, cache/hotspot hit ratios, NIC
+// utilization and the read-delegation/write-combining totals.
+func FormatObsResults(rows []Result) string {
+	out := fmt.Sprintf("%-22s %-5s %7s %8s %9s %9s %9s %9s %7s %7s %6s %8s %8s\n",
+		"system", "mix", "clients", "Mops", "retry/op", "torn/op", "lockbk/op", "chase/op",
+		"cache%", "hot%", "nic%", "dlgReads", "combWr")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-22s %-5s %7d %8.3f %9.4f %9.4f %9.4f %9.4f %7.1f %7.1f %6.1f %8d %8d\n",
+			r.System, r.Mix, r.Clients, r.ThroughputMops,
+			r.RetriesPerOp, r.TornReadsPerOp, r.LockBackoffsPerOp, r.SiblingChasesPerOp,
+			r.CacheHitRatio*100, r.HotspotHitRatio*100, r.NICUtilization*100,
+			r.DelegatedReads, r.CombinedWrites)
+	}
+	return out
 }
 
 // FormatResults renders results as an aligned text table, one row per

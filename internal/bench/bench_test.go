@@ -19,50 +19,6 @@ var tinyScale = Scale{
 	Trials:      3,
 }
 
-func TestHistogramQuantiles(t *testing.T) {
-	h := &histogram{}
-	for i := int64(1); i <= 1000; i++ {
-		h.add(i * 1000) // 1..1000 us
-	}
-	p50 := h.quantile(0.5)
-	if p50 < 400_000 || p50 > 600_000 {
-		t.Fatalf("p50 = %d, want ~500us", p50)
-	}
-	p99 := h.quantile(0.99)
-	if p99 < 900_000 || p99 > 1_100_000 {
-		t.Fatalf("p99 = %d, want ~990us", p99)
-	}
-	if (&histogram{}).quantile(0.5) != 0 {
-		t.Fatal("empty histogram must report 0")
-	}
-}
-
-func TestHistogramMerge(t *testing.T) {
-	a, b := &histogram{}, &histogram{}
-	for i := 0; i < 100; i++ {
-		a.add(1000)
-		b.add(1_000_000)
-	}
-	a.merge(b)
-	if a.count != 200 {
-		t.Fatalf("merged count = %d", a.count)
-	}
-	if p := a.quantile(0.9); p < 500_000 {
-		t.Fatalf("upper tail lost in merge: %d", p)
-	}
-}
-
-func TestBucketMonotone(t *testing.T) {
-	prev := -1
-	for ns := int64(1); ns < 1e12; ns *= 3 {
-		b := bucketOf(ns)
-		if b < prev {
-			t.Fatalf("bucketOf not monotone at %d", ns)
-		}
-		prev = b
-	}
-}
-
 func TestRunAllSystemsYCSBC(t *testing.T) {
 	for _, name := range HeadToHeadSystems {
 		t.Run(name, func(t *testing.T) {
@@ -168,6 +124,7 @@ func TestShapeSMARTCacheHungry(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	want := []string{
+		"main",
 		"fig3a", "fig3b", "fig3c", "fig3d", "fig4a", "fig4b", "fig4c",
 		"tab1", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"fig18a", "fig18b", "fig18c", "fig18d", "fig18e", "fig18f",

@@ -23,6 +23,11 @@ type Scale struct {
 	Clients     int   // client count for fixed-client figures
 	MNSize      int   // bytes of remote memory per MN
 	Trials      int   // trials for load-factor experiments
+
+	// Obs, when set, threads one observer through every system an
+	// experiment builds and every point it runs (chime-bench sets this
+	// for -metrics-json / -trace).
+	Obs *Observer
 }
 
 // SmallScale keeps `go test ./...` fast.
@@ -62,6 +67,7 @@ func baseConfig(f *dmsim.Fabric, sc Scale, loadKeys []uint64) SystemConfig {
 		ValueSize:    8,
 		CacheBytes:   cacheBudgetFor(sc),
 		HotspotBytes: hotspotBudgetFor(sc),
+		Obs:          sc.Obs,
 	}
 }
 
@@ -96,6 +102,7 @@ func buildSystem(name string, sc Scale, mns int, cfgMut func(*SystemConfig)) (Sy
 	if cfgMut != nil {
 		cfgMut(&cfg)
 	}
+	f.SetObserver(cfg.Obs.Sink())
 	factory, ok := Factories[name]
 	if !ok {
 		return nil, cfg, fmt.Errorf("bench: unknown system %q", name)
@@ -117,6 +124,7 @@ func runPoint(sys System, cfg SystemConfig, mix ycsb.Mix, clients, totalOps int,
 		ValueSize:    cfg.ValueSize,
 		KeySpace:     NewKeySpaceFor(cfg.LoadKeys),
 		Seed:         seed,
+		Obs:          cfg.Obs,
 	})
 }
 

@@ -11,10 +11,44 @@ import (
 // variable-length variant, cache consumption and Table 1 round trips.
 
 func init() {
+	register(Experiment{ID: "main", Title: "Head-to-head with observability columns (retries, cache, NIC)", Run: MainObs})
 	register(Experiment{ID: "fig12", Title: "YCSB throughput-latency comparison", Run: Fig12})
 	register(Experiment{ID: "fig13", Title: "Variable-length KV comparison", Run: Fig13})
 	register(Experiment{ID: "fig14", Title: "Cache consumption vs dataset size", Run: Fig14})
 	register(Experiment{ID: "tab1", Title: "Round trips per operation", Run: Table1})
+}
+
+// MainObs runs the four systems head to head on YCSB A and C and prints
+// the observability columns Run folds into each row: protocol-event
+// rates (retries, torn reads, lock backoffs, sibling/overflow chases),
+// cache and hotspot hit ratios, NIC utilization, and the
+// read-delegation/write-combining totals. It reuses the Scale's
+// observer when chime-bench attached one (-metrics-json / -trace) and
+// creates its own otherwise, so the event columns are always populated.
+func MainObs(w io.Writer, sc Scale) error {
+	if sc.Obs == nil {
+		sc.Obs = NewObserver(false)
+	}
+	for _, mix := range []ycsb.Mix{ycsb.WorkloadA, ycsb.WorkloadC} {
+		fmt.Fprintf(w, "# main: YCSB %s observability summary\n", mix.Name)
+		var rows []Result
+		for _, name := range HeadToHeadSystems {
+			if !workloadSupported(name, mix) {
+				continue
+			}
+			sys, cfg, err := buildSystem(name, sc, 1, nil)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", name, mix.Name, err)
+			}
+			r, err := runPoint(sys, cfg, mix, sc.Clients, sc.Ops, 20)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", name, mix.Name, err)
+			}
+			rows = append(rows, r)
+		}
+		fmt.Fprint(w, FormatObsResults(rows))
+	}
+	return nil
 }
 
 // workloadSupported reports whether a system runs a workload (ROLEX is

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"chime/internal/obs"
+)
+
+// MetricsSchema identifies the metrics JSON artifact layout emitted by
+// Observer.MetricsJSON (and chime-bench -metrics-json).
+const MetricsSchema = "chime-bench/metrics/v1"
+
+// Observer ties one obs.Sink to the bench harness: systems built with
+// SystemConfig.Obs count protocol events (and optionally trace spans)
+// into it, and every Run sharing the observer folds per-run registry
+// deltas into its Result and records the row for the metrics artifact.
+// A nil *Observer disables everything.
+type Observer struct {
+	sink *obs.Sink
+
+	mu   sync.Mutex
+	rows []ObsRow
+}
+
+// ObsRow pairs one measured result with the cumulative registry
+// snapshot taken when that run finished; consecutive rows can be
+// differenced for per-run histogram movement.
+type ObsRow struct {
+	Result   Result       `json:"result"`
+	Registry obs.Snapshot `json:"registry"`
+}
+
+// NewObserver returns an observer with a fresh registry; with trace set
+// it also buffers Chrome trace_event spans (see WriteTrace).
+func NewObserver(trace bool) *Observer {
+	return &Observer{sink: obs.NewSink(trace)}
+}
+
+// Sink exposes the underlying sink for wiring into compute nodes and
+// fabrics. Nil-safe: a nil observer yields a nil sink, which every
+// SetObserver treats as "off".
+func (o *Observer) Sink() *obs.Sink {
+	if o == nil {
+		return nil
+	}
+	return o.sink
+}
+
+func (o *Observer) record(r Result) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.rows = append(o.rows, ObsRow{Result: r, Registry: o.sink.Registry().Snapshot()})
+	o.mu.Unlock()
+}
+
+// Rows returns the recorded result rows in completion order.
+func (o *Observer) Rows() []ObsRow {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]ObsRow(nil), o.rows...)
+}
+
+// MetricsJSON renders the metrics artifact: the schema tag, every
+// recorded row, the final registry snapshot (counters, gauges and
+// histogram summaries, including the NIC service/queue distributions)
+// and the trace buffer's fill level.
+func (o *Observer) MetricsJSON() ([]byte, error) {
+	out := struct {
+		Schema       string       `json:"schema"`
+		Rows         []ObsRow     `json:"rows"`
+		Registry     obs.Snapshot `json:"registry"`
+		TraceEvents  int          `json:"trace_events"`
+		TraceDropped int64        `json:"trace_dropped"`
+	}{
+		Schema:       MetricsSchema,
+		Rows:         o.Rows(),
+		Registry:     o.sink.Registry().Snapshot(),
+		TraceEvents:  o.sink.Tracer().Len(),
+		TraceDropped: o.sink.Tracer().Dropped(),
+	}
+	if out.Rows == nil {
+		out.Rows = []ObsRow{}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// WriteTrace writes the buffered spans in Chrome trace_event JSON
+// (about:tracing / Perfetto). An untraced observer writes an empty but
+// valid trace.
+func (o *Observer) WriteTrace(w io.Writer) error {
+	return o.sink.Tracer().WriteJSON(w)
+}

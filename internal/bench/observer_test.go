@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"chime/internal/obs"
+	"chime/internal/ycsb"
+)
+
+// TestRunFoldsObsColumns runs CHIME under an observer and checks that
+// the observability columns land in the Result and the metrics/trace
+// artifacts come out well-formed.
+func TestRunFoldsObsColumns(t *testing.T) {
+	sc := tinyScale
+	sc.Obs = NewObserver(true)
+	sys, cfg, err := buildSystem("CHIME", sc, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := runPoint(sys, cfg, ycsb.WorkloadA, 4, 1200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NICUtilization <= 0 || r.NICUtilization > 1 {
+		t.Fatalf("NIC utilization %f out of (0,1]", r.NICUtilization)
+	}
+	if r.CacheHitRatio <= 0 || r.CacheHitRatio > 1 {
+		t.Fatalf("cache hit ratio %f out of (0,1]", r.CacheHitRatio)
+	}
+	if r.TornReadsPerOp < 0 || r.RetriesPerOp < 0 {
+		t.Fatalf("negative event rates: %+v", r)
+	}
+
+	rows := sc.Obs.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("observer recorded %d rows, want 1", len(rows))
+	}
+	if rows[0].Registry.Counters[obs.NameTornRead] < 0 {
+		t.Fatal("snapshot missing torn-read counter")
+	}
+
+	blob, err := sc.Obs.MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Schema      string   `json:"schema"`
+		Rows        []ObsRow `json:"rows"`
+		TraceEvents int      `json:"trace_events"`
+	}
+	if err := json.Unmarshal(blob, &parsed); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	if parsed.Schema != MetricsSchema || len(parsed.Rows) != 1 {
+		t.Fatalf("metrics artifact: schema=%q rows=%d", parsed.Schema, len(parsed.Rows))
+	}
+	if parsed.TraceEvents == 0 {
+		t.Fatal("traced run buffered no events")
+	}
+
+	var buf bytes.Buffer
+	if err := sc.Obs.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace artifact is empty")
+	}
+	if !strings.Contains(buf.String(), "chime.search") {
+		t.Fatal("trace lacks chime.search spans")
+	}
+}
+
+// TestObserverDoesNotPerturbVirtualTime is the end-to-end no-regression
+// guard: a deterministic single-client run must produce bit-identical
+// virtual-time results with and without a (tracing) observer attached —
+// instrumentation records, it never advances a clock.
+func TestObserverDoesNotPerturbVirtualTime(t *testing.T) {
+	sc := tinyScale
+	sc.LoadN = 3000
+
+	measure := func(o *Observer) Result {
+		t.Helper()
+		subScale := sc
+		subScale.Obs = o
+		sys, cfg, err := buildSystem("CHIME", subScale, 1, func(c *SystemConfig) {
+			c.LoadClients = 1 // single-threaded: fully deterministic
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := runPoint(sys, cfg, ycsb.WorkloadA, 1, 800, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	plain := measure(nil)
+	observed := measure(NewObserver(true))
+	if plain.Ops != observed.Ops ||
+		plain.ThroughputMops != observed.ThroughputMops ||
+		plain.P50Us != observed.P50Us ||
+		plain.P99Us != observed.P99Us ||
+		plain.TripsPerOp != observed.TripsPerOp {
+		t.Fatalf("observer changed virtual-time results:\nplain:    %+v\nobserved: %+v", plain, observed)
+	}
+}
+
+// TestRunFoldsCombinerColumns checks the read-delegation /
+// write-combining counters appear in standard rows without any
+// observer, on every system that supports them.
+func TestRunFoldsCombinerColumns(t *testing.T) {
+	for _, name := range HeadToHeadSystems {
+		t.Run(name, func(t *testing.T) {
+			sys, cfg, err := buildSystem(name, tinyScale, 1, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mix := ycsb.WorkloadA
+			r, err := runPoint(sys, cfg, mix, 8, 2000, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := sys.(CombinerReporter); !ok {
+				t.Fatalf("%s does not expose its combiner", name)
+			}
+			if r.DelegatedReads < 0 || r.CombinedWrites < 0 {
+				t.Fatalf("negative combiner counters: %+v", r)
+			}
+			// Zipfian YCSB A from 8 clients reliably coalesces at least
+			// one read or write on every system.
+			if r.DelegatedReads+r.CombinedWrites == 0 {
+				t.Fatalf("%s: no delegation/combining observed on YCSB A: %+v", name, r)
+			}
+		})
+	}
+}
+
+func TestFormatObsResults(t *testing.T) {
+	s := FormatObsResults([]Result{{
+		System: "X", Mix: "A", Clients: 4,
+		ThroughputMops: 1.5, RetriesPerOp: 0.25, CacheHitRatio: 0.9,
+		NICUtilization: 0.42, DelegatedReads: 7,
+	}})
+	for _, want := range []string{"X", "0.2500", "90.0", "42.0", "7"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"chime/internal/dmsim"
+	"chime/internal/obs"
 	"chime/internal/ycsb"
 )
 
@@ -57,7 +58,7 @@ func RunMultiGet(sys System, cfg MultiGetConfig) (MultiGetResult, error) {
 	}
 
 	type clientOut struct {
-		hist     *histogram
+		hist     *obs.Histogram
 		ops      int64
 		duration int64
 		stats    dmsim.ClientStats
@@ -85,7 +86,7 @@ func RunMultiGet(sys System, cfg MultiGetConfig) (MultiGetResult, error) {
 				outs[ci].err = err
 				return
 			}
-			h := &histogram{}
+			h := obs.NewHistogram()
 			dm := cl.DM()
 			dm.ResetStats()
 			start := dm.Now()
@@ -106,7 +107,7 @@ func RunMultiGet(sys System, cfg MultiGetConfig) (MultiGetResult, error) {
 				// histogram stays per-op.
 				per := (dm.Now() - t0) / int64(len(pending))
 				for range pending {
-					h.add(per)
+					h.Observe(per)
 				}
 				pending = pending[:0]
 				return nil
@@ -145,7 +146,7 @@ func RunMultiGet(sys System, cfg MultiGetConfig) (MultiGetResult, error) {
 					outs[ci].err = fmt.Errorf("bench: client %d op %d (%v %#x): %w", ci, i, op.Kind, op.Key, err)
 					return
 				}
-				h.add(dm.Now() - t0)
+				h.Observe(dm.Now() - t0)
 			}
 			if err := flush(); err != nil {
 				outs[ci].err = fmt.Errorf("bench: client %d final batch: %w", ci, err)
@@ -161,14 +162,14 @@ func RunMultiGet(sys System, cfg MultiGetConfig) (MultiGetResult, error) {
 	}
 	wg.Wait()
 
-	total := &histogram{}
+	total := obs.NewHistogram()
 	var ops, maxDur, maxInflight int64
 	var stats dmsim.ClientStats
 	for _, o := range outs {
 		if o.err != nil {
 			return MultiGetResult{}, o.err
 		}
-		total.merge(o.hist)
+		total.Merge(o.hist)
 		ops += o.ops
 		if o.duration > maxDur {
 			maxDur = o.duration
@@ -190,8 +191,8 @@ func RunMultiGet(sys System, cfg MultiGetConfig) (MultiGetResult, error) {
 			Clients:        cfg.Clients,
 			Ops:            ops,
 			ThroughputMops: float64(ops) * 1e3 / float64(maxDur),
-			P50Us:          float64(total.quantile(0.50)) / 1e3,
-			P99Us:          float64(total.quantile(0.99)) / 1e3,
+			P50Us:          float64(total.Quantile(0.50)) / 1e3,
+			P99Us:          float64(total.Quantile(0.99)) / 1e3,
 			TripsPerOp:     float64(stats.Trips) / float64(ops),
 			ReadBytes:      float64(stats.BytesRead) / float64(ops),
 			WriteBytes:     float64(stats.BytesWritten) / float64(ops),

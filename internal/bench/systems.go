@@ -35,6 +35,15 @@ func (r rdwcClient) Update(key uint64, value []byte) error {
 	})
 }
 
+// WriteCombineStats forwards to the wrapped client (the embedded Client
+// interface would otherwise hide the optional method from the harness).
+func (r rdwcClient) WriteCombineStats() (cycles, combinedKeys int64) {
+	if wr, ok := r.Client.(WriteCombineReporter); ok {
+		return wr.WriteCombineStats()
+	}
+	return 0, 0
+}
+
 // withRDWC wraps a client factory when the config enables combining.
 func withRDWC(cfg SystemConfig, comb *rdwc.Combiner, inner func() Client) func() Client {
 	if cfg.DisableRDWC {
@@ -170,6 +179,14 @@ func (c chimeClient) DM() *dmsim.Client { return c.cl.DM() }
 func (s *chimeSystem) Name() string             { return "CHIME" }
 func (s *chimeSystem) NewClient() Client        { return s.newC() }
 func (s *chimeSystem) Combiner() *rdwc.Combiner { return s.comb }
+func (s *chimeSystem) CacheHitMiss() (hits, misses int64) {
+	cs := s.cn.CacheStats()
+	return cs.Hits, cs.Misses
+}
+func (s *chimeSystem) HotspotHitMiss() (hits, lookups int64) {
+	hs := s.cn.HotspotStats()
+	return hs.Hits, hs.Lookups
+}
 func (s *chimeSystem) CacheBytes() int64 {
 	cs := s.cn.CacheStats()
 	hs := s.cn.HotspotStats()
@@ -195,6 +212,7 @@ func NewCHIME(cfg SystemConfig) (System, error) {
 		return nil, err
 	}
 	sys := &chimeSystem{ix: ix, cn: ix.NewComputeNode(cfg.CacheBytes, cfg.HotspotBytes), comb: rdwc.NewCombiner()}
+	sys.cn.SetObserver(cfg.Obs.Sink())
 	sys.newC = withRDWC(cfg, sys.comb, func() Client { return chimeClient{cl: sys.cn.NewClient()} })
 	if err := parallelLoad(cfg, sys.NewClient); err != nil {
 		return nil, fmt.Errorf("chime load: %w", err)
@@ -268,6 +286,10 @@ func (c shermanClient) DM() *dmsim.Client { return c.cl.DM() }
 func (s *shermanSystem) Name() string             { return "Sherman" }
 func (s *shermanSystem) NewClient() Client        { return s.newC() }
 func (s *shermanSystem) Combiner() *rdwc.Combiner { return s.comb }
+func (s *shermanSystem) CacheHitMiss() (hits, misses int64) {
+	h, m, _, _ := s.cn.CacheStats()
+	return h, m
+}
 func (s *shermanSystem) CacheBytes() int64 {
 	_, _, _, used := s.cn.CacheStats()
 	return used
@@ -286,6 +308,7 @@ func NewSherman(cfg SystemConfig) (System, error) {
 		return nil, err
 	}
 	sys := &shermanSystem{ix: ix, cn: ix.NewComputeNode(cfg.CacheBytes), comb: rdwc.NewCombiner()}
+	sys.cn.SetObserver(cfg.Obs.Sink())
 	sys.newC = withRDWC(cfg, sys.comb, func() Client { return shermanClient{cl: sys.cn.NewClient()} })
 	if err := parallelLoad(cfg, sys.NewClient); err != nil {
 		return nil, fmt.Errorf("sherman load: %w", err)
@@ -332,8 +355,13 @@ func (c smartClient) Scan(start uint64, count int) (int, error) {
 }
 func (c smartClient) DM() *dmsim.Client { return c.cl.DM() }
 
-func (s *smartSystem) Name() string      { return "SMART" }
-func (s *smartSystem) NewClient() Client { return s.newC() }
+func (s *smartSystem) Name() string             { return "SMART" }
+func (s *smartSystem) NewClient() Client        { return s.newC() }
+func (s *smartSystem) Combiner() *rdwc.Combiner { return s.comb }
+func (s *smartSystem) CacheHitMiss() (hits, misses int64) {
+	h, m, _, _ := s.cn.CacheStats()
+	return h, m
+}
 func (s *smartSystem) CacheBytes() int64 {
 	_, _, _, used := s.cn.CacheStats()
 	return used
@@ -349,6 +377,7 @@ func NewSMART(cfg SystemConfig) (System, error) {
 		return nil, err
 	}
 	sys := &smartSystem{ix: ix, cn: ix.NewComputeNode(cfg.CacheBytes), comb: rdwc.NewCombiner()}
+	sys.cn.SetObserver(cfg.Obs.Sink())
 	sys.newC = withRDWC(cfg, sys.comb, func() Client { return smartClient{cl: sys.cn.NewClient()} })
 	if err := parallelLoad(cfg, sys.NewClient); err != nil {
 		return nil, fmt.Errorf("smart load: %w", err)
@@ -395,9 +424,10 @@ func (c rolexClient) Scan(start uint64, count int) (int, error) {
 }
 func (c rolexClient) DM() *dmsim.Client { return c.cl.DM() }
 
-func (s *rolexSystem) Name() string      { return "ROLEX" }
-func (s *rolexSystem) NewClient() Client { return s.newC() }
-func (s *rolexSystem) CacheBytes() int64 { return s.ix.CacheBytes() }
+func (s *rolexSystem) Name() string             { return "ROLEX" }
+func (s *rolexSystem) NewClient() Client        { return s.newC() }
+func (s *rolexSystem) Combiner() *rdwc.Combiner { return s.comb }
+func (s *rolexSystem) CacheBytes() int64        { return s.ix.CacheBytes() }
 
 // NewROLEX builds a ROLEX index, pre-training models over the load keys
 // (the CHIME paper's setup; ROLEX is excluded from YCSB LOAD for the
@@ -418,6 +448,7 @@ func NewROLEX(cfg SystemConfig) (System, error) {
 		return nil, err
 	}
 	sys := &rolexSystem{ix: ix, cn: ix.NewComputeNode(), comb: rdwc.NewCombiner()}
+	sys.cn.SetObserver(cfg.Obs.Sink())
 	sys.newC = withRDWC(cfg, sys.comb, func() Client { return rolexClient{cl: sys.cn.NewClient()} })
 	return sys, nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"chime/internal/dmsim"
+	"chime/internal/obs"
 	"chime/internal/rdwc"
 	"chime/internal/ycsb"
 )
@@ -61,7 +62,7 @@ func RunMultiPut(sys System, cfg MultiPutConfig) (MultiPutResult, error) {
 	}
 
 	type clientOut struct {
-		hist     *histogram
+		hist     *obs.Histogram
 		ops      int64
 		duration int64
 		stats    dmsim.ClientStats
@@ -92,7 +93,7 @@ func RunMultiPut(sys System, cfg MultiPutConfig) (MultiPutResult, error) {
 				outs[ci].err = err
 				return
 			}
-			h := &histogram{}
+			h := obs.NewHistogram()
 			dm := cl.DM()
 			dm.ResetStats()
 			start := dm.Now()
@@ -105,7 +106,7 @@ func RunMultiPut(sys System, cfg MultiPutConfig) (MultiPutResult, error) {
 			amortize := func(t0 int64, n int) {
 				per := (dm.Now() - t0) / int64(n)
 				for i := 0; i < n; i++ {
-					h.add(per)
+					h.Observe(per)
 				}
 			}
 			flushBatch := func(kind string, run func() []error, n func() int) error {
@@ -208,7 +209,7 @@ func RunMultiPut(sys System, cfg MultiPutConfig) (MultiPutResult, error) {
 						fail(i, err)
 						return
 					}
-					h.add(dm.Now() - t0)
+					h.Observe(dm.Now() - t0)
 				}
 			}
 			if err := flushReads(); err != nil {
@@ -237,14 +238,14 @@ func RunMultiPut(sys System, cfg MultiPutConfig) (MultiPutResult, error) {
 	}
 	wg.Wait()
 
-	total := &histogram{}
+	total := obs.NewHistogram()
 	var ops, maxDur, maxInflight, cycles, combined int64
 	var stats dmsim.ClientStats
 	for _, o := range outs {
 		if o.err != nil {
 			return MultiPutResult{}, o.err
 		}
-		total.merge(o.hist)
+		total.Merge(o.hist)
 		ops += o.ops
 		if o.duration > maxDur {
 			maxDur = o.duration
@@ -274,8 +275,8 @@ func RunMultiPut(sys System, cfg MultiPutConfig) (MultiPutResult, error) {
 				Clients:        cfg.Clients,
 				Ops:            ops,
 				ThroughputMops: float64(ops) * 1e3 / float64(maxDur),
-				P50Us:          float64(total.quantile(0.50)) / 1e3,
-				P99Us:          float64(total.quantile(0.99)) / 1e3,
+				P50Us:          float64(total.Quantile(0.50)) / 1e3,
+				P99Us:          float64(total.Quantile(0.99)) / 1e3,
 				TripsPerOp:     float64(stats.Trips) / float64(ops),
 				ReadBytes:      float64(stats.BytesRead) / float64(ops),
 				WriteBytes:     float64(stats.BytesWritten) / float64(ops),

@@ -159,6 +159,7 @@ func (c *Client) mergeEmptyLeaf(victim dmsim.GAddr, key uint64) {
 		return
 	}
 	c.cn.cache.put(parentAddr, parent, int64(c.ix.inner.size))
+	c.obs.Merges.Inc()
 
 	c.unlockLeaf(victim, victimLW)
 	c.unlockLeaf(leftAddr, leftLW)

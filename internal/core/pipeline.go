@@ -81,6 +81,11 @@ func (c *Client) SearchBatch(keys []uint64, depth int) ([][]byte, []error) {
 	if n == 0 {
 		return vals, errs
 	}
+	if sp := c.obs.Tracer.Begin("chime.search_batch", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		sp.Arg("keys", n)
+		sp.Arg("depth", depth)
+		defer func() { sp.End(c.dc.Now()) }()
+	}
 	if depth < 1 {
 		depth = 1
 	}
@@ -401,6 +406,7 @@ func (c *Client) finishLeafOp(op *searchOp) {
 // in the batch are untouched.
 func (c *Client) restartOp(op *searchOp) {
 	op.restarts++
+	c.obs.Retries.Inc()
 	if op.restarts > maxRetries {
 		c.failOp(op, fmt.Errorf("core: SearchBatch(%#x): retries exhausted", op.key))
 		return

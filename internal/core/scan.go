@@ -25,9 +25,13 @@ func (c *Client) Scan(start uint64, count int) ([]KV, error) {
 	if count <= 0 {
 		return nil, nil
 	}
+	if sp := c.obs.Tracer.Begin("chime.scan", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
+	}
 	for attempt := 0; attempt < maxRetries; attempt++ {
 		out, err := c.scanOnce(start, count)
 		if err == errRestart {
+			c.obs.Retries.Inc()
 			c.rootAddr = dmsim.NilGAddr
 			c.yield()
 			continue

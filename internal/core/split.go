@@ -27,6 +27,7 @@ type kvPair struct {
 // retraverses and retries, which is guaranteed to land in a half-empty
 // node.
 func (c *Client) splitLeaf(ref leafRef, im *leafImage, meta leafMeta, lw lockWord, pendingKey uint64) error {
+	c.obs.Splits.Inc()
 	lay := c.ix.leaf
 
 	// Collect all resident KV pairs.
@@ -359,6 +360,7 @@ func (c *Client) writeInternalAndUnlock(addr dmsim.GAddr, img []byte) error {
 // splitInternal splits a locked internal node n that is full, first
 // logically adding (splitKey→rightAddr). The median pivot moves up.
 func (c *Client) splitInternal(n *internalNode, prevImg []byte, splitKey uint64, rightAddr dmsim.GAddr, path []pathEntry) error {
+	c.obs.Splits.Inc()
 	// Insert into the (local) decoded node beyond capacity, then split.
 	i := sort.Search(len(n.entries), func(i int) bool { return n.entries[i].pivot >= splitKey })
 	n.entries = append(n.entries, pivotEntry{})

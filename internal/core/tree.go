@@ -8,6 +8,7 @@ import (
 
 	"chime/internal/dmsim"
 	"chime/internal/locktable"
+	"chime/internal/obs"
 )
 
 // Index is one CHIME tree living in the memory pool. It is cheap to
@@ -106,6 +107,16 @@ type ComputeNode struct {
 	cache   *nodeCache
 	hotspot *hotspotBuffer
 	locks   *locktable.Table
+	obs     obs.IndexInstruments
+}
+
+// SetObserver attaches an observability sink; clients created afterward
+// count retries, torn reads, lock backoffs, sibling chases, splits and
+// merges into it, and emit per-operation trace spans when the sink
+// traces. Call before NewClient, from a single goroutine. With no sink
+// every instrumented call is a no-op.
+func (cn *ComputeNode) SetObserver(s *obs.Sink) {
+	cn.obs = obs.ResolveIndex(s)
 }
 
 // NewComputeNode creates CN-shared state with the given byte budgets for
@@ -151,6 +162,10 @@ type Client struct {
 	// absorbed into an already-open cycle (per-leaf write combining).
 	wcCycles   int64
 	wcCombined int64
+
+	// Instruments resolved from the CN's sink at construction; all
+	// fields are nil-safe no-ops without a sink.
+	obs obs.IndexInstruments
 }
 
 // NewClient creates a client handle bound to this compute node.
@@ -161,6 +176,7 @@ func (cn *ComputeNode) NewClient() *Client {
 		ix:    cn.ix,
 		dc:    dc,
 		alloc: dmsim.NewChunkAllocator(dc, int(dc.ID())%cn.ix.fabric.MNs()),
+		obs:   cn.obs,
 	}
 }
 
@@ -204,6 +220,7 @@ func (c *Client) readInternal(addr dmsim.GAddr) (*internalNode, []byte, error) {
 			return nil, nil, err
 		}
 		if err := c.ix.inner.checkInternalImage(img); err != nil {
+			c.obs.TornReads.Inc()
 			c.yield()
 			continue
 		}
@@ -250,6 +267,7 @@ func (c *Client) traverse(key uint64) (leafRef, error) {
 		}
 		ref, err := c.traverseFrom(c.rootAddr, c.rootLevel, key)
 		if err == errRestart {
+			c.obs.Retries.Inc()
 			c.rootAddr = dmsim.NilGAddr // force a super-block re-read
 			c.yield()
 			continue
@@ -297,6 +315,7 @@ func (c *Client) traverseFrom(root dmsim.GAddr, rootLevel uint8, key uint64) (le
 			}
 			if !n.fenceInf && key >= n.fenceHi && !n.sibling.IsNil() {
 				// Half-split at this level: chase the B-link sibling.
+				c.obs.SiblingChases.Inc()
 				cur = n.sibling
 				continue
 			}
@@ -369,6 +388,7 @@ func (c *Client) fetchLeafWindow(leaf dmsim.GAddr, home, count int) (*leafImage,
 		}
 
 		if err := checkVersions(im.buf, 0, lay.coveredCells(ranges)); err != nil {
+			c.obs.TornReads.Inc()
 			c.yield()
 			continue
 		}
@@ -412,6 +432,9 @@ func (c *Client) validateLeafMeta(ref *leafRef, meta leafMeta, key uint64, found
 // Search performs a point query (§4.4). It returns ErrNotFound when the
 // key is absent.
 func (c *Client) Search(key uint64) ([]byte, error) {
+	if sp := c.obs.Tracer.Begin("chime.search", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
+	}
 	for attempt := 0; attempt < maxRetries; attempt++ {
 		ref, err := c.traverse(key)
 		if err != nil {
@@ -419,6 +442,7 @@ func (c *Client) Search(key uint64) ([]byte, error) {
 		}
 		val, err := c.searchLeafChain(ref, key)
 		if err == errRestart {
+			c.obs.Retries.Inc()
 			c.rootAddr = dmsim.NilGAddr // a split root-leaf invalidates it
 			c.yield()
 			continue
@@ -444,8 +468,10 @@ func (c *Client) searchLeafChain(ref leafRef, key uint64) ([]byte, error) {
 			}
 			c.cn.hotspot.noteSpeculation(ok)
 			if ok {
+				c.obs.HotspotHits.Inc()
 				return val, nil
 			}
+			c.obs.HotspotMisses.Inc()
 			c.cn.hotspot.drop(cur.addr, idx)
 		}
 
@@ -494,6 +520,7 @@ func (c *Client) searchLeafChain(ref leafRef, key uint64) ([]byte, error) {
 			return append([]byte(nil), foundVal...), nil
 		}
 		if follow {
+			c.obs.SiblingChases.Inc()
 			cur = leafRef{addr: meta.sibling}
 			continue
 		}

@@ -52,6 +52,7 @@ func (c *Client) acquireLeafLock(leaf dmsim.GAddr) (lockWord, error) {
 				return decodeLockWord(binary.LittleEndian.Uint64(b[:])), nil
 			}
 		}
+		c.obs.LockBackoffs.Inc()
 		c.yield()
 	}
 	return lockWord{}, fmt.Errorf("core: leaf %v: lock acquisition starved", leaf)
@@ -155,6 +156,9 @@ func (c *Client) writeRangeAndUnlock(leaf dmsim.GAddr, im *leafImage, ranges []b
 // Insert adds or overwrites a key (upsert semantics, as YCSB inserts
 // and loads expect).
 func (c *Client) Insert(key uint64, value []byte) error {
+	if sp := c.obs.Tracer.Begin("chime.insert", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
+	}
 	val, err := c.prepareValue(key, value)
 	if err != nil {
 		return err
@@ -178,6 +182,7 @@ func (c *Client) insertWith(key uint64, valFn func(old []byte, exists bool) ([]b
 			// The leaf moved under us (split/delete). Re-read the super
 			// block too: when the root itself was a leaf that split, the
 			// cached root pointer is what went stale.
+			c.obs.Retries.Inc()
 			c.rootAddr = dmsim.NilGAddr
 			c.yield()
 			continue
@@ -423,6 +428,7 @@ func (c *Client) fetchInsertWindow(leaf dmsim.GAddr, home int, lw lockWord) (*le
 		// can only come from our own read tearing against nothing —
 		// still validate for defense in depth.
 		if err := checkVersions(im.buf, 0, lay.coveredCells(checkRanges)); err != nil {
+			c.obs.TornReads.Inc()
 			c.yield()
 			continue
 		}
@@ -482,6 +488,7 @@ func (c *Client) fetchWholeLeaf(leaf dmsim.GAddr) (*leafImage, []bool, int, erro
 			return nil, nil, 0, err
 		}
 		if err := checkVersions(im.buf, 0, lay.allCells); err != nil {
+			c.obs.TornReads.Inc()
 			c.yield()
 			continue
 		}
@@ -622,6 +629,9 @@ func (c *Client) updateArgmaxOnInsert(lw *lockWord, im *leafImage, fetched []boo
 // Update overwrites the value of an existing key, returning ErrNotFound
 // if the key is absent.
 func (c *Client) Update(key uint64, value []byte) error {
+	if sp := c.obs.Tracer.Begin("chime.update", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
+	}
 	val, err := c.prepareValue(key, value)
 	if err != nil {
 		return err
@@ -637,6 +647,9 @@ func (c *Client) Update(key uint64, value []byte) error {
 // merges are not triggered (structural merging is a rare path the paper
 // inherits from DM B+ trees).
 func (c *Client) Delete(key uint64) error {
+	if sp := c.obs.Tracer.Begin("chime.delete", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
+	}
 	return c.modifyEntry(key, nil)
 }
 
@@ -653,6 +666,7 @@ func (c *Client) modifyEntry(key uint64, mutate func(*leafEntry) (bool, error)) 
 		}
 		err = c.modifyInLeaf(ref, key, mutate)
 		if err == errRestart {
+			c.obs.Retries.Inc()
 			c.rootAddr = dmsim.NilGAddr
 			c.yield()
 			continue
@@ -693,6 +707,7 @@ func (c *Client) modifyInLeaf(ref leafRef, key uint64, mutate func(*leafEntry) (
 		if foundIdx < 0 {
 			// Half-split: the key may live in a right sibling.
 			if !meta.fenceInf && key >= meta.fenceHi && !meta.sibling.IsNil() {
+				c.obs.SiblingChases.Inc()
 				next := meta.sibling
 				c.unlockLeaf(addr, lw)
 				lay.putImage(im)

@@ -149,6 +149,11 @@ func (c *Client) runWriteBatch(kind writeKind, keys []uint64, values [][]byte, d
 	if n == 0 {
 		return errs
 	}
+	if sp := c.obs.Tracer.Begin("chime.write_batch", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		sp.Arg("keys", n)
+		sp.Arg("depth", depth)
+		defer func() { sp.End(c.dc.Now()) }()
+	}
 	if len(values) != n {
 		err := fmt.Errorf("core: write batch: %d keys but %d values", n, len(values))
 		for i := range errs {
@@ -227,6 +232,8 @@ func (c *Client) runWriteBatch(kind writeKind, keys []uint64, values [][]byte, d
 
 	c.wcCycles += st.cyclesN
 	c.wcCombined += st.combined
+	c.obs.WCCycles.Add(st.cyclesN)
+	c.obs.WCCombined.Add(st.combined)
 	return errs
 }
 
@@ -863,6 +870,7 @@ func (c *Client) rearriveWriteOp(st *wpSched, op *writeOp, leaf dmsim.GAddr) {
 // rest of the batch is untouched.
 func (c *Client) restartWriteOp(st *wpSched, op *writeOp) {
 	op.restarts++
+	c.obs.Retries.Inc()
 	if op.restarts > maxRetries {
 		c.failWriteOp(op, fmt.Errorf("core: write batch(%#x): retries exhausted", op.key))
 		return

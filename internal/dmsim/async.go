@@ -125,7 +125,7 @@ func (c *Client) PostRead(a GAddr, buf []byte) (*Completion, error) {
 	}
 	mn.copyOut(a.Off, buf)
 
-	done := mn.nic.serve(c.now+c.issueNs, len(buf))
+	done := mn.nic.serve(kindRead, c.now+c.issueNs, len(buf))
 	mn.nic.bytesOut.Add(int64(len(buf)))
 
 	c.stats.Reads++
@@ -161,7 +161,7 @@ func (c *Client) PostReadBatch(addrs []GAddr, bufs [][]byte) (*Completion, error
 		total += int64(len(bufs[i]))
 	}
 	mn := c.f.mns[mn0]
-	done := mn.nic.serveBatch(c.now+c.issueNs, payloads)
+	done := mn.nic.serveBatch(kindRead, c.now+c.issueNs, payloads)
 	mn.nic.bytesOut.Add(total)
 
 	c.stats.Reads += int64(len(addrs))
@@ -180,7 +180,7 @@ func (c *Client) PostWrite(a GAddr, data []byte) (*Completion, error) {
 	}
 	mn.copyIn(a.Off, data)
 
-	done := mn.nic.serve(c.now+c.issueNs, len(data))
+	done := mn.nic.serve(kindWrite, c.now+c.issueNs, len(data))
 	mn.nic.bytesIn.Add(int64(len(data)))
 
 	c.stats.Writes++
@@ -215,7 +215,7 @@ func (c *Client) PostWriteBatch(addrs []GAddr, datas [][]byte) (*Completion, err
 		total += int64(len(datas[i]))
 	}
 	mn := c.f.mns[mn0]
-	done := mn.nic.serveBatch(c.now+c.issueNs, payloads)
+	done := mn.nic.serveBatch(kindWrite, c.now+c.issueNs, payloads)
 	mn.nic.bytesIn.Add(total)
 
 	c.stats.Writes += int64(len(addrs))
@@ -248,7 +248,7 @@ func (c *Client) PostMaskedCAS(a GAddr, cmp, swap, cmpMask, swapMask uint64) (*C
 	}
 	lk.Unlock()
 
-	done := mn.nic.serve(c.now+c.issueNs, 8)
+	done := mn.nic.serve(kindAtomic, c.now+c.issueNs, 8)
 
 	c.stats.Atomics++
 	c.stats.Trips++
@@ -274,7 +274,7 @@ func (c *Client) PostFetchAdd(a GAddr, delta uint64) (*Completion, error) {
 	binary.LittleEndian.PutUint64(word, prev+delta)
 	lk.Unlock()
 
-	done := mn.nic.serve(c.now+c.issueNs, 8)
+	done := mn.nic.serve(kindAtomic, c.now+c.issueNs, 8)
 
 	c.stats.Atomics++
 	c.stats.Trips++

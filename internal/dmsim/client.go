@@ -134,9 +134,18 @@ func (c *Client) Resume(now int64) {
 // Stats returns a snapshot of the client's traffic counters.
 func (c *Client) Stats() ClientStats { return c.stats }
 
-// ResetStats zeroes the traffic counters (the clock keeps running, and
-// in-flight completions remain in flight).
-func (c *Client) ResetStats() { c.stats = ClientStats{} }
+// ResetStats zeroes the traffic counters, including Posted (the count
+// restarts for the new measurement window). The clock keeps running and
+// in-flight completions remain in flight: MaxInflight is re-seeded to
+// the current pipeline depth, so verbs already posted still count
+// toward the new window's maximum.
+func (c *Client) ResetStats() {
+	c.stats = ClientStats{}
+	c.stats.MaxInflight = c.inflight
+}
+
+// Fabric returns the fabric this client is attached to.
+func (c *Client) Fabric() *Fabric { return c.f }
 
 // finish advances the client past a round trip that completed at the NIC
 // at nicDone (two-sided RPCs, which have no posted form).

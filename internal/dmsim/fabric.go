@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"chime/internal/obs"
 )
 
 // memoryNode is one node in the memory pool: a flat byte region, its
@@ -107,6 +109,22 @@ func (f *Fabric) Config() Config { return f.cfg }
 
 // MNs returns the number of memory nodes.
 func (f *Fabric) MNs() int { return len(f.mns) }
+
+// SetObserver attaches an observability sink to every NIC: per-verb
+// service histograms and queue-wait histograms land in the sink's
+// registry, and (when the sink traces) each NIC emits a rate-limited
+// backlog/queue-depth counter timeline. Passing nil detaches nothing —
+// call it once, before the traffic of interest, from a single
+// goroutine. Observation never advances virtual clocks: timings are
+// identical with or without a sink.
+func (f *Fabric) SetObserver(s *obs.Sink) {
+	if s == nil {
+		return
+	}
+	for i, m := range f.mns {
+		m.nic.setObserver(i, s)
+	}
+}
 
 func (f *Fabric) node(a GAddr) (*memoryNode, error) {
 	if int(a.MN) >= len(f.mns) {

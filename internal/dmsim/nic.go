@@ -1,9 +1,39 @@
 package dmsim
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"chime/internal/obs"
 )
+
+// Verb service classes, used to split the NIC service-time histograms
+// the observability layer records.
+type verbKind int
+
+const (
+	kindRead verbKind = iota
+	kindWrite
+	kindAtomic
+	kindRPC
+	verbKinds
+)
+
+// Registry histogram names for NIC service/queue timing, one service
+// histogram per verb class plus one shared queue-wait histogram.
+const (
+	NameNICQueueNs       = "nic.queue_ns"
+	NameNICReadService   = "nic.read.service_ns"
+	NameNICWriteService  = "nic.write.service_ns"
+	NameNICAtomicService = "nic.atomic.service_ns"
+	NameNICRPCService    = "nic.rpc.service_ns"
+)
+
+// nicSampleIntervalNs rate-limits the per-NIC trace counter timeline to
+// one sample per microsecond of virtual time, keeping trace files
+// proportional to simulated time rather than verb count.
+const nicSampleIntervalNs = 1000
 
 // nic models one memory-node NIC as a single shared queueing resource.
 // A verb's service time is the larger of its bandwidth cost
@@ -28,6 +58,15 @@ type nic struct {
 	bytesOut atomic.Int64 // read from the MN
 	queuedNs atomic.Int64 // total time verbs spent waiting for the NIC
 	servedNs atomic.Int64 // total service time consumed
+
+	// Observability (nil when no sink is attached; see Fabric.SetObserver).
+	// svcHist is indexed by verbKind. lastSampleNs gates the trace
+	// counter timeline and is guarded by mu.
+	svcHist      [verbKinds]*obs.Histogram
+	queueHist    *obs.Histogram
+	tr           *obs.Tracer
+	trName       string
+	lastSampleNs int64
 }
 
 func newNIC(cfg Config) *nic {
@@ -37,9 +76,35 @@ func newNIC(cfg Config) *nic {
 	}
 }
 
+// setObserver resolves the NIC's instruments from a sink. The service
+// and queue histograms aggregate over all MNs; the trace counter
+// timeline is per NIC ("nic<mn>").
+func (n *nic) setObserver(mn int, s *obs.Sink) {
+	r := s.Registry()
+	n.svcHist[kindRead] = r.Histogram(NameNICReadService)
+	n.svcHist[kindWrite] = r.Histogram(NameNICWriteService)
+	n.svcHist[kindAtomic] = r.Histogram(NameNICAtomicService)
+	n.svcHist[kindRPC] = r.Histogram(NameNICRPCService)
+	n.queueHist = r.Histogram(NameNICQueueNs)
+	n.tr = s.Tracer()
+	n.trName = fmt.Sprintf("nic%d", mn)
+}
+
+// sampleLocked decides (under n.mu) whether to emit a timeline sample.
+func (n *nic) sampleLocked(completion int64) bool {
+	if n.tr == nil {
+		return false
+	}
+	if completion-n.lastSampleNs < nicSampleIntervalNs {
+		return false
+	}
+	n.lastSampleNs = completion
+	return true
+}
+
 // serve charges one verb of the given payload size arriving at the given
 // virtual time and returns its completion time at the NIC.
-func (n *nic) serve(arrival int64, payload int) int64 {
+func (n *nic) serve(kind verbKind, arrival int64, payload int) int64 {
 	service := n.nsPerOp
 	if bw := float64(payload) * n.nsPerByte; bw > service {
 		service = bw
@@ -56,11 +121,20 @@ func (n *nic) serve(arrival int64, payload int) int64 {
 	}
 	completion := start + sNs
 	n.freeAt = completion
+	sample := n.sampleLocked(completion)
 	n.mu.Unlock()
 
 	n.verbs.Add(1)
 	n.queuedNs.Add(start - arrival)
 	n.servedNs.Add(sNs)
+	n.svcHist[kind].Observe(sNs)
+	n.queueHist.Observe(start - arrival)
+	if sample {
+		n.tr.CounterSample(n.trName, completion, map[string]float64{
+			"backlog_ns": float64(completion - arrival),
+			"queued_ns":  float64(start - arrival),
+		})
+	}
 	return completion
 }
 
@@ -74,9 +148,10 @@ func (n *nic) serve(arrival int64, payload int) int64 {
 // queued_k = (start - arrival) + sum(service_0..service_{k-1}).
 // This keeps NICStats.QueuedNs/ServedNs comparable between batched and
 // unbatched runs of the same verb stream.
-func (n *nic) serveBatch(arrival int64, payloads []int) int64 {
+func (n *nic) serveBatch(kind verbKind, arrival int64, payloads []int) int64 {
 	var total, queuedInBatch int64
-	for _, p := range payloads {
+	services := make([]int64, len(payloads))
+	for i, p := range payloads {
 		service := n.nsPerOp
 		if bw := float64(p) * n.nsPerByte; bw > service {
 			service = bw
@@ -85,6 +160,7 @@ func (n *nic) serveBatch(arrival int64, payloads []int) int64 {
 		if sNs < 1 {
 			sNs = 1
 		}
+		services[i] = sNs
 		queuedInBatch += total // this segment waits behind its predecessors
 		total += sNs
 	}
@@ -96,11 +172,26 @@ func (n *nic) serveBatch(arrival int64, payloads []int) int64 {
 	}
 	completion := start + total
 	n.freeAt = completion
+	sample := n.sampleLocked(completion)
 	n.mu.Unlock()
 
 	n.verbs.Add(int64(len(payloads)))
 	n.queuedNs.Add((start-arrival)*int64(len(payloads)) + queuedInBatch)
 	n.servedNs.Add(total)
+	if h := n.svcHist[kind]; h != nil {
+		var behind int64
+		for _, sNs := range services {
+			h.Observe(sNs)
+			n.queueHist.Observe(start - arrival + behind)
+			behind += sNs
+		}
+	}
+	if sample {
+		n.tr.CounterSample(n.trName, completion, map[string]float64{
+			"backlog_ns": float64(completion - arrival),
+			"queued_ns":  float64(start - arrival),
+		})
+	}
 	return completion
 }
 

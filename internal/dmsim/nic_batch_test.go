@@ -19,9 +19,9 @@ func TestServeBatchAccountingMatchesServe(t *testing.T) {
 		const arrival = int64(100)
 		var lastSeq int64
 		for _, p := range payloads {
-			lastSeq = a.serve(arrival, p)
+			lastSeq = a.serve(kindRead, arrival, p)
 		}
-		lastBatch := b.serveBatch(arrival, payloads)
+		lastBatch := b.serveBatch(kindRead, arrival, payloads)
 
 		if lastSeq != lastBatch {
 			t.Fatalf("backlog %d: completion %d (sequential) != %d (batched)", backlog, lastSeq, lastBatch)
@@ -45,7 +45,7 @@ func TestServeBatchQueuedNsZeroLoad(t *testing.T) {
 	cfg := DefaultConfig()
 	n := newNIC(cfg)
 	perOp := int64(1e9 / cfg.IOPS)
-	n.serveBatch(0, []int{8, 8, 8})
+	n.serveBatch(kindRead, 0, []int{8, 8, 8})
 	s := n.stats()
 	// Segment 0 waits 0, segment 1 waits one service, segment 2 waits two.
 	if want := 3 * perOp; s.QueuedNs != want {

@@ -1,0 +1,131 @@
+package dmsim
+
+import (
+	"testing"
+
+	"chime/internal/obs"
+)
+
+func obsTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MNs = 2
+	cfg.MNSize = 1 << 20
+	return cfg
+}
+
+// TestResetStatsPinsPostedAndMaxInflight pins the ResetStats contract
+// for the async-layer counters: Posted restarts at zero for the new
+// window, while MaxInflight is re-seeded to the current pipeline depth
+// so verbs still in flight count toward the new window's maximum.
+func TestResetStatsPinsPostedAndMaxInflight(t *testing.T) {
+	f := MustNewFabric(obsTestConfig())
+	c := f.NewClient()
+	buf := make([]byte, 64)
+
+	h1, err := c.PostRead(GAddr{MN: 0, Off: 64}, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := c.PostRead(GAddr{MN: 0, Off: 128}, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Posted != 2 || st.MaxInflight != 2 {
+		t.Fatalf("pre-reset stats = %+v", st)
+	}
+
+	c.ResetStats()
+	st := c.Stats()
+	if st.Posted != 0 {
+		t.Fatalf("Posted after reset = %d, want 0", st.Posted)
+	}
+	if st.MaxInflight != 2 {
+		t.Fatalf("MaxInflight after reset = %d, want 2 (re-seeded to in-flight depth)", st.MaxInflight)
+	}
+	if st.Reads != 0 || st.Trips != 0 || st.BytesRead != 0 {
+		t.Fatalf("traffic counters not zeroed: %+v", st)
+	}
+
+	c.Poll(h1)
+	c.Poll(h2)
+	if st := c.Stats(); st.MaxInflight != 2 {
+		t.Fatalf("MaxInflight after drain = %d, want 2", st.MaxInflight)
+	}
+
+	// A reset with nothing in flight starts the window entirely at zero.
+	c.ResetStats()
+	if st := c.Stats(); st.Posted != 0 || st.MaxInflight != 0 {
+		t.Fatalf("idle reset stats = %+v", st)
+	}
+}
+
+// drive issues a fixed mixed verb sequence and returns the client's
+// final virtual clock.
+func drive(t *testing.T, f *Fabric) int64 {
+	t.Helper()
+	c := f.NewClient()
+	buf := make([]byte, 256)
+	for i := 0; i < 50; i++ {
+		off := uint64(64 + (i%8)*256)
+		if err := c.Write(GAddr{MN: uint8(i % 2), Off: off}, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Read(GAddr{MN: uint8(i % 2), Off: off}, buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.CAS(GAddr{MN: 0, Off: 64}, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.AllocRPC(0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	return c.Now()
+}
+
+// TestNICObserverRecords checks that an attached sink sees per-verb
+// service histograms, queue timings, and (when tracing) a per-NIC
+// counter timeline.
+func TestNICObserverRecords(t *testing.T) {
+	f := MustNewFabric(obsTestConfig())
+	s := obs.NewSink(true)
+	f.SetObserver(s)
+	drive(t, f)
+
+	snap := s.Registry().Snapshot()
+	for _, name := range []string{
+		NameNICReadService, NameNICWriteService, NameNICAtomicService, NameNICRPCService, NameNICQueueNs,
+	} {
+		h, ok := snap.Histograms[name]
+		if !ok || h.Count == 0 {
+			t.Fatalf("histogram %q not recorded: %+v", name, snap.Histograms)
+		}
+	}
+	if got := snap.Histograms[NameNICReadService].Count; got != 50 {
+		t.Fatalf("read service samples = %d, want 50", got)
+	}
+	if got := snap.Histograms[NameNICAtomicService].Count; got != 50 {
+		t.Fatalf("atomic service samples = %d, want 50", got)
+	}
+	if s.Tracer().Len() == 0 {
+		t.Fatal("tracing sink recorded no NIC timeline samples")
+	}
+}
+
+// TestObserverNeverAdvancesClocks pins the core obs invariant: the same
+// verb stream produces bit-identical virtual time with and without a
+// sink attached.
+func TestObserverNeverAdvancesClocks(t *testing.T) {
+	plain := MustNewFabric(obsTestConfig())
+	observed := MustNewFabric(obsTestConfig())
+	observed.SetObserver(obs.NewSink(true))
+
+	a := drive(t, plain)
+	b := drive(t, observed)
+	if a != b {
+		t.Fatalf("virtual clock diverged under observation: %d vs %d", a, b)
+	}
+	if a <= 0 {
+		t.Fatal("workload advanced no virtual time")
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a log-bucketed histogram over virtual nanoseconds, good
+// to ~3% relative error: 64 log2 major buckets subdivided into 16
+// linear minor buckets each. It is the generalization of the latency
+// histogram the bench harness grew first; updates are atomic so one
+// histogram can be shared by every simulated client of a run. The zero
+// value is ready to use, and a nil *Histogram is a no-op.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+const histBuckets = 64 * 16
+
+// bucketOf maps a sample to its bucket index. Samples below 1 clamp to
+// bucket 0 (virtual durations are at least 1 ns).
+func bucketOf(ns int64) int {
+	if ns < 1 {
+		ns = 1
+	}
+	l := 63 - bits.LeadingZeros64(uint64(ns))
+	minor := 0
+	if l >= 4 {
+		minor = int((ns >> (uint(l) - 4)) & 15)
+	}
+	idx := l*16 + minor
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// bucketMid returns the representative value reported for a bucket.
+func bucketMid(idx int) int64 {
+	l := idx / 16
+	minor := idx % 16
+	if l < 4 {
+		return int64(1) << uint(l)
+	}
+	base := int64(1) << uint(l)
+	step := base / 16
+	return base + int64(minor)*step + step/2
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one sample. No-op on a nil histogram.
+func (h *Histogram) Observe(ns int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of samples recorded (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Mean returns the exact arithmetic mean of the samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Merge folds o's samples into h. Nil-safe on both sides.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	for i := range h.buckets {
+		if v := o.buckets[i].Load(); v != 0 {
+			h.buckets[i].Add(v)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+}
+
+// Quantile returns the bucket-representative sample at the given
+// quantile (0 < q <= 1); 0 when the histogram is empty or nil. q values
+// outside (0, 1] are clamped.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return bucketMid(i)
+		}
+	}
+	return bucketMid(histBuckets - 1)
+}
+
+// HistogramStats is a serializable summary of a histogram.
+type HistogramStats struct {
+	Count  int64   `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P90Ns  int64   `json:"p90_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	MaxNs  int64   `json:"max_ns"`
+}
+
+// Stats summarizes the histogram. The zero summary is returned for nil
+// or empty histograms.
+func (h *Histogram) Stats() HistogramStats {
+	if h == nil || h.count.Load() == 0 {
+		return HistogramStats{}
+	}
+	return HistogramStats{
+		Count:  h.Count(),
+		MeanNs: h.Mean(),
+		P50Ns:  h.Quantile(0.50),
+		P90Ns:  h.Quantile(0.90),
+		P99Ns:  h.Quantile(0.99),
+		MaxNs:  h.Quantile(1.0),
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// The histogram edge cases the bench harness depends on: empty
+// histograms, single samples, q=1.0 and bucket boundaries (the cases
+// that were implicit while the histogram lived in internal/bench).
+
+func TestHistogramEmpty(t *testing.T) {
+	h := &Histogram{}
+	if got := h.Count(); got != 0 {
+		t.Fatalf("empty Count = %d", got)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if got := h.Mean(); got != 0 {
+		t.Fatalf("empty Mean = %v", got)
+	}
+	if st := h.Stats(); st != (HistogramStats{}) {
+		t.Fatalf("empty Stats = %+v", st)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(100) // must not panic
+	h.Merge(&Histogram{})
+	(&Histogram{}).Merge(h)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("nil histogram must read as empty")
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	// Samples below 16 collapse to power-of-two buckets (~2x error);
+	// from 16 up the 16-way minor split holds ~3% relative error.
+	for _, ns := range []int64{1, 31, 1000, 123456789} {
+		h := &Histogram{}
+		h.Observe(ns)
+		if h.Count() != 1 {
+			t.Fatalf("Count = %d", h.Count())
+		}
+		if h.Mean() != float64(ns) {
+			t.Fatalf("Mean = %v, want %v", h.Mean(), float64(ns))
+		}
+		// Every quantile of a one-sample histogram reports the same
+		// bucket, within the bucketing's relative error (1/16 of the
+		// major bucket, plus the half-step midpoint offset).
+		for _, q := range []float64{0.001, 0.5, 0.99, 1.0} {
+			got := h.Quantile(q)
+			if relErr(got, ns) > 0.10 {
+				t.Fatalf("Quantile(%v) of single sample %d = %d (rel err %.3f)",
+					q, ns, got, relErr(got, ns))
+			}
+		}
+	}
+}
+
+func TestHistogramQuantileOne(t *testing.T) {
+	h := &Histogram{}
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	p100 := h.Quantile(1.0)
+	if relErr(p100, 1000) > 0.10 {
+		t.Fatalf("Quantile(1.0) = %d, want ~1000", p100)
+	}
+	// q > 1 clamps; q <= 0 reads the first non-empty bucket rather than
+	// underflowing.
+	if h.Quantile(2.0) != p100 {
+		t.Fatalf("Quantile(2.0) = %d, want %d", h.Quantile(2.0), p100)
+	}
+	if got := h.Quantile(0); relErr(got, 1) > 1.0 {
+		t.Fatalf("Quantile(0) = %d, want first bucket", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// Samples below 1 clamp to the first bucket.
+	h := &Histogram{}
+	h.Observe(0)
+	h.Observe(-5)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Quantile(1.0); got != 1 {
+		t.Fatalf("clamped samples land at %d, want bucket mid 1", got)
+	}
+
+	// Exact powers of two sit at major-bucket starts; the reported mid
+	// must stay within the minor-bucket width.
+	for shift := uint(0); shift < 62; shift++ {
+		ns := int64(1) << shift
+		h := &Histogram{}
+		h.Observe(ns)
+		got := h.Quantile(0.5)
+		if relErr(got, ns) > 0.10 {
+			t.Fatalf("power-of-two %d reported as %d (rel err %.3f)",
+				ns, got, relErr(got, ns))
+		}
+		// One below the boundary must not land in a higher bucket than
+		// the boundary itself.
+		if ns > 2 {
+			h2 := &Histogram{}
+			h2.Observe(ns - 1)
+			if h2.Quantile(0.5) > got {
+				t.Fatalf("sample %d reported above sample %d", ns-1, ns)
+			}
+		}
+	}
+
+	// The top of the int64 range must not index out of bounds.
+	h = &Histogram{}
+	h.Observe(math.MaxInt64)
+	if h.Count() != 1 || h.Quantile(1.0) <= 0 {
+		t.Fatal("MaxInt64 sample mishandled")
+	}
+}
+
+func TestHistogramMergeAndQuantiles(t *testing.T) {
+	a, b := &Histogram{}, &Histogram{}
+	for i := 0; i < 900; i++ {
+		a.Observe(100)
+	}
+	for i := 0; i < 100; i++ {
+		b.Observe(100000)
+	}
+	a.Merge(b)
+	if a.Count() != 1000 {
+		t.Fatalf("merged Count = %d", a.Count())
+	}
+	if p50 := a.Quantile(0.50); relErr(p50, 100) > 0.10 {
+		t.Fatalf("merged p50 = %d, want ~100", p50)
+	}
+	if p99 := a.Quantile(0.999); relErr(p99, 100000) > 0.10 {
+		t.Fatalf("merged p99.9 = %d, want ~100000", p99)
+	}
+	wantMean := (900*100.0 + 100*100000.0) / 1000.0
+	if math.Abs(a.Mean()-wantMean) > 1e-9 {
+		t.Fatalf("merged Mean = %v, want %v", a.Mean(), wantMean)
+	}
+}
+
+func relErr(got, want int64) float64 {
+	return math.Abs(float64(got)-float64(want)) / float64(want)
+}

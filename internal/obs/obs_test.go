@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilSafetyEverywhere(t *testing.T) {
+	// The whole point of the layer: a nil sink must make every
+	// instrumented call a no-op rather than a panic.
+	var s *Sink
+	if s.Registry() != nil || s.Tracer() != nil {
+		t.Fatal("nil sink must hand out nil channels")
+	}
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Add(1)
+	g.Set(9)
+	h.Observe(3)
+	if c.Load() != 0 || g.Load() != 0 || g.Max() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Names()) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+
+	ins := ResolveIndex(nil)
+	ins.Retries.Inc()
+	ins.TornReads.Add(2)
+	sp := ins.Tracer.Begin("op", "idx", 1, 0)
+	sp.Arg("k", 1)
+	sp.End(10)
+	ins.Tracer.Instant("x", "idx", 1, 5)
+	ins.Tracer.CounterSample("nic", 5, map[string]float64{"v": 1})
+	if ins.Tracer.Len() != 0 {
+		t.Fatal("nil tracer must buffer nothing")
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("Counter must be stable per name")
+	}
+	r.Counter("a").Add(3)
+	r.Counter("a").Inc()
+	r.Gauge("g").Add(5)
+	r.Gauge("g").Add(-2)
+	r.Histogram("h").Observe(100)
+
+	snap := r.Snapshot()
+	if snap.Counters["a"] != 4 {
+		t.Fatalf("counter a = %d", snap.Counters["a"])
+	}
+	if gv := snap.Gauges["g"]; gv.Value != 3 || gv.Max != 5 {
+		t.Fatalf("gauge g = %+v", gv)
+	}
+	if snap.Histograms["h"].Count != 1 {
+		t.Fatalf("hist h = %+v", snap.Histograms["h"])
+	}
+
+	r.Counter("a").Add(10)
+	if d := r.Snapshot().CounterDelta(snap, "a"); d != 10 {
+		t.Fatalf("CounterDelta = %d", d)
+	}
+	if d := r.Snapshot().CounterDelta(snap, "missing"); d != 0 {
+		t.Fatalf("missing CounterDelta = %d", d)
+	}
+}
+
+func TestInstrumentsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(int64(i + 1))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 8000 {
+		t.Fatalf("counter = %d", c.Load())
+	}
+	if g.Load() != 0 || g.Max() < 1 || g.Max() > 8 {
+		t.Fatalf("gauge = %d max %d", g.Load(), g.Max())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("hist count = %d", h.Count())
+	}
+}
+
+func TestResolveIndexNames(t *testing.T) {
+	s := NewSink(true)
+	ins := ResolveIndex(s)
+	if ins.Tracer == nil {
+		t.Fatal("traced sink must resolve a tracer")
+	}
+	ins.Retries.Inc()
+	ins.WCCombined.Add(7)
+	snap := s.Registry().Snapshot()
+	if snap.Counters[NameRetry] != 1 || snap.Counters[NameWCCombined] != 7 {
+		t.Fatalf("instrument names not registered: %+v", snap.Counters)
+	}
+	if ResolveIndex(NewSink(false)).Tracer != nil {
+		t.Fatal("untraced sink must resolve a nil tracer")
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+)
+
+// Registry is a named collection of counters, gauges and histograms.
+// Lookup is mutex-protected and intended for construction time only:
+// hot paths hold the returned instrument pointers. A nil *Registry
+// hands out nil instruments, which are themselves no-ops.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeValue is a snapshot of one gauge.
+type GaugeValue struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry,
+// serializable as the flat metrics JSON the bench harness emits.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters"`
+	Gauges     map[string]GaugeValue     `json:"gauges"`
+	Histograms map[string]HistogramStats `json:"histograms"`
+}
+
+// Snapshot copies the current instrument values. A nil registry yields
+// an empty (but non-nil-mapped) snapshot so callers can index freely.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]GaugeValue{},
+		Histograms: map[string]HistogramStats{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counts {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = GaugeValue{Value: g.Load(), Max: g.Max()}
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Stats()
+	}
+	return s
+}
+
+// CounterDelta returns s.Counters[name] - prev.Counters[name], treating
+// absent names as zero — the per-phase delta the bench harness folds
+// into each experiment row.
+func (s Snapshot) CounterDelta(prev Snapshot, name string) int64 {
+	return s.Counters[name] - prev.Counters[name]
+}
+
+// MarshalJSON renders the snapshot with sorted keys (encoding/json
+// already sorts map keys; this exists to pin the schema in one place).
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot
+	return json.Marshal(alias(s))
+}
+
+// Names returns every instrument name in the snapshot, sorted — handy
+// for stable test output.
+func (s Snapshot) Names() []string {
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Tracer collects timestamped events in Chrome trace_event format
+// (loadable in about:tracing / Perfetto). Timestamps are dmsim virtual
+// nanoseconds supplied by the caller — the tracer never reads a host
+// clock, so traces are deterministic in virtual time.
+//
+// Appends are mutex-protected; tracing is opt-in and its cost is only
+// paid when a tracer is attached. The event buffer is bounded
+// (MaxEvents); once full, further events are counted as dropped rather
+// than growing without limit.
+type Tracer struct {
+	mu      sync.Mutex
+	events  []traceEvent
+	dropped int64
+}
+
+// MaxEvents bounds the trace buffer (~a few hundred MB of JSON at the
+// limit, far beyond any smoke run).
+const MaxEvents = 1 << 21
+
+// traceEvent is one Chrome trace_event entry. Ph "X" is a complete
+// span, "i" an instant, "C" a counter sample. Ts/Dur are microseconds
+// (the format's unit); fractional values carry the nanosecond digits.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+	S    string         `json:"s,omitempty"` // instant scope
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+func usFromNs(ns int64) float64 { return float64(ns) / 1e3 }
+
+func (t *Tracer) append(ev traceEvent) {
+	t.mu.Lock()
+	if len(t.events) >= MaxEvents {
+		t.dropped++
+	} else {
+		t.events = append(t.events, ev)
+	}
+	t.mu.Unlock()
+}
+
+// Span is one in-flight traced operation. A nil *Span (from a nil
+// tracer) ignores every call.
+type Span struct {
+	t       *Tracer
+	name    string
+	cat     string
+	tid     int64
+	startNs int64
+	args    map[string]any
+}
+
+// Begin opens a span at the given virtual time on the given simulated
+// thread (client) id. Returns nil — and costs nothing further — on a
+// nil tracer.
+func (t *Tracer) Begin(name, cat string, tid, startNs int64) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, cat: cat, tid: tid, startNs: startNs}
+}
+
+// Arg attaches a key/value argument shown in the trace viewer.
+func (s *Span) Arg(key string, value any) {
+	if s == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = make(map[string]any, 4)
+	}
+	s.args[key] = value
+}
+
+// End closes the span at the given virtual time, emitting a complete
+// ("X") event.
+func (s *Span) End(endNs int64) {
+	if s == nil {
+		return
+	}
+	dur := endNs - s.startNs
+	if dur < 0 {
+		dur = 0
+	}
+	s.t.append(traceEvent{
+		Name: s.name, Cat: s.cat, Ph: "X",
+		Ts: usFromNs(s.startNs), Dur: usFromNs(dur),
+		Pid: 0, Tid: s.tid, Args: s.args,
+	})
+}
+
+// Instant emits a zero-duration event (thread-scoped).
+func (t *Tracer) Instant(name, cat string, tid, tsNs int64) {
+	if t == nil {
+		return
+	}
+	t.append(traceEvent{Name: name, Cat: cat, Ph: "i", Ts: usFromNs(tsNs), Pid: 0, Tid: tid, S: "t"})
+}
+
+// CounterSample emits a counter ("C") event: a named multi-series
+// sample rendered as a stacked timeline by the viewer. Used for the
+// per-NIC utilization/queue-depth timelines.
+func (t *Tracer) CounterSample(name string, tsNs int64, series map[string]float64) {
+	if t == nil {
+		return
+	}
+	args := make(map[string]any, len(series))
+	for k, v := range series {
+		args[k] = v
+	}
+	t.append(traceEvent{Name: name, Ph: "C", Ts: usFromNs(tsNs), Pid: 0, Args: args})
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events were discarded after the buffer
+// filled.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteJSON writes the trace in the Chrome trace_event JSON object
+// format ({"traceEvents": [...]}), which about:tracing and Perfetto
+// load directly.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	var events []traceEvent
+	if t != nil {
+		t.mu.Lock()
+		events = append(events, t.events...)
+		t.mu.Unlock()
+	}
+	if events == nil {
+		events = []traceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ns"})
+}

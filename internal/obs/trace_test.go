@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerChromeFormat(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Begin("chime.search", "idx", 3, 1000)
+	sp.Arg("attempts", 2)
+	sp.End(4500)
+	tr.Instant("retry", "idx", 3, 2000)
+	tr.CounterSample("nic0", 3000, map[string]float64{"backlog_ns": 512})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d events", len(doc.TraceEvents))
+	}
+	span := doc.TraceEvents[0]
+	if span["name"] != "chime.search" || span["ph"] != "X" {
+		t.Fatalf("span event = %v", span)
+	}
+	// ts/dur are microseconds: 1000 ns -> 1 us, 3500 ns -> 3.5 us.
+	if span["ts"].(float64) != 1.0 || span["dur"].(float64) != 3.5 {
+		t.Fatalf("span timing = ts %v dur %v", span["ts"], span["dur"])
+	}
+	if span["args"].(map[string]any)["attempts"].(float64) != 2 {
+		t.Fatalf("span args = %v", span["args"])
+	}
+	if doc.TraceEvents[1]["ph"] != "i" || doc.TraceEvents[2]["ph"] != "C" {
+		t.Fatalf("instant/counter phases = %v / %v",
+			doc.TraceEvents[1]["ph"], doc.TraceEvents[2]["ph"])
+	}
+}
+
+func TestTracerEmptyAndNil(t *testing.T) {
+	var buf bytes.Buffer
+	var tr *Tracer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.TraceEvents == nil || len(doc.TraceEvents) != 0 {
+		t.Fatalf("nil tracer must serialize an empty (non-null) event array: %s", buf.String())
+	}
+}
+
+func TestTracerSpanClampsNegativeDuration(t *testing.T) {
+	tr := NewTracer()
+	tr.Begin("op", "idx", 1, 100).End(50) // virtual clocks never run backward; stay safe anyway
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Dur float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.TraceEvents[0].Dur != 0 {
+		t.Fatalf("negative duration not clamped: %v", doc.TraceEvents[0].Dur)
+	}
+}

@@ -26,6 +26,7 @@ func (c *Client) readGroup(g int) (main, buddy []byte, err error) {
 		}
 		if nodelayout.CheckVersions(main, 0, lay.allCells) != nil ||
 			nodelayout.CheckVersions(buddy, 0, lay.allCells) != nil {
+			c.obs.TornReads.Inc()
 			c.yield()
 			continue
 		}
@@ -44,6 +45,7 @@ func (c *Client) readChained(addr dmsim.GAddr) ([]byte, error) {
 			return nil, err
 		}
 		if nodelayout.CheckVersions(img, 0, lay.allCells) != nil {
+			c.obs.TornReads.Inc()
 			c.yield()
 			continue
 		}
@@ -68,6 +70,9 @@ func (c *Client) findIn(img []byte, key uint64) (int, entry) {
 // ("CHIME-Learned") only the H-entry neighborhoods of the main leaf and
 // its buddy are fetched; otherwise both whole leaves are.
 func (c *Client) Search(key uint64) ([]byte, error) {
+	if sp := c.obs.Tracer.Begin("rolex.search", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
+	}
 	g := c.ix.route(key)
 	c.dc.Advance(150)
 	if c.ix.lay.hop {
@@ -105,6 +110,7 @@ func (c *Client) searchChain(g int, key uint64, chain dmsim.GAddr, fetchHead boo
 		chain = lay.chain(hdr)
 	}
 	for hops := 0; !chain.IsNil() && hops < maxRetries; hops++ {
+		c.obs.SiblingChases.Inc()
 		img, err := c.readChained(chain)
 		if err != nil {
 			return nil, err
@@ -133,6 +139,7 @@ func (c *Client) resolve(e entry, key uint64) ([]byte, error) {
 		if binary.LittleEndian.Uint64(buf[:8]) == key {
 			return buf[8:], nil
 		}
+		c.obs.Retries.Inc()
 		c.yield()
 	}
 	return nil, ErrNotFound
@@ -154,6 +161,7 @@ func (c *Client) lockGroup(g int) error {
 			c.backoff = 0
 			return nil
 		}
+		c.obs.LockBackoffs.Inc()
 		c.yield()
 	}
 	return fmt.Errorf("rolex: group %d lock starved", g)
@@ -225,6 +233,9 @@ func (c *Client) writeEntryAndUnlock(leafAddr dmsim.GAddr, g int, img []byte, sl
 // chained overflow leaf (ROLEX's data-movement constraint keeps it in
 // the group either way, so no retraining is needed).
 func (c *Client) Insert(key uint64, value []byte) error {
+	if sp := c.obs.Tracer.Begin("rolex.insert", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
+	}
 	val, err := c.prepareValue(key, value)
 	if err != nil {
 		return err
@@ -287,6 +298,7 @@ func (c *Client) Insert(key uint64, value []byte) error {
 	}
 
 	// Group exhausted: chain a new overflow leaf onto the last one.
+	c.obs.Splits.Inc()
 	newAddr, err := c.alloc.Alloc(lay.size)
 	if err != nil {
 		c.unlockGroup(g)
@@ -317,6 +329,9 @@ func (c *Client) Insert(key uint64, value []byte) error {
 
 // Update overwrites an existing key, ErrNotFound otherwise.
 func (c *Client) Update(key uint64, value []byte) error {
+	if sp := c.obs.Tracer.Begin("rolex.update", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
+	}
 	val, err := c.prepareValue(key, value)
 	if err != nil {
 		return err
@@ -325,7 +340,12 @@ func (c *Client) Update(key uint64, value []byte) error {
 }
 
 // Delete removes a key.
-func (c *Client) Delete(key uint64) error { return c.modify(key, nil) }
+func (c *Client) Delete(key uint64) error {
+	if sp := c.obs.Tracer.Begin("rolex.delete", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
+	}
+	return c.modify(key, nil)
+}
 
 func (c *Client) modify(key uint64, val *[]byte) error {
 	g := c.ix.route(key)
@@ -397,6 +417,9 @@ type KV struct {
 func (c *Client) Scan(start uint64, count int) ([]KV, error) {
 	if count <= 0 {
 		return nil, nil
+	}
+	if sp := c.obs.Tracer.Begin("rolex.scan", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
 	}
 	g := c.ix.route(start)
 	c.dc.Advance(150)

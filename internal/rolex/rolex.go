@@ -12,6 +12,7 @@ import (
 	"chime/internal/hopscotch"
 	"chime/internal/locktable"
 	"chime/internal/nodelayout"
+	"chime/internal/obs"
 )
 
 // Options configures a ROLEX index.
@@ -345,11 +346,20 @@ type ComputeNode struct {
 	ix    *Index
 	locks *locktable.Table
 	mu    sync.Mutex
+	obs   obs.IndexInstruments
 }
 
 // NewComputeNode returns per-CN state.
 func (ix *Index) NewComputeNode() *ComputeNode {
 	return &ComputeNode{ix: ix, locks: locktable.New()}
+}
+
+// SetObserver attaches an observability sink; clients created afterward
+// count torn reads, lock backoffs and overflow-chain hops into it and
+// emit per-operation trace spans when the sink traces. Call before
+// NewClient. With no sink every instrumented call is a no-op.
+func (cn *ComputeNode) SetObserver(s *obs.Sink) {
+	cn.obs = obs.ResolveIndex(s)
 }
 
 // Client is one ROLEX client; not safe for concurrent use.
@@ -359,6 +369,7 @@ type Client struct {
 	dc      *dmsim.Client
 	alloc   *dmsim.ChunkAllocator
 	backoff int64
+	obs     obs.IndexInstruments
 }
 
 // NewClient creates a client bound to the compute node.
@@ -367,6 +378,7 @@ func (cn *ComputeNode) NewClient() *Client {
 	return &Client{
 		cn: cn, ix: cn.ix, dc: dc,
 		alloc: dmsim.NewChunkAllocator(dc, int(dc.ID())%cn.ix.fabric.MNs()),
+		obs:   cn.obs,
 	}
 }
 

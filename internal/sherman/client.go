@@ -9,6 +9,7 @@ import (
 	"chime/internal/dmsim"
 	"chime/internal/locktable"
 	"chime/internal/nodelayout"
+	"chime/internal/obs"
 )
 
 // node is a decoded internal node: header plus sorted routing entries
@@ -54,6 +55,16 @@ type ComputeNode struct {
 	items  map[dmsim.GAddr]*list.Element
 
 	hits, misses int64
+
+	obs obs.IndexInstruments
+}
+
+// SetObserver attaches an observability sink; clients created afterward
+// count retries, torn reads, lock backoffs and sibling chases into it
+// and emit per-operation trace spans when the sink traces. Call before
+// NewClient. With no sink every instrumented call is a no-op.
+func (cn *ComputeNode) SetObserver(s *obs.Sink) {
+	cn.obs = obs.ResolveIndex(s)
 }
 
 type cacheSlot struct {
@@ -142,6 +153,8 @@ type Client struct {
 	// absorbed into an already-open cycle (per-leaf write combining).
 	wcCycles   int64
 	wcCombined int64
+
+	obs obs.IndexInstruments
 }
 
 // NewClient creates a client bound to the compute node.
@@ -150,6 +163,7 @@ func (cn *ComputeNode) NewClient() *Client {
 	return &Client{
 		cn: cn, ix: cn.ix, dc: dc,
 		alloc: dmsim.NewChunkAllocator(dc, int(dc.ID())%cn.ix.fabric.MNs()),
+		obs:   cn.obs,
 	}
 }
 
@@ -173,6 +187,7 @@ func (c *Client) readNode(lay *layout, addr dmsim.GAddr) ([]byte, header, error)
 			return nil, header{}, err
 		}
 		if err := nodelayout.CheckVersions(img, 0, lay.allCells); err != nil {
+			c.obs.TornReads.Inc()
 			c.ys.yield(c.dc)
 			continue
 		}
@@ -235,6 +250,7 @@ func (c *Client) traverse(key uint64) (dmsim.GAddr, []pathEntry, error) {
 					continue
 				}
 				if !n.hdr.fenceInf && key >= n.hdr.fenceHi && !n.hdr.sibling.IsNil() {
+					c.obs.SiblingChases.Inc()
 					cur = n.hdr.sibling
 					continue
 				}
@@ -256,6 +272,7 @@ func (c *Client) traverse(key uint64) (dmsim.GAddr, []pathEntry, error) {
 			}
 			cur = child
 		}
+		c.obs.Retries.Inc()
 		c.rootAddr = dmsim.NilGAddr
 		c.ys.yield(c.dc)
 	}
@@ -265,6 +282,9 @@ func (c *Client) traverse(key uint64) (dmsim.GAddr, []pathEntry, error) {
 // Search performs a point query, fetching the entire leaf node — the
 // read amplification CHIME's hopscotch leaves eliminate.
 func (c *Client) Search(key uint64) ([]byte, error) {
+	if sp := c.obs.Tracer.Begin("sherman.search", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
+	}
 	for attempt := 0; attempt < maxRetries; attempt++ {
 		leaf, _, err := c.traverse(key)
 		if err != nil {
@@ -272,6 +292,7 @@ func (c *Client) Search(key uint64) ([]byte, error) {
 		}
 		val, err := c.searchLeafChain(leaf, key)
 		if err == errRestart {
+			c.obs.Retries.Inc()
 			c.rootAddr = dmsim.NilGAddr // a split root-leaf invalidates it
 			c.ys.yield(c.dc)
 			continue
@@ -298,6 +319,7 @@ func (c *Client) searchLeafChain(leaf dmsim.GAddr, key uint64) ([]byte, error) {
 			if hdr.sibling.IsNil() {
 				return nil, errRestart
 			}
+			c.obs.SiblingChases.Inc()
 			leaf = hdr.sibling // half-split validation via fence keys
 			continue
 		}
@@ -346,6 +368,7 @@ func (c *Client) lock(addr dmsim.GAddr) error {
 			c.ys.reset()
 			return nil
 		}
+		c.obs.LockBackoffs.Inc()
 		c.ys.yield(c.dc)
 	}
 	return fmt.Errorf("sherman: lock %v starved", addr)
@@ -432,6 +455,9 @@ func (c *Client) prepareValue(key uint64, value []byte) ([]byte, error) {
 
 // Insert adds or overwrites a key (upsert).
 func (c *Client) Insert(key uint64, value []byte) error {
+	if sp := c.obs.Tracer.Begin("sherman.insert", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
+	}
 	val, err := c.prepareValue(key, value)
 	if err != nil {
 		return err
@@ -443,6 +469,7 @@ func (c *Client) Insert(key uint64, value []byte) error {
 		}
 		done, err := c.insertIntoLeaf(leaf, path, key, val)
 		if err == errRestart {
+			c.obs.Retries.Inc()
 			c.rootAddr = dmsim.NilGAddr
 			c.ys.yield(c.dc)
 			continue
@@ -486,6 +513,7 @@ func (c *Client) insertIntoLeaf(leaf dmsim.GAddr, path []pathEntry, key uint64, 
 			if next.IsNil() {
 				return false, errRestart
 			}
+			c.obs.SiblingChases.Inc()
 			leaf = next
 			continue
 		}
@@ -517,6 +545,7 @@ func (c *Client) insertIntoLeaf(leaf dmsim.GAddr, path []pathEntry, key uint64, 
 }
 
 func (c *Client) splitLeaf(leaf dmsim.GAddr, path []pathEntry, img []byte, hdr header) error {
+	c.obs.Splits.Inc()
 	lay := c.ix.leaf
 	var all []entry
 	for i := 0; i < lay.span; i++ {
@@ -570,6 +599,9 @@ func (c *Client) splitLeaf(leaf dmsim.GAddr, path []pathEntry, img []byte, hdr h
 
 // Update overwrites an existing key's value.
 func (c *Client) Update(key uint64, value []byte) error {
+	if sp := c.obs.Tracer.Begin("sherman.update", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
+	}
 	val, err := c.prepareValue(key, value)
 	if err != nil {
 		return err
@@ -578,7 +610,12 @@ func (c *Client) Update(key uint64, value []byte) error {
 }
 
 // Delete removes a key.
-func (c *Client) Delete(key uint64) error { return c.modify(key, nil) }
+func (c *Client) Delete(key uint64) error {
+	if sp := c.obs.Tracer.Begin("sherman.delete", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
+	}
+	return c.modify(key, nil)
+}
 
 func (c *Client) modify(key uint64, val *[]byte) error {
 	lay := c.ix.leaf
@@ -613,6 +650,7 @@ func (c *Client) modify(key uint64, val *[]byte) error {
 					restart = true
 					break
 				}
+				c.obs.SiblingChases.Inc()
 				leaf = next
 				continue
 			}
@@ -630,6 +668,7 @@ func (c *Client) modify(key uint64, val *[]byte) error {
 			c.unlock(leaf)
 			return ErrNotFound
 		}
+		c.obs.Retries.Inc()
 		c.rootAddr = dmsim.NilGAddr
 		c.ys.yield(c.dc)
 	}
@@ -647,6 +686,9 @@ type KV struct {
 func (c *Client) Scan(start uint64, count int) ([]KV, error) {
 	if count <= 0 {
 		return nil, nil
+	}
+	if sp := c.obs.Tracer.Begin("sherman.scan", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
 	}
 	lay := c.ix.leaf
 	for attempt := 0; attempt < maxRetries; attempt++ {
@@ -699,6 +741,7 @@ func (c *Client) Scan(start uint64, count int) ([]KV, error) {
 			leaf = hdr.sibling
 		}
 		if restart {
+			c.obs.Retries.Inc()
 			c.rootAddr = dmsim.NilGAddr
 			c.ys.yield(c.dc)
 			continue

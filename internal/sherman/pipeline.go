@@ -56,6 +56,11 @@ func (c *Client) SearchBatch(keys []uint64, depth int) ([][]byte, []error) {
 	if n == 0 {
 		return vals, errs
 	}
+	if sp := c.obs.Tracer.Begin("sherman.search_batch", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		sp.Arg("keys", n)
+		sp.Arg("depth", depth)
+		defer func() { sp.End(c.dc.Now()) }()
+	}
 	if depth < 1 {
 		depth = 1
 	}
@@ -313,6 +318,7 @@ func (c *Client) finishLeafOp(op *batchOp) {
 
 func (c *Client) restartOp(op *batchOp) {
 	op.restarts++
+	c.obs.Retries.Inc()
 	if op.restarts > maxRetries {
 		c.failOp(op, fmt.Errorf("sherman: SearchBatch(%#x): retries exhausted", op.key))
 		return

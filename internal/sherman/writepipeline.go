@@ -132,6 +132,11 @@ func (c *Client) runWriteBatch(kind writeKind, keys []uint64, values [][]byte, d
 	if depth < 1 {
 		depth = 1
 	}
+	if sp := c.obs.Tracer.Begin("sherman.write_batch", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		sp.Arg("keys", n)
+		sp.Arg("depth", depth)
+		defer func() { sp.End(c.dc.Now()) }()
+	}
 
 	st := &swSched{cycles: make(map[uint64]*wCycle)}
 	var queue []*wOp
@@ -197,6 +202,8 @@ func (c *Client) runWriteBatch(kind writeKind, keys []uint64, values [][]byte, d
 
 	c.wcCycles += st.cyclesN
 	c.wcCombined += st.combined
+	c.obs.WCCycles.Add(st.cyclesN)
+	c.obs.WCCombined.Add(st.combined)
 	return errs
 }
 
@@ -670,6 +677,7 @@ func (c *Client) rearriveWOp(st *swSched, op *wOp, leaf dmsim.GAddr) {
 // of the batch is untouched.
 func (c *Client) restartWOp(st *swSched, op *wOp) {
 	op.restarts++
+	c.obs.Retries.Inc()
 	if op.restarts > maxRetries {
 		c.failWOp(op, fmt.Errorf("sherman: write batch(%#x): retries exhausted", op.key))
 		return

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"chime/internal/dmsim"
+	"chime/internal/obs"
 )
 
 // ComputeNode holds the CN-shared radix-node cache. Unlike the B+-tree
@@ -24,6 +25,16 @@ type ComputeNode struct {
 	items  map[dmsim.GAddr]*list.Element
 
 	hits, misses int64
+
+	obs obs.IndexInstruments
+}
+
+// SetObserver attaches an observability sink; clients created afterward
+// count retries, lock backoffs and structural splits into it and emit
+// per-operation trace spans when the sink traces. Call before
+// NewClient. With no sink every instrumented call is a no-op.
+func (cn *ComputeNode) SetObserver(s *obs.Sink) {
+	cn.obs = obs.ResolveIndex(s)
 }
 
 type cacheSlot struct {
@@ -107,6 +118,8 @@ type Client struct {
 	dc      *dmsim.Client
 	alloc   *dmsim.ChunkAllocator
 	backoff int64
+
+	obs obs.IndexInstruments
 }
 
 // NewClient creates a client bound to this compute node.
@@ -115,6 +128,7 @@ func (cn *ComputeNode) NewClient() *Client {
 	return &Client{
 		cn: cn, ix: cn.ix, dc: dc,
 		alloc: dmsim.NewChunkAllocator(dc, int(dc.ID())%cn.ix.fabric.MNs()),
+		obs:   cn.obs,
 	}
 }
 
@@ -247,6 +261,7 @@ func (c *Client) descend(key uint64) (*node, []step, uint64, error) {
 		if !restart {
 			return nil, nil, 0, fmt.Errorf("smartidx: descend(%#x): path too deep", key)
 		}
+		c.obs.Retries.Inc()
 		c.yield()
 	}
 	return nil, nil, 0, fmt.Errorf("smartidx: descend(%#x) exhausted", key)
@@ -264,6 +279,9 @@ func (c *Client) readLeaf(addr dmsim.GAddr) (uint64, []byte, error) {
 // Search performs a point query: cached radix descent plus one small
 // leaf READ — amplification ≈ 1, SMART's defining property.
 func (c *Client) Search(key uint64) ([]byte, error) {
+	if sp := c.obs.Tracer.Begin("smart.search", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
+	}
 	for attempt := 0; attempt < maxRetries; attempt++ {
 		n, _, child, err := c.descend(key)
 		if err != nil {
@@ -292,6 +310,7 @@ func (c *Client) Search(key uint64) ([]byte, error) {
 		addr, leaf, _ := unpackChild(child)
 		if !leaf {
 			// A concurrent split replaced the leaf with a subtree.
+			c.obs.Retries.Inc()
 			c.cn.cacheDrop(n.addr)
 			c.yield()
 			continue
@@ -302,6 +321,7 @@ func (c *Client) Search(key uint64) ([]byte, error) {
 		}
 		if k != key {
 			// Stale cache or concurrent structural change.
+			c.obs.Retries.Inc()
 			c.cn.cacheDrop(n.addr)
 			if _, err := c.readNodeRemote(n.addr, n.hdr.kind); err != nil {
 				return nil, err
@@ -326,6 +346,7 @@ func (c *Client) lockNode(addr dmsim.GAddr) error {
 			c.backoff = 0
 			return nil
 		}
+		c.obs.LockBackoffs.Inc()
 		c.yield()
 	}
 	return fmt.Errorf("smartidx: lock %v starved", addr)
@@ -377,6 +398,9 @@ func (c *Client) writeLeaf(key uint64, value []byte) (uint64, error) {
 // first (out of place), then published with a slot write under the
 // owning node's lock.
 func (c *Client) Insert(key uint64, value []byte) error {
+	if sp := c.obs.Tracer.Begin("smart.insert", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
+	}
 	leafWord, err := c.writeLeaf(key, value)
 	if err != nil {
 		return err
@@ -388,6 +412,7 @@ func (c *Client) Insert(key uint64, value []byte) error {
 		}
 		done, err := c.install(n, path, child, key, leafWord)
 		if err == errRestart {
+			c.obs.Retries.Inc()
 			c.yield()
 			continue
 		}
@@ -505,6 +530,7 @@ func (c *Client) pickFreeSlot(n *node) (int, bool) {
 // leafSplit replaces a leaf pointer with a new Node4 holding both the
 // existing leaf and the new one, compressed on their common suffix.
 func (c *Client) leafSplit(n *node, slotIdx int, kbyte byte, depth int, exKey uint64, exWord uint64, key uint64, leafWord uint64) error {
+	c.obs.Splits.Inc()
 	ka, kn := keyBytes(exKey), keyBytes(key)
 	common := 0
 	for depth+common < 8 && ka[depth+common] == kn[depth+common] {
@@ -541,6 +567,7 @@ func (c *Client) leafSplit(n *node, slotIdx int, kbyte byte, depth int, exKey ui
 // expand replaces a full node with the next kind up, adding the new
 // leaf, and swings the parent pointer. The old node is invalidated.
 func (c *Client) expand(n *node, path []step, kbyte byte, leafWord uint64) error {
+	c.obs.Splits.Inc()
 	if len(path) == 0 {
 		c.unlockNode(n.addr)
 		return fmt.Errorf("smartidx: root Node256 cannot expand")
@@ -588,6 +615,7 @@ func (c *Client) expand(n *node, path []step, kbyte byte, leafWord uint64) error
 // new Node4 takes over the common part, pointing at an adjusted copy of
 // the old node and at the new leaf.
 func (c *Client) prefixSplit(n *node, path []step, p int, kb [8]byte, leafWord uint64) error {
+	c.obs.Splits.Inc()
 	if len(path) == 0 {
 		c.unlockNode(n.addr)
 		return fmt.Errorf("smartidx: root has no prefix to split")
@@ -674,6 +702,9 @@ func (c *Client) swingParent(parent step, oldAddr dmsim.GAddr, newWord uint64) e
 // Update overwrites an existing key's value out of place: new leaf
 // block, then a pointer swap under the owning node's lock.
 func (c *Client) Update(key uint64, value []byte) error {
+	if sp := c.obs.Tracer.Begin("smart.update", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
+	}
 	leafWord, err := c.writeLeaf(key, value)
 	if err != nil {
 		return err
@@ -688,6 +719,7 @@ func (c *Client) Update(key uint64, value []byte) error {
 		}
 		done, err := c.replaceLeaf(n, key, leafWord, false)
 		if err == errRestart {
+			c.obs.Retries.Inc()
 			c.yield()
 			continue
 		}
@@ -704,6 +736,9 @@ func (c *Client) Update(key uint64, value []byte) error {
 
 // Delete removes a key by clearing its slot.
 func (c *Client) Delete(key uint64) error {
+	if sp := c.obs.Tracer.Begin("smart.delete", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
+	}
 	for attempt := 0; attempt < maxRetries; attempt++ {
 		n, _, child, err := c.descend(key)
 		if err != nil {
@@ -714,6 +749,7 @@ func (c *Client) Delete(key uint64) error {
 		}
 		done, err := c.replaceLeaf(n, key, 0, true)
 		if err == errRestart {
+			c.obs.Retries.Inc()
 			c.yield()
 			continue
 		}
@@ -806,11 +842,15 @@ func (c *Client) Scan(start uint64, count int) ([]KV, error) {
 	if count <= 0 {
 		return nil, nil
 	}
+	if sp := c.obs.Tracer.Begin("smart.scan", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
+	}
 	for attempt := 0; attempt < maxRetries; attempt++ {
 		var out []KV
 		var acc [8]byte
 		err := c.scanNode(c.ix.root, kindN256, acc, start, count, &out)
 		if err == errRestart {
+			c.obs.Retries.Inc()
 			c.yield()
 			continue
 		}
