@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench-pipeline bench-writepipe
+.PHONY: all vet build test race check bench-pipeline bench-writepipe bench-faults chaos
 
 all: check
 
@@ -14,11 +14,18 @@ test:
 	$(GO) test ./...
 
 # The async verb layer, the pipelined clients, the remaining index
-# baselines, the shared instruments and the multi-goroutine harness are
-# the concurrency-sensitive packages; run them under the race detector.
+# baselines, the shared instruments, the fault/chaos plane, the local
+# lock table and the multi-goroutine harness are the
+# concurrency-sensitive packages; run them under the race detector.
 race:
 	$(GO) test -race ./internal/dmsim/... ./internal/core/... ./internal/sherman/... \
-		./internal/smartidx/... ./internal/rolex/... ./internal/obs/... ./internal/bench/...
+		./internal/smartidx/... ./internal/rolex/... ./internal/obs/... ./internal/bench/... \
+		./internal/fault/... ./internal/locktable/...
+
+# The seeded chaos suite alone (crash recovery invariants across all
+# four systems), under the race detector.
+chaos:
+	$(GO) test -race -v -run 'TestChaos' ./internal/fault/
 
 check: vet build test race
 
@@ -29,3 +36,7 @@ bench-pipeline:
 # Regenerate the committed batch-write-depth artifact.
 bench-writepipe:
 	$(GO) run ./cmd/chime-bench -run writepipe -scale small -json BENCH_WRITEPIPE.json
+
+# Regenerate the committed fault-sweep artifact.
+bench-faults:
+	$(GO) run ./cmd/chime-bench -run faults -scale small -json BENCH_FAULTS.json

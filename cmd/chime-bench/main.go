@@ -41,6 +41,9 @@ func main() {
 
 		metricsOut = flag.String("metrics-json", "", "write the unified metrics registry (counters, NIC/latency histograms, per-run rows) as JSON to this file")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON (about:tracing / Perfetto) of per-op spans and NIC timelines to this file")
+
+		faultSeed = flag.Int64("fault-seed", 0, "faults experiment: schedule seed (0 = default)")
+		faultRate = flag.String("fault-rate", "", "faults experiment: comma-separated drop/spike rates (default 0,0.001,0.005,0.02)")
 	)
 	flag.Parse()
 
@@ -195,6 +198,47 @@ func main() {
 			fmt.Printf("wrote %s\n", *jsonOut)
 		}
 		fmt.Printf("---- writepipe done in %v ----\n\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	// The faults experiment takes seed/rate overrides and emits the
+	// BENCH_FAULTS.json artifact; dispatched directly so the structured
+	// rows are available for marshaling.
+	if *run == "faults" {
+		var rates []float64
+		for _, part := range strings.Split(*faultRate, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(part, 64)
+			if err != nil || v < 0 || v >= 1 {
+				fmt.Fprintf(os.Stderr, "bad -fault-rate element %q\n", part)
+				os.Exit(2)
+			}
+			rates = append(rates, v)
+		}
+		fmt.Printf("==== faults: fault-rate sweep with lease recovery (load=%d ops=%d) ====\n", sc.LoadN, sc.Ops)
+		start := time.Now()
+		rows, err := bench.RunFaults(sc, *faultSeed, rates)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faults failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatFaultsRows(rows))
+		if *jsonOut != "" {
+			blob, err := bench.MarshalFaultsJSON(sc, rows)
+			if err == nil {
+				err = os.WriteFile(*jsonOut, blob, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		writeObsArtifacts()
+		fmt.Printf("---- faults done in %v ----\n\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 

@@ -98,6 +98,13 @@ type SystemConfig struct {
 	// (applied to every system by default, as in §5.1).
 	DisableRDWC bool
 
+	// LeaseLocks switches every system's remote locks to lease words so
+	// orphaned locks (crashed holders) are stolen and recovered instead
+	// of spinning forever; LeaseNs overrides the lease length when > 0.
+	// Used by the faults experiment.
+	LeaseLocks bool
+	LeaseNs    int64
+
 	// LoadClients parallelizes the bulk load (default 8).
 	LoadClients int
 
@@ -169,6 +176,14 @@ type Result struct {
 	CombinedWrites     int64
 	WCCycles           int64
 	WCCombinedKeys     int64
+
+	// Fault-plane columns (zero unless faults are injected and the run
+	// has an observer): verb-level transient-fault events per op and the
+	// lease-recovery totals.
+	VerbTimeoutsPerOp float64
+	VerbRetriesPerOp  float64
+	LeaseExpired      int64
+	Recoveries        int64
 }
 
 // CacheHitMissReporter is the optional System interface exposing the
@@ -369,6 +384,10 @@ func Run(sys System, cfg RunConfig) (Result, error) {
 		res.SiblingChasesPerOp = perOp(obs.NameSiblingChase)
 		res.Splits = snap.CounterDelta(snapBefore, obs.NameSplit)
 		res.Merges = snap.CounterDelta(snapBefore, obs.NameMerge)
+		res.VerbTimeoutsPerOp = perOp(dmsim.NameVerbTimeout)
+		res.VerbRetriesPerOp = perOp(dmsim.NameVerbRetry)
+		res.LeaseExpired = snap.CounterDelta(snapBefore, obs.NameLeaseExpired)
+		res.Recoveries = snap.CounterDelta(snapBefore, obs.NameRecovery)
 		cfg.Obs.record(res)
 	}
 	return res, nil

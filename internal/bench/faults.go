@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"chime/internal/fault"
+	"chime/internal/ycsb"
+)
+
+// Faults experiment: YCSB A and B across all four systems under an
+// escalating verb-level fault schedule (dropped completions + latency
+// spikes, injected by internal/fault through the dmsim fault gate),
+// with lease-based lock recovery armed. The clean row (rate 0) runs
+// with NO injector attached, so its numbers are directly comparable to
+// every other experiment; TestFaultsZeroScheduleBitIdentical pins that
+// a zero-rate schedule reproduces it bit for bit.
+
+// FaultRates is the default escalation: fraction of verbs that lose
+// their completion (retried after a timeout) and, independently, that
+// suffer a latency spike.
+var FaultRates = []float64{0, 0.001, 0.005, 0.02}
+
+// faultSpikeNs is the injected spike size: 10x the fabric RTT.
+const faultSpikeNs = 20_000
+
+// faultLeaseNs is the lease length for the sweep — long enough that
+// accumulated fault penalties on a live holder can never look like a
+// crash (see internal/fault's chaos harness for the sizing argument).
+const faultLeaseNs = 10_000_000
+
+// DefaultFaultSeed seeds the sweep's schedules when the caller passes
+// 0; each rate step salts it so escalation steps are independent draws.
+const DefaultFaultSeed = 1000
+
+// FaultRow is one point of the fault sweep, JSON-serializable for the
+// committed BENCH_FAULTS.json artifact.
+type FaultRow struct {
+	System            string  `json:"system"`
+	Mix               string  `json:"mix"`
+	Rate              float64 `json:"rate"`
+	Clients           int     `json:"clients"`
+	Ops               int64   `json:"ops"`
+	ThroughputMops    float64 `json:"throughput_mops"`
+	SlowdownVsClean   float64 `json:"slowdown_vs_clean"`
+	P50Us             float64 `json:"p50_us"`
+	P99Us             float64 `json:"p99_us"`
+	VerbTimeoutsPerOp float64 `json:"verb_timeouts_per_op"`
+	VerbRetriesPerOp  float64 `json:"verb_retries_per_op"`
+	LeaseExpired      int64   `json:"lease_expired"`
+	Recoveries        int64   `json:"recoveries"`
+}
+
+// RunFaults sweeps the fault rate for every system on YCSB A and B.
+// Each (system, mix) pair is built once and the escalation reuses the
+// instance — caches are warm past the first rate, which is the regime
+// the sweep probes (fault tolerance of a running system, not cold
+// start). Rates beyond the first attach a fresh seeded Schedule; the
+// injector is detached before the next pair so the clean rows stay
+// uncontaminated.
+func RunFaults(sc Scale, seed int64, rates []float64) ([]FaultRow, error) {
+	if seed == 0 {
+		seed = DefaultFaultSeed
+	}
+	if len(rates) == 0 {
+		rates = FaultRates
+	}
+	obs := sc.Obs
+	if obs == nil {
+		// The fault columns fold through the observer registry; thread a
+		// private one when the caller didn't ask for metrics capture.
+		obs = NewObserver(false)
+		sc.Obs = obs
+	}
+	var rows []FaultRow
+	for _, name := range HeadToHeadSystems {
+		for _, mix := range []ycsb.Mix{ycsb.WorkloadA, ycsb.WorkloadB} {
+			sys, cfg, err := buildSystem(name, sc, 1, func(c *SystemConfig) {
+				c.LeaseLocks = true
+				c.LeaseNs = faultLeaseNs
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			var clean float64
+			for ri, rate := range rates {
+				if rate > 0 {
+					cfg.Fabric.SetFaultInjector(fault.NewSchedule(fault.Config{
+						Seed:      seed + int64(ri),
+						DropRate:  rate,
+						SpikeRate: rate,
+						SpikeNs:   faultSpikeNs,
+					}))
+				}
+				r, err := runPoint(sys, cfg, mix, sc.Clients, sc.Ops, 17)
+				cfg.Fabric.SetFaultInjector(nil)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s rate=%g: %w", name, mix.Name, rate, err)
+				}
+				if clean == 0 {
+					clean = r.ThroughputMops
+				}
+				rows = append(rows, FaultRow{
+					System:            name,
+					Mix:               mix.Name,
+					Rate:              rate,
+					Clients:           r.Clients,
+					Ops:               r.Ops,
+					ThroughputMops:    r.ThroughputMops,
+					SlowdownVsClean:   clean / r.ThroughputMops,
+					P50Us:             r.P50Us,
+					P99Us:             r.P99Us,
+					VerbTimeoutsPerOp: r.VerbTimeoutsPerOp,
+					VerbRetriesPerOp:  r.VerbRetriesPerOp,
+					LeaseExpired:      r.LeaseExpired,
+					Recoveries:        r.Recoveries,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FormatFaultsRows renders the sweep as an aligned table.
+func FormatFaultsRows(rows []FaultRow) string {
+	out := fmt.Sprintf("%-10s %-4s %7s %8s %10s %9s %9s %9s %10s %10s %8s %6s\n",
+		"system", "mix", "rate", "clients", "Mops", "slowdown", "p50(us)", "p99(us)",
+		"tmo/op", "retry/op", "expired", "recov")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-10s %-4s %7.3f %8d %10.3f %9.2f %9.1f %9.1f %10.4f %10.4f %8d %6d\n",
+			r.System, r.Mix, r.Rate, r.Clients, r.ThroughputMops, r.SlowdownVsClean,
+			r.P50Us, r.P99Us, r.VerbTimeoutsPerOp, r.VerbRetriesPerOp,
+			r.LeaseExpired, r.Recoveries)
+	}
+	return out
+}
+
+// MarshalFaultsJSON renders the rows as the BENCH_FAULTS.json artifact
+// format.
+func MarshalFaultsJSON(sc Scale, rows []FaultRow) ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Experiment string     `json:"experiment"`
+		LoadN      int        `json:"load_n"`
+		Ops        int        `json:"ops"`
+		SpikeNs    int        `json:"spike_ns"`
+		LeaseNs    int        `json:"lease_ns"`
+		Rows       []FaultRow `json:"rows"`
+	}{
+		Experiment: "faults",
+		LoadN:      sc.LoadN,
+		Ops:        sc.Ops,
+		SpikeNs:    faultSpikeNs,
+		LeaseNs:    faultLeaseNs,
+		Rows:       rows,
+	}, "", "  ")
+}
+
+func init() {
+	register(Experiment{ID: "faults", Title: "Fault-rate sweep: transient verb faults with lease recovery armed", Run: Faults})
+}
+
+// Faults is the registered experiment wrapper around RunFaults.
+func Faults(w io.Writer, sc Scale) error {
+	fmt.Fprintf(w, "# Fault sweep: dropped completions + latency spikes per verb, lease locks on\n")
+	rows, err := RunFaults(sc, 0, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, FormatFaultsRows(rows))
+	return nil
+}

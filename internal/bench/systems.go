@@ -207,6 +207,8 @@ func NewCHIME(cfg SystemConfig) (System, error) {
 	opts.PiggybackVacancy = !cfg.DisablePiggyback
 	opts.ReplicateMeta = !cfg.DisableReplication
 	opts.SpeculativeRead = !cfg.DisableSpeculation
+	opts.LeaseLocks = cfg.LeaseLocks
+	opts.LeaseNs = cfg.LeaseNs
 	ix, err := core.Bootstrap(cfg.Fabric, opts)
 	if err != nil {
 		return nil, err
@@ -303,6 +305,8 @@ func NewSherman(cfg SystemConfig) (System, error) {
 	}
 	opts.ValueSize = cfg.ValueSize
 	opts.Indirect = cfg.Indirect
+	opts.LeaseLocks = cfg.LeaseLocks
+	opts.LeaseNs = cfg.LeaseNs
 	ix, err := sherman.Bootstrap(cfg.Fabric, opts)
 	if err != nil {
 		return nil, err
@@ -372,6 +376,8 @@ func (s *smartSystem) CacheBytes() int64 {
 func NewSMART(cfg SystemConfig) (System, error) {
 	opts := smartidx.DefaultOptions()
 	opts.ValueSize = cfg.ValueSize
+	opts.LeaseLocks = cfg.LeaseLocks
+	opts.LeaseNs = cfg.LeaseNs
 	ix, err := smartidx.Bootstrap(cfg.Fabric, opts)
 	if err != nil {
 		return nil, err
@@ -440,6 +446,8 @@ func NewROLEX(cfg SystemConfig) (System, error) {
 	}
 	opts.ValueSize = cfg.ValueSize
 	opts.Indirect = cfg.Indirect
+	opts.LeaseLocks = cfg.LeaseLocks
+	opts.LeaseNs = cfg.LeaseNs
 	if len(cfg.LoadKeys) == 0 {
 		return nil, fmt.Errorf("rolex: needs load keys for pre-training")
 	}

@@ -65,6 +65,19 @@ type Options struct {
 	// mechanism (§4.3).
 	SpeculativeRead bool
 
+	// LeaseLocks stamps an (owner, expiry) lease into every remote lock
+	// acquisition so survivors can detect and steal locks whose holder
+	// crashed (recovery.go). Requires PiggybackVacancy: leases live in
+	// the spare bits of the word the piggyback CAS already swaps. Lease
+	// mode bypasses the same-CN lock table (a local handover would hand
+	// over the holder's lease).
+	LeaseLocks bool
+
+	// LeaseNs is the lease duration in virtual nanoseconds. Zero means
+	// the default (500 µs), far above any critical section so live
+	// holders are never stolen from.
+	LeaseNs int64
+
 	// VarKeys enables the variable-length key API (§4.5): leaf entries
 	// store an 8-byte prefix fingerprint plus a pointer to a chain of
 	// remote blocks holding the full keys and values. Use the *KV
@@ -110,6 +123,12 @@ func (o Options) Validate() error {
 	}
 	if o.VarKeys && o.Indirect {
 		return fmt.Errorf("core: VarKeys and Indirect are mutually exclusive")
+	}
+	if o.LeaseLocks && !o.PiggybackVacancy {
+		return fmt.Errorf("core: LeaseLocks requires PiggybackVacancy (leases ride the piggyback CAS word)")
+	}
+	if o.LeaseNs < 0 {
+		return fmt.Errorf("core: negative LeaseNs")
 	}
 	return nil
 }

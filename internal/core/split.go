@@ -281,16 +281,37 @@ func (c *Client) growRoot(oldLevel uint8, splitKey uint64, rightAddr dmsim.GAddr
 	return true, nil
 }
 
-// lockNode acquires an internal node's plain lock bit.
+// lockNode acquires an internal node's plain lock bit. In lease mode
+// the CAS installs our lease and a lock stuck under an expired lease is
+// stolen; no repair read is needed — every caller re-reads the node
+// under the lock before touching it.
 func (c *Client) lockNode(addr dmsim.GAddr) error {
+	lease := c.ix.opts.LeaseLocks
 	for try := 0; try < maxRetries; try++ {
-		_, ok, err := c.dc.MaskedCAS(addr, 0, lockBit, lockBit, lockBit)
+		var prev uint64
+		var ok bool
+		var err error
+		if lease {
+			prev, ok, err = c.dc.MaskedCAS(addr, 0, c.lockSwapWord(), lockBit, ^uint64(0))
+		} else {
+			prev, ok, err = c.dc.MaskedCAS(addr, 0, lockBit, lockBit, lockBit)
+		}
 		if err != nil {
 			return err
 		}
 		if ok {
 			c.resetBackoff()
 			return nil
+		}
+		if lease {
+			stolen, err := c.tryStealLock(addr, prev)
+			if err != nil {
+				return err
+			}
+			if stolen {
+				c.resetBackoff()
+				return nil
+			}
 		}
 		c.yield()
 	}

@@ -24,6 +24,9 @@ import (
 // followed by a dedicated READ of the word (the extra access Figure 4a
 // measures).
 func (c *Client) acquireLeafLock(leaf dmsim.GAddr) (lockWord, error) {
+	if c.ix.opts.LeaseLocks {
+		return c.acquireLeafLease(leaf)
+	}
 	if word, handover := c.cn.locks.Acquire(c.dc, leaf.Pack()); handover {
 		return decodeLockWord(word), nil
 	}
@@ -69,6 +72,12 @@ func encodeLockBytes(lw lockWord) []byte {
 // payload (vacancy bitmap, argmax) travels with it; otherwise the
 // updated word is written back with the lock bit cleared.
 func (c *Client) unlockLeaf(leaf dmsim.GAddr, lw lockWord) error {
+	if c.ix.opts.LeaseLocks {
+		// Lease mode bypasses the local lock table (recovery.go): write
+		// the payload back with the lock bit (and our lease) cleared.
+		lw.locked = false
+		return c.dc.Write(leafLockAddr(leaf), encodeLockBytes(lw))
+	}
 	lw.locked = true
 	if c.cn.locks.ReleaseHandover(c.dc, leaf.Pack(), lw.encode()) {
 		return nil

@@ -360,7 +360,9 @@ func (c *Client) postCycleLock(st *wpSched, op *writeOp) {
 	addr := leafLockAddr(cy.leaf)
 	var h *dmsim.Completion
 	var err error
-	if c.ix.opts.PiggybackVacancy {
+	if c.ix.opts.LeaseLocks {
+		h, err = c.dc.PostMaskedCAS(addr, 0, c.lockSwapWord(), lockBit, ^uint64(0))
+	} else if c.ix.opts.PiggybackVacancy {
 		h, err = c.dc.PostMaskedCAS(addr, 0, lockBit, lockBit, ^uint64(0))
 	} else {
 		h, err = c.dc.PostMaskedCAS(addr, 0, lockBit, lockBit, lockBit)
@@ -421,6 +423,21 @@ func (c *Client) stepWriteOp(st *wpSched, op *writeOp) {
 		prev, ok := cy.h.CASResult()
 		cy.h = nil
 		if !ok {
+			if c.ix.opts.LeaseLocks {
+				// Synchronous steal attempt: rare (only after a crash),
+				// so dropping out of the pipeline for it is fine.
+				lw, stolen, serr := c.tryStealLeafLease(cy.leaf, prev)
+				if serr != nil {
+					c.failCycle(st, op, serr, false)
+					return
+				}
+				if stolen {
+					c.resetBackoff()
+					cy.lw = lw
+					c.postCycleFetch(st, op)
+					return
+				}
+			}
 			op.casFails++
 			if op.casFails > maxRetries {
 				c.failCycle(st, op, fmt.Errorf("core: leaf %v: lock acquisition starved", cy.leaf), false)

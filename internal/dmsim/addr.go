@@ -16,14 +16,31 @@ var NilGAddr = GAddr{}
 // IsNil reports whether a is the null remote pointer.
 func (a GAddr) IsNil() bool { return a == NilGAddr }
 
-// Add returns the address d bytes past a within the same MN.
-func (a GAddr) Add(d uint64) GAddr { return GAddr{MN: a.MN, Off: a.Off + d} }
+// maxOff is the largest offset a packed remote pointer can carry: Pack
+// keeps 56 bits for the offset (the high byte holds the MN index).
+const maxOff = 1<<56 - 1
+
+// Add returns the address d bytes past a within the same MN. It panics
+// when the sum wraps uint64 or leaves the 56-bit packable range — a
+// silently truncated pointer would corrupt whatever node it aliases, so
+// arithmetic overflow is a simulation bug, never data.
+func (a GAddr) Add(d uint64) GAddr {
+	off := a.Off + d
+	if off < a.Off || off > maxOff {
+		panic(fmt.Sprintf("dmsim: GAddr.Add overflow: %v + 0x%x", a, d))
+	}
+	return GAddr{MN: a.MN, Off: off}
+}
 
 // Pack encodes the address into a single uint64 (high byte = MN) so it
 // can be stored in 8-byte remote pointers, mirroring how DM indexes pack
-// pointers into CAS-able words.
+// pointers into CAS-able words. Offsets past 56 bits cannot round-trip,
+// so Pack panics rather than silently masking them.
 func (a GAddr) Pack() uint64 {
-	return uint64(a.MN)<<56 | (a.Off & ((1 << 56) - 1))
+	if a.Off > maxOff {
+		panic(fmt.Sprintf("dmsim: GAddr.Pack offset 0x%x exceeds 56 bits", a.Off))
+	}
+	return uint64(a.MN)<<56 | a.Off
 }
 
 // UnpackGAddr decodes a packed remote pointer.

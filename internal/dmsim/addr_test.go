@@ -1,0 +1,38 @@
+package dmsim
+
+import "testing"
+
+// The arithmetic helpers must refuse to manufacture addresses that
+// cannot round-trip through an 8-byte packed pointer.
+func TestGAddrAddOverflowPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+
+	// Regression: offsets used to wrap past 2^56 silently, producing a
+	// packed pointer that aliased a different (low) address.
+	mustPanic("Add past 2^56", func() {
+		GAddr{MN: 1, Off: maxOff}.Add(1)
+	})
+	mustPanic("Add wraps uint64", func() {
+		GAddr{MN: 1, Off: 64}.Add(^uint64(0))
+	})
+	mustPanic("Pack oversized", func() {
+		GAddr{MN: 1, Off: maxOff + 1}.Pack()
+	})
+
+	// The boundary itself is fine.
+	a := GAddr{MN: 2, Off: maxOff - 8}.Add(8)
+	if a.Off != maxOff {
+		t.Errorf("Add to boundary: got 0x%x", a.Off)
+	}
+	if got := UnpackGAddr(a.Pack()); got != a {
+		t.Errorf("boundary round trip %v -> %v", a, got)
+	}
+}

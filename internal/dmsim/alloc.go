@@ -20,6 +20,10 @@ func (c *Client) AllocRPC(mnIdx int, size int) (GAddr, error) {
 	if size <= 0 {
 		return NilGAddr, fmt.Errorf("dmsim: AllocRPC size %d", size)
 	}
+	penalty, err := c.faultGate(VerbRPC, mnIdx)
+	if err != nil {
+		return NilGAddr, err
+	}
 	mn := c.f.mns[mnIdx]
 
 	mn.allocMu.Lock()
@@ -34,7 +38,7 @@ func (c *Client) AllocRPC(mnIdx int, size int) (GAddr, error) {
 	mn.allocOff = off + uint64(size)
 	mn.allocMu.Unlock()
 
-	done := mn.nic.serve(kindRPC, c.now+c.issueNs, 64)
+	done := mn.nic.serve(kindRPC, c.now+c.issueNs+penalty, 64)
 	c.finish(done + c.rpcNs)
 
 	c.stats.RPCs++

@@ -123,9 +123,13 @@ func (c *Client) PostRead(a GAddr, buf []byte) (*Completion, error) {
 	if err != nil {
 		return nil, err
 	}
+	penalty, err := c.faultGate(VerbRead, int(a.MN))
+	if err != nil {
+		return nil, err
+	}
 	mn.copyOut(a.Off, buf)
 
-	done := mn.nic.serve(kindRead, c.now+c.issueNs, len(buf))
+	done := mn.nic.serve(kindRead, c.now+c.issueNs+penalty, len(buf))
 	mn.nic.bytesOut.Add(int64(len(buf)))
 
 	c.stats.Reads++
@@ -146,6 +150,10 @@ func (c *Client) PostReadBatch(addrs []GAddr, bufs [][]byte) (*Completion, error
 		return &Completion{c: c, nicDone: c.now - c.rttNs, polled: true}, nil
 	}
 	mn0 := addrs[0].MN
+	penalty, err := c.faultGate(VerbRead, int(mn0))
+	if err != nil {
+		return nil, err
+	}
 	payloads := make([]int, len(addrs))
 	var total int64
 	for i, a := range addrs {
@@ -161,7 +169,7 @@ func (c *Client) PostReadBatch(addrs []GAddr, bufs [][]byte) (*Completion, error
 		total += int64(len(bufs[i]))
 	}
 	mn := c.f.mns[mn0]
-	done := mn.nic.serveBatch(kindRead, c.now+c.issueNs, payloads)
+	done := mn.nic.serveBatch(kindRead, c.now+c.issueNs+penalty, payloads)
 	mn.nic.bytesOut.Add(total)
 
 	c.stats.Reads += int64(len(addrs))
@@ -178,9 +186,13 @@ func (c *Client) PostWrite(a GAddr, data []byte) (*Completion, error) {
 	if err != nil {
 		return nil, err
 	}
+	penalty, err := c.faultGate(VerbWrite, int(a.MN))
+	if err != nil {
+		return nil, err
+	}
 	mn.copyIn(a.Off, data)
 
-	done := mn.nic.serve(kindWrite, c.now+c.issueNs, len(data))
+	done := mn.nic.serve(kindWrite, c.now+c.issueNs+penalty, len(data))
 	mn.nic.bytesIn.Add(int64(len(data)))
 
 	c.stats.Writes++
@@ -200,6 +212,10 @@ func (c *Client) PostWriteBatch(addrs []GAddr, datas [][]byte) (*Completion, err
 		return &Completion{c: c, nicDone: c.now - c.rttNs, polled: true}, nil
 	}
 	mn0 := addrs[0].MN
+	penalty, err := c.faultGate(VerbWrite, int(mn0))
+	if err != nil {
+		return nil, err
+	}
 	payloads := make([]int, len(addrs))
 	var total int64
 	for i, a := range addrs {
@@ -215,7 +231,7 @@ func (c *Client) PostWriteBatch(addrs []GAddr, datas [][]byte) (*Completion, err
 		total += int64(len(datas[i]))
 	}
 	mn := c.f.mns[mn0]
-	done := mn.nic.serveBatch(kindWrite, c.now+c.issueNs, payloads)
+	done := mn.nic.serveBatch(kindWrite, c.now+c.issueNs+penalty, payloads)
 	mn.nic.bytesIn.Add(total)
 
 	c.stats.Writes += int64(len(addrs))
@@ -237,6 +253,10 @@ func (c *Client) PostMaskedCAS(a GAddr, cmp, swap, cmpMask, swapMask uint64) (*C
 	if err != nil {
 		return nil, err
 	}
+	penalty, err := c.faultGate(VerbAtomic, int(a.MN))
+	if err != nil {
+		return nil, err
+	}
 	lk := mn.casLock(a.Off)
 	lk.Lock()
 	word := mn.mem[a.Off : a.Off+8]
@@ -247,8 +267,9 @@ func (c *Client) PostMaskedCAS(a GAddr, cmp, swap, cmpMask, swapMask uint64) (*C
 		binary.LittleEndian.PutUint64(word, next)
 	}
 	lk.Unlock()
+	c.observeCAS(a, ok, cmpMask, swap)
 
-	done := mn.nic.serve(kindAtomic, c.now+c.issueNs, 8)
+	done := mn.nic.serve(kindAtomic, c.now+c.issueNs+penalty, 8)
 
 	c.stats.Atomics++
 	c.stats.Trips++
@@ -267,6 +288,10 @@ func (c *Client) PostFetchAdd(a GAddr, delta uint64) (*Completion, error) {
 	if err != nil {
 		return nil, err
 	}
+	penalty, err := c.faultGate(VerbAtomic, int(a.MN))
+	if err != nil {
+		return nil, err
+	}
 	lk := mn.casLock(a.Off)
 	lk.Lock()
 	word := mn.mem[a.Off : a.Off+8]
@@ -274,7 +299,7 @@ func (c *Client) PostFetchAdd(a GAddr, delta uint64) (*Completion, error) {
 	binary.LittleEndian.PutUint64(word, prev+delta)
 	lk.Unlock()
 
-	done := mn.nic.serve(kindAtomic, c.now+c.issueNs, 8)
+	done := mn.nic.serve(kindAtomic, c.now+c.issueNs+penalty, 8)
 
 	c.stats.Atomics++
 	c.stats.Trips++

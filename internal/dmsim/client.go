@@ -47,6 +47,13 @@ type Client struct {
 	rttNs   int64
 	issueNs int64
 	rpcNs   int64
+
+	// Fault plane (fault.go): per-attempt verb sequence for
+	// deterministic schedules, the retry policy, and the crash latch.
+	verbSeq      int64
+	timeoutNs    int64
+	faultRetries int
+	crashed      bool
 }
 
 // NewClient registers a new client on the fabric. Its clock starts at
@@ -54,13 +61,23 @@ type Client struct {
 // client created after a bulk-load phase joins "now" rather than
 // queueing behind history.
 func (f *Fabric) NewClient() *Client {
+	timeout := f.cfg.VerbTimeout.Nanoseconds()
+	if timeout <= 0 {
+		timeout = defaultVerbTimeoutNs
+	}
+	retries := f.cfg.MaxVerbRetries
+	if retries <= 0 {
+		retries = defaultMaxVerbRetries
+	}
 	return &Client{
-		f:       f,
-		id:      f.clientSeq.Add(1),
-		now:     f.Frontier(),
-		rttNs:   f.cfg.BaseRTT.Nanoseconds(),
-		issueNs: f.cfg.IssueOverhead.Nanoseconds(),
-		rpcNs:   f.cfg.RPCServiceTime.Nanoseconds(),
+		f:            f,
+		id:           f.clientSeq.Add(1),
+		now:          f.Frontier(),
+		rttNs:        f.cfg.BaseRTT.Nanoseconds(),
+		issueNs:      f.cfg.IssueOverhead.Nanoseconds(),
+		rpcNs:        f.cfg.RPCServiceTime.Nanoseconds(),
+		timeoutNs:    timeout,
+		faultRetries: retries,
 	}
 }
 

@@ -59,6 +59,17 @@ type Config struct {
 	// a one-sided verb.
 	RPCServiceTime time.Duration
 
+	// VerbTimeout is the client-side completion timeout the
+	// fault-injection retry policy charges per transparent repost
+	// (fault.go). Zero selects the default (10 µs). Irrelevant unless a
+	// FaultInjector is attached.
+	VerbTimeout time.Duration
+
+	// MaxVerbRetries bounds the transparent reposts of a faulted verb
+	// before the typed error (ErrTimeout, ErrNICUnavailable, ErrMNDown)
+	// surfaces. Zero selects the default (8).
+	MaxVerbRetries int
+
 	// ChunkBytes is the unit handed out by the allocation RPC and
 	// sub-allocated client-side. CHIME uses 16 MB chunks (§4.2.2);
 	// benchmark fleets with hundreds of simulated clients may shrink it
@@ -97,8 +108,11 @@ func (c Config) Validate() error {
 	if c.IOPS <= 0 {
 		return fmt.Errorf("dmsim: IOPS must be positive, got %g", c.IOPS)
 	}
-	if c.BaseRTT < 0 || c.IssueOverhead < 0 || c.RPCServiceTime < 0 {
+	if c.BaseRTT < 0 || c.IssueOverhead < 0 || c.RPCServiceTime < 0 || c.VerbTimeout < 0 {
 		return fmt.Errorf("dmsim: negative latency parameter")
+	}
+	if c.MaxVerbRetries < 0 {
+		return fmt.Errorf("dmsim: negative MaxVerbRetries")
 	}
 	if c.ChunkBytes < 0 {
 		return fmt.Errorf("dmsim: negative ChunkBytes")

@@ -75,6 +75,16 @@ type Fabric struct {
 	gate *timeGate
 
 	clientSeq atomic.Int64
+
+	// Fault plane (fault.go). inj is read on every verb; set it only
+	// while no verbs are in flight (SetFaultInjector).
+	inj   FaultInjector
+	ftObs faultObs
+
+	ftTimeouts atomic.Int64
+	ftRetries  atomic.Int64
+	ftCrashes  atomic.Int64
+	ftFailures atomic.Int64
 }
 
 // NewFabric builds a fabric from the configuration.
@@ -123,6 +133,12 @@ func (f *Fabric) SetObserver(s *obs.Sink) {
 	}
 	for i, m := range f.mns {
 		m.nic.setObserver(i, s)
+	}
+	r := s.Registry()
+	f.ftObs = faultObs{
+		timeouts: r.Counter(NameVerbTimeout),
+		retries:  r.Counter(NameVerbRetry),
+		delay:    r.Histogram(NameFaultDelay),
 	}
 }
 

@@ -1,0 +1,244 @@
+package dmsim
+
+import (
+	"errors"
+
+	"chime/internal/obs"
+)
+
+// Fault-injection plane. The fabric stays fault-free by default; an
+// attached FaultInjector is consulted once per verb issue attempt (at
+// post time, where the NIC is charged and data moves) and can impose
+// five failure modes:
+//
+//   - Latency spike: the verb completes ExtraLatencyNs late. Pure
+//     timing; no error surfaces.
+//   - Dropped completion: the verb's completion is lost. The client
+//     waits out one VerbTimeout of virtual time and transparently
+//     reposts, up to MaxVerbRetries times, then fails with ErrTimeout.
+//   - Transient NIC unavailability: the post is rejected; same
+//     timeout-and-repost policy, terminal error ErrNICUnavailable.
+//   - MN blackout: the target memory node is dark. Each retry advances
+//     the effective issue time by one VerbTimeout, so a short blackout
+//     window is ridden out by the retry budget and a long one surfaces
+//     as ErrMNDown.
+//   - Client crash: the client is torn down. The failing verb and every
+//     subsequent verb return ErrClientCrashed; no data moves after the
+//     crash point, so a mid-protocol victim leaves remote state exactly
+//     as its last completed verb wrote it (possibly holding locks).
+//
+// Transient faults are absorbed at post time: the accumulated penalty
+// rides on the completion's NIC-done time, so synchronous verbs and
+// async Poll both observe the verb landing late — the fault surface of
+// the async path is the late completion plus the typed error from the
+// post. Decisions are the injector's; schedules driven purely by
+// (seed, client, per-client sequence, virtual time) make every fault
+// deterministic and independent of host scheduling.
+
+// Typed verb-fault errors. Transparent retries absorb transient faults;
+// these surface only when the retry budget is exhausted (or, for
+// ErrClientCrashed, forever after the crash point).
+var (
+	// ErrTimeout reports a verb whose completion was lost more times
+	// than the retry budget allows.
+	ErrTimeout = errors.New("dmsim: verb timed out")
+
+	// ErrNICUnavailable reports a verb rejected by a transiently
+	// unavailable NIC beyond the retry budget.
+	ErrNICUnavailable = errors.New("dmsim: NIC unavailable")
+
+	// ErrMNDown reports a verb aimed at a blacked-out memory node that
+	// stayed dark past the retry budget.
+	ErrMNDown = errors.New("dmsim: memory node down")
+
+	// ErrClientCrashed reports a verb issued by a crashed client. Once
+	// a client crashes, every verb it issues fails with this error.
+	ErrClientCrashed = errors.New("dmsim: client crashed")
+)
+
+// VerbClass is the coarse verb taxonomy the injector keys decisions on.
+type VerbClass int
+
+const (
+	VerbRead VerbClass = iota
+	VerbWrite
+	VerbAtomic
+	VerbRPC
+)
+
+// VerbInfo describes one verb issue attempt to the injector. Seq is a
+// per-client counter that increments on every attempt (retries re-roll),
+// so rate-based schedules are a pure function of (Client, Seq).
+// Now includes the penalty accumulated by earlier retries of the same
+// verb, letting window-based faults (blackouts) expire mid-retry.
+type VerbInfo struct {
+	Client int64
+	Seq    int64
+	Class  VerbClass
+	MN     int
+	Now    int64
+}
+
+// FaultDecision is the injector's verdict for one issue attempt. At most
+// one failure field should be set; ExtraLatencyNs composes with none.
+type FaultDecision struct {
+	Crash          bool
+	MNDown         bool
+	NICUnavailable bool
+	DropCompletion bool
+	ExtraLatencyNs int64
+}
+
+// CASInfo reports one applied atomic to the injector, after the fact.
+// LockAcquire marks the lock-acquire shape every index in this repo
+// uses (compare mask = just the lock bit, swap sets it), which is what
+// crash-after-N-lock-acquires schedules count.
+type CASInfo struct {
+	Client      int64
+	MN          int
+	Off         uint64
+	Swapped     bool
+	LockAcquire bool
+}
+
+// FaultInjector is consulted by the fabric's verb layer. Implementations
+// must be safe for concurrent use (one call per client goroutine) and
+// must not advance any virtual clock. internal/fault provides the
+// seeded, deterministic implementation.
+type FaultInjector interface {
+	// Decide rules on one verb issue attempt.
+	Decide(v VerbInfo) FaultDecision
+
+	// ObserveCAS reports the outcome of an applied atomic, letting
+	// schedules trigger crashes on the Nth successful lock acquire —
+	// the "died holding a lock" scenario recovery must handle.
+	ObserveCAS(ci CASInfo)
+}
+
+// Registry names of the fault-plane instruments.
+const (
+	// NameVerbTimeout counts completions lost to injected drops (each
+	// cost the client one VerbTimeout of virtual waiting).
+	NameVerbTimeout = "dm.verb_timeout"
+
+	// NameVerbRetry counts transparent verb reposts of any transient
+	// cause (drop, NIC unavailable, MN blackout).
+	NameVerbRetry = "dm.verb_retry"
+
+	// NameFaultDelay is the histogram of per-verb fault-induced delay
+	// (virtual ns): the queue-drain cost of riding out faults.
+	NameFaultDelay = "dm.fault.delay_ns"
+)
+
+// faultObs holds the resolved fault-plane instruments (nil-safe zero
+// value when no sink is attached).
+type faultObs struct {
+	timeouts *obs.Counter
+	retries  *obs.Counter
+	delay    *obs.Histogram
+}
+
+// FaultStats are fabric-level fault counters, tracked independently of
+// any observer sink.
+type FaultStats struct {
+	Timeouts int64 // completions lost to drops
+	Retries  int64 // transparent reposts, all causes
+	Crashes  int64 // clients torn down
+	Failures int64 // verbs that surfaced a typed error after retries
+}
+
+// SetFaultInjector attaches (or, with nil, detaches) the fault plane.
+// Like SetObserver, call it from a single goroutine while no verbs are
+// in flight — typically between a clean load phase and a faulty
+// measurement phase. With no injector attached the verb hot path costs
+// one nil check and behaves bit-identically to a fabric built before
+// this plane existed.
+func (f *Fabric) SetFaultInjector(inj FaultInjector) {
+	f.inj = inj
+}
+
+// FaultStats returns a snapshot of the fabric's fault counters.
+func (f *Fabric) FaultStats() FaultStats {
+	return FaultStats{
+		Timeouts: f.ftTimeouts.Load(),
+		Retries:  f.ftRetries.Load(),
+		Crashes:  f.ftCrashes.Load(),
+		Failures: f.ftFailures.Load(),
+	}
+}
+
+// Crashed reports whether the client has been torn down by a crash
+// fault. A crashed client fails every verb with ErrClientCrashed.
+func (c *Client) Crashed() bool { return c.crashed }
+
+// Default retry policy, applied when the config leaves the knobs zero.
+const (
+	defaultVerbTimeoutNs  = 10_000 // 10 µs: ~5x the default RTT
+	defaultMaxVerbRetries = 8
+)
+
+// faultGate runs the injector's decision loop for one verb. It returns
+// the virtual-ns penalty to add to the verb's NIC arrival (latency
+// spikes plus timeout-and-repost rounds) or the terminal typed error.
+// Called after the time-gate sync and range checks, before any data
+// movement, so a crashed or failed verb leaves remote memory untouched.
+func (c *Client) faultGate(class VerbClass, mn int) (int64, error) {
+	if c.crashed {
+		return 0, ErrClientCrashed
+	}
+	inj := c.f.inj
+	if inj == nil {
+		return 0, nil
+	}
+	var penalty int64
+	for retries := 0; ; retries++ {
+		d := inj.Decide(VerbInfo{Client: c.id, Seq: c.verbSeq, Class: class, MN: mn, Now: c.now + penalty})
+		c.verbSeq++
+		if d.Crash {
+			c.crashed = true
+			c.f.ftCrashes.Add(1)
+			return 0, ErrClientCrashed
+		}
+		if !d.MNDown && !d.NICUnavailable && !d.DropCompletion {
+			if d.ExtraLatencyNs > 0 {
+				penalty += d.ExtraLatencyNs
+			}
+			if penalty > 0 {
+				c.f.ftObs.delay.Observe(penalty)
+			}
+			return penalty, nil
+		}
+		if retries >= c.faultRetries {
+			c.f.ftFailures.Add(1)
+			switch {
+			case d.MNDown:
+				return 0, ErrMNDown
+			case d.NICUnavailable:
+				return 0, ErrNICUnavailable
+			default:
+				return 0, ErrTimeout
+			}
+		}
+		// Transient: the client waits out one verb timeout and reposts.
+		penalty += c.timeoutNs
+		c.f.ftRetries.Add(1)
+		c.f.ftObs.retries.Inc()
+		if d.DropCompletion {
+			c.f.ftTimeouts.Add(1)
+			c.f.ftObs.timeouts.Inc()
+		}
+	}
+}
+
+// observeCAS reports an applied atomic to the injector, if any.
+func (c *Client) observeCAS(a GAddr, swapped bool, cmpMask, swap uint64) {
+	if inj := c.f.inj; inj != nil {
+		inj.ObserveCAS(CASInfo{
+			Client:      c.id,
+			MN:          int(a.MN),
+			Off:         a.Off,
+			Swapped:     swapped,
+			LockAcquire: cmpMask == 1 && swap&1 == 1,
+		})
+	}
+}

@@ -1,0 +1,232 @@
+package dmsim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptInjector replays a fixed sequence of decisions (then clean) and
+// records every CAS it observes.
+type scriptInjector struct {
+	mu        sync.Mutex
+	decisions []FaultDecision
+	seen      []VerbInfo
+	cas       []CASInfo
+}
+
+func (s *scriptInjector) Decide(v VerbInfo) FaultDecision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen = append(s.seen, v)
+	if len(s.decisions) == 0 {
+		return FaultDecision{}
+	}
+	d := s.decisions[0]
+	s.decisions = s.decisions[1:]
+	return d
+}
+
+func (s *scriptInjector) ObserveCAS(ci CASInfo) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cas = append(s.cas, ci)
+}
+
+func faultTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MNSize = 1 << 20
+	return cfg
+}
+
+func TestFaultLatencySpike(t *testing.T) {
+	const spike = 12_345
+	run := func(inj FaultInjector) int64 {
+		f := MustNewFabric(faultTestConfig())
+		f.SetFaultInjector(inj)
+		c := f.NewClient()
+		if err := c.Write(GAddr{Off: 128}, make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+		return c.Now()
+	}
+	base := run(nil)
+	spiked := run(&scriptInjector{decisions: []FaultDecision{{ExtraLatencyNs: spike}}})
+	if got := spiked - base; got != spike {
+		t.Fatalf("spike delayed completion by %d ns, want %d", got, spike)
+	}
+}
+
+func TestFaultDropRetriesThenSucceeds(t *testing.T) {
+	cfg := faultTestConfig()
+	cfg.VerbTimeout = 10 * time.Microsecond
+	f := MustNewFabric(cfg)
+	inj := &scriptInjector{decisions: []FaultDecision{
+		{DropCompletion: true},
+		{DropCompletion: true},
+	}}
+	f.SetFaultInjector(inj)
+	c := f.NewClient()
+
+	// Baseline clean verb on an identical fabric for the timing delta
+	// (a shared fabric would couple the two clients through the NIC).
+	ref := MustNewFabric(cfg).NewClient()
+	if err := ref.Read(GAddr{Off: 128}, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Read(GAddr{Off: 128}, make([]byte, 64)); err != nil {
+		t.Fatalf("two drops inside the retry budget must succeed: %v", err)
+	}
+	if got, want := c.Now()-ref.Now(), 2*cfg.VerbTimeout.Nanoseconds(); got != want {
+		t.Fatalf("two dropped completions cost %d ns, want %d", got, want)
+	}
+	st := f.FaultStats()
+	if st.Timeouts != 2 || st.Retries != 2 || st.Failures != 0 || st.Crashes != 0 {
+		t.Fatalf("stats = %+v, want 2 timeouts / 2 retries", st)
+	}
+	// Each retry re-rolled the decision: 3 attempts, distinct sequence
+	// numbers, penalty visible in Now.
+	if len(inj.seen) != 3 {
+		t.Fatalf("injector consulted %d times, want 3", len(inj.seen))
+	}
+	if inj.seen[1].Seq != inj.seen[0].Seq+1 || inj.seen[2].Now <= inj.seen[1].Now {
+		t.Fatalf("retries must advance Seq and Now: %+v", inj.seen)
+	}
+}
+
+func TestFaultTerminalErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		d    FaultDecision
+		want error
+	}{
+		{"drop", FaultDecision{DropCompletion: true}, ErrTimeout},
+		{"nic", FaultDecision{NICUnavailable: true}, ErrNICUnavailable},
+		{"mn", FaultDecision{MNDown: true}, ErrMNDown},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := faultTestConfig()
+			cfg.MaxVerbRetries = 2
+			f := MustNewFabric(cfg)
+			// Endless copies of the same decision: exhausts the budget.
+			decisions := make([]FaultDecision, 16)
+			for i := range decisions {
+				decisions[i] = tc.d
+			}
+			f.SetFaultInjector(&scriptInjector{decisions: decisions})
+			c := f.NewClient()
+			err := c.Write(GAddr{Off: 128}, make([]byte, 8))
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+			if st := f.FaultStats(); st.Failures != 1 {
+				t.Fatalf("stats = %+v, want 1 failure", st)
+			}
+		})
+	}
+}
+
+func TestFaultBlackoutWindowRiddenOut(t *testing.T) {
+	// An injector that blacks the MN out for a virtual-time window: the
+	// retry policy's growing Now rides past the window edge and the verb
+	// completes instead of erroring.
+	cfg := faultTestConfig()
+	cfg.VerbTimeout = 10 * time.Microsecond
+	f := MustNewFabric(cfg)
+	end := f.Frontier() + 25_000 // < MaxVerbRetries * VerbTimeout
+	f.SetFaultInjector(windowInjector{end: end})
+	c := f.NewClient()
+	if err := c.Read(GAddr{Off: 128}, make([]byte, 64)); err != nil {
+		t.Fatalf("short blackout must be ridden out: %v", err)
+	}
+	if c.Now() <= end {
+		t.Fatalf("clock %d must pass the blackout end %d", c.Now(), end)
+	}
+	if st := f.FaultStats(); st.Retries == 0 || st.Failures != 0 {
+		t.Fatalf("stats = %+v, want retries without failures", st)
+	}
+}
+
+type windowInjector struct{ end int64 }
+
+func (w windowInjector) Decide(v VerbInfo) FaultDecision {
+	return FaultDecision{MNDown: v.Now < w.end}
+}
+func (w windowInjector) ObserveCAS(CASInfo) {}
+
+func TestFaultCrashLatches(t *testing.T) {
+	f := MustNewFabric(faultTestConfig())
+	f.SetFaultInjector(&scriptInjector{decisions: []FaultDecision{{Crash: true}}})
+	c := f.NewClient()
+	addr := GAddr{Off: 128}
+	if err := f.Poke(addr, []byte{0xaa}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Write(addr, []byte{0xbb}); !errors.Is(err, ErrClientCrashed) {
+		t.Fatalf("crash verb err = %v", err)
+	}
+	if !c.Crashed() {
+		t.Fatal("client must report crashed")
+	}
+	// The crash happened before data movement: remote memory untouched.
+	got := make([]byte, 1)
+	if err := f.Peek(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xaa {
+		t.Fatalf("crashed write moved data: byte = %#x", got[0])
+	}
+	// Every later verb fails the same way, even with the injector gone.
+	f.SetFaultInjector(nil)
+	if err := c.Read(addr, got); !errors.Is(err, ErrClientCrashed) {
+		t.Fatalf("post-crash verb err = %v", err)
+	}
+	if _, err := c.AllocRPC(0, 64); !errors.Is(err, ErrClientCrashed) {
+		t.Fatalf("post-crash RPC err = %v", err)
+	}
+	if st := f.FaultStats(); st.Crashes != 1 {
+		t.Fatalf("stats = %+v, want 1 crash", st)
+	}
+	// Other clients are unaffected.
+	if err := f.NewClient().Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultObserveCASLockAcquire(t *testing.T) {
+	f := MustNewFabric(faultTestConfig())
+	inj := &scriptInjector{}
+	f.SetFaultInjector(inj)
+	c := f.NewClient()
+	addr := GAddr{Off: 192}
+
+	// Lock-acquire shape: compare just the lock bit, set it.
+	if _, ok, err := c.MaskedCAS(addr, 0, 1, 1, ^uint64(0)); err != nil || !ok {
+		t.Fatalf("lock CAS: ok=%v err=%v", ok, err)
+	}
+	// Same shape against a held lock: observed, not an acquire success.
+	if _, ok, err := c.MaskedCAS(addr, 0, 1, 1, ^uint64(0)); err != nil || ok {
+		t.Fatalf("second lock CAS: ok=%v err=%v", ok, err)
+	}
+	// Full-mask CAS (growRoot / lease-steal shape): not a lock acquire.
+	if _, _, err := c.CAS(addr, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(inj.cas) != 3 {
+		t.Fatalf("observed %d CASes, want 3", len(inj.cas))
+	}
+	if !inj.cas[0].LockAcquire || !inj.cas[0].Swapped {
+		t.Fatalf("first CAS = %+v, want successful lock acquire", inj.cas[0])
+	}
+	if !inj.cas[1].LockAcquire || inj.cas[1].Swapped {
+		t.Fatalf("second CAS = %+v, want failed lock acquire", inj.cas[1])
+	}
+	if inj.cas[2].LockAcquire {
+		t.Fatalf("full-mask CAS misclassified as lock acquire: %+v", inj.cas[2])
+	}
+}

@@ -1,0 +1,157 @@
+// Package fault provides the seeded, deterministic fault schedule the
+// simulator's fault-injection plane (dmsim.FaultInjector) consumes.
+//
+// A Schedule never reads wall-clock time and never keeps hidden mutable
+// randomness: every verdict is a pure function of the schedule's seed,
+// the issuing client, the client's per-attempt verb sequence number, and
+// the client's virtual clock. Two runs with the same seed, the same
+// workload, and the same virtual-time interleaving therefore inject
+// byte-for-byte identical faults — which is what makes chaos tests
+// reproducible and fault-sweep benchmarks comparable across systems.
+//
+// Five failure modes are expressible:
+//
+//   - rate-based completion drops and latency spikes, rolled per verb
+//     attempt from (seed, client, seq);
+//   - transient NIC unavailability, as per-client virtual-time windows;
+//   - memory-node blackouts, as per-MN virtual-time windows;
+//   - whole-client crashes, triggered after the Nth successful remote
+//     lock acquisition so victims die holding locks — the scenario the
+//     lease-recovery machinery in the index layers exists to handle.
+package fault
+
+import (
+	"sync"
+
+	"chime/internal/dmsim"
+)
+
+// Window is a half-open virtual-time interval [Start, End) in
+// nanoseconds during which a resource is dark.
+type Window struct {
+	Start int64
+	End   int64
+}
+
+func (w Window) contains(t int64) bool { return t >= w.Start && t < w.End }
+
+// Config parameterizes a Schedule. The zero value injects nothing.
+type Config struct {
+	// Seed drives every probabilistic roll. Schedules with equal seeds
+	// and rates make identical decisions.
+	Seed int64
+
+	// DropRate is the per-verb-attempt probability of losing the
+	// completion (the client times out and reposts).
+	DropRate float64
+
+	// SpikeRate is the per-verb-attempt probability of a latency spike
+	// of SpikeNs virtual nanoseconds.
+	SpikeRate float64
+	SpikeNs   int64
+
+	// NICDown lists, per client ID, windows during which that client's
+	// NIC rejects posts.
+	NICDown map[int64][]Window
+
+	// Blackouts lists, per MN index, windows during which the node is
+	// unreachable.
+	Blackouts map[int][]Window
+}
+
+// Schedule is a deterministic dmsim.FaultInjector. Safe for concurrent
+// use by any number of simulated clients.
+type Schedule struct {
+	cfg Config
+
+	mu       sync.Mutex
+	acquires map[int64]int64 // successful lock acquires per client
+	crashAt  map[int64]int64 // acquire count that dooms the client
+	doomed   map[int64]bool
+}
+
+// NewSchedule builds a schedule from the configuration.
+func NewSchedule(cfg Config) *Schedule {
+	return &Schedule{
+		cfg:      cfg,
+		acquires: make(map[int64]int64),
+		crashAt:  make(map[int64]int64),
+		doomed:   make(map[int64]bool),
+	}
+}
+
+// CrashAfterLockAcquires dooms the client to crash on its first verb
+// after the nth successful remote lock acquisition (n >= 1). The victim
+// therefore dies while holding the lock it just won — mid-protocol,
+// before the unlock — exercising stale-lock recovery in the survivors.
+func (s *Schedule) CrashAfterLockAcquires(clientID int64, n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashAt[clientID] = n
+}
+
+// ObserveCAS implements dmsim.FaultInjector: count successful
+// lock-acquire CASes and arm the crash when a victim reaches its
+// threshold.
+func (s *Schedule) ObserveCAS(ci dmsim.CASInfo) {
+	if !ci.LockAcquire || !ci.Swapped {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.acquires[ci.Client]++
+	if at, ok := s.crashAt[ci.Client]; ok && s.acquires[ci.Client] >= at {
+		s.doomed[ci.Client] = true
+	}
+}
+
+// Decide implements dmsim.FaultInjector.
+func (s *Schedule) Decide(v dmsim.VerbInfo) dmsim.FaultDecision {
+	s.mu.Lock()
+	doomed := s.doomed[v.Client]
+	s.mu.Unlock()
+	if doomed {
+		return dmsim.FaultDecision{Crash: true}
+	}
+	for _, w := range s.cfg.Blackouts[v.MN] {
+		if w.contains(v.Now) {
+			return dmsim.FaultDecision{MNDown: true}
+		}
+	}
+	for _, w := range s.cfg.NICDown[v.Client] {
+		if w.contains(v.Now) {
+			return dmsim.FaultDecision{NICUnavailable: true}
+		}
+	}
+	if s.cfg.DropRate > 0 && hashUnit(s.cfg.Seed, v.Client, v.Seq, 0) < s.cfg.DropRate {
+		return dmsim.FaultDecision{DropCompletion: true}
+	}
+	if s.cfg.SpikeRate > 0 && hashUnit(s.cfg.Seed, v.Client, v.Seq, 1) < s.cfg.SpikeRate {
+		return dmsim.FaultDecision{ExtraLatencyNs: s.cfg.SpikeNs}
+	}
+	return dmsim.FaultDecision{}
+}
+
+// LockAcquires returns how many successful remote lock acquisitions the
+// schedule has observed for the client.
+func (s *Schedule) LockAcquires(clientID int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acquires[clientID]
+}
+
+// hashUnit maps (seed, client, seq, salt) to a uniform float64 in
+// [0, 1) via splitmix64 finalization — stateless, so rate rolls are
+// reproducible regardless of goroutine interleaving.
+func hashUnit(seed, client, seq, salt int64) float64 {
+	x := uint64(seed)
+	x ^= uint64(client) * 0x9e3779b97f4a7c15
+	x ^= uint64(seq) * 0xbf58476d1ce4e5b9
+	x ^= uint64(salt) * 0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

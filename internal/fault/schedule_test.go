@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"testing"
+
+	"chime/internal/dmsim"
+)
+
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, DropRate: 0.05, SpikeRate: 0.1, SpikeNs: 5000}
+	a, b := NewSchedule(cfg), NewSchedule(cfg)
+	var faults int
+	for client := int64(1); client <= 4; client++ {
+		for seq := int64(0); seq < 2000; seq++ {
+			v := dmsim.VerbInfo{Client: client, Seq: seq, Now: seq * 100}
+			da, db := a.Decide(v), b.Decide(v)
+			if da != db {
+				t.Fatalf("client %d seq %d: %+v vs %+v", client, seq, da, db)
+			}
+			if da != (dmsim.FaultDecision{}) {
+				faults++
+			}
+		}
+	}
+	if faults == 0 {
+		t.Fatal("rates of 5%/10% over 8000 rolls injected nothing")
+	}
+}
+
+func TestScheduleSeedsDiffer(t *testing.T) {
+	cfg := Config{Seed: 1, DropRate: 0.2}
+	other := cfg
+	other.Seed = 2
+	a, b := NewSchedule(cfg), NewSchedule(other)
+	same := true
+	for seq := int64(0); seq < 500; seq++ {
+		v := dmsim.VerbInfo{Client: 1, Seq: seq}
+		if a.Decide(v) != b.Decide(v) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical decision streams")
+	}
+}
+
+func TestScheduleZeroConfigInjectsNothing(t *testing.T) {
+	s := NewSchedule(Config{Seed: 42})
+	for seq := int64(0); seq < 1000; seq++ {
+		d := s.Decide(dmsim.VerbInfo{Client: 9, Seq: seq, Now: seq})
+		if d != (dmsim.FaultDecision{}) {
+			t.Fatalf("seq %d: zero-rate schedule injected %+v", seq, d)
+		}
+	}
+}
+
+func TestScheduleWindows(t *testing.T) {
+	s := NewSchedule(Config{
+		Seed:      3,
+		Blackouts: map[int][]Window{1: {{Start: 100, End: 200}}},
+		NICDown:   map[int64][]Window{5: {{Start: 300, End: 400}}},
+	})
+	if d := s.Decide(dmsim.VerbInfo{Client: 5, MN: 1, Now: 150}); !d.MNDown {
+		t.Fatalf("inside blackout: %+v", d)
+	}
+	if d := s.Decide(dmsim.VerbInfo{Client: 5, MN: 0, Now: 150}); d.MNDown {
+		t.Fatalf("blackout leaked to another MN: %+v", d)
+	}
+	if d := s.Decide(dmsim.VerbInfo{Client: 5, MN: 1, Now: 200}); d.MNDown {
+		t.Fatalf("window end is exclusive: %+v", d)
+	}
+	if d := s.Decide(dmsim.VerbInfo{Client: 5, MN: 0, Now: 350}); !d.NICUnavailable {
+		t.Fatalf("inside NIC-down window: %+v", d)
+	}
+	if d := s.Decide(dmsim.VerbInfo{Client: 6, MN: 0, Now: 350}); d.NICUnavailable {
+		t.Fatalf("NIC window leaked to another client: %+v", d)
+	}
+}
+
+func TestScheduleCrashAfterLockAcquires(t *testing.T) {
+	s := NewSchedule(Config{Seed: 1})
+	const victim = int64(7)
+	s.CrashAfterLockAcquires(victim, 2)
+
+	lockCAS := func(client int64, swapped bool) dmsim.CASInfo {
+		return dmsim.CASInfo{Client: client, Swapped: swapped, LockAcquire: true}
+	}
+
+	// Failed acquires and other clients' acquires don't count.
+	s.ObserveCAS(lockCAS(victim, false))
+	s.ObserveCAS(lockCAS(99, true))
+	s.ObserveCAS(dmsim.CASInfo{Client: victim, Swapped: true}) // not a lock CAS
+	if d := s.Decide(dmsim.VerbInfo{Client: victim}); d.Crash {
+		t.Fatal("crashed before any counted acquire")
+	}
+
+	s.ObserveCAS(lockCAS(victim, true))
+	if d := s.Decide(dmsim.VerbInfo{Client: victim}); d.Crash {
+		t.Fatal("crashed after 1 of 2 acquires")
+	}
+	s.ObserveCAS(lockCAS(victim, true))
+	if d := s.Decide(dmsim.VerbInfo{Client: victim}); !d.Crash {
+		t.Fatal("must crash after the 2nd acquire")
+	}
+	// The verdict is sticky and victim-specific.
+	if d := s.Decide(dmsim.VerbInfo{Client: victim}); !d.Crash {
+		t.Fatal("crash verdict must latch")
+	}
+	if d := s.Decide(dmsim.VerbInfo{Client: 99}); d.Crash {
+		t.Fatal("bystander crashed")
+	}
+	if got := s.LockAcquires(victim); got != 2 {
+		t.Fatalf("LockAcquires = %d, want 2", got)
+	}
+}

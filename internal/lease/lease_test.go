@@ -1,0 +1,45 @@
+package lease
+
+import "testing"
+
+func TestWordRoundTrip(t *testing.T) {
+	w := Word(42, 1_000_000)
+	if w&1 == 0 {
+		t.Fatal("lease word must carry the lock bit")
+	}
+	owner, expiry := Decode(w)
+	if owner != 42 || expiry != 1_000_000 {
+		t.Fatalf("Decode = (%d, %d), want (42, 1000000)", owner, expiry)
+	}
+}
+
+func TestOwnerForcedNonzero(t *testing.T) {
+	// A client ID whose low 16 bits are zero must still be
+	// distinguishable from a non-lease locked word.
+	owner, _ := Decode(Word(1<<16, 99))
+	if owner == 0 {
+		t.Fatal("owner aliased to zero")
+	}
+}
+
+func TestExpired(t *testing.T) {
+	w := Word(7, 1000)
+	cases := []struct {
+		name string
+		w    uint64
+		now  int64
+		want bool
+	}{
+		{"before expiry", w, 999, false},
+		{"at expiry", w, 1000, false},
+		{"past expiry", w, 1001, true},
+		{"unlocked word", w &^ 1, 1 << 40, false},
+		{"plain locked word (no lease)", 1, 1 << 40, false},
+		{"zero word", 0, 1 << 40, false},
+	}
+	for _, tc := range cases {
+		if got := Expired(tc.w, tc.now); got != tc.want {
+			t.Errorf("%s: Expired = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -102,10 +102,18 @@ func (t *Table) Acquire(dc *dmsim.Client, addr uint64) (word uint64, viaHandover
 // HasWaiters reports whether a local contender is queued; releasers use
 // it to decide between a combined remote unlock and a local handover.
 func (t *Table) HasWaiters(addr uint64) bool {
+	return t.Waiters(addr) > 0
+}
+
+// Waiters reports how many local contenders are queued on the slot.
+func (t *Table) Waiters(addr uint64) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	st := t.m[addr]
-	return st != nil && len(st.waiters) > 0
+	if st == nil {
+		return 0
+	}
+	return len(st.waiters)
 }
 
 // ReleaseHandover passes the (still remotely held) lock to the next

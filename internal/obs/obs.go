@@ -149,6 +149,11 @@ func (s *Sink) Tracer() *Tracer {
 //     did / did not resolve the key (CHIME only).
 //   - WCCycles / WCCombined: leaf write cycles executed by the batch
 //     write pipeline and keys absorbed into an already-open cycle.
+//   - LeaseExpired: lock words found held past their lease expiry
+//     (a crashed holder detected).
+//   - Recoveries: stale locks successfully stolen and recovered from —
+//     the node is repaired (CHIME leaves recompute the piggybacked
+//     metadata) or re-read and re-validated under the stolen lock.
 type IndexInstruments struct {
 	Tracer *Tracer
 
@@ -162,6 +167,8 @@ type IndexInstruments struct {
 	HotspotMisses *Counter
 	WCCycles      *Counter
 	WCCombined    *Counter
+	LeaseExpired  *Counter
+	Recoveries    *Counter
 }
 
 // Registry names of the index instrument set (see IndexInstruments).
@@ -176,6 +183,8 @@ const (
 	NameHotspotMiss  = "idx.hotspot.miss"
 	NameWCCycle      = "idx.wc.cycle"
 	NameWCCombined   = "idx.wc.combined"
+	NameLeaseExpired = "idx.lease_expired"
+	NameRecovery     = "idx.recovery"
 )
 
 // ResolveIndex resolves the uniform index instrument set from a sink.
@@ -197,5 +206,7 @@ func ResolveIndex(s *Sink) IndexInstruments {
 		HotspotMisses: r.Counter(NameHotspotMiss),
 		WCCycles:      r.Counter(NameWCCycle),
 		WCCombined:    r.Counter(NameWCCombined),
+		LeaseExpired:  r.Counter(NameLeaseExpired),
+		Recoveries:    r.Counter(NameRecovery),
 	}
 }

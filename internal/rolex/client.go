@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"chime/internal/dmsim"
+	"chime/internal/lease"
 	"chime/internal/nodelayout"
 )
 
@@ -149,6 +150,9 @@ func (c *Client) resolve(e entry, key uint64) ([]byte, error) {
 // word, with same-CN contention absorbed by the local lock table.
 func (c *Client) lockGroup(g int) error {
 	addr := c.ix.groupMain(g)
+	if c.ix.opts.LeaseLocks {
+		return c.lockGroupLease(addr, g)
+	}
 	if _, handover := c.cn.locks.Acquire(c.dc, addr.Pack()); handover {
 		return nil
 	}
@@ -167,8 +171,47 @@ func (c *Client) lockGroup(g int) error {
 	return fmt.Errorf("rolex: group %d lock starved", g)
 }
 
+// lockGroupLease is the lease-mode acquisition: the CAS installs an
+// (owner, expiry) lease and a lock stuck under an expired lease is
+// stolen (internal/lease). Writers re-read the group under the lock,
+// so a steal needs no repair read.
+func (c *Client) lockGroupLease(addr dmsim.GAddr, g int) error {
+	leaseNs := c.ix.opts.LeaseNs
+	if leaseNs <= 0 {
+		leaseNs = lease.DefaultNs
+	}
+	for try := 0; try < maxRetries; try++ {
+		word := lease.Word(c.dc.ID(), c.dc.Now()+leaseNs)
+		prev, ok, err := c.dc.MaskedCAS(addr, 0, word, 1, ^uint64(0))
+		if err != nil {
+			return err
+		}
+		if ok {
+			c.backoff = 0
+			return nil
+		}
+		if lease.Expired(prev, c.dc.Now()) {
+			c.obs.LeaseExpired.Inc()
+			if _, won, err := c.dc.CAS(addr, prev, word); err != nil {
+				return err
+			} else if won {
+				c.obs.Recoveries.Inc()
+				c.backoff = 0
+				return nil
+			}
+		}
+		c.obs.LockBackoffs.Inc()
+		c.yield()
+	}
+	return fmt.Errorf("rolex: group %d lock starved", g)
+}
+
 func (c *Client) unlockGroup(g int) error {
 	addr := c.ix.groupMain(g)
+	if c.ix.opts.LeaseLocks {
+		var zero [8]byte
+		return c.dc.Write(addr, zero[:])
+	}
 	if c.cn.locks.ReleaseHandover(c.dc, addr.Pack(), 1) {
 		return nil
 	}

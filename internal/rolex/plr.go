@@ -60,17 +60,20 @@ func TrainPLR(keys []uint64, epsilon int) (*PLR, error) {
 		for end < len(keys) {
 			dx := float64(keys[end]) - x0
 			dy := float64(end - start)
-			lo := (dy - eps) / dx
-			hi := (dy + eps) / dx
-			if lo > loSlope {
-				loSlope = lo
+			lo, hi := loSlope, hiSlope
+			if l := (dy - eps) / dx; l > lo {
+				lo = l
 			}
-			if hi < hiSlope {
-				hiSlope = hi
+			if h := (dy + eps) / dx; h < hi {
+				hi = h
 			}
-			if loSlope > hiSlope {
+			// The cone must only shrink once the point is accepted: a
+			// rejected point's constraints would otherwise push the
+			// midpoint slope outside the included points' bounds.
+			if lo > hi {
 				break
 			}
+			loSlope, hiSlope = lo, hi
 			end++
 		}
 		slope := (loSlope + hiSlope) / 2

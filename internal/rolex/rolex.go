@@ -36,6 +36,15 @@ type Options struct {
 	HopscotchLeaves bool
 	// Neighborhood is the hopscotch neighborhood size (default 8).
 	Neighborhood int
+
+	// LeaseLocks stamps an (owner, expiry) lease into every remote lock
+	// so survivors can steal locks from crashed holders (internal/lease).
+	// Lease mode bypasses the same-CN lock table: a local handover would
+	// hand a waiter the holder's lease.
+	LeaseLocks bool
+	// LeaseNs is the lease duration in virtual nanoseconds (zero =
+	// lease.DefaultNs).
+	LeaseNs int64
 }
 
 // DefaultOptions returns the paper's default ROLEX configuration.
@@ -53,6 +62,9 @@ func (o Options) Validate() error {
 	}
 	if !o.Indirect && (o.ValueSize < 1 || o.ValueSize > 4096) {
 		return fmt.Errorf("rolex: ValueSize %d out of [1,4096]", o.ValueSize)
+	}
+	if o.LeaseNs < 0 {
+		return fmt.Errorf("rolex: negative LeaseNs")
 	}
 	if o.HopscotchLeaves {
 		h := o.Neighborhood

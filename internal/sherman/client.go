@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"chime/internal/dmsim"
+	"chime/internal/lease"
 	"chime/internal/locktable"
 	"chime/internal/nodelayout"
 	"chime/internal/obs"
@@ -356,6 +357,9 @@ func (c *Client) readIndirect(ptrBytes []byte, key uint64) ([]byte, error) {
 // local lock table (Sherman's design): only the first local contender
 // issues remote CASes; later ones receive the lock by local handover.
 func (c *Client) lock(addr dmsim.GAddr) error {
+	if c.ix.opts.LeaseLocks {
+		return c.lockLease(addr)
+	}
 	if _, handover := c.cn.locks.Acquire(c.dc, addr.Pack()); handover {
 		return nil
 	}
@@ -374,7 +378,47 @@ func (c *Client) lock(addr dmsim.GAddr) error {
 	return fmt.Errorf("sherman: lock %v starved", addr)
 }
 
+// lockLease is the lease-mode acquisition: the CAS installs our
+// (owner, expiry) lease and a lock stuck under an expired lease is
+// stolen with a full-word CAS (internal/lease). No repair read is
+// needed — every write re-reads the node under the lock before
+// touching it, so a steal leaves nothing stale behind.
+func (c *Client) lockLease(addr dmsim.GAddr) error {
+	leaseNs := c.ix.opts.LeaseNs
+	if leaseNs <= 0 {
+		leaseNs = lease.DefaultNs
+	}
+	for try := 0; try < maxRetries; try++ {
+		word := lease.Word(c.dc.ID(), c.dc.Now()+leaseNs)
+		prev, ok, err := c.dc.MaskedCAS(addr, 0, word, 1, ^uint64(0))
+		if err != nil {
+			return err
+		}
+		if ok {
+			c.ys.reset()
+			return nil
+		}
+		if lease.Expired(prev, c.dc.Now()) {
+			c.obs.LeaseExpired.Inc()
+			if _, won, err := c.dc.CAS(addr, prev, word); err != nil {
+				return err
+			} else if won {
+				c.obs.Recoveries.Inc()
+				c.ys.reset()
+				return nil
+			}
+		}
+		c.obs.LockBackoffs.Inc()
+		c.ys.yield(c.dc)
+	}
+	return fmt.Errorf("sherman: lock %v starved", addr)
+}
+
 func (c *Client) unlock(addr dmsim.GAddr) error {
+	if c.ix.opts.LeaseLocks {
+		var b [8]byte
+		return c.dc.Write(addr, b[:])
+	}
 	if c.cn.locks.ReleaseHandover(c.dc, addr.Pack(), 1) {
 		return nil
 	}

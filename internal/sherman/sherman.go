@@ -36,6 +36,14 @@ type Options struct {
 	// Indirect stores an 8-byte pointer per entry with the KV block
 	// elsewhere (the Marlin-style variable-length variant).
 	Indirect bool
+	// LeaseLocks stamps an (owner, expiry) lease into every remote lock
+	// so survivors can steal locks from crashed holders (internal/lease).
+	// Lease mode bypasses the same-CN lock table: a local handover would
+	// hand a waiter the holder's lease.
+	LeaseLocks bool
+	// LeaseNs is the lease duration in virtual nanoseconds (zero =
+	// lease.DefaultNs).
+	LeaseNs int64
 }
 
 // DefaultOptions returns the paper's default Sherman configuration.
@@ -53,6 +61,9 @@ func (o Options) Validate() error {
 	}
 	if o.KeySize < 8 || o.KeySize > 256 {
 		return fmt.Errorf("sherman: KeySize %d out of [8,256]", o.KeySize)
+	}
+	if o.LeaseNs < 0 {
+		return fmt.Errorf("sherman: negative LeaseNs")
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"chime/internal/dmsim"
+	"chime/internal/lease"
 	"chime/internal/obs"
 )
 
@@ -335,16 +336,43 @@ func (c *Client) Search(key uint64) ([]byte, error) {
 	return nil, fmt.Errorf("smartidx: Search(%#x) exhausted", key)
 }
 
-// lockNode acquires a node's lock word.
+// lockNode acquires a node's lock word. In lease mode the CAS installs
+// an (owner, expiry) lease and a lock stuck under an expired lease is
+// stolen (internal/lease); callers re-read the node under the lock, so
+// no repair read is needed.
 func (c *Client) lockNode(addr dmsim.GAddr) error {
+	leaseMode := c.ix.opts.LeaseLocks
+	leaseNs := c.ix.opts.LeaseNs
+	if leaseNs <= 0 {
+		leaseNs = lease.DefaultNs
+	}
 	for try := 0; try < maxRetries; try++ {
-		_, ok, err := c.dc.MaskedCAS(addr, 0, 1, 1, 1)
+		var prev uint64
+		var ok bool
+		var err error
+		var word uint64
+		if leaseMode {
+			word = lease.Word(c.dc.ID(), c.dc.Now()+leaseNs)
+			prev, ok, err = c.dc.MaskedCAS(addr, 0, word, 1, ^uint64(0))
+		} else {
+			prev, ok, err = c.dc.MaskedCAS(addr, 0, 1, 1, 1)
+		}
 		if err != nil {
 			return err
 		}
 		if ok {
 			c.backoff = 0
 			return nil
+		}
+		if leaseMode && lease.Expired(prev, c.dc.Now()) {
+			c.obs.LeaseExpired.Inc()
+			if _, won, err := c.dc.CAS(addr, prev, word); err != nil {
+				return err
+			} else if won {
+				c.obs.Recoveries.Inc()
+				c.backoff = 0
+				return nil
+			}
 		}
 		c.obs.LockBackoffs.Inc()
 		c.yield()

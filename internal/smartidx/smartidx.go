@@ -28,6 +28,13 @@ import (
 type Options struct {
 	// ValueSize is the value payload stored in each leaf block.
 	ValueSize int
+
+	// LeaseLocks stamps an (owner, expiry) lease into every remote lock
+	// so survivors can steal locks from crashed holders (internal/lease).
+	LeaseLocks bool
+	// LeaseNs is the lease duration in virtual nanoseconds (zero =
+	// lease.DefaultNs).
+	LeaseNs int64
 }
 
 // DefaultOptions returns the paper's default configuration.
@@ -37,6 +44,9 @@ func DefaultOptions() Options { return Options{ValueSize: 8} }
 func (o Options) Validate() error {
 	if o.ValueSize < 1 || o.ValueSize > 4096 {
 		return fmt.Errorf("smartidx: ValueSize %d out of [1,4096]", o.ValueSize)
+	}
+	if o.LeaseNs < 0 {
+		return fmt.Errorf("smartidx: negative LeaseNs")
 	}
 	return nil
 }
