@@ -1,11 +1,22 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench-pipeline bench-writepipe bench-faults chaos
+.PHONY: all vet lint build test race check bench-pipeline bench-writepipe bench-faults chaos
 
 all: check
 
 vet:
 	$(GO) vet ./...
+
+# Static invariant enforcement: the chimelint suite (virtualclock,
+# seededrand, verbgate, lockword, dmerrors, obsnames) must pass with
+# zero findings. staticcheck and govulncheck run when installed (CI
+# pins and installs them; the offline dev container may not have them).
+lint:
+	$(GO) run ./cmd/chimelint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping (CI runs it)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "govulncheck not installed; skipping (CI runs it)"; fi
 
 build:
 	$(GO) build ./...
@@ -13,21 +24,23 @@ build:
 test:
 	$(GO) test ./...
 
-# The async verb layer, the pipelined clients, the remaining index
-# baselines, the shared instruments, the fault/chaos plane, the local
-# lock table and the multi-goroutine harness are the
-# concurrency-sensitive packages; run them under the race detector.
+# Everything under internal/ runs under the race detector: the verb
+# layer, clients, instruments and harness are concurrency-sensitive,
+# and the remaining packages (ycsb, hopscotch, nodelayout, rdwc, lease,
+# analysis) are cheap enough that sweeping the whole tree costs little.
 race:
 	$(GO) test -race ./internal/dmsim/... ./internal/core/... ./internal/sherman/... \
 		./internal/smartidx/... ./internal/rolex/... ./internal/obs/... ./internal/bench/... \
-		./internal/fault/... ./internal/locktable/...
+		./internal/fault/... ./internal/locktable/... ./internal/ycsb/... \
+		./internal/hopscotch/... ./internal/nodelayout/... ./internal/rdwc/... \
+		./internal/lease/... ./internal/analysis/...
 
 # The seeded chaos suite alone (crash recovery invariants across all
 # four systems), under the race detector.
 chaos:
 	$(GO) test -race -v -run 'TestChaos' ./internal/fault/
 
-check: vet build test race
+check: vet lint build test race
 
 # Regenerate the committed pipeline-depth artifact.
 bench-pipeline:

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the chimelint binary once per test run.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "chimelint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building chimelint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// The multichecker must register the full six-analyzer suite.
+func TestListRegistersAllSixAnalyzers(t *testing.T) {
+	bin := buildLint(t)
+	out, err := exec.Command(bin, "-list").Output()
+	if err != nil {
+		t.Fatalf("chimelint -list: %v", err)
+	}
+	got := strings.Fields(string(out))
+	want := []string{"virtualclock", "seededrand", "verbgate", "lockword", "dmerrors", "obsnames"}
+	if len(got) != len(want) {
+		t.Fatalf("registered analyzers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registered analyzers = %v, want %v", got, want)
+		}
+	}
+}
+
+// A known-bad module (wall-clock + global rand in a sim-facing
+// package) must fail the lint with diagnostics from the right
+// analyzers.
+func TestExitsNonZeroOnBadFixture(t *testing.T) {
+	bin := buildLint(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = "testdata/badmod"
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("expected non-zero exit on bad fixture, got err=%v\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("exit code = %d, want 2\n%s", code, out)
+	}
+	for _, needle := range []string{"(virtualclock)", "(seededrand)", "time.Sleep", "rand.Intn"} {
+		if !strings.Contains(string(out), needle) {
+			t.Errorf("output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+// The go vet driver protocol must also reject the bad fixture: this is
+// the -vettool integration path CI and editors use.
+func TestVetToolModeOnBadFixture(t *testing.T) {
+	bin := buildLint(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = "testdata/badmod"
+	out, err := cmd.CombinedOutput()
+	if _, ok := err.(*exec.ExitError); !ok {
+		t.Fatalf("expected go vet -vettool to fail on bad fixture, got err=%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "(virtualclock)") {
+		t.Errorf("vet output missing virtualclock diagnostic:\n%s", out)
+	}
+}
+
+// The real tree must lint clean — this is `make lint` pinned as a test,
+// so a regression anywhere in the repo fails `go test ./...` too.
+func TestRepoLintsClean(t *testing.T) {
+	bin := buildLint(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("chimelint on the repo: %v\n%s", err, out)
+	}
+}

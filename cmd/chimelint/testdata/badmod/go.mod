@@ -1,0 +1,3 @@
+module chime
+
+go 1.22

@@ -1,0 +1,15 @@
+// A deliberately violating simulation-facing package: the chimelint
+// smoke test asserts the binary exits non-zero here.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff breaks two invariants at once: wall-clock time in a
+// sim-facing package and a draw from the global random source.
+func Backoff() time.Duration {
+	time.Sleep(time.Microsecond)
+	return time.Duration(rand.Intn(100)) * time.Microsecond
+}

@@ -1,0 +1,203 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects
+// one type-checked package at a time and reports Diagnostics. The
+// container this repo builds in has no module proxy access, so vendoring
+// x/tools is not an option; the subset here (Analyzer, Pass, Reportf,
+// position-sorted diagnostics, `//lint:allow` suppression) is all the
+// chimelint analyzers need, and the field names deliberately mirror
+// x/tools so a future swap is mechanical.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. Run inspects a single package
+// through the Pass and reports findings via Pass.Report; the returned
+// value is reserved for inter-analyzer results and is currently unused.
+type Analyzer struct {
+	Name string // short lower-case identifier, e.g. "virtualclock"
+	Doc  string // invariant the analyzer enforces, first line = summary
+	Run  func(*Pass) (any, error)
+}
+
+// Pass hands an Analyzer one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding inside the package being analyzed.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a resolved diagnostic: position plus the analyzer that
+// produced it, ready for printing or comparison against expectations.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// allowRe matches the documented suppression directive: the analyzer
+// being silenced followed by a mandatory justification, e.g.
+//
+//	//lint:allow virtualclock wall-clock progress logging only
+//
+// A bare `//lint:allow virtualclock` (no reason) does not suppress.
+var allowRe = regexp.MustCompile(`^//lint:allow\s+([a-z]+)\s+\S`)
+
+// allowedAt builds filename -> line -> set-of-analyzer-names from every
+// //lint:allow comment in the package. A directive suppresses findings
+// on its own line and on the line directly below it (so it can sit
+// either at the end of the offending line or on its own line above).
+func allowedAt(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	out := make(map[string]map[int]map[string]bool)
+	add := func(pos token.Position, name string) {
+		lines := out[pos.Filename]
+		if lines == nil {
+			lines = make(map[int]map[string]bool)
+			out[pos.Filename] = lines
+		}
+		for _, ln := range []int{pos.Line, pos.Line + 1} {
+			if lines[ln] == nil {
+				lines[ln] = make(map[string]bool)
+			}
+			lines[ln][name] = true
+		}
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//lint:allow") {
+					continue
+				}
+				if m := allowRe.FindStringSubmatch(c.Text); m != nil {
+					add(fset.Position(c.Pos()), m[1])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run applies every analyzer to one loaded package and returns the
+// surviving findings sorted by position. //lint:allow-suppressed
+// diagnostics are dropped here so every front end (chimelint, the vet
+// shim, analysistest) shares identical suppression semantics.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	allow := allowedAt(pkg.Fset, pkg.Syntax)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		var diags []Diagnostic
+		pass.Report = func(d Diagnostic) { diags = append(diags, d) }
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if allow[pos.Filename][pos.Line][a.Name] {
+				continue
+			}
+			out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// Preorder walks every node of every file, calling f on each.
+func Preorder(files []*ast.File, f func(ast.Node)) {
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n != nil {
+				f(n)
+			}
+			return true
+		})
+	}
+}
+
+// FuncOf resolves the *types.Func a call expression invokes, or nil for
+// indirect calls, conversions, and builtins.
+func FuncOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgLevelFunc reports whether obj is a package-level function (no
+// receiver) of the package with the given import path.
+func IsPkgLevelFunc(obj types.Object, pkgPath string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// ReceiverNamed returns the name of fn's receiver named type ("" when
+// fn is not a method), unwrapping any pointer.
+func ReceiverNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

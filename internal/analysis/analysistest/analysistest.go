@@ -1,0 +1,153 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its findings against `// want` expectations, mirroring the
+// x/tools package of the same name. A fixture tree lives under
+// testdata/src, with each package at its import path — including
+// stand-ins for real paths (a stub chime/internal/dmsim, say) so
+// analyzers that key on import paths see the names they expect.
+//
+// Expectations are written on the offending line:
+//
+//	_ = time.Now() // want `time\.Now`
+//
+// Each quoted or backquoted string is a regexp that must match the
+// message of a distinct diagnostic reported on that line; diagnostics
+// with no matching want, and wants with no matching diagnostic, fail
+// the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"chime/internal/analysis"
+)
+
+// Run loads each fixture package from testdata/src and applies the
+// analyzer, comparing findings to // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	pkgs, err := analysis.LoadTree(testdata+"/src", pkgpaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, err := range pkg.TypeErrs {
+			t.Errorf("fixture %s does not type-check: %v", pkg.PkgPath, err)
+		}
+		if len(pkg.TypeErrs) > 0 {
+			continue
+		}
+		findings, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.PkgPath, err)
+		}
+		checkWants(t, pkg, findings)
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	pattern string
+	matched bool
+}
+
+func checkWants(t *testing.T, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Syntax {
+		wants = append(wants, collectWants(t, pkg, f)...)
+	}
+	for _, f := range findings {
+		ok := false
+		for _, w := range wants {
+			if w.matched || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+				continue
+			}
+			m, err := regexp.MatchString(w.pattern, f.Message)
+			if err != nil {
+				t.Errorf("%s:%d: bad want pattern %q: %v", w.file, w.line, w.pattern, err)
+				w.matched = true
+				continue
+			}
+			if m {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *analysis.Package, f *ast.File) []*want {
+	t.Helper()
+	var out []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			i := strings.Index(text, "// want ")
+			if i < 0 {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			pats, err := parsePatterns(text[i+len("// want "):])
+			if err != nil {
+				t.Errorf("%s:%d: malformed want comment: %v", pos.Filename, pos.Line, err)
+				continue
+			}
+			for _, p := range pats {
+				out = append(out, &want{file: pos.Filename, line: pos.Line, pattern: p})
+			}
+		}
+	}
+	return out
+}
+
+// parsePatterns splits `"re1" `+"`re2`"+` ...` into its pattern strings.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			if end == len(s) {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			p, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, fmt.Errorf("expected quoted pattern at %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no patterns")
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+// Package dmerrors enforces errors.Is matching for the typed dmsim verb
+// errors (ErrTimeout, ErrNICUnavailable, ErrMNDown, ErrClientCrashed).
+// Verb errors cross several layers — fault gate, retry loops, index
+// recovery paths, the bench harness — and any of them may wrap the
+// sentinel with %w for context. An == comparison (or a value switch)
+// matches only the unwrapped sentinel and silently stops classifying
+// the moment someone adds context, turning a retriable timeout into an
+// unhandled failure.
+package dmerrors
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"chime/internal/analysis"
+)
+
+const dmsimPath = "chime/internal/dmsim"
+
+var sentinels = map[string]bool{
+	"ErrTimeout":        true,
+	"ErrNICUnavailable": true,
+	"ErrMNDown":         true,
+	"ErrClientCrashed":  true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "dmerrors",
+	Doc:  "match the typed dmsim errors with errors.Is, never == / != or a value switch — wrapped verb errors must still classify",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return
+			}
+			for _, side := range []ast.Expr{n.X, n.Y} {
+				if name, ok := sentinelUse(pass, side); ok {
+					pass.Reportf(n.Pos(), "dmsim.%s compared with %s; use errors.Is so wrapped verb errors still match", name, n.Op)
+					return
+				}
+			}
+		case *ast.SwitchStmt:
+			if n.Tag == nil {
+				return
+			}
+			for _, stmt := range n.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if name, ok := sentinelUse(pass, e); ok {
+						pass.Reportf(e.Pos(), "dmsim.%s matched in a value switch; use errors.Is so wrapped verb errors still match", name)
+					}
+				}
+			}
+		}
+	})
+	return nil, nil
+}
+
+// sentinelUse reports whether e resolves to one of the dmsim sentinel
+// error variables.
+func sentinelUse(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != dmsimPath || !sentinels[v.Name()] {
+		return "", false
+	}
+	return v.Name(), true
+}

@@ -1,0 +1,12 @@
+package dmerrors_test
+
+import (
+	"testing"
+
+	"chime/internal/analysis/analysistest"
+	"chime/internal/analysis/dmerrors"
+)
+
+func TestDMErrors(t *testing.T) {
+	analysistest.Run(t, "testdata", dmerrors.Analyzer, "chime/internal/retry")
+}

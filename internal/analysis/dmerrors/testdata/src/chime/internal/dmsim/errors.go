@@ -1,0 +1,11 @@
+// Fixture stub of the dmsim fault-plane sentinels.
+package dmsim
+
+import "errors"
+
+var (
+	ErrTimeout        = errors.New("dmsim: verb timed out")
+	ErrNICUnavailable = errors.New("dmsim: NIC unavailable")
+	ErrMNDown         = errors.New("dmsim: memory node down")
+	ErrClientCrashed  = errors.New("dmsim: client crashed")
+)

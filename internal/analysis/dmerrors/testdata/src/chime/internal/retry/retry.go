@@ -1,0 +1,37 @@
+// Fixture: classifying dmsim verb errors the wrong ways and the right
+// way.
+package retry
+
+import (
+	"errors"
+
+	"chime/internal/dmsim"
+)
+
+func bad(err error) bool {
+	if err == dmsim.ErrTimeout { // want `dmsim\.ErrTimeout compared with ==`
+		return true
+	}
+	if dmsim.ErrMNDown != err { // want `dmsim\.ErrMNDown compared with !=`
+		return false
+	}
+	switch err {
+	case dmsim.ErrNICUnavailable: // want `dmsim\.ErrNICUnavailable matched in a value switch`
+		return true
+	case dmsim.ErrClientCrashed: // want `dmsim\.ErrClientCrashed matched in a value switch`
+		return false
+	}
+	return false
+}
+
+func good(err error) bool {
+	// errors.Is survives %w wrapping anywhere down the verb path.
+	if errors.Is(err, dmsim.ErrTimeout) || errors.Is(err, dmsim.ErrNICUnavailable) {
+		return true
+	}
+	// Comparing non-sentinel errors with == stays legal; the rule is
+	// scoped to the dmsim fault-plane sentinels.
+	return err == errSentinelLocal
+}
+
+var errSentinelLocal = errors.New("local")

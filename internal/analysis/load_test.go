@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// The loader must type-check the entire real module cleanly: every
+// analyzer result (and `make lint`) is only as trustworthy as the type
+// information underneath it.
+func TestLoadModuleTypeChecksRepo(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages, expected the whole module", len(pkgs))
+	}
+	seen := make(map[string]bool)
+	for _, p := range pkgs {
+		seen[p.PkgPath] = true
+		for _, e := range p.TypeErrs {
+			t.Errorf("%s: type error: %v", p.PkgPath, e)
+		}
+		if p.Types == nil || p.TypesInfo == nil {
+			t.Errorf("%s: missing type information", p.PkgPath)
+		}
+	}
+	for _, want := range []string{"chime", "chime/internal/dmsim", "chime/internal/core", "chime/cmd/chime-bench"} {
+		if !seen[want] {
+			t.Errorf("package %s not loaded", want)
+		}
+	}
+}

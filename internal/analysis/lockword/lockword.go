@@ -1,0 +1,97 @@
+// Package lockword confines raw lock-word bit-twiddling to the two
+// encoding sites: internal/lease (lock bit + 16-bit owner + 47-bit
+// virtual-ns expiry, §4.1–§4.2 / the PR-4 lease design) and
+// internal/core/lockword.go (lock bit + 48-bit vacancy bitmap + 10-bit
+// argmax, §4.2.1/§4.2.3). Every other package must go through the
+// helpers (lease.Word/Decode/Expired, core's lockWord codec) — a stray
+// shift-by-17 in an index client would silently disagree with the
+// layout the recovery plane depends on.
+//
+// Detection is a layout-fingerprint heuristic: the analyzer flags bit
+// operations whose constant operand is one of the canonical layout
+// masks, and shifts whose constant count is one of the layout's field
+// offsets (17, 47, 49, 59). Shifts by 1 and masks like 0x3F are
+// everyday integer code and stay legal; the flagged values identify
+// this word layout specifically.
+package lockword
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"path/filepath"
+
+	"chime/internal/analysis"
+)
+
+// The canonical layout masks, spelled as the encoders derive them.
+var magicMasks = map[uint64]string{
+	((1 << 16) - 1) << 1:  "lease owner mask",
+	((1 << 47) - 1) << 17: "lease expiry mask",
+	((1 << 48) - 1) << 1:  "vacancy bitmap mask",
+	((1 << 10) - 1) << 49: "argmax mask",
+	1 << 59:               "argmax-valid bit",
+}
+
+// The layout's field offsets; shifting by one of these is how raw code
+// extracts or installs a lock-word field.
+var magicShifts = map[uint64]string{
+	17: "lease expiry offset",
+	47: "lease expiry width",
+	49: "argmax offset",
+	59: "argmax-valid offset",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockword",
+	Doc:  "lock/lease word bit-twiddling (lock bit, 16-bit owner, 47-bit expiry, vacancy/argmax layout) is only legal in internal/lease and internal/core/lockword.go; use the encoding helpers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// internal/lease owns the layout; this package necessarily spells
+	// the same masks and offsets out as its fingerprint table.
+	switch pass.Pkg.Path() {
+	case "chime/internal/lease", "chime/internal/analysis/lockword":
+		return nil, nil
+	}
+	inCore := pass.Pkg.Path() == "chime/internal/core"
+	for _, file := range pass.Files {
+		if inCore && filepath.Base(pass.Fset.Position(file.Pos()).Filename) == "lockword.go" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.AND, token.OR, token.XOR, token.AND_NOT:
+				for _, side := range []ast.Expr{be.X, be.Y} {
+					if v, ok := constUint64(pass, side); ok {
+						if what, hit := magicMasks[v]; hit {
+							pass.Reportf(be.Pos(), "raw lock-word bit-twiddling (%s 0x%X); the layout is private to internal/lease and internal/core/lockword.go — use lease.Word/Decode/Expired or the core lockWord codec", what, v)
+							return true
+						}
+					}
+				}
+			case token.SHL, token.SHR:
+				if v, ok := constUint64(pass, be.Y); ok {
+					if what, hit := magicShifts[v]; hit {
+						pass.Reportf(be.Pos(), "raw lock-word bit-twiddling (shift by %d, the %s); the layout is private to internal/lease and internal/core/lockword.go — use lease.Word/Decode/Expired or the core lockWord codec", v, what)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func constUint64(pass *analysis.Pass, e ast.Expr) (uint64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Uint64Val(tv.Value)
+}

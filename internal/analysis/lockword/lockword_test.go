@@ -1,0 +1,13 @@
+package lockword_test
+
+import (
+	"testing"
+
+	"chime/internal/analysis/analysistest"
+	"chime/internal/analysis/lockword"
+)
+
+func TestLockWord(t *testing.T) {
+	analysistest.Run(t, "testdata", lockword.Analyzer,
+		"chime/internal/lease", "chime/internal/core", "chime/internal/smart")
+}

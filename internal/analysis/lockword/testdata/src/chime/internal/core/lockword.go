@@ -1,0 +1,23 @@
+// Fixture stub of the core lock-word codec: this file name, in this
+// package, is the one sanctioned bit-twiddling site outside lease.
+package core
+
+const (
+	lockBit        = uint64(1)
+	vacancyMask    = ((uint64(1) << 48) - 1) << 1
+	argmaxMask     = ((uint64(1) << 10) - 1) << 49
+	argmaxValidBit = uint64(1) << 59
+)
+
+// DecodeVacancy is the sanctioned accessor other files should call.
+func DecodeVacancy(w uint64) uint64 { return (w & vacancyMask) >> 1 }
+
+func encode(locked bool, vacancy uint64) uint64 {
+	var w uint64
+	if locked {
+		w |= lockBit
+	}
+	w |= (vacancy << 1) & vacancyMask
+	w |= argmaxMask & argmaxValidBit
+	return w
+}

@@ -1,0 +1,17 @@
+// Fixture: core code OUTSIDE lockword.go must use the codec, not the
+// raw layout — only the lockword.go file is exempt.
+package core
+
+func leak(w uint64) (uint64, uint64) {
+	v := (w & vacancyMask) >> 1 // want `raw lock-word bit-twiddling \(vacancy bitmap mask`
+	a := w >> 49                // want `raw lock-word bit-twiddling \(shift by 49`
+	return v, a
+}
+
+// clean: everyday bit math that happens to be near lock code.
+func popLow6(w uint64) uint64 { return w & 0x3F }
+
+func double(x uint64) uint64 { return x << 1 }
+
+// clean: going through the sanctioned accessor.
+func vacancyOf(w uint64) uint64 { return DecodeVacancy(w) }

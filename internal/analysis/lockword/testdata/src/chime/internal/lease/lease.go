@@ -1,0 +1,31 @@
+// Fixture stub of the real lease package: the encoding site itself is
+// exempt — this is exactly where the bit layout is allowed to live.
+package lease
+
+const (
+	lockBit     = uint64(1)
+	ownerShift  = 1
+	ownerMask   = ((uint64(1) << 16) - 1) << ownerShift
+	expiryShift = 17
+	expiryMask  = ((uint64(1) << 47) - 1) << expiryShift
+)
+
+func Word(clientID int64, expiry int64) uint64 {
+	owner := uint64(clientID) & (ownerMask >> ownerShift)
+	if owner == 0 {
+		owner = 1
+	}
+	return lockBit | owner<<ownerShift | (uint64(expiry) << expiryShift & expiryMask)
+}
+
+func Decode(w uint64) (owner uint64, expiry int64) {
+	return (w & ownerMask) >> ownerShift, int64((w & expiryMask) >> expiryShift)
+}
+
+func Expired(w uint64, now int64) bool {
+	if w&lockBit == 0 {
+		return false
+	}
+	owner, expiry := Decode(w)
+	return owner != 0 && expiry != 0 && now > expiry
+}

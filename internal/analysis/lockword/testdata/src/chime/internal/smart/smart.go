@@ -1,0 +1,12 @@
+// Fixture: an index client reimplementing the lease layout by hand —
+// exactly the drift the analyzer exists to stop.
+package smart
+
+func stealIfExpired(w uint64, now int64) bool {
+	expiry := int64(w >> 17) // want `raw lock-word bit-twiddling \(shift by 17`
+	return expiry != 0 && now > expiry
+}
+
+func ownerOf(w uint64) uint64 {
+	return (w & 0x1FFFE) >> 1 // want `raw lock-word bit-twiddling \(lease owner mask`
+}

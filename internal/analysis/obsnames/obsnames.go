@@ -1,0 +1,71 @@
+// Package obsnames pins the instrument-name schema of internal/obs.
+// Names registered through Registry.Counter/Gauge/Histogram (and read
+// back through Snapshot.CounterDelta) land verbatim in the
+// chime-bench/metrics JSON artifact; dashboards and the EXPERIMENTS.md
+// tables key on them. Requiring compile-time string constants matching
+//
+//	^(dm|idx|fault|bench)\.[a-z_\.]+$
+//
+// keeps the schema greppable (every instrument is a literal in the
+// tree) and namespaced (dm.* = substrate, idx.* = index protocol,
+// fault.* = injection plane, bench.* = harness).
+package obsnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+
+	"chime/internal/analysis"
+)
+
+const obsPath = "chime/internal/obs"
+
+// nameArg maps (receiver type, method) to the index of the
+// instrument-name argument.
+var nameArg = map[[2]string]int{
+	{"Registry", "Counter"}:      0,
+	{"Registry", "Gauge"}:        0,
+	{"Registry", "Histogram"}:    0,
+	{"Snapshot", "CounterDelta"}: 1,
+}
+
+var nameRe = regexp.MustCompile(`^(dm|idx|fault|bench)\.[a-z_\.]+$`)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "obsnames",
+	Doc:  "instrument names passed to internal/obs must be string literals matching ^(dm|idx|fault|bench)\\.[a-z_\\.]+$ so the metrics-json schema stays stable",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Path() == obsPath {
+		return nil, nil
+	}
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := analysis.FuncOf(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+			return
+		}
+		idx, ok := nameArg[[2]string{analysis.ReceiverNamed(fn), fn.Name()}]
+		if !ok || idx >= len(call.Args) {
+			return
+		}
+		arg := call.Args[idx]
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			pass.Reportf(arg.Pos(), "instrument name passed to obs.%s.%s must be a compile-time string constant (the metrics-json schema is the set of literal names in the tree)",
+				analysis.ReceiverNamed(fn), fn.Name())
+			return
+		}
+		name := constant.StringVal(tv.Value)
+		if !nameRe.MatchString(name) {
+			pass.Reportf(arg.Pos(), "instrument name %q does not match the metrics schema ^(dm|idx|fault|bench)\\.[a-z_\\.]+$", name)
+		}
+	})
+	return nil, nil
+}

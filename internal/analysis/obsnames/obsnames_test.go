@@ -1,0 +1,12 @@
+package obsnames_test
+
+import (
+	"testing"
+
+	"chime/internal/analysis/analysistest"
+	"chime/internal/analysis/obsnames"
+)
+
+func TestObsNames(t *testing.T) {
+	analysistest.Run(t, "testdata", obsnames.Analyzer, "chime/internal/metrics")
+}

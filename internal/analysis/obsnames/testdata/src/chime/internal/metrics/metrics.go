@@ -1,0 +1,32 @@
+// Fixture: instrument registrations that respect and violate the
+// metrics-name schema.
+package metrics
+
+import (
+	"fmt"
+
+	"chime/internal/obs"
+)
+
+// Constants (local or imported) are fine — they are still compile-time
+// names the schema can be grepped from.
+const nameRetry = "idx.retry"
+
+func register(r *obs.Registry, verb string) {
+	_ = r.Counter("dm.verb_timeout")
+	_ = r.Counter(nameRetry)
+	_ = r.Gauge("fault.active_windows")
+	_ = r.Histogram("dm.nic.read.service_ns")
+	_ = r.Counter("bench.rows")
+
+	_ = r.Counter("nic.queue_ns")             // want `instrument name "nic\.queue_ns" does not match`
+	_ = r.Counter("Idx.Retry")                // want `instrument name "Idx\.Retry" does not match`
+	_ = r.Histogram("idx")                    // want `instrument name "idx" does not match`
+	_ = r.Counter(fmt.Sprintf("dm.%s", verb)) // want `must be a compile-time string constant`
+}
+
+func delta(s, prev obs.Snapshot, dyn string) int64 {
+	good := s.CounterDelta(prev, "idx.torn_read")
+	bad := s.CounterDelta(prev, dyn) // want `must be a compile-time string constant`
+	return good + bad
+}

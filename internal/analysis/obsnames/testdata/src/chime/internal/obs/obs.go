@@ -1,0 +1,20 @@
+// Fixture stub of the internal/obs registry surface.
+package obs
+
+type Counter struct{ v int64 }
+
+func (c *Counter) Inc() {}
+
+type Gauge struct{ v int64 }
+
+type Histogram struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter     { return &Counter{} }
+func (r *Registry) Gauge(name string) *Gauge         { return &Gauge{} }
+func (r *Registry) Histogram(name string) *Histogram { return &Histogram{} }
+
+type Snapshot struct{}
+
+func (s Snapshot) CounterDelta(prev Snapshot, name string) int64 { return 0 }

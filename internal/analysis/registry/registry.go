@@ -1,0 +1,25 @@
+// Package registry enumerates the chimelint analyzer suite in one
+// place, shared by cmd/chimelint and its tests.
+package registry
+
+import (
+	"chime/internal/analysis"
+	"chime/internal/analysis/dmerrors"
+	"chime/internal/analysis/lockword"
+	"chime/internal/analysis/obsnames"
+	"chime/internal/analysis/seededrand"
+	"chime/internal/analysis/verbgate"
+	"chime/internal/analysis/virtualclock"
+)
+
+// All returns every analyzer chimelint runs, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		virtualclock.Analyzer,
+		seededrand.Analyzer,
+		verbgate.Analyzer,
+		lockword.Analyzer,
+		dmerrors.Analyzer,
+		obsnames.Analyzer,
+	}
+}

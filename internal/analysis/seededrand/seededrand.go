@@ -1,0 +1,48 @@
+// Package seededrand forbids the global math/rand (and math/rand/v2)
+// top-level generators in non-test code. Fault schedules, YCSB
+// workloads and hopscotch placement must replay bit-identically from a
+// seed; the global source is shared mutable state that any package can
+// perturb, so one stray rand.Intn makes two runs with the same seed
+// diverge. Thread an explicit seeded *rand.Rand instead (see
+// ycsb.NewGenerator, fault.NewSchedule, hopscotch schemes — all take a
+// seed and build rand.New(rand.NewSource(seed))).
+package seededrand
+
+import (
+	"chime/internal/analysis"
+)
+
+// constructors are the package-level functions that build explicit,
+// seedable state rather than touching the global source; everything
+// else at package level either reads or reseeds process-global state.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+var randPkgs = []string{"math/rand", "math/rand/v2"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid global math/rand top-level functions outside tests; thread an explicit seeded *rand.Rand so seeded runs replay bit-identically",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for ident, obj := range pass.TypesInfo.Uses {
+		if constructors[obj.Name()] {
+			continue
+		}
+		for _, p := range randPkgs {
+			if analysis.IsPkgLevelFunc(obj, p) {
+				pass.Reportf(ident.Pos(), "%s.%s draws from the process-global random source; thread a seeded *rand.Rand (rand.New(rand.NewSource(seed))) so runs replay bit-identically",
+					p, obj.Name())
+				break
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,22 @@
+// Fixture: global math/rand draws vs an explicitly threaded seeded
+// generator. The rule applies to every package — determinism is a
+// whole-tree property.
+package a
+
+import "math/rand"
+
+func bad() {
+	_ = rand.Intn(10)                  // want `math/rand\.Intn draws from the process-global random source`
+	_ = rand.Int63()                   // want `math/rand\.Int63 draws from the process-global random source`
+	_ = rand.Float64()                 // want `math/rand\.Float64 draws from the process-global random source`
+	rand.Shuffle(3, func(i, j int) {}) // want `math/rand\.Shuffle draws from the process-global random source`
+	rand.Seed(42)                      // want `math/rand\.Seed draws from the process-global random source`
+}
+
+// clean: explicit seeded generator, including the constructors and the
+// methods on *rand.Rand (same function names, but with a receiver).
+func good(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, 1.1, 1, 1000)
+	return r.Intn(10) + int(z.Uint64())
+}

@@ -1,0 +1,13 @@
+package a
+
+import randv2 "math/rand/v2"
+
+func badV2() {
+	_ = randv2.IntN(10) // want `math/rand/v2\.IntN draws from the process-global random source`
+	_ = randv2.Uint64() // want `math/rand/v2\.Uint64 draws from the process-global random source`
+}
+
+func goodV2(seed uint64) int {
+	r := randv2.New(randv2.NewPCG(seed, seed))
+	return r.IntN(10)
+}

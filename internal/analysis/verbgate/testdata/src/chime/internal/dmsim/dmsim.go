@@ -1,0 +1,32 @@
+// Fixture stub standing in for the real chime/internal/dmsim: just
+// enough surface for consumers to trip (or respect) the verb gate.
+// Being the dmsim package itself, everything here is exempt — the
+// substrate is where GAddr literals and backing-memory access live.
+package dmsim
+
+type GAddr struct {
+	MN  uint8
+	Off uint64
+}
+
+var NilGAddr = GAddr{}
+
+func (a GAddr) Add(d uint64) GAddr { return GAddr{MN: a.MN, Off: a.Off + d} }
+
+func UnpackGAddr(v uint64) GAddr {
+	return GAddr{MN: uint8(v >> 56), Off: v & ((1 << 56) - 1)}
+}
+
+func UnpackTagged(w uint64) (GAddr, uint8) {
+	return GAddr{Off: w & ((1 << 56) - 1)}, uint8(w >> 56)
+}
+
+type Fabric struct{ mem []byte }
+
+func (f *Fabric) Peek(a GAddr, buf []byte) error { return nil }
+func (f *Fabric) Poke(a GAddr, b []byte) error   { return nil }
+
+type Client struct{ f *Fabric }
+
+func (c *Client) Read(a GAddr, buf []byte) error       { return nil }
+func (c *Client) AllocRPC(mn, size int) (GAddr, error) { return GAddr{}, nil }

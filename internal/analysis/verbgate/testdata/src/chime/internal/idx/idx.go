@@ -1,0 +1,30 @@
+// Fixture: a consumer package that must stay behind the verb gate.
+package idx
+
+import "chime/internal/dmsim"
+
+func bad(f *dmsim.Fabric, c *dmsim.Client) {
+	a := dmsim.GAddr{MN: 0, Off: 64} // want `raw dmsim\.GAddr literal`
+	var buf [8]byte
+	_ = f.Peek(a, buf[:])                 // want `Fabric\.Peek touches MN backing memory`
+	_ = f.Poke(a, buf[:])                 // want `Fabric\.Poke touches MN backing memory`
+	addrs := []dmsim.GAddr{{Off: 128}, a} // want `raw dmsim\.GAddr literal`
+	_ = addrs
+}
+
+func good(c *dmsim.Client) error {
+	base, err := c.AllocRPC(0, 4096)
+	if err != nil {
+		return err
+	}
+	// Sanctioned address derivation: allocator + Add + the codecs.
+	next := base.Add(64)
+	_ = dmsim.UnpackGAddr(next.Off)
+	root, level := dmsim.UnpackTagged(12345)
+	_ = level
+	// Slice literals of derived addresses are fine — only GAddr
+	// composite literals themselves are raw.
+	sibs := []dmsim.GAddr{base.Add(128), root}
+	var buf [8]byte
+	return c.Read(sibs[0], buf[:])
+}

@@ -1,0 +1,63 @@
+// Package verbgate keeps one-sided verbs the only door into memory
+// nodes. Outside internal/dmsim, index and bench code must move every
+// byte through the Client verb API (Read/Write/CAS/MaskedCAS/AllocRPC
+// and the posted variants) — the same choke point the fault-injection
+// gate sits on, so a verb that bypasses it would also bypass injected
+// faults, NIC accounting and the observability plane.
+//
+// Two leaks are detectable statically:
+//
+//   - Fabric.Peek / Fabric.Poke, the test-only debug accessors that
+//     touch MN backing memory without charging network cost;
+//   - composite literals of dmsim.GAddr, which manufacture remote
+//     pointers from raw integers instead of deriving them from the
+//     allocator (AllocRPC), pointer arithmetic (GAddr.Add), or the
+//     sanctioned codecs (UnpackGAddr, UnpackTagged).
+package verbgate
+
+import (
+	"go/ast"
+	"go/types"
+
+	"chime/internal/analysis"
+)
+
+const dmsimPath = "chime/internal/dmsim"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "verbgate",
+	Doc:  "outside internal/dmsim, all data movement goes through the Client verb API: no Fabric.Peek/Poke, no raw dmsim.GAddr literals",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Path() == dmsimPath {
+		return nil, nil
+	}
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if isDmsimNamed(pass.TypesInfo.TypeOf(n), "GAddr") {
+				pass.Reportf(n.Pos(), "raw dmsim.GAddr literal bypasses the verb gate's address discipline; derive addresses from AllocRPC, GAddr.Add, UnpackGAddr or UnpackTagged")
+			}
+		case *ast.CallExpr:
+			fn := analysis.FuncOf(pass.TypesInfo, n)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != dmsimPath {
+				return
+			}
+			if (fn.Name() == "Peek" || fn.Name() == "Poke") && analysis.ReceiverNamed(fn) == "Fabric" {
+				pass.Reportf(n.Pos(), "Fabric.%s touches MN backing memory without going through the verb gate (no fault injection, no NIC accounting); it is test-only — use Client verbs", fn.Name())
+			}
+		}
+	})
+	return nil, nil
+}
+
+func isDmsimNamed(t types.Type, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == dmsimPath
+}

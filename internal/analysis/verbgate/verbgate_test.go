@@ -1,0 +1,13 @@
+package verbgate_test
+
+import (
+	"testing"
+
+	"chime/internal/analysis/analysistest"
+	"chime/internal/analysis/verbgate"
+)
+
+func TestVerbGate(t *testing.T) {
+	analysistest.Run(t, "testdata", verbgate.Analyzer,
+		"chime/internal/dmsim", "chime/internal/idx")
+}

@@ -1,0 +1,29 @@
+// Fixture: a simulation-facing package (chime/internal/core is in the
+// virtualclock SimPackages set) reaching for the wall clock.
+package core
+
+import "time"
+
+// BaseRTT as a time.Duration constant is fine: durations configure the
+// simulator, they do not read the host clock.
+const BaseRTT = 2 * time.Microsecond
+
+func bad() int64 {
+	start := time.Now()             // want `time\.Now reads or waits on the wall clock`
+	time.Sleep(time.Millisecond)    // want `time\.Sleep reads or waits on the wall clock`
+	elapsed := time.Since(start)    // want `time\.Since reads or waits on the wall clock`
+	t := time.NewTimer(time.Second) // want `time\.NewTimer reads or waits on the wall clock`
+	t.Stop()
+	return int64(elapsed)
+}
+
+func allowed() int64 {
+	// A documented escape hatch is honored (and audited by grep).
+	start := time.Now() //lint:allow virtualclock fixture proves suppression works
+	return start.UnixNano()
+}
+
+// clean: virtual-time arithmetic on int64 nanoseconds.
+func virtualNs(now int64, rtt time.Duration) int64 {
+	return now + rtt.Nanoseconds()
+}

@@ -1,0 +1,9 @@
+// Fixture: a package outside the simulation-facing set may read the
+// wall clock freely (progress logging, artifact timestamps).
+package gen
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

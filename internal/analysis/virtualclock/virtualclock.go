@@ -1,0 +1,64 @@
+// Package virtualclock forbids wall-clock time in simulation-facing
+// packages. The dmsim substrate derives every timestamp from the
+// virtual clock (dmsim.Client.Now, virtual nanoseconds threaded through
+// NICs and the time gate); one stray time.Now() makes simulated
+// latencies depend on host scheduling and silently breaks the
+// bit-identical replay guarantee the fault plane is built on
+// (TestFaultsZeroScheduleBitIdentical, chaos suite).
+package virtualclock
+
+import (
+	"chime/internal/analysis"
+)
+
+// SimPackages are the packages whose time must be virtual. cmd/ and
+// examples/ may read the wall clock (progress logs, artifact stamps);
+// everything that runs inside a simulation may not.
+var SimPackages = map[string]bool{
+	"chime/internal/dmsim":     true,
+	"chime/internal/core":      true,
+	"chime/internal/sherman":   true,
+	"chime/internal/smartidx":  true,
+	"chime/internal/rolex":     true,
+	"chime/internal/fault":     true,
+	"chime/internal/lease":     true,
+	"chime/internal/obs":       true,
+	"chime/internal/locktable": true,
+	"chime/internal/bench":     true,
+}
+
+// banned lists the package-level time functions that observe or wait on
+// the wall clock. time.Duration values and arithmetic remain legal —
+// configs express RTTs as time.Duration — but reading "now" or
+// sleeping must go through the simulator.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "virtualclock",
+	Doc:  "forbid wall-clock time (time.Now, time.Sleep, timers) in simulation-facing packages; all time must come from the dmsim virtual clock",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !SimPackages[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	for ident, obj := range pass.TypesInfo.Uses {
+		if !banned[obj.Name()] || !analysis.IsPkgLevelFunc(obj, "time") {
+			continue
+		}
+		pass.Reportf(ident.Pos(), "time.%s reads or waits on the wall clock; %s is simulation-facing and must use dmsim virtual time (Client.Now / virtual-ns arithmetic)",
+			obj.Name(), pass.Pkg.Path())
+	}
+	return nil, nil
+}

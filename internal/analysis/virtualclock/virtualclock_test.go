@@ -1,0 +1,13 @@
+package virtualclock_test
+
+import (
+	"testing"
+
+	"chime/internal/analysis/analysistest"
+	"chime/internal/analysis/virtualclock"
+)
+
+func TestVirtualClock(t *testing.T) {
+	analysistest.Run(t, "testdata", virtualclock.Analyzer,
+		"chime/internal/core", "chime/tools/gen")
+}

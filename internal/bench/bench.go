@@ -376,6 +376,7 @@ func Run(sys System, cfg RunConfig) (Result, error) {
 	if cfg.Obs != nil {
 		snap := cfg.Obs.Sink().Registry().Snapshot()
 		perOp := func(name string) float64 {
+			//lint:allow obsnames every caller below passes a Name* schema constant
 			return float64(snap.CounterDelta(snapBefore, name)) / float64(ops)
 		}
 		res.RetriesPerOp = perOp(obs.NameRetry)

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"testing"
+
+	"chime/internal/ycsb"
+)
+
+// Two single-client runs built from the same scale and workload seed
+// must produce bit-identical result rows: every timestamp is virtual,
+// every random draw is threaded from the seed (the virtualclock and
+// seededrand analyzers enforce both statically), so nothing in a
+// deterministic run may vary between executions. This is the
+// row-level replay guarantee the committed BENCH_*.json artifacts and
+// the fault plane's off-means-off pin build on.
+func TestSameSeedBitIdenticalRows(t *testing.T) {
+	sc := tinyScale
+	sc.LoadN = 3000
+
+	measure := func() Result {
+		t.Helper()
+		sys, cfg, err := buildSystem("CHIME", sc, 1, func(c *SystemConfig) {
+			c.LoadClients = 1 // single-threaded: fully deterministic
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := runPoint(sys, cfg, ycsb.WorkloadA, 1, 800, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	a, b := measure(), measure()
+	if a != b {
+		t.Fatalf("same seed produced different rows:\n a: %+v\n b: %+v", a, b)
+	}
+}

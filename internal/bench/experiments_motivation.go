@@ -196,6 +196,16 @@ func Fig4c(w io.Writer, sc Scale) error {
 		}
 		var wg sync.WaitGroup
 		durs := make([]int64, sc.Clients)
+		// Carve the readable region out of MN 0's allocator once, up
+		// front: the timed loop then derives every address from this
+		// base via GAddr.Add instead of raw GAddr literals, keeping all
+		// address construction on the sanctioned verb-gate paths.
+		span := sc.MNSize - block - 64
+		setup := f.NewClient()
+		region, err := setup.AllocRPC(0, span+block)
+		if err != nil {
+			return err
+		}
 		// The cohort shares one virtual epoch and the time gate, so the
 		// NIC's IOPS/bandwidth ceilings bind exactly as configured.
 		cls := make([]*dmsim.Client, sc.Clients)
@@ -211,10 +221,9 @@ func Fig4c(w io.Writer, sc Scale) error {
 				defer cl.LeaveCohort()
 				r := rand.New(rand.NewSource(int64(ci)))
 				buf := make([]byte, block)
-				span := sc.MNSize - block - 64
 				start := cl.Now()
 				for i := 0; i < opsPer; i++ {
-					addr := dmsim.GAddr{Off: 64 + uint64(r.Intn(span))}
+					addr := region.Add(uint64(r.Intn(span)))
 					if err := cl.Read(addr, buf); err != nil {
 						return
 					}

@@ -9,8 +9,11 @@ import (
 )
 
 // MetricsSchema identifies the metrics JSON artifact layout emitted by
-// Observer.MetricsJSON (and chime-bench -metrics-json).
-const MetricsSchema = "chime-bench/metrics/v1"
+// Observer.MetricsJSON (and chime-bench -metrics-json). v2 renamed the
+// NIC instruments from nic.* to dm.nic.* so every instrument name fits
+// the ^(dm|idx|fault|bench)\. namespace enforced by the obsnames
+// analyzer (cmd/chimelint).
+const MetricsSchema = "chime-bench/metrics/v2"
 
 // Observer ties one obs.Sink to the bench harness: systems built with
 // SystemConfig.Obs count protocol events (and optionally trace spans)

@@ -87,11 +87,11 @@ func (ix *Index) InternalNodeSize() int { return ix.inner.size }
 // root node's MN-0 offset in the low 56 bits. Root nodes are always
 // allocated on MN 0 so the whole root identity fits one atomic word.
 func packSuper(addr dmsim.GAddr, level uint8) uint64 {
-	return uint64(level)<<56 | (addr.Off & ((1 << 56) - 1))
+	return dmsim.PackTagged(addr, level)
 }
 
 func unpackSuper(w uint64) (dmsim.GAddr, uint8) {
-	return dmsim.GAddr{MN: 0, Off: w & ((1 << 56) - 1)}, uint8(w >> 56)
+	return dmsim.UnpackTagged(w)
 }
 
 func (ix *Index) writeSuper(c *dmsim.Client, root dmsim.GAddr, level uint8) error {

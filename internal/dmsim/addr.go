@@ -48,6 +48,26 @@ func UnpackGAddr(v uint64) GAddr {
 	return GAddr{MN: uint8(v >> 56), Off: v & ((1 << 56) - 1)}
 }
 
+// PackTagged encodes an MN-0 address plus an 8-bit tag into one
+// CAS-able word, reusing the byte Pack spends on the MN index. Super
+// blocks use this to store the root pointer and tree level in a single
+// atomic word (roots always live on MN 0). Like Pack, it panics instead
+// of silently truncating.
+func PackTagged(a GAddr, tag uint8) uint64 {
+	if a.MN != 0 {
+		panic(fmt.Sprintf("dmsim: PackTagged address %v not on MN 0", a))
+	}
+	if a.Off > maxOff {
+		panic(fmt.Sprintf("dmsim: PackTagged offset 0x%x exceeds 56 bits", a.Off))
+	}
+	return uint64(tag)<<56 | a.Off
+}
+
+// UnpackTagged decodes a word packed by PackTagged.
+func UnpackTagged(w uint64) (GAddr, uint8) {
+	return GAddr{Off: w & maxOff}, uint8(w >> 56)
+}
+
 // String formats the address for diagnostics.
 func (a GAddr) String() string {
 	if a.IsNil() {

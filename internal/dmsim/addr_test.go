@@ -36,3 +36,32 @@ func TestGAddrAddOverflowPanics(t *testing.T) {
 		t.Errorf("boundary round trip %v -> %v", a, got)
 	}
 }
+
+// Tagged words reuse Pack's MN byte for an 8-bit tag (super blocks
+// store root pointer + level this way), so they carry MN-0 addresses
+// only and refuse offsets that cannot round-trip.
+func TestPackTagged(t *testing.T) {
+	a := GAddr{Off: 0x1234}
+	w := PackTagged(a, 7)
+	got, tag := UnpackTagged(w)
+	if got != a || tag != 7 {
+		t.Errorf("round trip: got %v tag %d, want %v tag 7", got, tag, a)
+	}
+
+	b := GAddr{Off: maxOff}
+	if got, tag := UnpackTagged(PackTagged(b, 255)); got != b || tag != 255 {
+		t.Errorf("boundary round trip: got %v tag %d", got, tag)
+	}
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("non-zero MN", func() { PackTagged(GAddr{MN: 1, Off: 64}, 0) })
+	mustPanic("oversized offset", func() { PackTagged(GAddr{Off: maxOff + 1}, 0) })
+}

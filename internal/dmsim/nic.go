@@ -23,11 +23,11 @@ const (
 // Registry histogram names for NIC service/queue timing, one service
 // histogram per verb class plus one shared queue-wait histogram.
 const (
-	NameNICQueueNs       = "nic.queue_ns"
-	NameNICReadService   = "nic.read.service_ns"
-	NameNICWriteService  = "nic.write.service_ns"
-	NameNICAtomicService = "nic.atomic.service_ns"
-	NameNICRPCService    = "nic.rpc.service_ns"
+	NameNICQueueNs       = "dm.nic.queue_ns"
+	NameNICReadService   = "dm.nic.read.service_ns"
+	NameNICWriteService  = "dm.nic.write.service_ns"
+	NameNICAtomicService = "dm.nic.atomic.service_ns"
+	NameNICRPCService    = "dm.nic.rpc.service_ns"
 )
 
 // nicSampleIntervalNs rate-limits the per-NIC trace counter timeline to

@@ -258,11 +258,11 @@ func (ix *Index) LeafNodeSize() int { return ix.leaf.size }
 func (ix *Index) InternalNodeSize() int { return ix.inner.size }
 
 func packSuper(addr dmsim.GAddr, level uint8) uint64 {
-	return uint64(level)<<56 | (addr.Off & ((1 << 56) - 1))
+	return dmsim.PackTagged(addr, level)
 }
 
 func unpackSuper(w uint64) (dmsim.GAddr, uint8) {
-	return dmsim.GAddr{MN: 0, Off: w & ((1 << 56) - 1)}, uint8(w >> 56)
+	return dmsim.UnpackTagged(w)
 }
 
 // yieldState implements capped exponential virtual-time backoff shared
