@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test race check bench-pipeline bench-writepipe bench-faults chaos
+.PHONY: all vet lint build test race check bench-pipeline bench-writepipe bench-faults bench-scale profile chaos
 
 all: check
 
@@ -53,3 +53,15 @@ bench-writepipe:
 # Regenerate the committed fault-sweep artifact.
 bench-faults:
 	$(GO) run ./cmd/chime-bench -run faults -scale small -json BENCH_FAULTS.json
+
+# Regenerate the committed host-capacity artifact: the full 1k-100k
+# client sweep, gate vs event loop, with determinism double-runs.
+# Takes a couple of minutes; the gate rows at 10k are most of it.
+bench-scale:
+	$(GO) run ./cmd/chime-bench -run scale -verify -json BENCH_SCALE.json
+
+# CPU-profile the 100k-client capacity point and drop into pprof.
+profile:
+	$(GO) build -o /tmp/chime-bench ./cmd/chime-bench
+	/tmp/chime-bench -run scale -sweep 100000 -gate-cap 1 -cpuprofile scale-cpu.pprof
+	$(GO) tool pprof -top -nodecount=25 /tmp/chime-bench scale-cpu.pprof

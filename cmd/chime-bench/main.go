@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -44,8 +45,31 @@ func main() {
 
 		faultSeed = flag.Int64("fault-seed", 0, "faults experiment: schedule seed (0 = default)")
 		faultRate = flag.String("fault-rate", "", "faults experiment: comma-separated drop/spike rates (default 0,0.001,0.005,0.02)")
+
+		lanes      = flag.Int("lanes", 0, "scale experiment: event-loop lane count (default 1)")
+		depth      = flag.Int("depth", 0, "scale experiment: posted-verb pipeline depth (default 8)")
+		verbOps    = flag.Int("verb-ops", 0, "scale experiment: measured verbs per client (default auto)")
+		gateCap    = flag.Int("gate-cap", 0, "scale experiment: largest client count measured under the condvar gate (default 10000)")
+		quantum    = flag.Int("quantum-rtts", 0, "scale experiment: cohort window width in base RTTs, both schedulers (default 8)")
+		verify     = flag.Bool("verify", false, "scale experiment: double-run each point and record reproducibility")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *cpuprofile, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		// os.Exit on failure paths abandons an incomplete profile, which
+		// is fine: profiles are only read from successful runs.
+		defer pprof.StopCPUProfile()
+	}
 
 	if *list {
 		fmt.Println("available experiments:")
@@ -239,6 +263,48 @@ func main() {
 		}
 		writeObsArtifacts()
 		fmt.Printf("---- faults done in %v ----\n\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	// The scale experiment measures the simulator's host-side capacity
+	// (simulated verbs per wall second, gate vs event loop); dispatched
+	// directly for its own knobs and the BENCH_SCALE.json artifact.
+	if *run == "scale" {
+		opts := bench.ScaleOptions{
+			ClientSweep:  sc.ClientSweep,
+			OpsPerClient: *verbOps,
+			Depth:        *depth,
+			Lanes:        *lanes,
+			QuantumRTTs:  *quantum,
+			GateCap:      *gateCap,
+			Verify:       *verify,
+		}
+		if *sweep == "" {
+			opts.ClientSweep = nil // RunScale default 1k/10k/100k, not the index-bench sweep
+		}
+		fmt.Printf("==== scale: host-side capacity sweep, gate vs event loop ====\n")
+		start := time.Now()
+		rows, err := bench.RunScale(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scale failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatScaleRows(rows))
+		if at, sp := bench.ScaleSpeedup(rows); at > 0 {
+			fmt.Printf("event/gate speedup at %d clients: %.1fx\n", at, sp)
+		}
+		if *jsonOut != "" {
+			blob, err := bench.MarshalScaleJSON(opts, rows)
+			if err == nil {
+				err = os.WriteFile(*jsonOut, blob, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		fmt.Printf("---- scale done in %v ----\n\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 

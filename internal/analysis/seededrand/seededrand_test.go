@@ -8,5 +8,5 @@ import (
 )
 
 func TestSeededRand(t *testing.T) {
-	analysistest.Run(t, "testdata", seededrand.Analyzer, "a")
+	analysistest.Run(t, "testdata", seededrand.Analyzer, "a", "sched")
 }

@@ -1,0 +1,23 @@
+// Fixture: scheduler-shaped code. The event loop's determinism
+// guarantee (same seed → bit-identical replay regardless of
+// GOMAXPROCS) dies the moment lane assignment, tie breaks, or bucket
+// probing draw from the process-global source.
+package sched
+
+import "math/rand"
+
+func badLaneSpread(slots []int32) {
+	rand.Shuffle(len(slots), func(i, j int) { // want `math/rand\.Shuffle draws from the process-global random source`
+		slots[i], slots[j] = slots[j], slots[i]
+	})
+}
+
+func badTieBreak(n int) int {
+	return rand.Intn(n) // want `math/rand\.Intn draws from the process-global random source`
+}
+
+// goodTieBreak threads explicit seeded state: replayable.
+func goodTieBreak(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}

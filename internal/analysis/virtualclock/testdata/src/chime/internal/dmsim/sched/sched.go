@@ -1,0 +1,29 @@
+// Fixture: the calendar-queue scheduler package
+// (chime/internal/dmsim/sched) is simulation-facing — its keys are
+// virtual nanoseconds, so host time must never leak into them.
+package sched
+
+import "time"
+
+// Calendar keys are virtual ns; Duration arithmetic on configured
+// widths is legal (it never reads the host clock).
+func bucketWidth(quantum time.Duration) int64 {
+	return quantum.Nanoseconds()
+}
+
+func bad(keys []int64) int64 {
+	deadline := time.Now().UnixNano() // want `time\.Now reads or waits on the wall clock`
+	for _, k := range keys {
+		if k < deadline {
+			time.Sleep(time.Microsecond) // want `time\.Sleep reads or waits on the wall clock`
+		}
+	}
+	<-time.After(time.Millisecond) // want `time\.After reads or waits on the wall clock`
+	return deadline
+}
+
+func allowed() int64 {
+	// The audited escape hatch works here too.
+	t := time.Now() //lint:allow virtualclock fixture proves suppression works in sched
+	return t.UnixNano()
+}

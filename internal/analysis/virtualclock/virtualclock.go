@@ -15,16 +15,17 @@ import (
 // examples/ may read the wall clock (progress logs, artifact stamps);
 // everything that runs inside a simulation may not.
 var SimPackages = map[string]bool{
-	"chime/internal/dmsim":     true,
-	"chime/internal/core":      true,
-	"chime/internal/sherman":   true,
-	"chime/internal/smartidx":  true,
-	"chime/internal/rolex":     true,
-	"chime/internal/fault":     true,
-	"chime/internal/lease":     true,
-	"chime/internal/obs":       true,
-	"chime/internal/locktable": true,
-	"chime/internal/bench":     true,
+	"chime/internal/dmsim":       true,
+	"chime/internal/dmsim/sched": true,
+	"chime/internal/core":        true,
+	"chime/internal/sherman":     true,
+	"chime/internal/smartidx":    true,
+	"chime/internal/rolex":       true,
+	"chime/internal/fault":       true,
+	"chime/internal/lease":       true,
+	"chime/internal/obs":         true,
+	"chime/internal/locktable":   true,
+	"chime/internal/bench":       true,
 }
 
 // banned lists the package-level time functions that observe or wait on

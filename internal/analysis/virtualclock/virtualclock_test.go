@@ -9,5 +9,5 @@ import (
 
 func TestVirtualClock(t *testing.T) {
 	analysistest.Run(t, "testdata", virtualclock.Analyzer,
-		"chime/internal/core", "chime/tools/gen")
+		"chime/internal/core", "chime/internal/dmsim/sched", "chime/tools/gen")
 }

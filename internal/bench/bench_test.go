@@ -129,6 +129,7 @@ func TestExperimentRegistry(t *testing.T) {
 		"tab1", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"fig18a", "fig18b", "fig18c", "fig18d", "fig18e", "fig18f",
 		"fig19a", "fig19b", "fig19c",
+		"scale",
 	}
 	for _, id := range want {
 		if _, err := FindExperiment(id); err != nil {

@@ -1,0 +1,407 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"chime/internal/dmsim"
+)
+
+// Scale experiment: host-side capacity of the simulator itself. Every
+// other experiment measures virtual time (what the simulated fabric
+// does); this one measures how many simulated verbs per wall-clock
+// second the host can push through dmsim as the client count sweeps
+// 1k→100k, comparing the condvar time gate against the batch event
+// loop (ISSUE 6 / ROADMAP item 3). The workload is deliberately
+// index-free — depth-pipelined 64 B reads against per-client disjoint
+// slots — so the numbers isolate the scheduler + verb hot path, and so
+// multi-lane event-loop runs stay bit-identical (no cross-lane races on
+// remote lines).
+
+// ScaleOptions parameterizes RunScale beyond the shared Scale knobs.
+type ScaleOptions struct {
+	// ClientSweep is the simulated-client axis (default 1k, 10k, 100k).
+	ClientSweep []int
+	// OpsPerClient is the measured verbs each client issues (default
+	// scaled so every point issues at least ~2M verbs total).
+	OpsPerClient int
+	// Depth is the posted-verb pipeline depth (default 8).
+	Depth int
+	// Lanes is the event-loop lane count (default 1: single-core hosts
+	// gain nothing from more, and 1 keeps shard timing bit-compatible
+	// with the gate's single-server NIC).
+	Lanes int
+	// QuantumRTTs pins the cohort window width (base RTTs) for every
+	// point. The default 0 is auto mode: each point runs both schedulers
+	// at the faithful window (faithfulQuantumRTTs, the width index
+	// experiments use — where the schedulers are compared head to head)
+	// plus the event loop at a capacity window that scales with the
+	// cohort (capacityQuantumRTTs), the loosely-coupled regime that
+	// shows the simulator's raw verb ceiling. Window width trades
+	// synchronization fidelity for park amortization identically in both
+	// schedulers, so cross-scheduler speedups are only quoted between
+	// same-quantum rows.
+	QuantumRTTs int
+	// GateCap caps the client count for condvar-gate points (default
+	// 10k): the gate's O(members) broadcast makes 100k-member windows
+	// take minutes of host time, which is the finding, not a bug worth
+	// waiting on in every run.
+	GateCap int
+	// Verify re-runs each point and records whether the fingerprint —
+	// every client clock and counter plus the NIC totals — reproduced
+	// bit-identically.
+	Verify bool
+}
+
+func (o ScaleOptions) withDefaults() ScaleOptions {
+	if len(o.ClientSweep) == 0 {
+		o.ClientSweep = []int{1_000, 10_000, 100_000}
+	}
+	if o.Depth <= 0 {
+		o.Depth = 8
+	}
+	if o.Lanes <= 0 {
+		o.Lanes = 1
+	}
+	if o.GateCap <= 0 {
+		o.GateCap = 10_000
+	}
+	return o
+}
+
+// ScaleRow is one measured point, JSON-serializable for the committed
+// BENCH_SCALE.json artifact.
+type ScaleRow struct {
+	Scheduler    string  `json:"scheduler"` // "gate" | "event"
+	Clients      int     `json:"clients"`
+	Lanes        int     `json:"lanes"`
+	Depth        int     `json:"depth"`
+	QuantumRTTs  int     `json:"quantum_rtts"`
+	Ops          int64   `json:"ops"` // simulated verbs issued
+	HostSeconds  float64 `json:"host_seconds"`
+	HostMops     float64 `json:"host_mops"` // simulated verbs / host second, millions
+	VirtualMs    float64 `json:"virtual_ms"`
+	RSSMB        float64 `json:"rss_mb"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	Fingerprint  string  `json:"fingerprint"`
+	Reproducible *bool   `json:"reproducible,omitempty"` // set by Verify
+}
+
+// scalePoint runs one (scheduler, clients) point and returns its row.
+func scalePoint(mode dmsim.SchedulerKind, clients, ops, depth, lanes, quantumRTTs int) (ScaleRow, error) {
+	cfg := dmsim.DefaultConfig()
+	cfg.Scheduler = mode
+	cfg.Lanes = lanes
+	cfg.QuantumRTTs = quantumRTTs
+	// One private 64 B slot per client (plus the nil line at offset 0).
+	cfg.MNSize = (clients + 2) * 64
+	f, err := dmsim.NewFabric(cfg)
+	if err != nil {
+		return ScaleRow{}, err
+	}
+
+	cls := make([]*dmsim.Client, clients)
+	for i := range cls {
+		cls[i] = f.NewClient()
+		cls[i].JoinCohort() // join order fixes event-loop lane assignment
+	}
+
+	// Spawn every worker and let it allocate its scratch before the clock
+	// starts: the measured window covers the steady-state verb loop, not
+	// goroutine creation. Steady state is allocation-free (pinned by
+	// TestVerbRoundTripZeroAllocs), so the collector is also disabled for
+	// the window — with it on, periodic cycles scanning 100k goroutine
+	// stacks measure the collector, not the scheduler. AllocsPerOp stays
+	// honest either way: Mallocs counts allocations, not collections.
+	errs := make([]error, clients)
+	startCh := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range cls {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := cls[i]
+			defer c.LeaveCohort()
+			addr := dmsim.NilGAddr.Add(uint64(64 * (i + 1)))
+			buf := make([]byte, 64)
+			hs := make([]*dmsim.Completion, depth)
+			<-startCh
+			for j := 0; j < ops; j += depth {
+				for d := range hs {
+					h, err := c.PostRead(addr, buf)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					hs[d] = h
+				}
+				for d := range hs {
+					c.Poll(hs[d])
+					c.Release(hs[d])
+				}
+			}
+		}(i)
+	}
+	runtime.GC()
+	gcWas := debug.SetGCPercent(-1)
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	start := time.Now() //lint:allow virtualclock host-capacity experiment measures wall time by design
+	close(startCh)
+	wg.Wait()
+	hostSec := time.Since(start).Seconds() //lint:allow virtualclock host-capacity experiment measures wall time by design
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	debug.SetGCPercent(gcWas)
+	for _, err := range errs {
+		if err != nil {
+			return ScaleRow{}, err
+		}
+	}
+
+	totalOps := int64(clients) * int64(ops)
+	row := ScaleRow{
+		Scheduler:   schedulerName(mode),
+		Clients:     clients,
+		Lanes:       lanes,
+		Depth:       depth,
+		QuantumRTTs: quantumRTTs,
+		Ops:         totalOps,
+		HostSeconds: hostSec,
+		HostMops:    float64(totalOps) / hostSec / 1e6,
+		VirtualMs:   float64(f.Frontier()) / 1e6,
+		RSSMB:       readRSSMB(),
+		AllocsPerOp: float64(memAfter.Mallocs-memBefore.Mallocs) / float64(totalOps),
+		Fingerprint: scaleFingerprint(f, cls),
+	}
+	return row, nil
+}
+
+func schedulerName(mode dmsim.SchedulerKind) string {
+	if mode == dmsim.SchedulerEventLoop {
+		return "event"
+	}
+	return "gate"
+}
+
+// scaleFingerprint hashes everything a run makes observable — each
+// client's final clock and traffic counters in creation order, the NIC
+// totals, and the fabric frontier — so two runs fingerprint equal iff
+// their Result-level outputs are bit-identical.
+func scaleFingerprint(f *dmsim.Fabric, cls []*dmsim.Client) string {
+	h := fnv.New64a()
+	w := func(v int64) {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	for _, c := range cls {
+		w(c.Now())
+		s := c.Stats()
+		w(s.Reads)
+		w(s.Writes)
+		w(s.Trips)
+		w(s.BytesRead)
+		w(s.Posted)
+	}
+	n := f.TotalNICStats()
+	w(n.Verbs)
+	w(n.BytesIn)
+	w(n.BytesOut)
+	w(n.QueuedNs)
+	w(n.ServedNs)
+	w(f.Frontier())
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// readRSSMB reads the process's current resident set from
+// /proc/self/status (0 when unavailable, e.g. non-Linux hosts).
+func readRSSMB() float64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return 0
+		}
+		return kb / 1024
+	}
+	return 0
+}
+
+// faithfulQuantumRTTs is the window width index experiments run under:
+// tight enough that cohort members stay closely synchronized in virtual
+// time. Head-to-head scheduler comparisons happen here.
+const faithfulQuantumRTTs = 8
+
+// capacityQuantumRTTs is the loosely-coupled window for a given cohort
+// size: wide enough that a member rides out the NIC queueing delay of
+// the whole cohort many times over before parking, so park/advance cost
+// amortizes away and the row measures the simulator's raw verb ceiling.
+func capacityQuantumRTTs(clients int) int {
+	return 20 * clients
+}
+
+// RunScale sweeps the client axis. Gate points stop at GateCap; event
+// points cover the whole sweep. With QuantumRTTs unset, each point runs
+// the head-to-head pair at the faithful window plus an event capacity
+// row (see ScaleOptions.QuantumRTTs). With Verify, each configuration
+// runs twice and Reproducible records whether the fingerprints matched —
+// the expected outcome is true for every event row (the loop is
+// deterministic by construction) and false for multi-client gate rows
+// (the condvar gate admits host-scheduling interleavings at the NIC).
+func RunScale(opts ScaleOptions) ([]ScaleRow, error) {
+	opts = opts.withDefaults()
+	type config struct {
+		mode    dmsim.SchedulerKind
+		quantum int
+	}
+	var rows []ScaleRow
+	for _, clients := range opts.ClientSweep {
+		ops := opts.OpsPerClient
+		if ops <= 0 {
+			// At least ~2M verbs per point, and at least 300 per client so
+			// one-time per-client costs (completion-pool warm-up, cold
+			// structures) do not masquerade as steady-state cost.
+			ops = maxInt(2_000_000/clients, 300)
+		}
+		var configs []config
+		if opts.QuantumRTTs > 0 {
+			configs = []config{
+				{dmsim.SchedulerGate, opts.QuantumRTTs},
+				{dmsim.SchedulerEventLoop, opts.QuantumRTTs},
+			}
+		} else {
+			configs = []config{
+				{dmsim.SchedulerGate, faithfulQuantumRTTs},
+				{dmsim.SchedulerEventLoop, faithfulQuantumRTTs},
+				{dmsim.SchedulerEventLoop, capacityQuantumRTTs(clients)},
+			}
+		}
+		for _, cf := range configs {
+			if cf.mode == dmsim.SchedulerGate && clients > opts.GateCap {
+				continue
+			}
+			lanes := 1
+			if cf.mode == dmsim.SchedulerEventLoop {
+				lanes = opts.Lanes
+			}
+			row, err := scalePoint(cf.mode, clients, ops, opts.Depth, lanes, cf.quantum)
+			if err != nil {
+				return nil, fmt.Errorf("scale %s/%d: %w", schedulerName(cf.mode), clients, err)
+			}
+			if opts.Verify {
+				again, err := scalePoint(cf.mode, clients, ops, opts.Depth, lanes, cf.quantum)
+				if err != nil {
+					return nil, fmt.Errorf("scale %s/%d verify: %w", schedulerName(cf.mode), clients, err)
+				}
+				repro := again.Fingerprint == row.Fingerprint
+				row.Reproducible = &repro
+			}
+			rows = append(rows, row)
+			runtime.GC()
+		}
+	}
+	return rows, nil
+}
+
+// FormatScaleRows renders the sweep as an aligned table.
+func FormatScaleRows(rows []ScaleRow) string {
+	out := fmt.Sprintf("%-6s %8s %6s %6s %8s %10s %9s %10s %9s %8s %11s %6s\n",
+		"sched", "clients", "lanes", "depth", "qRTTs", "ops", "host(s)", "Mops/s", "virt(ms)", "rss(MB)", "allocs/op", "repro")
+	for _, r := range rows {
+		repro := "-"
+		if r.Reproducible != nil {
+			repro = strconv.FormatBool(*r.Reproducible)
+		}
+		out += fmt.Sprintf("%-6s %8d %6d %6d %8d %10d %9.2f %10.2f %9.1f %8.0f %11.4f %6s\n",
+			r.Scheduler, r.Clients, r.Lanes, r.Depth, r.QuantumRTTs, r.Ops,
+			r.HostSeconds, r.HostMops, r.VirtualMs, r.RSSMB, r.AllocsPerOp, repro)
+	}
+	return out
+}
+
+// ScaleSpeedup returns the event/gate host-throughput ratio at the
+// largest client count both schedulers covered (0 when no pair exists).
+// Only same-quantum rows are compared: window width changes the
+// park/advance amortization for both schedulers alike, so cross-quantum
+// ratios would measure the window, not the scheduler.
+func ScaleSpeedup(rows []ScaleRow) (int, float64) {
+	best := 0
+	var gate, event float64
+	for _, r := range rows {
+		for _, o := range rows {
+			if r.Scheduler == "gate" && o.Scheduler == "event" &&
+				r.Clients == o.Clients && r.QuantumRTTs == o.QuantumRTTs && r.Clients > best {
+				best, gate, event = r.Clients, r.HostMops, o.HostMops
+			}
+		}
+	}
+	if best == 0 || gate == 0 {
+		return 0, 0
+	}
+	return best, event / gate
+}
+
+// MarshalScaleJSON renders the rows as the BENCH_SCALE.json artifact.
+func MarshalScaleJSON(opts ScaleOptions, rows []ScaleRow) ([]byte, error) {
+	opts = opts.withDefaults()
+	atClients, speedup := ScaleSpeedup(rows)
+	return json.MarshalIndent(struct {
+		Experiment      string     `json:"experiment"`
+		Depth           int        `json:"depth"`
+		Lanes           int        `json:"lanes"`
+		SpeedupClients  int        `json:"speedup_clients"`
+		SpeedupEventVs1 float64    `json:"speedup_event_vs_gate"`
+		Rows            []ScaleRow `json:"rows"`
+	}{
+		Experiment:      "scale",
+		Depth:           opts.Depth,
+		Lanes:           opts.Lanes,
+		SpeedupClients:  atClients,
+		SpeedupEventVs1: speedup,
+		Rows:            rows,
+	}, "", "  ")
+}
+
+func init() {
+	register(Experiment{ID: "scale", Title: "Host-side simulator capacity: gate vs event loop, 1k-100k clients", Run: ScaleExperiment})
+}
+
+// ScaleExperiment is the registered experiment wrapper around RunScale.
+func ScaleExperiment(w io.Writer, sc Scale) error {
+	fmt.Fprintf(w, "# Scale sweep: simulated verbs per host second, condvar gate vs batch event loop\n")
+	rows, err := RunScale(ScaleOptions{Verify: true})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, FormatScaleRows(rows))
+	if at, sp := ScaleSpeedup(rows); at > 0 {
+		fmt.Fprintf(w, "event/gate speedup at %d clients: %.1fx\n", at, sp)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package bench
+
+import "testing"
+
+// TestScaleSmoke runs a miniature sweep through the full RunScale path —
+// both schedulers, verification double-runs, table and JSON rendering —
+// keeping the experiment wired end to end without burning bench time on
+// real client counts. QuantumRTTs is pinned so the sweep is one
+// head-to-head configuration per point (2 rows each).
+func TestScaleSmoke(t *testing.T) {
+	opts := ScaleOptions{
+		ClientSweep:  []int{8, 64},
+		OpsPerClient: 64,
+		Depth:        4,
+		QuantumRTTs:  8,
+		Verify:       true,
+	}
+	rows, err := RunScale(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (2 schedulers x 2 counts)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ops != int64(r.Clients)*64 {
+			t.Errorf("%s/%d: ops = %d, want %d", r.Scheduler, r.Clients, r.Ops, r.Clients*64)
+		}
+		if r.QuantumRTTs != 8 {
+			t.Errorf("%s/%d: quantum = %d, want pinned 8", r.Scheduler, r.Clients, r.QuantumRTTs)
+		}
+		if r.HostSeconds <= 0 || r.HostMops <= 0 {
+			t.Errorf("%s/%d: non-positive host timing %v / %v", r.Scheduler, r.Clients, r.HostSeconds, r.HostMops)
+		}
+		if r.VirtualMs <= 0 {
+			t.Errorf("%s/%d: virtual time did not advance", r.Scheduler, r.Clients)
+		}
+		if r.Fingerprint == "" {
+			t.Errorf("%s/%d: empty fingerprint", r.Scheduler, r.Clients)
+		}
+		if r.Reproducible == nil {
+			t.Errorf("%s/%d: Verify set but Reproducible missing", r.Scheduler, r.Clients)
+		} else if r.Scheduler == "event" && !*r.Reproducible {
+			// The event loop is deterministic by construction; a gate row
+			// may legitimately reproduce or not, so only event is pinned.
+			t.Errorf("event/%d: fingerprint did not reproduce", r.Clients)
+		}
+	}
+	if s := FormatScaleRows(rows); s == "" {
+		t.Error("empty table")
+	}
+	if _, err := MarshalScaleJSON(opts, rows); err != nil {
+		t.Errorf("MarshalScaleJSON: %v", err)
+	}
+}
+
+// TestScaleAutoQuanta pins the auto (QuantumRTTs unset) shape: each
+// point yields the faithful head-to-head pair plus an event capacity
+// row whose window scales with the cohort.
+func TestScaleAutoQuanta(t *testing.T) {
+	rows, err := RunScale(ScaleOptions{
+		ClientSweep:  []int{8},
+		OpsPerClient: 16,
+		Depth:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (gate+event faithful, event capacity)", len(rows))
+	}
+	wants := []struct {
+		sched   string
+		quantum int
+	}{
+		{"gate", faithfulQuantumRTTs},
+		{"event", faithfulQuantumRTTs},
+		{"event", capacityQuantumRTTs(8)},
+	}
+	for i, w := range wants {
+		if rows[i].Scheduler != w.sched || rows[i].QuantumRTTs != w.quantum {
+			t.Errorf("row %d = %s/q%d, want %s/q%d",
+				i, rows[i].Scheduler, rows[i].QuantumRTTs, w.sched, w.quantum)
+		}
+	}
+}
+
+// TestScaleGateCap pins that gate points above GateCap are skipped: the
+// condvar gate's O(members) windows make very large cohorts a finding to
+// report, not a default to wait on. ScaleSpeedup must pair the largest
+// same-quantum gate/event rows.
+func TestScaleGateCap(t *testing.T) {
+	rows, err := RunScale(ScaleOptions{
+		ClientSweep:  []int{8, 32},
+		OpsPerClient: 16,
+		Depth:        2,
+		QuantumRTTs:  8,
+		GateCap:      8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gates, events int
+	for _, r := range rows {
+		switch r.Scheduler {
+		case "gate":
+			gates++
+			if r.Clients > 8 {
+				t.Errorf("gate row at %d clients exceeds GateCap 8", r.Clients)
+			}
+		case "event":
+			events++
+		}
+	}
+	if gates != 1 || events != 2 {
+		t.Fatalf("got %d gate / %d event rows, want 1 / 2", gates, events)
+	}
+	if at, sp := ScaleSpeedup(rows); at != 8 || sp <= 0 {
+		t.Errorf("ScaleSpeedup = (%d, %v), want pair at 8 clients with positive ratio", at, sp)
+	}
+}

@@ -38,7 +38,7 @@ func (c *Client) AllocRPC(mnIdx int, size int) (GAddr, error) {
 	mn.allocOff = off + uint64(size)
 	mn.allocMu.Unlock()
 
-	done := mn.nic.serve(kindRPC, c.now+c.issueNs+penalty, 64)
+	done := mn.nic.serve(c.shard(), kindRPC, c.now+c.issueNs+penalty, 64)
 	c.finish(done + c.rpcNs)
 
 	c.stats.RPCs++

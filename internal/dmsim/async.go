@@ -52,6 +52,51 @@ type Completion struct {
 	prev    uint64
 	swapped bool
 	isAtom  bool
+
+	// pooled marks a handle sitting in its client's freelist. Guards
+	// double-Release and use-after-release.
+	pooled bool
+}
+
+// newCompletion takes a handle from the client's freelist, or allocates
+// one the first few times. Together with Release this makes the
+// steady-state post/poll path allocation-free: the freelist grows to
+// the client's peak pipeline depth and is then recycled forever.
+func (c *Client) newCompletion() *Completion {
+	if n := len(c.free); n > 0 {
+		h := c.free[n-1]
+		c.free = c.free[:n-1]
+		*h = Completion{c: c}
+		return h
+	}
+	return &Completion{c: c}
+}
+
+// Release returns a polled completion to its client's freelist for
+// reuse. The synchronous verbs (Read, Write, CAS, ...) release their
+// handles internally; pipelined callers that keep handles across
+// posts may opt in by releasing each handle once they are done with it
+// (after Poll and, for atomics, after reading CASResult). Releasing is
+// optional — an unreleased handle is simply garbage-collected — but a
+// released handle must not be touched again: the next post may recycle
+// it. Releasing nil is a no-op; releasing twice, releasing another
+// client's handle, or releasing before Poll panics, since each is a
+// lifetime bug that would silently corrupt a recycled handle later.
+func (c *Client) Release(h *Completion) {
+	if h == nil {
+		return
+	}
+	if h.c != c {
+		panic("dmsim: Release of another client's completion")
+	}
+	if !h.polled {
+		panic("dmsim: Release before Poll")
+	}
+	if h.pooled {
+		panic("dmsim: double Release of a completion")
+	}
+	h.pooled = true
+	c.free = append(c.free, h)
 }
 
 // Done reports whether the completion has been polled.
@@ -81,7 +126,19 @@ func (c *Client) post(nicDone int64) *Completion {
 		c.stats.MaxInflight = c.inflight
 	}
 	c.stats.Posted++
-	return &Completion{c: c, nicDone: nicDone}
+	h := c.newCompletion()
+	h.nicDone = nicDone
+	return h
+}
+
+// payloads returns the client's reusable batch-payload scratch slice,
+// sized to n. One slice per client suffices: batches never nest, and
+// serveBatch consumes the slice before returning.
+func (c *Client) payloads(n int) []int {
+	if cap(c.payloadScratch) < n {
+		c.payloadScratch = make([]int, n)
+	}
+	return c.payloadScratch[:n]
 }
 
 // Poll reaps one completion: the client's clock advances to the verb's
@@ -129,8 +186,7 @@ func (c *Client) PostRead(a GAddr, buf []byte) (*Completion, error) {
 	}
 	mn.copyOut(a.Off, buf)
 
-	done := mn.nic.serve(kindRead, c.now+c.issueNs+penalty, len(buf))
-	mn.nic.bytesOut.Add(int64(len(buf)))
+	done := mn.nic.serve(c.shard(), kindRead, c.now+c.issueNs+penalty, len(buf))
 
 	c.stats.Reads++
 	c.stats.Trips++
@@ -147,14 +203,17 @@ func (c *Client) PostReadBatch(addrs []GAddr, bufs [][]byte) (*Completion, error
 	}
 	if len(addrs) == 0 {
 		// A degenerate batch completes instantly: nothing was posted.
-		return &Completion{c: c, nicDone: c.now - c.rttNs, polled: true}, nil
+		h := c.newCompletion()
+		h.nicDone = c.now - c.rttNs
+		h.polled = true
+		return h, nil
 	}
 	mn0 := addrs[0].MN
 	penalty, err := c.faultGate(VerbRead, int(mn0))
 	if err != nil {
 		return nil, err
 	}
-	payloads := make([]int, len(addrs))
+	payloads := c.payloads(len(addrs))
 	var total int64
 	for i, a := range addrs {
 		if a.MN != mn0 {
@@ -169,8 +228,7 @@ func (c *Client) PostReadBatch(addrs []GAddr, bufs [][]byte) (*Completion, error
 		total += int64(len(bufs[i]))
 	}
 	mn := c.f.mns[mn0]
-	done := mn.nic.serveBatch(kindRead, c.now+c.issueNs+penalty, payloads)
-	mn.nic.bytesOut.Add(total)
+	done := mn.nic.serveBatch(c.shard(), kindRead, c.now+c.issueNs+penalty, payloads)
 
 	c.stats.Reads += int64(len(addrs))
 	c.stats.Trips++
@@ -192,8 +250,7 @@ func (c *Client) PostWrite(a GAddr, data []byte) (*Completion, error) {
 	}
 	mn.copyIn(a.Off, data)
 
-	done := mn.nic.serve(kindWrite, c.now+c.issueNs+penalty, len(data))
-	mn.nic.bytesIn.Add(int64(len(data)))
+	done := mn.nic.serve(c.shard(), kindWrite, c.now+c.issueNs+penalty, len(data))
 
 	c.stats.Writes++
 	c.stats.Trips++
@@ -209,14 +266,17 @@ func (c *Client) PostWriteBatch(addrs []GAddr, datas [][]byte) (*Completion, err
 		return nil, fmt.Errorf("dmsim: PostWriteBatch got %d addrs, %d bufs", len(addrs), len(datas))
 	}
 	if len(addrs) == 0 {
-		return &Completion{c: c, nicDone: c.now - c.rttNs, polled: true}, nil
+		h := c.newCompletion()
+		h.nicDone = c.now - c.rttNs
+		h.polled = true
+		return h, nil
 	}
 	mn0 := addrs[0].MN
 	penalty, err := c.faultGate(VerbWrite, int(mn0))
 	if err != nil {
 		return nil, err
 	}
-	payloads := make([]int, len(addrs))
+	payloads := c.payloads(len(addrs))
 	var total int64
 	for i, a := range addrs {
 		if a.MN != mn0 {
@@ -231,8 +291,7 @@ func (c *Client) PostWriteBatch(addrs []GAddr, datas [][]byte) (*Completion, err
 		total += int64(len(datas[i]))
 	}
 	mn := c.f.mns[mn0]
-	done := mn.nic.serveBatch(kindWrite, c.now+c.issueNs+penalty, payloads)
-	mn.nic.bytesIn.Add(total)
+	done := mn.nic.serveBatch(c.shard(), kindWrite, c.now+c.issueNs+penalty, payloads)
 
 	c.stats.Writes += int64(len(addrs))
 	c.stats.Trips++
@@ -269,7 +328,7 @@ func (c *Client) PostMaskedCAS(a GAddr, cmp, swap, cmpMask, swapMask uint64) (*C
 	lk.Unlock()
 	c.observeCAS(a, ok, cmpMask, swap)
 
-	done := mn.nic.serve(kindAtomic, c.now+c.issueNs+penalty, 8)
+	done := mn.nic.serve(c.shard(), kindAtomic, c.now+c.issueNs+penalty, 8)
 
 	c.stats.Atomics++
 	c.stats.Trips++
@@ -299,7 +358,7 @@ func (c *Client) PostFetchAdd(a GAddr, delta uint64) (*Completion, error) {
 	binary.LittleEndian.PutUint64(word, prev+delta)
 	lk.Unlock()
 
-	done := mn.nic.serve(kindAtomic, c.now+c.issueNs+penalty, 8)
+	done := mn.nic.serve(c.shard(), kindAtomic, c.now+c.issueNs+penalty, 8)
 
 	c.stats.Atomics++
 	c.stats.Trips++

@@ -54,6 +54,27 @@ type Client struct {
 	timeoutNs    int64
 	faultRetries int
 	crashed      bool
+
+	// Event-loop scheduler state (eventloop.go). evSlot is the dense
+	// cohort slot assigned at first join (-1 until then); evLane/evLocal
+	// are derived from it. evPark is the cap-1 wake channel; evBaton
+	// marks this client as its lane's current runner; evMustPark forces
+	// an unconditional park at the first syncGate after join/resume so
+	// execution order is loop-controlled before any verb issues.
+	evSlot     int32
+	evLane     int32
+	evLocal    int32
+	evPark     chan struct{}
+	evBaton    bool
+	evMustPark bool
+
+	// Completion freelist (async.go): recycled handles so steady-state
+	// post/poll performs zero heap allocations.
+	free []*Completion
+
+	// payloadScratch backs the per-segment payload slice of batched
+	// verbs, reused across batches.
+	payloadScratch []int
 }
 
 // NewClient registers a new client on the fabric. Its clock starts at
@@ -78,6 +99,7 @@ func (f *Fabric) NewClient() *Client {
 		rpcNs:        f.cfg.RPCServiceTime.Nanoseconds(),
 		timeoutNs:    timeout,
 		faultRetries: retries,
+		evSlot:       -1,
 	}
 }
 
@@ -102,7 +124,11 @@ func (c *Client) Advance(ns int64) {
 func (c *Client) JoinCohort() {
 	if !c.gated {
 		c.gated = true
-		c.f.gate.join(c.now)
+		if c.f.loop != nil {
+			c.f.loop.join(c)
+		} else {
+			c.f.gate.join(c.now)
+		}
 	}
 }
 
@@ -110,15 +136,38 @@ func (c *Client) JoinCohort() {
 func (c *Client) LeaveCohort() {
 	if c.gated {
 		c.gated = false
-		c.f.gate.leave()
+		if c.f.loop != nil {
+			c.f.loop.leave(c)
+		} else {
+			c.f.gate.leave()
+		}
 	}
+}
+
+// shard picks the NIC shard this client's verbs are charged to. A
+// gated event-loop member uses its lane's shard (lane-private NIC
+// state, the basis of parallel-deterministic execution); freewheeling
+// clients hash by ID so bootstrap loaders spread across shards. With
+// one shard (any gate-mode fabric) this is always 0.
+func (c *Client) shard() int32 {
+	if c.f.shards == 1 {
+		return 0
+	}
+	if c.gated && c.evSlot >= 0 {
+		return c.evLane
+	}
+	return int32(c.id % int64(c.f.shards))
 }
 
 // syncGate blocks a cohort member until its clock is inside the gate
 // window; freewheeling clients pass straight through.
 func (c *Client) syncGate() {
 	if c.gated {
-		c.f.gate.sync(c.now)
+		if c.f.loop != nil {
+			c.f.loop.sync(c)
+		} else {
+			c.f.gate.sync(c.now)
+		}
 	}
 }
 
@@ -132,7 +181,11 @@ func (c *Client) Suspend() bool {
 		return false
 	}
 	c.gated = false
-	c.f.gate.leave()
+	if c.f.loop != nil {
+		c.f.loop.leave(c)
+	} else {
+		c.f.gate.leave()
+	}
 	return true
 }
 
@@ -145,7 +198,11 @@ func (c *Client) Resume(now int64) {
 		c.now = now
 	}
 	c.gated = true
-	c.f.gate.rejoin()
+	if c.f.loop != nil {
+		c.f.loop.join(c)
+	} else {
+		c.f.gate.rejoin()
+	}
 }
 
 // Stats returns a snapshot of the client's traffic counters.
@@ -181,6 +238,7 @@ func (c *Client) Read(a GAddr, buf []byte) error {
 		return err
 	}
 	c.Poll(h)
+	c.Release(h)
 	return nil
 }
 
@@ -194,6 +252,7 @@ func (c *Client) ReadBatch(addrs []GAddr, bufs [][]byte) error {
 		return err
 	}
 	c.Poll(h)
+	c.Release(h)
 	return nil
 }
 
@@ -204,6 +263,7 @@ func (c *Client) Write(a GAddr, data []byte) error {
 		return err
 	}
 	c.Poll(h)
+	c.Release(h)
 	return nil
 }
 
@@ -216,6 +276,7 @@ func (c *Client) WriteBatch(addrs []GAddr, datas [][]byte) error {
 		return err
 	}
 	c.Poll(h)
+	c.Release(h)
 	return nil
 }
 
@@ -236,6 +297,7 @@ func (c *Client) MaskedCAS(a GAddr, cmp, swap, cmpMask, swapMask uint64) (uint64
 	}
 	c.Poll(h)
 	prev, ok := h.CASResult()
+	c.Release(h)
 	return prev, ok, nil
 }
 
@@ -248,5 +310,6 @@ func (c *Client) FetchAdd(a GAddr, delta uint64) (uint64, error) {
 	}
 	c.Poll(h)
 	prev, _ := h.CASResult()
+	c.Release(h)
 	return prev, nil
 }

@@ -276,15 +276,15 @@ func TestNICBandwidthVsIOPSBound(t *testing.T) {
 	n := newNIC(cfg)
 
 	perOp := 1e9 / cfg.IOPS
-	small := n.serve(kindRead, 0, 8)
+	small := n.serve(0, kindRead, 0, 8)
 	if got := float64(small); got < perOp-1 || got > perOp*1.5 {
 		t.Fatalf("8B service = %vns, want about per-op %vns", got, perOp)
 	}
 
 	bigBytes := 1 << 20
 	bwNs := float64(bigBytes) * 1e9 / cfg.BandwidthBps
-	start := n.freeAt
-	done := n.serve(kindRead, start, bigBytes)
+	start := n.shards[0].freeAt
+	done := n.serve(0, kindRead, start, bigBytes)
 	if got := float64(done - start); got < bwNs*0.99 || got > bwNs*1.1 {
 		t.Fatalf("1MB service = %vns, want about bandwidth %vns", got, bwNs)
 	}
@@ -294,8 +294,8 @@ func TestNICQueueing(t *testing.T) {
 	cfg := testConfig()
 	n := newNIC(cfg)
 	// Two verbs arriving at the same instant must serialize.
-	d1 := n.serve(kindRead, 0, 1024)
-	d2 := n.serve(kindRead, 0, 1024)
+	d1 := n.serve(0, kindRead, 0, 1024)
+	d2 := n.serve(0, kindRead, 0, 1024)
 	if d2 <= d1 {
 		t.Fatalf("second verb completed at %d, first at %d: no queueing", d2, d1)
 	}

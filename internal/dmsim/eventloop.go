@@ -1,0 +1,254 @@
+package dmsim
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"chime/internal/dmsim/sched"
+)
+
+// evLoop is the batch event-loop scheduler (Config.Scheduler ==
+// SchedulerEventLoop): the ordering substrate that replaces the
+// condvar timeGate for large cohorts.
+//
+// The gate's contract is preserved — a cohort member may only issue
+// verbs while its virtual clock is inside the current window
+// [0, window), and the window advances one quantum past the slowest
+// member — but the mechanism is event-driven instead of broadcast-
+// driven:
+//
+//   - Parked members sit in a per-lane calendar queue (sched.Calendar)
+//     keyed on their virtual clock. A window advance pops exactly one
+//     member per lane instead of broadcasting to every member, so the
+//     per-window wakeup cost is O(lanes), not O(members) spurious
+//     wakeups contending one mutex.
+//   - Members are partitioned across lanes by join order. Within a
+//     lane, exactly one member runs at a time (a baton handed from the
+//     parking member to the next calendar entry), in calendar order —
+//     a pure function of virtual clocks. Across lanes, members run in
+//     parallel against lane-private NIC shards (nic.go), so the only
+//     cross-lane interactions are the quantum-boundary barriers and
+//     whatever shared remote memory the workload itself touches.
+//   - The window advances when every member is parked (the running
+//     count hits zero): the last parker becomes the barrier leader,
+//     computes min(parked clocks) + quantum, and seeds each lane's
+//     baton. This is the "barrier merge at quantum boundaries" of the
+//     parallel-deterministic design.
+//
+// Determinism: lane assignment (join order), intra-lane execution
+// order (calendar pop order), NIC shard state (lane-private) and
+// window arithmetic (min over parked clocks) are all pure functions of
+// the simulation's virtual-time history, so a cohort whose members
+// touch disjoint remote lines replays bit-identically for the same
+// seed regardless of GOMAXPROCS or host scheduling. Members that race
+// on the same remote line across lanes within one window keep exactly
+// the relaxed semantics real hardware (and the gate) gives them.
+type evLoop struct {
+	quantum int64
+	nlanes  int
+
+	// mu serializes membership transitions (join/leave/rejoin) and
+	// barrier advances against each other.
+	mu    sync.Mutex
+	seq   int32 // next dense cohort slot, guarded by mu
+	lanes []evLane
+
+	// window is the exclusive upper bound of runnable virtual time. It
+	// is written only by a barrier leader while every member is parked;
+	// running members read it through the happens-before edge of the
+	// token channel that woke them.
+	window int64
+
+	// running counts members not currently parked. The member that
+	// decrements it to zero leads the next barrier.
+	running atomic.Int64
+	members atomic.Int64
+}
+
+// evLane is one execution lane: a calendar of parked members, the
+// slot→client table, and the pending list. lane.mu guards all three;
+// it is uncontended in steady state (one running member per lane) and
+// only sees real contention during the initial descent, before the
+// first barrier establishes the baton discipline.
+//
+// pending exists for determinism: calendar chains pop in push order,
+// so push order must be a pure function of virtual-time history. The
+// baton holder's parks are sequential within the lane and may push
+// directly, but members parking concurrently (the initial descent
+// after join, rejoins after Resume) would file in host-scheduling
+// order. Those parks are staged here instead, and the next barrier
+// leader flushes them into the calendar in slot order.
+type evLane struct {
+	mu      sync.Mutex
+	cal     *sched.Calendar
+	clients []*Client
+	pending []int32
+	_       [64]byte // keep lanes off each other's cache lines
+}
+
+func newEvLoop(quantum int64, nlanes int) *evLoop {
+	if quantum < 1 {
+		quantum = 1
+	}
+	if nlanes < 1 {
+		nlanes = 1
+	}
+	l := &evLoop{quantum: quantum, nlanes: nlanes, lanes: make([]evLane, nlanes)}
+	for i := range l.lanes {
+		l.lanes[i].cal = sched.NewCalendar(quantum, 64)
+	}
+	return l
+}
+
+// join enrolls a client. First-time members get a dense slot (join
+// order is the deterministic lane assignment); rejoining members keep
+// theirs. The member counts as running until it first parks, and its
+// first sync parks unconditionally so no verb is issued before the
+// first barrier establishes deterministic lane order.
+func (l *evLoop) join(c *Client) {
+	l.mu.Lock()
+	if c.evSlot < 0 {
+		c.evSlot = l.seq
+		l.seq++
+		c.evLane = c.evSlot % int32(l.nlanes)
+		c.evLocal = c.evSlot / int32(l.nlanes)
+		if c.evPark == nil {
+			c.evPark = make(chan struct{}, 1)
+		}
+		lane := &l.lanes[c.evLane]
+		lane.mu.Lock()
+		lane.cal.Grow(int(c.evLocal) + 1)
+		for int(c.evLocal) >= len(lane.clients) {
+			lane.clients = append(lane.clients, nil)
+		}
+		lane.clients[c.evLocal] = c
+		lane.mu.Unlock()
+	}
+	c.evBaton = false
+	c.evMustPark = true
+	l.members.Add(1)
+	l.running.Add(1)
+	l.mu.Unlock()
+}
+
+// leave withdraws the (currently running) caller: hand the lane baton
+// to the next parked member of the window, and if the caller was the
+// last runner, lead a barrier so the parked survivors keep advancing.
+func (l *evLoop) leave(c *Client) {
+	l.mu.Lock()
+	l.members.Add(-1)
+	lane := &l.lanes[c.evLane]
+	lane.mu.Lock()
+	if c.evBaton {
+		c.evBaton = false
+		if s := lane.cal.PopBelow(l.window); s != sched.NoSlot {
+			l.grant(lane, s)
+		}
+	}
+	lane.mu.Unlock()
+	if l.running.Add(-1) == 0 {
+		l.advanceLocked()
+	}
+	l.mu.Unlock()
+}
+
+// sync is the event-loop half of Client.syncGate: park when the clock
+// has reached the window edge (or unconditionally on the first sync
+// after join/rejoin, so execution order is loop-controlled from the
+// first verb).
+func (l *evLoop) sync(c *Client) {
+	if !c.evMustPark && c.now < l.window {
+		return
+	}
+	l.park(c)
+}
+
+// park enqueues the caller — the baton holder files straight into the
+// calendar and hands the baton on; a batonless parker (initial descent,
+// rejoin) is staged on the pending list for the next barrier to file
+// deterministically — and blocks until a baton or barrier wakes it. The
+// caller returns runnable: its clock is inside the (possibly advanced)
+// window.
+func (l *evLoop) park(c *Client) {
+	lane := &l.lanes[c.evLane]
+	lane.mu.Lock()
+	if c.evBaton {
+		lane.cal.Push(c.evLocal, c.now)
+		c.evBaton = false
+		if s := lane.cal.PopBelow(l.window); s != sched.NoSlot {
+			if s == c.evLocal {
+				// The calendar handed the baton straight back (possible
+				// only for a lagging clock, which files at the scan
+				// cursor): keep running without a channel round trip.
+				c.evBaton = true
+				lane.mu.Unlock()
+				return
+			}
+			l.grant(lane, s)
+		}
+	} else {
+		lane.pending = append(lane.pending, c.evLocal)
+	}
+	lane.mu.Unlock()
+	if l.running.Add(-1) == 0 {
+		l.mu.Lock()
+		if l.running.Load() == 0 {
+			l.advanceLocked()
+		}
+		l.mu.Unlock()
+	}
+	<-c.evPark
+	c.evMustPark = false
+}
+
+// grant wakes one parked member: it becomes its lane's runner. The
+// running increment happens before the token send so the count can
+// never spuriously touch zero while a wake is in flight.
+func (l *evLoop) grant(lane *evLane, s int32) {
+	c := lane.clients[s]
+	c.evBaton = true
+	l.running.Add(1)
+	c.evPark <- struct{}{}
+}
+
+// advanceLocked is the barrier: every member is parked (running == 0),
+// so the leader has exclusive access to all lane state. Pending parks
+// are flushed into the calendars in slot order (the deterministic tie
+// break for members that parked concurrently), then the window opens
+// one quantum past the slowest parked member — the same arithmetic as
+// timeGate.advanceLocked — and exactly one member per lane is woken to
+// seed the batons.
+func (l *evLoop) advanceLocked() {
+	min := int64(maxInt64)
+	for i := range l.lanes {
+		lane := &l.lanes[i]
+		if len(lane.pending) > 0 {
+			// Slot order is the deterministic tie break; the sort must
+			// stay O(n log n) because the first barrier sees the whole
+			// lane here (100k-member descents arrive in host order).
+			slices.Sort(lane.pending)
+			for _, s := range lane.pending {
+				lane.cal.Push(s, lane.clients[s].now)
+			}
+			lane.pending = lane.pending[:0]
+		}
+		if k := lane.cal.MinKey(); k < min {
+			min = k
+		}
+	}
+	if min == maxInt64 {
+		return // no parked members (cohort drained)
+	}
+	next := min + l.quantum
+	if next <= l.window {
+		next = l.window + l.quantum
+	}
+	l.window = next
+	for i := range l.lanes {
+		lane := &l.lanes[i]
+		if s := lane.cal.PopBelow(l.window); s != sched.NoSlot {
+			l.grant(lane, s)
+		}
+	}
+}

@@ -72,19 +72,25 @@ func (m *memoryNode) copyIn(off uint64, data []byte) {
 type Fabric struct {
 	cfg  Config
 	mns  []*memoryNode
-	gate *timeGate
+	gate *timeGate // cohort synchronizer under SchedulerGate
+	loop *evLoop   // cohort synchronizer under SchedulerEventLoop (nil otherwise)
+
+	// shards is the per-MN NIC shard count (== effective lanes).
+	shards int32
 
 	clientSeq atomic.Int64
 
 	// Fault plane (fault.go). inj is read on every verb; set it only
-	// while no verbs are in flight (SetFaultInjector).
+	// while no verbs are in flight (SetFaultInjector). The counters are
+	// striped (per-writer cache lines) so heavily faulted fleets on the
+	// sharded NIC path don't serialize on four shared hot words.
 	inj   FaultInjector
 	ftObs faultObs
 
-	ftTimeouts atomic.Int64
-	ftRetries  atomic.Int64
-	ftCrashes  atomic.Int64
-	ftFailures atomic.Int64
+	ftTimeouts obs.Striped
+	ftRetries  obs.Striped
+	ftCrashes  obs.Striped
+	ftFailures obs.Striped
 }
 
 // NewFabric builds a fabric from the configuration.
@@ -92,7 +98,12 @@ func NewFabric(cfg Config) (*Fabric, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	f := &Fabric{cfg: cfg, gate: newTimeGate(cfg.BaseRTT.Nanoseconds())}
+	f := &Fabric{cfg: cfg, shards: int32(cfg.lanes())}
+	if cfg.Scheduler == SchedulerEventLoop {
+		f.loop = newEvLoop(cfg.quantumNs(), cfg.lanes())
+	} else {
+		f.gate = newTimeGate(cfg.quantumNs())
+	}
 	for i := 0; i < cfg.MNs; i++ {
 		f.mns = append(f.mns, &memoryNode{
 			mem: make([]byte, cfg.MNSize),
@@ -166,11 +177,9 @@ func (f *Fabric) checkRange(a GAddr, n int) (*memoryNode, error) {
 func (f *Fabric) Frontier() int64 {
 	var frontier int64
 	for _, m := range f.mns {
-		m.nic.mu.Lock()
-		if m.nic.freeAt > frontier {
-			frontier = m.nic.freeAt
+		if fr := m.nic.frontier(); fr > frontier {
+			frontier = fr
 		}
-		m.nic.mu.Unlock()
 	}
 	return frontier
 }

@@ -196,7 +196,7 @@ func (c *Client) faultGate(class VerbClass, mn int) (int64, error) {
 		c.verbSeq++
 		if d.Crash {
 			c.crashed = true
-			c.f.ftCrashes.Add(1)
+			c.f.ftCrashes.Inc(int32(c.id))
 			return 0, ErrClientCrashed
 		}
 		if !d.MNDown && !d.NICUnavailable && !d.DropCompletion {
@@ -209,7 +209,7 @@ func (c *Client) faultGate(class VerbClass, mn int) (int64, error) {
 			return penalty, nil
 		}
 		if retries >= c.faultRetries {
-			c.f.ftFailures.Add(1)
+			c.f.ftFailures.Inc(int32(c.id))
 			switch {
 			case d.MNDown:
 				return 0, ErrMNDown
@@ -221,10 +221,10 @@ func (c *Client) faultGate(class VerbClass, mn int) (int64, error) {
 		}
 		// Transient: the client waits out one verb timeout and reposts.
 		penalty += c.timeoutNs
-		c.f.ftRetries.Add(1)
+		c.f.ftRetries.Inc(int32(c.id))
 		c.f.ftObs.retries.Inc()
 		if d.DropCompletion {
-			c.f.ftTimeouts.Add(1)
+			c.f.ftTimeouts.Inc(int32(c.id))
 			c.f.ftObs.timeouts.Inc()
 		}
 	}

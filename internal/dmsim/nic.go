@@ -3,7 +3,6 @@ package dmsim
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"chime/internal/obs"
 )
@@ -35,50 +34,70 @@ const (
 // proportional to simulated time rather than verb count.
 const nicSampleIntervalNs = 1000
 
-// nic models one memory-node NIC as a single shared queueing resource.
-// A verb's service time is the larger of its bandwidth cost
-// (bytes / BandwidthBps) and its message cost (1 / IOPS), so streams of
-// small verbs are IOPS-bound and large transfers are bandwidth-bound.
+// nicShard is one independent slice of an MN NIC: its own FIFO busy
+// horizon, traffic counters, and trace-sampling gate, all guarded by
+// its own mutex so host cores never serialize on a sibling shard's
+// lock. Counters are plain words mutated under mu — the mutex is
+// already held for the busy-horizon recurrence, so folding the counter
+// writes in costs nothing and drops five atomic RMWs per verb from the
+// hot path. The padding keeps neighboring shards off one cache line.
+type nicShard struct {
+	mu           sync.Mutex
+	freeAt       int64 // virtual ns at which this shard next idles
+	verbs        int64
+	bytesIn      int64 // written to the MN
+	bytesOut     int64 // read from the MN
+	queuedNs     int64 // total time verbs spent waiting for the shard
+	servedNs     int64 // total service time consumed
+	lastSampleNs int64 // trace timeline gate
+	trName       string
+	_            [64]byte
+}
+
+// nic models one memory-node NIC as a queueing resource split into one
+// or more shards (Config.Lanes). A verb's service time is the larger of
+// its bandwidth cost (bytes / BandwidthBps) and its message cost
+// (1 / IOPS), so streams of small verbs are IOPS-bound and large
+// transfers are bandwidth-bound.
 //
-// Completion follows the classic single-server recurrence
+// Each shard runs the classic single-server recurrence
 //
 //	completion = max(arrival, free) + service
 //
-// under a mutex; clients arrive with their own virtual clocks, and the
-// max() term is what creates queueing delay when the NIC saturates.
+// under its own mutex, with 1/shards of the NIC's bandwidth and IOPS
+// (nsPerByte and nsPerOp are pre-scaled by the shard count), so the
+// aggregate capacity is independent of sharding. With one shard the
+// model is bit-identical to the historical single-server NIC; with
+// lanes > 1 each event-loop lane owns a shard, trading the single FIFO
+// horizon for per-lane horizons — the same approximation a multi-queue
+// NIC makes with per-QP scheduling.
 type nic struct {
-	mu     sync.Mutex
-	freeAt int64 // virtual ns at which the NIC next idles
+	nsPerByte float64 // per shard
+	nsPerOp   float64 // per shard
+	shards    []nicShard
 
-	nsPerByte float64
-	nsPerOp   float64
-
-	verbs    atomic.Int64
-	bytesIn  atomic.Int64 // written to the MN
-	bytesOut atomic.Int64 // read from the MN
-	queuedNs atomic.Int64 // total time verbs spent waiting for the NIC
-	servedNs atomic.Int64 // total service time consumed
-
-	// Observability (nil when no sink is attached; see Fabric.SetObserver).
-	// svcHist is indexed by verbKind. lastSampleNs gates the trace
-	// counter timeline and is guarded by mu.
-	svcHist      [verbKinds]*obs.Histogram
-	queueHist    *obs.Histogram
-	tr           *obs.Tracer
-	trName       string
-	lastSampleNs int64
+	// Observability (nil when no sink is attached; see
+	// Fabric.SetObserver). svcHist is indexed by verbKind. Histograms
+	// are atomic and shared across shards; the trace timeline is per
+	// shard (distinct series names) since shards complete out of order.
+	svcHist   [verbKinds]*obs.Histogram
+	queueHist *obs.Histogram
+	tr        *obs.Tracer
 }
 
 func newNIC(cfg Config) *nic {
+	s := cfg.lanes()
 	return &nic{
-		nsPerByte: 1e9 / cfg.BandwidthBps,
-		nsPerOp:   1e9 / cfg.IOPS,
+		nsPerByte: float64(s) * 1e9 / cfg.BandwidthBps,
+		nsPerOp:   float64(s) * 1e9 / cfg.IOPS,
+		shards:    make([]nicShard, s),
 	}
 }
 
 // setObserver resolves the NIC's instruments from a sink. The service
 // and queue histograms aggregate over all MNs; the trace counter
-// timeline is per NIC ("nic<mn>").
+// timeline is per shard ("nic<mn>" for the single-shard NIC, keeping
+// historical trace names; "nic<mn>.s<k>" under sharding).
 func (n *nic) setObserver(mn int, s *obs.Sink) {
 	r := s.Registry()
 	n.svcHist[kindRead] = r.Histogram(NameNICReadService)
@@ -87,24 +106,17 @@ func (n *nic) setObserver(mn int, s *obs.Sink) {
 	n.svcHist[kindRPC] = r.Histogram(NameNICRPCService)
 	n.queueHist = r.Histogram(NameNICQueueNs)
 	n.tr = s.Tracer()
-	n.trName = fmt.Sprintf("nic%d", mn)
+	for k := range n.shards {
+		if len(n.shards) == 1 {
+			n.shards[k].trName = fmt.Sprintf("nic%d", mn)
+		} else {
+			n.shards[k].trName = fmt.Sprintf("nic%d.s%d", mn, k)
+		}
+	}
 }
 
-// sampleLocked decides (under n.mu) whether to emit a timeline sample.
-func (n *nic) sampleLocked(completion int64) bool {
-	if n.tr == nil {
-		return false
-	}
-	if completion-n.lastSampleNs < nicSampleIntervalNs {
-		return false
-	}
-	n.lastSampleNs = completion
-	return true
-}
-
-// serve charges one verb of the given payload size arriving at the given
-// virtual time and returns its completion time at the NIC.
-func (n *nic) serve(kind verbKind, arrival int64, payload int) int64 {
+// serviceNs is the service time of one verb of the given payload size.
+func (n *nic) serviceNs(payload int) int64 {
 	service := n.nsPerOp
 	if bw := float64(payload) * n.nsPerByte; bw > service {
 		service = bw
@@ -113,24 +125,55 @@ func (n *nic) serve(kind verbKind, arrival int64, payload int) int64 {
 	if sNs < 1 {
 		sNs = 1
 	}
+	return sNs
+}
 
-	n.mu.Lock()
+// sampleLocked decides (under the shard mutex) whether to emit a
+// timeline sample.
+func (n *nic) sampleLocked(s *nicShard, completion int64) bool {
+	if n.tr == nil {
+		return false
+	}
+	if completion-s.lastSampleNs < nicSampleIntervalNs {
+		return false
+	}
+	s.lastSampleNs = completion
+	return true
+}
+
+// serve charges one verb of the given payload size arriving at the
+// given virtual time on the given shard and returns its completion time
+// at the NIC. Byte counters follow the verb class: READs move payload
+// bytes out of the MN, WRITEs move them in, atomics and RPCs move
+// nothing the byte counters track (their 8-byte words are charged to
+// client stats, as before sharding).
+func (n *nic) serve(shard int32, kind verbKind, arrival int64, payload int) int64 {
+	sNs := n.serviceNs(payload)
+
+	s := &n.shards[shard]
+	s.mu.Lock()
 	start := arrival
-	if n.freeAt > start {
-		start = n.freeAt
+	if s.freeAt > start {
+		start = s.freeAt
 	}
 	completion := start + sNs
-	n.freeAt = completion
-	sample := n.sampleLocked(completion)
-	n.mu.Unlock()
+	s.freeAt = completion
+	s.verbs++
+	s.queuedNs += start - arrival
+	s.servedNs += sNs
+	switch kind {
+	case kindRead:
+		s.bytesOut += int64(payload)
+	case kindWrite:
+		s.bytesIn += int64(payload)
+	}
+	sample := n.sampleLocked(s, completion)
+	s.mu.Unlock()
 
-	n.verbs.Add(1)
-	n.queuedNs.Add(start - arrival)
-	n.servedNs.Add(sNs)
 	n.svcHist[kind].Observe(sNs)
 	n.queueHist.Observe(start - arrival)
 	if sample {
-		n.tr.CounterSample(n.trName, completion, map[string]float64{
+		n.tr.CounterSample(s.trName, completion, map[string]float64{
 			"backlog_ns": float64(completion - arrival),
 			"queued_ns":  float64(start - arrival),
 		})
@@ -139,55 +182,56 @@ func (n *nic) serve(kind verbKind, arrival int64, payload int) int64 {
 }
 
 // serveBatch charges a doorbell batch: each segment is serviced
-// back-to-back at the NIC, but the caller pays only one round trip.
+// back-to-back at the shard, but the caller pays only one round trip.
 //
 // Accounting attributes queued-vs-service nanoseconds per segment
 // exactly as serve would if the same segments arrived individually at
-// the batch's arrival time: segment k waits for the NIC to free up AND
-// for the k-1 segments ahead of it in the batch, so
+// the batch's arrival time: segment k waits for the shard to free up
+// AND for the k-1 segments ahead of it in the batch, so
 // queued_k = (start - arrival) + sum(service_0..service_{k-1}).
 // This keeps NICStats.QueuedNs/ServedNs comparable between batched and
-// unbatched runs of the same verb stream.
-func (n *nic) serveBatch(kind verbKind, arrival int64, payloads []int) int64 {
-	var total, queuedInBatch int64
-	services := make([]int64, len(payloads))
-	for i, p := range payloads {
-		service := n.nsPerOp
-		if bw := float64(p) * n.nsPerByte; bw > service {
-			service = bw
-		}
-		sNs := int64(service)
-		if sNs < 1 {
-			sNs = 1
-		}
-		services[i] = sNs
+// unbatched runs of the same verb stream. Per-segment service times are
+// recomputed in the histogram pass rather than staged in a slice, so
+// the hot path stays allocation-free.
+func (n *nic) serveBatch(shard int32, kind verbKind, arrival int64, payloads []int) int64 {
+	var total, queuedInBatch, bytes int64
+	for _, p := range payloads {
 		queuedInBatch += total // this segment waits behind its predecessors
-		total += sNs
+		total += n.serviceNs(p)
+		bytes += int64(p)
 	}
 
-	n.mu.Lock()
+	s := &n.shards[shard]
+	s.mu.Lock()
 	start := arrival
-	if n.freeAt > start {
-		start = n.freeAt
+	if s.freeAt > start {
+		start = s.freeAt
 	}
 	completion := start + total
-	n.freeAt = completion
-	sample := n.sampleLocked(completion)
-	n.mu.Unlock()
+	s.freeAt = completion
+	s.verbs += int64(len(payloads))
+	s.queuedNs += (start-arrival)*int64(len(payloads)) + queuedInBatch
+	s.servedNs += total
+	switch kind {
+	case kindRead:
+		s.bytesOut += bytes
+	case kindWrite:
+		s.bytesIn += bytes
+	}
+	sample := n.sampleLocked(s, completion)
+	s.mu.Unlock()
 
-	n.verbs.Add(int64(len(payloads)))
-	n.queuedNs.Add((start-arrival)*int64(len(payloads)) + queuedInBatch)
-	n.servedNs.Add(total)
 	if h := n.svcHist[kind]; h != nil {
 		var behind int64
-		for _, sNs := range services {
+		for _, p := range payloads {
+			sNs := n.serviceNs(p)
 			h.Observe(sNs)
 			n.queueHist.Observe(start - arrival + behind)
 			behind += sNs
 		}
 	}
 	if sample {
-		n.tr.CounterSample(n.trName, completion, map[string]float64{
+		n.tr.CounterSample(s.trName, completion, map[string]float64{
 			"backlog_ns": float64(completion - arrival),
 			"queued_ns":  float64(start - arrival),
 		})
@@ -195,7 +239,22 @@ func (n *nic) serveBatch(kind verbKind, arrival int64, payloads []int) int64 {
 	return completion
 }
 
-// NICStats is a snapshot of one MN NIC's counters.
+// frontier returns the latest busy time across the NIC's shards.
+func (n *nic) frontier() int64 {
+	var fr int64
+	for i := range n.shards {
+		s := &n.shards[i]
+		s.mu.Lock()
+		if s.freeAt > fr {
+			fr = s.freeAt
+		}
+		s.mu.Unlock()
+	}
+	return fr
+}
+
+// NICStats is a snapshot of one MN NIC's counters, aggregated across
+// its shards.
 type NICStats struct {
 	Verbs    int64
 	BytesIn  int64
@@ -205,11 +264,16 @@ type NICStats struct {
 }
 
 func (n *nic) stats() NICStats {
-	return NICStats{
-		Verbs:    n.verbs.Load(),
-		BytesIn:  n.bytesIn.Load(),
-		BytesOut: n.bytesOut.Load(),
-		QueuedNs: n.queuedNs.Load(),
-		ServedNs: n.servedNs.Load(),
+	var t NICStats
+	for i := range n.shards {
+		s := &n.shards[i]
+		s.mu.Lock()
+		t.Verbs += s.verbs
+		t.BytesIn += s.bytesIn
+		t.BytesOut += s.bytesOut
+		t.QueuedNs += s.queuedNs
+		t.ServedNs += s.servedNs
+		s.mu.Unlock()
 	}
+	return t
 }

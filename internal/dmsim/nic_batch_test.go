@@ -13,15 +13,15 @@ func TestServeBatchAccountingMatchesServe(t *testing.T) {
 	for _, backlog := range []int64{0, 12345} {
 		a := newNIC(cfg)
 		b := newNIC(cfg)
-		a.freeAt = backlog
-		b.freeAt = backlog
+		a.shards[0].freeAt = backlog
+		b.shards[0].freeAt = backlog
 
 		const arrival = int64(100)
 		var lastSeq int64
 		for _, p := range payloads {
-			lastSeq = a.serve(kindRead, arrival, p)
+			lastSeq = a.serve(0, kindRead, arrival, p)
 		}
-		lastBatch := b.serveBatch(kindRead, arrival, payloads)
+		lastBatch := b.serveBatch(0, kindRead, arrival, payloads)
 
 		if lastSeq != lastBatch {
 			t.Fatalf("backlog %d: completion %d (sequential) != %d (batched)", backlog, lastSeq, lastBatch)
@@ -45,7 +45,7 @@ func TestServeBatchQueuedNsZeroLoad(t *testing.T) {
 	cfg := DefaultConfig()
 	n := newNIC(cfg)
 	perOp := int64(1e9 / cfg.IOPS)
-	n.serveBatch(kindRead, 0, []int{8, 8, 8})
+	n.serveBatch(0, kindRead, 0, []int{8, 8, 8})
 	s := n.stats()
 	// Segment 0 waits 0, segment 1 waits one service, segment 2 waits two.
 	if want := 3 * perOp; s.QueuedNs != want {

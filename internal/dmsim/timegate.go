@@ -72,7 +72,18 @@ func (g *timeGate) leave() {
 	g.mu.Lock()
 	g.members--
 	if g.members <= 1 {
-		g.cond.Broadcast() // lone member freewheels; wake it if blocked
+		// A lone survivor freewheels (sync's loop condition requires
+		// members > 1), so release it — and consume any registrations it
+		// left behind. Without the reset, the survivor's stale waiting
+		// count and minNow linger; after the next join, one registration
+		// would satisfy waiting >= members and march the window forward
+		// alone from a stale minimum, breaking lockstep for the new
+		// cohort. Bumping gen also invalidates the survivor's wait
+		// predicate explicitly rather than relying on the members check.
+		g.waiting = 0
+		g.minNow = maxInt64
+		g.gen++
+		g.cond.Broadcast()
 	} else if g.waiting >= g.members {
 		g.advanceLocked()
 	}

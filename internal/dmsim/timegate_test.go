@@ -91,6 +91,74 @@ func TestGateRejoinAheadDoesNotWidenWindow(t *testing.T) {
 	}
 }
 
+// TestGateLeaveReleasesLoneSurvivor is the ISSUE 6 satellite
+// regression: two members join, one is blocked at the window edge, and
+// the other leaves mid-window. The survivor must be released to
+// freewheel — and its stale edge registration must be consumed, so a
+// later two-member cohort on the same gate still advances in lockstep
+// instead of letting one member march the window alone.
+func TestGateLeaveReleasesLoneSurvivor(t *testing.T) {
+	g := newTimeGate(1000)
+	g.join(0)
+	g.join(0)
+
+	released := make(chan struct{})
+	go func() {
+		g.sync(5_000) // far past the window edge: blocks and registers
+		close(released)
+	}()
+	// Wait for the survivor-to-be to register at the edge.
+	for {
+		g.mu.Lock()
+		w := g.waiting
+		g.mu.Unlock()
+		if w == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	g.leave() // members drops to 1 mid-window
+	select {
+	case <-released:
+	case <-time.After(20 * time.Second):
+		t.Fatal("lone survivor deadlocked in sync after leave")
+	}
+
+	// The registration left behind by the released survivor must have
+	// been consumed: waiting and minNow reset, so the next cohort's
+	// first sync cannot spuriously satisfy waiting >= members.
+	g.mu.Lock()
+	waiting, minNow, window := g.waiting, g.minNow, g.window
+	g.mu.Unlock()
+	if waiting != 0 || minNow != maxInt64 {
+		t.Fatalf("stale registration after leave: waiting=%d minNow=%d", waiting, minNow)
+	}
+
+	// Rebuild a two-member cohort and let one member register once: the
+	// window must not move (lockstep requires both members).
+	g.join(0)
+	synced := make(chan struct{})
+	go func() {
+		g.sync(window) // at the edge: must block, not advance alone
+		close(synced)
+	}()
+	select {
+	case <-synced:
+		t.Fatal("single member advanced the window alone after leave reset")
+	case <-time.After(50 * time.Millisecond):
+	}
+	g.mu.Lock()
+	if g.window != window {
+		t.Fatalf("window moved from %d to %d with one of two members registered", window, g.window)
+	}
+	g.mu.Unlock()
+	// Release the blocked member by leaving with the other.
+	g.leave()
+	<-synced
+	g.leave()
+}
+
 func TestGateJoinLeaveChurn(t *testing.T) {
 	// Members joining and leaving mid-flight must never wedge the gate.
 	g := newTimeGate(1000)

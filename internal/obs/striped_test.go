@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStripedNilSafe(t *testing.T) {
+	var s *Striped
+	s.Add(3, 5)
+	s.Inc(0)
+	if s.Load() != 0 {
+		t.Fatal("nil Striped must read 0")
+	}
+}
+
+func TestStripedConcurrentSum(t *testing.T) {
+	var s Striped
+	const writers, each = 32, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int32) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.Inc(w)
+			}
+		}(int32(w))
+	}
+	wg.Wait()
+	if got := s.Load(); got != writers*each {
+		t.Fatalf("Load = %d, want %d", got, writers*each)
+	}
+	s.Add(-1, 7) // negative hints must not panic (index is unsigned-mapped)
+	if got := s.Load(); got != writers*each+7 {
+		t.Fatalf("Load after hinted Add = %d, want %d", got, writers*each+7)
+	}
+}
