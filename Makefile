@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test race check bench-pipeline bench-writepipe bench-faults bench-scale profile chaos
+.PHONY: all vet lint build test race check bench-pipeline bench-writepipe bench-faults bench-scale bench-offload profile chaos
 
 all: check
 
@@ -33,7 +33,7 @@ race:
 		./internal/smartidx/... ./internal/rolex/... ./internal/obs/... ./internal/bench/... \
 		./internal/fault/... ./internal/locktable/... ./internal/ycsb/... \
 		./internal/hopscotch/... ./internal/nodelayout/... ./internal/rdwc/... \
-		./internal/lease/... ./internal/analysis/...
+		./internal/lease/... ./internal/analysis/... ./internal/offroute/...
 
 # The seeded chaos suite alone (crash recovery invariants across all
 # four systems), under the race detector.
@@ -53,6 +53,13 @@ bench-writepipe:
 # Regenerate the committed fault-sweep artifact.
 bench-faults:
 	$(GO) run ./cmd/chime-bench -run faults -scale small -json BENCH_FAULTS.json
+
+# Regenerate the committed offload head-to-head artifact: one-sided vs
+# MN-side verbs vs the adaptive router, both schedulers, double-run
+# reproducibility fingerprints. Takes a few minutes (every point is
+# built fresh and run twice).
+bench-offload:
+	$(GO) run ./cmd/chime-bench -run offload -scale small -json BENCH_OFFLOAD.json
 
 # Regenerate the committed host-capacity artifact: the full 1k-100k
 # client sweep, gate vs event loop, with determinism double-runs.

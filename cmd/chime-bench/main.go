@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"chime/internal/bench"
+	"chime/internal/offroute"
 )
 
 func main() {
@@ -45,6 +46,10 @@ func main() {
 
 		faultSeed = flag.Int64("fault-seed", 0, "faults experiment: schedule seed (0 = default)")
 		faultRate = flag.String("fault-rate", "", "faults experiment: comma-separated drop/spike rates (default 0,0.001,0.005,0.02)")
+
+		offload     = flag.String("offload", "", "offload experiment: comma-separated routing modes off|on|adaptive (default off,on,adaptive)")
+		mnCPUs      = flag.Int("mn-cpus", 0, "offload experiment: offload cores per MN (default: dmsim model default, 2)")
+		mnServiceNs = flag.Int64("mn-service-ns", 0, "offload experiment: fixed dispatch ns per offloaded program (default: dmsim model default, 600)")
 
 		lanes      = flag.Int("lanes", 0, "scale experiment: event-loop lane count (default 1)")
 		depth      = flag.Int("depth", 0, "scale experiment: posted-verb pipeline depth (default 8)")
@@ -263,6 +268,50 @@ func main() {
 		}
 		writeObsArtifacts()
 		fmt.Printf("---- faults done in %v ----\n\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	// The offload experiment (MN-side verbs vs one-sided traversal, with
+	// the adaptive router head-to-head) takes routing-mode and MN-compute
+	// overrides and emits the BENCH_OFFLOAD.json artifact.
+	if *run == "offload" {
+		opts := bench.OffloadOptions{
+			MNCPUs:      *mnCPUs,
+			MNServiceNs: *mnServiceNs,
+		}
+		for _, part := range strings.Split(*offload, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			m, err := offroute.ParseMode(part)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -offload element %q: %v\n", part, err)
+				os.Exit(2)
+			}
+			opts.Modes = append(opts.Modes, m)
+		}
+		fmt.Printf("==== offload: MN-side verbs vs one-sided, adaptive router (load=%d ops=%d) ====\n", sc.LoadN, sc.Ops)
+		start := time.Now()
+		rows, err := bench.RunOffload(sc, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "offload failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatOffloadRows(rows))
+		if *jsonOut != "" {
+			blob, err := bench.MarshalOffloadJSON(sc, opts, rows)
+			if err == nil {
+				err = os.WriteFile(*jsonOut, blob, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		writeObsArtifacts()
+		fmt.Printf("---- offload done in %v ----\n\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 

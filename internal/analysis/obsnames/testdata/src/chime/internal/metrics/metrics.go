@@ -17,6 +17,8 @@ func register(r *obs.Registry, verb string) {
 	_ = r.Counter(nameRetry)
 	_ = r.Gauge("fault.active_windows")
 	_ = r.Histogram("dm.nic.read.service_ns")
+	_ = r.Histogram("dm.mn.service_ns")
+	_ = r.Counter("dm.mn.offload")
 	_ = r.Counter("bench.rows")
 
 	_ = r.Counter("nic.queue_ns")             // want `instrument name "nic\.queue_ns" does not match`

@@ -26,7 +26,27 @@ type Fabric struct{ mem []byte }
 func (f *Fabric) Peek(a GAddr, buf []byte) error { return nil }
 func (f *Fabric) Poke(a GAddr, b []byte) error   { return nil }
 
+// MNCtx and ExecOffload mirror the offload plane: the metered MN-side
+// execution context and the fabric-side executor that runs a program
+// against backing memory.
+type MNCtx struct{ touched int64 }
+
+func (ctx *MNCtx) Read(a GAddr, buf []byte) error { return nil }
+
+func (f *Fabric) ExecOffload(mn int, dst []byte, fn func(*MNCtx)) (int, int64, error) {
+	fn(&MNCtx{})
+	return 0, 0, nil
+}
+
+type MNProgramID uint32
+
+type OffloadStatus uint8
+
 type Client struct{ f *Fabric }
 
 func (c *Client) Read(a GAddr, buf []byte) error       { return nil }
 func (c *Client) AllocRPC(mn, size int) (GAddr, error) { return GAddr{}, nil }
+
+func (c *Client) LeafSearchAtMN(id MNProgramID, mn int, key, arg uint64, dst []byte) (int, OffloadStatus, error) {
+	return 0, 0, nil
+}

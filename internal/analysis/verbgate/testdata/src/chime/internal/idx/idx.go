@@ -12,6 +12,29 @@ func bad(f *dmsim.Fabric, c *dmsim.Client) {
 	_ = addrs
 }
 
+func badOffload(f *dmsim.Fabric) {
+	var dst [64]byte
+	// Fabric-side offload execution bypasses the MN CPU's queueing model.
+	_, _, _ = f.ExecOffload(0, dst[:], func(ctx *dmsim.MNCtx) {}) // want `Fabric\.ExecOffload runs an MN program without the verb gate`
+	ctx := dmsim.MNCtx{}                                          // want `raw dmsim\.MNCtx literal`
+	_ = ctx
+	ctxs := []dmsim.MNCtx{{}} // want `raw dmsim\.MNCtx literal`
+	_ = ctxs
+}
+
+// goodOffload: receiving a *MNCtx in a registered MN program and
+// dispatching through the Client offload verbs are both sanctioned.
+func goodOffload(c *dmsim.Client, base dmsim.GAddr) error {
+	prog := func(ctx *dmsim.MNCtx) error {
+		var buf [8]byte
+		return ctx.Read(base, buf[:])
+	}
+	_ = prog
+	var dst [64]byte
+	_, _, err := c.LeafSearchAtMN(0, 0, 42, 0, dst[:])
+	return err
+}
+
 func good(c *dmsim.Client) error {
 	base, err := c.AllocRPC(0, 4096)
 	if err != nil {

@@ -12,7 +12,15 @@
 //   - composite literals of dmsim.GAddr, which manufacture remote
 //     pointers from raw integers instead of deriving them from the
 //     allocator (AllocRPC), pointer arithmetic (GAddr.Add), or the
-//     sanctioned codecs (UnpackGAddr, UnpackTagged).
+//     sanctioned codecs (UnpackGAddr, UnpackTagged);
+//   - Fabric.ExecOffload, the fabric-side offload executor that runs an
+//     MN program without the Client verb's NIC charge, MN-CPU queueing
+//     or fault gate — index code dispatches offloads through the Client
+//     verbs (LeafSearchAtMN, CompareAndCASAtMN, ScatterGatherScan and
+//     the Post variants);
+//   - composite literals of dmsim.MNCtx, which fabricate an unmetered
+//     MN execution context. Index packages receive a *MNCtx in their
+//     registered MN programs; only dmsim may construct one.
 package verbgate
 
 import (
@@ -26,7 +34,7 @@ const dmsimPath = "chime/internal/dmsim"
 
 var Analyzer = &analysis.Analyzer{
 	Name: "verbgate",
-	Doc:  "outside internal/dmsim, all data movement goes through the Client verb API: no Fabric.Peek/Poke, no raw dmsim.GAddr literals",
+	Doc:  "outside internal/dmsim, all data movement goes through the Client verb API: no Fabric.Peek/Poke/ExecOffload, no raw dmsim.GAddr or dmsim.MNCtx literals",
 	Run:  run,
 }
 
@@ -37,8 +45,12 @@ func run(pass *analysis.Pass) (any, error) {
 	analysis.Preorder(pass.Files, func(n ast.Node) {
 		switch n := n.(type) {
 		case *ast.CompositeLit:
-			if isDmsimNamed(pass.TypesInfo.TypeOf(n), "GAddr") {
+			t := pass.TypesInfo.TypeOf(n)
+			if isDmsimNamed(t, "GAddr") {
 				pass.Reportf(n.Pos(), "raw dmsim.GAddr literal bypasses the verb gate's address discipline; derive addresses from AllocRPC, GAddr.Add, UnpackGAddr or UnpackTagged")
+			}
+			if isDmsimNamed(t, "MNCtx") {
+				pass.Reportf(n.Pos(), "raw dmsim.MNCtx literal fabricates an unmetered MN execution context; MN programs receive their *MNCtx from the offload verbs")
 			}
 		case *ast.CallExpr:
 			fn := analysis.FuncOf(pass.TypesInfo, n)
@@ -47,6 +59,9 @@ func run(pass *analysis.Pass) (any, error) {
 			}
 			if (fn.Name() == "Peek" || fn.Name() == "Poke") && analysis.ReceiverNamed(fn) == "Fabric" {
 				pass.Reportf(n.Pos(), "Fabric.%s touches MN backing memory without going through the verb gate (no fault injection, no NIC accounting); it is test-only — use Client verbs", fn.Name())
+			}
+			if fn.Name() == "ExecOffload" && analysis.ReceiverNamed(fn) == "Fabric" {
+				pass.Reportf(n.Pos(), "Fabric.ExecOffload runs an MN program without the verb gate's NIC charge, MN-CPU queueing or fault injection; dispatch offloads through the Client verbs (LeafSearchAtMN, CompareAndCASAtMN, ScatterGatherScan)")
 			}
 		}
 	})

@@ -15,6 +15,7 @@ import (
 
 	"chime/internal/dmsim"
 	"chime/internal/obs"
+	"chime/internal/offroute"
 	"chime/internal/rdwc"
 	"chime/internal/ycsb"
 )
@@ -97,6 +98,20 @@ type SystemConfig struct {
 	// DisableRDWC turns off the read-delegation/write-combining layer
 	// (applied to every system by default, as in §5.1).
 	DisableRDWC bool
+
+	// Offload selects the hybrid one-sided/offload protocol wired into
+	// every system's clients: off (zero value) keeps today's pure
+	// one-sided paths, on routes every supported op through the MN-side
+	// verbs, adaptive lets the per-client EWMA router pick per op (see
+	// internal/offroute).
+	Offload offroute.Mode
+
+	// MNCPUs / MNServiceNs override the fabric's MN compute model when
+	// > 0 (cores per MN; fixed dispatch ns per offloaded program). Only
+	// honored by the experiment-level fabric builders — SystemConfig
+	// .Fabric arrives pre-built.
+	MNCPUs      int
+	MNServiceNs int64
 
 	// LeaseLocks switches every system's remote locks to lease words so
 	// orphaned locks (crashed holders) are stolen and recovered instead
@@ -184,6 +199,14 @@ type Result struct {
 	VerbRetriesPerOp  float64
 	LeaseExpired      int64
 	Recoveries        int64
+
+	// Offload columns (zero with SystemConfig.Offload off): offload
+	// verbs posted per op, MN program fallbacks per op, and the fraction
+	// of the run's virtual wall time the MN offload cores spent serving
+	// programs (1.0 = the bounded MN compute is saturated).
+	OffloadsPerOp    float64
+	MNFallbacksPerOp float64
+	MNUtilization    float64
 }
 
 // CacheHitMissReporter is the optional System interface exposing the
@@ -256,6 +279,7 @@ func Run(sys System, cfg RunConfig) (Result, error) {
 	}
 	fab := clients[0].DM().Fabric()
 	nicServedBefore := fab.TotalNICStats().ServedNs
+	mnBefore := fab.TotalMNCPUStats()
 	var wg sync.WaitGroup
 	for ci := 0; ci < cfg.Clients; ci++ {
 		wg.Add(1)
@@ -322,6 +346,7 @@ func Run(sys System, cfg RunConfig) (Result, error) {
 		stats.Trips += o.stats.Trips
 		stats.BytesRead += o.stats.BytesRead
 		stats.BytesWritten += o.stats.BytesWritten
+		stats.Offloads += o.stats.Offloads
 	}
 	if maxDur == 0 {
 		maxDur = 1
@@ -345,6 +370,14 @@ func Run(sys System, cfg RunConfig) (Result, error) {
 	// this cohort).
 	nicServed := fab.TotalNICStats().ServedNs - nicServedBefore
 	res.NICUtilization = float64(nicServed) / float64(int64(fab.MNs())*maxDur)
+
+	// MN compute plane: offload verbs per op and the bounded MN cores'
+	// utilization over the same virtual wall time.
+	mnAfter := fab.TotalMNCPUStats()
+	res.OffloadsPerOp = float64(stats.Offloads) / float64(ops)
+	res.MNFallbacksPerOp = float64(mnAfter.Fallbacks-mnBefore.Fallbacks) / float64(ops)
+	res.MNUtilization = float64(mnAfter.BusyNs-mnBefore.BusyNs) /
+		float64(int64(fab.MNs()*fab.MNCores())*maxDur)
 
 	// Per-client write-combining counters (rdwcClient forwards to the
 	// wrapped index client).

@@ -97,12 +97,17 @@ func hotspotBudgetFor(sc Scale) int64 {
 func buildSystem(name string, sc Scale, mns int, cfgMut func(*SystemConfig)) (System, SystemConfig, error) {
 	runtime.GC()
 	debug.FreeOSMemory()
-	f := DefaultFabric(mns, sc.MNSize/mns)
-	cfg := baseConfig(f, sc, SortedLoadKeys(sc.LoadN))
+	cfg := baseConfig(nil, sc, SortedLoadKeys(sc.LoadN))
 	if cfgMut != nil {
 		cfgMut(&cfg)
 	}
-	f.SetObserver(cfg.Obs.Sink())
+	// The fabric is built after the mutator so offload experiments can
+	// size the MN compute model (SystemConfig.MNCPUs/MNServiceNs) — or
+	// supply a pre-built fabric outright (scheduler-variant tests).
+	if cfg.Fabric == nil {
+		cfg.Fabric = OffloadFabric(mns, sc.MNSize/mns, cfg.MNCPUs, cfg.MNServiceNs)
+	}
+	cfg.Fabric.SetObserver(cfg.Obs.Sink())
 	factory, ok := Factories[name]
 	if !ok {
 		return nil, cfg, fmt.Errorf("bench: unknown system %q", name)

@@ -12,8 +12,10 @@ import (
 // Observer.MetricsJSON (and chime-bench -metrics-json). v2 renamed the
 // NIC instruments from nic.* to dm.nic.* so every instrument name fits
 // the ^(dm|idx|fault|bench)\. namespace enforced by the obsnames
-// analyzer (cmd/chimelint).
-const MetricsSchema = "chime-bench/metrics/v2"
+// analyzer (cmd/chimelint). v3 adds the MN compute plane's dm.mn.*
+// instruments (dm.mn.service_ns, dm.mn.queue_ns, dm.mn.queue_depth,
+// dm.mn.offload, dm.mn.fallback) and the offload columns of Result.
+const MetricsSchema = "chime-bench/metrics/v3"
 
 // Observer ties one obs.Sink to the bench harness: systems built with
 // SystemConfig.Obs count protocol events (and optionally trace spans)

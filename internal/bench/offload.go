@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+
+	"chime/internal/dmsim"
+	"chime/internal/offroute"
+	"chime/internal/ycsb"
+)
+
+// Offload experiment: the Table-1-style accounting for the MN-side
+// offload verbs and the hybrid one-sided/RPC router. Four sections, all
+// on the paper's four systems:
+//
+//	trips    — round trips per point op, cold cache, one client: the
+//	           offloaded path collapses descend+fetch+probe to ~1.
+//	deep     — head-to-head on a deep/cold-cache uniform read workload
+//	           at a client count the bounded MN CPU can absorb: static
+//	           offload beats one-sided.
+//	saturate — the same workload at client counts past the MN CPU's
+//	           capacity: one-sided keeps scaling, offload flatlines at
+//	           the MN compute ceiling and loses.
+//	mixed    — a cached zipfian read-heavy mix where the two static
+//	           policies split; the adaptive router should match or beat
+//	           the better static one.
+//
+// Every point is run twice from a fresh build and its fingerprint —
+// a hash of the full Result row plus the fabric's NIC, MN-CPU and
+// frontier totals — must be bit-identical across the double run, per
+// scheduler (the gate and the event loop are each deterministic but not
+// bit-identical to each other; see internal/dmsim).
+
+// offloadDeepMix is the deep/cold section's workload: uniform point
+// reads, so the CN cache can't learn a hot set and every one-sided op
+// pays the full descent.
+var offloadDeepMix = ycsb.Mix{Name: "Cu", ReadPct: 1.0, Dist: ycsb.DistUniform}
+
+// offloadDeepClients is the "deep" section's client count: low enough
+// that the default 2-core MN CPU stays under its service ceiling.
+const offloadDeepClients = 4
+
+// OffloadOptions parameterizes RunOffload (the chime-bench -offload,
+// -mn-cpus and -mn-service-ns flags land here).
+type OffloadOptions struct {
+	// Modes restricts the routing modes compared (default off, on,
+	// adaptive).
+	Modes []offroute.Mode
+
+	// MNCPUs / MNServiceNs size the MN compute model; zeros keep the
+	// dmsim defaults (2 cores, 600 ns dispatch).
+	MNCPUs      int
+	MNServiceNs int64
+
+	// Schedulers lists the cohort schedulers to run the whole sweep
+	// under (default: gate and event loop).
+	Schedulers []dmsim.SchedulerKind
+}
+
+// OffloadRow is one measured point, JSON-serializable for the committed
+// BENCH_OFFLOAD.json artifact.
+type OffloadRow struct {
+	Section        string  `json:"section"`
+	Scheduler      string  `json:"scheduler"`
+	System         string  `json:"system"`
+	Mode           string  `json:"mode"`
+	Mix            string  `json:"mix"`
+	Clients        int     `json:"clients"`
+	Ops            int64   `json:"ops"`
+	ThroughputMops float64 `json:"throughput_mops"`
+	P50Us          float64 `json:"p50_us"`
+	P99Us          float64 `json:"p99_us"`
+	TripsPerOp     float64 `json:"trips_per_op"`
+	OffloadsPerOp  float64 `json:"offloads_per_op"`
+	FallbacksPerOp float64 `json:"mn_fallbacks_per_op"`
+	MNUtilization  float64 `json:"mn_utilization"`
+	Fingerprint    string  `json:"fingerprint"`
+	Reproducible   bool    `json:"reproducible"`
+}
+
+// offloadFingerprint hashes everything one point makes observable: the
+// full Result row plus the fabric's cumulative NIC, MN-CPU and frontier
+// state. Two runs fingerprint equal iff they were bit-identical.
+func offloadFingerprint(r Result, f *dmsim.Fabric) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", r)
+	fmt.Fprintf(h, "%+v%+v%d", f.TotalNICStats(), f.TotalMNCPUStats(), f.Frontier())
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// offloadPoint stands up one fresh system and measures one point.
+// ColdCache shrinks the CN cache to a sliver so every one-sided op pays
+// the full descent (the regime offload targets); it also drops RDWC so
+// the trips accounting is the raw protocol's.
+func offloadPoint(name string, sc Scale, opts OffloadOptions, sched dmsim.SchedulerKind,
+	mode offroute.Mode, mix ycsb.Mix, coldCache bool, clients, ops int) (Result, string, error) {
+	var fab *dmsim.Fabric
+	sys, cfg, err := buildSystem(name, sc, 1, func(c *SystemConfig) {
+		fcfg := dmsim.DefaultConfig()
+		fcfg.MNs = 1
+		fcfg.MNSize = sc.MNSize
+		fcfg.ChunkBytes = 1 << 20
+		fcfg.MNCPUs = opts.MNCPUs
+		fcfg.MNServiceTime = time.Duration(opts.MNServiceNs)
+		fcfg.Scheduler = sched
+		fab = dmsim.MustNewFabric(fcfg)
+		c.Fabric = fab
+		c.Offload = mode
+		// Single-threaded bulk load: parallel loaders race host-side for
+		// virtual-time ties, which would break the double-run fingerprint
+		// (see TestSameSeedBitIdenticalRows).
+		c.LoadClients = 1
+		if coldCache {
+			// No CN cache at all: every one-sided op pays the full descent
+			// (the regime offload targets), and — as important for the
+			// fingerprint pin — there is no shared LRU whose eviction order
+			// would depend on how the host interleaves concurrent readers.
+			c.CacheBytes = 0
+			c.HotspotBytes = 0
+			c.DisableRDWC = true
+		}
+	})
+	if err != nil {
+		return Result{}, "", err
+	}
+	r, err := runPoint(sys, cfg, mix, clients, ops, 23)
+	if err != nil {
+		return Result{}, "", err
+	}
+	return r, offloadFingerprint(r, fab), nil
+}
+
+// RunOffload runs the four sections for every system, mode and
+// scheduler, double-running each point for the reproducibility pin.
+func RunOffload(sc Scale, opts OffloadOptions) ([]OffloadRow, error) {
+	if len(opts.Modes) == 0 {
+		opts.Modes = []offroute.Mode{offroute.ModeOff, offroute.ModeAlways, offroute.ModeAdaptive}
+	}
+	if len(opts.Schedulers) == 0 {
+		opts.Schedulers = []dmsim.SchedulerKind{dmsim.SchedulerGate, dmsim.SchedulerEventLoop}
+	}
+	type point struct {
+		section   string
+		mix       ycsb.Mix
+		coldCache bool
+		clients   int
+		ops       int
+		modes     []offroute.Mode
+	}
+	// The saturation sweep's high end: past the default MN CPU's
+	// closed-loop capacity for point ops.
+	satClients := sc.Clients * 4
+	if satClients < 64 {
+		satClients = 64
+	}
+	// Multi-client sections stay read-only: concurrent reads commute, so
+	// the double-run fingerprints are bit-identical, while contended
+	// write outcomes within a cohort window depend on host scheduling
+	// (which client's CAS lands first at equal virtual times). The
+	// write-bearing mixed section therefore runs a single client —
+	// routing is per-client anyway, so the adaptive-vs-static comparison
+	// is unaffected.
+	points := []point{
+		{"trips", offloadDeepMix, true, 1, sc.Ops / 4, staticModes(opts.Modes)},
+		{"deep", offloadDeepMix, true, offloadDeepClients, sc.Ops, opts.Modes},
+		{"saturate", offloadDeepMix, true, satClients, sc.Ops, staticModes(opts.Modes)},
+		{"mixed", ycsb.WorkloadB, false, 1, sc.Ops / 2, opts.Modes},
+	}
+	var rows []OffloadRow
+	for _, sched := range opts.Schedulers {
+		for _, name := range HeadToHeadSystems {
+			for _, pt := range points {
+				for _, mode := range pt.modes {
+					r, fp, err := offloadPoint(name, sc, opts, sched, mode, pt.mix, pt.coldCache, pt.clients, pt.ops)
+					if err != nil {
+						return nil, fmt.Errorf("offload %s/%s/%s/%s: %w",
+							schedulerName(sched), name, pt.section, mode, err)
+					}
+					_, fp2, err := offloadPoint(name, sc, opts, sched, mode, pt.mix, pt.coldCache, pt.clients, pt.ops)
+					if err != nil {
+						return nil, fmt.Errorf("offload %s/%s/%s/%s rerun: %w",
+							schedulerName(sched), name, pt.section, mode, err)
+					}
+					rows = append(rows, OffloadRow{
+						Section:        pt.section,
+						Scheduler:      schedulerName(sched),
+						System:         name,
+						Mode:           mode.String(),
+						Mix:            pt.mix.Name,
+						Clients:        r.Clients,
+						Ops:            r.Ops,
+						ThroughputMops: r.ThroughputMops,
+						P50Us:          r.P50Us,
+						P99Us:          r.P99Us,
+						TripsPerOp:     r.TripsPerOp,
+						OffloadsPerOp:  r.OffloadsPerOp,
+						FallbacksPerOp: r.MNFallbacksPerOp,
+						MNUtilization:  r.MNUtilization,
+						Fingerprint:    fp,
+						Reproducible:   fp == fp2,
+					})
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// staticModes filters the adaptive router out of the sections whose
+// story is the head-to-head between the two static policies.
+func staticModes(modes []offroute.Mode) []offroute.Mode {
+	var out []offroute.Mode
+	for _, m := range modes {
+		if m != offroute.ModeAdaptive {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// FormatOffloadRows renders the sweep as an aligned table.
+func FormatOffloadRows(rows []OffloadRow) string {
+	out := fmt.Sprintf("%-9s %-6s %-8s %-9s %-4s %8s %10s %9s %9s %9s %8s %8s %6s %6s\n",
+		"section", "sched", "system", "mode", "mix", "clients", "Mops", "p50(us)", "p99(us)",
+		"trips/op", "offl/op", "fallb/op", "mncpu%", "repro")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-9s %-6s %-8s %-9s %-4s %8d %10.3f %9.1f %9.1f %9.2f %8.2f %8.4f %6.1f %6t\n",
+			r.Section, r.Scheduler, r.System, r.Mode, r.Mix, r.Clients, r.ThroughputMops,
+			r.P50Us, r.P99Us, r.TripsPerOp, r.OffloadsPerOp, r.FallbacksPerOp,
+			r.MNUtilization*100, r.Reproducible)
+	}
+	return out
+}
+
+// MarshalOffloadJSON renders the rows as the BENCH_OFFLOAD.json
+// artifact format.
+func MarshalOffloadJSON(sc Scale, opts OffloadOptions, rows []OffloadRow) ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Experiment  string       `json:"experiment"`
+		LoadN       int          `json:"load_n"`
+		Ops         int          `json:"ops"`
+		MNCPUs      int          `json:"mn_cpus"`       // 0 = model default
+		MNServiceNs int64        `json:"mn_service_ns"` // 0 = model default
+		Rows        []OffloadRow `json:"rows"`
+	}{
+		Experiment:  "offload",
+		LoadN:       sc.LoadN,
+		Ops:         sc.Ops,
+		MNCPUs:      opts.MNCPUs,
+		MNServiceNs: opts.MNServiceNs,
+		Rows:        rows,
+	}, "", "  ")
+}
+
+func init() {
+	register(Experiment{ID: "offload", Title: "MN-side offload verbs vs one-sided traversal, adaptive router head-to-head", Run: Offload})
+}
+
+// Offload is the registered experiment wrapper around RunOffload.
+func Offload(w io.Writer, sc Scale) error {
+	fmt.Fprintf(w, "# Offload: trips/op accounting, deep/cold vs MN-CPU-saturated head-to-head, adaptive router\n")
+	rows, err := RunOffload(sc, OffloadOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, FormatOffloadRows(rows))
+	return nil
+}

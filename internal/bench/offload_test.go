@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"chime/internal/dmsim"
+	"chime/internal/offroute"
+	"chime/internal/ycsb"
+)
+
+// TestOffloadOffMeansOff pins the "off means off" contract of the
+// offload plane end to end: a zero-value SystemConfig (Offload field
+// never touched), an explicit ModeOff, and a ModeOff run on a fabric
+// whose MN compute model was configured with deliberately odd knobs
+// must all be bit-identical — the router nil-checks on every client hot
+// path and the idle MN CPUs must not advance any clock. All three must
+// report zero offloads, fallbacks and MN utilization.
+func TestOffloadOffMeansOff(t *testing.T) {
+	sc := tinyScale
+	sc.LoadN = 3000
+
+	measure := func(mut func(*SystemConfig)) (Result, string) {
+		t.Helper()
+		var fab *dmsim.Fabric
+		sys, cfg, err := buildSystem("CHIME", sc, 1, func(c *SystemConfig) {
+			c.LoadClients = 1
+			if mut != nil {
+				mut(c)
+			}
+			fab = c.Fabric
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fab == nil {
+			fab = cfg.Fabric
+		}
+		// One client: a write-bearing mix only fingerprints bit-identically
+		// single-threaded (contended CAS winners at equal virtual times are
+		// host-schedule-dependent — see RunOffload's section comment).
+		r, err := runPoint(sys, cfg, ycsb.WorkloadB, 1, 800, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, offloadFingerprint(r, fab)
+	}
+
+	zero, fpZero := measure(nil)
+	_, fpOff := measure(func(c *SystemConfig) { c.Offload = offroute.ModeOff })
+	_, fpKnobs := measure(func(c *SystemConfig) {
+		c.Offload = offroute.ModeOff
+		c.MNCPUs = 1
+		c.MNServiceNs = 5000 // must be invisible: nothing dispatches to the MN CPU
+	})
+
+	if fpZero != fpOff || fpZero != fpKnobs {
+		t.Fatalf("ModeOff runs diverged: zero=%s explicit=%s knobs=%s", fpZero, fpOff, fpKnobs)
+	}
+	if zero.OffloadsPerOp != 0 || zero.MNFallbacksPerOp != 0 || zero.MNUtilization != 0 {
+		t.Fatalf("ModeOff run shows MN activity: %+v", zero)
+	}
+}
+
+// TestOffloadAdaptiveSameSeedBitIdentical pins bench-level determinism
+// of the full offload stack under the adaptive router: the same seed
+// must produce bit-identical rows (Result + NIC + MN-CPU + frontier
+// fingerprint) under both cohort schedulers, on a write-bearing mix.
+func TestOffloadAdaptiveSameSeedBitIdentical(t *testing.T) {
+	sc := tinyScale
+	sc.LoadN = 3000
+	for _, sched := range []dmsim.SchedulerKind{dmsim.SchedulerGate, dmsim.SchedulerEventLoop} {
+		_, fp1, err := offloadPoint("CHIME", sc, OffloadOptions{}, sched,
+			offroute.ModeAdaptive, ycsb.WorkloadB, false, 1, 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, fp2, err := offloadPoint("CHIME", sc, OffloadOptions{}, sched,
+			offroute.ModeAdaptive, ycsb.WorkloadB, false, 1, 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp1 != fp2 {
+			t.Errorf("%s: same-seed adaptive runs diverged: %s vs %s",
+				schedulerName(sched), fp1, fp2)
+		}
+	}
+}
+
+// TestRunOffloadSweep smoke-runs the registered experiment shape on a
+// reduced matrix: static modes only, and checks the Table-1-style
+// accounting — offloaded point ops take ~1 round trip, off rows never
+// touch the MN CPU, and every row double-runs bit-identically under
+// both schedulers.
+func TestRunOffloadSweep(t *testing.T) {
+	sc := Scale{LoadN: 2500, Ops: 800, Clients: 4, MNSize: 512 << 20}
+	opts := OffloadOptions{Modes: []offroute.Mode{offroute.ModeOff, offroute.ModeAlways}}
+	rows, err := RunOffload(sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 sections x 2 static modes x 4 systems x 2 schedulers.
+	if want := 4 * 2 * len(HeadToHeadSystems) * 2; len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.ThroughputMops <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+		if !r.Reproducible {
+			t.Errorf("row not bit-identical across the double run: %+v", r)
+		}
+		switch r.Mode {
+		case "off":
+			if r.OffloadsPerOp != 0 || r.MNUtilization != 0 {
+				t.Errorf("off row shows MN activity: %+v", r)
+			}
+		case "on":
+			// Read-only sections offload every op; the mixed section's 5%
+			// updates may take a non-offloadable path (e.g. SMART's
+			// replace-leaf writes), so only require the read share there.
+			min := 0.99
+			if r.Section == "mixed" {
+				min = 0.9
+			}
+			if r.OffloadsPerOp < min {
+				t.Errorf("on row barely offloaded: %+v", r)
+			}
+			if r.Section == "trips" && r.TripsPerOp > 1.05 {
+				t.Errorf("offloaded point op took %.2f trips, want ~1: %+v", r.TripsPerOp, r)
+			}
+		}
+	}
+
+	table := FormatOffloadRows(rows)
+	for _, col := range []string{"section", "trips/op", "offl/op", "mncpu%", "repro"} {
+		if !strings.Contains(table, col) {
+			t.Errorf("table missing column %q:\n%s", col, table)
+		}
+	}
+
+	blob, err := MarshalOffloadJSON(sc, opts, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Experiment string       `json:"experiment"`
+		Rows       []OffloadRow `json:"rows"`
+	}
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Experiment != "offload" || len(decoded.Rows) != len(rows) {
+		t.Fatalf("JSON round trip mangled: experiment=%q rows=%d", decoded.Experiment, len(decoded.Rows))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"chime/internal/core"
 	"chime/internal/dmsim"
@@ -209,6 +210,7 @@ func NewCHIME(cfg SystemConfig) (System, error) {
 	opts.SpeculativeRead = !cfg.DisableSpeculation
 	opts.LeaseLocks = cfg.LeaseLocks
 	opts.LeaseNs = cfg.LeaseNs
+	opts.Offload = cfg.Offload
 	ix, err := core.Bootstrap(cfg.Fabric, opts)
 	if err != nil {
 		return nil, err
@@ -307,6 +309,7 @@ func NewSherman(cfg SystemConfig) (System, error) {
 	opts.Indirect = cfg.Indirect
 	opts.LeaseLocks = cfg.LeaseLocks
 	opts.LeaseNs = cfg.LeaseNs
+	opts.Offload = cfg.Offload
 	ix, err := sherman.Bootstrap(cfg.Fabric, opts)
 	if err != nil {
 		return nil, err
@@ -378,6 +381,7 @@ func NewSMART(cfg SystemConfig) (System, error) {
 	opts.ValueSize = cfg.ValueSize
 	opts.LeaseLocks = cfg.LeaseLocks
 	opts.LeaseNs = cfg.LeaseNs
+	opts.Offload = cfg.Offload
 	ix, err := smartidx.Bootstrap(cfg.Fabric, opts)
 	if err != nil {
 		return nil, err
@@ -448,6 +452,7 @@ func NewROLEX(cfg SystemConfig) (System, error) {
 	opts.Indirect = cfg.Indirect
 	opts.LeaseLocks = cfg.LeaseLocks
 	opts.LeaseNs = cfg.LeaseNs
+	opts.Offload = cfg.Offload
 	if len(cfg.LoadKeys) == 0 {
 		return nil, fmt.Errorf("rolex: needs load keys for pre-training")
 	}
@@ -475,10 +480,20 @@ var Factories = map[string]Factory{
 // MN (chunk size only changes allocation-RPC frequency; see
 // dmsim.Config.ChunkBytes).
 func DefaultFabric(mns int, mnSize int) *dmsim.Fabric {
+	return OffloadFabric(mns, mnSize, 0, 0)
+}
+
+// OffloadFabric is DefaultFabric with the MN compute model's knobs
+// exposed: cores per MN and the fixed dispatch cost per offloaded
+// program. Zeros keep the model defaults (the fabric resolves them), so
+// OffloadFabric(mns, size, 0, 0) builds the standard testbed.
+func OffloadFabric(mns, mnSize, mnCPUs int, mnServiceNs int64) *dmsim.Fabric {
 	cfg := dmsim.DefaultConfig()
 	cfg.MNs = mns
 	cfg.MNSize = mnSize
 	cfg.ChunkBytes = 1 << 20
+	cfg.MNCPUs = mnCPUs
+	cfg.MNServiceTime = time.Duration(mnServiceNs)
 	return dmsim.MustNewFabric(cfg)
 }
 

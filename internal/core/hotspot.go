@@ -71,11 +71,18 @@ func (h *hotspotBuffer) record(leaf dmsim.GAddr, idx int, key uint64) {
 		return
 	}
 	if len(h.m) >= h.cap {
-		// Evict the least frequently used entry.
+		// Evict the least frequently used entry. Counter ties break on
+		// (leaf, idx) order so the victim is a pure function of the
+		// buffer's contents, not of Go's randomized map iteration —
+		// eviction under pressure must not perturb same-seed replays.
 		var victim hotspotKey
 		min := uint32(1<<32 - 1)
+		first := true
 		for kk, vv := range h.m {
-			if vv.counter < min {
+			if first || vv.counter < min ||
+				(vv.counter == min && (kk.leaf.Pack() < victim.leaf.Pack() ||
+					(kk.leaf == victim.leaf && kk.idx < victim.idx))) {
+				first = false
 				min = vv.counter
 				victim = kk
 			}

@@ -192,7 +192,7 @@ func TestHotspotRelocationByColliders(t *testing.T) {
 	var colliders []uint64
 	for id := uint64(1000); len(colliders) < 3*lay.h && id < 200000; id++ {
 		k := ycsb.KeyOf(id)
-		d := ((home - lay.homeOf(k)) % lay.span + lay.span) % lay.span
+		d := ((home-lay.homeOf(k))%lay.span + lay.span) % lay.span
 		if k != key && d < lay.h {
 			colliders = append(colliders, k)
 		}

@@ -22,7 +22,11 @@
 // as a client library on real RDMA hardware would lay them out.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"chime/internal/offroute"
+)
 
 // Options configures a CHIME tree. The zero value is not valid; use
 // DefaultOptions and override fields.
@@ -77,6 +81,14 @@ type Options struct {
 	// the default (500 µs), far above any critical section so live
 	// holders are never stolen from.
 	LeaseNs int64
+
+	// Offload selects the hybrid one-sided/RPC protocol: per-op routing
+	// between one-sided traversal and the MN-side offload program
+	// registered at bootstrap (mnprog.go). The zero value (ModeOff) is
+	// pure one-sided traversal, bit-identical to a build without the
+	// offload plane. ModeAlways offloads every supported op; ModeAdaptive
+	// routes per op on observed cost and hotness (internal/offroute).
+	Offload offroute.Mode
 
 	// VarKeys enables the variable-length key API (§4.5): leaf entries
 	// store an 8-byte prefix fingerprint plus a pointer to a chain of

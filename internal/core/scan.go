@@ -14,20 +14,16 @@ type KV struct {
 	Value []byte
 }
 
-// Scan returns up to count items with keys >= start, in ascending key
-// order (§4.4). Leaves along the range are fetched whole (their entries
+// scanOneSided returns up to count items with keys >= start, in
+// ascending key order (§4.4), using one-sided verbs only; the public
+// Scan (offload.go) routes between this and the MN-side offload
+// program. Leaves along the range are fetched whole (their entries
 // are hash-ordered, not key-ordered) and the sibling chain is followed;
 // each leaf costs one round trip, as in Table 1. The chain is pipelined
 // with posted verbs: the next sibling's read is posted as soon as the
 // current leaf's metadata is decoded, overlapping it with the current
 // leaf's indirect-value reads (which are themselves posted as a group).
-func (c *Client) Scan(start uint64, count int) ([]KV, error) {
-	if count <= 0 {
-		return nil, nil
-	}
-	if sp := c.obs.Tracer.Begin("chime.scan", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
-		defer func() { sp.End(c.dc.Now()) }()
-	}
+func (c *Client) scanOneSided(start uint64, count int) ([]KV, error) {
 	for attempt := 0; attempt < maxRetries; attempt++ {
 		out, err := c.scanOnce(start, count)
 		if err == errRestart {

@@ -9,6 +9,7 @@ import (
 	"chime/internal/dmsim"
 	"chime/internal/locktable"
 	"chime/internal/obs"
+	"chime/internal/offroute"
 )
 
 // Index is one CHIME tree living in the memory pool. It is cheap to
@@ -21,6 +22,12 @@ type Index struct {
 	leaf   *leafLayout
 	inner  *internalLayout
 	super  dmsim.GAddr
+
+	// mnprog is the MN-side offload program registered at bootstrap
+	// (mnprog.go); offMN is the MN it is addressed on — the root's MN,
+	// where every descent starts.
+	mnprog dmsim.MNProgramID
+	offMN  int
 }
 
 // ErrNotFound reports that a key is absent from the tree.
@@ -71,6 +78,8 @@ func Bootstrap(f *dmsim.Fabric, opts Options) (*Index, error) {
 	if err := ix.writeSuper(boot, leafAddr, 0); err != nil {
 		return nil, err
 	}
+	ix.mnprog = f.RegisterMNProgram(&mnProgram{ix: ix})
+	ix.offMN = int(super.MN)
 	return ix, nil
 }
 
@@ -166,17 +175,29 @@ type Client struct {
 	// Instruments resolved from the CN's sink at construction; all
 	// fields are nil-safe no-ops without a sink.
 	obs obs.IndexInstruments
+
+	// router decides one-sided vs. MN-side offload per op (offload.go);
+	// nil when Options.Offload is off. offBuf is the reusable offload
+	// response buffer.
+	router *offroute.Router
+	offBuf []byte
 }
 
 // NewClient creates a client handle bound to this compute node.
 func (cn *ComputeNode) NewClient() *Client {
 	dc := cn.ix.fabric.NewClient()
+	bufSize := cn.ix.opts.ValueSize
+	if bufSize < 8 {
+		bufSize = 8
+	}
 	return &Client{
-		cn:    cn,
-		ix:    cn.ix,
-		dc:    dc,
-		alloc: dmsim.NewChunkAllocator(dc, int(dc.ID())%cn.ix.fabric.MNs()),
-		obs:   cn.obs,
+		cn:     cn,
+		ix:     cn.ix,
+		dc:     dc,
+		alloc:  dmsim.NewChunkAllocator(dc, int(dc.ID())%cn.ix.fabric.MNs()),
+		obs:    cn.obs,
+		router: offroute.New(cn.ix.opts.Offload),
+		offBuf: make([]byte, bufSize),
 	}
 }
 
@@ -429,12 +450,10 @@ func (c *Client) validateLeafMeta(ref *leafRef, meta leafMeta, key uint64, found
 	return false, nil
 }
 
-// Search performs a point query (§4.4). It returns ErrNotFound when the
-// key is absent.
-func (c *Client) Search(key uint64) ([]byte, error) {
-	if sp := c.obs.Tracer.Begin("chime.search", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
-		defer func() { sp.End(c.dc.Now()) }()
-	}
+// searchOneSided performs a point query with one-sided verbs only; the
+// public Search (offload.go) routes between this and the MN-side
+// offload program.
+func (c *Client) searchOneSided(key uint64) ([]byte, error) {
 	for attempt := 0; attempt < maxRetries; attempt++ {
 		ref, err := c.traverse(key)
 		if err != nil {

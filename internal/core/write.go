@@ -635,12 +635,10 @@ func (c *Client) updateArgmaxOnInsert(lw *lockWord, im *leafImage, fetched []boo
 	}
 }
 
-// Update overwrites the value of an existing key, returning ErrNotFound
-// if the key is absent.
-func (c *Client) Update(key uint64, value []byte) error {
-	if sp := c.obs.Tracer.Begin("chime.update", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
-		defer func() { sp.End(c.dc.Now()) }()
-	}
+// updateOneSided overwrites the value of an existing key with one-sided
+// verbs only; the public Update (offload.go) routes between this and
+// the MN-side offload program.
+func (c *Client) updateOneSided(key uint64, value []byte) error {
 	val, err := c.prepareValue(key, value)
 	if err != nil {
 		return err

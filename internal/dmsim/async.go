@@ -53,6 +53,12 @@ type Completion struct {
 	swapped bool
 	isAtom  bool
 
+	// Offload results (offload.go), guarded by OffloadResult the same
+	// way.
+	offN      int32
+	offStatus OffloadStatus
+	isOff     bool
+
 	// pooled marks a handle sitting in its client's freelist. Guards
 	// double-Release and use-after-release.
 	pooled bool

@@ -12,6 +12,10 @@ type ClientStats struct {
 	BytesRead    int64
 	BytesWritten int64
 
+	// Offloads counts MN-side offload verbs (offload.go); each also
+	// counts as one RPC and one Trip.
+	Offloads int64
+
 	// Posted counts verbs issued through the asynchronous layer
 	// (synchronous verbs are post+wait, so every verb counts).
 	// MaxInflight is the deepest post/poll pipeline the client reached.
@@ -75,6 +79,10 @@ type Client struct {
 	// payloadScratch backs the per-segment payload slice of batched
 	// verbs, reused across batches.
 	payloadScratch []int
+
+	// offCtx is the reusable MN-side view for offload verbs
+	// (offload.go); one per client keeps the verb path allocation-free.
+	offCtx MNCtx
 }
 
 // NewClient registers a new client on the fabric. Its clock starts at

@@ -80,6 +80,24 @@ type Config struct {
 	// a one-sided verb.
 	RPCServiceTime time.Duration
 
+	// MNCPUs is the number of wimpy offload-serving cores per memory
+	// node (mncpu.go). Offloaded verbs queue for this bounded compute,
+	// modeled as a single server of MNCPUs times one core's rate. Zero
+	// selects the default (2).
+	MNCPUs int
+
+	// MNServiceTime is the fixed MN CPU dispatch cost per offloaded
+	// program, before the per-byte touch cost. Zero selects the default
+	// (600 ns).
+	MNServiceTime time.Duration
+
+	// MNScanBps is the per-core rate at which an MN core streams local
+	// memory while executing an offloaded program (bytes/second); every
+	// byte the program touches through its metered view costs
+	// 1/MNScanBps seconds of service. Zero selects the default (4 GB/s,
+	// a wimpy-core figure well under the NIC's 12.5 GB/s).
+	MNScanBps float64
+
 	// VerbTimeout is the client-side completion timeout the
 	// fault-injection retry policy charges per transparent repost
 	// (fault.go). Zero selects the default (10 µs). Irrelevant unless a
@@ -149,8 +167,14 @@ func (c Config) Validate() error {
 	if c.IOPS <= 0 {
 		return fmt.Errorf("dmsim: IOPS must be positive, got %g", c.IOPS)
 	}
-	if c.BaseRTT < 0 || c.IssueOverhead < 0 || c.RPCServiceTime < 0 || c.VerbTimeout < 0 {
+	if c.BaseRTT < 0 || c.IssueOverhead < 0 || c.RPCServiceTime < 0 || c.VerbTimeout < 0 || c.MNServiceTime < 0 {
 		return fmt.Errorf("dmsim: negative latency parameter")
+	}
+	if c.MNCPUs < 0 {
+		return fmt.Errorf("dmsim: negative MNCPUs")
+	}
+	if c.MNScanBps < 0 {
+		return fmt.Errorf("dmsim: negative MNScanBps")
 	}
 	if c.MaxVerbRetries < 0 {
 		return fmt.Errorf("dmsim: negative MaxVerbRetries")

@@ -14,6 +14,7 @@ import (
 type memoryNode struct {
 	mem   []byte
 	nic   *nic
+	cpu   *mnCPU          // bounded offload compute (mncpu.go)
 	locks [256]sync.Mutex // striped by address for CAS atomicity
 
 	allocMu  sync.Mutex
@@ -91,6 +92,13 @@ type Fabric struct {
 	ftRetries  obs.Striped
 	ftCrashes  obs.Striped
 	ftFailures obs.Striped
+
+	// MN-side offload programs (offload.go). progMu guards registration
+	// only; lookups on the verb path read the slice without it because
+	// registration is required to happen-before offload traffic
+	// (bootstrap precedes client goroutines).
+	progMu sync.Mutex
+	progs  []MNProgram
 }
 
 // NewFabric builds a fabric from the configuration.
@@ -108,6 +116,7 @@ func NewFabric(cfg Config) (*Fabric, error) {
 		f.mns = append(f.mns, &memoryNode{
 			mem: make([]byte, cfg.MNSize),
 			nic: newNIC(cfg),
+			cpu: newMNCPU(cfg),
 			// Offset 0 is the nil address; start allocating at 64.
 			allocOff: 64,
 		})
@@ -144,6 +153,7 @@ func (f *Fabric) SetObserver(s *obs.Sink) {
 	}
 	for i, m := range f.mns {
 		m.nic.setObserver(i, s)
+		m.cpu.setObserver(s)
 	}
 	r := s.Registry()
 	f.ftObs = faultObs{
@@ -173,11 +183,14 @@ func (f *Fabric) checkRange(a GAddr, n int) (*memoryNode, error) {
 }
 
 // Frontier returns the fabric's current virtual time: the latest point
-// any NIC is busy until. New clients start their clocks here.
+// any NIC or MN CPU is busy until. New clients start their clocks here.
 func (f *Fabric) Frontier() int64 {
 	var frontier int64
 	for _, m := range f.mns {
 		if fr := m.nic.frontier(); fr > frontier {
+			frontier = fr
+		}
+		if fr := m.cpu.frontier(); fr > frontier {
 			frontier = fr
 		}
 	}

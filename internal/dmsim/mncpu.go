@@ -1,0 +1,239 @@
+package dmsim
+
+import (
+	"sync"
+
+	"chime/internal/obs"
+)
+
+// MN compute model. Memory nodes in a disaggregated rack carry weak,
+// near-memory cores (Clio's offload engines, Outback's two-sided
+// handlers); offloaded verbs execute on them, not for free. Each MN
+// owns an mnCPU: a virtual-time queueing resource exactly parallel to
+// the NIC model in nic.go — per-lane shards, single-server recurrence
+// per shard, capacity pre-scaled so the aggregate is lane-invariant.
+//
+// Service time of one offloaded program is
+//
+//	service = MNServiceTime + touched / MNScanBps
+//
+// where `touched` is the number of bytes the program moved through its
+// metered MN-side view (offload.go): the base covers dispatch and
+// per-op fixed work, the byte term models the weak core streaming node
+// images out of local DRAM. A c-core MN is approximated as a single
+// server of c times the rate (the same fast-server approximation the
+// sharded NIC makes): utilization and saturation points match an M/M/c
+// model, per-op service under light load is optimistic by at most the
+// core count, and — decisive here — the recurrence stays a
+// deterministic pure function of arrival order.
+//
+// Determinism mirrors the NIC's story verbatim: one shard per event-loop
+// lane, each lane's clients hit only their shard, shard capacity is
+// pre-divided by the lane count, and with a single lane the model is a
+// plain single queue. Same seed, same lane count => bit-identical
+// completion times under both schedulers.
+
+// Registry names of the MN compute-plane instruments.
+const (
+	// NameMNService is the histogram of per-offload MN CPU service time
+	// (virtual ns).
+	NameMNService = "dm.mn.service_ns"
+
+	// NameMNQueue is the histogram of time offloaded ops queued waiting
+	// for an MN core (virtual ns).
+	NameMNQueue = "dm.mn.queue_ns"
+
+	// NameMNDepth is a gauge of the MN CPU queue depth observed at each
+	// offload arrival (ops waiting ahead, estimated from the backlog and
+	// the arriving op's own service time).
+	NameMNDepth = "dm.mn.queue_depth"
+
+	// NameMNOffload counts offloaded programs executed at MNs.
+	NameMNOffload = "dm.mn.offload"
+
+	// NameMNFallback counts offloaded programs that returned a fallback
+	// verdict (local validation gave up, cross-MN reference, or the
+	// program does not support the op) — the client redoes the op
+	// one-sided.
+	NameMNFallback = "dm.mn.fallback"
+)
+
+// Default MN compute parameters, applied when the config leaves the
+// knobs zero: two wimpy cores per MN, 600 ns fixed dispatch cost per
+// offloaded program, 4 GB/s per-core touch bandwidth.
+const (
+	defaultMNCPUs      = 2
+	defaultMNServiceNs = 600
+	defaultMNScanBps   = 4e9
+	minMNServiceNs     = 1
+)
+
+// mnCPUShard is one lane-private slice of an MN's offload cores: its
+// own busy horizon and counters under its own mutex, padded onto a
+// private cache line (same layout discipline as nicShard).
+type mnCPUShard struct {
+	mu        sync.Mutex
+	freeAt    int64
+	ops       int64
+	fallbacks int64
+	busyNs    int64
+	queuedNs  int64
+	_         [64]byte
+}
+
+// mnCPU is the bounded compute of one memory node.
+type mnCPU struct {
+	baseNs    float64 // per-shard fixed cost per offloaded program
+	nsPerByte float64 // per-shard cost per byte the program touches
+	shards    []mnCPUShard
+
+	// Observability (nil-safe without a sink; see Fabric.SetObserver).
+	svcHist   *obs.Histogram
+	queueHist *obs.Histogram
+	depth     *obs.Gauge
+	offloads  *obs.Counter
+	fallbacks *obs.Counter
+}
+
+func newMNCPU(cfg Config) *mnCPU {
+	cores := cfg.MNCPUs
+	if cores <= 0 {
+		cores = defaultMNCPUs
+	}
+	baseNs := float64(cfg.MNServiceTime.Nanoseconds())
+	if baseNs <= 0 {
+		baseNs = defaultMNServiceNs
+	}
+	scan := cfg.MNScanBps
+	if scan <= 0 {
+		scan = defaultMNScanBps
+	}
+	lanes := cfg.lanes()
+	// Pre-scale by lanes/cores: each of the `lanes` shards serves at
+	// cores/lanes times a single core's rate, so aggregate capacity is
+	// exactly `cores` cores regardless of sharding.
+	scale := float64(lanes) / float64(cores)
+	return &mnCPU{
+		baseNs:    baseNs * scale,
+		nsPerByte: 1e9 / scan * scale,
+		shards:    make([]mnCPUShard, lanes),
+	}
+}
+
+func (m *mnCPU) setObserver(s *obs.Sink) {
+	r := s.Registry()
+	m.svcHist = r.Histogram(NameMNService)
+	m.queueHist = r.Histogram(NameMNQueue)
+	m.depth = r.Gauge(NameMNDepth)
+	m.offloads = r.Counter(NameMNOffload)
+	m.fallbacks = r.Counter(NameMNFallback)
+}
+
+// serviceNs is the MN CPU cost of one offloaded program that touched
+// the given number of bytes through its metered view.
+func (m *mnCPU) serviceNs(touched int64) int64 {
+	sNs := int64(m.baseNs + float64(touched)*m.nsPerByte)
+	if sNs < minMNServiceNs {
+		sNs = minMNServiceNs
+	}
+	return sNs
+}
+
+// serve charges one offloaded program arriving (fully received by the
+// NIC) at the given virtual time and returns its completion time at the
+// MN CPU. fallback marks programs whose verdict sends the client back
+// to the one-sided path — they consumed the CPU all the same.
+func (m *mnCPU) serve(shard int32, arrival, svcNs int64, fallback bool) int64 {
+	s := &m.shards[shard]
+	s.mu.Lock()
+	start := arrival
+	if s.freeAt > start {
+		start = s.freeAt
+	}
+	completion := start + svcNs
+	s.freeAt = completion
+	s.ops++
+	if fallback {
+		s.fallbacks++
+	}
+	s.busyNs += svcNs
+	s.queuedNs += start - arrival
+	s.mu.Unlock()
+
+	m.svcHist.Observe(svcNs)
+	m.queueHist.Observe(start - arrival)
+	if m.depth != nil {
+		m.depth.Set((start - arrival + svcNs - 1) / svcNs)
+	}
+	m.offloads.Inc()
+	if fallback {
+		m.fallbacks.Inc()
+	}
+	return completion
+}
+
+// frontier returns the latest busy time across the CPU's shards.
+func (m *mnCPU) frontier() int64 {
+	var fr int64
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		if s.freeAt > fr {
+			fr = s.freeAt
+		}
+		s.mu.Unlock()
+	}
+	return fr
+}
+
+// MNCPUStats is a snapshot of one MN's offload-compute counters,
+// aggregated across shards.
+type MNCPUStats struct {
+	Ops       int64 // offloaded programs executed
+	Fallbacks int64 // programs that returned a fallback verdict
+	BusyNs    int64 // total MN CPU service consumed
+	QueuedNs  int64 // total time programs waited for an MN core
+}
+
+func (m *mnCPU) stats() MNCPUStats {
+	var t MNCPUStats
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		t.Ops += s.ops
+		t.Fallbacks += s.fallbacks
+		t.BusyNs += s.busyNs
+		t.QueuedNs += s.queuedNs
+		s.mu.Unlock()
+	}
+	return t
+}
+
+// MNCPUStatsFor returns a snapshot of one MN's offload-compute counters.
+func (f *Fabric) MNCPUStatsFor(mn int) MNCPUStats {
+	return f.mns[mn].cpu.stats()
+}
+
+// MNCores reports the resolved offload-core count per MN — the
+// configured MNCPUs, or the model default when the knob was left zero.
+// BusyNs out of MNCores()*MNs()*wallNs is the offload plane's
+// utilization.
+func (f *Fabric) MNCores() int {
+	if f.cfg.MNCPUs > 0 {
+		return f.cfg.MNCPUs
+	}
+	return defaultMNCPUs
+}
+
+// TotalMNCPUStats sums offload-compute counters across all MNs.
+func (f *Fabric) TotalMNCPUStats() MNCPUStats {
+	var t MNCPUStats
+	for _, m := range f.mns {
+		s := m.cpu.stats()
+		t.Ops += s.Ops
+		t.Fallbacks += s.Fallbacks
+		t.BusyNs += s.BusyNs
+		t.QueuedNs += s.QueuedNs
+	}
+	return t
+}

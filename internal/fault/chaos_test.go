@@ -53,7 +53,7 @@ const (
 
 // Values are tagged so the verifier can attribute every stored byte:
 // load values carry tag 0xFF, worker values carry the worker index.
-func loadValue(key uint64) []byte  { return encodeValue(0xFF, key) }
+func loadValue(key uint64) []byte { return encodeValue(0xFF, key) }
 func workerValue(w, seq int) []byte {
 	return encodeValue(byte(w), uint64(seq))
 }
@@ -86,9 +86,9 @@ type chaosSystem struct {
 
 type chimeChaos struct{ cl *core.Client }
 
-func (c chimeChaos) Search(k uint64) ([]byte, error)    { return c.cl.Search(k) }
-func (c chimeChaos) Update(k uint64, v []byte) error    { return c.cl.Update(k, v) }
-func (c chimeChaos) DM() *dmsim.Client                  { return c.cl.DM() }
+func (c chimeChaos) Search(k uint64) ([]byte, error) { return c.cl.Search(k) }
+func (c chimeChaos) Update(k uint64, v []byte) error { return c.cl.Update(k, v) }
+func (c chimeChaos) DM() *dmsim.Client               { return c.cl.DM() }
 func (c chimeChaos) Scan(s uint64, n int) ([]uint64, [][]byte, error) {
 	kvs, err := c.cl.Scan(s, n)
 	return splitCoreKVs(kvs), coreVals(kvs), err
@@ -232,8 +232,8 @@ func chaosFabric() *dmsim.Fabric {
 
 // workerLog tracks one worker's issued and acknowledged updates.
 type workerLog struct {
-	issued map[uint64]uint64 // key -> number of updates issued (seqs 0..n-1)
-	acked  map[uint64]uint64 // key -> 1 + seq of last acked update
+	issued  map[uint64]uint64 // key -> number of updates issued (seqs 0..n-1)
+	acked   map[uint64]uint64 // key -> 1 + seq of last acked update
 	crashed bool
 }
 

@@ -1,0 +1,225 @@
+// Package offroute decides, per operation, between one-sided traversal
+// and MN-side offload (dmsim's offload verbs). One Router serves one
+// index client: it tracks an EWMA of the observed virtual-time cost of
+// each path plus the trips-per-op of the one-sided path (the hotness /
+// cache-depth signal — a hot or well-cached op resolves in about one
+// trip and cannot be beaten by an RPC that costs a trip by itself), and
+// routes each op to the cheaper path with a deterministic periodic
+// probe of the other so the estimate tracks workload drift.
+//
+// Decisions are a pure function of the observation history: no clocks,
+// no randomness. Same op/latency stream => same routing stream, which
+// is what keeps offload-enabled runs bit-identical across schedulers.
+package offroute
+
+import "fmt"
+
+// Mode is the routing policy.
+type Mode uint8
+
+const (
+	// ModeOff never offloads: pure one-sided traversal (today's path).
+	ModeOff Mode = iota
+
+	// ModeAlways offloads every op the index wired through the router
+	// (static policy for head-to-heads).
+	ModeAlways
+
+	// ModeAdaptive routes per op on the observed cost EWMAs.
+	ModeAdaptive
+)
+
+// ParseMode parses the chime-bench flag spelling: off | on | adaptive
+// ("always" is accepted for "on").
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "off", "":
+		return ModeOff, nil
+	case "on", "always":
+		return ModeAlways, nil
+	case "adaptive":
+		return ModeAdaptive, nil
+	}
+	return ModeOff, fmt.Errorf("offroute: unknown mode %q (want off|on|adaptive)", s)
+}
+
+func (m Mode) String() string {
+	switch m {
+	case ModeAlways:
+		return "on"
+	case ModeAdaptive:
+		return "adaptive"
+	}
+	return "off"
+}
+
+const (
+	// ewmaWeight is the EWMA step divisor: estimate += (sample-est)/8.
+	ewmaWeight = 8
+
+	// probeEvery/probeBurst: once both paths are sampled, a burst of
+	// probeBurst consecutive ops is periodically forced onto the path
+	// the estimates currently disfavor, so a stale estimate cannot pin
+	// the router forever. A burst (rather than a lone op) pushes enough
+	// samples through the 1/8 EWMA to track a workload shift within a
+	// couple of windows. The gap between bursts starts at probeEvery and
+	// doubles every time a burst leaves the preference unchanged (up to
+	// probeBackoffMax), collapsing back to probeEvery the moment a probe
+	// flips it — so a stable workload pays probeBurst/probeBackoffMax
+	// (<1%) steady-state overhead instead of a fixed 12.5%, while a
+	// drifting one is re-probed at the base cadence. Deterministic:
+	// driven entirely by the op counter and the preference history.
+	probeEvery      = 64
+	probeBurst      = 8
+	probeBackoffMax = 1024
+
+	// hotTripsCutoff: when the one-sided path averages at most this many
+	// trips per op, the hotspot buffer / node cache is absorbing the
+	// traversal and a one-trip RPC through the bounded MN CPU cannot
+	// win; prefer one-sided regardless of the latency EWMAs.
+	hotTripsCutoff = 1.5
+)
+
+// Router holds one client's routing state. Not safe for concurrent use
+// (like the index clients that own it). The nil *Router routes
+// everything one-sided, so un-wired clients cost one nil check.
+type Router struct {
+	mode Mode
+
+	ewmaOne   float64 // one-sided cost, virtual ns
+	ewmaOff   float64 // offload cost, virtual ns
+	ewmaTrips float64 // one-sided trips per op
+	haveOne   bool
+	haveOff   bool
+
+	n       uint64 // adaptive decisions taken (drives the probe cadence)
+	oneOps  uint64
+	offOps  uint64
+	probing bool // last decision was a forced probe
+
+	// Probe-backoff state (see probeEvery above).
+	probeGap  uint64 // current gap between bursts (0 = uninitialized)
+	nextProbe uint64 // decision count that opens the next burst
+	burstLeft int    // forced ops remaining in the current burst
+	prevPref  bool   // preference when the previous burst opened
+	havePrev  bool
+}
+
+// New returns a router with the given policy. ModeOff returns nil: the
+// zero-cost representation of "never offload".
+func New(mode Mode) *Router {
+	if mode == ModeOff {
+		return nil
+	}
+	return &Router{mode: mode}
+}
+
+// Mode returns the policy (ModeOff for the nil router).
+func (r *Router) Mode() Mode {
+	if r == nil {
+		return ModeOff
+	}
+	return r.mode
+}
+
+// preferOffload is the current estimate-driven preference. Before both
+// paths have been sampled it bootstraps: offload first (one op samples
+// it), then one-sided.
+func (r *Router) preferOffload() bool {
+	if !r.haveOff {
+		return true
+	}
+	if !r.haveOne {
+		return false
+	}
+	if r.ewmaTrips <= hotTripsCutoff {
+		return false
+	}
+	return r.ewmaOff < r.ewmaOne
+}
+
+// UseOffload decides the next op. Call exactly once per routed op, then
+// report the op's observed cost with ObserveOffload or ObserveOneSided.
+func (r *Router) UseOffload() bool {
+	if r == nil || r.mode == ModeOff {
+		return false
+	}
+	if r.mode == ModeAlways {
+		r.offOps++
+		return true
+	}
+	r.n++
+	pref := r.preferOffload()
+	if r.probeGap == 0 {
+		r.probeGap = probeEvery
+		r.nextProbe = probeEvery
+	}
+	if r.burstLeft == 0 && r.haveOne && r.haveOff && r.n >= r.nextProbe {
+		// Opening a new burst: back the cadence off while probes keep
+		// confirming the standing preference, snap back when one flipped
+		// it.
+		if r.havePrev && pref == r.prevPref {
+			r.probeGap *= 2
+			if r.probeGap > probeBackoffMax {
+				r.probeGap = probeBackoffMax
+			}
+		} else {
+			r.probeGap = probeEvery
+		}
+		r.prevPref = pref
+		r.havePrev = true
+		r.nextProbe = r.n + r.probeGap
+		r.burstLeft = probeBurst
+	}
+	r.probing = r.burstLeft > 0
+	if r.probing {
+		r.burstLeft--
+		pref = !pref
+	}
+	if pref {
+		r.offOps++
+	} else {
+		r.oneOps++
+	}
+	return pref
+}
+
+func ewma(est *float64, have *bool, sample float64) {
+	if !*have {
+		*est = sample
+		*have = true
+		return
+	}
+	*est += (sample - *est) / ewmaWeight
+}
+
+// ObserveOneSided reports a completed one-sided op: its virtual-time
+// cost and the fabric round trips it took.
+func (r *Router) ObserveOneSided(latNs, trips int64) {
+	if r == nil {
+		return
+	}
+	ewma(&r.ewmaOne, &r.haveOne, float64(latNs))
+	if trips >= 0 {
+		r.ewmaTrips += (float64(trips) - r.ewmaTrips) / ewmaWeight
+	}
+}
+
+// ObserveOffload reports a completed offloaded op's virtual-time cost.
+// Ops that fell back mid-way should be reported through ObserveOffload
+// with the full cost (offload attempt + one-sided redo): the router
+// then learns that offloading this workload is expensive.
+func (r *Router) ObserveOffload(latNs int64) {
+	if r == nil {
+		return
+	}
+	ewma(&r.ewmaOff, &r.haveOff, float64(latNs))
+}
+
+// Stats reports ops routed to each path.
+func (r *Router) Stats() (offloaded, onesided uint64) {
+	if r == nil {
+		return 0, 0
+	}
+	return r.offOps, r.oneOps
+}

@@ -1,0 +1,184 @@
+package offroute
+
+import "testing"
+
+func TestParseMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Mode
+		ok   bool
+	}{
+		{"off", ModeOff, true},
+		{"", ModeOff, true},
+		{"on", ModeAlways, true},
+		{"always", ModeAlways, true},
+		{"adaptive", ModeAdaptive, true},
+		{"bogus", ModeOff, false},
+	}
+	for _, c := range cases {
+		got, err := ParseMode(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	for _, m := range []Mode{ModeOff, ModeAlways, ModeAdaptive} {
+		back, err := ParseMode(m.String())
+		if err != nil || back != m {
+			t.Errorf("round trip %v -> %q -> %v, %v", m, m.String(), back, err)
+		}
+	}
+}
+
+func TestNilRouterIsOff(t *testing.T) {
+	r := New(ModeOff)
+	if r != nil {
+		t.Fatalf("New(ModeOff) = %v, want nil", r)
+	}
+	if r.UseOffload() {
+		t.Error("nil router offloaded")
+	}
+	if r.Mode() != ModeOff {
+		t.Errorf("nil Mode() = %v", r.Mode())
+	}
+	r.ObserveOneSided(100, 3) // must not panic
+	r.ObserveOffload(100)
+	if off, one := r.Stats(); off != 0 || one != 0 {
+		t.Errorf("nil Stats() = %d, %d", off, one)
+	}
+}
+
+func TestAlwaysOffloads(t *testing.T) {
+	r := New(ModeAlways)
+	for i := 0; i < 100; i++ {
+		if !r.UseOffload() {
+			t.Fatalf("ModeAlways refused offload at op %d", i)
+		}
+		r.ObserveOffload(1_000_000) // terrible latency must not matter
+		r.ObserveOneSided(1, 10)
+	}
+	if off, one := r.Stats(); off != 100 || one != 0 {
+		t.Errorf("Stats() = %d, %d; want 100, 0", off, one)
+	}
+}
+
+// Adaptive: offload clearly cheaper on a deep cold workload -> the
+// router settles on offload, probing one-sided only 1/probeEvery ops.
+func TestAdaptivePrefersCheaperPath(t *testing.T) {
+	r := New(ModeAdaptive)
+	const ops = 10 * probeEvery
+	for i := 0; i < ops; i++ {
+		if r.UseOffload() {
+			r.ObserveOffload(3_000) // ~3 µs offloaded
+		} else {
+			r.ObserveOneSided(8_000, 4) // ~8 µs, 4 trips one-sided
+		}
+	}
+	off, one := r.Stats()
+	if off+one != ops {
+		t.Fatalf("decisions %d+%d != %d ops", off, one, ops)
+	}
+	if off < ops*8/10 {
+		t.Errorf("offload share %d/%d; cheaper path should dominate", off, ops)
+	}
+	if one == 0 {
+		t.Error("never probed the one-sided path")
+	}
+}
+
+// Adaptive: hot workload resolving in ~1 trip -> one-sided wins even if
+// the latency EWMAs are close.
+func TestAdaptiveHotnessCutoff(t *testing.T) {
+	r := New(ModeAdaptive)
+	const ops = 10 * probeEvery
+	for i := 0; i < ops; i++ {
+		if r.UseOffload() {
+			r.ObserveOffload(2_000)
+		} else {
+			r.ObserveOneSided(2_100, 1) // single trip: hotspot-buffered
+		}
+	}
+	off, one := r.Stats()
+	if one < ops*8/10 {
+		t.Errorf("one-sided share %d/%d; hot single-trip workload should stay one-sided", one, ops)
+	}
+	if off == 0 {
+		t.Error("never probed the offload path")
+	}
+}
+
+// Adaptive adapts: workload shifts from offload-friendly to hot, router
+// follows within the backed-off probe cadence (worst case one
+// probeBackoffMax gap plus a couple of base windows).
+func TestAdaptiveTracksDrift(t *testing.T) {
+	r := New(ModeAdaptive)
+	for i := 0; i < 4*probeEvery; i++ { // cold phase
+		if r.UseOffload() {
+			r.ObserveOffload(3_000)
+		} else {
+			r.ObserveOneSided(9_000, 5)
+		}
+	}
+	offCold, _ := r.Stats()
+	const hot = 2 * probeBackoffMax // hot phase
+	for i := 0; i < hot; i++ {
+		if r.UseOffload() {
+			r.ObserveOffload(3_000)
+		} else {
+			r.ObserveOneSided(2_000, 1)
+		}
+	}
+	offTotal, oneTotal := r.Stats()
+	offHot := offTotal - offCold
+	if offHot > hot/4 {
+		t.Errorf("offloaded %d/%d ops of the hot phase; router failed to shift one-sided", offHot, hot)
+	}
+	if oneTotal == 0 {
+		t.Error("no one-sided ops at all")
+	}
+}
+
+// Probe backoff: on a stable workload the forced-probe overhead decays
+// to well under the base 12.5% burst duty cycle.
+func TestProbeBackoffOverhead(t *testing.T) {
+	r := New(ModeAdaptive)
+	const ops = 4 * probeBackoffMax
+	for i := 0; i < ops; i++ {
+		if r.UseOffload() {
+			r.ObserveOffload(3_000)
+		} else {
+			r.ObserveOneSided(8_000, 4)
+		}
+	}
+	_, one := r.Stats()
+	if one > ops*3/100 {
+		t.Errorf("one-sided (probe) share %d/%d ops; backoff should keep stable-workload overhead under 3%%", one, ops)
+	}
+	if one == 0 {
+		t.Error("never probed at all")
+	}
+}
+
+// Determinism: two routers fed the identical decision/observation
+// stream make identical choices.
+func TestDeterministicDecisions(t *testing.T) {
+	run := func() []bool {
+		r := New(ModeAdaptive)
+		out := make([]bool, 0, 300)
+		for i := 0; i < 300; i++ {
+			use := r.UseOffload()
+			out = append(out, use)
+			if use {
+				r.ObserveOffload(int64(2000 + i%7*100))
+			} else {
+				r.ObserveOneSided(int64(5000+i%5*200), int64(2+i%3))
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

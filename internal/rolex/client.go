@@ -67,13 +67,10 @@ func (c *Client) findIn(img []byte, key uint64) (int, entry) {
 	return -1, entry{}
 }
 
-// Search performs a point query. In hopscotch-leaf mode
+// searchOneSided performs a point query. In hopscotch-leaf mode
 // ("CHIME-Learned") only the H-entry neighborhoods of the main leaf and
 // its buddy are fetched; otherwise both whole leaves are.
-func (c *Client) Search(key uint64) ([]byte, error) {
-	if sp := c.obs.Tracer.Begin("rolex.search", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
-		defer func() { sp.End(c.dc.Now()) }()
-	}
+func (c *Client) searchOneSided(key uint64) ([]byte, error) {
 	g := c.ix.route(key)
 	c.dc.Advance(150)
 	if c.ix.lay.hop {
@@ -370,11 +367,8 @@ func (c *Client) Insert(key uint64, value []byte) error {
 	return c.unlockGroup(g)
 }
 
-// Update overwrites an existing key, ErrNotFound otherwise.
-func (c *Client) Update(key uint64, value []byte) error {
-	if sp := c.obs.Tracer.Begin("rolex.update", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
-		defer func() { sp.End(c.dc.Now()) }()
-	}
+// updateOneSided overwrites an existing key, ErrNotFound otherwise.
+func (c *Client) updateOneSided(key uint64, value []byte) error {
 	val, err := c.prepareValue(key, value)
 	if err != nil {
 		return err
@@ -454,16 +448,9 @@ type KV struct {
 	Value []byte
 }
 
-// Scan returns up to count items with keys >= start in ascending order.
-// ROLEX's small span makes scans cheap: consecutive groups are read
-// until the budget is filled.
-func (c *Client) Scan(start uint64, count int) ([]KV, error) {
-	if count <= 0 {
-		return nil, nil
-	}
-	if sp := c.obs.Tracer.Begin("rolex.scan", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
-		defer func() { sp.End(c.dc.Now()) }()
-	}
+// scanOneSided reads consecutive groups until the budget is filled;
+// ROLEX's small span makes scans cheap.
+func (c *Client) scanOneSided(start uint64, count int) ([]KV, error) {
 	g := c.ix.route(start)
 	c.dc.Advance(150)
 	var out []KV

@@ -1,0 +1,288 @@
+package rolex
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sort"
+
+	"chime/internal/dmsim"
+	"chime/internal/nodelayout"
+)
+
+// MN-side offload program (dmsim offload verbs), co-designed with
+// ROLEX's learned routing: the PLR model and fence keys live on the CN,
+// so the client routes first and ships the predicted leaf group as the
+// verb's arg — the program never re-runs the model, it just probes the
+// group (main leaf, overflow buddy, chain) MN-locally. The group array
+// is one contiguous allocation on the program's MN; only chained
+// overflow leaves and indirect KV blocks (chunk-allocated on the
+// inserting client's home MN) can cross MNs, which the metered view
+// reports and the program converts into a CrossMN fallback verdict.
+const (
+	mnTornRetries = 64
+	mnLockRetries = 64
+	mnChainHops   = 128
+)
+
+type mnProgram struct {
+	ix *Index
+}
+
+// readLeaf fetches one leaf image through the metered view, retrying
+// torn reads against a small budget.
+func (p *mnProgram) readLeaf(ctx *dmsim.MNCtx, addr dmsim.GAddr) ([]byte, dmsim.OffloadStatus) {
+	lay := p.ix.lay
+	img := make([]byte, lay.size)
+	for try := 0; try < mnTornRetries; try++ {
+		if !ctx.Read(addr.Add(lineSize), img[lineSize:]) {
+			return nil, dmsim.OffloadCrossMN
+		}
+		if nodelayout.CheckVersions(img, 0, lay.allCells) != nil {
+			runtime.Gosched()
+			continue
+		}
+		return img, dmsim.OffloadOK
+	}
+	return nil, dmsim.OffloadRetry
+}
+
+func mnFindIn(lay *layout, img []byte, key uint64) (int, entry) {
+	for i := 0; i < lay.span; i++ {
+		e := lay.decodeEntry(img, i)
+		if e.occupied && e.key == key {
+			return i, e
+		}
+	}
+	return -1, entry{}
+}
+
+// emitValue resolves an entry (inline value or indirect KV block) into
+// the response.
+func (p *mnProgram) emitValue(ctx *dmsim.MNCtx, key uint64, e entry) dmsim.OffloadStatus {
+	lay := p.ix.lay
+	if !p.ix.opts.Indirect {
+		if !ctx.Emit(e.val[:lay.valSize]) {
+			return dmsim.OffloadRetry
+		}
+		return dmsim.OffloadOK
+	}
+	ptr := dmsim.UnpackGAddr(binary.LittleEndian.Uint64(e.val[:8]))
+	if ptr.IsNil() {
+		return dmsim.OffloadNotFound
+	}
+	block := make([]byte, 8+p.ix.opts.ValueSize)
+	if !ctx.Read(ptr, block) {
+		return dmsim.OffloadCrossMN
+	}
+	if binary.LittleEndian.Uint64(block[:8]) != key {
+		return dmsim.OffloadRetry
+	}
+	if !ctx.Emit(block[8:]) {
+		return dmsim.OffloadRetry
+	}
+	return dmsim.OffloadOK
+}
+
+// Search: probe the routed group's main leaf, buddy, then the overflow
+// chain. Group membership never changes after routing (ROLEX's
+// data-movement constraint), so there is no descent to restart.
+func (p *mnProgram) Search(ctx *dmsim.MNCtx, key, arg uint64) dmsim.OffloadStatus {
+	g := int(arg)
+	if g < 0 || g >= p.ix.numGroups {
+		return dmsim.OffloadUnsupported
+	}
+	lay := p.ix.lay
+	main, st := p.readLeaf(ctx, p.ix.groupMain(g))
+	if main == nil {
+		return st
+	}
+	if _, e := mnFindIn(lay, main, key); e.occupied {
+		return p.emitValue(ctx, key, e)
+	}
+	buddy, st := p.readLeaf(ctx, p.ix.groupBuddy(g))
+	if buddy == nil {
+		return st
+	}
+	if _, e := mnFindIn(lay, buddy, key); e.occupied {
+		return p.emitValue(ctx, key, e)
+	}
+	chain := lay.chain(buddy)
+	for hops := 0; !chain.IsNil() && hops < mnChainHops; hops++ {
+		img, st := p.readLeaf(ctx, chain)
+		if img == nil {
+			return st
+		}
+		if _, e := mnFindIn(lay, img, key); e.occupied {
+			return p.emitValue(ctx, key, e)
+		}
+		chain = lay.chain(img)
+	}
+	return dmsim.OffloadNotFound
+}
+
+// lockGroup takes the group's lock word by MN-local CAS. The word
+// carries no payload outside lease mode (gated off client-side), so the
+// single-bit compare-and-swap interoperates with the client's CAS
+// acquire and write-zero release; while a CN-local handover chain holds
+// the lock the word stays set and the budget here expires into a
+// fallback.
+func (p *mnProgram) lockGroup(ctx *dmsim.MNCtx, addr dmsim.GAddr) dmsim.OffloadStatus {
+	for try := 0; try < mnLockRetries; try++ {
+		_, swapped, ok := ctx.MaskedCAS(addr, 0, 1, 1, 1)
+		if !ok {
+			return dmsim.OffloadCrossMN
+		}
+		if swapped {
+			return dmsim.OffloadOK
+		}
+		runtime.Gosched()
+	}
+	return dmsim.OffloadRetry
+}
+
+func (p *mnProgram) unlockGroup(ctx *dmsim.MNCtx, addr dmsim.GAddr) {
+	ctx.MaskedCAS(addr, 1, 0, 1, 1)
+}
+
+// Update: in-place value swap under the group lock. The upsert keeps
+// the slot's hopscotch bitmap (it tracks keys homed at the slot, not
+// the stored key), matching the one-sided writer. Indirect values need
+// client-side allocation and lease locks carry the holder's identity —
+// both are gated off client-side.
+func (p *mnProgram) Update(ctx *dmsim.MNCtx, key, arg uint64, val []byte) dmsim.OffloadStatus {
+	o := p.ix.opts
+	if o.Indirect || o.LeaseLocks {
+		return dmsim.OffloadUnsupported
+	}
+	lay := p.ix.lay
+	if len(val) != lay.valSize {
+		return dmsim.OffloadUnsupported
+	}
+	g := int(arg)
+	if g < 0 || g >= p.ix.numGroups {
+		return dmsim.OffloadUnsupported
+	}
+	lockAddr := p.ix.groupMain(g)
+	if st := p.lockGroup(ctx, lockAddr); st != dmsim.OffloadOK {
+		return st
+	}
+	st := p.updateLocked(ctx, g, key, val)
+	p.unlockGroup(ctx, lockAddr)
+	return st
+}
+
+func (p *mnProgram) updateLocked(ctx *dmsim.MNCtx, g int, key uint64, val []byte) dmsim.OffloadStatus {
+	lay := p.ix.lay
+	type leafImg struct {
+		addr dmsim.GAddr
+		img  []byte
+	}
+	main, st := p.readLeaf(ctx, p.ix.groupMain(g))
+	if main == nil {
+		return st
+	}
+	buddy, st := p.readLeaf(ctx, p.ix.groupBuddy(g))
+	if buddy == nil {
+		return st
+	}
+	leaves := []leafImg{{p.ix.groupMain(g), main}, {p.ix.groupBuddy(g), buddy}}
+	chain := lay.chain(buddy)
+	for hops := 0; !chain.IsNil() && hops < mnChainHops; hops++ {
+		img, st := p.readLeaf(ctx, chain)
+		if img == nil {
+			return st
+		}
+		leaves = append(leaves, leafImg{chain, img})
+		chain = lay.chain(img)
+	}
+	for _, lf := range leaves {
+		if i, e := mnFindIn(lay, lf.img, key); i >= 0 {
+			e.val = val
+			lay.encodeEntry(lf.img, i, e, true)
+			c := lay.entryCells[i]
+			if !ctx.Write(lf.addr.Add(uint64(c.Off)), lf.img[c.Off:c.End()]) {
+				return dmsim.OffloadCrossMN
+			}
+			return dmsim.OffloadOK
+		}
+	}
+	return dmsim.OffloadNotFound
+}
+
+// Scan: read consecutive groups from the routed start group, sorting
+// each group's main+buddy+chain batch and emitting [8B key][value]
+// records until the limit fills.
+func (p *mnProgram) Scan(ctx *dmsim.MNCtx, start, arg uint64, limit int) dmsim.OffloadStatus {
+	if limit <= 0 {
+		return dmsim.OffloadOK
+	}
+	g := int(arg)
+	if g < 0 || g >= p.ix.numGroups {
+		return dmsim.OffloadUnsupported
+	}
+	lay := p.ix.lay
+	emitted := 0
+	// Inline mode emits lay.valSize bytes per record, indirect mode the
+	// resolved opts.ValueSize — both equal opts.ValueSize.
+	rec := make([]byte, 8+p.ix.opts.ValueSize)
+	for ; g < p.ix.numGroups; g++ {
+		var batch []entry
+		collect := func(img []byte) {
+			for i := 0; i < lay.span; i++ {
+				e := lay.decodeEntry(img, i)
+				if e.occupied && e.key >= start {
+					e.val = append([]byte(nil), e.val...)
+					batch = append(batch, e)
+				}
+			}
+		}
+		main, st := p.readLeaf(ctx, p.ix.groupMain(g))
+		if main == nil {
+			return st
+		}
+		buddy, st := p.readLeaf(ctx, p.ix.groupBuddy(g))
+		if buddy == nil {
+			return st
+		}
+		collect(main)
+		collect(buddy)
+		chain := lay.chain(buddy)
+		for hops := 0; !chain.IsNil() && hops < mnChainHops; hops++ {
+			img, st := p.readLeaf(ctx, chain)
+			if img == nil {
+				return st
+			}
+			collect(img)
+			chain = lay.chain(img)
+		}
+		sort.Slice(batch, func(i, j int) bool { return batch[i].key < batch[j].key })
+		for _, e := range batch {
+			v := e.val[:lay.valSize]
+			if p.ix.opts.Indirect {
+				ptr := dmsim.UnpackGAddr(binary.LittleEndian.Uint64(e.val[:8]))
+				if ptr.IsNil() {
+					return dmsim.OffloadRetry
+				}
+				block := make([]byte, 8+p.ix.opts.ValueSize)
+				if !ctx.Read(ptr, block) {
+					return dmsim.OffloadCrossMN
+				}
+				if binary.LittleEndian.Uint64(block[:8]) != e.key {
+					return dmsim.OffloadRetry
+				}
+				v = block[8:]
+			}
+			rec = rec[:8+len(v)]
+			binary.LittleEndian.PutUint64(rec[:8], e.key)
+			copy(rec[8:], v)
+			if !ctx.Emit(rec) {
+				return dmsim.OffloadOK
+			}
+			emitted++
+			if emitted >= limit {
+				return dmsim.OffloadOK
+			}
+		}
+	}
+	return dmsim.OffloadOK
+}

@@ -1,0 +1,140 @@
+package rolex
+
+import (
+	"encoding/binary"
+
+	"chime/internal/dmsim"
+)
+
+// Public operation entry points and the hybrid one-sided/offload router
+// wiring; same shape as internal/core's offload.go. ROLEX routes with
+// its CN-side PLR model either way — the offload path ships the
+// predicted group as the verb argument so the MN program probes without
+// re-running the model. Support gates run before the router so
+// unsupported ops never pollute its cost estimates; a routed offload
+// that falls back redoes the op one-sided and reports the combined
+// cost, so adaptive mode learns the true price.
+
+// offloadUpdateOK: indirect values need client-side allocation and
+// lease locks carry the holder's identity — both stay one-sided.
+func (ix *Index) offloadUpdateOK() bool {
+	return !ix.opts.Indirect && !ix.opts.LeaseLocks
+}
+
+// Search performs a point query. With offload enabled the group probe
+// may execute as a single LeafSearchAtMN RPC instead of fetching the
+// main leaf and buddy to the CN.
+func (c *Client) Search(key uint64) ([]byte, error) {
+	if sp := c.obs.Tracer.Begin("rolex.search", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
+	}
+	if c.router == nil {
+		return c.searchOneSided(key)
+	}
+	if !c.router.UseOffload() {
+		t0, trips0 := c.dc.Now(), c.dc.Stats().Trips
+		val, err := c.searchOneSided(key)
+		c.router.ObserveOneSided(c.dc.Now()-t0, c.dc.Stats().Trips-trips0)
+		return val, err
+	}
+	t0 := c.dc.Now()
+	g := c.ix.route(key)
+	c.dc.Advance(150) // CN-side model inference, same as one-sided
+	n, st, err := c.dc.LeafSearchAtMN(c.ix.mnprog, c.ix.offMN, key, uint64(g), c.offBuf)
+	if err != nil {
+		return nil, err
+	}
+	if !st.Fallback() {
+		c.router.ObserveOffload(c.dc.Now() - t0)
+		if st == dmsim.OffloadNotFound {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), c.offBuf[:n]...), nil
+	}
+	val, err := c.searchOneSided(key)
+	c.router.ObserveOffload(c.dc.Now() - t0)
+	return val, err
+}
+
+// Update overwrites an existing key's value, possibly as a single
+// CompareAndCASAtMN RPC.
+func (c *Client) Update(key uint64, value []byte) error {
+	if sp := c.obs.Tracer.Begin("rolex.update", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
+	}
+	if c.router == nil || !c.ix.offloadUpdateOK() {
+		return c.updateOneSided(key, value)
+	}
+	if !c.router.UseOffload() {
+		t0, trips0 := c.dc.Now(), c.dc.Stats().Trips
+		err := c.updateOneSided(key, value)
+		c.router.ObserveOneSided(c.dc.Now()-t0, c.dc.Stats().Trips-trips0)
+		return err
+	}
+	t0 := c.dc.Now()
+	g := c.ix.route(key)
+	c.dc.Advance(150)
+	st, err := c.dc.CompareAndCASAtMN(c.ix.mnprog, c.ix.offMN, key, uint64(g), value)
+	if err != nil {
+		return err
+	}
+	if !st.Fallback() {
+		c.router.ObserveOffload(c.dc.Now() - t0)
+		if st == dmsim.OffloadNotFound {
+			return ErrNotFound
+		}
+		return nil
+	}
+	err = c.updateOneSided(key, value)
+	c.router.ObserveOffload(c.dc.Now() - t0)
+	return err
+}
+
+// Scan returns up to count items with keys >= start in ascending order,
+// possibly as a single ScatterGatherScan RPC.
+func (c *Client) Scan(start uint64, count int) ([]KV, error) {
+	if count <= 0 {
+		return nil, nil
+	}
+	if sp := c.obs.Tracer.Begin("rolex.scan", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
+		defer func() { sp.End(c.dc.Now()) }()
+	}
+	if c.router == nil {
+		return c.scanOneSided(start, count)
+	}
+	if !c.router.UseOffload() {
+		t0, trips0 := c.dc.Now(), c.dc.Stats().Trips
+		out, err := c.scanOneSided(start, count)
+		c.router.ObserveOneSided(c.dc.Now()-t0, c.dc.Stats().Trips-trips0)
+		return out, err
+	}
+	t0 := c.dc.Now()
+	g := c.ix.route(start)
+	c.dc.Advance(150)
+	recSize := 8 + c.ix.opts.ValueSize
+	dst := make([]byte, count*recSize)
+	n, st, err := c.dc.ScatterGatherScan(c.ix.mnprog, c.ix.offMN, start, uint64(g), count, dst)
+	if err != nil {
+		return nil, err
+	}
+	if !st.Fallback() {
+		c.router.ObserveOffload(c.dc.Now() - t0)
+		out := make([]KV, 0, n/recSize)
+		for off := 0; off+recSize <= n; off += recSize {
+			out = append(out, KV{
+				Key:   binary.LittleEndian.Uint64(dst[off : off+8]),
+				Value: dst[off+8 : off+recSize],
+			})
+		}
+		return out, nil
+	}
+	out, err := c.scanOneSided(start, count)
+	c.router.ObserveOffload(c.dc.Now() - t0)
+	return out, err
+}
+
+// OffloadStats reports how many of this client's routed ops went to
+// each path (zeros with offload off).
+func (c *Client) OffloadStats() (offloaded, onesided uint64) {
+	return c.router.Stats()
+}

@@ -13,6 +13,7 @@ import (
 	"chime/internal/locktable"
 	"chime/internal/nodelayout"
 	"chime/internal/obs"
+	"chime/internal/offroute"
 )
 
 // Options configures a ROLEX index.
@@ -45,6 +46,13 @@ type Options struct {
 	// LeaseNs is the lease duration in virtual nanoseconds (zero =
 	// lease.DefaultNs).
 	LeaseNs int64
+
+	// Offload selects the hybrid one-sided/RPC protocol: per-op routing
+	// between one-sided group reads and the MN-side program registered
+	// at build time (mnprog.go). The PLR model stays CN-side — the
+	// client ships the predicted group as the verb argument. Zero =
+	// pure one-sided (today's behavior).
+	Offload offroute.Mode
 }
 
 // DefaultOptions returns the paper's default ROLEX configuration.
@@ -199,6 +207,11 @@ type Index struct {
 	numGroups int
 	model     *PLR
 	fences    []uint64 // fences[i] = smallest trained key of group i
+
+	// mnprog is the MN-side offload program registered at build time;
+	// offMN is the MN it is addressed on (the group array's MN).
+	mnprog dmsim.MNProgramID
+	offMN  int
 }
 
 // Build bulk-loads a ROLEX index from keys and their values. Keys are
@@ -287,6 +300,8 @@ func Build(f *dmsim.Fabric, opts Options, keys []uint64, values map[uint64][]byt
 		}
 		// Otherwise the overflow buddy starts empty (zero image is valid).
 	}
+	ix.mnprog = f.RegisterMNProgram(&mnProgram{ix: ix})
+	ix.offMN = int(base.MN)
 	return ix, nil
 }
 
@@ -382,15 +397,27 @@ type Client struct {
 	alloc   *dmsim.ChunkAllocator
 	backoff int64
 	obs     obs.IndexInstruments
+
+	// router decides one-sided vs. MN-side offload per op (offload.go);
+	// nil when Options.Offload is off. offBuf is the reusable offload
+	// response buffer.
+	router *offroute.Router
+	offBuf []byte
 }
 
 // NewClient creates a client bound to the compute node.
 func (cn *ComputeNode) NewClient() *Client {
 	dc := cn.ix.fabric.NewClient()
+	bufSize := cn.ix.opts.ValueSize
+	if bufSize < 8 {
+		bufSize = 8
+	}
 	return &Client{
 		cn: cn, ix: cn.ix, dc: dc,
-		alloc: dmsim.NewChunkAllocator(dc, int(dc.ID())%cn.ix.fabric.MNs()),
-		obs:   cn.obs,
+		alloc:  dmsim.NewChunkAllocator(dc, int(dc.ID())%cn.ix.fabric.MNs()),
+		router: offroute.New(cn.ix.opts.Offload),
+		offBuf: make([]byte, bufSize),
+		obs:    cn.obs,
 	}
 }
 

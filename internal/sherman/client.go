@@ -11,6 +11,7 @@ import (
 	"chime/internal/locktable"
 	"chime/internal/nodelayout"
 	"chime/internal/obs"
+	"chime/internal/offroute"
 )
 
 // node is a decoded internal node: header plus sorted routing entries
@@ -156,15 +157,27 @@ type Client struct {
 	wcCombined int64
 
 	obs obs.IndexInstruments
+
+	// router decides one-sided vs. MN-side offload per op (offload.go);
+	// nil when Options.Offload is off. offBuf is the reusable offload
+	// response buffer.
+	router *offroute.Router
+	offBuf []byte
 }
 
 // NewClient creates a client bound to the compute node.
 func (cn *ComputeNode) NewClient() *Client {
 	dc := cn.ix.fabric.NewClient()
+	bufSize := cn.ix.opts.ValueSize
+	if bufSize < 8 {
+		bufSize = 8
+	}
 	return &Client{
 		cn: cn, ix: cn.ix, dc: dc,
-		alloc: dmsim.NewChunkAllocator(dc, int(dc.ID())%cn.ix.fabric.MNs()),
-		obs:   cn.obs,
+		alloc:  dmsim.NewChunkAllocator(dc, int(dc.ID())%cn.ix.fabric.MNs()),
+		obs:    cn.obs,
+		router: offroute.New(cn.ix.opts.Offload),
+		offBuf: make([]byte, bufSize),
 	}
 }
 
@@ -280,12 +293,11 @@ func (c *Client) traverse(key uint64) (dmsim.GAddr, []pathEntry, error) {
 	return dmsim.NilGAddr, nil, fmt.Errorf("sherman: traverse(%#x) exhausted", key)
 }
 
-// Search performs a point query, fetching the entire leaf node — the
-// read amplification CHIME's hopscotch leaves eliminate.
-func (c *Client) Search(key uint64) ([]byte, error) {
-	if sp := c.obs.Tracer.Begin("sherman.search", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
-		defer func() { sp.End(c.dc.Now()) }()
-	}
+// searchOneSided performs a point query with one-sided verbs, fetching
+// the entire leaf node — the read amplification CHIME's hopscotch leaves
+// eliminate. The public Search (offload.go) routes between this and the
+// MN-side offload program.
+func (c *Client) searchOneSided(key uint64) ([]byte, error) {
 	for attempt := 0; attempt < maxRetries; attempt++ {
 		leaf, _, err := c.traverse(key)
 		if err != nil {
@@ -641,11 +653,10 @@ func (c *Client) splitLeaf(leaf dmsim.GAddr, path []pathEntry, img []byte, hdr h
 	return c.propagate(path, 0, splitKey, rightAddr)
 }
 
-// Update overwrites an existing key's value.
-func (c *Client) Update(key uint64, value []byte) error {
-	if sp := c.obs.Tracer.Begin("sherman.update", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
-		defer func() { sp.End(c.dc.Now()) }()
-	}
+// updateOneSided overwrites an existing key's value with one-sided
+// verbs; the public Update (offload.go) routes between this and the
+// MN-side offload program.
+func (c *Client) updateOneSided(key uint64, value []byte) error {
 	val, err := c.prepareValue(key, value)
 	if err != nil {
 		return err
@@ -725,15 +736,11 @@ type KV struct {
 	Value []byte
 }
 
-// Scan returns up to count items with keys >= start in ascending order,
-// reading whole leaves along the sibling chain.
-func (c *Client) Scan(start uint64, count int) ([]KV, error) {
-	if count <= 0 {
-		return nil, nil
-	}
-	if sp := c.obs.Tracer.Begin("sherman.scan", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
-		defer func() { sp.End(c.dc.Now()) }()
-	}
+// scanOneSided returns up to count items with keys >= start in
+// ascending order, reading whole leaves along the sibling chain with
+// one-sided verbs; the public Scan (offload.go) routes between this and
+// the MN-side offload program.
+func (c *Client) scanOneSided(start uint64, count int) ([]KV, error) {
 	lay := c.ix.leaf
 	for attempt := 0; attempt < maxRetries; attempt++ {
 		leaf, _, err := c.traverse(start)

@@ -1,0 +1,361 @@
+package sherman
+
+import (
+	"encoding/binary"
+	"runtime"
+
+	"chime/internal/dmsim"
+	"chime/internal/nodelayout"
+)
+
+// MN-side offload program (dmsim offload verbs), co-designed with
+// Sherman's remote layout. Sherman leaves keep fence keys (no
+// sibling-based validation), so the program's leaf chain check is the
+// same fenceLow/fenceHi/sibling walk the one-sided client does — run
+// against MN-local memory through the metered MNCtx that feeds the
+// bounded MN CPU. Anything that leaves the MN (children or indirect KV
+// blocks on other MNs) or exceeds the small local retry budgets yields
+// a fallback verdict and the client redoes the op one-sided.
+const (
+	mnTornRetries = 64
+	mnLockRetries = 64
+	mnChainHops   = 128
+)
+
+type mnProgram struct {
+	ix *Index
+}
+
+// readNode fetches and validates a whole node image through the metered
+// view. ok=false carries a fallback status; torn=true requests a
+// restart after the budget (reported as Retry by the caller's loop).
+func (p *mnProgram) readNode(ctx *dmsim.MNCtx, lay *layout, addr dmsim.GAddr) (img []byte, hdr header, st dmsim.OffloadStatus) {
+	img = make([]byte, lay.size)
+	for try := 0; try < mnTornRetries; try++ {
+		if !ctx.Read(addr.Add(lineSize), img[lineSize:]) {
+			return nil, header{}, dmsim.OffloadCrossMN
+		}
+		if nodelayout.CheckVersions(img, 0, lay.allCells) != nil {
+			runtime.Gosched()
+			continue
+		}
+		return img, lay.decodeHeader(img), dmsim.OffloadOK
+	}
+	return nil, header{}, dmsim.OffloadRetry
+}
+
+// descend walks from the super block to the leaf covering key. A zero
+// status with a nil address requests a restart from the caller.
+func (p *mnProgram) descend(ctx *dmsim.MNCtx, key uint64) (dmsim.GAddr, dmsim.OffloadStatus, bool) {
+	var b [8]byte
+	if !ctx.Read(p.ix.super, b[:]) {
+		return dmsim.NilGAddr, dmsim.OffloadCrossMN, false
+	}
+	cur, level := unpackSuper(binary.LittleEndian.Uint64(b[:]))
+	if level == 0 {
+		return cur, dmsim.OffloadOK, false
+	}
+	for hop := 0; hop < mnChainHops; hop++ {
+		img, hdr, st := p.readNode(ctx, p.ix.inner, cur)
+		if img == nil {
+			return dmsim.NilGAddr, st, false
+		}
+		if !hdr.valid {
+			return dmsim.NilGAddr, 0, true // restart
+		}
+		if key < hdr.fenceLow {
+			return dmsim.NilGAddr, 0, true
+		}
+		if !hdr.fenceInf && key >= hdr.fenceHi {
+			if hdr.sibling.IsNil() {
+				return dmsim.NilGAddr, 0, true
+			}
+			cur = hdr.sibling
+			continue
+		}
+		n := &node{addr: cur, hdr: hdr}
+		for i := 0; i < hdr.nkeys; i++ {
+			e := p.ix.inner.decodeEntry(img, i)
+			n.piv = append(n.piv, e.key)
+			n.kids = append(n.kids, dmsim.UnpackGAddr(binary.LittleEndian.Uint64(e.val[:8])))
+		}
+		child := n.childFor(key)
+		if child.IsNil() {
+			return dmsim.NilGAddr, 0, true
+		}
+		if hdr.level == 1 {
+			return child, dmsim.OffloadOK, false
+		}
+		cur = child
+	}
+	return dmsim.NilGAddr, dmsim.OffloadRetry, false
+}
+
+// emitValue resolves stored entry bytes (inline value or indirect KV
+// block) into the response. restart=true requests a fresh descent.
+func (p *mnProgram) emitValue(ctx *dmsim.MNCtx, key uint64, stored []byte) (dmsim.OffloadStatus, bool) {
+	lay := p.ix.leaf
+	if !p.ix.opts.Indirect {
+		if !ctx.Emit(stored[:lay.valSize]) {
+			return dmsim.OffloadRetry, false
+		}
+		return dmsim.OffloadOK, false
+	}
+	ptr := dmsim.UnpackGAddr(binary.LittleEndian.Uint64(stored[:8]))
+	if ptr.IsNil() {
+		return 0, true
+	}
+	block := make([]byte, 8+p.ix.opts.ValueSize)
+	if !ctx.Read(ptr, block) {
+		return dmsim.OffloadCrossMN, false
+	}
+	if binary.LittleEndian.Uint64(block[:8]) != key {
+		return 0, true
+	}
+	if !ctx.Emit(block[8:]) {
+		return dmsim.OffloadRetry, false
+	}
+	return dmsim.OffloadOK, false
+}
+
+// Search: descend + whole-leaf probe, MN-local.
+func (p *mnProgram) Search(ctx *dmsim.MNCtx, key, arg uint64) dmsim.OffloadStatus {
+	lay := p.ix.leaf
+	for attempt := 0; attempt < mnTornRetries; attempt++ {
+		leaf, st, restart := p.descend(ctx, key)
+		if restart {
+			runtime.Gosched()
+			continue
+		}
+		if st != dmsim.OffloadOK {
+			return st
+		}
+		st, restart = p.searchChain(ctx, lay, leaf, key)
+		if restart {
+			runtime.Gosched()
+			continue
+		}
+		return st
+	}
+	return dmsim.OffloadRetry
+}
+
+func (p *mnProgram) searchChain(ctx *dmsim.MNCtx, lay *layout, leaf dmsim.GAddr, key uint64) (dmsim.OffloadStatus, bool) {
+	for hops := 0; hops < mnChainHops; hops++ {
+		img, hdr, st := p.readNode(ctx, lay, leaf)
+		if img == nil {
+			return st, false
+		}
+		if !hdr.valid || key < hdr.fenceLow {
+			return 0, true
+		}
+		if !hdr.fenceInf && key >= hdr.fenceHi {
+			if hdr.sibling.IsNil() {
+				return 0, true
+			}
+			leaf = hdr.sibling
+			continue
+		}
+		for i := 0; i < lay.span; i++ {
+			e := lay.decodeEntry(img, i)
+			if e.occupied && e.key == key {
+				return p.emitValue(ctx, key, e.val)
+			}
+		}
+		return dmsim.OffloadNotFound, false
+	}
+	return dmsim.OffloadRetry, false
+}
+
+// lockNode takes the node's lock bit by MN-local CAS. Sherman's lock
+// word carries no payload (lease mode is gated off before offload), so
+// compare-and-swap of the single bit interoperates with the client's
+// identical CAS and its write-zero release.
+func (p *mnProgram) lockNode(ctx *dmsim.MNCtx, addr dmsim.GAddr) dmsim.OffloadStatus {
+	for try := 0; try < mnLockRetries; try++ {
+		_, swapped, ok := ctx.MaskedCAS(addr, 0, 1, 1, 1)
+		if !ok {
+			return dmsim.OffloadCrossMN
+		}
+		if swapped {
+			return dmsim.OffloadOK
+		}
+		runtime.Gosched()
+	}
+	return dmsim.OffloadRetry
+}
+
+func (p *mnProgram) unlockNode(ctx *dmsim.MNCtx, addr dmsim.GAddr) {
+	ctx.MaskedCAS(addr, 1, 0, 1, 1)
+}
+
+// Update: in-place entry value swap under the node lock. Indirect values
+// (client-side allocation) and lease locks are gated off client-side.
+func (p *mnProgram) Update(ctx *dmsim.MNCtx, key, arg uint64, val []byte) dmsim.OffloadStatus {
+	o := p.ix.opts
+	if o.Indirect || o.LeaseLocks {
+		return dmsim.OffloadUnsupported
+	}
+	lay := p.ix.leaf
+	if len(val) != lay.valSize {
+		return dmsim.OffloadUnsupported
+	}
+	for attempt := 0; attempt < mnTornRetries; attempt++ {
+		leaf, st, restart := p.descend(ctx, key)
+		if restart {
+			runtime.Gosched()
+			continue
+		}
+		if st != dmsim.OffloadOK {
+			return st
+		}
+		st, restart = p.updateInChain(ctx, lay, leaf, key, val)
+		if restart {
+			runtime.Gosched()
+			continue
+		}
+		return st
+	}
+	return dmsim.OffloadRetry
+}
+
+func (p *mnProgram) updateInChain(ctx *dmsim.MNCtx, lay *layout, leaf dmsim.GAddr, key uint64, val []byte) (dmsim.OffloadStatus, bool) {
+	for hops := 0; hops < mnChainHops; hops++ {
+		if st := p.lockNode(ctx, leaf); st != dmsim.OffloadOK {
+			return st, false
+		}
+		img, hdr, st := p.readNode(ctx, lay, leaf)
+		if img == nil {
+			p.unlockNode(ctx, leaf)
+			return st, false
+		}
+		if !hdr.valid || key < hdr.fenceLow {
+			p.unlockNode(ctx, leaf)
+			return 0, true
+		}
+		if !hdr.fenceInf && key >= hdr.fenceHi {
+			next := hdr.sibling
+			p.unlockNode(ctx, leaf)
+			if next.IsNil() {
+				return 0, true
+			}
+			leaf = next
+			continue
+		}
+		for i := 0; i < lay.span; i++ {
+			e := lay.decodeEntry(img, i)
+			if e.occupied && e.key == key {
+				lay.encodeEntry(img, i, entry{occupied: true, key: key, val: val}, true)
+				cellC := lay.entryCells[i]
+				ok := ctx.Write(leaf.Add(uint64(cellC.Off)), img[cellC.Off:cellC.End()])
+				p.unlockNode(ctx, leaf)
+				if !ok {
+					return dmsim.OffloadCrossMN, false
+				}
+				return dmsim.OffloadOK, false
+			}
+		}
+		p.unlockNode(ctx, leaf)
+		return dmsim.OffloadNotFound, false
+	}
+	return dmsim.OffloadRetry, false
+}
+
+// Scan: walk the leaf chain MN-side, emitting sorted [8B key][value]
+// records. Restarts are only honored before the first emitted record.
+func (p *mnProgram) Scan(ctx *dmsim.MNCtx, start, arg uint64, limit int) dmsim.OffloadStatus {
+	if limit <= 0 {
+		return dmsim.OffloadOK
+	}
+	lay := p.ix.leaf
+	for attempt := 0; attempt < mnTornRetries; attempt++ {
+		leaf, st, restart := p.descend(ctx, start)
+		if restart {
+			runtime.Gosched()
+			continue
+		}
+		if st != dmsim.OffloadOK {
+			return st
+		}
+		emitted := 0
+		var rec []byte
+		for hops := 0; hops < mnChainHops; hops++ {
+			img, hdr, st := p.readNode(ctx, lay, leaf)
+			if img == nil {
+				if emitted == 0 && st == dmsim.OffloadRetry {
+					restart = true
+					break
+				}
+				return st
+			}
+			if !hdr.valid {
+				if emitted == 0 {
+					restart = true
+					break
+				}
+				return dmsim.OffloadRetry
+			}
+			var batch []entry
+			for i := 0; i < lay.span; i++ {
+				e := lay.decodeEntry(img, i)
+				if e.occupied && e.key >= start {
+					e.val = append([]byte(nil), e.val...)
+					batch = append(batch, e)
+				}
+			}
+			for _, e := range sortEntries(batch) {
+				v := e.val[:lay.valSize]
+				if p.ix.opts.Indirect {
+					ptr := dmsim.UnpackGAddr(binary.LittleEndian.Uint64(e.val[:8]))
+					if ptr.IsNil() {
+						if emitted == 0 {
+							restart = true
+							break
+						}
+						return dmsim.OffloadRetry
+					}
+					block := make([]byte, 8+p.ix.opts.ValueSize)
+					if !ctx.Read(ptr, block) {
+						return dmsim.OffloadCrossMN
+					}
+					if binary.LittleEndian.Uint64(block[:8]) != e.key {
+						if emitted == 0 {
+							restart = true
+							break
+						}
+						return dmsim.OffloadRetry
+					}
+					v = block[8:]
+				}
+				if cap(rec) < 8+len(v) {
+					rec = make([]byte, 8+len(v))
+				}
+				rec = rec[:8+len(v)]
+				binary.LittleEndian.PutUint64(rec[:8], e.key)
+				copy(rec[8:], v)
+				if !ctx.Emit(rec) {
+					return dmsim.OffloadOK
+				}
+				emitted++
+				if emitted >= limit {
+					return dmsim.OffloadOK
+				}
+			}
+			if restart {
+				break
+			}
+			if hdr.sibling.IsNil() {
+				return dmsim.OffloadOK
+			}
+			leaf = hdr.sibling
+		}
+		if restart {
+			runtime.Gosched()
+			continue
+		}
+		if emitted > 0 {
+			return dmsim.OffloadRetry
+		}
+	}
+	return dmsim.OffloadRetry
+}

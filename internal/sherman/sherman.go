@@ -23,6 +23,7 @@ import (
 
 	"chime/internal/dmsim"
 	"chime/internal/nodelayout"
+	"chime/internal/offroute"
 )
 
 // Options configures a Sherman tree.
@@ -44,6 +45,10 @@ type Options struct {
 	// LeaseNs is the lease duration in virtual nanoseconds (zero =
 	// lease.DefaultNs).
 	LeaseNs int64
+	// Offload selects the hybrid one-sided/RPC protocol: per-op routing
+	// between one-sided traversal and the MN-side program registered at
+	// bootstrap (mnprog.go). Zero = pure one-sided (today's behavior).
+	Offload offroute.Mode
 }
 
 // DefaultOptions returns the paper's default Sherman configuration.
@@ -212,6 +217,11 @@ type Index struct {
 	leaf   *layout
 	inner  *layout
 	super  dmsim.GAddr
+
+	// mnprog is the MN-side offload program registered at bootstrap;
+	// offMN is the MN it is addressed on (the root's MN).
+	mnprog dmsim.MNProgramID
+	offMN  int
 }
 
 // Bootstrap creates an empty tree: a super block plus a root leaf.
@@ -245,6 +255,8 @@ func Bootstrap(f *dmsim.Fabric, opts Options) (*Index, error) {
 	if err := boot.Write(super, b[:]); err != nil {
 		return nil, err
 	}
+	ix.mnprog = f.RegisterMNProgram(&mnProgram{ix: ix})
+	ix.offMN = int(super.MN)
 	return ix, nil
 }
 

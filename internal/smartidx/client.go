@@ -11,6 +11,7 @@ import (
 	"chime/internal/dmsim"
 	"chime/internal/lease"
 	"chime/internal/obs"
+	"chime/internal/offroute"
 )
 
 // ComputeNode holds the CN-shared radix-node cache. Unlike the B+-tree
@@ -120,16 +121,28 @@ type Client struct {
 	alloc   *dmsim.ChunkAllocator
 	backoff int64
 
+	// router decides one-sided vs. MN-side offload per read op
+	// (offload.go); nil when Options.Offload is off. offBuf is the
+	// reusable point-query response buffer.
+	router *offroute.Router
+	offBuf []byte
+
 	obs obs.IndexInstruments
 }
 
 // NewClient creates a client bound to this compute node.
 func (cn *ComputeNode) NewClient() *Client {
 	dc := cn.ix.fabric.NewClient()
+	bufSize := cn.ix.opts.ValueSize
+	if bufSize < 8 {
+		bufSize = 8
+	}
 	return &Client{
 		cn: cn, ix: cn.ix, dc: dc,
-		alloc: dmsim.NewChunkAllocator(dc, int(dc.ID())%cn.ix.fabric.MNs()),
-		obs:   cn.obs,
+		alloc:  dmsim.NewChunkAllocator(dc, int(dc.ID())%cn.ix.fabric.MNs()),
+		router: offroute.New(cn.ix.opts.Offload),
+		offBuf: make([]byte, bufSize),
+		obs:    cn.obs,
 	}
 }
 
@@ -277,12 +290,9 @@ func (c *Client) readLeaf(addr dmsim.GAddr) (uint64, []byte, error) {
 	return binary.LittleEndian.Uint64(buf[:8]), buf[8:], nil
 }
 
-// Search performs a point query: cached radix descent plus one small
-// leaf READ — amplification ≈ 1, SMART's defining property.
-func (c *Client) Search(key uint64) ([]byte, error) {
-	if sp := c.obs.Tracer.Begin("smart.search", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
-		defer func() { sp.End(c.dc.Now()) }()
-	}
+// searchOneSided performs a point query: cached radix descent plus one
+// small leaf READ — amplification ≈ 1, SMART's defining property.
+func (c *Client) searchOneSided(key uint64) ([]byte, error) {
 	for attempt := 0; attempt < maxRetries; attempt++ {
 		n, _, child, err := c.descend(key)
 		if err != nil {
@@ -862,17 +872,10 @@ type KV struct {
 	Value []byte
 }
 
-// Scan returns up to count items with keys >= start in ascending order.
-// The radix tree is traversed in byte order; every result costs its own
-// small leaf READ — the IOPS-bound behaviour that makes SMART lose
-// YCSB E in the paper (§5.2).
-func (c *Client) Scan(start uint64, count int) ([]KV, error) {
-	if count <= 0 {
-		return nil, nil
-	}
-	if sp := c.obs.Tracer.Begin("smart.scan", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
-		defer func() { sp.End(c.dc.Now()) }()
-	}
+// scanOneSided walks the radix tree in byte order; every result costs
+// its own small leaf READ — the IOPS-bound behaviour that makes SMART
+// lose YCSB E in the paper (§5.2).
+func (c *Client) scanOneSided(start uint64, count int) ([]KV, error) {
 	for attempt := 0; attempt < maxRetries; attempt++ {
 		var out []KV
 		var acc [8]byte

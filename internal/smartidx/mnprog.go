@@ -1,0 +1,185 @@
+package smartidx
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sort"
+
+	"chime/internal/dmsim"
+)
+
+// MN-side offload program (dmsim offload verbs), co-designed with
+// SMART's remote layout. SMART is the KV-discrete design: a point query
+// is a radix descent plus one tiny leaf READ, and a scan is one leaf
+// READ per result — exactly the IOPS-bound shape that benefits from
+// running at the MN. Searches and scans offload; structural writes
+// (slot installs, expansions, prefix splits) need client-side
+// allocation, so Update returns Unsupported and the client gates writes
+// one-sided before the router ever sees them.
+//
+// Leaf blocks are chunk-allocated on the inserting client's home MN, so
+// with several MNs a descent routinely crosses off the program's MN —
+// the metered view reports that as a failed access and the program
+// yields a CrossMN fallback verdict.
+const (
+	mnTornRetries = 64
+	mnChainHops   = 10 // radix paths are at most 8 levels deep
+)
+
+type mnProgram struct {
+	ix *Index
+}
+
+// readNode fetches and decodes a node through the metered view. A nil
+// node carries the fallback status.
+func (p *mnProgram) readNode(ctx *dmsim.MNCtx, addr dmsim.GAddr, kind int) (*node, dmsim.OffloadStatus) {
+	img := make([]byte, nodeSize(kind))
+	if !ctx.Read(addr, img) {
+		return nil, dmsim.OffloadCrossMN
+	}
+	return decodeNode(addr, img), dmsim.OffloadOK
+}
+
+// Search: radix descent plus leaf read, MN-local. Invalidated nodes are
+// observed fresh on every read (there is no MN-side cache), so a
+// restart simply re-descends from the root.
+func (p *mnProgram) Search(ctx *dmsim.MNCtx, key, arg uint64) dmsim.OffloadStatus {
+	kb := keyBytes(key)
+	for attempt := 0; attempt < mnTornRetries; attempt++ {
+		restart := false
+		cur, kind := p.ix.root, kindN256
+		var leafAddr dmsim.GAddr
+		found := false
+		for hop := 0; hop < mnChainHops; hop++ {
+			n, st := p.readNode(ctx, cur, kind)
+			if n == nil {
+				return st
+			}
+			if !n.hdr.valid {
+				restart = true
+				break
+			}
+			if prefixMatch(n.hdr, kb) < n.hdr.prefixLen {
+				return dmsim.OffloadNotFound
+			}
+			d := n.hdr.depth + n.hdr.prefixLen
+			if d >= 8 {
+				return dmsim.OffloadNotFound
+			}
+			child, ok := n.children[kb[d]]
+			if !ok || child == 0 {
+				return dmsim.OffloadNotFound
+			}
+			addr, leaf, ckind := unpackChild(child)
+			if leaf {
+				leafAddr, found = addr, true
+				break
+			}
+			cur, kind = addr, ckind
+		}
+		if restart {
+			runtime.Gosched()
+			continue
+		}
+		if !found {
+			return dmsim.OffloadRetry
+		}
+		buf := make([]byte, p.ix.leafSz)
+		if !ctx.Read(leafAddr, buf) {
+			return dmsim.OffloadCrossMN
+		}
+		if binary.LittleEndian.Uint64(buf[:8]) != key {
+			// Stale slot: a concurrent structural change moved the key.
+			runtime.Gosched()
+			continue
+		}
+		if !ctx.Emit(buf[8:]) {
+			return dmsim.OffloadRetry
+		}
+		return dmsim.OffloadOK
+	}
+	return dmsim.OffloadRetry
+}
+
+// Update: ART writes allocate new leaf blocks (and possibly nodes)
+// client-side; the wrapper gates them off before routing.
+func (p *mnProgram) Update(ctx *dmsim.MNCtx, key, arg uint64, val []byte) dmsim.OffloadStatus {
+	return dmsim.OffloadUnsupported
+}
+
+// Scan: in-order radix walk MN-side, one metered leaf read per emitted
+// record instead of one network round trip each. Restarts are only
+// honored before the first emitted record.
+func (p *mnProgram) Scan(ctx *dmsim.MNCtx, start, arg uint64, limit int) dmsim.OffloadStatus {
+	if limit <= 0 {
+		return dmsim.OffloadOK
+	}
+	for attempt := 0; attempt < mnTornRetries; attempt++ {
+		emitted := 0
+		var acc [8]byte
+		st, restart := p.scanNode(ctx, p.ix.root, kindN256, acc, start, limit, &emitted)
+		if restart {
+			if emitted > 0 {
+				return dmsim.OffloadRetry
+			}
+			runtime.Gosched()
+			continue
+		}
+		return st
+	}
+	return dmsim.OffloadRetry
+}
+
+func (p *mnProgram) scanNode(ctx *dmsim.MNCtx, addr dmsim.GAddr, kind int, acc [8]byte, start uint64, limit int, emitted *int) (dmsim.OffloadStatus, bool) {
+	if *emitted >= limit {
+		return dmsim.OffloadOK, false
+	}
+	n, st := p.readNode(ctx, addr, kind)
+	if n == nil {
+		return st, false
+	}
+	if !n.hdr.valid {
+		return 0, true
+	}
+	copy(acc[n.hdr.depth:], n.hdr.prefix[:n.hdr.prefixLen])
+	d := n.hdr.depth + n.hdr.prefixLen
+	kbs := make([]int, 0, len(n.children))
+	for kb := range n.children {
+		kbs = append(kbs, int(kb))
+	}
+	sort.Ints(kbs)
+	rec := make([]byte, p.ix.leafSz)
+	for _, kbi := range kbs {
+		if *emitted >= limit {
+			return dmsim.OffloadOK, false
+		}
+		if d < 8 {
+			acc[d] = byte(kbi)
+			if subtreeMax(acc, d+1) < start {
+				continue // whole subtree below the scan start
+			}
+		}
+		child := n.children[byte(kbi)]
+		caddr, leaf, ckind := unpackChild(child)
+		if leaf {
+			// A leaf block is [8B key][value] — already the record
+			// format the scan verb emits.
+			if !ctx.Read(caddr, rec) {
+				return dmsim.OffloadCrossMN, false
+			}
+			if binary.LittleEndian.Uint64(rec[:8]) >= start {
+				if !ctx.Emit(rec) {
+					*emitted = limit
+					return dmsim.OffloadOK, false
+				}
+				*emitted++
+			}
+			continue
+		}
+		st, restart := p.scanNode(ctx, caddr, ckind, acc, start, limit, emitted)
+		if restart || st != dmsim.OffloadOK {
+			return st, restart
+		}
+	}
+	return dmsim.OffloadOK, false
+}

@@ -1,0 +1,181 @@
+package smartidx
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"chime/internal/dmsim"
+	"chime/internal/offroute"
+)
+
+func newOffloadTree(t *testing.T, cfg dmsim.Config, opts Options) (*Index, *Client) {
+	t.Helper()
+	ix, err := Bootstrap(dmsim.MustNewFabric(cfg), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, ix.NewComputeNode(256 << 20).NewClient()
+}
+
+// ModeAlways: searches and scans go through the MN program; results
+// must match the one-sided paths, the MN CPU must have been charged,
+// and writes must never route (they stay one-sided by design).
+func TestOffloadSearchScan(t *testing.T) {
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 512 << 20
+	opts := DefaultOptions()
+	opts.Offload = offroute.ModeAlways
+	ix, cl := newOffloadTree(t, cfg, opts)
+
+	const n = 500
+	for i := uint64(1); i <= n; i++ {
+		if err := cl.Insert(i*7, val8(i*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= n; i++ {
+		got, err := cl.Search(i * 7)
+		if err != nil {
+			t.Fatalf("Search(%d): %v", i*7, err)
+		}
+		if binary.LittleEndian.Uint64(got) != i*100 {
+			t.Fatalf("Search(%d) = %d, want %d", i*7, binary.LittleEndian.Uint64(got), i*100)
+		}
+	}
+	if _, err := cl.Search(3); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("absent key: %v, want ErrNotFound", err)
+	}
+
+	// Updates route one-sided (no offload verb) but stay correct.
+	for i := uint64(1); i <= n; i += 3 {
+		if err := cl.Update(i*7, val8(i*1000)); err != nil {
+			t.Fatalf("Update(%d): %v", i*7, err)
+		}
+	}
+	out, err := cl.Scan(7*10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 20 {
+		t.Fatalf("scan returned %d items, want 20", len(out))
+	}
+	for j, kv := range out {
+		i := 10 + uint64(j)
+		if kv.Key != i*7 {
+			t.Fatalf("scan[%d].Key = %d, want %d", j, kv.Key, i*7)
+		}
+		want := i * 100
+		if i%3 == 1 {
+			want = i * 1000
+		}
+		if binary.LittleEndian.Uint64(kv.Value) != want {
+			t.Fatalf("scan[%d].Value = %d, want %d", j, binary.LittleEndian.Uint64(kv.Value), want)
+		}
+	}
+
+	if off := cl.DM().Stats().Offloads; off == 0 {
+		t.Error("ModeAlways client posted no offload verbs")
+	}
+	if st := ix.fabric.MNCPUStatsFor(0); st.Ops == 0 || st.BusyNs == 0 {
+		t.Errorf("MN CPU unused under ModeAlways: %+v", st)
+	}
+	if offOps, oneOps := cl.OffloadStats(); offOps == 0 || oneOps != 0 {
+		t.Errorf("router stats = %d offloaded, %d one-sided; want all offloaded", offOps, oneOps)
+	}
+}
+
+// Multiple MNs: leaf blocks land on each writer's home MN, so the
+// program's descents cross off its MN and the client transparently
+// falls back — correctness is preserved and fallbacks are counted.
+func TestOffloadCrossMNFallback(t *testing.T) {
+	cfg := dmsim.DefaultConfig()
+	cfg.MNs = 4
+	cfg.MNSize = 128 << 20
+	opts := DefaultOptions()
+	opts.Offload = offroute.ModeAlways
+	ix, cl := newOffloadTree(t, cfg, opts)
+
+	cn2 := ix.NewComputeNode(256 << 20)
+	writers := []*Client{cl, cn2.NewClient(), cn2.NewClient(), cn2.NewClient()}
+	for w, cw := range writers {
+		for i := uint64(0); i < 150; i++ {
+			k := uint64(w)*1000 + i
+			if err := cw.Insert(k, val8(k+7)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for w := range writers {
+		for i := uint64(0); i < 150; i++ {
+			k := uint64(w)*1000 + i
+			got, err := cl.Search(k)
+			if err != nil {
+				t.Fatalf("Search(%d): %v", k, err)
+			}
+			if binary.LittleEndian.Uint64(got) != k+7 {
+				t.Fatalf("Search(%d) = %d, want %d", k, binary.LittleEndian.Uint64(got), k+7)
+			}
+		}
+	}
+	total := ix.fabric.TotalMNCPUStats()
+	if total.Ops == 0 {
+		t.Fatal("no offloaded programs executed")
+	}
+	if total.Fallbacks == 0 {
+		t.Error("4-MN tree produced no CrossMN fallbacks; expected off-MN leaf blocks")
+	}
+}
+
+// Adaptive mode must stay correct and route reads to both paths.
+func TestOffloadAdaptiveRoutesAndStaysCorrect(t *testing.T) {
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 512 << 20
+	opts := DefaultOptions()
+	opts.Offload = offroute.ModeAdaptive
+	_, cl := newOffloadTree(t, cfg, opts)
+
+	for i := uint64(1); i <= 300; i++ {
+		if err := cl.Insert(i, val8(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 4; round++ {
+		for i := uint64(1); i <= 300; i++ {
+			got, err := cl.Search(i)
+			if err != nil {
+				t.Fatalf("Search(%d): %v", i, err)
+			}
+			if binary.LittleEndian.Uint64(got) != i {
+				t.Fatalf("Search(%d) = %d", i, binary.LittleEndian.Uint64(got))
+			}
+		}
+	}
+	offOps, oneOps := cl.OffloadStats()
+	if offOps == 0 || oneOps == 0 {
+		t.Errorf("adaptive router used only one path: %d offloaded, %d one-sided", offOps, oneOps)
+	}
+}
+
+// Off means off: the zero Options value keeps the router nil and the
+// client posts no offload verbs at all.
+func TestOffloadOffPostsNothing(t *testing.T) {
+	_, _, cl := newTest(t)
+	for i := uint64(1); i <= 100; i++ {
+		if err := cl.Insert(i, val8(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Search(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.Scan(1, 50); err != nil {
+		t.Fatal(err)
+	}
+	if off := cl.DM().Stats().Offloads; off != 0 {
+		t.Fatalf("ModeOff client posted %d offload verbs", off)
+	}
+	if offOps, oneOps := cl.OffloadStats(); offOps != 0 || oneOps != 0 {
+		t.Fatalf("nil router counted ops: %d, %d", offOps, oneOps)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"chime/internal/dmsim"
+	"chime/internal/offroute"
 )
 
 // Options configures a SMART index.
@@ -35,6 +36,10 @@ type Options struct {
 	// LeaseNs is the lease duration in virtual nanoseconds (zero =
 	// lease.DefaultNs).
 	LeaseNs int64
+	// Offload selects the hybrid one-sided/RPC protocol for reads
+	// (searches and scans; ART structural writes need client-side
+	// allocation and stay one-sided). Zero = pure one-sided.
+	Offload offroute.Mode
 }
 
 // DefaultOptions returns the paper's default configuration.
@@ -293,6 +298,11 @@ type Index struct {
 	opts   Options
 	root   dmsim.GAddr
 	leafSz int
+
+	// mnprog is the MN-side offload program registered at bootstrap;
+	// offMN is the MN it is addressed on (the root's MN).
+	mnprog dmsim.MNProgramID
+	offMN  int
 }
 
 // Bootstrap creates an empty SMART tree whose root is a Node256 at
@@ -313,6 +323,8 @@ func Bootstrap(f *dmsim.Fabric, opts Options) (*Index, error) {
 		return nil, err
 	}
 	ix.root = root
+	ix.mnprog = f.RegisterMNProgram(&mnProgram{ix: ix})
+	ix.offMN = int(root.MN)
 	return ix, nil
 }
 
