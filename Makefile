@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test race check bench-pipeline bench-writepipe bench-faults bench-scale bench-offload profile chaos
+.PHONY: all vet lint build test race check bench-pipeline bench-writepipe bench-faults bench-scale bench-offload bench-attribution profile chaos
 
 all: check
 
@@ -60,6 +60,14 @@ bench-faults:
 # built fresh and run twice).
 bench-offload:
 	$(GO) run ./cmd/chime-bench -run offload -scale small -json BENCH_OFFLOAD.json
+
+# Regenerate the committed tail-latency attribution artifact (flight
+# recorder phase shares, zero-perturbation pins under both schedulers)
+# plus the sample virtual-time timeline. Every pin point is built fresh
+# and run twice (recorder off, then on).
+bench-attribution:
+	$(GO) run ./cmd/chime-bench -run attribution -scale small \
+		-json BENCH_ATTRIB.json -timeline-json BENCH_TIMELINE.json
 
 # Regenerate the committed host-capacity artifact: the full 1k-100k
 # client sweep, gate vs event loop, with determinism double-runs.

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"chime/internal/bench"
+	"chime/internal/obs"
 	"chime/internal/offroute"
 )
 
@@ -43,6 +45,9 @@ func main() {
 
 		metricsOut = flag.String("metrics-json", "", "write the unified metrics registry (counters, NIC/latency histograms, per-run rows) as JSON to this file")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON (about:tracing / Perfetto) of per-op spans and NIC timelines to this file")
+
+		flightrec   = flag.Bool("flightrec", false, "attach the per-op flight recorder: metrics JSON gains the flight section (tail-latency attribution + virtual-time timeline); never perturbs virtual clocks")
+		timelineOut = flag.String("timeline-json", "", "write the flight recorder's virtual-time timeline (last run; implies -flightrec) as JSON to this file")
 
 		faultSeed = flag.Int64("fault-seed", 0, "faults experiment: schedule seed (0 = default)")
 		faultRate = flag.String("fault-rate", "", "faults experiment: comma-separated drop/spike rates (default 0,0.001,0.005,0.02)")
@@ -116,8 +121,13 @@ func main() {
 	// One observer spans every experiment of the invocation; tracing is
 	// only turned on when a trace artifact was asked for (span buffering
 	// is the one observability cost worth gating).
-	if *metricsOut != "" || *traceOut != "" {
+	if *metricsOut != "" || *traceOut != "" || *flightrec || *timelineOut != "" {
 		sc.Obs = bench.NewObserver(*traceOut != "")
+	}
+	// The flight recorder must attach before any system is built: clients
+	// capture their recording handle at creation.
+	if *flightrec || *timelineOut != "" {
+		sc.Obs.EnableFlightRecorder(obs.FlightConfig{})
 	}
 	writeObsArtifacts := func() {
 		if sc.Obs == nil {
@@ -147,6 +157,22 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *traceOut)
+		}
+		if *timelineOut != "" {
+			fr := sc.Obs.FlightReport()
+			if fr == nil {
+				fmt.Fprintln(os.Stderr, "-timeline-json: flight recorder recorded nothing")
+				os.Exit(1)
+			}
+			blob, err := json.MarshalIndent(fr.Timeline, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*timelineOut, blob, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *timelineOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *timelineOut)
 		}
 	}
 
@@ -312,6 +338,51 @@ func main() {
 		}
 		writeObsArtifacts()
 		fmt.Printf("---- offload done in %v ----\n\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	// The attribution experiment (flight-recorder phase shares and the
+	// zero-perturbation pin) emits the BENCH_ATTRIB.json artifact and,
+	// with -timeline-json, the sample virtual-time timeline. It builds a
+	// fresh observer per point (the pin section needs recorder-off and
+	// recorder-on builds), so the invocation-wide observer is not used.
+	if *run == "attribution" {
+		fmt.Printf("==== attribution: tail-latency attribution and timelines (load=%d ops=%d) ====\n", sc.LoadN, sc.Ops)
+		start := time.Now()
+		opts := bench.AttributionOptions{}
+		rows, sample, err := bench.RunAttribution(sc, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "attribution failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatAttributionRows(rows))
+		if sample != nil {
+			fmt.Printf("\n## Timeline sample (%s, contended mix)\n", bench.HeadToHeadSystems[0])
+			fmt.Print(bench.FormatTimeline(*sample))
+		}
+		if *jsonOut != "" {
+			blob, err := bench.MarshalAttribJSON(sc, opts, rows, sample)
+			if err == nil {
+				err = os.WriteFile(*jsonOut, blob, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		if *timelineOut != "" && sample != nil {
+			blob, err := json.MarshalIndent(sample, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*timelineOut, blob, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *timelineOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *timelineOut)
+		}
+		fmt.Printf("---- attribution done in %v ----\n\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 

@@ -9,19 +9,32 @@
 //	chimectl -index Sherman -workload C -span 128 -cache 4194304
 //	chimectl -index CHIME -workload A -value 128 -indirect
 //	chimectl -index SMART -workload E -ops 20000
+//	chimectl -index CHIME -workload A -flightrec -metrics-json m.json
+//	chimectl report BENCH_ATTRIB.json
+//
+// The report subcommand renders observability artifacts (BENCH_ATTRIB
+// .json, a chime-bench/chimectl metrics JSON, or a bare timeline JSON)
+// as the same aligned tables the experiments print.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"chime/internal/bench"
 	"chime/internal/dmsim"
+	"chime/internal/obs"
 	"chime/internal/ycsb"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "report" {
+		runReport(os.Args[2:])
+		return
+	}
 	var (
 		index    = flag.String("index", "CHIME", "CHIME | Sherman | SMART | ROLEX")
 		workload = flag.String("workload", "C", "YCSB workload: A B C D E LOAD")
@@ -38,6 +51,11 @@ func main() {
 		indirect = flag.Bool("indirect", false, "store values out of line")
 		noRDWC   = flag.Bool("no-rdwc", false, "disable read delegation / write combining")
 		seed     = flag.Int64("seed", 1, "workload seed")
+
+		metricsOut  = flag.String("metrics-json", "", "write the metrics registry (counters, histograms, the measured row) as JSON to this file")
+		traceOut    = flag.String("trace", "", "write a Chrome trace_event JSON of per-op spans and NIC timelines to this file")
+		flightrec   = flag.Bool("flightrec", false, "attach the per-op flight recorder and print the tail-latency attribution tables")
+		timelineOut = flag.String("timeline-json", "", "write the flight recorder's virtual-time timeline (implies -flightrec) as JSON to this file")
 	)
 	flag.Parse()
 
@@ -52,6 +70,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The observer (and its flight recorder) must exist before the system
+	// is built: the factory wires it into the compute node, and clients
+	// capture their recording handle at creation.
+	var observer *bench.Observer
+	if *metricsOut != "" || *traceOut != "" || *flightrec || *timelineOut != "" {
+		observer = bench.NewObserver(*traceOut != "")
+		if *flightrec || *timelineOut != "" {
+			observer.EnableFlightRecorder(obs.FlightConfig{})
+		}
+	}
+
 	fcfg := dmsim.DefaultConfig()
 	fcfg.MNs = *mns
 	fcfg.MNSize = *mnSize
@@ -61,6 +90,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	fabric.SetObserver(observer.Sink())
 
 	scaled := func(paperMB int64) int64 {
 		b := int64(*loadN) * paperMB << 20 / 60_000_000
@@ -79,6 +109,7 @@ func main() {
 		SpanSize:     *span,
 		Neighborhood: *neigh,
 		DisableRDWC:  *noRDWC,
+		Obs:          observer,
 	}
 	if cfg.CacheBytes == 0 {
 		cfg.CacheBytes = scaled(100)
@@ -105,6 +136,7 @@ func main() {
 		ValueSize:    *value,
 		KeySpace:     bench.NewKeySpaceFor(cfg.LoadKeys),
 		Seed:         *seed,
+		Obs:          observer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -116,4 +148,122 @@ func main() {
 	fmt.Printf("\nfabric: %d verbs, %.1f MB read, %.1f MB written, NIC busy %.2f ms (queued %.2f ms)\n",
 		ns.Verbs, float64(ns.BytesOut)/1e6, float64(ns.BytesIn)/1e6,
 		float64(ns.ServedNs)/1e6, float64(ns.QueuedNs)/1e6)
+
+	if fr := observer.FlightReport(); fr != nil {
+		rows := []bench.AttributionRow{{
+			Section: "attrib", Scheduler: "gate", System: *index, Mix: mix.Name,
+			Clients: res.Clients, Ops: res.Ops, ThroughputMops: res.ThroughputMops,
+			P50Us: res.P50Us, P99Us: res.P99Us, Attribution: fr.Attribution,
+		}}
+		fmt.Printf("\n%s", bench.FormatAttributionRows(rows))
+		fmt.Printf("\n## Virtual-time timeline\n%s", bench.FormatTimeline(fr.Timeline))
+		if *timelineOut != "" {
+			blob, err := json.MarshalIndent(fr.Timeline, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*timelineOut, blob, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *timelineOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *timelineOut)
+		}
+	}
+	if *metricsOut != "" {
+		blob, err := observer.MetricsJSON()
+		if err == nil {
+			err = os.WriteFile(*metricsOut, blob, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *metricsOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = observer.WriteTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *traceOut)
+	}
+}
+
+// runReport renders observability artifacts as tables. It recognizes
+// the three JSON shapes the tools emit: the attribution experiment's
+// BENCH_ATTRIB.json, a chime-bench/metrics/* registry dump (whose
+// optional flight section carries attribution and timeline), and a bare
+// timeline report.
+func runReport(paths []string) {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: chimectl report <artifact.json>...")
+		os.Exit(2)
+	}
+	for _, path := range paths {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var probe struct {
+			Experiment string `json:"experiment"`
+			Schema     string `json:"schema"`
+			WindowNs   int64  `json:"window_ns"`
+		}
+		if err := json.Unmarshal(blob, &probe); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: not a JSON artifact: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s ====\n", path)
+		switch {
+		case probe.Experiment == "attribution":
+			var art struct {
+				Rows     []bench.AttributionRow `json:"rows"`
+				Timeline *obs.TimelineReport    `json:"timeline_sample"`
+			}
+			if err := json.Unmarshal(blob, &art); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Print(bench.FormatAttributionRows(art.Rows))
+			if art.Timeline != nil {
+				fmt.Printf("\n## Timeline sample\n%s", bench.FormatTimeline(*art.Timeline))
+			}
+		case strings.HasPrefix(probe.Schema, "chime-bench/metrics/"):
+			var art struct {
+				Flight *bench.FlightSection `json:"flight"`
+			}
+			if err := json.Unmarshal(blob, &art); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+				os.Exit(1)
+			}
+			if art.Flight == nil {
+				fmt.Printf("metrics artifact (%s) has no flight section; rerun with -flightrec\n", probe.Schema)
+				break
+			}
+			rows := []bench.AttributionRow{{
+				Section: "attrib", Scheduler: "-", System: "-", Mix: "-",
+				Attribution: art.Flight.Attribution,
+			}}
+			fmt.Print(bench.FormatAttributionRows(rows))
+			fmt.Printf("\n## Virtual-time timeline\n%s", bench.FormatTimeline(art.Flight.Timeline))
+		case probe.WindowNs > 0:
+			var tl obs.TimelineReport
+			if err := json.Unmarshal(blob, &tl); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Print(bench.FormatTimeline(tl))
+		default:
+			fmt.Fprintf(os.Stderr, "%s: unrecognized artifact (want BENCH_ATTRIB.json, a metrics JSON, or a timeline JSON)\n", path)
+			os.Exit(1)
+		}
+	}
 }

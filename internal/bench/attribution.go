@@ -1,0 +1,351 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"chime/internal/dmsim"
+	"chime/internal/obs"
+	"chime/internal/ycsb"
+)
+
+// Attribution experiment: the flight recorder's tail-latency story on
+// the paper's four systems. Two sections:
+//
+//	attrib — contended zipfian workloads (the 50/50 update mix A and the
+//	         read-only mix C) at the scale's default client count, with
+//	         the flight recorder on: per-op-class mean and p99 phase
+//	         shares, slowest-op exemplars, and the virtual-time timeline.
+//	         The shares must explain >= 95% of measured latency (pinned
+//	         by TestAttributionCoverage).
+//	pin    — the zero-perturbation guarantee: deterministic points run
+//	         twice from fresh builds, recorder off then on, per
+//	         scheduler; the run fingerprints (Result + NIC + MN-CPU +
+//	         frontier state) must be bit-identical. Recording observes
+//	         clock deltas dmsim already computed, so it can never move a
+//	         clock — this section proves it, per system and scheduler.
+//
+// The pin section reuses the offload experiment's determinism recipe —
+// single-threaded bulk load, and for multi-client points a cold CN
+// cache plus no RDWC — but it needs one notch more than "double runs
+// reproduce": the off and on runs do DIFFERENT host work by design, so
+// a pin point must be interleaving-INDEPENDENT, not merely stable.
+// Gate mode fails that bar with concurrent clients: every client's
+// verbs funnel through the single NIC shard, whose queueing recurrence
+// resolves same-window arrivals in host lock-acquisition order, so a
+// GC pause shifted by the recorder's own allocations can legally
+// reorder arrivals and move virtual time. Gate pins therefore run one
+// client (a fully sequential virtual trajectory); the event loop keeps
+// the multi-client point, because its lane-private NIC shards decouple
+// the clients' virtual clocks no matter how the host schedules them.
+// The attrib section has no such restriction — contended writes are
+// exactly the regime whose tail is worth attributing — so it reports
+// no fingerprints.
+
+// attribPinMix is the pin section's read-only workload: uniform point
+// reads commute, so double runs are bit-identical.
+var attribPinMix = ycsb.Mix{Name: "Cu", ReadPct: 1.0, Dist: ycsb.DistUniform}
+
+// pinPoint is one zero-perturbation double-run configuration.
+type pinPoint struct {
+	mix       ycsb.Mix
+	coldCache bool
+	clients   int
+	ops       int
+}
+
+// pinPoints returns the pin section's points for one scheduler. The
+// cold read-only point is multi-client only under the event loop,
+// whose lane-private NIC shards keep concurrent clients' virtual
+// clocks decoupled from host scheduling; gate mode shares one NIC
+// shard across the cohort and resolves same-window arrivals in host
+// lock order, so its cold pin runs a single client (see the package
+// comment for the full argument).
+func pinPoints(sched dmsim.SchedulerKind, sc Scale) []pinPoint {
+	coldClients := 1
+	if sched == dmsim.SchedulerEventLoop {
+		coldClients = 4
+	}
+	return []pinPoint{
+		{attribPinMix, true, coldClients, sc.Ops / 2},
+		{ycsb.WorkloadA, false, 1, sc.Ops / 4},
+	}
+}
+
+// AttributionOptions parameterizes RunAttribution.
+type AttributionOptions struct {
+	// TopK bounds the slowest-exemplar capture per op class (default 4
+	// to keep the artifact small; the recorder default is 8).
+	TopK int
+
+	// Schedulers lists the cohort schedulers the pin section proves
+	// zero perturbation under (default: gate and event loop). The
+	// attrib section runs under the first.
+	Schedulers []dmsim.SchedulerKind
+}
+
+// AttributionRow is one measured point, JSON-serializable for the
+// committed BENCH_ATTRIB.json artifact.
+type AttributionRow struct {
+	Section        string  `json:"section"`
+	Scheduler      string  `json:"scheduler"`
+	System         string  `json:"system"`
+	Mix            string  `json:"mix"`
+	Clients        int     `json:"clients"`
+	Ops            int64   `json:"ops"`
+	ThroughputMops float64 `json:"throughput_mops"`
+	P50Us          float64 `json:"p50_us"`
+	P99Us          float64 `json:"p99_us"`
+
+	Attribution obs.AttributionReport `json:"attribution"`
+
+	// Pin-section fields: fingerprints of the recorder-off and
+	// recorder-on runs, which must match (Unperturbed).
+	FingerprintOff string `json:"fingerprint_recorder_off,omitempty"`
+	FingerprintOn  string `json:"fingerprint_recorder_on,omitempty"`
+	Unperturbed    bool   `json:"unperturbed,omitempty"`
+}
+
+// attributionPoint stands up one fresh system and measures one point,
+// optionally with a flight recorder attached. It returns the flight
+// report (nil when record is false) and the run fingerprint.
+func attributionPoint(name string, sc Scale, sched dmsim.SchedulerKind, mix ycsb.Mix,
+	coldCache bool, clients, ops, topK int, record bool) (Result, *FlightSection, string, error) {
+	po := NewObserver(false)
+	if record {
+		po.EnableFlightRecorder(obs.FlightConfig{TopK: topK})
+	}
+	scp := sc
+	scp.Obs = po
+	var fab *dmsim.Fabric
+	sys, cfg, err := buildSystem(name, scp, 1, func(c *SystemConfig) {
+		fcfg := dmsim.DefaultConfig()
+		fcfg.MNs = 1
+		fcfg.MNSize = sc.MNSize
+		fcfg.ChunkBytes = 1 << 20
+		fcfg.Scheduler = sched
+		fab = dmsim.MustNewFabric(fcfg)
+		c.Fabric = fab
+		// Single-threaded bulk load: parallel loaders race host-side for
+		// virtual-time ties, which would break the pin fingerprints.
+		c.LoadClients = 1
+		if coldCache {
+			// No CN cache and no RDWC: no shared LRU or combiner whose
+			// behavior depends on host interleaving (see offloadPoint).
+			c.CacheBytes = 0
+			c.HotspotBytes = 0
+			c.DisableRDWC = true
+		}
+	})
+	if err != nil {
+		return Result{}, nil, "", err
+	}
+	r, err := runPoint(sys, cfg, mix, clients, ops, 23)
+	if err != nil {
+		return Result{}, nil, "", err
+	}
+	return r, po.FlightReport(), offloadFingerprint(r, fab), nil
+}
+
+// RunAttribution measures both sections for every system. It returns
+// the rows plus one sample timeline (the first system's contended
+// point) for the committed timeline artifact.
+func RunAttribution(sc Scale, opts AttributionOptions) ([]AttributionRow, *obs.TimelineReport, error) {
+	if opts.TopK <= 0 {
+		opts.TopK = 4
+	}
+	if len(opts.Schedulers) == 0 {
+		opts.Schedulers = []dmsim.SchedulerKind{dmsim.SchedulerGate, dmsim.SchedulerEventLoop}
+	}
+	var rows []AttributionRow
+	var sample *obs.TimelineReport
+
+	// attrib: contended zipfian points, recorder on, first scheduler.
+	attribSched := opts.Schedulers[0]
+	for _, name := range HeadToHeadSystems {
+		for _, mix := range []ycsb.Mix{ycsb.WorkloadA, ycsb.WorkloadC} {
+			r, fs, _, err := attributionPoint(name, sc, attribSched, mix, false, sc.Clients, sc.Ops, opts.TopK, true)
+			if err != nil {
+				return nil, nil, fmt.Errorf("attribution %s/%s: %w", name, mix.Name, err)
+			}
+			rows = append(rows, AttributionRow{
+				Section:        "attrib",
+				Scheduler:      schedulerName(attribSched),
+				System:         name,
+				Mix:            mix.Name,
+				Clients:        r.Clients,
+				Ops:            r.Ops,
+				ThroughputMops: r.ThroughputMops,
+				P50Us:          r.P50Us,
+				P99Us:          r.P99Us,
+				Attribution:    fs.Attribution,
+			})
+			if sample == nil {
+				tl := fs.Timeline
+				sample = &tl
+			}
+		}
+	}
+
+	// pin: zero-perturbation double runs per scheduler. One read-only
+	// cold point and one write-bearing single-client point. The cold
+	// point runs multi-client only under the event loop (lane-private
+	// NIC shards); under the gate all clients share one NIC shard whose
+	// arbitration follows host lock order, so its pin must be a single
+	// client to stay interleaving-independent (see the package comment).
+	for _, sched := range opts.Schedulers {
+		points := pinPoints(sched, sc)
+		for _, name := range HeadToHeadSystems {
+			for _, pt := range points {
+				rOff, _, fpOff, err := attributionPoint(name, sc, sched, pt.mix, pt.coldCache, pt.clients, pt.ops, opts.TopK, false)
+				if err != nil {
+					return nil, nil, fmt.Errorf("attribution pin %s/%s/%s off: %w", schedulerName(sched), name, pt.mix.Name, err)
+				}
+				_, fs, fpOn, err := attributionPoint(name, sc, sched, pt.mix, pt.coldCache, pt.clients, pt.ops, opts.TopK, true)
+				if err != nil {
+					return nil, nil, fmt.Errorf("attribution pin %s/%s/%s on: %w", schedulerName(sched), name, pt.mix.Name, err)
+				}
+				rows = append(rows, AttributionRow{
+					Section:        "pin",
+					Scheduler:      schedulerName(sched),
+					System:         name,
+					Mix:            pt.mix.Name,
+					Clients:        rOff.Clients,
+					Ops:            rOff.Ops,
+					ThroughputMops: rOff.ThroughputMops,
+					P50Us:          rOff.P50Us,
+					P99Us:          rOff.P99Us,
+					Attribution:    fs.Attribution,
+					FingerprintOff: fpOff,
+					FingerprintOn:  fpOn,
+					Unperturbed:    fpOff == fpOn,
+				})
+			}
+		}
+	}
+	return rows, sample, nil
+}
+
+// attribPhaseColumns orders the share columns by overall weight so the
+// tables lead with the phases that matter; zero-everywhere phases are
+// dropped.
+func attribPhaseColumns(rows []AttributionRow) []string {
+	weight := map[string]float64{}
+	for _, r := range rows {
+		for _, ca := range r.Attribution.Classes {
+			for ph, s := range ca.MeanShare {
+				weight[ph] += s
+			}
+			for ph, s := range ca.TailShare {
+				weight[ph] += s
+			}
+		}
+	}
+	var cols []string
+	for _, ph := range obs.PhaseNames() {
+		if weight[ph] > 0 {
+			cols = append(cols, ph)
+		}
+	}
+	sort.SliceStable(cols, func(i, j int) bool { return weight[cols[i]] > weight[cols[j]] })
+	return cols
+}
+
+// FormatAttributionRows renders the attrib section as two aligned
+// tables — mean-latency shares and p99-tail shares — one line per
+// system, mix and op class, plus the pin section's verdict lines.
+func FormatAttributionRows(rows []AttributionRow) string {
+	cols := attribPhaseColumns(rows)
+	header := func(title string) string {
+		out := fmt.Sprintf("## %s\n%-6s %-8s %-4s %-11s %8s %9s %9s %6s", title,
+			"sched", "system", "mix", "class", "ops", "mean(us)", "p99(us)", "cov%")
+		for _, ph := range cols {
+			out += fmt.Sprintf(" %12s", ph)
+		}
+		return out + "\n"
+	}
+	shares := func(share obs.PhaseShare) string {
+		var out string
+		for _, ph := range cols {
+			out += fmt.Sprintf(" %11.1f%%", share[ph]*100)
+		}
+		return out
+	}
+	var mean, tail, pin string
+	for _, r := range rows {
+		if r.Section == "pin" {
+			pin += fmt.Sprintf("%-6s %-8s %-4s clients=%-3d off=%s on=%s unperturbed=%t\n",
+				r.Scheduler, r.System, r.Mix, r.Clients, r.FingerprintOff, r.FingerprintOn, r.Unperturbed)
+			continue
+		}
+		for _, ca := range r.Attribution.Classes {
+			prefix := fmt.Sprintf("%-6s %-8s %-4s %-11s %8d %9.1f %9.1f",
+				r.Scheduler, r.System, r.Mix, ca.Class, ca.Ops, ca.MeanNs/1e3, float64(ca.P99Ns)/1e3)
+			mean += fmt.Sprintf("%s %5.1f%%%s\n", prefix, ca.Coverage*100, shares(ca.MeanShare))
+			tail += fmt.Sprintf("%s %5.1f%%%s\n", prefix, ca.TailCoverage*100, shares(ca.TailShare))
+		}
+	}
+	out := header("Mean-latency attribution") + mean
+	out += "\n" + header("p99-tail attribution (ops at and above the p99 bucket)") + tail
+	if pin != "" {
+		out += "\n## Zero-perturbation pin (recorder off vs on, fresh builds)\n" + pin
+	}
+	return out
+}
+
+// FormatTimeline renders a timeline report as an aligned table, one
+// line per populated window.
+func FormatTimeline(tl obs.TimelineReport) string {
+	out := fmt.Sprintf("window=%dns origin=%dns dropped=%d\n%10s %8s %8s %9s %9s %7s %7s\n",
+		tl.WindowNs, tl.OriginNs, tl.Dropped,
+		"t(us)", "ops", "Mops", "p50(us)", "p99(us)", "nic%", "mncpu%")
+	for _, w := range tl.Windows {
+		out += fmt.Sprintf("%10.0f %8d %8.3f %9.1f %9.1f %7.1f %7.1f\n",
+			float64(w.StartNs-tl.OriginNs)/1e3, w.Ops, w.ThroughputMops,
+			float64(w.P50Ns)/1e3, float64(w.P99Ns)/1e3,
+			w.NICUtilization*100, w.MNUtilization*100)
+	}
+	return out
+}
+
+// MarshalAttribJSON renders the rows and the sample timeline as the
+// BENCH_ATTRIB.json artifact format.
+func MarshalAttribJSON(sc Scale, opts AttributionOptions, rows []AttributionRow, sample *obs.TimelineReport) ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Experiment string              `json:"experiment"`
+		LoadN      int                 `json:"load_n"`
+		Ops        int                 `json:"ops"`
+		TopK       int                 `json:"top_k"`
+		Rows       []AttributionRow    `json:"rows"`
+		Timeline   *obs.TimelineReport `json:"timeline_sample,omitempty"`
+	}{
+		Experiment: "attribution",
+		LoadN:      sc.LoadN,
+		Ops:        sc.Ops,
+		TopK:       opts.TopK,
+		Rows:       rows,
+		Timeline:   sample,
+	}, "", "  ")
+}
+
+func init() {
+	register(Experiment{ID: "attribution", Title: "Flight-recorder tail-latency attribution and zero-perturbation pin", Run: Attribution})
+}
+
+// Attribution is the registered experiment wrapper around
+// RunAttribution.
+func Attribution(w io.Writer, sc Scale) error {
+	fmt.Fprintf(w, "# Attribution: per-phase latency shares (mean and p99 tail), zero-perturbation pin\n")
+	rows, sample, err := RunAttribution(sc, AttributionOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, FormatAttributionRows(rows))
+	if sample != nil {
+		fmt.Fprintf(w, "\n## Timeline sample (%s, mix %s)\n", HeadToHeadSystems[0], ycsb.WorkloadA.Name)
+		fmt.Fprint(w, FormatTimeline(*sample))
+	}
+	return nil
+}

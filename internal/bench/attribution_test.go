@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"chime/internal/dmsim"
+	"chime/internal/obs"
+	"chime/internal/ycsb"
+)
+
+// TestAttributionCoverage pins the flight ledger's accounting quality:
+// on a contended read/write mix, the per-phase shares must explain at
+// least 95% of measured latency — mean and p99 tail — for every op
+// class of every system. The ledger is built from clock deltas dmsim
+// computes anyway, so in practice coverage is ~100%; a drop below 95%
+// means some code path advances a client clock without charging the
+// flight.
+func TestAttributionCoverage(t *testing.T) {
+	sc := SmallScale
+	for _, name := range HeadToHeadSystems {
+		_, fs, _, err := attributionPoint(name, sc, dmsim.SchedulerGate, ycsb.WorkloadA,
+			false, sc.Clients, sc.Ops, 4, true)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(fs.Attribution.Classes) == 0 {
+			t.Fatalf("%s: no op classes recorded", name)
+		}
+		for _, ca := range fs.Attribution.Classes {
+			if ca.Coverage < 0.95 {
+				t.Errorf("%s/%s: mean coverage %.3f < 0.95 (shares %v)",
+					name, ca.Class, ca.Coverage, ca.MeanShare)
+			}
+			if ca.TailCoverage < 0.95 {
+				t.Errorf("%s/%s: tail coverage %.3f < 0.95 (shares %v)",
+					name, ca.Class, ca.TailCoverage, ca.TailShare)
+			}
+		}
+	}
+}
+
+// TestFlightZeroPerturbation proves the recorder never moves a clock:
+// for every system, under both schedulers, a recorder-off and a
+// recorder-on run from fresh builds must produce bit-identical run
+// fingerprints (Result plus NIC, MN-CPU and frontier totals). The off
+// and on runs do different host work, so the points must be
+// interleaving-independent, not just double-run stable: pinPoints
+// keeps gate-mode pins single-client (one shared NIC shard arbitrates
+// same-window arrivals in host lock order) and exercises multi-client
+// only under the event loop's lane-private shards.
+func TestFlightZeroPerturbation(t *testing.T) {
+	sc := SmallScale
+	for _, sched := range []dmsim.SchedulerKind{dmsim.SchedulerGate, dmsim.SchedulerEventLoop} {
+		points := pinPoints(sched, sc)
+		for _, name := range HeadToHeadSystems {
+			for _, pt := range points {
+				_, _, fpOff, err := attributionPoint(name, sc, sched, pt.mix, pt.coldCache,
+					pt.clients, sc.Ops/4, 4, false)
+				if err != nil {
+					t.Fatalf("%s/%s/%s off: %v", schedulerName(sched), name, pt.mix.Name, err)
+				}
+				_, fs, fpOn, err := attributionPoint(name, sc, sched, pt.mix, pt.coldCache,
+					pt.clients, sc.Ops/4, 4, true)
+				if err != nil {
+					t.Fatalf("%s/%s/%s on: %v", schedulerName(sched), name, pt.mix.Name, err)
+				}
+				if fpOff != fpOn {
+					t.Errorf("%s/%s/%s: recorder perturbed the run: off=%s on=%s",
+						schedulerName(sched), name, pt.mix.Name, fpOff, fpOn)
+				}
+				if fs == nil || len(fs.Attribution.Classes) == 0 {
+					t.Errorf("%s/%s/%s: recorder-on run recorded nothing",
+						schedulerName(sched), name, pt.mix.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestAttributionReportRendering sanity-checks the table renderers and
+// the metrics-v4 flight section plumbing on one cheap point.
+func TestAttributionReportRendering(t *testing.T) {
+	sc := SmallScale
+	po := NewObserver(false)
+	po.EnableFlightRecorder(obs.FlightConfig{TopK: 2})
+	scp := sc
+	scp.Obs = po
+	sys, cfg, err := buildSystem("CHIME", scp, 1, func(c *SystemConfig) {
+		c.LoadClients = 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := runPoint(sys, cfg, ycsb.WorkloadA, 4, sc.Ops/4, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := po.FlightReport()
+	if fs == nil {
+		t.Fatal("no flight report despite recorder enabled")
+	}
+	rows := []AttributionRow{{
+		Section: "attrib", Scheduler: "gate", System: "CHIME", Mix: "A",
+		Clients: r.Clients, Ops: r.Ops, Attribution: fs.Attribution,
+	}}
+	table := FormatAttributionRows(rows)
+	for _, want := range []string{"search", "update", "descend"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("attribution table missing %q:\n%s", want, table)
+		}
+	}
+	if len(fs.Timeline.Windows) == 0 {
+		t.Fatal("timeline recorded no windows")
+	}
+	if out := FormatTimeline(fs.Timeline); !strings.Contains(out, "nic%") {
+		t.Errorf("timeline table malformed:\n%s", out)
+	}
+	mj, err := po.MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{MetricsSchema, `"flight"`, `"attribution"`, `"timeline"`} {
+		if !strings.Contains(string(mj), want) {
+			t.Errorf("metrics JSON missing %q", want)
+		}
+	}
+}

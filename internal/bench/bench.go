@@ -278,6 +278,13 @@ func Run(sys System, cfg RunConfig) (Result, error) {
 		clients[ci].DM().JoinCohort()
 	}
 	fab := clients[0].DM().Fabric()
+	// Restart the flight recorder at the measurement frontier so bulk
+	// load traffic (which runs through the same instrumented ops) does
+	// not pollute attribution, and anchor the timeline ring there.
+	if rec := cfg.Obs.Sink().FlightRecorder(); rec != nil {
+		rec.Reset(fab.Frontier())
+	}
+	cfg.Obs.noteTopology(fab.MNs(), fab.MNs()*fab.MNCores())
 	nicServedBefore := fab.TotalNICStats().ServedNs
 	mnBefore := fab.TotalMNCPUStats()
 	var wg sync.WaitGroup

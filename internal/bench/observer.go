@@ -15,7 +15,10 @@ import (
 // analyzer (cmd/chimelint). v3 adds the MN compute plane's dm.mn.*
 // instruments (dm.mn.service_ns, dm.mn.queue_ns, dm.mn.queue_depth,
 // dm.mn.offload, dm.mn.fallback) and the offload columns of Result.
-const MetricsSchema = "chime-bench/metrics/v3"
+// v4 adds the optional flight section (per-op-class tail-latency
+// attribution plus the virtual-time timeline) emitted when the flight
+// recorder is enabled (chime-bench -flightrec).
+const MetricsSchema = "chime-bench/metrics/v4"
 
 // Observer ties one obs.Sink to the bench harness: systems built with
 // SystemConfig.Obs count protocol events (and optionally trace spans)
@@ -27,6 +30,11 @@ type Observer struct {
 
 	mu   sync.Mutex
 	rows []ObsRow
+
+	// Fabric topology captured by the last Run, for normalizing the
+	// flight recorder's timeline utilization figures.
+	nics    int
+	mnCores int
 }
 
 // ObsRow pairs one measured result with the cumulative registry
@@ -41,6 +49,17 @@ type ObsRow struct {
 // it also buffers Chrome trace_event spans (see WriteTrace).
 func NewObserver(trace bool) *Observer {
 	return &Observer{sink: obs.NewSink(trace)}
+}
+
+// EnableFlightRecorder attaches a per-op flight recorder to the
+// observer's sink. Must be called before systems and fabrics are built
+// with this observer — clients capture the recorder at creation. Nil-safe
+// no-op on a nil observer.
+func (o *Observer) EnableFlightRecorder(cfg obs.FlightConfig) {
+	if o == nil {
+		return
+	}
+	o.sink.SetFlightRecorder(obs.NewFlightRecorder(cfg))
 }
 
 // Sink exposes the underlying sink for wiring into compute nodes and
@@ -62,6 +81,44 @@ func (o *Observer) record(r Result) {
 	o.mu.Unlock()
 }
 
+func (o *Observer) noteTopology(nics, mnCores int) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.nics, o.mnCores = nics, mnCores
+	o.mu.Unlock()
+}
+
+// FlightReport renders the attached flight recorder's attribution and
+// timeline reports, normalized by the last Run's fabric topology. Nil
+// when no recorder is attached.
+func (o *Observer) FlightReport() *FlightSection {
+	if o == nil {
+		return nil
+	}
+	rec := o.sink.FlightRecorder()
+	if rec == nil {
+		return nil
+	}
+	o.mu.Lock()
+	nics, cores := o.nics, o.mnCores
+	o.mu.Unlock()
+	return &FlightSection{
+		Attribution: rec.Attribution(),
+		Timeline:    rec.Timeline(nics, cores),
+	}
+}
+
+// FlightSection is the metrics-v4 flight block: per-op-class latency
+// attribution plus the windowed virtual-time timeline. The recorder is
+// reset at the start of every measured Run, so the section reflects the
+// observer's most recent run.
+type FlightSection struct {
+	Attribution obs.AttributionReport `json:"attribution"`
+	Timeline    obs.TimelineReport    `json:"timeline"`
+}
+
 // Rows returns the recorded result rows in completion order.
 func (o *Observer) Rows() []ObsRow {
 	if o == nil {
@@ -78,17 +135,19 @@ func (o *Observer) Rows() []ObsRow {
 // and the trace buffer's fill level.
 func (o *Observer) MetricsJSON() ([]byte, error) {
 	out := struct {
-		Schema       string       `json:"schema"`
-		Rows         []ObsRow     `json:"rows"`
-		Registry     obs.Snapshot `json:"registry"`
-		TraceEvents  int          `json:"trace_events"`
-		TraceDropped int64        `json:"trace_dropped"`
+		Schema       string         `json:"schema"`
+		Rows         []ObsRow       `json:"rows"`
+		Registry     obs.Snapshot   `json:"registry"`
+		TraceEvents  int            `json:"trace_events"`
+		TraceDropped int64          `json:"trace_dropped"`
+		Flight       *FlightSection `json:"flight,omitempty"`
 	}{
 		Schema:       MetricsSchema,
 		Rows:         o.Rows(),
 		Registry:     o.sink.Registry().Snapshot(),
 		TraceEvents:  o.sink.Tracer().Len(),
 		TraceDropped: o.sink.Tracer().Dropped(),
+		Flight:       o.FlightReport(),
 	}
 	if out.Rows == nil {
 		out.Rows = []ObsRow{}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"chime/internal/dmsim"
+	"chime/internal/obs"
 )
 
 // Public operation entry points and the hybrid one-sided/offload router
@@ -34,6 +35,10 @@ func (ix *Index) offloadUpdateOK() bool {
 func (c *Client) Search(key uint64) ([]byte, error) {
 	if sp := c.obs.Tracer.Begin("chime.search", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
 		defer func() { sp.End(c.dc.Now()) }()
+	}
+	if fl := c.dc.Flight(); fl != nil {
+		fl.Begin(obs.OpSearch, c.dc.Now())
+		defer func() { fl.End(c.dc.Now()) }()
 	}
 	if c.router == nil || !c.ix.offloadSearchOK() {
 		return c.searchOneSided(key)
@@ -69,6 +74,10 @@ func (c *Client) Search(key uint64) ([]byte, error) {
 func (c *Client) Update(key uint64, value []byte) error {
 	if sp := c.obs.Tracer.Begin("chime.update", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
 		defer func() { sp.End(c.dc.Now()) }()
+	}
+	if fl := c.dc.Flight(); fl != nil {
+		fl.Begin(obs.OpUpdate, c.dc.Now())
+		defer func() { fl.End(c.dc.Now()) }()
 	}
 	if c.router == nil || !c.ix.offloadUpdateOK() {
 		return c.updateOneSided(key, value)
@@ -106,6 +115,10 @@ func (c *Client) Scan(start uint64, count int) ([]KV, error) {
 	}
 	if sp := c.obs.Tracer.Begin("chime.scan", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
 		defer func() { sp.End(c.dc.Now()) }()
+	}
+	if fl := c.dc.Flight(); fl != nil {
+		fl.Begin(obs.OpScan, c.dc.Now())
+		defer func() { fl.End(c.dc.Now()) }()
 	}
 	if c.router == nil || !c.ix.offloadSearchOK() {
 		return c.scanOneSided(start, count)

@@ -317,3 +317,67 @@ func TestOffloadUpdateLockInterop(t *testing.T) {
 		}
 	}
 }
+
+// Deep-tree scans through the MN program: with thousands of keys the
+// tree has real internal levels and a ScatterGatherScan crosses many
+// leaves, so the program's leaf walk (sibling hops, per-leaf collection
+// limits) is exercised well past the single-leaf case. Offloaded
+// results must match a one-sided client on the same tree byte for byte.
+func TestOffloadScanDeep(t *testing.T) {
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 512 << 20
+	opts := DefaultOptions()
+	opts.Offload = offroute.ModeAlways
+	_, ix, cl := newOffloadTree(t, cfg, opts)
+
+	const n = 6000
+	for i := uint64(0); i < n; i++ {
+		if err := cl.Insert(i*3, val8(i^0xABCD)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oneSided := ix.NewComputeNode(64<<20, 0).NewClient()
+	oneSided.router = nil
+
+	offBefore := cl.DM().Stats().Offloads
+	for _, tc := range []struct {
+		start uint64
+		count int
+		want  int // expected items (truncated at the keyspace tail)
+	}{
+		{0, 500, 500},           // long scan from the left edge
+		{3 * (n / 2), 700, 700}, // long scan from the middle
+		{3*(n/2) + 1, 64, 64},   // start between stored keys
+		{3 * (n - 10), 100, 10}, // runs off the tail: truncated
+		{3 * n, 10, 0},          // start past every key
+	} {
+		got, err := cl.Scan(tc.start, tc.count)
+		if err != nil {
+			t.Fatalf("Scan(%d,%d): %v", tc.start, tc.count, err)
+		}
+		if len(got) != tc.want {
+			t.Fatalf("Scan(%d,%d) returned %d items, want %d", tc.start, tc.count, len(got), tc.want)
+		}
+		ref, err := oneSided.Scan(tc.start, tc.count)
+		if err != nil {
+			t.Fatalf("one-sided Scan(%d,%d): %v", tc.start, tc.count, err)
+		}
+		if len(ref) != len(got) {
+			t.Fatalf("Scan(%d,%d): offloaded %d items, one-sided %d", tc.start, tc.count, len(got), len(ref))
+		}
+		for j := range got {
+			if got[j].Key != ref[j].Key {
+				t.Fatalf("Scan(%d,%d)[%d].Key = %d, one-sided %d", tc.start, tc.count, j, got[j].Key, ref[j].Key)
+			}
+			if binary.LittleEndian.Uint64(got[j].Value) != binary.LittleEndian.Uint64(ref[j].Value) {
+				t.Fatalf("Scan(%d,%d)[%d] value mismatch", tc.start, tc.count, j)
+			}
+		}
+	}
+	if cl.DM().Stats().Offloads == offBefore {
+		t.Error("deep scans posted no offload verbs")
+	}
+	if off, _ := oneSided.OffloadStats(); off != 0 {
+		t.Error("reference client offloaded; comparison is vacuous")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"chime/internal/dmsim"
+	"chime/internal/obs"
 )
 
 // Pipelined multi-get (async verb pipelining). SearchBatch drives up to
@@ -86,6 +87,10 @@ func (c *Client) SearchBatch(keys []uint64, depth int) ([][]byte, []error) {
 		sp.Arg("depth", depth)
 		defer func() { sp.End(c.dc.Now()) }()
 	}
+	if fl := c.dc.Flight(); fl != nil {
+		fl.Begin(obs.OpBatchRead, c.dc.Now())
+		defer func() { fl.End(c.dc.Now()) }()
+	}
 	if depth < 1 {
 		depth = 1
 	}
@@ -124,7 +129,7 @@ func (c *Client) SearchBatch(keys []uint64, depth int) ([][]byte, []error) {
 func (c *Client) beginOp(op *searchOp) {
 	op.path = nil
 	op.hops = 0
-	c.dc.Advance(localWorkNs)
+	c.chargeLocalWork()
 	if c.rootAddr.IsNil() {
 		h, err := c.dc.PostRead(c.ix.super, op.rootBuf[:])
 		if err != nil {

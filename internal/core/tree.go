@@ -186,6 +186,7 @@ type Client struct {
 // NewClient creates a client handle bound to this compute node.
 func (cn *ComputeNode) NewClient() *Client {
 	dc := cn.ix.fabric.NewClient()
+	dc.SetFlight(cn.obs.Flight.NewFlight(dc.ID()))
 	bufSize := cn.ix.opts.ValueSize
 	if bufSize < 8 {
 		bufSize = 8
@@ -219,6 +220,15 @@ func (c *Client) yield() {
 }
 
 func (c *Client) resetBackoff() { c.backoff = 0 }
+
+// chargeLocalWork charges the per-step CN-side compute, labeled as
+// cache/local-lookup work in the flight ledger.
+func (c *Client) chargeLocalWork() {
+	fl := c.dc.Flight()
+	prev := fl.SetPhase(obs.PhaseCacheLookup)
+	c.dc.Advance(localWorkNs)
+	fl.SetPhase(prev)
+}
 
 // refreshRoot re-reads the super block.
 func (c *Client) refreshRoot() error {
@@ -302,7 +312,7 @@ func (c *Client) traverse(key uint64) (leafRef, error) {
 }
 
 func (c *Client) traverseFrom(root dmsim.GAddr, rootLevel uint8, key uint64) (leafRef, error) {
-	c.dc.Advance(localWorkNs)
+	c.chargeLocalWork()
 	if rootLevel == 0 {
 		// The root is a leaf.
 		return leafRef{addr: root}, nil

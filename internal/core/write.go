@@ -7,6 +7,7 @@ import (
 
 	"chime/internal/dmsim"
 	"chime/internal/hopscotch"
+	"chime/internal/obs"
 )
 
 // This file implements CHIME's write path (§4.4): lock-based writes with
@@ -24,6 +25,11 @@ import (
 // followed by a dedicated READ of the word (the extra access Figure 4a
 // measures).
 func (c *Client) acquireLeafLock(leaf dmsim.GAddr) (lockWord, error) {
+	// Everything until the lock is held — local handover waits, lock
+	// CAS round trips, contention backoff — is lock time in the flight
+	// ledger.
+	fl := c.dc.Flight()
+	defer fl.SetPhase(fl.SetPhase(obs.PhaseLockBackoff))
 	if c.ix.opts.LeaseLocks {
 		return c.acquireLeafLease(leaf)
 	}
@@ -167,6 +173,10 @@ func (c *Client) writeRangeAndUnlock(leaf dmsim.GAddr, im *leafImage, ranges []b
 func (c *Client) Insert(key uint64, value []byte) error {
 	if sp := c.obs.Tracer.Begin("chime.insert", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
 		defer func() { sp.End(c.dc.Now()) }()
+	}
+	if fl := c.dc.Flight(); fl != nil {
+		fl.Begin(obs.OpInsert, c.dc.Now())
+		defer func() { fl.End(c.dc.Now()) }()
 	}
 	val, err := c.prepareValue(key, value)
 	if err != nil {
@@ -656,6 +666,10 @@ func (c *Client) updateOneSided(key uint64, value []byte) error {
 func (c *Client) Delete(key uint64) error {
 	if sp := c.obs.Tracer.Begin("chime.delete", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
 		defer func() { sp.End(c.dc.Now()) }()
+	}
+	if fl := c.dc.Flight(); fl != nil {
+		fl.Begin(obs.OpDelete, c.dc.Now())
+		defer func() { fl.End(c.dc.Now()) }()
 	}
 	return c.modifyEntry(key, nil)
 }

@@ -7,6 +7,7 @@ import (
 
 	"chime/internal/dmsim"
 	"chime/internal/hopscotch"
+	"chime/internal/obs"
 )
 
 // Pipelined batch writes (async verb pipelining, write side). InsertBatch
@@ -154,6 +155,10 @@ func (c *Client) runWriteBatch(kind writeKind, keys []uint64, values [][]byte, d
 		sp.Arg("depth", depth)
 		defer func() { sp.End(c.dc.Now()) }()
 	}
+	if fl := c.dc.Flight(); fl != nil {
+		fl.Begin(obs.OpBatchWrite, c.dc.Now())
+		defer func() { fl.End(c.dc.Now()) }()
+	}
 	if len(values) != n {
 		err := fmt.Errorf("core: write batch: %d keys but %d values", n, len(values))
 		for i := range errs {
@@ -243,7 +248,7 @@ func (c *Client) beginWriteOp(st *wpSched, op *writeOp) {
 	op.hops = 0
 	op.cy = nil
 	op.notFound = false
-	c.dc.Advance(localWorkNs)
+	c.chargeLocalWork()
 	if c.rootAddr.IsNil() {
 		h, err := c.dc.PostRead(c.ix.super, op.rootBuf[:])
 		if err != nil {

@@ -1,6 +1,10 @@
 package dmsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"chime/internal/obs"
+)
 
 // ChunkSize is the default unit of memory handed out by the MN-side
 // allocation RPC, matching the 16 MB chunks CHIME allocates to each
@@ -38,7 +42,19 @@ func (c *Client) AllocRPC(mnIdx int, size int) (GAddr, error) {
 	mn.allocOff = off + uint64(size)
 	mn.allocMu.Unlock()
 
-	done := mn.nic.serve(c.shard(), kindRPC, c.now+c.issueNs+penalty, 64)
+	arrival := c.now + c.issueNs + penalty
+	done := mn.nic.serve(c.shard(), kindRPC, arrival, 64)
+	if c.fl.Recording() {
+		// The sync RPC advances the clock by exactly
+		// issue+penalty+queue+service+rpc+rtt; charge each segment
+		// directly (no pipelining to overlap with, unlike Poll's peel).
+		svc := mn.nic.serviceNs(64)
+		c.fl.Charge(obs.PhaseFaultRetry, penalty)
+		c.fl.Charge(obs.PhaseNICQueue, done-arrival-svc)
+		c.fl.Charge(obs.PhaseNICService, svc)
+		c.fl.Charge(obs.PhaseMNService, c.rpcNs)
+		c.fl.ChargeActive(c.issueNs + c.rttNs)
+	}
 	c.finish(done + c.rpcNs)
 
 	c.stats.RPCs++

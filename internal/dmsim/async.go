@@ -62,6 +62,26 @@ type Completion struct {
 	// pooled marks a handle sitting in its client's freelist. Guards
 	// double-Release and use-after-release.
 	pooled bool
+
+	// Flight-recorder decomposition of this verb's virtual timeline
+	// (populated only when the client has a flight attached; zero
+	// otherwise). Poll peels the clock jump into these segments — see
+	// obs.Flight.ChargeVerb. Reset wholesale by newCompletion.
+	ledPenalty  int64
+	ledNICQueue int64
+	ledNICSvc   int64
+	ledMNQueue  int64
+	ledMNSvc    int64
+}
+
+// recordLedger stashes a served verb's timing decomposition on the
+// handle for Poll-time phase attribution: NIC service as recomputed
+// from the payload, queueing as the serve recurrence's wait, and the
+// fault-gate penalty. Callers only invoke it when a flight is attached.
+func (h *Completion) recordLedger(penalty, arrival, nicDone, nicSvc int64) {
+	h.ledPenalty = penalty
+	h.ledNICSvc = nicSvc
+	h.ledNICQueue = nicDone - arrival - nicSvc
 }
 
 // newCompletion takes a handle from the client's freelist, or allocates
@@ -127,6 +147,7 @@ func (h *Completion) CASResult() (uint64, bool) {
 // completion time.
 func (c *Client) post(nicDone int64) *Completion {
 	c.now += c.issueNs
+	c.fl.ChargeActive(c.issueNs)
 	c.inflight++
 	if c.inflight > c.stats.MaxInflight {
 		c.stats.MaxInflight = c.inflight
@@ -160,6 +181,10 @@ func (c *Client) Poll(h *Completion) int64 {
 	h.polled = true
 	c.inflight--
 	if t := h.nicDone + c.rttNs; t > c.now {
+		if c.fl != nil {
+			c.fl.ChargeVerb(t-c.now, h.ledPenalty, h.ledNICQueue, h.ledNICSvc,
+				h.ledMNQueue, h.ledMNSvc, c.rttNs)
+		}
 		c.now = t
 	}
 	return c.now
@@ -192,12 +217,17 @@ func (c *Client) PostRead(a GAddr, buf []byte) (*Completion, error) {
 	}
 	mn.copyOut(a.Off, buf)
 
-	done := mn.nic.serve(c.shard(), kindRead, c.now+c.issueNs+penalty, len(buf))
+	arrival := c.now + c.issueNs + penalty
+	done := mn.nic.serve(c.shard(), kindRead, arrival, len(buf))
 
 	c.stats.Reads++
 	c.stats.Trips++
 	c.stats.BytesRead += int64(len(buf))
-	return c.post(done), nil
+	h := c.post(done)
+	if c.fl != nil {
+		h.recordLedger(penalty, arrival, done, mn.nic.serviceNs(len(buf)))
+	}
+	return h, nil
 }
 
 // PostReadBatch posts a doorbell batch of READs (one round trip, every
@@ -234,12 +264,27 @@ func (c *Client) PostReadBatch(addrs []GAddr, bufs [][]byte) (*Completion, error
 		total += int64(len(bufs[i]))
 	}
 	mn := c.f.mns[mn0]
-	done := mn.nic.serveBatch(c.shard(), kindRead, c.now+c.issueNs+penalty, payloads)
+	arrival := c.now + c.issueNs + penalty
+	done := mn.nic.serveBatch(c.shard(), kindRead, arrival, payloads)
 
 	c.stats.Reads += int64(len(addrs))
 	c.stats.Trips++
 	c.stats.BytesRead += total
-	return c.post(done), nil
+	h := c.post(done)
+	if c.fl != nil {
+		h.recordLedger(penalty, arrival, done, batchServiceNs(mn.nic, payloads))
+	}
+	return h, nil
+}
+
+// batchServiceNs recomputes a doorbell batch's total NIC service time
+// for the flight ledger (the hot path stages no per-segment slice).
+func batchServiceNs(n *nic, payloads []int) int64 {
+	var svc int64
+	for _, p := range payloads {
+		svc += n.serviceNs(p)
+	}
+	return svc
 }
 
 // PostWrite posts a one-sided WRITE; data lands in remote memory at post
@@ -256,12 +301,17 @@ func (c *Client) PostWrite(a GAddr, data []byte) (*Completion, error) {
 	}
 	mn.copyIn(a.Off, data)
 
-	done := mn.nic.serve(c.shard(), kindWrite, c.now+c.issueNs+penalty, len(data))
+	arrival := c.now + c.issueNs + penalty
+	done := mn.nic.serve(c.shard(), kindWrite, arrival, len(data))
 
 	c.stats.Writes++
 	c.stats.Trips++
 	c.stats.BytesWritten += int64(len(data))
-	return c.post(done), nil
+	h := c.post(done)
+	if c.fl != nil {
+		h.recordLedger(penalty, arrival, done, mn.nic.serviceNs(len(data)))
+	}
+	return h, nil
 }
 
 // PostWriteBatch posts a doorbell batch of WRITEs (one round trip, all
@@ -297,12 +347,17 @@ func (c *Client) PostWriteBatch(addrs []GAddr, datas [][]byte) (*Completion, err
 		total += int64(len(datas[i]))
 	}
 	mn := c.f.mns[mn0]
-	done := mn.nic.serveBatch(c.shard(), kindWrite, c.now+c.issueNs+penalty, payloads)
+	arrival := c.now + c.issueNs + penalty
+	done := mn.nic.serveBatch(c.shard(), kindWrite, arrival, payloads)
 
 	c.stats.Writes += int64(len(addrs))
 	c.stats.Trips++
 	c.stats.BytesWritten += total
-	return c.post(done), nil
+	h := c.post(done)
+	if c.fl != nil {
+		h.recordLedger(penalty, arrival, done, batchServiceNs(mn.nic, payloads))
+	}
+	return h, nil
 }
 
 // PostCAS posts an 8-byte compare-and-swap. The atomic applies at post
@@ -334,7 +389,8 @@ func (c *Client) PostMaskedCAS(a GAddr, cmp, swap, cmpMask, swapMask uint64) (*C
 	lk.Unlock()
 	c.observeCAS(a, ok, cmpMask, swap)
 
-	done := mn.nic.serve(c.shard(), kindAtomic, c.now+c.issueNs+penalty, 8)
+	arrival := c.now + c.issueNs + penalty
+	done := mn.nic.serve(c.shard(), kindAtomic, arrival, 8)
 
 	c.stats.Atomics++
 	c.stats.Trips++
@@ -342,6 +398,9 @@ func (c *Client) PostMaskedCAS(a GAddr, cmp, swap, cmpMask, swapMask uint64) (*C
 	c.stats.BytesWritten += 8
 	h := c.post(done)
 	h.prev, h.swapped, h.isAtom = prev, ok, true
+	if c.fl != nil {
+		h.recordLedger(penalty, arrival, done, mn.nic.serviceNs(8))
+	}
 	return h, nil
 }
 
@@ -364,7 +423,8 @@ func (c *Client) PostFetchAdd(a GAddr, delta uint64) (*Completion, error) {
 	binary.LittleEndian.PutUint64(word, prev+delta)
 	lk.Unlock()
 
-	done := mn.nic.serve(c.shard(), kindAtomic, c.now+c.issueNs+penalty, 8)
+	arrival := c.now + c.issueNs + penalty
+	done := mn.nic.serve(c.shard(), kindAtomic, arrival, 8)
 
 	c.stats.Atomics++
 	c.stats.Trips++
@@ -372,5 +432,8 @@ func (c *Client) PostFetchAdd(a GAddr, delta uint64) (*Completion, error) {
 	c.stats.BytesWritten += 8
 	h := c.post(done)
 	h.prev, h.swapped, h.isAtom = prev, true, true
+	if c.fl != nil {
+		h.recordLedger(penalty, arrival, done, mn.nic.serviceNs(8))
+	}
 	return h, nil
 }

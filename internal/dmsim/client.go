@@ -1,5 +1,7 @@
 package dmsim
 
+import "chime/internal/obs"
+
 // ClientStats counts the remote traffic one client has generated.
 // Batched reads count one Trip but one Read per segment, matching how
 // doorbell batching behaves on real NICs.
@@ -83,6 +85,11 @@ type Client struct {
 	// offCtx is the reusable MN-side view for offload verbs
 	// (offload.go); one per client keeps the verb path allocation-free.
 	offCtx MNCtx
+
+	// fl is the per-op flight ledger (nil without a flight recorder).
+	// Strictly observational: the ledger records clock deltas the
+	// simulation computed anyway, never alters them.
+	fl *obs.Flight
 }
 
 // NewClient registers a new client on the fabric. Its clock starts at
@@ -121,8 +128,19 @@ func (c *Client) Now() int64 { return c.now }
 func (c *Client) Advance(ns int64) {
 	if ns > 0 {
 		c.now += ns
+		c.fl.ChargeActive(ns)
 	}
 }
+
+// SetFlight attaches a per-op flight recording handle (obs.Flight) to
+// the client: verb timing and local advances are charged into the
+// ledger of whatever op the handle has open. Purely observational —
+// virtual clocks are bit-identical with and without a flight.
+func (c *Client) SetFlight(fl *obs.Flight) { c.fl = fl }
+
+// Flight returns the client's flight handle (nil when recording is
+// off). Layers above use it to bracket ops and label phases.
+func (c *Client) Flight() *obs.Flight { return c.fl }
 
 // JoinCohort enrolls the client in the fabric's virtual-time gate: its
 // verbs will stay within one RTT-sized quantum of every other cohort
@@ -203,6 +221,10 @@ func (c *Client) Suspend() bool {
 // cohort's window reaches its (possibly far-ahead) clock.
 func (c *Client) Resume(now int64) {
 	if now > c.now {
+		// The fast-forward is the time this client spent parked on its
+		// leader; charged to the active phase (the rdwc layer sets
+		// PhaseWriteCombine around delegated waits).
+		c.fl.ChargeActive(now - c.now)
 		c.now = now
 	}
 	c.gated = true

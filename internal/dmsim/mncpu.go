@@ -93,6 +93,7 @@ type mnCPU struct {
 	depth     *obs.Gauge
 	offloads  *obs.Counter
 	fallbacks *obs.Counter
+	fr        *obs.FlightRecorder
 }
 
 func newMNCPU(cfg Config) *mnCPU {
@@ -127,6 +128,7 @@ func (m *mnCPU) setObserver(s *obs.Sink) {
 	m.depth = r.Gauge(NameMNDepth)
 	m.offloads = r.Counter(NameMNOffload)
 	m.fallbacks = r.Counter(NameMNFallback)
+	m.fr = s.FlightRecorder()
 }
 
 // serviceNs is the MN CPU cost of one offloaded program that touched
@@ -162,6 +164,9 @@ func (m *mnCPU) serve(shard int32, arrival, svcNs int64, fallback bool) int64 {
 
 	m.svcHist.Observe(svcNs)
 	m.queueHist.Observe(start - arrival)
+	if m.fr != nil {
+		m.fr.AddMNBusy(start, completion)
+	}
 	if m.depth != nil {
 		m.depth.Set((start - arrival + svcNs - 1) / svcNs)
 	}

@@ -83,6 +83,7 @@ type nic struct {
 	svcHist   [verbKinds]*obs.Histogram
 	queueHist *obs.Histogram
 	tr        *obs.Tracer
+	fr        *obs.FlightRecorder
 }
 
 func newNIC(cfg Config) *nic {
@@ -106,6 +107,7 @@ func (n *nic) setObserver(mn int, s *obs.Sink) {
 	n.svcHist[kindRPC] = r.Histogram(NameNICRPCService)
 	n.queueHist = r.Histogram(NameNICQueueNs)
 	n.tr = s.Tracer()
+	n.fr = s.FlightRecorder()
 	for k := range n.shards {
 		if len(n.shards) == 1 {
 			n.shards[k].trName = fmt.Sprintf("nic%d", mn)
@@ -172,6 +174,9 @@ func (n *nic) serve(shard int32, kind verbKind, arrival int64, payload int) int6
 
 	n.svcHist[kind].Observe(sNs)
 	n.queueHist.Observe(start - arrival)
+	if n.fr != nil {
+		n.fr.AddNICBusy(start, completion)
+	}
 	if sample {
 		n.tr.CounterSample(s.trName, completion, map[string]float64{
 			"backlog_ns": float64(completion - arrival),
@@ -229,6 +234,9 @@ func (n *nic) serveBatch(shard int32, kind verbKind, arrival int64, payloads []i
 			n.queueHist.Observe(start - arrival + behind)
 			behind += sNs
 		}
+	}
+	if n.fr != nil {
+		n.fr.AddNICBusy(start, completion)
 	}
 	if sample {
 		n.tr.CounterSample(s.trName, completion, map[string]float64{

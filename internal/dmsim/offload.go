@@ -290,8 +290,9 @@ func (c *Client) postOffload(id MNProgramID, mn int, kind offKind, key, arg uint
 	reqBytes := offHeaderBytes + len(val)
 	respBytes := offHeaderBytes + n
 	arrival := c.now + c.issueNs + penalty
+	mnSvc := node.cpu.serviceNs(touched)
 	nicDone := node.nic.serve(c.shard(), kindRPC, arrival, reqBytes+respBytes)
-	cpuDone := node.cpu.serve(c.shard(), nicDone, node.cpu.serviceNs(touched), st.Fallback())
+	cpuDone := node.cpu.serve(c.shard(), nicDone, mnSvc, st.Fallback())
 
 	c.stats.RPCs++
 	c.stats.Offloads++
@@ -300,6 +301,11 @@ func (c *Client) postOffload(id MNProgramID, mn int, kind offKind, key, arg uint
 	c.stats.BytesRead += int64(respBytes)
 	h := c.post(cpuDone)
 	h.offN, h.offStatus, h.isOff = int32(n), st, true
+	if c.fl != nil {
+		h.recordLedger(penalty, arrival, nicDone, node.nic.serviceNs(reqBytes+respBytes))
+		h.ledMNSvc = mnSvc
+		h.ledMNQueue = cpuDone - nicDone - mnSvc
+	}
 	return h, nil
 }
 

@@ -1,0 +1,720 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Per-op flight recorder. Every index operation carries a phase ledger:
+// the op's virtual-time latency is decomposed into the protocol phases
+// the simulator already computes (descend propagation, CN-side cache
+// work, lock-CAS backoff, NIC queueing and service, MN CPU queueing and
+// service, fault-retry penalty, write-combine wait), charged in virtual
+// nanoseconds by dmsim as the op runs. The recorder folds finished
+// ledgers into a per-op-class attribution matrix (mean and tail shares
+// per phase), keeps a bounded top-K of the slowest exemplar ops per
+// class with deterministic tie-breaks, and maintains a ring of
+// fixed-width virtual-time windows (throughput, latency quantiles,
+// NIC/MN busy time per window).
+//
+// Like the rest of the package, recording is strictly observational:
+// every charge is a delta between virtual clock values dmsim computed
+// anyway, so attaching a recorder never changes a clock, a completion
+// time, or a bench fingerprint (pinned by the bench harness's
+// zero-perturbation tests). All aggregation is order-independent
+// (atomic sums keyed by virtual time and latency bucket; exemplars kept
+// per client and merged with a total order), so reports are
+// deterministic for a deterministic run regardless of host
+// interleaving.
+
+// Phase is one component of an op's latency ledger.
+type Phase uint8
+
+const (
+	// PhaseDescend is the catch-all traversal phase: round-trip
+	// propagation and issue overhead of the op's verbs plus any CN-side
+	// work not labeled more specifically. It is the active phase unless
+	// a layer sets a narrower one.
+	PhaseDescend Phase = iota
+
+	// PhaseCacheLookup is CN-side cache/local-compute work (node-cache
+	// probes, hashing, local search).
+	PhaseCacheLookup
+
+	// PhaseLockBackoff is time spent backing off after failed remote
+	// lock CASes, plus local lock-table handover waits.
+	PhaseLockBackoff
+
+	// PhaseWriteCombine is time a delegated/combined op spent waiting on
+	// its leader's completion (the rdwc layer).
+	PhaseWriteCombine
+
+	// PhaseNICQueue is time the op's verbs waited for a busy NIC.
+	PhaseNICQueue
+
+	// PhaseNICService is NIC service time of the op's verbs.
+	PhaseNICService
+
+	// PhaseMNQueue is time offloaded programs waited for an MN core.
+	PhaseMNQueue
+
+	// PhaseMNService is MN CPU service time (offloaded programs, alloc
+	// RPC handlers).
+	PhaseMNService
+
+	// PhaseFaultRetry is fault-plane penalty time (latency spikes,
+	// timeout-repost rounds).
+	PhaseFaultRetry
+
+	// NumPhases is the ledger width.
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"descend", "cache_lookup", "lock_backoff", "write_combine",
+	"nic_queue", "nic_service", "mn_queue", "mn_service", "fault_retry",
+}
+
+func (p Phase) String() string {
+	if p < NumPhases {
+		return phaseNames[p]
+	}
+	return "phase?"
+}
+
+// PhaseNames returns the ledger's phase names in Phase order.
+func PhaseNames() []string {
+	out := make([]string, NumPhases)
+	copy(out, phaseNames[:])
+	return out
+}
+
+// OpClass buckets ops for attribution.
+type OpClass uint8
+
+const (
+	OpSearch OpClass = iota
+	OpInsert
+	OpUpdate
+	OpDelete
+	OpScan
+	// OpBatchRead / OpBatchWrite cover the pipelined multi-key entry
+	// points; one batch records as one op.
+	OpBatchRead
+	OpBatchWrite
+	NumOpClasses
+)
+
+var opClassNames = [NumOpClasses]string{
+	"search", "insert", "update", "delete", "scan", "batch_read", "batch_write",
+}
+
+func (c OpClass) String() string {
+	if c < NumOpClasses {
+		return opClassNames[c]
+	}
+	return "op?"
+}
+
+// Flight is one client's recording handle. dmsim charges verb timing
+// into it; index layers bracket ops with Begin/End and label narrower
+// phases with SetPhase. A Flight is owned by its client's goroutine and
+// is not safe for concurrent use (exactly like the dmsim.Client it
+// rides on). Nil-safe: every method no-ops on a nil *Flight, so the
+// disabled path costs one branch.
+type Flight struct {
+	rec    *FlightRecorder
+	client int64
+
+	depth int // Begin/End nesting; the outermost op wins
+	class OpClass
+	seq   int64 // per-client op sequence, the exemplar tie-break
+	start int64
+	cur   Phase
+	led   [NumPhases]int64
+
+	// top holds this client's slowest exemplars per class, sorted
+	// slowest-first. Per-client capture needs no locks and merges
+	// deterministically at report time.
+	top [NumOpClasses][]exemplar
+}
+
+type exemplar struct {
+	client int64
+	seq    int64
+	start  int64
+	total  int64
+	led    [NumPhases]int64
+}
+
+// Begin opens an op of the given class at virtual time now. Nested
+// Begins (an op implemented on top of another instrumented op, e.g. a
+// combiner wrapping an index op) only deepen the nesting: the outermost
+// Begin/End pair defines the recorded op.
+func (f *Flight) Begin(class OpClass, now int64) {
+	if f == nil {
+		return
+	}
+	f.depth++
+	if f.depth > 1 {
+		return
+	}
+	f.class = class
+	f.start = now
+	f.cur = PhaseDescend
+	f.led = [NumPhases]int64{}
+}
+
+// End closes the current op at virtual time now and, for the outermost
+// nesting level, folds its ledger into the recorder.
+func (f *Flight) End(now int64) {
+	if f == nil || f.depth == 0 {
+		return
+	}
+	f.depth--
+	if f.depth > 0 {
+		return
+	}
+	f.seq++
+	f.rec.opDone(f, now)
+}
+
+// Recording reports whether an op is currently open.
+func (f *Flight) Recording() bool { return f != nil && f.depth > 0 }
+
+// SetPhase sets the active phase charged by ChargeActive (local compute,
+// verb propagation) and returns the previous one, so callers can bracket
+// a region and restore. No-op returning PhaseDescend on nil.
+func (f *Flight) SetPhase(p Phase) Phase {
+	if f == nil {
+		return PhaseDescend
+	}
+	prev := f.cur
+	f.cur = p
+	return prev
+}
+
+// ChargeActive charges ns to the active phase.
+func (f *Flight) ChargeActive(ns int64) {
+	if f == nil || f.depth == 0 || ns <= 0 {
+		return
+	}
+	f.led[f.cur] += ns
+}
+
+// Charge charges ns to an explicit phase.
+func (f *Flight) Charge(p Phase, ns int64) {
+	if f == nil || f.depth == 0 || ns <= 0 {
+		return
+	}
+	f.led[p] += ns
+}
+
+// ChargeVerb attributes one polled verb's clock jump to phases. The
+// verb's virtual timeline ends, in order: fault penalty, NIC queue, NIC
+// service, MN queue, MN service (both zero for plain verbs), return
+// propagation (rtt). The client's clock jump covers the LAST jump
+// nanoseconds of that timeline (pipelined verbs overlap their early
+// segments with work the client already did — and already charged), so
+// segments are peeled from the end. Propagation is charged to the
+// active phase: "descend" means round trips, not wire congestion.
+func (f *Flight) ChargeVerb(jump, penalty, nicQueue, nicSvc, mnQueue, mnSvc, rtt int64) {
+	if f == nil || f.depth == 0 || jump <= 0 {
+		return
+	}
+	peel := func(p Phase, ns int64) {
+		if jump <= 0 || ns <= 0 {
+			return
+		}
+		if ns > jump {
+			ns = jump
+		}
+		f.led[p] += ns
+		jump -= ns
+	}
+	peel(f.cur, rtt)
+	peel(PhaseMNService, mnSvc)
+	peel(PhaseMNQueue, mnQueue)
+	peel(PhaseNICService, nicSvc)
+	peel(PhaseNICQueue, nicQueue)
+	peel(PhaseFaultRetry, penalty)
+	// Anything left predates the verb (clock behind the whole verb
+	// timeline cannot happen — post charges issue overhead first — but
+	// stay total rather than silently losing nanoseconds).
+	peel(f.cur, jump)
+}
+
+// FlightConfig sizes a recorder. Zero fields take defaults.
+type FlightConfig struct {
+	// TopK is the number of slowest exemplars kept per op class
+	// (default 8).
+	TopK int
+
+	// TimelineWindowNs is the width of one timeline window in virtual ns
+	// (default 50µs); TimelineWindows is the ring size (default 512).
+	// The ring covers the last WindowNs*Windows virtual ns of the run;
+	// older windows are evicted and counted as dropped.
+	TimelineWindowNs int64
+	TimelineWindows  int
+}
+
+const (
+	defaultTopK             = 8
+	defaultTimelineWindowNs = 50_000
+	defaultTimelineWindows  = 512
+)
+
+// classAgg is the per-op-class attribution matrix: per-phase virtual-ns
+// sums overall (mean shares) and per latency bucket (tail shares — the
+// p99 story is "what were the slowest ops doing"), plus the class
+// latency histogram. All sums are atomic, hence order-independent and
+// deterministic for a deterministic run.
+type classAgg struct {
+	hist  Histogram
+	latNs atomic.Int64
+
+	phaseNs     [NumPhases]atomic.Int64
+	bucketLatNs [histBuckets]atomic.Int64
+	bucketPhase [histBuckets][NumPhases]atomic.Int64
+}
+
+// tlWindow is one timeline ring slot.
+type tlWindow struct {
+	mu      sync.Mutex
+	startNs int64 // virtual start of the window occupying the slot; -1 empty
+	ops     int64
+	lat     Histogram
+	nicBusy int64
+	mnBusy  int64
+}
+
+// FlightRecorder aggregates flight ledgers across every client of a
+// run: the attribution matrix, the slowest-exemplar capture, and the
+// windowed virtual-time timeline. Hook methods (opDone, AddNICBusy,
+// AddMNBusy) are safe for concurrent use; Reset and the report methods
+// must run while no ops are in flight (between bench phases), exactly
+// like Fabric.SetObserver. A nil recorder disables everything.
+type FlightRecorder struct {
+	topK     int
+	windowNs int64
+
+	classes [NumOpClasses]classAgg
+
+	origin  atomic.Int64 // timeline origin, set by Reset
+	windows []tlWindow
+	dropped atomic.Int64 // ops/spans outside the ring (evicted windows)
+
+	mu      sync.Mutex
+	flights []*Flight
+}
+
+// NewFlightRecorder builds a recorder.
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder {
+	if cfg.TopK <= 0 {
+		cfg.TopK = defaultTopK
+	}
+	if cfg.TimelineWindowNs <= 0 {
+		cfg.TimelineWindowNs = defaultTimelineWindowNs
+	}
+	if cfg.TimelineWindows <= 0 {
+		cfg.TimelineWindows = defaultTimelineWindows
+	}
+	r := &FlightRecorder{
+		topK:     cfg.TopK,
+		windowNs: cfg.TimelineWindowNs,
+		windows:  make([]tlWindow, cfg.TimelineWindows),
+	}
+	for i := range r.windows {
+		r.windows[i].startNs = -1
+	}
+	return r
+}
+
+// NewFlight registers a new per-client flight. Nil-safe: a nil recorder
+// hands out a nil flight, which disables recording for that client.
+func (r *FlightRecorder) NewFlight(clientID int64) *Flight {
+	if r == nil {
+		return nil
+	}
+	f := &Flight{rec: r, client: clientID}
+	r.mu.Lock()
+	r.flights = append(r.flights, f)
+	r.mu.Unlock()
+	return f
+}
+
+// Reset zeroes every aggregate, exemplar and window and re-origins the
+// timeline at originNs — the bench harness calls it when the measured
+// phase starts, so bulk-load traffic never pollutes attribution. Must
+// not race with in-flight ops.
+func (r *FlightRecorder) Reset(originNs int64) {
+	if r == nil {
+		return
+	}
+	for c := range r.classes {
+		a := &r.classes[c]
+		a.hist = Histogram{}
+		a.latNs.Store(0)
+		for p := range a.phaseNs {
+			a.phaseNs[p].Store(0)
+		}
+		for b := range a.bucketLatNs {
+			a.bucketLatNs[b].Store(0)
+			for p := range a.bucketPhase[b] {
+				a.bucketPhase[b][p].Store(0)
+			}
+		}
+	}
+	for i := range r.windows {
+		w := &r.windows[i]
+		w.mu.Lock()
+		w.startNs = -1
+		w.ops = 0
+		w.lat = Histogram{}
+		w.nicBusy = 0
+		w.mnBusy = 0
+		w.mu.Unlock()
+	}
+	r.dropped.Store(0)
+	r.origin.Store(originNs)
+	r.mu.Lock()
+	for _, f := range r.flights {
+		f.top = [NumOpClasses][]exemplar{}
+	}
+	r.mu.Unlock()
+}
+
+// opDone folds one finished op into the matrix, the exemplar capture
+// and the timeline.
+func (r *FlightRecorder) opDone(f *Flight, end int64) {
+	if r == nil {
+		return
+	}
+	total := end - f.start
+	if total < 0 {
+		total = 0
+	}
+	a := &r.classes[f.class]
+	a.hist.Observe(total)
+	a.latNs.Add(total)
+	b := bucketOf(total)
+	a.bucketLatNs[b].Add(total)
+	for p, ns := range f.led {
+		if ns != 0 {
+			a.phaseNs[p].Add(ns)
+			a.bucketPhase[b][p].Add(ns)
+		}
+	}
+	f.insertExemplar(total)
+
+	// Timeline: the op lands in the window containing its completion.
+	if w, wstart, ok := r.slot(end); ok {
+		w.mu.Lock()
+		if r.claim(w, wstart) {
+			w.ops++
+			w.lat.Observe(total)
+		}
+		w.mu.Unlock()
+	}
+}
+
+// insertExemplar keeps the flight's per-class top-K slowest ops, sorted
+// slowest-first; equal totals keep the earlier op (lower seq).
+func (f *Flight) insertExemplar(total int64) {
+	k := f.rec.topK
+	top := f.top[f.class]
+	if len(top) == k && total <= top[k-1].total {
+		return
+	}
+	e := exemplar{client: f.client, seq: f.seq, start: f.start, total: total, led: f.led}
+	i := sort.Search(len(top), func(i int) bool { return top[i].total < total })
+	if len(top) < k {
+		top = append(top, exemplar{})
+	}
+	copy(top[i+1:], top[i:])
+	top[i] = e
+	f.top[f.class] = top
+}
+
+// slot maps a virtual time to its ring slot and window start. ok=false
+// before the timeline origin.
+func (r *FlightRecorder) slot(t int64) (*tlWindow, int64, bool) {
+	org := r.origin.Load()
+	if t < org {
+		return nil, 0, false
+	}
+	idx := (t - org) / r.windowNs
+	w := &r.windows[idx%int64(len(r.windows))]
+	return w, org + idx*r.windowNs, true
+}
+
+// claim prepares a locked slot for the window starting at wstart:
+// reuses it in place, recycles it from an older window, or refuses when
+// the slot has already moved on to a newer window (the sample is late;
+// it lands in dropped). Callers hold w.mu.
+func (r *FlightRecorder) claim(w *tlWindow, wstart int64) bool {
+	switch {
+	case w.startNs == wstart:
+		return true
+	case w.startNs > wstart:
+		r.dropped.Add(1)
+		return false
+	default:
+		if w.startNs >= 0 && w.ops > 0 {
+			r.dropped.Add(w.ops)
+		}
+		w.startNs = wstart
+		w.ops = 0
+		w.lat = Histogram{}
+		w.nicBusy = 0
+		w.mnBusy = 0
+		return true
+	}
+}
+
+// AddNICBusy charges a NIC service span [start, end) to the timeline's
+// per-window NIC busy accumulators, split across window boundaries.
+func (r *FlightRecorder) AddNICBusy(start, end int64) {
+	r.addBusy(start, end, false)
+}
+
+// AddMNBusy charges an MN CPU service span to the timeline.
+func (r *FlightRecorder) AddMNBusy(start, end int64) {
+	r.addBusy(start, end, true)
+}
+
+func (r *FlightRecorder) addBusy(start, end int64, mn bool) {
+	if r == nil || end <= start {
+		return
+	}
+	if org := r.origin.Load(); start < org {
+		start = org
+		if end <= start {
+			return
+		}
+	}
+	// Walk the covered windows; a span longer than the whole ring keeps
+	// only its last ring-span worth (older windows would be evicted
+	// immediately anyway).
+	span := r.windowNs * int64(len(r.windows))
+	if end-start > span {
+		start = end - span
+	}
+	for start < end {
+		w, wstart, ok := r.slot(start)
+		if !ok {
+			return
+		}
+		wend := wstart + r.windowNs
+		chunk := end - start
+		if m := wend - start; m < chunk {
+			chunk = m
+		}
+		w.mu.Lock()
+		if r.claim(w, wstart) {
+			if mn {
+				w.mnBusy += chunk
+			} else {
+				w.nicBusy += chunk
+			}
+		}
+		w.mu.Unlock()
+		start = wend
+	}
+}
+
+// Exemplar is one captured slow op in a report.
+type Exemplar struct {
+	Client  int64            `json:"client"`
+	Seq     int64            `json:"seq"`
+	StartNs int64            `json:"start_ns"`
+	TotalNs int64            `json:"total_ns"`
+	PhaseNs map[string]int64 `json:"phase_ns"`
+}
+
+// PhaseShare maps phase name to its share of measured latency.
+type PhaseShare map[string]float64
+
+// ClassAttribution is the attribution of one op class.
+type ClassAttribution struct {
+	Class  string  `json:"class"`
+	Ops    int64   `json:"ops"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+
+	// MeanShare decomposes the class's total measured latency;
+	// TailShare decomposes the latency of the ops in the p99 bucket and
+	// above. Coverage / TailCoverage is the fraction of that latency
+	// the ledger explains (the bench pins >= 0.95).
+	MeanShare    PhaseShare `json:"mean_share"`
+	TailShare    PhaseShare `json:"tail_share"`
+	Coverage     float64    `json:"coverage"`
+	TailCoverage float64    `json:"tail_coverage"`
+
+	Exemplars []Exemplar `json:"exemplars"`
+}
+
+// AttributionReport is the recorder's folded view: one entry per op
+// class that recorded ops, in fixed class order.
+type AttributionReport struct {
+	Phases  []string           `json:"phases"`
+	Classes []ClassAttribution `json:"classes"`
+}
+
+// Attribution folds the matrix into shares. Call quiesced (no ops in
+// flight).
+func (r *FlightRecorder) Attribution() AttributionReport {
+	rep := AttributionReport{Phases: PhaseNames()}
+	if r == nil {
+		return rep
+	}
+	for ci := OpClass(0); ci < NumOpClasses; ci++ {
+		a := &r.classes[ci]
+		n := a.hist.Count()
+		if n == 0 {
+			continue
+		}
+		ca := ClassAttribution{
+			Class:     ci.String(),
+			Ops:       n,
+			MeanNs:    a.hist.Mean(),
+			P50Ns:     a.hist.Quantile(0.50),
+			P99Ns:     a.hist.Quantile(0.99),
+			MeanShare: PhaseShare{},
+			TailShare: PhaseShare{},
+			Exemplars: r.exemplars(ci),
+		}
+		lat := a.latNs.Load()
+		b99 := bucketOf(ca.P99Ns)
+		var tailLat int64
+		var tailPhase [NumPhases]int64
+		for b := b99; b < histBuckets; b++ {
+			tailLat += a.bucketLatNs[b].Load()
+			for p := range tailPhase {
+				tailPhase[p] += a.bucketPhase[b][p].Load()
+			}
+		}
+		var cov, tailCov int64
+		for p := Phase(0); p < NumPhases; p++ {
+			ns := a.phaseNs[p].Load()
+			cov += ns
+			tailCov += tailPhase[p]
+			if lat > 0 {
+				ca.MeanShare[p.String()] = float64(ns) / float64(lat)
+			}
+			if tailLat > 0 {
+				ca.TailShare[p.String()] = float64(tailPhase[p]) / float64(tailLat)
+			}
+		}
+		if lat > 0 {
+			ca.Coverage = float64(cov) / float64(lat)
+		}
+		if tailLat > 0 {
+			ca.TailCoverage = float64(tailCov) / float64(tailLat)
+		}
+		rep.Classes = append(rep.Classes, ca)
+	}
+	return rep
+}
+
+// exemplars merges every client's per-class top-K into the global top-K,
+// ordered by (total desc, client asc, seq asc) — a total order, so the
+// pick is deterministic however clients interleaved.
+func (r *FlightRecorder) exemplars(class OpClass) []Exemplar {
+	r.mu.Lock()
+	var all []exemplar
+	for _, f := range r.flights {
+		all = append(all, f.top[class]...)
+	}
+	r.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].total != all[j].total {
+			return all[i].total > all[j].total
+		}
+		if all[i].client != all[j].client {
+			return all[i].client < all[j].client
+		}
+		return all[i].seq < all[j].seq
+	})
+	if len(all) > r.topK {
+		all = all[:r.topK]
+	}
+	out := make([]Exemplar, 0, len(all))
+	for _, e := range all {
+		x := Exemplar{Client: e.client, Seq: e.seq, StartNs: e.start, TotalNs: e.total,
+			PhaseNs: map[string]int64{}}
+		for p, ns := range e.led {
+			if ns != 0 {
+				x.PhaseNs[Phase(p).String()] = ns
+			}
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// TimelineWindow is one populated window of the timeline report.
+type TimelineWindow struct {
+	StartNs        int64   `json:"start_ns"`
+	Ops            int64   `json:"ops"`
+	ThroughputMops float64 `json:"throughput_mops"`
+	P50Ns          int64   `json:"p50_ns"`
+	P99Ns          int64   `json:"p99_ns"`
+	NICBusyNs      int64   `json:"nic_busy_ns"`
+	MNBusyNs       int64   `json:"mn_busy_ns"`
+
+	// Utilizations are busy time over window width times resource count
+	// (see Timeline's arguments); zero when the count was unknown.
+	NICUtilization float64 `json:"nic_utilization"`
+	MNUtilization  float64 `json:"mn_utilization"`
+}
+
+// TimelineReport is the windowed virtual-time view of a run.
+type TimelineReport struct {
+	WindowNs int64            `json:"window_ns"`
+	OriginNs int64            `json:"origin_ns"`
+	Dropped  int64            `json:"dropped"`
+	Windows  []TimelineWindow `json:"windows"`
+}
+
+// Timeline snapshots the ring, oldest window first. nics and mnCores
+// normalize the per-window busy accumulators into utilizations (pass 0
+// to skip). Call quiesced.
+func (r *FlightRecorder) Timeline(nics, mnCores int) TimelineReport {
+	rep := TimelineReport{}
+	if r == nil {
+		return rep
+	}
+	rep.WindowNs = r.windowNs
+	rep.OriginNs = r.origin.Load()
+	rep.Dropped = r.dropped.Load()
+	for i := range r.windows {
+		w := &r.windows[i]
+		w.mu.Lock()
+		if w.startNs >= 0 {
+			tw := TimelineWindow{
+				StartNs:   w.startNs,
+				Ops:       w.ops,
+				NICBusyNs: w.nicBusy,
+				MNBusyNs:  w.mnBusy,
+			}
+			if w.ops > 0 {
+				tw.ThroughputMops = float64(w.ops) * 1e3 / float64(r.windowNs)
+				tw.P50Ns = w.lat.Quantile(0.50)
+				tw.P99Ns = w.lat.Quantile(0.99)
+			}
+			if nics > 0 {
+				tw.NICUtilization = float64(w.nicBusy) / float64(r.windowNs*int64(nics))
+			}
+			if mnCores > 0 {
+				tw.MNUtilization = float64(w.mnBusy) / float64(r.windowNs*int64(mnCores))
+			}
+			rep.Windows = append(rep.Windows, tw)
+		}
+		w.mu.Unlock()
+	}
+	sort.Slice(rep.Windows, func(i, j int) bool { return rep.Windows[i].StartNs < rep.Windows[j].StartNs })
+	return rep
+}

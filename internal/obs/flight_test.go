@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// ledgerOf folds a recorder's attribution for one class into a plain
+// phase→ns map via the share report, scaled back by total latency.
+func classOf(t *testing.T, r *FlightRecorder, class OpClass) ClassAttribution {
+	t.Helper()
+	for _, ca := range r.Attribution().Classes {
+		if ca.Class == class.String() {
+			return ca
+		}
+	}
+	t.Fatalf("class %s not in report", class)
+	return ClassAttribution{}
+}
+
+// TestChargeVerbPeel checks the end-first peel: the clock jump covers
+// the LAST jump nanoseconds of the verb timeline, so with full overlap
+// the queue/penalty segments (earliest) are attributed least.
+func TestChargeVerbPeel(t *testing.T) {
+	r := NewFlightRecorder(FlightConfig{})
+	f := r.NewFlight(1)
+	f.Begin(OpSearch, 0)
+	// Unpipelined: jump equals the whole timeline.
+	f.ChargeVerb(100+200+300+0+0+50, 100, 200, 300, 0, 0, 50)
+	if want := [NumPhases]int64{
+		PhaseDescend:    50,
+		PhaseNICQueue:   200,
+		PhaseNICService: 300,
+		PhaseFaultRetry: 100,
+	}; f.led != want {
+		t.Errorf("unpipelined peel: got %v want %v", f.led, want)
+	}
+	f.led = [NumPhases]int64{}
+	// Pipelined: the client polled late, only the last 400ns of the
+	// timeline remain — rtt(50) + mnSvc(0) + nicSvc(300) + 50 of queue.
+	f.ChargeVerb(400, 100, 200, 300, 0, 0, 50)
+	if want := [NumPhases]int64{
+		PhaseDescend:    50,
+		PhaseNICQueue:   50,
+		PhaseNICService: 300,
+	}; f.led != want {
+		t.Errorf("pipelined peel: got %v want %v", f.led, want)
+	}
+	f.led = [NumPhases]int64{}
+	// Offload verb with MN segments, active phase relabeled.
+	f.SetPhase(PhaseCacheLookup)
+	f.ChargeVerb(10+20+30+40+50+60, 10, 20, 30, 40, 50, 60)
+	if want := [NumPhases]int64{
+		PhaseCacheLookup: 60,
+		PhaseMNService:   50,
+		PhaseMNQueue:     40,
+		PhaseNICService:  30,
+		PhaseNICQueue:    20,
+		PhaseFaultRetry:  10,
+	}; f.led != want {
+		t.Errorf("offload peel: got %v want %v", f.led, want)
+	}
+	f.End(210)
+	ca := classOf(t, r, OpSearch)
+	if ca.Ops != 1 {
+		t.Fatalf("ops = %d", ca.Ops)
+	}
+	// Σcharges = 550+400+210 > total 210, but coverage is per-class
+	// Σphase/Σlatency and this synthetic op over-charged deliberately;
+	// just check the shares exist for every charged phase.
+	for _, ph := range []Phase{PhaseCacheLookup, PhaseMNService, PhaseNICQueue} {
+		if ca.MeanShare[ph.String()] == 0 {
+			t.Errorf("share for %s missing", ph)
+		}
+	}
+}
+
+// TestFlightNesting: inner Begin/End pairs are absorbed; charges land
+// on the outermost op.
+func TestFlightNesting(t *testing.T) {
+	r := NewFlightRecorder(FlightConfig{})
+	f := r.NewFlight(1)
+	f.Begin(OpUpdate, 0)
+	f.Begin(OpSearch, 10) // nested: ignored
+	f.ChargeActive(5)
+	f.End(20)
+	if !f.Recording() {
+		t.Fatal("outer op should still be open")
+	}
+	f.ChargeActive(7)
+	f.End(100)
+	rep := r.Attribution()
+	if len(rep.Classes) != 1 || rep.Classes[0].Class != "update" {
+		t.Fatalf("want one update class, got %+v", rep.Classes)
+	}
+	ca := rep.Classes[0]
+	if ca.Ops != 1 || ca.MeanNs != 100 {
+		t.Errorf("ops=%d mean=%v, want 1 op of 100ns", ca.Ops, ca.MeanNs)
+	}
+	if got := ca.MeanShare["descend"]; got != 0.12 {
+		t.Errorf("descend share = %v, want 0.12 (12ns of 100)", got)
+	}
+}
+
+// TestExemplarDeterminism: exemplars are ranked (total desc, client
+// asc, seq asc) and truncated to K, independent of recording order.
+func TestExemplarDeterminism(t *testing.T) {
+	run := func(order []int) []Exemplar {
+		r := NewFlightRecorder(FlightConfig{TopK: 3})
+		flights := []*Flight{r.NewFlight(0), r.NewFlight(1), r.NewFlight(2)}
+		// Ops: (client, total): (0,500) (1,500) (2,900) (0,100) (1,700)
+		ops := []struct {
+			cl    int
+			total int64
+		}{{0, 500}, {1, 500}, {2, 900}, {0, 100}, {1, 700}}
+		for _, i := range order {
+			op := ops[i]
+			f := flights[op.cl]
+			f.Begin(OpSearch, 1000)
+			f.ChargeActive(op.total)
+			f.End(1000 + op.total)
+		}
+		return r.exemplars(OpSearch)
+	}
+	a := run([]int{0, 1, 2, 3, 4})
+	b := run([]int{4, 3, 2, 1, 0})
+	// Reverse order changes per-client seqs, so compare ranked totals
+	// and clients only.
+	key := func(es []Exemplar) [][2]int64 {
+		var out [][2]int64
+		for _, e := range es {
+			out = append(out, [2]int64{e.TotalNs, e.Client})
+		}
+		return out
+	}
+	want := [][2]int64{{900, 2}, {700, 1}, {500, 0}}
+	if !reflect.DeepEqual(key(a), want) {
+		t.Errorf("order A: got %v want %v", key(a), want)
+	}
+	if !reflect.DeepEqual(key(b), want) {
+		t.Errorf("order B: got %v want %v", key(b), want)
+	}
+	if len(a) != 3 {
+		t.Errorf("topK not enforced: %d exemplars", len(a))
+	}
+}
+
+// TestTimelineWindows: ops land in the window of their completion,
+// busy spans split across boundaries, and utilization normalizes by
+// resource count.
+func TestTimelineWindows(t *testing.T) {
+	r := NewFlightRecorder(FlightConfig{TimelineWindowNs: 100, TimelineWindows: 8})
+	r.Reset(1000)
+	f := r.NewFlight(1)
+	for _, end := range []int64{1010, 1090, 1150, 1310} {
+		f.Begin(OpSearch, end-5)
+		f.End(end)
+	}
+	r.AddNICBusy(1080, 1120) // 20ns in window 0, 20ns in window 1
+	r.AddMNBusy(1300, 1350)  // 50ns in window 3
+	tl := r.Timeline(2, 4)
+	if len(tl.Windows) != 3 {
+		t.Fatalf("want 3 populated windows, got %d: %+v", len(tl.Windows), tl.Windows)
+	}
+	w0, w1, w3 := tl.Windows[0], tl.Windows[1], tl.Windows[2]
+	if w0.StartNs != 1000 || w0.Ops != 2 || w0.NICBusyNs != 20 {
+		t.Errorf("window0: %+v", w0)
+	}
+	if w1.StartNs != 1100 || w1.Ops != 1 || w1.NICBusyNs != 20 {
+		t.Errorf("window1: %+v", w1)
+	}
+	if w3.StartNs != 1300 || w3.Ops != 1 || w3.MNBusyNs != 50 {
+		t.Errorf("window3: %+v", w3)
+	}
+	if want := 20.0 / (100 * 2); w0.NICUtilization != want {
+		t.Errorf("nic utilization = %v, want %v", w0.NICUtilization, want)
+	}
+	if want := 50.0 / (100 * 4); w3.MNUtilization != want {
+		t.Errorf("mn utilization = %v, want %v", w3.MNUtilization, want)
+	}
+	if tl.Dropped != 0 {
+		t.Errorf("dropped = %d", tl.Dropped)
+	}
+	// Wrap the 8-slot ring: a completion 8 windows later recycles the
+	// slot of window 0 and evicts its ops into the dropped counter.
+	f.Begin(OpSearch, 1845)
+	f.End(1850) // window start 1800 → slot (1800-1000)/100 = 8 ≡ 0 mod 8
+	tl = r.Timeline(0, 0)
+	if tl.Dropped != 2 {
+		t.Errorf("after ring wrap: dropped = %d, want 2 (window0's ops)", tl.Dropped)
+	}
+}
+
+// TestFlightReset: Reset wipes aggregates, exemplars and windows, and
+// re-origins the timeline.
+func TestFlightReset(t *testing.T) {
+	r := NewFlightRecorder(FlightConfig{TimelineWindowNs: 100, TimelineWindows: 4})
+	f := r.NewFlight(1)
+	f.Begin(OpInsert, 0)
+	f.ChargeActive(40)
+	f.End(50)
+	if len(r.Attribution().Classes) != 1 {
+		t.Fatal("op not recorded")
+	}
+	r.Reset(5000)
+	rep := r.Attribution()
+	if len(rep.Classes) != 0 {
+		t.Errorf("aggregates survived Reset: %+v", rep.Classes)
+	}
+	if got := r.exemplars(OpInsert); len(got) != 0 {
+		t.Errorf("exemplars survived Reset: %+v", got)
+	}
+	tl := r.Timeline(0, 0)
+	if tl.OriginNs != 5000 || len(tl.Windows) != 0 {
+		t.Errorf("timeline survived Reset: %+v", tl)
+	}
+	// Pre-origin completions are ignored; post-origin ones land.
+	r.AddNICBusy(100, 200)
+	f.Begin(OpInsert, 5010)
+	f.End(5020)
+	tl = r.Timeline(0, 0)
+	if len(tl.Windows) != 1 || tl.Windows[0].NICBusyNs != 0 {
+		t.Errorf("post-Reset timeline wrong: %+v", tl.Windows)
+	}
+}
+
+// TestNilFlightSafe: the disabled path (nil recorder, nil flight) is
+// inert for every method.
+func TestNilFlightSafe(t *testing.T) {
+	var r *FlightRecorder
+	f := r.NewFlight(1)
+	if f != nil {
+		t.Fatal("nil recorder must hand out nil flights")
+	}
+	f.Begin(OpSearch, 0)
+	f.ChargeActive(10)
+	f.Charge(PhaseNICQueue, 10)
+	f.ChargeVerb(10, 0, 0, 5, 0, 0, 5)
+	if f.SetPhase(PhaseLockBackoff) != PhaseDescend {
+		t.Error("nil SetPhase should report PhaseDescend")
+	}
+	if f.Recording() {
+		t.Error("nil flight is recording?")
+	}
+	f.End(10)
+	r.Reset(0)
+	r.AddNICBusy(0, 10)
+	if got := r.Attribution(); len(got.Classes) != 0 {
+		t.Error("nil recorder attribution non-empty")
+	}
+}
+
+// TestSnapshotDumpDeterministic pins the registry dump contract: sorted
+// by instrument name, one line per instrument, byte-identical however
+// the registry was populated.
+func TestSnapshotDumpDeterministic(t *testing.T) {
+	build := func(order []func(r *Registry)) string {
+		r := NewRegistry()
+		for _, f := range order {
+			f(r)
+		}
+		return r.Snapshot().Dump()
+	}
+	fill := []func(r *Registry){
+		func(r *Registry) { r.Counter("idx.retry").Add(3) },
+		func(r *Registry) { r.Gauge("dm.nic.depth").Set(7) },
+		func(r *Registry) { r.Histogram("dm.nic.service_ns").Observe(400) },
+		func(r *Registry) { r.Counter("bench.ops").Add(11) },
+	}
+	a := build(fill)
+	b := build([]func(r *Registry){fill[3], fill[2], fill[1], fill[0]})
+	if a != b {
+		t.Errorf("dump depends on population order:\n%s\nvs\n%s", a, b)
+	}
+	want := "bench.ops counter 11\n" +
+		"dm.nic.depth gauge 7 max 7\n" +
+		"dm.nic.service_ns hist count 1 mean 400.0 p50 408 p99 408 max 408\n" +
+		"idx.retry counter 3\n"
+	if a != want {
+		t.Errorf("dump format drifted:\ngot:\n%swant:\n%s", a, want)
+	}
+}

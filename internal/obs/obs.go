@@ -95,12 +95,14 @@ func (g *Gauge) Max() int64 {
 	return g.max.Load()
 }
 
-// Sink bundles the two observation channels: a Registry of aggregate
-// instruments and an optional Tracer of timestamped events. A nil *Sink
-// disables both.
+// Sink bundles the observation channels: a Registry of aggregate
+// instruments, an optional Tracer of timestamped events, and an
+// optional per-op FlightRecorder (flight.go). A nil *Sink disables all
+// of them.
 type Sink struct {
 	reg *Registry
 	tr  *Tracer
+	fr  *FlightRecorder
 }
 
 // NewSink returns a sink with a fresh registry and, when trace is true,
@@ -130,6 +132,25 @@ func (s *Sink) Tracer() *Tracer {
 	return s.tr
 }
 
+// SetFlightRecorder attaches a per-op flight recorder to the sink.
+// Attach before wiring the sink into fabrics and compute nodes
+// (SetObserver resolves and caches the recorder pointer); a sink
+// without one records no flights.
+func (s *Sink) SetFlightRecorder(fr *FlightRecorder) {
+	if s != nil {
+		s.fr = fr
+	}
+}
+
+// FlightRecorder returns the sink's flight recorder (nil for a nil sink
+// or a sink without one).
+func (s *Sink) FlightRecorder() *FlightRecorder {
+	if s == nil {
+		return nil
+	}
+	return s.fr
+}
+
 // IndexInstruments is the uniform per-index event set every index
 // client resolves from a sink at construction. The zero value (all nil)
 // is the disabled state; every field is individually nil-safe.
@@ -156,6 +177,10 @@ func (s *Sink) Tracer() *Tracer {
 //     metadata) or re-read and re-validated under the stolen lock.
 type IndexInstruments struct {
 	Tracer *Tracer
+
+	// Flight, when non-nil, is the per-op flight recorder the index's
+	// clients register their Flights with (see flight.go).
+	Flight *FlightRecorder
 
 	Retries       *Counter
 	TornReads     *Counter
@@ -196,6 +221,7 @@ func ResolveIndex(s *Sink) IndexInstruments {
 	r := s.Registry()
 	return IndexInstruments{
 		Tracer:        s.Tracer(),
+		Flight:        s.FlightRecorder(),
 		Retries:       r.Counter(NameRetry),
 		TornReads:     r.Counter(NameTornRead),
 		LockBackoffs:  r.Counter(NameLockBackoff),

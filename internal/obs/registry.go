@@ -2,7 +2,9 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -122,6 +124,31 @@ func (s Snapshot) CounterDelta(prev Snapshot, name string) int64 {
 func (s Snapshot) MarshalJSON() ([]byte, error) {
 	type alias Snapshot
 	return json.Marshal(alias(s))
+}
+
+// Dump renders the snapshot as text, one instrument per line sorted by
+// name, each tagged with its kind. The order is pinned (by test), so
+// two dumps of equal registries are byte-identical and diff cleanly —
+// the consumption contract for golden files and artifact diffing.
+func (s Snapshot) Dump() string {
+	type line struct{ name, rest string }
+	var lines []line
+	for n, v := range s.Counters {
+		lines = append(lines, line{n, fmt.Sprintf("counter %d", v)})
+	}
+	for n, g := range s.Gauges {
+		lines = append(lines, line{n, fmt.Sprintf("gauge %d max %d", g.Value, g.Max)})
+	}
+	for n, h := range s.Histograms {
+		lines = append(lines, line{n, fmt.Sprintf("hist count %d mean %.1f p50 %d p99 %d max %d",
+			h.Count, h.MeanNs, h.P50Ns, h.P99Ns, h.MaxNs)})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	var b strings.Builder
+	for _, l := range lines {
+		fmt.Fprintf(&b, "%s %s\n", l.name, l.rest)
+	}
+	return b.String()
 }
 
 // Names returns every instrument name in the snapshot, sorted — handy

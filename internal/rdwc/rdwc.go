@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"chime/internal/dmsim"
+	"chime/internal/obs"
 )
 
 // readFlight is one in-flight delegated read.
@@ -110,11 +111,20 @@ func (c *Combiner) NoteExternalCombined(n int64) {
 // (suspended from the time gate) and adopt the leader's result and
 // completion time.
 func (c *Combiner) Read(dc *dmsim.Client, key uint64, fn func() ([]byte, error)) ([]byte, error) {
+	// Record followers as ops in their own right: the leader's nested
+	// index op is absorbed by flight reentrancy, and a follower — whose
+	// fn never runs — still ledgers its wait as write-combine time.
+	if fr := dc.Flight(); fr != nil {
+		fr.Begin(obs.OpSearch, dc.Now())
+		defer func() { fr.End(dc.Now()) }()
+	}
 	now := dc.Now()
 	c.mu.Lock()
 	if fl, ok := c.reads[key]; ok && now <= fl.startAt+c.window && now+c.window >= fl.startAt {
 		c.delegated++
 		c.mu.Unlock()
+		fr := dc.Flight()
+		prev := fr.SetPhase(obs.PhaseWriteCombine)
 		suspended := dc.Suspend()
 		<-fl.done
 		if suspended {
@@ -122,6 +132,7 @@ func (c *Combiner) Read(dc *dmsim.Client, key uint64, fn func() ([]byte, error))
 		} else if fl.doneAt > dc.Now() {
 			dc.Advance(fl.doneAt - dc.Now())
 		}
+		fr.SetPhase(prev)
 		return fl.val, fl.err
 	}
 	if _, ok := c.reads[key]; ok {
@@ -151,6 +162,10 @@ func (c *Combiner) Read(dc *dmsim.Client, key uint64, fn func() ([]byte, error))
 // finishes, it writes the latest pending value too, so every combined
 // caller's durability obligation is met with at most two remote writes.
 func (c *Combiner) Write(dc *dmsim.Client, key uint64, value []byte, fn func(v []byte) error) error {
+	if fr := dc.Flight(); fr != nil {
+		fr.Begin(obs.OpUpdate, dc.Now())
+		defer func() { fr.End(dc.Now()) }()
+	}
 	now := dc.Now()
 	c.mu.Lock()
 	// Writes combine with any in-flight same-key write that is not in
@@ -169,6 +184,8 @@ func (c *Combiner) Write(dc *dmsim.Client, key uint64, value []byte, fn func(v [
 		c.combined++
 		c.mu.Unlock()
 
+		fr := dc.Flight()
+		prev := fr.SetPhase(obs.PhaseWriteCombine)
 		suspended := dc.Suspend()
 		res := <-ch
 		if suspended {
@@ -176,6 +193,7 @@ func (c *Combiner) Write(dc *dmsim.Client, key uint64, value []byte, fn func(v [
 		} else if res.doneAt > dc.Now() {
 			dc.Advance(res.doneAt - dc.Now())
 		}
+		fr.SetPhase(prev)
 		return res.err
 	}
 	if _, ok := c.writes[key]; ok {

@@ -8,6 +8,7 @@ import (
 	"chime/internal/dmsim"
 	"chime/internal/lease"
 	"chime/internal/nodelayout"
+	"chime/internal/obs"
 )
 
 // readGroup fetches a leaf group's main leaf and overflow buddy in one
@@ -72,7 +73,7 @@ func (c *Client) findIn(img []byte, key uint64) (int, entry) {
 // its buddy are fetched; otherwise both whole leaves are.
 func (c *Client) searchOneSided(key uint64) ([]byte, error) {
 	g := c.ix.route(key)
-	c.dc.Advance(150)
+	c.chargeModel()
 	if c.ix.lay.hop {
 		e, found, err := c.searchHopGroup(g, key)
 		if err != nil {
@@ -146,6 +147,10 @@ func (c *Client) resolve(e entry, key uint64) ([]byte, error) {
 // lockGroup serializes writers on a leaf group via the main leaf's lock
 // word, with same-CN contention absorbed by the local lock table.
 func (c *Client) lockGroup(g int) error {
+	// All time until the lock is held — handover waits, CAS round
+	// trips, backoff — is lock time in the flight ledger.
+	fl := c.dc.Flight()
+	defer fl.SetPhase(fl.SetPhase(obs.PhaseLockBackoff))
 	addr := c.ix.groupMain(g)
 	if c.ix.opts.LeaseLocks {
 		return c.lockGroupLease(addr, g)
@@ -276,12 +281,16 @@ func (c *Client) Insert(key uint64, value []byte) error {
 	if sp := c.obs.Tracer.Begin("rolex.insert", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
 		defer func() { sp.End(c.dc.Now()) }()
 	}
+	if fl := c.dc.Flight(); fl != nil {
+		fl.Begin(obs.OpInsert, c.dc.Now())
+		defer func() { fl.End(c.dc.Now()) }()
+	}
 	val, err := c.prepareValue(key, value)
 	if err != nil {
 		return err
 	}
 	g := c.ix.route(key)
-	c.dc.Advance(150)
+	c.chargeModel()
 	if err := c.lockGroup(g); err != nil {
 		return err
 	}
@@ -381,12 +390,16 @@ func (c *Client) Delete(key uint64) error {
 	if sp := c.obs.Tracer.Begin("rolex.delete", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
 		defer func() { sp.End(c.dc.Now()) }()
 	}
+	if fl := c.dc.Flight(); fl != nil {
+		fl.Begin(obs.OpDelete, c.dc.Now())
+		defer func() { fl.End(c.dc.Now()) }()
+	}
 	return c.modify(key, nil)
 }
 
 func (c *Client) modify(key uint64, val *[]byte) error {
 	g := c.ix.route(key)
-	c.dc.Advance(150)
+	c.chargeModel()
 	if err := c.lockGroup(g); err != nil {
 		return err
 	}
@@ -452,7 +465,7 @@ type KV struct {
 // ROLEX's small span makes scans cheap.
 func (c *Client) scanOneSided(start uint64, count int) ([]KV, error) {
 	g := c.ix.route(start)
-	c.dc.Advance(150)
+	c.chargeModel()
 	var out []KV
 	for ; g < c.ix.numGroups; g++ {
 		main, buddy, err := c.readGroup(g)

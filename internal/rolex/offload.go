@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"chime/internal/dmsim"
+	"chime/internal/obs"
 )
 
 // Public operation entry points and the hybrid one-sided/offload router
@@ -28,6 +29,10 @@ func (c *Client) Search(key uint64) ([]byte, error) {
 	if sp := c.obs.Tracer.Begin("rolex.search", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
 		defer func() { sp.End(c.dc.Now()) }()
 	}
+	if fl := c.dc.Flight(); fl != nil {
+		fl.Begin(obs.OpSearch, c.dc.Now())
+		defer func() { fl.End(c.dc.Now()) }()
+	}
 	if c.router == nil {
 		return c.searchOneSided(key)
 	}
@@ -39,7 +44,7 @@ func (c *Client) Search(key uint64) ([]byte, error) {
 	}
 	t0 := c.dc.Now()
 	g := c.ix.route(key)
-	c.dc.Advance(150) // CN-side model inference, same as one-sided
+	c.chargeModel()
 	n, st, err := c.dc.LeafSearchAtMN(c.ix.mnprog, c.ix.offMN, key, uint64(g), c.offBuf)
 	if err != nil {
 		return nil, err
@@ -62,6 +67,10 @@ func (c *Client) Update(key uint64, value []byte) error {
 	if sp := c.obs.Tracer.Begin("rolex.update", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
 		defer func() { sp.End(c.dc.Now()) }()
 	}
+	if fl := c.dc.Flight(); fl != nil {
+		fl.Begin(obs.OpUpdate, c.dc.Now())
+		defer func() { fl.End(c.dc.Now()) }()
+	}
 	if c.router == nil || !c.ix.offloadUpdateOK() {
 		return c.updateOneSided(key, value)
 	}
@@ -73,7 +82,7 @@ func (c *Client) Update(key uint64, value []byte) error {
 	}
 	t0 := c.dc.Now()
 	g := c.ix.route(key)
-	c.dc.Advance(150)
+	c.chargeModel()
 	st, err := c.dc.CompareAndCASAtMN(c.ix.mnprog, c.ix.offMN, key, uint64(g), value)
 	if err != nil {
 		return err
@@ -99,6 +108,10 @@ func (c *Client) Scan(start uint64, count int) ([]KV, error) {
 	if sp := c.obs.Tracer.Begin("rolex.scan", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
 		defer func() { sp.End(c.dc.Now()) }()
 	}
+	if fl := c.dc.Flight(); fl != nil {
+		fl.Begin(obs.OpScan, c.dc.Now())
+		defer func() { fl.End(c.dc.Now()) }()
+	}
 	if c.router == nil {
 		return c.scanOneSided(start, count)
 	}
@@ -110,7 +123,7 @@ func (c *Client) Scan(start uint64, count int) ([]KV, error) {
 	}
 	t0 := c.dc.Now()
 	g := c.ix.route(start)
-	c.dc.Advance(150)
+	c.chargeModel()
 	recSize := 8 + c.ix.opts.ValueSize
 	dst := make([]byte, count*recSize)
 	n, st, err := c.dc.ScatterGatherScan(c.ix.mnprog, c.ix.offMN, start, uint64(g), count, dst)

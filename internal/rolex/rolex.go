@@ -408,6 +408,7 @@ type Client struct {
 // NewClient creates a client bound to the compute node.
 func (cn *ComputeNode) NewClient() *Client {
 	dc := cn.ix.fabric.NewClient()
+	dc.SetFlight(cn.obs.Flight.NewFlight(dc.ID()))
 	bufSize := cn.ix.opts.ValueSize
 	if bufSize < 8 {
 		bufSize = 8
@@ -432,4 +433,14 @@ func (c *Client) yield() {
 	}
 	c.dc.Advance(c.backoff)
 	runtime.Gosched()
+}
+
+// chargeModel charges the CN-side learned-model inference that routes a
+// key to its leaf group, labeled as cache-lookup time in the flight
+// ledger (model inference is ROLEX's analog of the index-cache probe).
+func (c *Client) chargeModel() {
+	fl := c.dc.Flight()
+	prev := fl.SetPhase(obs.PhaseCacheLookup)
+	c.dc.Advance(150)
+	fl.SetPhase(prev)
 }

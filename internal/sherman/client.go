@@ -168,6 +168,7 @@ type Client struct {
 // NewClient creates a client bound to the compute node.
 func (cn *ComputeNode) NewClient() *Client {
 	dc := cn.ix.fabric.NewClient()
+	dc.SetFlight(cn.obs.Flight.NewFlight(dc.ID()))
 	bufSize := cn.ix.opts.ValueSize
 	if bufSize < 8 {
 		bufSize = 8
@@ -183,6 +184,16 @@ func (cn *ComputeNode) NewClient() *Client {
 
 // DM exposes the fabric client for the benchmark harness.
 func (c *Client) DM() *dmsim.Client { return c.dc }
+
+// chargeLocalWork charges the per-step CN-side compute, labeled as
+// cache-lookup time in the flight ledger (the local work is dominated by
+// the index-cache probe and node decode).
+func (c *Client) chargeLocalWork() {
+	fl := c.dc.Flight()
+	prev := fl.SetPhase(obs.PhaseCacheLookup)
+	c.dc.Advance(localWorkNs)
+	fl.SetPhase(prev)
+}
 
 func (c *Client) refreshRoot() error {
 	var b [8]byte
@@ -235,7 +246,7 @@ func (c *Client) traverse(key uint64) (dmsim.GAddr, []pathEntry, error) {
 				return dmsim.NilGAddr, nil, err
 			}
 		}
-		c.dc.Advance(localWorkNs)
+		c.chargeLocalWork()
 		if c.rootLevel == 0 {
 			return c.rootAddr, nil, nil
 		}
@@ -369,6 +380,10 @@ func (c *Client) readIndirect(ptrBytes []byte, key uint64) ([]byte, error) {
 // local lock table (Sherman's design): only the first local contender
 // issues remote CASes; later ones receive the lock by local handover.
 func (c *Client) lock(addr dmsim.GAddr) error {
+	// All time until the lock is held — handover waits, CAS round
+	// trips, backoff — is lock time in the flight ledger.
+	fl := c.dc.Flight()
+	defer fl.SetPhase(fl.SetPhase(obs.PhaseLockBackoff))
 	if c.ix.opts.LeaseLocks {
 		return c.lockLease(addr)
 	}
@@ -513,6 +528,10 @@ func (c *Client) prepareValue(key uint64, value []byte) ([]byte, error) {
 func (c *Client) Insert(key uint64, value []byte) error {
 	if sp := c.obs.Tracer.Begin("sherman.insert", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
 		defer func() { sp.End(c.dc.Now()) }()
+	}
+	if fl := c.dc.Flight(); fl != nil {
+		fl.Begin(obs.OpInsert, c.dc.Now())
+		defer func() { fl.End(c.dc.Now()) }()
 	}
 	val, err := c.prepareValue(key, value)
 	if err != nil {
@@ -668,6 +687,10 @@ func (c *Client) updateOneSided(key uint64, value []byte) error {
 func (c *Client) Delete(key uint64) error {
 	if sp := c.obs.Tracer.Begin("sherman.delete", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
 		defer func() { sp.End(c.dc.Now()) }()
+	}
+	if fl := c.dc.Flight(); fl != nil {
+		fl.Begin(obs.OpDelete, c.dc.Now())
+		defer func() { fl.End(c.dc.Now()) }()
 	}
 	return c.modify(key, nil)
 }

@@ -6,6 +6,7 @@ import (
 
 	"chime/internal/dmsim"
 	"chime/internal/nodelayout"
+	"chime/internal/obs"
 )
 
 // Pipelined multi-get for the Sherman baseline: the same posted-verb
@@ -61,6 +62,10 @@ func (c *Client) SearchBatch(keys []uint64, depth int) ([][]byte, []error) {
 		sp.Arg("depth", depth)
 		defer func() { sp.End(c.dc.Now()) }()
 	}
+	if fl := c.dc.Flight(); fl != nil {
+		fl.Begin(obs.OpBatchRead, c.dc.Now())
+		defer func() { fl.End(c.dc.Now()) }()
+	}
 	if depth < 1 {
 		depth = 1
 	}
@@ -96,7 +101,7 @@ func (c *Client) SearchBatch(keys []uint64, depth int) ([][]byte, []error) {
 
 func (c *Client) beginOp(op *batchOp) {
 	op.hops = 0
-	c.dc.Advance(localWorkNs)
+	c.chargeLocalWork()
 	if c.rootAddr.IsNil() {
 		h, err := c.dc.PostRead(c.ix.super, op.rootBuf[:])
 		if err != nil {

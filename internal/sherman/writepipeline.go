@@ -7,6 +7,7 @@ import (
 
 	"chime/internal/dmsim"
 	"chime/internal/nodelayout"
+	"chime/internal/obs"
 )
 
 // Pipelined batch writes for the Sherman baseline: the same posted-verb
@@ -137,6 +138,10 @@ func (c *Client) runWriteBatch(kind writeKind, keys []uint64, values [][]byte, d
 		sp.Arg("depth", depth)
 		defer func() { sp.End(c.dc.Now()) }()
 	}
+	if fl := c.dc.Flight(); fl != nil {
+		fl.Begin(obs.OpBatchWrite, c.dc.Now())
+		defer func() { fl.End(c.dc.Now()) }()
+	}
 
 	st := &swSched{cycles: make(map[uint64]*wCycle)}
 	var queue []*wOp
@@ -213,7 +218,7 @@ func (c *Client) beginWOp(st *swSched, op *wOp) {
 	op.hops = 0
 	op.cy = nil
 	op.notFound = false
-	c.dc.Advance(localWorkNs)
+	c.chargeLocalWork()
 	if c.rootAddr.IsNil() {
 		h, err := c.dc.PostRead(c.ix.super, op.rootBuf[:])
 		if err != nil {

@@ -133,6 +133,7 @@ type Client struct {
 // NewClient creates a client bound to this compute node.
 func (cn *ComputeNode) NewClient() *Client {
 	dc := cn.ix.fabric.NewClient()
+	dc.SetFlight(cn.obs.Flight.NewFlight(dc.ID()))
 	bufSize := cn.ix.opts.ValueSize
 	if bufSize < 8 {
 		bufSize = 8
@@ -351,6 +352,10 @@ func (c *Client) searchOneSided(key uint64) ([]byte, error) {
 // stolen (internal/lease); callers re-read the node under the lock, so
 // no repair read is needed.
 func (c *Client) lockNode(addr dmsim.GAddr) error {
+	// All time until the lock is held — CAS round trips, lease steals,
+	// backoff — is lock time in the flight ledger.
+	fl := c.dc.Flight()
+	defer fl.SetPhase(fl.SetPhase(obs.PhaseLockBackoff))
 	leaseMode := c.ix.opts.LeaseLocks
 	leaseNs := c.ix.opts.LeaseNs
 	if leaseNs <= 0 {
@@ -438,6 +443,10 @@ func (c *Client) writeLeaf(key uint64, value []byte) (uint64, error) {
 func (c *Client) Insert(key uint64, value []byte) error {
 	if sp := c.obs.Tracer.Begin("smart.insert", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
 		defer func() { sp.End(c.dc.Now()) }()
+	}
+	if fl := c.dc.Flight(); fl != nil {
+		fl.Begin(obs.OpInsert, c.dc.Now())
+		defer func() { fl.End(c.dc.Now()) }()
 	}
 	leafWord, err := c.writeLeaf(key, value)
 	if err != nil {
@@ -743,6 +752,10 @@ func (c *Client) Update(key uint64, value []byte) error {
 	if sp := c.obs.Tracer.Begin("smart.update", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
 		defer func() { sp.End(c.dc.Now()) }()
 	}
+	if fl := c.dc.Flight(); fl != nil {
+		fl.Begin(obs.OpUpdate, c.dc.Now())
+		defer func() { fl.End(c.dc.Now()) }()
+	}
 	leafWord, err := c.writeLeaf(key, value)
 	if err != nil {
 		return err
@@ -776,6 +789,10 @@ func (c *Client) Update(key uint64, value []byte) error {
 func (c *Client) Delete(key uint64) error {
 	if sp := c.obs.Tracer.Begin("smart.delete", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
 		defer func() { sp.End(c.dc.Now()) }()
+	}
+	if fl := c.dc.Flight(); fl != nil {
+		fl.Begin(obs.OpDelete, c.dc.Now())
+		defer func() { fl.End(c.dc.Now()) }()
 	}
 	for attempt := 0; attempt < maxRetries; attempt++ {
 		n, _, child, err := c.descend(key)

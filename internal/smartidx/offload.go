@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"chime/internal/dmsim"
+	"chime/internal/obs"
 )
 
 // Public read entry points and the hybrid one-sided/offload router
@@ -18,6 +19,10 @@ import (
 func (c *Client) Search(key uint64) ([]byte, error) {
 	if sp := c.obs.Tracer.Begin("smart.search", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
 		defer func() { sp.End(c.dc.Now()) }()
+	}
+	if fl := c.dc.Flight(); fl != nil {
+		fl.Begin(obs.OpSearch, c.dc.Now())
+		defer func() { fl.End(c.dc.Now()) }()
 	}
 	if c.router == nil {
 		return c.searchOneSided(key)
@@ -54,6 +59,10 @@ func (c *Client) Scan(start uint64, count int) ([]KV, error) {
 	}
 	if sp := c.obs.Tracer.Begin("smart.scan", "idx", c.dc.ID(), c.dc.Now()); sp != nil {
 		defer func() { sp.End(c.dc.Now()) }()
+	}
+	if fl := c.dc.Flight(); fl != nil {
+		fl.Begin(obs.OpScan, c.dc.Now())
+		defer func() { fl.End(c.dc.Now()) }()
 	}
 	if c.router == nil {
 		return c.scanOneSided(start, count)
