@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test race check bench-pipeline bench-writepipe bench-faults bench-scale bench-offload bench-attribution profile chaos
+.PHONY: all vet lint build test race check bench-pipeline bench-writepipe bench-faults bench-scale bench-offload bench-attribution bench-persist profile chaos
 
 all: check
 
@@ -8,8 +8,8 @@ vet:
 	$(GO) vet ./...
 
 # Static invariant enforcement: the chimelint suite (virtualclock,
-# seededrand, verbgate, lockword, dmerrors, obsnames) must pass with
-# zero findings. staticcheck and govulncheck run when installed (CI
+# seededrand, verbgate, lockword, dmerrors, obsnames, durableio) must
+# pass with zero findings. staticcheck and govulncheck run when installed (CI
 # pins and installs them; the offline dev container may not have them).
 lint:
 	$(GO) run ./cmd/chimelint ./...
@@ -33,7 +33,8 @@ race:
 		./internal/smartidx/... ./internal/rolex/... ./internal/obs/... ./internal/bench/... \
 		./internal/fault/... ./internal/locktable/... ./internal/ycsb/... \
 		./internal/hopscotch/... ./internal/nodelayout/... ./internal/rdwc/... \
-		./internal/lease/... ./internal/analysis/... ./internal/offroute/...
+		./internal/lease/... ./internal/analysis/... ./internal/offroute/... \
+		./internal/folio/...
 
 # The seeded chaos suite alone (crash recovery invariants across all
 # four systems), under the race detector.
@@ -74,6 +75,12 @@ bench-attribution:
 # Takes a couple of minutes; the gate rows at 10k are most of it.
 bench-scale:
 	$(GO) run ./cmd/chime-bench -run scale -verify -json BENCH_SCALE.json
+
+# Regenerate the committed durability artifact: write-behind log
+# overhead vs off, MN kill/restart recovery cost vs log length, and
+# warm-start restore vs cold load, with double-run fingerprints.
+bench-persist:
+	$(GO) run ./cmd/chime-bench -run persist -scale small -json BENCH_PERSIST.json
 
 # CPU-profile the 100k-client capacity point and drop into pprof.
 profile:

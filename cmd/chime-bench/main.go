@@ -56,6 +56,8 @@ func main() {
 		mnCPUs      = flag.Int("mn-cpus", 0, "offload experiment: offload cores per MN (default: dmsim model default, 2)")
 		mnServiceNs = flag.Int64("mn-service-ns", 0, "offload experiment: fixed dispatch ns per offloaded program (default: dmsim model default, 600)")
 
+		snapshot = flag.String("snapshot", "", "persist experiment: warm-start cache dir — each system is loaded once, snapshotted under <dir>/<system>, and restored instead of re-loaded thereafter (across invocations)")
+
 		lanes      = flag.Int("lanes", 0, "scale experiment: event-loop lane count (default 1)")
 		depth      = flag.Int("depth", 0, "scale experiment: posted-verb pipeline depth (default 8)")
 		verbOps    = flag.Int("verb-ops", 0, "scale experiment: measured verbs per client (default auto)")
@@ -338,6 +340,35 @@ func main() {
 		}
 		writeObsArtifacts()
 		fmt.Printf("---- offload done in %v ----\n\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	// The persist experiment (durability overhead, recovery cost,
+	// warm-start) takes the -snapshot warm-start cache dir and emits the
+	// BENCH_PERSIST.json artifact.
+	if *run == "persist" {
+		opts := bench.PersistOptions{SnapshotDir: *snapshot}
+		fmt.Printf("==== persist: durability overhead, recovery cost, warm-start (load=%d ops=%d) ====\n", sc.LoadN, sc.Ops)
+		start := time.Now()
+		rows, err := bench.RunPersist(sc, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "persist failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatPersistRows(rows))
+		if *jsonOut != "" {
+			blob, err := bench.MarshalPersistJSON(sc, opts, rows)
+			if err == nil {
+				err = os.WriteFile(*jsonOut, blob, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		writeObsArtifacts()
+		fmt.Printf("---- persist done in %v ----\n\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chime/internal/folio"
+)
+
+// buildFolio writes a .folio file exercising every record type: a
+// compacted snapshot (pages + index + reseeded alloc/meta), then live
+// sparse appends, abandoned dirty so the header's crash flag is set.
+func buildFolio(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "mn0.folio")
+	s, err := folio.Create(path, folio.Options{PageSize: 64, Stamp: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := make([]byte, 1024)
+	for i := range mem {
+		if i%3 == 0 {
+			mem[i] = byte(i)
+		}
+	}
+	// Zero one page entirely so compaction's sparse-page elision shows
+	// up in the counts.
+	for i := 256; i < 320; i++ {
+		mem[i] = 0
+	}
+	if err := s.Compact(mem, 512, map[string]string{"kind": "test", "super": "0:64"}, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendWrite(128, []byte("hello folio")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendWrite(200, bytes.Repeat([]byte{0xAB}, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.NoteAlloc(640); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetMeta("epoch", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Abandon(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestFolioInspectJSONLParity pins the "file is the interface"
+// contract behind `chimectl folio`: every figure Inspect reports must
+// be recomputable from the raw bytes with nothing but a JSON-per-line
+// scan — the same view jq/grep/wc give. If Inspect and the naive scan
+// ever disagree, either the format or the inspector drifted.
+func TestFolioInspectJSONLParity(t *testing.T) {
+	path := buildFolio(t)
+	info, err := folio.Inspect(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FileBytes != int64(len(blob)) {
+		t.Errorf("FileBytes = %d, file has %d", info.FileBytes, len(blob))
+	}
+
+	// The header is line 1, space-padded to 128 bytes: `head -c 128 | jq`.
+	var hdr struct {
+		V  int      `json:"_v"`
+		E  int      `json:"_e"`
+		TS int64    `json:"_ts"`
+		S  [6]int64 `json:"_s"`
+	}
+	if err := json.Unmarshal(bytes.TrimRight(blob[:folio.HeaderBytes-1], " "), &hdr); err != nil {
+		t.Fatalf("header is not plain JSON: %v", err)
+	}
+	if info.Version != hdr.V || info.Dirty != (hdr.E != 0) || info.Stamp != hdr.TS {
+		t.Errorf("header parity: Inspect %+v vs raw %+v", info, hdr)
+	}
+	if !info.Dirty {
+		t.Error("Abandon should have left the file dirty")
+	}
+	if info.HeapEnd != hdr.S[0] || info.IndexEnd != hdr.S[1] || info.PageSize != hdr.S[2] {
+		t.Errorf("section parity: Inspect [%d %d %d] vs raw %v",
+			info.HeapEnd, info.IndexEnd, info.PageSize, hdr.S[:3])
+	}
+
+	// Every later line is one JSON record: `tail -c +129 | jq -s` or
+	// `grep -c '"t":"w"'`. Recount everything Inspect claims.
+	type rec struct {
+		T   string `json:"t"`
+		Off uint64 `json:"off"`
+		D   string `json:"d"`
+		K   string `json:"k"`
+		V   string `json:"v"`
+	}
+	counts := map[string]int{}
+	payload := map[string]int64{}
+	var allocOff uint64
+	meta := map[string]string{}
+	for _, line := range bytes.Split(blob[folio.HeaderBytes:], []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var r rec
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("non-JSONL line %q: %v", line, err)
+		}
+		counts[r.T]++
+		if r.D != "" {
+			data, err := base64.StdEncoding.DecodeString(r.D)
+			if err != nil {
+				t.Fatalf("record %q payload is not base64: %v", r.T, err)
+			}
+			payload[r.T] += int64(len(data))
+		}
+		if r.T == "alloc" && r.Off > allocOff {
+			allocOff = r.Off
+		}
+		if r.T == "meta" {
+			meta[r.K] = r.V
+		}
+	}
+
+	if info.PageRecords != counts["page"] || info.IndexRecords != counts["idx"] {
+		t.Errorf("snapshot parity: Inspect %d pages/%d idx vs scan %d/%d",
+			info.PageRecords, info.IndexRecords, counts["page"], counts["idx"])
+	}
+	if info.WriteRecords != counts["w"] || info.AllocRecords != counts["alloc"] || info.MetaRecords != counts["meta"] {
+		t.Errorf("sparse parity: Inspect w=%d alloc=%d meta=%d vs scan w=%d alloc=%d meta=%d",
+			info.WriteRecords, info.AllocRecords, info.MetaRecords,
+			counts["w"], counts["alloc"], counts["meta"])
+	}
+	if info.PageBytes != payload["page"] || info.WriteBytes != payload["w"] {
+		t.Errorf("payload parity: Inspect page=%d w=%d vs scan page=%d w=%d",
+			info.PageBytes, info.WriteBytes, payload["page"], payload["w"])
+	}
+	if info.AllocOff != allocOff {
+		t.Errorf("alloc watermark: Inspect %d vs scan %d", info.AllocOff, allocOff)
+	}
+	if len(info.Meta) != len(meta) {
+		t.Fatalf("meta parity: Inspect %v vs scan %v", info.Meta, meta)
+	}
+	for k, v := range meta {
+		if info.Meta[k] != v {
+			t.Errorf("meta[%q]: Inspect %q vs scan %q", k, info.Meta[k], v)
+		}
+	}
+
+	// Sanity on the build itself: compaction snapshots up to the
+	// allocator watermark (512 bytes = 8 pages) minus the all-zero
+	// page; both live writes and the reseeded records present.
+	if counts["page"] != 7 {
+		t.Errorf("expected 7 snapshot pages (8 under the watermark minus the zeroed one), scanned %d", counts["page"])
+	}
+	if counts["w"] != 2 || counts["alloc"] != 2 || counts["meta"] != 3 {
+		t.Errorf("expected 2 writes, 2 allocs (reseed+live), 3 metas; scanned %v", counts)
+	}
+
+	// The rendered block carries the same figures.
+	out := info.Format()
+	for _, want := range []string{"DIRTY", "7 pages", "2 writes", "super = 0:64", "epoch = 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() output missing %q:\n%s", want, out)
+		}
+	}
+}

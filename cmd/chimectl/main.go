@@ -11,10 +11,15 @@
 //	chimectl -index SMART -workload E -ops 20000
 //	chimectl -index CHIME -workload A -flightrec -metrics-json m.json
 //	chimectl report BENCH_ATTRIB.json
+//	chimectl folio snapshots/CHIME/mn0.folio
 //
 // The report subcommand renders observability artifacts (BENCH_ATTRIB
 // .json, a chime-bench/chimectl metrics JSON, or a bare timeline JSON)
-// as the same aligned tables the experiments print.
+// as the same aligned tables the experiments print. The folio
+// subcommand summarizes a durability-plane .folio file: header fields,
+// section extents, record counts and recovered metadata. Everything it
+// prints is recomputable with jq/grep — the file is plain JSONL with a
+// fixed-width JSON header, and a parity test pins that equivalence.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 
 	"chime/internal/bench"
 	"chime/internal/dmsim"
+	"chime/internal/folio"
 	"chime/internal/obs"
 	"chime/internal/ycsb"
 )
@@ -33,6 +39,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "report" {
 		runReport(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "folio" {
+		runFolio(os.Args[2:])
 		return
 	}
 	var (
@@ -193,6 +203,37 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *traceOut)
+	}
+}
+
+// runFolio summarizes .folio durability files. With -json it emits the
+// folio.Info struct; without, the aligned text block. Inspect never
+// opens a session, so the dirty flag (and the file) are untouched —
+// safe to point at a live or crashed store.
+func runFolio(args []string) {
+	fs := flag.NewFlagSet("folio", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the summary as JSON instead of text")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: chimectl folio [-json] <file.folio>...")
+		os.Exit(2)
+	}
+	for _, path := range fs.Args() {
+		info, err := folio.Inspect(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			blob, err := json.MarshalIndent(info, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s\n", blob)
+			continue
+		}
+		fmt.Print(info.Format())
 	}
 }
 

@@ -1,5 +1,6 @@
 // Command chimelint runs the repo's invariant analyzers (virtualclock,
-// seededrand, verbgate, lockword, dmerrors, obsnames) over the module.
+// seededrand, verbgate, lockword, dmerrors, obsnames, durableio) over
+// the module.
 //
 // Standalone:
 //

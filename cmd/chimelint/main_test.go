@@ -18,15 +18,15 @@ func buildLint(t *testing.T) string {
 	return bin
 }
 
-// The multichecker must register the full six-analyzer suite.
-func TestListRegistersAllSixAnalyzers(t *testing.T) {
+// The multichecker must register the full seven-analyzer suite.
+func TestListRegistersAllSevenAnalyzers(t *testing.T) {
 	bin := buildLint(t)
 	out, err := exec.Command(bin, "-list").Output()
 	if err != nil {
 		t.Fatalf("chimelint -list: %v", err)
 	}
 	got := strings.Fields(string(out))
-	want := []string{"virtualclock", "seededrand", "verbgate", "lockword", "dmerrors", "obsnames"}
+	want := []string{"virtualclock", "seededrand", "verbgate", "lockword", "dmerrors", "obsnames", "durableio"}
 	if len(got) != len(want) {
 		t.Fatalf("registered analyzers = %v, want %v", got, want)
 	}

@@ -1,0 +1,9 @@
+// Fixture: cmd/ front ends write artifacts and read configs — real
+// I/O is their job, the analyzer ignores them.
+package dump
+
+import "os"
+
+func Write(path string, blob []byte) error {
+	return os.WriteFile(path, blob, 0o644)
+}

@@ -1,0 +1,17 @@
+// Fixture: the durability plane itself is the one internal package
+// allowed to open files.
+package folio
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func Exists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+func Join(elem ...string) string {
+	return filepath.Join(elem...)
+}

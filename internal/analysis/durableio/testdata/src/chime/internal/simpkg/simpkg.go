@@ -1,0 +1,27 @@
+// Fixture: a simulation-facing internal package reaching for the host
+// filesystem. Every banned import is flagged at its import line.
+package simpkg
+
+import (
+	"os"            // want `import "os" \(file and process I/O\): host I/O is confined`
+	"os/exec"       // want `import "os/exec" \(subprocess I/O\)`
+	"path/filepath" // want `import "path/filepath" \(host path handling \(use folio.Join\)\)`
+
+	"bufio" // clean: byte plumbing is legal, opening descriptors is not
+	"bytes"
+)
+
+func bad() string {
+	f, _ := os.Open("/etc/passwd")
+	defer f.Close()
+	r := bufio.NewReader(f)
+	line, _ := r.ReadString('\n')
+	_ = exec.Command("ls")
+	return filepath.Join("a", line)
+}
+
+func clean() int {
+	var b bytes.Buffer
+	b.WriteString("no descriptors here")
+	return b.Len()
+}

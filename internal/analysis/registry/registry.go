@@ -5,6 +5,7 @@ package registry
 import (
 	"chime/internal/analysis"
 	"chime/internal/analysis/dmerrors"
+	"chime/internal/analysis/durableio"
 	"chime/internal/analysis/lockword"
 	"chime/internal/analysis/obsnames"
 	"chime/internal/analysis/seededrand"
@@ -21,5 +22,6 @@ func All() []*analysis.Analyzer {
 		lockword.Analyzer,
 		dmerrors.Analyzer,
 		obsnames.Analyzer,
+		durableio.Analyzer,
 	}
 }

@@ -1,0 +1,485 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"chime/internal/core"
+	"chime/internal/dmsim"
+	"chime/internal/folio"
+	"chime/internal/rdwc"
+	"chime/internal/sherman"
+	"chime/internal/ycsb"
+)
+
+// Persist experiment: the durability plane's three headline numbers.
+//
+//	overhead  — the same single-client write-bearing workload with the
+//	            folio backend off and on: the write-behind log's
+//	            virtual-time charge per acked update, as a throughput
+//	            delta.
+//	recovery  — MN kill + restart at increasing log lengths: recovery's
+//	            virtual cost (snapshot materialization + log replay)
+//	            grows with the unsnapshotted tail, which is the argument
+//	            for periodic compaction.
+//	warmstart — host wall-clock of restoring a loaded tree from its
+//	            folio snapshot (fabric restore + Attach, no remote
+//	            writes) vs bootstrapping and bulk-loading it cold. The
+//	            acceptance bar is restore ≥5× faster than cold load.
+//
+// Every section double-runs its points; fingerprints over the Result
+// row plus the fabric's NIC/MN-CPU/persistence totals must come back
+// bit-identical (single-client measured phases, so the host cannot
+// reorder anything observable).
+
+// PersistOptions parameterizes RunPersist (the chime-bench -snapshot
+// flag lands in SnapshotDir).
+type PersistOptions struct {
+	// SnapshotDir, when set, is the warm-start cache: the loaded tree's
+	// folio snapshot is written under <dir>/<system> on first use and
+	// restored — instead of re-running the loader — thereafter, across
+	// invocations. Empty means a scratch dir, removed afterwards.
+	SnapshotDir string
+
+	// Systems restricts the warm-start section (default CHIME, Sherman:
+	// the two tree indexes with a warm Attach path).
+	Systems []string
+}
+
+// PersistRow is one measured point, JSON-serializable for the committed
+// BENCH_PERSIST.json artifact. Sections fill disjoint column subsets.
+type PersistRow struct {
+	Section string `json:"section"`
+	System  string `json:"system"`
+	Persist bool   `json:"persist"`
+
+	Clients        int     `json:"clients,omitempty"`
+	Ops            int64   `json:"ops,omitempty"`
+	ThroughputMops float64 `json:"throughput_mops,omitempty"`
+	P50Us          float64 `json:"p50_us,omitempty"`
+	P99Us          float64 `json:"p99_us,omitempty"`
+	OverheadPct    float64 `json:"overhead_pct,omitempty"`
+
+	LogRecords int64 `json:"log_records,omitempty"`
+	LogBytes   int64 `json:"log_bytes,omitempty"`
+	RecoverNs  int64 `json:"recover_ns,omitempty"`
+
+	ColdLoadMs float64 `json:"cold_load_ms,omitempty"`
+	RestoreMs  float64 `json:"restore_ms,omitempty"`
+	Speedup    float64 `json:"warmstart_speedup,omitempty"`
+
+	Fingerprint  string `json:"fingerprint"`
+	Reproducible bool   `json:"reproducible"`
+}
+
+// persistFingerprint extends the offload fingerprint with the
+// persistence plane's counters: two runs fingerprint equal iff the
+// workload, its timing, and every logged byte were bit-identical.
+func persistFingerprint(r Result, f *dmsim.Fabric) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", r)
+	fmt.Fprintf(h, "%+v%+v%+v%d", f.TotalNICStats(), f.TotalMNCPUStats(), f.PersistStats(), f.Frontier())
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// persistMix is the overhead section's workload: write-heavy so the
+// write-behind log sees every update, single-client for the
+// reproducibility pin (contended write order is host-scheduling-
+// dependent; see the offload experiment's mixed section).
+var persistMix = ycsb.WorkloadA
+
+// overheadPoint stands up one system on a fresh fabric — persistent
+// into dir when non-empty — and measures the standard workload.
+func overheadPoint(name string, sc Scale, dir string) (Result, string, error) {
+	var fab *dmsim.Fabric
+	sys, cfg, err := buildSystem(name, sc, 1, func(c *SystemConfig) {
+		fcfg := dmsim.DefaultConfig()
+		fcfg.MNs = 1
+		fcfg.MNSize = sc.MNSize
+		fcfg.ChunkBytes = 1 << 20
+		fcfg.Persist.Dir = dir
+		fab = dmsim.MustNewFabric(fcfg)
+		c.Fabric = fab
+		// Single-threaded load: parallel loaders race host-side for
+		// virtual-time ties, which would break the double-run fingerprint.
+		c.LoadClients = 1
+	})
+	if err != nil {
+		return Result{}, "", err
+	}
+	r, err := runPoint(sys, cfg, persistMix, 1, sc.Ops/2, 31)
+	if err != nil {
+		return Result{}, "", err
+	}
+	return r, persistFingerprint(r, fab), nil
+}
+
+// runOverhead measures every system with the log off and on.
+func runOverhead(sc Scale) ([]PersistRow, error) {
+	var rows []PersistRow
+	for _, name := range HeadToHeadSystems {
+		var offMops float64
+		for _, persist := range []bool{false, true} {
+			point := func() (Result, string, error) {
+				var dir string
+				if persist {
+					d, err := folio.ScratchDir("chime-persist-overhead")
+					if err != nil {
+						return Result{}, "", err
+					}
+					defer folio.RemoveDir(d)
+					dir = d
+				}
+				return overheadPoint(name, sc, dir)
+			}
+			r, fp, err := point()
+			if err != nil {
+				return nil, fmt.Errorf("persist overhead %s persist=%t: %w", name, persist, err)
+			}
+			_, fp2, err := point()
+			if err != nil {
+				return nil, fmt.Errorf("persist overhead %s persist=%t rerun: %w", name, persist, err)
+			}
+			row := PersistRow{
+				Section:        "overhead",
+				System:         name,
+				Persist:        persist,
+				Clients:        r.Clients,
+				Ops:            r.Ops,
+				ThroughputMops: r.ThroughputMops,
+				P50Us:          r.P50Us,
+				P99Us:          r.P99Us,
+				Fingerprint:    fp,
+				Reproducible:   fp == fp2,
+			}
+			if !persist {
+				offMops = r.ThroughputMops
+			} else if offMops > 0 {
+				row.OverheadPct = (offMops - r.ThroughputMops) / offMops * 100
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// runRecovery measures MN kill/restart cost against log length on a
+// bare fabric: one client appends n word-writes, the MN crash-stops,
+// and the restart's replay cost is read off the recovery stats.
+func runRecovery(sc Scale) ([]PersistRow, error) {
+	lens := []int{sc.Ops / 8, sc.Ops / 2, sc.Ops * 2}
+	var rows []PersistRow
+	for _, n := range lens {
+		if n < 256 {
+			n = 256
+		}
+		point := func() (dmsim.RecoveryStats, dmsim.PersistStats, string, error) {
+			dir, err := folio.ScratchDir("chime-persist-recovery")
+			if err != nil {
+				return dmsim.RecoveryStats{}, dmsim.PersistStats{}, "", err
+			}
+			defer folio.RemoveDir(dir)
+			cfg := dmsim.DefaultConfig()
+			cfg.MNs = 1
+			cfg.MNSize = 64 << 20
+			cfg.ChunkBytes = 1 << 20
+			cfg.Persist.Dir = dir
+			f := dmsim.MustNewFabric(cfg)
+			c := f.NewClient()
+			region, err := c.AllocRPC(0, 1<<20)
+			if err != nil {
+				return dmsim.RecoveryStats{}, dmsim.PersistStats{}, "", err
+			}
+			buf := make([]byte, 64)
+			for i := 0; i < n; i++ {
+				if err := c.Write(region.Add(uint64(i*64%(1<<20))), buf); err != nil {
+					return dmsim.RecoveryStats{}, dmsim.PersistStats{}, "", err
+				}
+			}
+			ps := f.PersistStats()
+			if err := f.KillMN(0); err != nil {
+				return dmsim.RecoveryStats{}, dmsim.PersistStats{}, "", err
+			}
+			stats, err := f.RestartMN(0)
+			if err != nil {
+				return dmsim.RecoveryStats{}, dmsim.PersistStats{}, "", err
+			}
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%+v%+v%d", stats, ps, f.Frontier())
+			return stats, ps, fmt.Sprintf("%016x", h.Sum64()), nil
+		}
+		stats, ps, fp, err := point()
+		if err != nil {
+			return nil, fmt.Errorf("persist recovery n=%d: %w", n, err)
+		}
+		_, _, fp2, err := point()
+		if err != nil {
+			return nil, fmt.Errorf("persist recovery n=%d rerun: %w", n, err)
+		}
+		rows = append(rows, PersistRow{
+			Section:      "recovery",
+			System:       "fabric",
+			Persist:      true,
+			Ops:          int64(n),
+			LogRecords:   ps.Records,
+			LogBytes:     ps.Bytes,
+			RecoverNs:    stats.RecoverNs,
+			Fingerprint:  fp,
+			Reproducible: fp == fp2,
+		})
+	}
+	return rows, nil
+}
+
+// superOf extracts the tree's super-block address from a freshly built
+// system (warm-start persists it as fabric metadata).
+func superOf(sys System) (dmsim.GAddr, error) {
+	switch s := sys.(type) {
+	case *chimeSystem:
+		return s.ix.Super(), nil
+	case *shermanSystem:
+		return s.ix.Super(), nil
+	}
+	return dmsim.NilGAddr, fmt.Errorf("bench: %s has no warm-start attach path", sys.Name())
+}
+
+// formatSuper / parseSuper round-trip a GAddr through the folio
+// metadata section (a string table) via the packed-pointer encoding,
+// the same 8-byte form remote pointers use on the wire.
+func formatSuper(a dmsim.GAddr) string { return fmt.Sprintf("%#x", a.Pack()) }
+
+func parseSuper(s string) (dmsim.GAddr, error) {
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return dmsim.NilGAddr, fmt.Errorf("bench: bad super meta %q: %w", s, err)
+	}
+	return dmsim.UnpackGAddr(v), nil
+}
+
+// attachWarm rebuilds a System on a warm-started fabric without any
+// remote writes: the tree is taken from the restored MN image, the root
+// pointer from the persisted metadata.
+func attachWarm(name string, fab *dmsim.Fabric, cfg SystemConfig) (System, error) {
+	super, err := parseSuper(fab.PersistMeta("super"))
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case "CHIME":
+		ix, err := core.Attach(fab, chimeOptions(cfg), super)
+		if err != nil {
+			return nil, err
+		}
+		s := &chimeSystem{ix: ix, cn: ix.NewComputeNode(cfg.CacheBytes, cfg.HotspotBytes), comb: rdwc.NewCombiner()}
+		s.cn.SetObserver(cfg.Obs.Sink())
+		s.newC = withRDWC(cfg, s.comb, func() Client { return chimeClient{cl: s.cn.NewClient()} })
+		return s, nil
+	case "Sherman":
+		ix, err := sherman.Attach(fab, shermanOptions(cfg), super)
+		if err != nil {
+			return nil, err
+		}
+		s := &shermanSystem{ix: ix, cn: ix.NewComputeNode(cfg.CacheBytes), comb: rdwc.NewCombiner()}
+		s.cn.SetObserver(cfg.Obs.Sink())
+		s.newC = withRDWC(cfg, s.comb, func() Client { return shermanClient{cl: s.cn.NewClient()} })
+		return s, nil
+	}
+	return nil, fmt.Errorf("bench: %s has no warm-start attach path", name)
+}
+
+// warmstartPoint measures one system's cold-load vs restore wall-clock.
+// The snapshot under dir is created on first use and reused thereafter
+// (the -snapshot contract: load once, restore forever).
+func warmstartPoint(name string, sc Scale, dir string) (PersistRow, error) {
+	keys := SortedLoadKeys(sc.LoadN)
+	// Multi-GB fabrics from earlier sections and phases must actually be
+	// gone before each timed phase, or the wall-clock numbers measure the
+	// host's memory pressure instead of the load-vs-restore work.
+	freeMem := func() {
+		runtime.GC()
+		debug.FreeOSMemory()
+	}
+
+	// Cold: bootstrap + bulk load on a plain fabric, host-wall-timed.
+	// (Wall time is the point: this is the host-side cost warm-start
+	// amortizes, exactly like the scale experiment's capacity numbers.)
+	freeMem()
+	coldMs, err := func() (float64, error) {
+		fabC := DefaultFabric(1, sc.MNSize)
+		cfgC := baseConfig(fabC, sc, keys)
+		start := time.Now() //lint:allow virtualclock warm-start compares host wall-clock by design
+		if _, err := Factories[name](cfgC); err != nil {
+			return 0, fmt.Errorf("cold load: %w", err)
+		}
+		return float64(time.Since(start).Microseconds()) / 1e3, nil //lint:allow virtualclock warm-start compares host wall-clock by design
+	}()
+	if err != nil {
+		return PersistRow{}, err
+	}
+
+	pcfg := dmsim.DefaultConfig()
+	pcfg.MNs = 1
+	pcfg.MNSize = sc.MNSize
+	pcfg.ChunkBytes = 1 << 20
+	pcfg.Persist.Dir = dir
+
+	// Load once: only if the snapshot is not already cached in dir.
+	if !folio.Exists(folio.Join(dir, "mn0.folio")) {
+		freeMem()
+		if err := func() error {
+			fabP := dmsim.MustNewFabric(pcfg)
+			cfgP := baseConfig(fabP, sc, keys)
+			sysP, err := Factories[name](cfgP)
+			if err != nil {
+				return fmt.Errorf("snapshot load: %w", err)
+			}
+			super, err := superOf(sysP)
+			if err != nil {
+				return err
+			}
+			if err := fabP.SetPersistMeta("super", formatSuper(super)); err != nil {
+				return err
+			}
+			if err := fabP.SnapshotPersist(); err != nil {
+				return err
+			}
+			return fabP.ClosePersist()
+		}(); err != nil {
+			return PersistRow{}, err
+		}
+	}
+
+	// Warm: fabric restore + attach, twice — the fingerprint of a small
+	// read-only run over each restore pins restore determinism.
+	restore := func() (float64, string, error) {
+		freeMem()
+		fabW := dmsim.MustNewFabric(pcfg)
+		cfgW := baseConfig(fabW, sc, keys)
+		// Restore cost = the fabric's own restore work (file decode +
+		// materialization, measured inside NewFabric) plus the attach.
+		// Fabric-shell construction — dominated by the MN memory
+		// allocation, whose cost swings ~100× with host heap state — is
+		// excluded, exactly as the cold timer excludes it.
+		start := time.Now() //lint:allow virtualclock warm-start compares host wall-clock by design
+		sysW, err := attachWarm(name, fabW, cfgW)
+		if err != nil {
+			return 0, "", err
+		}
+		ms := float64(fabW.RestoreHostNs())/1e6 + float64(time.Since(start).Microseconds())/1e3 //lint:allow virtualclock warm-start compares host wall-clock by design
+		r, err := runPoint(sysW, cfgW, offloadDeepMix, 1, 512, 17)
+		if err != nil {
+			return 0, "", fmt.Errorf("post-restore verification: %w", err)
+		}
+		return ms, persistFingerprint(r, fabW), nil
+	}
+	_, fp, err := restore()
+	if err != nil {
+		return PersistRow{}, err
+	}
+	restoreMs, fp2, err := restore()
+	if err != nil {
+		return PersistRow{}, err
+	}
+
+	row := PersistRow{
+		Section:      "warmstart",
+		System:       name,
+		Persist:      true,
+		ColdLoadMs:   coldMs,
+		RestoreMs:    restoreMs,
+		Fingerprint:  fp,
+		Reproducible: fp == fp2,
+	}
+	if restoreMs > 0 {
+		row.Speedup = coldMs / restoreMs
+	}
+	return row, nil
+}
+
+// RunPersist runs the three sections and returns the artifact rows.
+func RunPersist(sc Scale, opts PersistOptions) ([]PersistRow, error) {
+	systems := opts.Systems
+	if len(systems) == 0 {
+		systems = []string{"CHIME", "Sherman"}
+	}
+	rows, err := runOverhead(sc)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := runRecovery(sc)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, rec...)
+
+	snapRoot := opts.SnapshotDir
+	if snapRoot == "" {
+		d, err := folio.ScratchDir("chime-persist-warmstart")
+		if err != nil {
+			return nil, err
+		}
+		defer folio.RemoveDir(d)
+		snapRoot = d
+	}
+	for _, name := range systems {
+		row, err := warmstartPoint(name, sc, folio.Join(snapRoot, name))
+		if err != nil {
+			return nil, fmt.Errorf("persist warmstart %s: %w", name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatPersistRows renders the sweep as aligned per-section tables.
+func FormatPersistRows(rows []PersistRow) string {
+	out := fmt.Sprintf("%-10s %-8s %-7s %8s %10s %9s %9s %8s %10s %10s %10s %9s %8s %6s\n",
+		"section", "system", "persist", "ops", "Mops", "p50(us)", "p99(us)", "ovhd%",
+		"logRecs", "recoverUs", "coldMs", "restoreMs", "speedup", "repro")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-10s %-8s %-7t %8d %10.3f %9.1f %9.1f %8.2f %10d %10.1f %10.1f %9.1f %8.1f %6t\n",
+			r.Section, r.System, r.Persist, r.Ops, r.ThroughputMops, r.P50Us, r.P99Us,
+			r.OverheadPct, r.LogRecords, float64(r.RecoverNs)/1e3, r.ColdLoadMs, r.RestoreMs,
+			r.Speedup, r.Reproducible)
+	}
+	return out
+}
+
+// MarshalPersistJSON renders the rows as the BENCH_PERSIST.json
+// artifact format.
+func MarshalPersistJSON(sc Scale, opts PersistOptions, rows []PersistRow) ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Experiment  string       `json:"experiment"`
+		LoadN       int          `json:"load_n"`
+		Ops         int          `json:"ops"`
+		SnapshotDir string       `json:"snapshot_dir,omitempty"`
+		Rows        []PersistRow `json:"rows"`
+	}{
+		Experiment:  "persist",
+		LoadN:       sc.LoadN,
+		Ops:         sc.Ops,
+		SnapshotDir: opts.SnapshotDir,
+		Rows:        rows,
+	}, "", "  ")
+}
+
+func init() {
+	register(Experiment{ID: "persist", Title: "Durability overhead, MN crash recovery cost, warm-start vs cold load", Run: Persist})
+}
+
+// Persist is the registered experiment wrapper around RunPersist.
+func Persist(w io.Writer, sc Scale) error {
+	fmt.Fprintf(w, "# Persist: folio write-behind log overhead, recovery replay cost, warm-start\n")
+	rows, err := RunPersist(sc, PersistOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, FormatPersistRows(rows))
+	return nil
+}

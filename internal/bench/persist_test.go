@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"chime/internal/dmsim"
+	"chime/internal/folio"
+	"chime/internal/ycsb"
+)
+
+// persistPin runs one single-client write-bearing CHIME point on a
+// fabric with the given scheduler and (optional) persistence dir, and
+// returns its fingerprint. Single client: contended write order within
+// a cohort window is host-scheduling-dependent, the one nondeterminism
+// the simulator does not define away.
+func persistPin(t *testing.T, sched dmsim.SchedulerKind, dir string) string {
+	t.Helper()
+	sc := tinyScale
+	sc.LoadN = 2500
+	var fab *dmsim.Fabric
+	sys, cfg, err := buildSystem("CHIME", sc, 1, func(c *SystemConfig) {
+		fcfg := dmsim.DefaultConfig()
+		fcfg.MNs = 1
+		fcfg.MNSize = sc.MNSize
+		fcfg.ChunkBytes = 1 << 20
+		fcfg.Scheduler = sched
+		fcfg.Persist.Dir = dir
+		fab = dmsim.MustNewFabric(fcfg)
+		c.Fabric = fab
+		c.LoadClients = 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := runPoint(sys, cfg, ycsb.WorkloadA, 1, 600, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir == "" {
+		if fab.PersistEnabled() {
+			t.Fatal("persistence plane attached without Persist.Dir")
+		}
+		if s := fab.PersistStats(); s != (dmsim.PersistStats{}) {
+			t.Fatalf("persistence-off fabric logged: %+v", s)
+		}
+	} else if s := fab.PersistStats(); s.Records == 0 {
+		t.Fatal("persistence-on fabric logged nothing under a write workload")
+	}
+	return persistFingerprint(r, fab)
+}
+
+// TestPersistOffMeansOff is the durability plane's determinism pin.
+//
+// Off: a fabric whose Persist config is the zero value must behave
+// exactly as the pre-plane fabric did — no files, no counters, and
+// same-seed bit-identical rows regardless of host parallelism, under
+// both schedulers.
+//
+// On: enabling the plane may only add the deterministic virtual-time
+// charge — same-seed runs stay bit-identical across GOMAXPROCS under
+// both schedulers, with the persistence counters in the fingerprint.
+func TestPersistOffMeansOff(t *testing.T) {
+	scheds := []struct {
+		name string
+		kind dmsim.SchedulerKind
+	}{
+		{"gate", dmsim.SchedulerGate},
+		{"eventloop", dmsim.SchedulerEventLoop},
+	}
+	for _, s := range scheds {
+		t.Run(s.name, func(t *testing.T) {
+			for _, persist := range []bool{false, true} {
+				dirFor := func() string {
+					if !persist {
+						return ""
+					}
+					return t.TempDir()
+				}
+				prev := runtime.GOMAXPROCS(1)
+				fp1 := persistPin(t, s.kind, dirFor())
+				runtime.GOMAXPROCS(4)
+				fp4 := persistPin(t, s.kind, dirFor())
+				runtime.GOMAXPROCS(prev)
+				if fp1 != fp4 {
+					t.Errorf("persist=%t: fingerprints diverge across GOMAXPROCS: %s vs %s",
+						persist, fp1, fp4)
+				}
+			}
+		})
+	}
+}
+
+// TestRunPersistSections smoke-runs the full experiment at a trimmed
+// scale: every section present, every point double-run bit-identical,
+// and warm-start restoring faster than cold load.
+func TestRunPersistSections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-system experiment sweep")
+	}
+	sc := tinyScale
+	sc.LoadN = 2500
+	sc.Ops = 800
+	dir, err := folio.ScratchDir("chime-persist-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer folio.RemoveDir(dir)
+	rows, err := RunPersist(sc, PersistOptions{SnapshotDir: dir, Systems: []string{"CHIME"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sections := map[string]int{}
+	for _, r := range rows {
+		sections[r.Section]++
+		if !r.Reproducible {
+			t.Errorf("%s/%s persist=%t: double run was not bit-identical (fingerprint %s)",
+				r.Section, r.System, r.Persist, r.Fingerprint)
+		}
+		switch r.Section {
+		case "recovery":
+			if r.RecoverNs <= 0 || r.LogRecords <= 0 {
+				t.Errorf("degenerate recovery row: %+v", r)
+			}
+		case "warmstart":
+			if r.Speedup <= 1 {
+				t.Errorf("warm-start not faster than cold load: %+v", r)
+			}
+		}
+	}
+	if sections["overhead"] != 2*len(HeadToHeadSystems) || sections["recovery"] == 0 || sections["warmstart"] != 1 {
+		t.Fatalf("missing sections: %v", sections)
+	}
+
+	// The -snapshot contract: the warm-start cache persists, so a second
+	// sweep restores without reloading (and still fingerprints clean).
+	if !folio.Exists(folio.Join(dir, "CHIME", "mn0.folio")) {
+		t.Fatal("snapshot cache not left under the -snapshot dir")
+	}
+}

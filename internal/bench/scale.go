@@ -6,7 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
-	"os"
+	"os" //lint:allow durableio host-capacity experiment reads /proc/self/status (RSS) by design
 	"runtime"
 	"runtime/debug"
 	"strconv"

@@ -194,8 +194,10 @@ func (s *chimeSystem) CacheBytes() int64 {
 	return cs.UsedBytes + int64(hs.Entries)*16
 }
 
-// NewCHIME builds and loads a CHIME tree per the config.
-func NewCHIME(cfg SystemConfig) (System, error) {
+// chimeOptions derives the CHIME tree options one SystemConfig implies;
+// shared by cold bootstrap and warm-start attach (which must agree, as
+// layouts are derived from the options).
+func chimeOptions(cfg SystemConfig) core.Options {
 	opts := core.DefaultOptions()
 	if cfg.SpanSize > 0 {
 		opts.SpanSize = cfg.SpanSize
@@ -211,7 +213,12 @@ func NewCHIME(cfg SystemConfig) (System, error) {
 	opts.LeaseLocks = cfg.LeaseLocks
 	opts.LeaseNs = cfg.LeaseNs
 	opts.Offload = cfg.Offload
-	ix, err := core.Bootstrap(cfg.Fabric, opts)
+	return opts
+}
+
+// NewCHIME builds and loads a CHIME tree per the config.
+func NewCHIME(cfg SystemConfig) (System, error) {
+	ix, err := core.Bootstrap(cfg.Fabric, chimeOptions(cfg))
 	if err != nil {
 		return nil, err
 	}
@@ -299,8 +306,9 @@ func (s *shermanSystem) CacheBytes() int64 {
 	return used
 }
 
-// NewSherman builds and loads a Sherman tree.
-func NewSherman(cfg SystemConfig) (System, error) {
+// shermanOptions derives the Sherman tree options one SystemConfig
+// implies; shared by cold bootstrap and warm-start attach.
+func shermanOptions(cfg SystemConfig) sherman.Options {
 	opts := sherman.DefaultOptions()
 	if cfg.SpanSize > 0 {
 		opts.SpanSize = cfg.SpanSize
@@ -310,7 +318,12 @@ func NewSherman(cfg SystemConfig) (System, error) {
 	opts.LeaseLocks = cfg.LeaseLocks
 	opts.LeaseNs = cfg.LeaseNs
 	opts.Offload = cfg.Offload
-	ix, err := sherman.Bootstrap(cfg.Fabric, opts)
+	return opts
+}
+
+// NewSherman builds and loads a Sherman tree.
+func NewSherman(cfg SystemConfig) (System, error) {
+	ix, err := sherman.Bootstrap(cfg.Fabric, shermanOptions(cfg))
 	if err != nil {
 		return nil, err
 	}

@@ -83,6 +83,32 @@ func Bootstrap(f *dmsim.Fabric, opts Options) (*Index, error) {
 	return ix, nil
 }
 
+// Attach binds to a tree that already exists on the fabric — a
+// warm-started persistent fabric whose MN memory was restored from a
+// folio snapshot+log. It performs no remote writes: the super block,
+// root and all nodes are taken as-is; opts must match the options the
+// tree was bootstrapped with (layouts are derived from them).
+func Attach(f *dmsim.Fabric, opts Options, super dmsim.GAddr) (*Index, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		fabric: f,
+		opts:   opts,
+		leaf:   newLeafLayout(opts),
+		inner:  newInternalLayout(opts),
+		super:  super,
+	}
+	ix.mnprog = f.RegisterMNProgram(&mnProgram{ix: ix})
+	ix.offMN = int(super.MN)
+	return ix, nil
+}
+
+// Super returns the super block's address, the one root pointer a
+// re-attaching compute node needs (persisted across restarts via
+// dmsim.Fabric.SetPersistMeta).
+func (ix *Index) Super() dmsim.GAddr { return ix.super }
+
 // Options returns the tree's configuration.
 func (ix *Index) Options() Options { return ix.opts }
 

@@ -40,10 +40,15 @@ func (c *Client) AllocRPC(mnIdx int, size int) (GAddr, error) {
 			mnIdx, off, len(mn.mem), size)
 	}
 	mn.allocOff = off + uint64(size)
+	watermark := mn.allocOff
 	mn.allocMu.Unlock()
+	var persistNs int64
+	if mn.ps != nil {
+		persistNs = mn.ps.logAlloc(watermark)
+	}
 
 	arrival := c.now + c.issueNs + penalty
-	done := mn.nic.serve(c.shard(), kindRPC, arrival, 64)
+	done := mn.nic.serve(c.shard(), kindRPC, arrival, 64) + persistNs
 	if c.fl.Recording() {
 		// The sync RPC advances the clock by exactly
 		// issue+penalty+queue+service+rpc+rtt; charge each segment

@@ -303,6 +303,11 @@ func (c *Client) PostWrite(a GAddr, data []byte) (*Completion, error) {
 
 	arrival := c.now + c.issueNs + penalty
 	done := mn.nic.serve(c.shard(), kindWrite, arrival, len(data))
+	if mn.ps != nil {
+		// Write-behind durability: the log append delays only this
+		// verb's ack (the NIC stays free for others).
+		done += mn.ps.logWrite(a.Off, data)
+	}
 
 	c.stats.Writes++
 	c.stats.Trips++
@@ -349,6 +354,11 @@ func (c *Client) PostWriteBatch(addrs []GAddr, datas [][]byte) (*Completion, err
 	mn := c.f.mns[mn0]
 	arrival := c.now + c.issueNs + penalty
 	done := mn.nic.serveBatch(c.shard(), kindWrite, arrival, payloads)
+	if mn.ps != nil {
+		for i, a := range addrs {
+			done += mn.ps.logWrite(a.Off, datas[i])
+		}
+	}
 
 	c.stats.Writes += int64(len(addrs))
 	c.stats.Trips++
@@ -377,6 +387,7 @@ func (c *Client) PostMaskedCAS(a GAddr, cmp, swap, cmpMask, swapMask uint64) (*C
 	if err != nil {
 		return nil, err
 	}
+	var persistNs int64
 	lk := mn.casLock(a.Off)
 	lk.Lock()
 	word := mn.mem[a.Off : a.Off+8]
@@ -385,12 +396,17 @@ func (c *Client) PostMaskedCAS(a GAddr, cmp, swap, cmpMask, swapMask uint64) (*C
 	if ok {
 		next := (prev &^ swapMask) | (swap & swapMask)
 		binary.LittleEndian.PutUint64(word, next)
+		if mn.ps != nil {
+			// Logged under the stripe lock so competing atomics on one
+			// word (lock handoffs) replay in their serialization order.
+			persistNs = mn.ps.logWord(a.Off, next)
+		}
 	}
 	lk.Unlock()
 	c.observeCAS(a, ok, cmpMask, swap)
 
 	arrival := c.now + c.issueNs + penalty
-	done := mn.nic.serve(c.shard(), kindAtomic, arrival, 8)
+	done := mn.nic.serve(c.shard(), kindAtomic, arrival, 8) + persistNs
 
 	c.stats.Atomics++
 	c.stats.Trips++
@@ -416,15 +432,19 @@ func (c *Client) PostFetchAdd(a GAddr, delta uint64) (*Completion, error) {
 	if err != nil {
 		return nil, err
 	}
+	var persistNs int64
 	lk := mn.casLock(a.Off)
 	lk.Lock()
 	word := mn.mem[a.Off : a.Off+8]
 	prev := binary.LittleEndian.Uint64(word)
 	binary.LittleEndian.PutUint64(word, prev+delta)
+	if mn.ps != nil {
+		persistNs = mn.ps.logWord(a.Off, prev+delta)
+	}
 	lk.Unlock()
 
 	arrival := c.now + c.issueNs + penalty
-	done := mn.nic.serve(c.shard(), kindAtomic, arrival, 8)
+	done := mn.nic.serve(c.shard(), kindAtomic, arrival, 8) + persistNs
 
 	c.stats.Atomics++
 	c.stats.Trips++

@@ -129,6 +129,13 @@ type Config struct {
 	// virtual-time skew between members.
 	QuantumRTTs int
 
+	// Persist optionally attaches a per-MN durability backend
+	// (persist.go): every MN-memory mutation is logged to a folio
+	// write-behind file in Persist.Dir, snapshots compact the log, and
+	// KillMN/RestartMN model true MN crash-recovery. The zero value
+	// disables persistence with no change to the verb hot path.
+	Persist PersistConfig
+
 	// ChunkBytes is the unit handed out by the allocation RPC and
 	// sub-allocated client-side. CHIME uses 16 MB chunks (§4.2.2);
 	// benchmark fleets with hundreds of simulated clients may shrink it
@@ -190,6 +197,9 @@ func (c Config) Validate() error {
 	}
 	if c.QuantumRTTs < 0 {
 		return fmt.Errorf("dmsim: negative QuantumRTTs")
+	}
+	if err := c.Persist.validate(); err != nil {
+		return err
 	}
 	return nil
 }

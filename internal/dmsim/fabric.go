@@ -19,6 +19,13 @@ type memoryNode struct {
 
 	allocMu  sync.Mutex
 	allocOff uint64
+
+	// Durability plane (persist.go). ps is nil with persistence off —
+	// the hot path pays one nil check. dead marks a crash-stopped MN
+	// (KillMN): every verb aimed at it fails with ErrMNDown until
+	// RestartMN recovers it.
+	ps   *pstore
+	dead atomic.Bool
 }
 
 // casLock returns the stripe lock guarding atomics on the given offset.
@@ -93,6 +100,13 @@ type Fabric struct {
 	ftCrashes  obs.Striped
 	ftFailures obs.Striped
 
+	// Durability plane (persist.go): recovered metadata and the per-MN
+	// restore summaries from construction-time warm start.
+	pmetaMu       sync.Mutex
+	pmeta         map[string]string
+	restored      []RecoveryStats
+	restoreHostNs int64
+
 	// MN-side offload programs (offload.go). progMu guards registration
 	// only; lookups on the verb path read the slice without it because
 	// registration is required to happen-before offload traffic
@@ -120,6 +134,11 @@ func NewFabric(cfg Config) (*Fabric, error) {
 			// Offset 0 is the nil address; start allocating at 64.
 			allocOff: 64,
 		})
+	}
+	if cfg.Persist.Enabled() {
+		if err := f.openPersist(); err != nil {
+			return nil, err
+		}
 	}
 	return f, nil
 }
@@ -234,5 +253,10 @@ func (f *Fabric) Poke(a GAddr, data []byte) error {
 		return err
 	}
 	copy(mn.mem[a.Off:], data)
+	// Free mutations still mutate durable state; log them (at zero
+	// virtual cost, like the rest of Poke).
+	if mn.ps != nil {
+		mn.ps.logWrite(a.Off, data)
+	}
 	return nil
 }

@@ -186,6 +186,13 @@ func (c *Client) faultGate(class VerbClass, mn int) (int64, error) {
 	if c.crashed {
 		return 0, ErrClientCrashed
 	}
+	if c.f.mns[mn].dead.Load() {
+		// Crash-stopped by KillMN (persist.go): unlike an injector
+		// blackout there is nothing to ride out — the MN is down until
+		// someone restarts it — so the typed error surfaces at once.
+		c.f.ftFailures.Inc(int32(c.id))
+		return 0, ErrMNDown
+	}
 	inj := c.f.inj
 	if inj == nil {
 		return 0, nil

@@ -177,6 +177,19 @@ func (m *mnCPU) serve(shard int32, arrival, svcNs int64, fallback bool) int64 {
 	return completion
 }
 
+// pushBusy raises every shard's busy horizon to at least the given
+// virtual time (see nic.pushBusy).
+func (m *mnCPU) pushBusy(until int64) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		if s.freeAt < until {
+			s.freeAt = until
+		}
+		s.mu.Unlock()
+	}
+}
+
 // frontier returns the latest busy time across the CPU's shards.
 func (m *mnCPU) frontier() int64 {
 	var fr int64

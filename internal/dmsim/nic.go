@@ -130,6 +130,20 @@ func (n *nic) serviceNs(payload int) int64 {
 	return sNs
 }
 
+// pushBusy raises every shard's busy horizon to at least the given
+// virtual time. RestartMN (persist.go) uses it to make post-recovery
+// verbs queue behind the replay through the normal serve recurrence.
+func (n *nic) pushBusy(until int64) {
+	for i := range n.shards {
+		s := &n.shards[i]
+		s.mu.Lock()
+		if s.freeAt < until {
+			s.freeAt = until
+		}
+		s.mu.Unlock()
+	}
+}
+
 // sampleLocked decides (under the shard mutex) whether to emit a
 // timeline sample.
 func (n *nic) sampleLocked(s *nicShard, completion int64) bool {

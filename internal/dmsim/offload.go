@@ -140,6 +140,10 @@ type MNCtx struct {
 	touched int64
 	out     []byte
 	outN    int
+
+	// persistNs accumulates the durability charge of the program's
+	// mutations (persist.go); postOffload adds it to the completion.
+	persistNs int64
 }
 
 // MN returns the index of the memory node the program runs on.
@@ -172,6 +176,9 @@ func (x *MNCtx) Write(a GAddr, data []byte) bool {
 	}
 	x.mn.copyIn(a.Off, data)
 	x.touched += int64(len(data))
+	if x.mn.ps != nil {
+		x.persistNs += x.mn.ps.logWrite(a.Off, data)
+	}
 	return true
 }
 
@@ -199,6 +206,11 @@ func (x *MNCtx) MaskedCAS(a GAddr, cmp, swap, cmpMask, swapMask uint64) (prev ui
 	if swapped {
 		next := (prev &^ swapMask) | (swap & swapMask)
 		binary.LittleEndian.PutUint64(word, next)
+		if x.mn.ps != nil {
+			// Under the stripe lock, like PostMaskedCAS: handoffs on
+			// one word must replay in serialization order.
+			x.persistNs += x.mn.ps.logWord(a.Off, next)
+		}
 	}
 	lk.Unlock()
 	x.touched += 8
@@ -282,6 +294,7 @@ func (c *Client) postOffload(id MNProgramID, mn int, kind offKind, key, arg uint
 	}
 	n := ctx.outN
 	touched := ctx.touched
+	persistNs := ctx.persistNs
 	ctx.cl = nil // drop references until the next offload reuses it
 	ctx.out = nil
 	ctx.mn = nil
@@ -292,7 +305,7 @@ func (c *Client) postOffload(id MNProgramID, mn int, kind offKind, key, arg uint
 	arrival := c.now + c.issueNs + penalty
 	mnSvc := node.cpu.serviceNs(touched)
 	nicDone := node.nic.serve(c.shard(), kindRPC, arrival, reqBytes+respBytes)
-	cpuDone := node.cpu.serve(c.shard(), nicDone, mnSvc, st.Fallback())
+	cpuDone := node.cpu.serve(c.shard(), nicDone, mnSvc, st.Fallback()) + persistNs
 
 	c.stats.RPCs++
 	c.stats.Offloads++

@@ -1,0 +1,221 @@
+package dmsim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// persistCfg returns a small persistent fabric config rooted in a test
+// temp dir.
+func persistCfg(t *testing.T) Config {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.MNSize = 1 << 20
+	cfg.ChunkBytes = 1 << 16
+	cfg.Persist.Dir = t.TempDir()
+	return cfg
+}
+
+func TestPersistKillRestartRestoresEverything(t *testing.T) {
+	f := MustNewFabric(persistCfg(t))
+	c := f.NewClient()
+
+	base, err := c.AllocRPC(0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exercise every mutating verb shape.
+	if err := c.Write(base, []byte("one-sided write")); err != nil {
+		t.Fatal(err)
+	}
+	addrs := []GAddr{{MN: 0, Off: base.Off + 256}, {MN: 0, Off: base.Off + 512}}
+	if err := c.WriteBatch(addrs, [][]byte{[]byte("batch-a"), []byte("batch-b")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.CAS(GAddr{MN: 0, Off: base.Off + 1024}, 0, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FetchAdd(GAddr{MN: 0, Off: base.Off + 1032}, 41); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot mid-stream, then keep writing: recovery must compose
+	// snapshot + log.
+	if err := f.SnapshotPersist(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(GAddr{MN: 0, Off: base.Off + 2048}, []byte("post-snapshot")); err != nil {
+		t.Fatal(err)
+	}
+
+	want := make([]byte, 1<<20)
+	if err := f.Peek(GAddr{MN: 0, Off: 0}, want); err != nil {
+		t.Fatal(err)
+	}
+	usedBefore := f.UsedBytes(0)
+
+	if err := f.KillMN(0); err != nil {
+		t.Fatalf("KillMN: %v", err)
+	}
+	if err := c.Write(base, []byte("x")); !errors.Is(err, ErrMNDown) {
+		t.Fatalf("write to dead MN = %v, want ErrMNDown", err)
+	}
+	if !f.MNDownNow(0) {
+		t.Error("MNDownNow(0) = false after kill")
+	}
+
+	frontierBefore := f.Frontier()
+	stats, err := f.RestartMN(0)
+	if err != nil {
+		t.Fatalf("RestartMN: %v", err)
+	}
+	if !stats.WasDirty {
+		t.Error("crash restart did not report a dirty store")
+	}
+	if stats.Pages == 0 || stats.Records == 0 {
+		t.Errorf("recovery restored %d pages, %d records; want both > 0", stats.Pages, stats.Records)
+	}
+	if stats.RecoverNs <= 0 {
+		t.Errorf("RecoverNs = %d, want > 0", stats.RecoverNs)
+	}
+	if fr := f.Frontier(); fr < frontierBefore+stats.RecoverNs {
+		t.Errorf("frontier %d not pushed past recovery (%d + %d)", fr, frontierBefore, stats.RecoverNs)
+	}
+
+	got := make([]byte, 1<<20)
+	if err := f.Peek(GAddr{MN: 0, Off: 0}, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("restored MN memory differs from pre-crash state")
+	}
+	if used := f.UsedBytes(0); used != usedBefore {
+		t.Errorf("allocator watermark %d, want %d", used, usedBefore)
+	}
+
+	// The MN is serving again.
+	if err := c.Write(base, []byte("back")); err != nil {
+		t.Fatalf("write after restart: %v", err)
+	}
+}
+
+func TestPersistWarmStartFromCleanClose(t *testing.T) {
+	cfg := persistCfg(t)
+	f := MustNewFabric(cfg)
+	c := f.NewClient()
+	a, err := c.AllocRPC(0, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(a, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetPersistMeta("super", "0:64"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ClosePersist(); err != nil {
+		t.Fatal(err)
+	}
+
+	f2 := MustNewFabric(cfg)
+	rs := f2.RestoreStats()
+	if len(rs) == 0 {
+		t.Fatal("warm-started fabric reports no restores")
+	}
+	if rs[0].WasDirty {
+		t.Error("clean close reported dirty on reopen")
+	}
+	if f2.PersistMeta("super") != "0:64" {
+		t.Errorf("meta lost: %q", f2.PersistMeta("super"))
+	}
+	buf := make([]byte, 7)
+	if err := f2.Peek(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "durable" {
+		t.Errorf("restored bytes %q", buf)
+	}
+	if used := f2.UsedBytes(0); used < a.Off+1024 {
+		t.Errorf("allocator watermark %d not restored", used)
+	}
+	if err := f2.ClosePersist(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKillMNRequiresPersistence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MNSize = 1 << 20
+	f := MustNewFabric(cfg)
+	if err := f.KillMN(0); err == nil {
+		t.Fatal("KillMN without persistence succeeded; data would be unrecoverable")
+	}
+	if f.PersistEnabled() {
+		t.Error("PersistEnabled on a plain fabric")
+	}
+}
+
+func TestPersistCostsAreDeterministic(t *testing.T) {
+	// Same seed (trivially: same op stream) twice, fresh dirs: the
+	// virtual frontier and stats must be bit-identical — the durability
+	// charge is a pure function, never host I/O timing.
+	run := func() (int64, ClientStats, PersistStats) {
+		cfg := DefaultConfig()
+		cfg.MNSize = 1 << 20
+		cfg.ChunkBytes = 1 << 16
+		cfg.Persist.Dir = t.TempDir()
+		f := MustNewFabric(cfg)
+		c := f.NewClient()
+		a, err := c.AllocRPC(0, 8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 128)
+		for i := 0; i < 200; i++ {
+			if err := c.Write(GAddr{MN: 0, Off: a.Off + uint64(i%8)*128}, buf); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := c.CAS(GAddr{MN: 0, Off: a.Off}, 0, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f.Frontier(), c.Stats(), f.PersistStats()
+	}
+	fr1, st1, ps1 := run()
+	fr2, st2, ps2 := run()
+	if fr1 != fr2 || st1 != st2 || ps1 != ps2 {
+		t.Errorf("same op stream diverged: frontier %d vs %d, stats %+v vs %+v, persist %+v vs %+v",
+			fr1, fr2, st1, st2, ps1, ps2)
+	}
+	if ps1.Records == 0 {
+		t.Error("no records logged")
+	}
+}
+
+func TestPersistOffIsFreeOfSideEffects(t *testing.T) {
+	// A fabric without Persist must not create files or change verb
+	// timing. Timing identity with pre-plane history is pinned end to
+	// end by TestPersistOffMeansOff in internal/bench; here we check
+	// the plane is structurally absent.
+	cfg := DefaultConfig()
+	cfg.MNSize = 1 << 20
+	f := MustNewFabric(cfg)
+	c := f.NewClient()
+	a, err := c.AllocRPC(0, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(a, []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	if s := f.PersistStats(); s != (PersistStats{}) {
+		t.Errorf("persist stats nonzero with persistence off: %+v", s)
+	}
+	if err := f.FlushPersist(); err != nil {
+		t.Errorf("FlushPersist no-op errored: %v", err)
+	}
+	if err := f.ClosePersist(); err != nil {
+		t.Errorf("ClosePersist no-op errored: %v", err)
+	}
+}

@@ -1,0 +1,226 @@
+package fault_test
+
+// MN kill/restart chaos: the durability plane (dmsim Config.Persist +
+// internal/folio) must make a memory-node crash survivable. The
+// scenario composes every recovery mechanism in the repo:
+//
+//	phase 1: four workers update under an escalating fault schedule;
+//	         two victims crash right after winning a remote lock, so
+//	         orphaned lock words are sitting in MN memory — and in the
+//	         write-behind log.
+//	kill:    the MN crash-stops. Volatile memory is wiped; the folio
+//	         store is left exactly as a power cut would (log flushed,
+//	         dirty flag set).
+//	restart: recovery replays snapshot + log. The restored image must
+//	         be byte-identical to the pre-crash memory — including the
+//	         orphaned locks — and the replay's virtual cost lands on
+//	         the MN's busy horizons.
+//	phase 2: fresh workers keep updating through the restored state,
+//	         stealing any still-orphaned locks via the lease path.
+//	verify:  a clean client proves no acked update from either phase
+//	         was lost, the key set is exact, and lease recovery fired.
+//
+// Run for all four systems under -race (make chaos).
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"chime/internal/dmsim"
+	"chime/internal/fault"
+	"chime/internal/obs"
+)
+
+func TestChaosMNKillRestart(t *testing.T) {
+	for _, sys := range chaosSystems() {
+		sys := sys
+		t.Run(sys.name, func(t *testing.T) {
+			runChaosMNRestart(t, sys)
+		})
+	}
+}
+
+func runChaosMNRestart(t *testing.T, sys chaosSystem) {
+	cfg := dmsim.DefaultConfig()
+	cfg.MNSize = 96 << 20
+	// Two worker fleets plus probes ≈ 10 clients; default 16 MB alloc
+	// chunks would exhaust the MN before phase 2.
+	cfg.ChunkBytes = 2 << 20
+	cfg.Persist.Dir = t.TempDir()
+	f := dmsim.MustNewFabric(cfg)
+	sink := obs.NewSink(false)
+	f.SetObserver(sink)
+
+	keys := make([]uint64, chaosKeys)
+	vals := make(map[uint64][]byte, chaosKeys)
+	for i := range keys {
+		k := uint64(i + 1)
+		keys[i] = k
+		vals[k] = loadValue(k)
+	}
+	newClient, err := sys.setup(f, sink, keys, vals)
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+
+	logs := make([]*workerLog, chaosWorkers)
+	for i := range logs {
+		logs[i] = &workerLog{issued: map[uint64]uint64{}, acked: map[uint64]uint64{}}
+	}
+
+	// runPhase drives the standard interleaved-ownership worker fleet
+	// for ops operations each, continuing each key's sequence numbers
+	// across phases (the verifier attributes values by worker tag).
+	runPhase := func(phase, ops int, clients []chaosClient) {
+		var wg sync.WaitGroup
+		for i := range clients {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				cl := clients[w]
+				dc := cl.DM()
+				dc.JoinCohort()
+				defer dc.LeaveCohort()
+				lg := logs[w]
+				for op := 0; op < ops; op++ {
+					key := keys[((phase*ops+op)*chaosWorkers+w)%chaosKeys]
+					seq := lg.issued[key]
+					lg.issued[key] = seq + 1
+					if err := cl.Update(key, workerValue(w, int(seq))); err != nil {
+						if dc.Crashed() {
+							lg.crashed = true
+							return
+						}
+						t.Errorf("phase %d worker %d: Update(%#x): %v", phase, w, key, err)
+						return
+					}
+					lg.acked[key] = seq + 1
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	// Phase 1: escalating faults plus two victims who die holding a
+	// remote lock, leaving orphaned lock words in the durable log.
+	sched := fault.NewSchedule(fault.Config{
+		Seed:      7711,
+		DropRate:  0.002,
+		SpikeRate: 0.01,
+		SpikeNs:   20_000,
+	})
+	f.SetFaultInjector(sched)
+	phase1 := make([]chaosClient, chaosWorkers)
+	for i := range phase1 {
+		phase1[i] = newClient()
+	}
+	sched.CrashAfterLockAcquires(phase1[0].DM().ID(), 7)
+	sched.CrashAfterLockAcquires(phase1[1].DM().ID(), 23)
+	runPhase(0, chaosOpsPerWkr/2, phase1)
+	if !logs[0].crashed || !logs[1].crashed {
+		t.Fatalf("victims did not crash (worker0=%v worker1=%v)", logs[0].crashed, logs[1].crashed)
+	}
+	f.SetFaultInjector(nil)
+
+	// Crash the MN at quiescence. Everything any worker was ever acked
+	// for is in the folio snapshot+log; volatile memory dies.
+	used := f.UsedBytes(0)
+	pre := make([]byte, used)
+	if err := f.Peek(dmsim.GAddr{MN: 0, Off: 0}, pre); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.KillMN(0); err != nil {
+		t.Fatalf("KillMN: %v", err)
+	}
+	probe := newClient()
+	if _, err := probe.Search(keys[0]); err == nil {
+		t.Error("Search succeeded against a dead MN")
+	}
+
+	stats, err := f.RestartMN(0)
+	if err != nil {
+		t.Fatalf("RestartMN: %v", err)
+	}
+	if !stats.WasDirty {
+		t.Error("restart did not see a dirty store (crash undetected)")
+	}
+	if stats.Records == 0 {
+		t.Error("restart replayed no log records")
+	}
+	if stats.RecoverNs <= 0 {
+		t.Errorf("RecoverNs = %d, want > 0", stats.RecoverNs)
+	}
+	post := make([]byte, used)
+	if err := f.Peek(dmsim.GAddr{MN: 0, Off: 0}, post); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pre, post) {
+		t.Fatal("restored MN memory differs from pre-crash state")
+	}
+
+	// Phase 2: a fresh fleet (same worker tags, continuing sequence
+	// numbers) runs over the restored state under a new schedule. Any
+	// lock a phase-1 victim still orphans is restored locked and must
+	// be stolen via the lease path.
+	sched2 := fault.NewSchedule(fault.Config{
+		Seed:      9090,
+		DropRate:  0.002,
+		SpikeRate: 0.01,
+		SpikeNs:   20_000,
+	})
+	f.SetFaultInjector(sched2)
+	phase2 := make([]chaosClient, chaosWorkers)
+	for i := range phase2 {
+		phase2[i] = newClient()
+	}
+	runPhase(1, chaosOpsPerWkr/2, phase2)
+	f.SetFaultInjector(nil)
+
+	// Verify with a clean client: exact key set, every value
+	// attributable and no older than its last ack — across the crash.
+	ver := newClient()
+	gotKeys, gotVals, err := ver.Scan(1, chaosKeys+16)
+	if err != nil {
+		t.Fatalf("verify scan: %v", err)
+	}
+	if len(gotKeys) != chaosKeys {
+		t.Fatalf("scan returned %d keys, want %d", len(gotKeys), chaosKeys)
+	}
+	for i, k := range gotKeys {
+		if k != keys[i] {
+			t.Fatalf("scan[%d] = %#x, want %#x (duplicate or lost key)", i, k, keys[i])
+		}
+	}
+	for i, k := range gotKeys {
+		owner := int(k-1) % chaosWorkers
+		lg := logs[owner]
+		tag, seq := decodeValue(gotVals[i])
+		switch {
+		case tag == 0xFF:
+			if lg.acked[k] != 0 {
+				t.Fatalf("key %#x: load value survived but worker %d had %d acked updates (ack lost across MN crash)",
+					k, owner, lg.acked[k])
+			}
+		case int(tag) == owner:
+			if seq >= lg.issued[k] {
+				t.Fatalf("key %#x: value seq %d was never issued (max %d)", k, seq, lg.issued[k])
+			}
+			if seq+1 < lg.acked[k] {
+				t.Fatalf("key %#x: value seq %d older than last acked %d (ack lost across MN crash)",
+					k, seq, lg.acked[k]-1)
+			}
+		default:
+			t.Fatalf("key %#x: value tagged %d, owner is %d", k, tag, owner)
+		}
+	}
+	if recov := sink.Registry().Snapshot().Counters[obs.NameRecovery]; recov == 0 {
+		t.Error("no lease recoveries despite two crashed lock holders")
+	}
+	if testing.Verbose() {
+		ps := f.PersistStats()
+		fmt.Printf("%s: recovery pages=%d records=%d replayedBytes=%d recoverNs=%d logged{records=%d bytes=%d}\n",
+			sys.name, stats.Pages, stats.Records, stats.PageBytes+stats.RecordBytes, stats.RecoverNs, ps.Records, ps.Bytes)
+	}
+}

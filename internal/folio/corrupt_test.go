@@ -1,0 +1,207 @@
+package folio
+
+// Corruption robustness: each of the crash shapes recovery must face —
+// truncated tail record, torn mid-record write, stale dirty flag — is
+// synthesized by direct file surgery and must either recover (tail
+// damage, staleness) or fail with the right typed sentinel (mid-file
+// rot, alien versions). Matching uses errors.Is throughout, per the
+// dmerrors analyzer rules.
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// seedFile builds a dirty store with a few flushed records and returns
+// its path plus the expected memory image.
+func seedFile(t *testing.T) (string, []byte) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "mn.folio")
+	s, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := make([]byte, 2048)
+	for i, payload := range [][]byte{[]byte("first"), []byte("second"), []byte("third")} {
+		off := uint64(64 * (i + 1))
+		copy(mem[off:], payload)
+		if err := s.AppendWrite(off, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Abandon(); err != nil { // crash with dirty flag set
+		t.Fatal(err)
+	}
+	return path, mem
+}
+
+func recoverImage(t *testing.T, path string) (*Recovery, []byte) {
+	t.Helper()
+	s, rec, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	mem := make([]byte, 2048)
+	if err := rec.Materialize(mem); err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	return rec, mem
+}
+
+func TestRecoverTruncatedTailRecord(t *testing.T) {
+	path, want := seedFile(t)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the final record mid-line: a crash during the last append.
+	if err := os.WriteFile(path, blob[:len(blob)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, got := recoverImage(t, path)
+	if !rec.TruncatedTail {
+		t.Error("truncated tail not reported")
+	}
+	if rec.Records != 2 {
+		t.Errorf("replayed %d records, want the 2 intact ones", rec.Records)
+	}
+	// The third write is lost (it was torn), the first two survive.
+	copy(want[64*3:], make([]byte, len("third")))
+	if !bytes.Equal(got, want) {
+		t.Error("recovered image wrong after truncated tail")
+	}
+}
+
+func TestRecoverTornFinalRecord(t *testing.T) {
+	path, want := seedFile(t)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip payload bytes inside the final record but keep it a full
+	// line: a torn write that landed with the wrong bits. The checksum
+	// catches it.
+	lines := bytes.Split(blob, []byte("\n"))
+	last := lines[len(lines)-2] // -1 is the empty slice after the final \n
+	i := bytes.Index(last, []byte(`"d":"`))
+	if i < 0 {
+		t.Fatal("no payload field in final record")
+	}
+	last[i+6] ^= 0x01
+	last[i+7] ^= 0x01
+	if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, got := recoverImage(t, path)
+	if !rec.TruncatedTail {
+		t.Error("torn final record not reported as discarded tail")
+	}
+	copy(want[64*3:], make([]byte, len("third")))
+	if !bytes.Equal(got, want) {
+		t.Error("recovered image wrong after torn final record")
+	}
+}
+
+func TestMidLogCorruptionIsRefused(t *testing.T) {
+	path, _ := seedFile(t)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the SECOND record (intact records follow): that is not a
+	// torn append, it is rot — recovery must refuse with ErrCorrupt.
+	lines := bytes.Split(blob, []byte("\n"))
+	second := lines[2]
+	i := bytes.Index(second, []byte(`"d":"`))
+	second[i+6] ^= 0x01
+	if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(path, Options{})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Open on mid-log rot = %v, want errors.Is(..., ErrCorrupt)", err)
+	}
+	if _, err := Inspect(path); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Inspect on mid-log rot = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestStaleDirtyFlagRecovers(t *testing.T) {
+	// A dirty flag with a perfectly intact file (the crash happened
+	// after the last flush, before the clean-close header rewrite) is
+	// the common case: recovery must replay everything and lose
+	// nothing.
+	path, want := seedFile(t)
+	rec, got := recoverImage(t, path)
+	if !rec.WasDirty {
+		t.Error("stale dirty flag not reported")
+	}
+	if rec.TruncatedTail {
+		t.Error("intact file reported a torn tail")
+	}
+	if rec.Records != 3 {
+		t.Errorf("replayed %d records, want all 3", rec.Records)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("recovered image differs")
+	}
+}
+
+func TestHeaderVersionMismatch(t *testing.T) {
+	path, _ := seedFile(t)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := bytes.Replace(blob, []byte(`{"_v":1,`), []byte(`{"_v":9,`), 1)
+	if bytes.Equal(fixed, blob) {
+		t.Fatal("version field not found in header")
+	}
+	if err := os.WriteFile(path, fixed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(path, Options{})
+	if !errors.Is(err, ErrVersion) {
+		t.Errorf("Open on _v=9 = %v, want errors.Is(..., ErrVersion)", err)
+	}
+}
+
+func TestMangledHeaderIsBadHeader(t *testing.T) {
+	path, _ := seedFile(t)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(blob, []byte("not json at all"))
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path, Options{}); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("Open on mangled header = %v, want ErrBadHeader", err)
+	}
+	short := filepath.Join(t.TempDir(), "short.folio")
+	if err := os.WriteFile(short, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(short, Options{}); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("Open on short file = %v, want ErrBadHeader", err)
+	}
+}
+
+func TestClosedStoreRefusesAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mn.folio")
+	s, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendWrite(0, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("AppendWrite after Close = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,851 @@
+// Package folio is the durability plane's on-disk chunk store: a
+// self-describing, JSONL-inspectable snapshot + append-log file format
+// modeled on the folio exemplar (SNIPPETS.md). One .folio file holds
+// the durable image of one memory node.
+//
+// # The file is the interface
+//
+// Every .folio file is valid JSONL: one JSON document per line, so jq,
+// grep and wc work on it directly — no tool required to understand the
+// data. The layout is
+//
+//	Header   one JSON object, space-padded to exactly 128 bytes
+//	Heap     page records ({"t":"page",...}), sorted by offset
+//	Index    idx records ({"t":"idx",...}), sorted by offset
+//	Sparse   append tail: write/alloc/meta records in arrival order
+//
+// The header's _s array carries the heap and index section end offsets,
+// so the three sections are addressable without scanning; the sparse
+// tail runs from the index end to EOF. The dirty flag (_e) is set while
+// a session has the file open and cleared only by a clean Close, so a
+// crash is detectable on the next open: recovery replays snapshot pages
+// and then the sparse log, tolerating a truncated or torn final record
+// (the classic crashed-mid-append shapes) while refusing mid-file
+// corruption with a typed error.
+//
+// # Compaction
+//
+// Appends accumulate in the sparse tail. Compact rewrites the file —
+// fresh snapshot pages, fresh index, empty tail — into a temp file and
+// atomically renames it over the original, so a crash during
+// compaction leaves the old file intact. Record payloads are base64
+// (the exemplar compresses; this store favors simplicity) and each
+// carries an FNV-1a checksum so torn writes are detected per record.
+package folio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Typed sentinels. Wrap sites use %w so callers match with errors.Is
+// (never ==), per the dmerrors analyzer rules.
+var (
+	// ErrBadHeader reports a file whose first 128 bytes are not a valid
+	// folio header line.
+	ErrBadHeader = errors.New("folio: malformed header")
+
+	// ErrVersion reports a header whose format version this code does
+	// not speak.
+	ErrVersion = errors.New("folio: unsupported format version")
+
+	// ErrCorrupt reports corruption recovery cannot tolerate: a bad
+	// record in the heap or index sections, or a bad sparse record that
+	// is not the file's final record (disk rot, not a torn append).
+	ErrCorrupt = errors.New("folio: corrupt record")
+
+	// ErrClosed reports an operation on a closed or abandoned store.
+	ErrClosed = errors.New("folio: store is closed")
+)
+
+// Version is the format version this package reads and writes.
+const Version = 1
+
+// HeaderBytes is the exact byte length of the header line, newline
+// included. The header is rewritten in place, so its length is fixed;
+// JSON shorter than the budget is space-padded (spaces between the
+// closing brace and the newline are insignificant to JSON parsers).
+const HeaderBytes = 128
+
+// checksumAlg identifies FNV-1a/64 in the header's _alg field.
+const checksumAlg = 2
+
+// Options configure a store.
+type Options struct {
+	// PageSize is the snapshot page granularity in bytes. Compaction
+	// writes one page record per non-zero PageSize-aligned page. Zero
+	// selects 4096.
+	PageSize int
+
+	// AutoCompactEvery is the sparse-append count beyond which
+	// MaybeCompact compacts. Zero disables auto-compaction (explicit
+	// Compact still works). Recorded in the header for inspectability.
+	AutoCompactEvery int
+
+	// Stamp is the timestamp written into the header's _ts field.
+	// Callers pass virtual time (or zero): folio itself never reads a
+	// wall clock, so same-seed runs produce bit-identical files.
+	Stamp int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize <= 0 {
+		o.PageSize = 4096
+	}
+	return o
+}
+
+// header is the line-1 JSON document. Field names follow the exemplar:
+// _v version, _e dirty ("emergency") flag, _alg checksum algorithm,
+// _ts stamp, _s section state [heapEnd, indexEnd, pageSize, pages,
+// appendsSinceCompact, autoCompactEvery].
+type header struct {
+	V   int      `json:"_v"`
+	E   int      `json:"_e"`
+	Alg int      `json:"_alg"`
+	TS  int64    `json:"_ts"`
+	S   [6]int64 `json:"_s"`
+}
+
+// record is the union of every line-2+ document shape. T discriminates:
+// "page" (snapshot page), "idx" (page directory entry), "w" (logged
+// write), "alloc" (allocator watermark), "meta" (key/value).
+type record struct {
+	T   string `json:"t"`
+	Off uint64 `json:"off,omitempty"`
+	Len int    `json:"len,omitempty"`
+	At  int64  `json:"at,omitempty"`
+	Q   uint64 `json:"q,omitempty"`
+	D   string `json:"d,omitempty"`
+	C   string `json:"c,omitempty"`
+	K   string `json:"k,omitempty"`
+	V   string `json:"v,omitempty"`
+}
+
+// Store is one open .folio file. Appends are buffered; Flush is the
+// durability boundary (the log device is modeled as NVM: everything
+// flushed survives a crash). Safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	w       *bufio.Writer
+	opts    Options
+	hdr     header
+	seq     uint64 // next write-record sequence number
+	appends int64  // sparse records since last compaction
+	closed  bool
+}
+
+// Recovery is what Open reconstructed from an existing file.
+type Recovery struct {
+	// Pages and PageBytes count the snapshot pages restored from the
+	// heap section and their payload bytes.
+	Pages     int
+	PageBytes int64
+
+	// Records and RecordBytes count the sparse-tail records replayed
+	// (writes, allocs and metas) and the write payload bytes.
+	Records     int
+	RecordBytes int64
+
+	// WasDirty reports that the file was not closed cleanly — the
+	// previous session crashed and the sparse tail is the authority.
+	WasDirty bool
+
+	// TruncatedTail reports that the final sparse record was truncated
+	// or torn and was discarded. Only the unacknowledged tail can be
+	// lost this way; anything flushed before the crash replays.
+	TruncatedTail bool
+
+	// AllocOff is the recovered allocator watermark (the max of all
+	// alloc records), zero if none was logged.
+	AllocOff uint64
+
+	// Meta holds the recovered key/value metadata, last write wins.
+	Meta map[string]string
+
+	pages  []pageRec
+	writes []writeRec
+}
+
+type pageRec struct {
+	off  uint64
+	data []byte
+}
+
+type writeRec struct {
+	off  uint64
+	data []byte
+}
+
+// Materialize applies the recovered image — snapshot pages, then the
+// sparse log in append order — onto mem. Errors if any record lies
+// outside mem (e.g. the file belongs to a larger memory node).
+func (r *Recovery) Materialize(mem []byte) error {
+	for _, p := range r.pages {
+		if p.off+uint64(len(p.data)) > uint64(len(mem)) {
+			return fmt.Errorf("%w: page [%d,+%d) outside %d-byte region",
+				ErrCorrupt, p.off, len(p.data), len(mem))
+		}
+		copy(mem[p.off:], p.data)
+	}
+	for _, w := range r.writes {
+		if w.off+uint64(len(w.data)) > uint64(len(mem)) {
+			return fmt.Errorf("%w: write [%d,+%d) outside %d-byte region",
+				ErrCorrupt, w.off, len(w.data), len(mem))
+		}
+		copy(mem[w.off:], w.data)
+	}
+	return nil
+}
+
+// Create makes a fresh store at path, truncating any existing file. The
+// header is written dirty: the session is live until Close.
+func Create(path string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		path: path,
+		f:    f,
+		w:    bufio.NewWriter(f),
+		opts: opts,
+		hdr: header{
+			V:   Version,
+			E:   1,
+			Alg: checksumAlg,
+			TS:  opts.Stamp,
+			S:   [6]int64{HeaderBytes, HeaderBytes, int64(opts.PageSize), 0, 0, int64(opts.AutoCompactEvery)},
+		},
+	}
+	if err := s.rewriteHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open reads and recovers an existing store, returning the live store
+// (positioned for appends) plus what was recovered. The header is
+// re-marked dirty for the new session.
+func Open(path string, opts Options) (*Store, *Recovery, error) {
+	opts = opts.withDefaults()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	hdr, rec, err := recover_(blob)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Store{
+		path:    path,
+		f:       f,
+		w:       bufio.NewWriter(f),
+		opts:    opts,
+		hdr:     hdr,
+		appends: hdr.S[4],
+	}
+	s.hdr.E = 1
+	s.hdr.TS = opts.Stamp
+	if err := s.rewriteHeader(); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Truncate away a torn tail so new appends start on a record
+	// boundary, then position at EOF.
+	end := validEnd(blob, hdr)
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(end, 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return s, rec, nil
+}
+
+// validEnd returns the byte offset after the last intact record — EOF
+// unless the tail was torn or truncated.
+func validEnd(blob []byte, hdr header) int64 {
+	end := int64(len(blob))
+	start := hdr.S[1]
+	if start < HeaderBytes {
+		start = HeaderBytes
+	}
+	tail := blob[start:]
+	off := start
+	for len(tail) > 0 {
+		nl := bytes.IndexByte(tail, '\n')
+		if nl < 0 {
+			return off // truncated final line
+		}
+		line := tail[:nl]
+		var r record
+		if json.Unmarshal(line, &r) != nil || !checksumOK(r) {
+			return off // torn final record (recover_ verified it IS final)
+		}
+		off += int64(nl) + 1
+		tail = tail[nl+1:]
+	}
+	return end
+}
+
+// checksumOK verifies a record's payload checksum, if it carries one.
+func checksumOK(r record) bool {
+	if r.C == "" {
+		return true
+	}
+	data, err := base64.StdEncoding.DecodeString(r.D)
+	if err != nil {
+		return false
+	}
+	return checksum(data) == r.C
+}
+
+func checksum(data []byte) string {
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// parseHeader decodes and validates the fixed-size header line.
+func parseHeader(blob []byte) (header, error) {
+	var hdr header
+	if len(blob) < HeaderBytes || blob[HeaderBytes-1] != '\n' {
+		return hdr, fmt.Errorf("%w: file shorter than the %d-byte header", ErrBadHeader, HeaderBytes)
+	}
+	line := bytes.TrimRight(blob[:HeaderBytes-1], " ")
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return hdr, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if hdr.V != Version {
+		return hdr, fmt.Errorf("%w: file is _v=%d, this build speaks _v=%d", ErrVersion, hdr.V, Version)
+	}
+	if hdr.S[0] < HeaderBytes || hdr.S[1] < hdr.S[0] || hdr.S[1] > int64(len(blob)) {
+		return hdr, fmt.Errorf("%w: section offsets [%d,%d] outside file of %d bytes",
+			ErrBadHeader, hdr.S[0], hdr.S[1], len(blob))
+	}
+	return hdr, nil
+}
+
+// recover_ rebuilds the durable image from raw file bytes: snapshot
+// pages from the heap section, directory validation from the index
+// section, then the sparse tail in order. The trailing underscore
+// dodges the builtin.
+func recover_(blob []byte) (header, *Recovery, error) {
+	hdr, err := parseHeader(blob)
+	if err != nil {
+		return hdr, nil, err
+	}
+	rec := &Recovery{WasDirty: hdr.E != 0, Meta: map[string]string{}}
+
+	// Heap: page records, written atomically by compaction. Any damage
+	// here is disk rot, not a torn append — refuse it.
+	heap := blob[HeaderBytes:hdr.S[0]]
+	lineNo := 1
+	for len(heap) > 0 {
+		line, rest, err := nextLine(heap, "heap")
+		if err != nil {
+			return hdr, nil, err
+		}
+		heap = rest
+		lineNo++
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil {
+			return hdr, nil, fmt.Errorf("%w: heap line %d: %v", ErrCorrupt, lineNo, err)
+		}
+		if r.T != "page" {
+			return hdr, nil, fmt.Errorf("%w: heap line %d has t=%q, want \"page\"", ErrCorrupt, lineNo, r.T)
+		}
+		data, err := base64.StdEncoding.DecodeString(r.D)
+		if err != nil || checksum(data) != r.C || len(data) != r.Len {
+			return hdr, nil, fmt.Errorf("%w: heap page at offset %d fails its checksum", ErrCorrupt, r.Off)
+		}
+		rec.pages = append(rec.pages, pageRec{off: r.Off, data: data})
+		rec.Pages++
+		rec.PageBytes += int64(len(data))
+	}
+
+	// Index: one idx record per page, sorted. Redundant with the heap
+	// for recovery, but it is part of the format contract — validate.
+	idx := blob[hdr.S[0]:hdr.S[1]]
+	var idxN int
+	var prevOff uint64
+	for len(idx) > 0 {
+		line, rest, err := nextLine(idx, "index")
+		if err != nil {
+			return hdr, nil, err
+		}
+		idx = rest
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil || r.T != "idx" {
+			return hdr, nil, fmt.Errorf("%w: index entry %d is not an idx record", ErrCorrupt, idxN)
+		}
+		if idxN > 0 && r.Off <= prevOff {
+			return hdr, nil, fmt.Errorf("%w: index entry %d out of order", ErrCorrupt, idxN)
+		}
+		prevOff = r.Off
+		idxN++
+	}
+	if idxN != rec.Pages {
+		return hdr, nil, fmt.Errorf("%w: index has %d entries for %d heap pages", ErrCorrupt, idxN, rec.Pages)
+	}
+
+	// Sparse tail: replay in append order. A truncated or torn FINAL
+	// record is the signature of a crash mid-append — tolerated. A bad
+	// record with intact records after it is rot — refused.
+	sparse := blob[hdr.S[1]:]
+	for len(sparse) > 0 {
+		nl := bytes.IndexByte(sparse, '\n')
+		if nl < 0 {
+			rec.TruncatedTail = true
+			break
+		}
+		line := sparse[:nl]
+		rest := sparse[nl+1:]
+		var r record
+		data, perr := decodeSparse(line, &r)
+		if perr != nil {
+			if len(bytes.TrimSpace(rest)) == 0 {
+				rec.TruncatedTail = true
+				break
+			}
+			return hdr, nil, fmt.Errorf("%w: mid-log record %q: %v", ErrCorrupt, clip(line), perr)
+		}
+		switch r.T {
+		case "w":
+			rec.writes = append(rec.writes, writeRec{off: r.Off, data: data})
+			rec.RecordBytes += int64(len(data))
+		case "alloc":
+			if r.Off > rec.AllocOff {
+				rec.AllocOff = r.Off
+			}
+		case "meta":
+			rec.Meta[r.K] = r.V
+		default:
+			return hdr, nil, fmt.Errorf("%w: sparse record with t=%q", ErrCorrupt, r.T)
+		}
+		rec.Records++
+		sparse = rest
+	}
+	return hdr, rec, nil
+}
+
+// decodeSparse parses one sparse line and verifies its checksum,
+// returning the decoded payload for write records.
+func decodeSparse(line []byte, r *record) ([]byte, error) {
+	if err := json.Unmarshal(line, r); err != nil {
+		return nil, err
+	}
+	if r.T != "w" {
+		return nil, nil
+	}
+	data, err := base64.StdEncoding.DecodeString(r.D)
+	if err != nil {
+		return nil, err
+	}
+	if checksum(data) != r.C {
+		return nil, fmt.Errorf("checksum mismatch")
+	}
+	return data, nil
+}
+
+// nextLine splits one newline-terminated line off a fixed section; a
+// section may not end mid-line.
+func nextLine(b []byte, section string) (line, rest []byte, err error) {
+	nl := bytes.IndexByte(b, '\n')
+	if nl < 0 {
+		return nil, nil, fmt.Errorf("%w: %s section ends mid-record", ErrCorrupt, section)
+	}
+	return b[:nl], b[nl+1:], nil
+}
+
+func clip(b []byte) string {
+	if len(b) > 40 {
+		b = b[:40]
+	}
+	return string(b)
+}
+
+// rewriteHeader re-encodes the header and writes it in place. Caller
+// holds mu (or is constructing the store).
+func (s *Store) rewriteHeader() error {
+	line, err := encodeHeader(s.hdr)
+	if err != nil {
+		return err
+	}
+	_, err = s.f.WriteAt(line, 0)
+	return err
+}
+
+func encodeHeader(hdr header) ([]byte, error) {
+	blob, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) > HeaderBytes-1 {
+		return nil, fmt.Errorf("%w: encoded header needs %d bytes, budget is %d",
+			ErrBadHeader, len(blob), HeaderBytes-1)
+	}
+	line := make([]byte, HeaderBytes)
+	copy(line, blob)
+	for i := len(blob); i < HeaderBytes-1; i++ {
+		line[i] = ' '
+	}
+	line[HeaderBytes-1] = '\n'
+	return line, nil
+}
+
+// Path returns the file path the store was opened at.
+func (s *Store) Path() string { return s.path }
+
+// Appends returns the sparse records appended since the last
+// compaction (including those recovered from the file).
+func (s *Store) Appends() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appends
+}
+
+// AppendWrite logs one remote-memory write to the sparse tail. The
+// append is durable once it returns (the log device is modeled as
+// NVM); checksums let recovery discard a torn final record.
+func (s *Store) AppendWrite(off uint64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	r := record{T: "w", Q: s.seq, Off: off, D: base64.StdEncoding.EncodeToString(data), C: checksum(data)}
+	s.seq++
+	return s.appendLocked(r)
+}
+
+// NoteAlloc logs the MN allocator watermark; recovery takes the max.
+func (s *Store) NoteAlloc(off uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.appendLocked(record{T: "alloc", Off: off})
+}
+
+// SetMeta logs a key/value pair (last write wins on recovery). The
+// fabric uses it for addresses an attaching client must discover, e.g.
+// a tree's super-block location.
+func (s *Store) SetMeta(k, v string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.appendLocked(record{T: "meta", K: k, V: v})
+}
+
+func (s *Store) appendLocked(r record) error {
+	blob, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	if _, err := s.w.Write(blob); err != nil {
+		return err
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	s.appends++
+	return nil
+}
+
+// Flush drains the append buffer to the file: the durability boundary.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.w.Flush()
+}
+
+// Compact rewrites the file as a fresh snapshot of mem: non-zero pages
+// into the heap, a sorted index, and a sparse tail reseeded with the
+// allocator watermark and metadata (so they survive without the old
+// log). The rewrite lands in a temp file renamed over the original —
+// a crash mid-compaction leaves the old file intact. Callers must
+// ensure mem is quiescent (no concurrent writers).
+func (s *Store) Compact(mem []byte, allocOff uint64, meta map[string]string, stamp int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+
+	tmpPath := s.path + ".tmp"
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return err
+	}
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpPath)
+	}
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	// Placeholder header; rewritten once section ends are known.
+	if _, err := w.Write(make([]byte, HeaderBytes)); err != nil {
+		cleanup()
+		return err
+	}
+
+	ps := s.opts.PageSize
+	limit := int(allocOff)
+	if limit > len(mem) {
+		limit = len(mem)
+	}
+	pos := int64(HeaderBytes)
+	type idxEntry struct {
+		off uint64
+		at  int64
+	}
+	var entries []idxEntry
+	zero := make([]byte, ps)
+	for po := 0; po < limit; po += ps {
+		end := po + ps
+		if end > len(mem) {
+			end = len(mem)
+		}
+		page := mem[po:end]
+		if bytes.Equal(page, zero[:len(page)]) {
+			continue
+		}
+		r := record{T: "page", Off: uint64(po), Len: len(page),
+			D: base64.StdEncoding.EncodeToString(page), C: checksum(page)}
+		blob, err := json.Marshal(r)
+		if err != nil {
+			cleanup()
+			return err
+		}
+		entries = append(entries, idxEntry{off: uint64(po), at: pos})
+		if _, err := w.Write(blob); err != nil {
+			cleanup()
+			return err
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			cleanup()
+			return err
+		}
+		pos += int64(len(blob)) + 1
+	}
+	heapEnd := pos
+
+	sort.Slice(entries, func(i, j int) bool { return entries[i].off < entries[j].off })
+	for _, e := range entries {
+		blob, err := json.Marshal(record{T: "idx", Off: e.off, At: e.at})
+		if err != nil {
+			cleanup()
+			return err
+		}
+		if _, err := w.Write(blob); err != nil {
+			cleanup()
+			return err
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			cleanup()
+			return err
+		}
+		pos += int64(len(blob)) + 1
+	}
+	indexEnd := pos
+
+	// Reseed the sparse tail: watermark + metadata, sorted for
+	// byte-determinism.
+	var reseeded int64
+	appendRec := func(r record) error {
+		blob, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(blob); err != nil {
+			return err
+		}
+		reseeded++
+		return w.WriteByte('\n')
+	}
+	if allocOff > 0 {
+		if err := appendRec(record{T: "alloc", Off: allocOff}); err != nil {
+			cleanup()
+			return err
+		}
+	}
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := appendRec(record{T: "meta", K: k, V: meta[k]}); err != nil {
+			cleanup()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		cleanup()
+		return err
+	}
+
+	hdr := s.hdr
+	hdr.TS = stamp
+	hdr.S = [6]int64{heapEnd, indexEnd, int64(s.opts.PageSize), int64(len(entries)), reseeded, int64(s.opts.AutoCompactEvery)}
+	line, err := encodeHeader(hdr)
+	if err != nil {
+		cleanup()
+		return err
+	}
+	if _, err := tmp.WriteAt(line, 0); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+
+	// Swap the live handle onto the new file.
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return err
+	}
+	s.f.Close()
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	s.hdr = hdr
+	s.appends = reseeded
+	return nil
+}
+
+// MaybeCompact compacts when the sparse tail has outgrown the
+// configured AutoCompactEvery threshold; a zero threshold disables it.
+// Reports whether a compaction ran.
+func (s *Store) MaybeCompact(mem []byte, allocOff uint64, meta map[string]string, stamp int64) (bool, error) {
+	if s.opts.AutoCompactEvery <= 0 || s.Appends() < int64(s.opts.AutoCompactEvery) {
+		return false, nil
+	}
+	return true, s.Compact(mem, allocOff, meta, stamp)
+}
+
+// Close flushes, clears the dirty flag and closes the file: the clean
+// shutdown. A later Open sees _e=0 and still replays the sparse tail
+// (clean close does not imply compaction).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.closed = true
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	s.hdr.E = 0
+	s.hdr.S[4] = s.appends
+	if err := s.rewriteHeader(); err != nil {
+		s.f.Close()
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// Abandon simulates a crash: the append buffer is flushed (the NVM log
+// retains everything acknowledged) but the dirty flag is NOT cleared,
+// so the next Open takes the recovery path. The store is unusable
+// afterwards.
+func (s *Store) Abandon() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.closed = true
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// ScratchDir creates a fresh temp directory. It exists so simulation
+// packages can obtain scratch space without importing os, which the
+// durableio analyzer confines to this package and cmd/.
+func ScratchDir(pattern string) (string, error) {
+	return os.MkdirTemp("", pattern)
+}
+
+// RemoveDir removes a directory tree created with ScratchDir.
+func RemoveDir(dir string) error {
+	return os.RemoveAll(dir)
+}
+
+// Exists reports whether a file exists at path — the "is there a
+// snapshot to warm-start from?" probe, kept here with the rest of the
+// confined file I/O.
+func Exists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// Join joins path elements (a filepath.Join re-export so confined
+// packages need no extra import).
+func Join(elem ...string) string {
+	return filepath.Join(elem...)
+}

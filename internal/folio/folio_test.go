@@ -1,0 +1,252 @@
+package folio
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// mkStore creates a store in a test temp dir.
+func mkStore(t *testing.T, opts Options) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "mn0.folio")
+	s, err := Create(path, opts)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return s, path
+}
+
+func TestHeaderIsExactly128Bytes(t *testing.T) {
+	s, path := mkStore(t, Options{})
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) != HeaderBytes {
+		t.Fatalf("fresh file is %d bytes, want exactly the %d-byte header", len(blob), HeaderBytes)
+	}
+	if blob[HeaderBytes-1] != '\n' {
+		t.Fatalf("header line not newline-terminated")
+	}
+	var hdr map[string]any
+	if err := json.Unmarshal(bytes.TrimRight(blob[:HeaderBytes-1], " "), &hdr); err != nil {
+		t.Fatalf("header is not valid JSON: %v", err)
+	}
+	if hdr["_v"].(float64) != Version {
+		t.Fatalf("_v = %v, want %d", hdr["_v"], Version)
+	}
+	if hdr["_e"].(float64) != 0 {
+		t.Fatalf("clean close left _e = %v", hdr["_e"])
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	s, path := mkStore(t, Options{})
+	mem := make([]byte, 1<<16)
+	writeAt := func(off uint64, b []byte) {
+		copy(mem[off:], b)
+		if err := s.AppendWrite(off, b); err != nil {
+			t.Fatalf("AppendWrite: %v", err)
+		}
+	}
+	writeAt(64, []byte("hello"))
+	writeAt(4096, bytes.Repeat([]byte{0xAB}, 200))
+	writeAt(64, []byte("HELLO")) // overwrite: order must be preserved
+	if err := s.NoteAlloc(8192); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetMeta("system", "CHIME"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rec, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s2.Close()
+	if rec.WasDirty {
+		t.Error("clean close reported dirty")
+	}
+	if rec.AllocOff != 8192 {
+		t.Errorf("AllocOff = %d, want 8192", rec.AllocOff)
+	}
+	if rec.Meta["system"] != "CHIME" {
+		t.Errorf("Meta = %v", rec.Meta)
+	}
+	got := make([]byte, len(mem))
+	if err := rec.Materialize(got); err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if !bytes.Equal(got, mem) {
+		t.Error("recovered image differs from the written one")
+	}
+}
+
+func TestCrashRecoveryFromDirtyFile(t *testing.T) {
+	s, path := mkStore(t, Options{})
+	if err := s.AppendWrite(128, []byte("acked")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Abandon(); err != nil { // crash: dirty flag stays set
+		t.Fatal(err)
+	}
+
+	s2, rec, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+	defer s2.Close()
+	if !rec.WasDirty {
+		t.Error("crashed file not reported dirty")
+	}
+	mem := make([]byte, 1024)
+	if err := rec.Materialize(mem); err != nil {
+		t.Fatal(err)
+	}
+	if string(mem[128:133]) != "acked" {
+		t.Errorf("acked write lost across crash: %q", mem[128:133])
+	}
+}
+
+func TestCompactionRoundTripAndShrink(t *testing.T) {
+	s, path := mkStore(t, Options{PageSize: 256})
+	mem := make([]byte, 4096)
+	// Many overwrites of the same region: the log grows, the image
+	// does not.
+	for i := 0; i < 100; i++ {
+		b := bytes.Repeat([]byte{byte(i)}, 64)
+		copy(mem[512:], b)
+		if err := s.AppendWrite(512, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SetMeta("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := os.Stat(path)
+
+	if err := s.Compact(mem, 1024, map[string]string{"k": "v"}, 42); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Errorf("compaction did not shrink the file: %d -> %d", before.Size(), after.Size())
+	}
+
+	// Post-compaction appends land in the new sparse tail.
+	copy(mem[2048:], []byte("post"))
+	if err := s.AppendWrite(2048, []byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec, err := Open(path, Options{PageSize: 256})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s2.Close()
+	if rec.Pages == 0 {
+		t.Error("compacted file has no snapshot pages")
+	}
+	if rec.AllocOff != 1024 || rec.Meta["k"] != "v" {
+		t.Errorf("watermark/meta lost by compaction: off=%d meta=%v", rec.AllocOff, rec.Meta)
+	}
+	got := make([]byte, len(mem))
+	if err := rec.Materialize(got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, mem) {
+		t.Error("image differs after compact + append + reopen")
+	}
+
+	info, err := Inspect(path)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if info.PageRecords != rec.Pages || info.WriteRecords != 1 {
+		t.Errorf("Inspect counts: %+v", info)
+	}
+}
+
+func TestZeroPagesAreSkipped(t *testing.T) {
+	s, path := mkStore(t, Options{PageSize: 256})
+	mem := make([]byte, 4096)
+	mem[300] = 1 // exactly one non-zero page
+	if err := s.Compact(mem, 4096, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := Inspect(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.PageRecords != 1 {
+		t.Errorf("snapshot has %d pages, want 1 (zero pages skipped)", info.PageRecords)
+	}
+}
+
+func TestMaybeCompactHonorsThreshold(t *testing.T) {
+	s, _ := mkStore(t, Options{AutoCompactEvery: 10})
+	defer s.Close()
+	mem := make([]byte, 1024)
+	for i := 0; i < 9; i++ {
+		if err := s.AppendWrite(0, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ran, err := s.MaybeCompact(mem, 64, nil, 0)
+	if err != nil || ran {
+		t.Fatalf("MaybeCompact below threshold ran=%v err=%v", ran, err)
+	}
+	if err := s.AppendWrite(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	ran, err = s.MaybeCompact(mem, 64, nil, 0)
+	if err != nil || !ran {
+		t.Fatalf("MaybeCompact at threshold ran=%v err=%v", ran, err)
+	}
+	if got := s.Appends(); got != 1 { // the reseeded alloc record
+		t.Errorf("appends after compact = %d", got)
+	}
+}
+
+func TestFileIsValidJSONL(t *testing.T) {
+	s, path := mkStore(t, Options{PageSize: 128})
+	mem := make([]byte, 1024)
+	copy(mem[0:], []byte("payload"))
+	if err := s.Compact(mem, 512, map[string]string{"a": "b"}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendWrite(100, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, line := range bytes.Split(bytes.TrimSuffix(blob, []byte("\n")), []byte("\n")) {
+		var doc map[string]any
+		if err := json.Unmarshal(bytes.TrimRight(line, " "), &doc); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", n+1, err, line)
+		}
+	}
+}

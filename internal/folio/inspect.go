@@ -1,0 +1,131 @@
+package folio
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Info is the structural summary of a .folio file that Inspect
+// produces and `chimectl folio` renders. Every figure is recomputable
+// with jq/grep/wc — the file is the interface; Inspect is a
+// convenience, not a decoder ring.
+type Info struct {
+	Path      string `json:"path"`
+	FileBytes int64  `json:"file_bytes"`
+
+	// Header fields.
+	Version  int   `json:"version"`
+	Dirty    bool  `json:"dirty"`
+	Stamp    int64 `json:"stamp"`
+	HeapEnd  int64 `json:"heap_end"`
+	IndexEnd int64 `json:"index_end"`
+	PageSize int64 `json:"page_size"`
+
+	// Record counts by section/type, from scanning the file.
+	PageRecords  int `json:"page_records"`
+	IndexRecords int `json:"index_records"`
+	WriteRecords int `json:"write_records"`
+	AllocRecords int `json:"alloc_records"`
+	MetaRecords  int `json:"meta_records"`
+
+	// Payload byte totals (decoded, not base64 length).
+	PageBytes  int64 `json:"page_bytes"`
+	WriteBytes int64 `json:"write_bytes"`
+
+	// TruncatedTail reports a torn or truncated final record —
+	// tolerated by recovery, surfaced by inspection.
+	TruncatedTail bool `json:"truncated_tail"`
+
+	// AllocOff is the recovered allocator watermark; Meta the
+	// recovered key/value pairs.
+	AllocOff uint64            `json:"alloc_off"`
+	Meta     map[string]string `json:"meta,omitempty"`
+}
+
+// Inspect reads a .folio file without opening a session (the dirty
+// flag is untouched) and summarizes its structure. Corruption beyond
+// a torn tail surfaces as the same typed errors Open returns.
+func Inspect(path string) (Info, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return Info{}, err
+	}
+	hdr, rec, err := recover_(blob)
+	if err != nil {
+		return Info{}, err
+	}
+	info := Info{
+		Path:          path,
+		FileBytes:     int64(len(blob)),
+		Version:       hdr.V,
+		Dirty:         hdr.E != 0,
+		Stamp:         hdr.TS,
+		HeapEnd:       hdr.S[0],
+		IndexEnd:      hdr.S[1],
+		PageSize:      hdr.S[2],
+		PageRecords:   rec.Pages,
+		IndexRecords:  rec.Pages, // recover_ enforces index == heap count
+		PageBytes:     rec.PageBytes,
+		WriteBytes:    rec.RecordBytes,
+		TruncatedTail: rec.TruncatedTail,
+		AllocOff:      rec.AllocOff,
+		Meta:          rec.Meta,
+	}
+	// Count sparse records by type (rec.Records lumps them together).
+	sparse := blob[hdr.S[1]:]
+	for len(sparse) > 0 {
+		nl := bytes.IndexByte(sparse, '\n')
+		if nl < 0 {
+			break
+		}
+		var r record
+		if json.Unmarshal(sparse[:nl], &r) != nil {
+			break
+		}
+		switch r.T {
+		case "w":
+			info.WriteRecords++
+		case "alloc":
+			info.AllocRecords++
+		case "meta":
+			info.MetaRecords++
+		}
+		sparse = sparse[nl+1:]
+	}
+	return info, nil
+}
+
+// Format renders an Info as the aligned text block `chimectl folio`
+// prints.
+func (i Info) Format() string {
+	var b strings.Builder
+	dirty := "clean"
+	if i.Dirty {
+		dirty = "DIRTY (crashed or live session)"
+	}
+	fmt.Fprintf(&b, "%s: folio v%d, %d bytes, %s\n", i.Path, i.Version, i.FileBytes, dirty)
+	fmt.Fprintf(&b, "  header   [%8d, %8d)  stamp %d, page size %d\n", 0, HeaderBytes, i.Stamp, i.PageSize)
+	fmt.Fprintf(&b, "  heap     [%8d, %8d)  %d pages, %d payload bytes\n", HeaderBytes, i.HeapEnd, i.PageRecords, i.PageBytes)
+	fmt.Fprintf(&b, "  index    [%8d, %8d)  %d entries\n", i.HeapEnd, i.IndexEnd, i.IndexRecords)
+	fmt.Fprintf(&b, "  sparse   [%8d, %8d)  %d writes (%d bytes), %d allocs, %d metas\n",
+		i.IndexEnd, i.FileBytes, i.WriteRecords, i.WriteBytes, i.AllocRecords, i.MetaRecords)
+	if i.TruncatedTail {
+		fmt.Fprintf(&b, "  tail     torn/truncated final record (recovery discards it)\n")
+	}
+	if i.AllocOff > 0 {
+		fmt.Fprintf(&b, "  alloc    watermark %d\n", i.AllocOff)
+	}
+	keys := make([]string, 0, len(i.Meta))
+	for k := range i.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  meta     %s = %s\n", k, i.Meta[k])
+	}
+	return b.String()
+}

@@ -260,6 +260,28 @@ func Bootstrap(f *dmsim.Fabric, opts Options) (*Index, error) {
 	return ix, nil
 }
 
+// Attach binds to a tree that already exists on the fabric — a
+// warm-started persistent fabric restored from a folio snapshot+log.
+// No remote writes are issued; opts must match the bootstrap options.
+func Attach(f *dmsim.Fabric, opts Options, super dmsim.GAddr) (*Index, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		fabric: f,
+		opts:   opts,
+		leaf:   newLayout(opts, true),
+		inner:  newLayout(opts, false),
+		super:  super,
+	}
+	ix.mnprog = f.RegisterMNProgram(&mnProgram{ix: ix})
+	ix.offMN = int(super.MN)
+	return ix, nil
+}
+
+// Super returns the super block's address for persistence metadata.
+func (ix *Index) Super() dmsim.GAddr { return ix.super }
+
 // Options returns the tree's configuration.
 func (ix *Index) Options() Options { return ix.opts }
 
