@@ -1,15 +1,17 @@
 GO ?= go
 
-.PHONY: all vet lint build test race check bench-pipeline bench-writepipe bench-faults bench-scale bench-offload bench-attribution bench-persist profile chaos
+.PHONY: all vet lint suppressions build test race check bench-pipeline bench-writepipe bench-faults bench-scale bench-offload bench-attribution bench-persist profile chaos
 
 all: check
 
 vet:
 	$(GO) vet ./...
 
-# Static invariant enforcement: the chimelint suite (virtualclock,
-# seededrand, verbgate, lockword, dmerrors, obsnames, durableio) must
-# pass with zero findings. staticcheck and govulncheck run when installed (CI
+# Static invariant enforcement: the chimelint suite — seven per-package
+# analyzers (virtualclock, seededrand, verbgate, lockword, dmerrors,
+# obsnames, durableio) plus the three interprocedural ones (maporder,
+# noalloc, lockorder) riding the call-graph + fact engine — must pass
+# with zero findings. staticcheck and govulncheck run when installed (CI
 # pins and installs them; the offline dev container may not have them).
 lint:
 	$(GO) run ./cmd/chimelint ./...
@@ -17,6 +19,11 @@ lint:
 		else echo "staticcheck not installed; skipping (CI runs it)"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
 		else echo "govulncheck not installed; skipping (CI runs it)"; fi
+
+# Audit every //lint:allow directive in the tree (analyzer, location,
+# reason). CI uploads the -json form as a build artifact.
+suppressions:
+	$(GO) run ./cmd/chimelint -suppressions
 
 build:
 	$(GO) build ./...

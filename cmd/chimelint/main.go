@@ -1,11 +1,13 @@
 // Command chimelint runs the repo's invariant analyzers (virtualclock,
-// seededrand, verbgate, lockword, dmerrors, obsnames, durableio) over
-// the module.
+// seededrand, verbgate, lockword, dmerrors, obsnames, durableio,
+// maporder, noalloc, lockorder) over the module.
 //
 // Standalone:
 //
 //	go run ./cmd/chimelint ./...     # lint the module in the cwd
 //	chimelint -list                  # print the analyzer suite
+//	chimelint -suppressions          # list every //lint:allow directive
+//	chimelint -suppressions -json    # ... as JSON
 //
 // As a vet tool:
 //
@@ -14,8 +16,15 @@
 // In vet mode the go command hands the tool one JSON config file per
 // package (the unitchecker protocol); chimelint type-checks the listed
 // files against the compiler export data go vet supplies and runs the
-// same suite. Exit status mirrors go vet: 0 clean, 2 when diagnostics
-// were reported, 1 on operational errors.
+// same suite, exchanging interprocedural function summaries ("facts")
+// with the driver through the vetx files the protocol provides. Exit
+// status mirrors go vet: 0 clean, 2 when diagnostics were reported, 1
+// on operational errors.
+//
+// Standalone mode analyzes packages in dependency order so the
+// interprocedural analyzers (maporder, noalloc, lockorder) see the
+// summaries of every import; findings are printed sorted by position,
+// and two runs over the same tree are byte-identical.
 //
 // Suppression: a finding is silenced only by a documented directive on
 // or directly above the offending line:
@@ -24,9 +33,13 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
+	"text/tabwriter"
 
 	"chime/internal/analysis"
 	"chime/internal/analysis/registry"
@@ -41,12 +54,12 @@ func run(args []string) int {
 	// and -flags before handing over .cfg files, and flag.Parse's
 	// unknown-flag errors would break the handshake.
 	rest := args[:0:0]
-	var list bool
+	var list, suppressions, asJSON bool
 	for _, a := range args {
 		switch {
 		case a == "-V=full" || a == "--V=full" || a == "-V":
 			// The go command hashes this line into its build cache key.
-			fmt.Println("chimelint version 1")
+			fmt.Println("chimelint version 2")
 			return 0
 		case a == "-flags" || a == "--flags":
 			// We accept no analyzer flags from the vet driver.
@@ -54,6 +67,10 @@ func run(args []string) int {
 			return 0
 		case a == "-list" || a == "--list":
 			list = true
+		case a == "-suppressions" || a == "--suppressions":
+			suppressions = true
+		case a == "-json" || a == "--json":
+			asJSON = true
 		case strings.HasPrefix(a, "-"):
 			fmt.Fprintf(os.Stderr, "chimelint: unknown flag %s\n", a)
 			return 1
@@ -67,6 +84,13 @@ func run(args []string) int {
 		}
 		return 0
 	}
+	if suppressions {
+		return listSuppressions(asJSON)
+	}
+	if asJSON {
+		fmt.Fprintln(os.Stderr, "chimelint: -json is only meaningful with -suppressions")
+		return 1
+	}
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return unitcheck(rest[0])
 	}
@@ -75,7 +99,8 @@ func run(args []string) int {
 
 // standalone lints the whole module rooted at the current directory.
 // Package patterns beyond ./... are not supported — the suite is meant
-// to hold over the entire tree, and partial runs hide violations.
+// to hold over the entire tree, and partial runs hide violations (and
+// starve the interprocedural analyzers of facts).
 func standalone(patterns []string) int {
 	for _, p := range patterns {
 		if p != "./..." {
@@ -88,28 +113,90 @@ func standalone(patterns []string) int {
 		fmt.Fprintf(os.Stderr, "chimelint: %v\n", err)
 		return 1
 	}
-	bad := false
-	exit := 0
-	for _, pkg := range pkgs {
-		for _, terr := range pkg.TypeErrs {
-			fmt.Fprintf(os.Stderr, "chimelint: %s: %v\n", pkg.PkgPath, terr)
-			exit = 1
-		}
-		if len(pkg.TypeErrs) > 0 {
-			continue
-		}
-		findings, err := analysis.Run(pkg, registry.All())
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "chimelint: %v\n", err)
-			return 1
-		}
-		for _, f := range findings {
-			fmt.Println(f)
-			bad = true
-		}
+	findings, typeErrs, err := analysis.AnalyzeAll(pkgs, registry.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chimelint: %v\n", err)
+		return 1
 	}
-	if bad && exit == 0 {
+	exit := 0
+	if len(typeErrs) > 0 {
+		paths := make([]string, 0, len(typeErrs))
+		for p := range typeErrs {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			for _, terr := range typeErrs[p] {
+				fmt.Fprintf(os.Stderr, "chimelint: %s: %v\n", p, terr)
+			}
+		}
+		exit = 1
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 && exit == 0 {
 		exit = 2
 	}
 	return exit
+}
+
+// listSuppressions prints every //lint:allow directive in the module
+// as a sorted table (or JSON array), so the suppression inventory is
+// reviewable and its growth deliberate.
+func listSuppressions(asJSON bool) int {
+	root, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chimelint: %v\n", err)
+		return 1
+	}
+	pkgs, err := analysis.LoadModule(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chimelint: %v\n", err)
+		return 1
+	}
+	var all []analysis.AllowDirective
+	for _, pkg := range pkgs {
+		all = append(all, analysis.Suppressions(pkg)...)
+	}
+	for i := range all {
+		// Module-relative paths keep the report stable across checkouts.
+		if rel, err := filepath.Rel(root, all[i].File); err == nil {
+			all[i].File = filepath.ToSlash(rel)
+		}
+	}
+	sortDirectives(all)
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintf(os.Stderr, "chimelint: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(tw, "ANALYZER\tLOCATION\tREASON\n")
+	for _, d := range all {
+		fmt.Fprintf(tw, "%s\t%s:%d\t%s\n", d.Analyzer, d.File, d.Line, d.Reason)
+	}
+	fmt.Fprintf(tw, "TOTAL\t%d\t\n", len(all))
+	if err := tw.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "chimelint: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func sortDirectives(all []analysis.AllowDirective) {
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
 }

@@ -1,0 +1,28 @@
+package core
+
+import "fmt"
+
+// Tally breaks the map-order invariant: range order reaches a printed
+// sink through a call.
+func Tally(counts map[string]int) {
+	for k, v := range counts {
+		emit(k, v)
+	}
+}
+
+func emit(k string, v int) {
+	fmt.Printf("%s=%d\n", k, v)
+}
+
+// Hot claims the zero-alloc invariant and then breaks it, both
+// directly and through a callee.
+//
+//chime:noalloc
+func Hot(xs []int, x int) []int {
+	grown := grow(xs, x)
+	return append(grown, x)
+}
+
+func grow(xs []int, x int) []int {
+	return append(xs, x)
+}

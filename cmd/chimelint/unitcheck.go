@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -10,6 +11,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"chime/internal/analysis"
@@ -37,8 +39,18 @@ type vetConfig struct {
 
 // unitcheck analyzes one package as directed by a go vet config file.
 // Types come from the compiler export data go vet already produced, so
-// this path needs no module loading of its own. The whole suite is
-// factless, so the vetx output the driver expects is always empty.
+// this path needs no module loading of its own.
+//
+// Facts: the interprocedural analyzers exchange function summaries
+// through the vetx files the protocol provides — PackageVetx names the
+// dependencies' fact files, VetxOutput is where this package's
+// (dependency facts + own exports, merged) must land. The go command
+// schedules VetxOnly runs over dependencies before the packages named
+// on the command line, which is exactly the dependency order the
+// analyzers need. Standard-library packages are skipped outright
+// (empty vetx): the invariants only concern this module, and
+// re-type-checking the stdlib per package would make vet mode
+// unusably slow.
 func unitcheck(cfgPath string) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -50,14 +62,33 @@ func unitcheck(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "chimelint: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintf(os.Stderr, "chimelint: %v\n", err)
+	if cfg.Standard[cfg.ImportPath] {
+		if !writeVetx(cfg.VetxOutput, nil) {
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
 		return 0
+	}
+
+	imported := analysis.NewFactSet()
+	vetxPaths := make([]string, 0, len(cfg.PackageVetx))
+	for _, p := range cfg.PackageVetx {
+		vetxPaths = append(vetxPaths, p)
+	}
+	sort.Strings(vetxPaths)
+	for _, p := range vetxPaths {
+		f, err := os.Open(p)
+		if err != nil {
+			// A dependency outside the fact flow (or an older go
+			// toolchain) is treated as fact-free, not fatal.
+			continue
+		}
+		deps, err := analysis.ReadFacts(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chimelint: %s: %v\n", p, err)
+			return 1
+		}
+		imported.Merge(deps)
 	}
 
 	fset := token.NewFileSet()
@@ -93,6 +124,7 @@ func unitcheck(cfgPath string) int {
 	tpkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg.VetxOutput, nil)
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "chimelint: typecheck %s: %v\n", cfg.ImportPath, err)
@@ -107,10 +139,19 @@ func unitcheck(cfgPath string) int {
 		Types:     tpkg,
 		TypesInfo: info,
 	}
-	findings, err := analysis.Run(pkg, registry.All())
+	findings, exported, err := analysis.Run(pkg, registry.All(), imported)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chimelint: %v\n", err)
 		return 1
+	}
+	// Downstream packages need the whole transitive summary, so the
+	// vetx carries the dependencies' facts plus this package's own.
+	imported.Merge(exported)
+	if !writeVetx(cfg.VetxOutput, imported) {
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
 	}
 	bad := false
 	for _, f := range findings {
@@ -126,6 +167,27 @@ func unitcheck(cfgPath string) int {
 		return 2
 	}
 	return 0
+}
+
+// writeVetx writes the fact set (nil = empty) in its canonical
+// encoding; the go command content-hashes the file into the build
+// cache, so determinism here keeps vet runs cacheable.
+func writeVetx(path string, facts *analysis.FactSet) bool {
+	if path == "" {
+		return true
+	}
+	var buf bytes.Buffer
+	if facts != nil {
+		if err := facts.Dump(&buf); err != nil {
+			fmt.Fprintf(os.Stderr, "chimelint: %v\n", err)
+			return false
+		}
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "chimelint: %v\n", err)
+		return false
+	}
+	return true
 }
 
 func compilerOrGC(c string) string {

@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"chime/internal/core"
 	"chime/internal/dmsim"
@@ -32,8 +33,16 @@ func main() {
 		"orders/2026-07-02/0001": `{"item":"gadget","qty":1}`,
 		"orders/2026-07-04/0007": `{"item":"sprocket","qty":12}`,
 	}
-	for k, v := range docs {
-		if err := client.InsertKV([]byte(k), []byte(v)); err != nil {
+	// Insert in sorted key order: map range order would make the
+	// fabric's allocation sequence (and any persistence log) differ
+	// run to run.
+	keys := make([]string, 0, len(docs))
+	for k := range docs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := client.InsertKV([]byte(k), []byte(docs[k])); err != nil {
 			log.Fatalf("insert %q: %v", k, err)
 		}
 	}

@@ -35,11 +35,63 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	// Facts holds the summaries exported by previously analyzed
+	// packages (the dependencies, when the driver runs in
+	// dependency order). Nil-safe to query; never written to.
+	Facts *FactSet
+	// export receives facts this analyzer exports about functions
+	// of the current package. Nil when the driver discards facts.
+	export func(Fact)
+
+	// loaded is the Package under analysis, kept for lazily built
+	// derived structures (the call graph).
+	loaded *Package
 }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ExportFact exports a summary about fn under the running analyzer's
+// name. Facts become visible to later passes over dependent packages.
+func (p *Pass) ExportFact(fn *types.Func, name, detail string) {
+	if p.export == nil {
+		return
+	}
+	p.export(Fact{Fn: KeyOf(fn), Analyzer: p.Analyzer.Name, Name: name, Detail: detail})
+}
+
+// ExportKeyed is ExportFact for a pre-computed function key (used when
+// re-exporting a transitive property tied to a callee's key).
+func (p *Pass) ExportKeyed(fnKey, name, detail string) {
+	if p.export == nil {
+		return
+	}
+	p.export(Fact{Fn: fnKey, Analyzer: p.Analyzer.Name, Name: name, Detail: detail})
+}
+
+// Graph returns the call graph of the package under analysis, built on
+// first use and shared by all analyzers in the pass.
+func (p *Pass) Graph() *Graph {
+	if p.loaded == nil {
+		return &Graph{ByObj: map[*types.Func]*FuncInfo{}, ByKey: map[string]*FuncInfo{}}
+	}
+	return p.loaded.Graph()
+}
+
+// Allowed reports whether a `//lint:allow <analyzer> <reason>`
+// directive covers pos for the running analyzer. Run already filters
+// reported diagnostics; analyzers that *summarise* constructs into
+// facts before reporting (noalloc) consult this so a suppressed
+// construct also stops tainting callers.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	if p.loaded == nil {
+		return false
+	}
+	position := p.Fset.Position(pos)
+	return p.loaded.allow()[position.Filename][position.Line][p.Analyzer.Name]
 }
 
 // Diagnostic is one finding inside the package being analyzed.
@@ -66,7 +118,53 @@ func (f Finding) String() string {
 //	//lint:allow virtualclock wall-clock progress logging only
 //
 // A bare `//lint:allow virtualclock` (no reason) does not suppress.
-var allowRe = regexp.MustCompile(`^//lint:allow\s+([a-z]+)\s+\S`)
+var allowRe = regexp.MustCompile(`^//lint:allow\s+([a-z]+)\s+(\S.*)$`)
+
+// AllowDirective is one parsed //lint:allow comment, as listed by
+// `chimelint -suppressions`.
+type AllowDirective struct {
+	Analyzer string         `json:"analyzer"`
+	Reason   string         `json:"reason"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+}
+
+// Suppressions returns every //lint:allow directive in the package's
+// files (test files are not loaded, so directives there are not
+// listed), sorted by position.
+func Suppressions(pkg *Package) []AllowDirective {
+	var out []AllowDirective
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//lint:allow") {
+					continue
+				}
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, AllowDirective{
+					Analyzer: m[1],
+					Reason:   strings.TrimSpace(m[2]),
+					Pos:      pos,
+					File:     pos.Filename,
+					Line:     pos.Line,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return out
+}
 
 // allowedAt builds filename -> line -> set-of-analyzer-names from every
 // //lint:allow comment in the package. A directive suppresses findings
@@ -103,11 +201,18 @@ func allowedAt(fset *token.FileSet, files []*ast.File) map[string]map[int]map[st
 }
 
 // Run applies every analyzer to one loaded package and returns the
-// surviving findings sorted by position. //lint:allow-suppressed
+// surviving findings sorted by position, plus the facts the analyzers
+// exported about this package's functions. //lint:allow-suppressed
 // diagnostics are dropped here so every front end (chimelint, the vet
 // shim, analysistest) shares identical suppression semantics.
-func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
-	allow := allowedAt(pkg.Fset, pkg.Syntax)
+//
+// imported carries the facts of previously analyzed packages (nil is
+// an empty set); drivers that want interprocedural precision must run
+// packages in dependency order and merge each package's exported set
+// into the imported set of the next.
+func Run(pkg *Package, analyzers []*Analyzer, imported *FactSet) ([]Finding, *FactSet, error) {
+	allow := pkg.allow()
+	exported := NewFactSet()
 	var out []Finding
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -116,11 +221,14 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 			Files:     pkg.Syntax,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
+			Facts:     imported,
+			export:    exported.Add,
+			loaded:    pkg,
 		}
 		var diags []Diagnostic
 		pass.Report = func(d Diagnostic) { diags = append(diags, d) }
 		if _, err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
 		}
 		for _, d := range diags {
 			pos := pkg.Fset.Position(d.Pos)
@@ -143,7 +251,82 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
+	return out, exported, nil
+}
+
+// AnalyzeAll runs the suite over every package of a loaded set in
+// dependency order, threading facts, and returns all findings sorted
+// globally by position. Packages with type errors are skipped (their
+// errors are returned in typeErrs) — their facts are simply absent,
+// which downstream analyzers treat as opaque.
+func AnalyzeAll(pkgs []*Package, analyzers []*Analyzer) (findings []Finding, typeErrs map[string][]error, err error) {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = p
+	}
+	// Topological order over the loaded set: dependencies first,
+	// ties broken by import path (Package.Types.Imports() is the
+	// type checker's stable order; we sort anyway for belt and
+	// braces).
+	var order []*Package
+	visited := make(map[string]bool)
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if visited[p.PkgPath] {
+			return
+		}
+		visited[p.PkgPath] = true
+		if p.Types != nil {
+			deps := make([]string, 0, len(p.Types.Imports()))
+			for _, imp := range p.Types.Imports() {
+				deps = append(deps, imp.Path())
+			}
+			sort.Strings(deps)
+			for _, dep := range deps {
+				if dp, ok := byPath[dep]; ok {
+					visit(dp)
+				}
+			}
+		}
+		order = append(order, p)
+	}
+	paths := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		paths = append(paths, p.PkgPath)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		visit(byPath[path])
+	}
+
+	facts := NewFactSet()
+	typeErrs = make(map[string][]error)
+	for _, pkg := range order {
+		if len(pkg.TypeErrs) > 0 {
+			typeErrs[pkg.PkgPath] = pkg.TypeErrs
+			continue
+		}
+		fs, exported, rerr := Run(pkg, analyzers, facts)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		facts.Merge(exported)
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, typeErrs, nil
 }
 
 // Preorder walks every node of every file, calling f on each.

@@ -27,13 +27,17 @@ import (
 )
 
 // Run loads each fixture package from testdata/src and applies the
-// analyzer, comparing findings to // want comments.
+// analyzer, comparing findings to // want comments. Facts exported by
+// earlier packages are visible to later ones, so fixtures exercising
+// cross-package summaries must list dependency packages before their
+// dependents (the order interprocedural drivers guarantee).
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
 	t.Helper()
 	pkgs, err := analysis.LoadTree(testdata+"/src", pkgpaths...)
 	if err != nil {
 		t.Fatalf("loading fixtures: %v", err)
 	}
+	facts := analysis.NewFactSet()
 	for _, pkg := range pkgs {
 		for _, err := range pkg.TypeErrs {
 			t.Errorf("fixture %s does not type-check: %v", pkg.PkgPath, err)
@@ -41,10 +45,11 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string
 		if len(pkg.TypeErrs) > 0 {
 			continue
 		}
-		findings, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		findings, exported, err := analysis.Run(pkg, []*analysis.Analyzer{a}, facts)
 		if err != nil {
 			t.Fatalf("%s: %v", pkg.PkgPath, err)
 		}
+		facts.Merge(exported)
 		checkWants(t, pkg, findings)
 	}
 }

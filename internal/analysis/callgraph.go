@@ -1,0 +1,198 @@
+// The package-level call graph: every function declaration in a loaded
+// package together with the calls its body (including nested function
+// literals) makes. Static calls resolve directly to their *types.Func;
+// calls through an interface method are additionally resolved to the
+// set of known concrete implementations by method-set matching over
+// every named type visible from the package (its own scope plus the
+// scopes of all transitively imported packages). That resolution is
+// unsound in the usual ways — implementations living in packages that
+// import *us* are invisible — and analyzers are expected to treat an
+// empty implementation set as "opaque" rather than "safe" where it
+// matters.
+//
+// Everything is ordered deterministically: functions in source order,
+// calls in preorder, implementations sorted by canonical key. The
+// graph is built once per Package and memoized.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CallSite is one call expression inside a function body.
+type CallSite struct {
+	Call   *ast.CallExpr
+	Pos    token.Pos
+	Callee *types.Func   // static callee or interface method; nil for func values, builtins, conversions
+	Iface  bool          // true when Callee is an interface method (dynamic dispatch)
+	Impls  []*types.Func // for Iface calls: known concrete implementations, sorted by KeyOf
+}
+
+// FuncInfo is one declared function and its outgoing calls. Calls made
+// inside function literals nested in the body are attributed to the
+// enclosing declaration: for the invariants chimelint enforces, work a
+// function schedules is work it does.
+type FuncInfo struct {
+	Decl  *ast.FuncDecl
+	Fn    *types.Func
+	Key   string // KeyOf(Fn)
+	Calls []CallSite
+}
+
+// Graph is the call graph of one package.
+type Graph struct {
+	Funcs []*FuncInfo
+	ByObj map[*types.Func]*FuncInfo
+	ByKey map[string]*FuncInfo
+}
+
+// Graph returns the package's call graph, building it on first use.
+func (p *Package) Graph() *Graph {
+	p.graphOnce.Do(func() { p.graph = buildGraph(p.Syntax, p.Types, p.TypesInfo) })
+	return p.graph
+}
+
+func buildGraph(files []*ast.File, pkg *types.Package, info *types.Info) *Graph {
+	g := &Graph{
+		ByObj: make(map[*types.Func]*FuncInfo),
+		ByKey: make(map[string]*FuncInfo),
+	}
+	res := newImplResolver(pkg)
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &FuncInfo{Decl: fd, Fn: fn, Key: KeyOf(fn)}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fi.Calls = append(fi.Calls, resolveCall(info, call, res))
+				return true
+			})
+			g.Funcs = append(g.Funcs, fi)
+			g.ByObj[fn] = fi
+			g.ByKey[fi.Key] = fi
+		}
+	}
+	return g
+}
+
+func resolveCall(info *types.Info, call *ast.CallExpr, res *implResolver) CallSite {
+	cs := CallSite{Call: call, Pos: call.Lparen}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		cs.Callee, _ = info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return cs
+		}
+		cs.Callee = fn
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if _, ok := sel.Recv().Underlying().(*types.Interface); ok {
+				cs.Iface = true
+				cs.Impls = res.implsOf(fn)
+			}
+		}
+	}
+	return cs
+}
+
+// implResolver finds concrete implementations of interface methods by
+// scanning every named type visible from one package. Results are
+// cached per interface method.
+type implResolver struct {
+	named []*types.Named
+	cache map[*types.Func][]*types.Func
+}
+
+func newImplResolver(pkg *types.Package) *implResolver {
+	r := &implResolver{cache: make(map[*types.Func][]*types.Func)}
+	if pkg == nil {
+		return r
+	}
+	seen := make(map[*types.Package]bool)
+	var visit func(p *types.Package)
+	visit = func(p *types.Package) {
+		if p == nil || seen[p] {
+			return
+		}
+		seen[p] = true
+		scope := p.Scope()
+		for _, name := range scope.Names() { // Names() is sorted
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if named, ok := tn.Type().(*types.Named); ok {
+				r.named = append(r.named, named)
+			}
+		}
+		for _, imp := range p.Imports() {
+			visit(imp)
+		}
+	}
+	visit(pkg)
+	return r
+}
+
+// implsOf returns the known concrete methods implementing the
+// interface method m, sorted by canonical key.
+func (r *implResolver) implsOf(m *types.Func) []*types.Func {
+	if impls, ok := r.cache[m]; ok {
+		return impls
+	}
+	var impls []*types.Func
+	sig, _ := m.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		r.cache[m] = nil
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	if iface == nil {
+		r.cache[m] = nil
+		return nil
+	}
+	for _, named := range r.named {
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		var recv types.Type
+		switch {
+		case types.Implements(named, iface):
+			recv = named
+		case types.Implements(types.NewPointer(named), iface):
+			recv = types.NewPointer(named)
+		default:
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, m.Pkg(), m.Name())
+		if impl, ok := obj.(*types.Func); ok {
+			impls = append(impls, impl)
+		}
+	}
+	sort.Slice(impls, func(i, j int) bool { return KeyOf(impls[i]) < KeyOf(impls[j]) })
+	// Dedup: the same method can be reached through several named
+	// types (embedding).
+	out := impls[:0]
+	var prev *types.Func
+	for _, f := range impls {
+		if f != prev {
+			out = append(out, f)
+		}
+		prev = f
+	}
+	r.cache[m] = out
+	return out
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// graphAnalyzer exports one "edges" fact per declared function: its
+// static callees in preorder plus, for dynamic calls, the interface
+// method and the sorted set of known implementations. Two loads of the
+// same tree must export byte-identical fact dumps — the interprocedural
+// analyzers inherit their determinism from exactly this property.
+var graphAnalyzer = &Analyzer{
+	Name: "graphdump",
+	Doc:  "test analyzer: export call-graph edges as facts",
+	Run: func(pass *Pass) (any, error) {
+		for _, fi := range pass.Graph().Funcs {
+			var parts []string
+			for _, cs := range fi.Calls {
+				switch {
+				case cs.Callee == nil:
+					parts = append(parts, "dyn:<value>")
+				case cs.Iface:
+					var impls []string
+					for _, m := range cs.Impls {
+						impls = append(impls, KeyOf(m))
+					}
+					parts = append(parts, fmt.Sprintf("iface:%s[%s]", KeyOf(cs.Callee), strings.Join(impls, " ")))
+				default:
+					parts = append(parts, KeyOf(cs.Callee))
+				}
+			}
+			pass.ExportKeyed(fi.Key, "edges", strings.Join(parts, ", "))
+		}
+		return nil, nil
+	},
+}
+
+// dumpTree loads the fixture tree fresh and runs graphAnalyzer over it
+// in dependency order, threading facts the way the drivers do.
+func dumpTree(t *testing.T) string {
+	t.Helper()
+	pkgs, err := LoadTree("testdata/src", "chime/internal/alpha", "chime/internal/beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := NewFactSet()
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrs) > 0 {
+			t.Fatalf("%s: type errors: %v", pkg.PkgPath, pkg.TypeErrs)
+		}
+		_, exported, err := Run(pkg, []*Analyzer{graphAnalyzer}, facts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		facts.Merge(exported)
+	}
+	return facts.DumpString()
+}
+
+// Repeated loads of the same package set must produce byte-identical
+// summary dumps: lint output stability across machines and runs hangs
+// on it.
+func TestFactDumpDeterministic(t *testing.T) {
+	first := dumpTree(t)
+	if first == "" {
+		t.Fatal("empty fact dump")
+	}
+	for i := 0; i < 5; i++ {
+		if got := dumpTree(t); got != first {
+			t.Fatalf("run %d: fact dump differs\n--- first ---\n%s\n--- got ---\n%s", i+2, first, got)
+		}
+	}
+}
+
+// The graph itself must be deterministic and correctly scoped: alpha's
+// side of the boundary cannot see beta's Null implementation, beta's
+// side sees both.
+func TestCallGraphCrossPackageResolution(t *testing.T) {
+	dump := dumpTree(t)
+
+	wantLines := map[string]string{
+		// Inside alpha only Buffer implements Sink.
+		"chime/internal/alpha.Twice": "iface:(chime/internal/alpha.Sink).Emit[(chime/internal/alpha.Buffer).Emit], iface:(chime/internal/alpha.Sink).Emit[(chime/internal/alpha.Buffer).Emit]",
+		// From beta, both implementations are visible, sorted by key.
+		"chime/internal/beta.Via": "iface:(chime/internal/alpha.Sink).Emit[(chime/internal/alpha.Buffer).Emit (chime/internal/beta.Null).Emit]",
+		// Static cross-package edge.
+		"chime/internal/beta.Relay": "chime/internal/alpha.Chain",
+	}
+	for key, want := range wantLines {
+		line := fmt.Sprintf("%s\tgraphdump\tedges\t%s", key, want)
+		if !strings.Contains(dump, line) {
+			t.Errorf("fact dump missing line:\n%s\ngot dump:\n%s", line, dump)
+		}
+	}
+}
+
+// ReadFacts(Dump(s)) must reproduce s exactly — the vettool protocol
+// ships facts through files and depends on a lossless round trip.
+func TestFactDumpRoundTrip(t *testing.T) {
+	dump := dumpTree(t)
+	parsed, err := ReadFacts(strings.NewReader(dump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := parsed.DumpString(); got != dump {
+		t.Fatalf("round trip changed the dump\n--- in ---\n%s\n--- out ---\n%s", dump, got)
+	}
+}

@@ -1,0 +1,243 @@
+// Facts: the cross-package function-summary store.
+//
+// An interprocedural analyzer summarises each function it sees ("this
+// function may allocate", "this function acquires the folio lock",
+// "this function reaches an order-sensitive sink") and exports the
+// summary as a Fact. When a dependent package is analyzed later, the
+// same analyzer consumes the facts of the packages it imports instead
+// of re-analyzing their bodies. The driver — standalone chimelint or
+// the go vet unitchecker — is responsible for analyzing packages in
+// dependency order and threading the accumulated FactSet through.
+//
+// Everything here is deterministic by construction: facts are stored
+// sorted and deduplicated, Dump emits a canonical line-oriented text
+// encoding, and the same package set always produces byte-identical
+// output. That matters because lint output is itself pinned
+// bit-identical (see cmd/chimelint's double-run test), and because the
+// vetx files exchanged with the go command are content-hashed by the
+// build cache.
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"go/types"
+)
+
+// Fact is one exported summary statement about one function.
+type Fact struct {
+	// Fn is the canonical key of the function the fact describes,
+	// as produced by KeyOf: "pkgpath.Name" for package-level
+	// functions, "(pkgpath.Type).Name" for methods.
+	Fn string
+	// Analyzer is the name of the analyzer that exported the fact.
+	Analyzer string
+	// Name identifies the kind of fact within the analyzer's
+	// vocabulary (e.g. "allocates", "acquires", "sink").
+	Name string
+	// Detail is a human-readable qualifier: the allocating
+	// construct, the lock class, the sink reached. It is part of
+	// the fact's identity (two facts differing only in Detail are
+	// both kept) so set-valued summaries — a function acquiring
+	// three lock classes — are expressed as three facts.
+	Detail string
+}
+
+// KeyOf returns the canonical cross-package key for a function:
+// "pkgpath.Name" for package-level functions and "(pkgpath.Type).Name"
+// for methods (pointer receivers are stripped, so (T).M and (*T).M
+// share a key). Interface methods key on the interface's named type.
+// The empty string is returned for nil.
+func KeyOf(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		switch t := t.(type) {
+		case *types.Named:
+			return "(" + pkg + "." + t.Obj().Name() + ")." + fn.Name()
+		case *types.Interface:
+			return "(" + pkg + ".interface)." + fn.Name()
+		default:
+			return "(" + pkg + ".?)." + fn.Name()
+		}
+	}
+	return pkg + "." + fn.Name()
+}
+
+// FactSet is a deduplicated, order-independent collection of facts.
+// The zero value is not usable; call NewFactSet. A nil *FactSet is
+// safe to query (all lookups miss).
+type FactSet struct {
+	facts map[Fact]struct{}
+}
+
+// NewFactSet returns an empty fact set.
+func NewFactSet() *FactSet { return &FactSet{facts: make(map[Fact]struct{})} }
+
+// sanitize strips the characters the text encoding reserves.
+func sanitize(s string) string {
+	s = strings.ReplaceAll(s, "\t", " ")
+	s = strings.ReplaceAll(s, "\n", " ")
+	return s
+}
+
+// Add records a fact. Tabs and newlines in any field are replaced with
+// spaces so the canonical encoding stays line- and tab-delimited.
+func (s *FactSet) Add(f Fact) {
+	f.Fn = sanitize(f.Fn)
+	f.Analyzer = sanitize(f.Analyzer)
+	f.Name = sanitize(f.Name)
+	f.Detail = sanitize(f.Detail)
+	s.facts[f] = struct{}{}
+}
+
+// Merge adds every fact of o into s. A nil o is a no-op.
+func (s *FactSet) Merge(o *FactSet) {
+	if o == nil {
+		return
+	}
+	for f := range o.facts {
+		s.facts[f] = struct{}{}
+	}
+}
+
+// Len reports the number of distinct facts.
+func (s *FactSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.facts)
+}
+
+// Has reports whether any fact by analyzer about fn with the given
+// name exists, regardless of detail.
+func (s *FactSet) Has(analyzer, fn, name string) bool {
+	_, ok := s.first(analyzer, fn, name)
+	return ok
+}
+
+// Detail returns the lexically smallest detail of the matching facts,
+// and whether any matched. Useful for diagnostics when any one cause
+// suffices.
+func (s *FactSet) Detail(analyzer, fn, name string) (string, bool) {
+	return s.first(analyzer, fn, name)
+}
+
+func (s *FactSet) first(analyzer, fn, name string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	best, ok := "", false
+	for f := range s.facts {
+		if f.Analyzer == analyzer && f.Fn == fn && f.Name == name {
+			if !ok || f.Detail < best {
+				best, ok = f.Detail, true
+			}
+		}
+	}
+	return best, ok
+}
+
+// Lookup returns all facts by analyzer about fn, sorted by (Name,
+// Detail).
+func (s *FactSet) Lookup(analyzer, fn string) []Fact {
+	if s == nil {
+		return nil
+	}
+	var out []Fact
+	for f := range s.facts {
+		if f.Analyzer == analyzer && f.Fn == fn {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Detail < out[j].Detail
+	})
+	return out
+}
+
+// All returns every fact sorted by (Fn, Analyzer, Name, Detail). This
+// is the canonical order used by Dump.
+func (s *FactSet) All() []Fact {
+	if s == nil {
+		return nil
+	}
+	out := make([]Fact, 0, len(s.facts))
+	for f := range s.facts {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Fn != b.Fn {
+			return a.Fn < b.Fn
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Detail < b.Detail
+	})
+	return out
+}
+
+// Dump writes the canonical text encoding: one fact per line,
+// tab-separated fields, sorted. The encoding round-trips through
+// ReadFacts and is byte-identical for equal sets.
+func (s *FactSet) Dump(w io.Writer) error {
+	for _, f := range s.All() {
+		if _, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", f.Fn, f.Analyzer, f.Name, f.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DumpString returns Dump's output as a string.
+func (s *FactSet) DumpString() string {
+	var b strings.Builder
+	_ = s.Dump(&b) // strings.Builder writes cannot fail
+	return b.String()
+}
+
+// ReadFacts parses the encoding produced by Dump. Blank lines are
+// ignored; malformed lines are an error. An empty input yields an
+// empty, usable set.
+func ReadFacts(r io.Reader) (*FactSet, error) {
+	s := NewFactSet()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 4)
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("analysis: malformed fact line %q", line)
+		}
+		s.Add(Fact{Fn: parts[0], Analyzer: parts[1], Name: parts[2], Detail: parts[3]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("analysis: reading facts: %w", err)
+	}
+	return s, nil
+}

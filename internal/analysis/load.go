@@ -23,6 +23,17 @@ type Package struct {
 	Types     *types.Package
 	TypesInfo *types.Info
 	TypeErrs  []error // type-check problems (fixtures and trees must be clean)
+
+	graphOnce sync.Once
+	graph     *Graph
+	allowOnce sync.Once
+	allowMap  map[string]map[int]map[string]bool
+}
+
+// allow returns the memoized //lint:allow suppression map.
+func (p *Package) allow() map[string]map[int]map[string]bool {
+	p.allowOnce.Do(func() { p.allowMap = allowedAt(p.Fset, p.Syntax) })
+	return p.allowMap
 }
 
 // The process shares one FileSet and one stdlib source importer: the

@@ -1,0 +1,352 @@
+// Package lockorder defines an interprocedural analyzer enforcing a
+// partial order over the simulator's host-side mutexes.
+//
+// The deadlock-relevant locks are declared once, with ranks:
+//
+//	locktable(1) < loop(2) < lane(3) < nicshard(4) < stripe(5) < folio(6)
+//
+// matching the nestings the code actually performs (the event loop
+// takes a lane lock under the loop lock; a stripe lock is held while
+// the persistence plane appends to the folio store). Acquiring a class
+// with rank less than or equal to any held class — directly, or
+// through a call whose transitive acquire-set (facts, including
+// interface implementations) contains one — is reported.
+//
+// The held-set tracking is a linear source-order scan per function:
+// Lock/Unlock on classified expressions (struct fields, stripe array
+// elements, locals assigned from classifying sources such as
+// memoryNode.casLock, deferred unlocks pinning the lock to function
+// end). Branches are not path-sensitive — a conditional early unlock
+// makes the remainder of the function appear unlocked — so the
+// analyzer under-approximates; what it does flag is a real ordering
+// inversion on at least one syntactic path.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"chime/internal/analysis"
+)
+
+// Analyzer flags lock acquisitions that invert the declared partial
+// order over dmsim stripe locks, NIC shard locks, event-loop locks,
+// locktable and folio mutexes.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "host-side mutexes must be acquired in the declared partial order " +
+		"(locktable < loop < lane < nicshard < stripe < folio)",
+	Run: run,
+}
+
+const factAcquires = "acquires"
+
+// lockClass is one declared lock class: the (package, type, field)
+// triple that identifies its mutexes, and its rank in the order.
+type lockClass struct {
+	name            string
+	rank            int
+	pkg, typ, field string
+}
+
+var classes = []lockClass{
+	{"locktable", 1, "chime/internal/locktable", "Table", "mu"},
+	{"loop", 2, "chime/internal/dmsim", "evLoop", "mu"},
+	{"lane", 3, "chime/internal/dmsim", "evLane", "mu"},
+	{"nicshard", 4, "chime/internal/dmsim", "nicShard", "mu"},
+	{"stripe", 5, "chime/internal/dmsim", "memoryNode", "locks"},
+	{"folio", 6, "chime/internal/folio", "Store", "mu"},
+}
+
+// producers are methods returning a classified mutex, so locals
+// assigned from them classify too (lk := m.casLock(off); lk.Lock()).
+var producers = map[string]string{
+	"(chime/internal/dmsim.memoryNode).casLock": "stripe",
+}
+
+var byName = func() map[string]lockClass {
+	m := make(map[string]lockClass, len(classes))
+	for _, c := range classes {
+		m[c.name] = c
+	}
+	return m
+}()
+
+func orderString() string {
+	s := ""
+	for i, c := range classes {
+		if i > 0 {
+			s += " < "
+		}
+		s += c.name
+	}
+	return s
+}
+
+// classifyField matches a selector x.f (or x.f[i]'s base) against the
+// class table.
+func classifyField(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	field, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !field.IsField() || field.Pkg() == nil {
+		return "", false
+	}
+	base := info.Types[sel.X].Type
+	if base == nil {
+		return "", false
+	}
+	if p, ok := base.(*types.Pointer); ok {
+		base = p.Elem()
+	}
+	named, ok := base.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	for _, c := range classes {
+		if field.Pkg().Path() == c.pkg && named.Obj().Name() == c.typ && field.Name() == c.field {
+			return c.name, true
+		}
+	}
+	return "", false
+}
+
+// classifier resolves lock-valued expressions to class names within
+// one function, tracking locals assigned from classifying sources.
+type classifier struct {
+	info *types.Info
+	vars map[*types.Var]string
+}
+
+func (c *classifier) classify(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return classifyField(c.info, e)
+	case *ast.IndexExpr:
+		// Stripe arrays: m.locks[i].
+		if sel, ok := ast.Unparen(e.X).(*ast.SelectorExpr); ok {
+			return classifyField(c.info, sel)
+		}
+		return "", false
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return c.classify(e.X)
+		}
+		return "", false
+	case *ast.Ident:
+		v, ok := c.info.Uses[e].(*types.Var)
+		if !ok {
+			return "", false
+		}
+		name, ok := c.vars[v]
+		return name, ok
+	case *ast.CallExpr:
+		if fn := analysis.FuncOf(c.info, e); fn != nil {
+			name, ok := producers[analysis.KeyOf(fn)]
+			return name, ok
+		}
+		return "", false
+	}
+	return "", false
+}
+
+// event is one lock-relevant occurrence in source order.
+type event struct {
+	pos      token.Pos
+	class    string             // for acquire/release
+	call     *analysis.CallSite // for calls into other functions
+	acquire  bool
+	release  bool
+	deferred bool
+}
+
+// scan extracts the event sequence of one function.
+func scan(info *types.Info, fi *analysis.FuncInfo) []event {
+	cl := &classifier{info: info, vars: make(map[*types.Var]string)}
+	// Prepass: locals assigned from classifying sources, anywhere in
+	// the body (source order does not matter for classification).
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			name, ok := cl.classify(rhs)
+			if !ok {
+				continue
+			}
+			if id, ok := assign.Lhs[i].(*ast.Ident); ok {
+				if v, ok := info.Defs[id].(*types.Var); ok {
+					cl.vars[v] = name
+				} else if v, ok := info.Uses[id].(*types.Var); ok {
+					cl.vars[v] = name
+				}
+			}
+		}
+		return true
+	})
+
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+
+	var events []event
+	calls := make(map[*ast.CallExpr]*analysis.CallSite, len(fi.Calls))
+	for i := range fi.Calls {
+		calls[fi.Calls[i].Call] = &fi.Calls[i]
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Lock", "RLock", "TryLock", "TryRLock":
+				if name, ok := cl.classify(sel.X); ok {
+					events = append(events, event{pos: call.Pos(), class: name, acquire: true, deferred: deferred[call]})
+					return true
+				}
+			case "Unlock", "RUnlock":
+				if name, ok := cl.classify(sel.X); ok {
+					events = append(events, event{pos: call.Pos(), class: name, release: true, deferred: deferred[call]})
+					return true
+				}
+			}
+		}
+		if cs := calls[call]; cs != nil && cs.Callee != nil {
+			events = append(events, event{pos: call.Pos(), call: cs})
+		}
+		return true
+	})
+	return events
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	g := pass.Graph()
+	info := pass.TypesInfo
+
+	events := make(map[string][]event, len(g.Funcs))
+	acq := make(map[string]map[string]bool, len(g.Funcs)) // key -> transitive acquire-set
+	for _, fi := range g.Funcs {
+		evs := scan(info, fi)
+		events[fi.Key] = evs
+		set := make(map[string]bool)
+		for _, ev := range evs {
+			if ev.acquire {
+				set[ev.class] = true
+			}
+		}
+		acq[fi.Key] = set
+	}
+
+	// calleeSet resolves the acquire-set of one call: same-package
+	// fixpoint state, imported facts, and the union over interface
+	// implementations.
+	calleeSet := func(cs *analysis.CallSite) []string {
+		set := make(map[string]bool)
+		addFrom := func(key string) {
+			if s, ok := acq[key]; ok {
+				for c := range s {
+					set[c] = true
+				}
+				return
+			}
+			for _, f := range pass.Facts.Lookup(pass.Analyzer.Name, key) {
+				if f.Name == factAcquires {
+					set[f.Detail] = true
+				}
+			}
+		}
+		addFrom(analysis.KeyOf(cs.Callee))
+		if cs.Iface {
+			for _, impl := range cs.Impls {
+				addFrom(analysis.KeyOf(impl))
+			}
+		}
+		out := make([]string, 0, len(set))
+		for c := range set {
+			out = append(out, c)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	// Fixpoint: fold callee sets into callers until stable.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range g.Funcs {
+			set := acq[fi.Key]
+			for _, ev := range events[fi.Key] {
+				if ev.call == nil {
+					continue
+				}
+				for _, c := range calleeSet(ev.call) {
+					if !set[c] {
+						set[c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, fi := range g.Funcs {
+		set := make([]string, 0, len(acq[fi.Key]))
+		for c := range acq[fi.Key] {
+			set = append(set, c)
+		}
+		sort.Strings(set)
+		for _, c := range set {
+			pass.ExportFact(fi.Fn, factAcquires, c)
+		}
+	}
+
+	// Violation pass: replay each function's events against a held
+	// multiset.
+	for _, fi := range g.Funcs {
+		held := make(map[string]int)
+		worstHeld := func(rank int) (string, bool) {
+			worst, found := "", false
+			for c, n := range held {
+				if n <= 0 {
+					continue
+				}
+				if byName[c].rank >= rank && (!found || byName[c].rank > byName[worst].rank || (byName[c].rank == byName[worst].rank && c < worst)) {
+					worst, found = c, true
+				}
+			}
+			return worst, found
+		}
+		for _, ev := range events[fi.Key] {
+			switch {
+			case ev.acquire:
+				c := byName[ev.class]
+				if h, bad := worstHeld(c.rank); bad {
+					pass.Reportf(ev.pos, "acquires %s lock (rank %d) while holding %s lock (rank %d); required order: %s",
+						c.name, c.rank, h, byName[h].rank, orderString())
+				}
+				held[ev.class]++
+			case ev.release:
+				if ev.deferred {
+					continue // held to function end
+				}
+				if held[ev.class] > 0 {
+					held[ev.class]--
+				}
+			case ev.call != nil:
+				for _, c := range calleeSet(ev.call) {
+					if h, bad := worstHeld(byName[c].rank); bad {
+						pass.Reportf(ev.pos, "call to %s may acquire %s lock (rank %d) while holding %s lock (rank %d); required order: %s",
+							ev.call.Callee.Name(), c, byName[c].rank, h, byName[h].rank, orderString())
+					}
+				}
+			}
+		}
+	}
+	return nil, nil
+}

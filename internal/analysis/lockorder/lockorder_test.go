@@ -1,0 +1,18 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"chime/internal/analysis/analysistest"
+	"chime/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	// Dependencies first: dmsim's cross-package case consumes the
+	// acquire-set facts of locktable and folio.
+	analysistest.Run(t, "testdata", lockorder.Analyzer,
+		"chime/internal/locktable",
+		"chime/internal/folio",
+		"chime/internal/dmsim",
+	)
+}

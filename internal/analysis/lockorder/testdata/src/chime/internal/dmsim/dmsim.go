@@ -1,0 +1,94 @@
+// Package dmsim is a lockorder fixture stand-in for the real
+// simulator: stripe, nicshard, loop and lane lock classes plus
+// cross-package calls into folio and locktable.
+package dmsim
+
+import (
+	"sync"
+
+	"chime/internal/folio"
+	"chime/internal/locktable"
+)
+
+type memoryNode struct {
+	locks [4]sync.Mutex
+	st    *folio.Store
+	tab   *locktable.Table
+}
+
+// casLock returns the stripe mutex guarding off.
+func (m *memoryNode) casLock(off uint64) *sync.Mutex {
+	return &m.locks[off%4]
+}
+
+type nicShard struct {
+	mu    sync.Mutex
+	verbs int64
+}
+
+type evLane struct {
+	mu      sync.Mutex
+	pending []int32
+}
+
+type evLoop struct {
+	mu    sync.Mutex
+	lanes []evLane
+}
+
+// join nests lane under loop — ascending ranks, clean.
+func (l *evLoop) join(i int) {
+	l.mu.Lock()
+	lane := &l.lanes[i]
+	lane.mu.Lock()
+	lane.pending = lane.pending[:0]
+	lane.mu.Unlock()
+	l.mu.Unlock()
+}
+
+// put holds a stripe while appending to the folio store — ascending
+// ranks (stripe 5 < folio 6), clean.
+func (m *memoryNode) put(off uint64, rec []byte) {
+	lk := m.casLock(off)
+	lk.Lock()
+	m.st.AppendWrite(rec)
+	lk.Unlock()
+}
+
+// badShard grabs a NIC shard under a stripe — rank inversion.
+func (m *memoryNode) badShard(s *nicShard, off uint64) {
+	lk := m.casLock(off)
+	lk.Lock()
+	s.mu.Lock() // want `acquires nicshard lock \(rank 4\) while holding stripe lock \(rank 5\)`
+	s.verbs++
+	s.mu.Unlock()
+	lk.Unlock()
+}
+
+// badInvert takes the loop lock under a lane lock — rank inversion.
+func (l *evLoop) badInvert(lane *evLane) {
+	lane.mu.Lock()
+	l.mu.Lock() // want `acquires loop lock \(rank 2\) while holding lane lock \(rank 3\)`
+	l.mu.Unlock()
+	lane.mu.Unlock()
+}
+
+// badCallUnder calls into the lock table while holding a stripe — the
+// callee's acquire-set arrives via cross-package facts.
+func (m *memoryNode) badCallUnder(off uint64) {
+	lk := m.casLock(off)
+	lk.Lock()
+	m.tab.Acquire(off) // want `call to Acquire may acquire locktable lock \(rank 1\) while holding stripe lock \(rank 5\)`
+	lk.Unlock()
+}
+
+// badDouble nests two stripes — same-class nesting is flagged because
+// nothing orders stripe indices.
+func (m *memoryNode) badDouble(a, b uint64) {
+	la := m.casLock(a)
+	lb := m.casLock(b)
+	la.Lock()
+	lb.Lock() // want `acquires stripe lock \(rank 5\) while holding stripe lock \(rank 5\)`
+	lb.Unlock()
+	la.Unlock()
+}

@@ -1,0 +1,26 @@
+// Package folio is a lockorder fixture stand-in for the real
+// chime/internal/folio: Store.mu is the rank-6 "folio" class.
+package folio
+
+import "sync"
+
+// Store is the stand-in durable store.
+type Store struct {
+	mu  sync.Mutex
+	log [][]byte
+}
+
+// AppendWrite appends under the store mutex.
+func (s *Store) AppendWrite(rec []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = append(s.log, rec)
+}
+
+// BadReenter calls a mu-taking method while already holding mu via a
+// deferred unlock — same-class nesting, a self-deadlock.
+func (s *Store) BadReenter(rec []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.AppendWrite(rec) // want `call to AppendWrite may acquire folio lock \(rank 6\) while holding folio lock \(rank 6\)`
+}

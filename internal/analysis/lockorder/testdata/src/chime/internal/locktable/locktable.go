@@ -1,0 +1,21 @@
+// Package locktable is a lockorder fixture stand-in for the real
+// chime/internal/locktable: Table.mu is the rank-1 "locktable" class.
+package locktable
+
+import "sync"
+
+// Table is the stand-in lock table.
+type Table struct {
+	mu sync.Mutex
+	m  map[uint64]int
+}
+
+// Acquire takes the table mutex — its "acquires locktable" fact must
+// cross the package boundary.
+func (t *Table) Acquire(addr uint64) bool {
+	t.mu.Lock()
+	t.m[addr]++
+	free := t.m[addr] == 1
+	t.mu.Unlock()
+	return free
+}

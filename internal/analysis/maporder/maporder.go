@@ -1,0 +1,299 @@
+// Package maporder defines an interprocedural analyzer that flags map
+// iteration order escaping into order-sensitive sinks.
+//
+// Go randomizes map (and sync.Map) iteration order per run. The repro
+// pins every artifact bit-identical per seed — bench fingerprints,
+// folio logs, obs traces — so a map range that feeds a hash, a
+// persisted record, or formatted output without an intervening sort is
+// a determinism bug even when it survives today's tests (exactly the
+// CHIME hotspot-LFU tie-break class fixed by hand in the hotspot PR).
+//
+// The analyzer is reachability-based, not data-flow-based: a call
+// lexically inside a map-iteration region that can reach a sink —
+// directly, or transitively through calls, including across package
+// boundaries via exported facts and through interface methods via
+// method-set resolution — is reported. A function that sorts
+// (sort.*, slices.Sort*) is treated as an ordering barrier and does
+// not propagate its callees' sink-ness to its callers; the idiomatic
+// fix (collect keys in the loop, sort, then emit) therefore lints
+// clean. The over-approximation (a sink call that never sees
+// map-derived data) is deliberate: in this codebase emitting anything
+// from inside an unordered loop is worth restructuring.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"chime/internal/analysis"
+)
+
+// Analyzer flags map iteration order flowing into order-sensitive
+// sinks without an intervening sort.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "map or sync.Map iteration order must not reach fingerprinted, persisted, " +
+		"or obs-reported sinks without an intervening sort",
+	Run: run,
+}
+
+// factSink marks a function that can reach an order-sensitive sink.
+const factSink = "sink"
+
+// rootSink reports whether fn is itself an order-sensitive sink, and
+// names it for the diagnostic.
+func rootSink(fn *types.Func) (string, bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	pkg := fn.Pkg().Path()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return "", false
+	}
+	if sig.Recv() == nil {
+		// Formatted output: emission order is output order. The
+		// value-returning formatters (Sprintf, Errorf) are not
+		// sinks — building a string from one key is fine.
+		if pkg == "fmt" {
+			switch fn.Name() {
+			case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+				return "fmt." + fn.Name(), true
+			}
+		}
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, _ := recv.(*types.Named)
+	// An io.Writer-shaped Write on any receiver: bytes written in
+	// map order are persisted or hashed in map order. This matches
+	// hash.Hash, bytes.Buffer, bufio.Writer, os.File and the
+	// interface method io.Writer.Write itself.
+	if fn.Name() == "Write" && isWriteShaped(sig) {
+		return recvName(pkg, named) + ".Write", true
+	}
+	// Digest extraction on the hash packages' types.
+	if pkg == "hash" || strings.HasPrefix(pkg, "hash/") {
+		switch fn.Name() {
+		case "Sum", "Sum32", "Sum64":
+			return recvName(pkg, named) + "." + fn.Name(), true
+		}
+	}
+	if named == nil {
+		return "", false
+	}
+	// The durable persistence plane: append order is replay order.
+	if pkg == "chime/internal/folio" && named.Obj().Name() == "Store" {
+		switch fn.Name() {
+		case "AppendWrite", "NoteAlloc", "SetMeta":
+			return "folio.Store." + fn.Name(), true
+		}
+	}
+	// Trace emission: event order is artifact order.
+	if pkg == "chime/internal/obs" && named.Obj().Name() == "Tracer" {
+		switch fn.Name() {
+		case "Begin", "Instant", "CounterSample":
+			return "obs.Tracer." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+func recvName(pkg string, named *types.Named) string {
+	if named == nil {
+		return pkg
+	}
+	return named.Obj().Name()
+}
+
+func isWriteShaped(sig *types.Signature) bool {
+	if sig.Params().Len() != 1 || sig.Results().Len() != 2 || sig.Variadic() {
+		return false
+	}
+	p, ok := sig.Params().At(0).Type().(*types.Slice)
+	if !ok {
+		return false
+	}
+	if b, ok := p.Elem().(*types.Basic); !ok || b.Kind() != types.Byte {
+		return false
+	}
+	r0, ok := sig.Results().At(0).Type().(*types.Basic)
+	if !ok || r0.Kind() != types.Int {
+		return false
+	}
+	r1, ok := sig.Results().At(1).Type().(*types.Named)
+	return ok && r1.Obj().Name() == "error" && r1.Obj().Pkg() == nil
+}
+
+// isSortCall reports whether the call establishes an order (sort.*,
+// slices.Sort*), making the enclosing function an ordering barrier.
+func isSortCall(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return strings.HasPrefix(fn.Name(), "Sort")
+	}
+	return false
+}
+
+// posRange is a half-open source interval [from, to).
+type posRange struct{ from, to token.Pos }
+
+func (r posRange) contains(p token.Pos) bool { return p >= r.from && p < r.to }
+
+// mapRegions returns the source ranges of body that iterate a map in
+// nondeterministic order: range statements over map values (and over
+// maps.Keys/Values/All iterators), and sync.Map.Range callbacks.
+func mapRegions(info *types.Info, body *ast.BlockStmt) []posRange {
+	var out []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if isMapExpr(info, n.X) {
+				out = append(out, posRange{n.Body.Pos(), n.Body.End()})
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Range" || len(n.Args) != 1 {
+				return true
+			}
+			fn, _ := info.Uses[sel.Sel].(*types.Func)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+				return true
+			}
+			if lit, ok := n.Args[0].(*ast.FuncLit); ok {
+				out = append(out, posRange{lit.Body.Pos(), lit.Body.End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isMapExpr reports whether ranging over e iterates in randomized map
+// order: e has map type, or is a maps.Keys/Values/All iterator.
+func isMapExpr(info *types.Info, e ast.Expr) bool {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		if _, ok := tv.Type.Underlying().(*types.Map); ok {
+			return true
+		}
+	}
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if fn := analysis.FuncOf(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "maps" {
+			switch fn.Name() {
+			case "Keys", "Values", "All":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	g := pass.Graph()
+
+	// sinkOf: function key -> human-readable reason it reaches a
+	// sink, for this package's functions. Seeded from root sinks
+	// and imported facts, then iterated to a fixpoint so chains
+	// inside the package resolve regardless of declaration order.
+	sinkOf := make(map[string]string)
+	barrier := make(map[string]bool)
+	for _, fi := range g.Funcs {
+		for _, cs := range fi.Calls {
+			if isSortCall(cs.Callee) {
+				barrier[fi.Key] = true
+				break
+			}
+		}
+	}
+	// reaches resolves one call site against root sinks, imported
+	// facts, the current fixpoint state, and interface impls.
+	reaches := func(cs analysis.CallSite) (string, bool) {
+		if cs.Callee == nil {
+			return "", false
+		}
+		if name, ok := rootSink(cs.Callee); ok {
+			return name, true
+		}
+		key := analysis.KeyOf(cs.Callee)
+		if why, ok := sinkOf[key]; ok {
+			return cs.Callee.Name() + " (" + why + ")", true
+		}
+		if why, ok := pass.Facts.Detail(pass.Analyzer.Name, key, factSink); ok {
+			return cs.Callee.Name() + " (" + why + ")", true
+		}
+		if cs.Iface {
+			for _, impl := range cs.Impls {
+				ikey := analysis.KeyOf(impl)
+				if why, ok := sinkOf[ikey]; ok {
+					return cs.Callee.Name() + " (" + ikey + ": " + why + ")", true
+				}
+				if why, ok := pass.Facts.Detail(pass.Analyzer.Name, ikey, factSink); ok {
+					return cs.Callee.Name() + " (" + ikey + ": " + why + ")", true
+				}
+				if name, ok := rootSink(impl); ok {
+					return cs.Callee.Name() + " (" + name + ")", true
+				}
+			}
+		}
+		return "", false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range g.Funcs {
+			if barrier[fi.Key] {
+				continue
+			}
+			if _, done := sinkOf[fi.Key]; done {
+				continue
+			}
+			for _, cs := range fi.Calls {
+				if why, ok := reaches(cs); ok {
+					sinkOf[fi.Key] = why
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, fi := range g.Funcs {
+		if why, ok := sinkOf[fi.Key]; ok {
+			pass.ExportFact(fi.Fn, factSink, why)
+		}
+	}
+
+	// Report: any call inside a map-iteration region that reaches a
+	// sink. Barrier status does not matter here — sorting after the
+	// loop cannot fix emission happening inside it.
+	for _, fi := range g.Funcs {
+		regions := mapRegions(pass.TypesInfo, fi.Decl.Body)
+		if len(regions) == 0 {
+			continue
+		}
+		for _, cs := range fi.Calls {
+			inRegion := false
+			for _, r := range regions {
+				if r.contains(cs.Pos) {
+					inRegion = true
+					break
+				}
+			}
+			if !inRegion {
+				continue
+			}
+			if why, ok := reaches(cs); ok {
+				pass.Reportf(cs.Pos, "map iteration order reaches %s without an intervening sort; collect keys, sort, then emit", why)
+			}
+		}
+	}
+	return nil, nil
+}

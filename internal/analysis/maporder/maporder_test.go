@@ -1,0 +1,19 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"chime/internal/analysis/analysistest"
+	"chime/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	// Dependencies first: the sink facts of emitter and report must
+	// exist before mapuser is analyzed, exactly as the real drivers
+	// guarantee via dependency order.
+	analysistest.Run(t, "testdata", maporder.Analyzer,
+		"chime/internal/emitter",
+		"chime/internal/report",
+		"chime/internal/mapuser",
+	)
+}

@@ -1,0 +1,42 @@
+// Package emitter is a maporder fixture dependency: its sink-ness
+// must cross the package boundary via facts.
+package emitter
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// EmitRow writes one formatted row — an order-sensitive sink.
+func EmitRow(w io.Writer, k string, v int) {
+	fmt.Fprintf(w, "%s=%d\n", k, v)
+}
+
+// emit is an unexported link in a sink chain.
+func emit(w io.Writer, k string) {
+	fmt.Fprintln(w, k)
+}
+
+// EmitVia reaches a sink through an in-package call.
+func EmitVia(w io.Writer, k string) {
+	emit(w, k)
+}
+
+// EmitSorted sorts before emitting: an ordering barrier, safe to call
+// from inside a map range.
+func EmitSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// Describe formats a value without emitting it anywhere — not a sink.
+func Describe(k string, v int) string {
+	return fmt.Sprintf("%s=%d", k, v)
+}

@@ -1,0 +1,96 @@
+// Package mapuser exercises maporder: map ranges feeding sinks
+// directly, through in-package calls, across package boundaries, and
+// through interface methods — plus the clean collect-sort-emit idiom.
+package mapuser
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+
+	"chime/internal/emitter"
+	"chime/internal/report"
+)
+
+// DumpDirect emits inside a map range.
+func DumpDirect(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `map iteration order reaches fmt\.Fprintf`
+	}
+}
+
+// DumpViaCall reaches the sink through a cross-package call.
+func DumpViaCall(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		emitter.EmitRow(w, k, v) // want `map iteration order reaches EmitRow`
+	}
+}
+
+// DumpViaChain reaches the sink through a cross-package chain.
+func DumpViaChain(w io.Writer, m map[string]int) {
+	for k := range m {
+		emitter.EmitVia(w, k) // want `map iteration order reaches EmitVia`
+	}
+}
+
+// Fingerprint hashes keys in map order — the PR 7 bug class.
+func Fingerprint(m map[string]int) uint64 {
+	h := fnv.New64a()
+	for k := range m {
+		h.Write([]byte(k)) // want `map iteration order reaches .*Write`
+	}
+	return h.Sum64()
+}
+
+// DumpIface reaches the sink through an interface method: one known
+// implementation (report.File) transitively prints.
+func DumpIface(r report.Reporter, m map[string]int) {
+	for k := range m {
+		r.Report(k) // want `map iteration order reaches Report`
+	}
+}
+
+// DumpSyncMap emits from a sync.Map.Range callback.
+func DumpSyncMap(w io.Writer, m *sync.Map) {
+	m.Range(func(k, v any) bool {
+		fmt.Fprintln(w, k, v) // want `map iteration order reaches fmt\.Fprintln`
+		return true
+	})
+}
+
+// DumpSorted is the idiomatic fix: collect, sort, then emit.
+func DumpSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// DumpDelegated delegates to a function that sorts internally — the
+// barrier stops the taint.
+func DumpDelegated(w io.Writer, m map[string]int) {
+	emitter.EmitSorted(w, m)
+}
+
+// BuildLabels formats values inside a range but never emits — Sprintf
+// is not a sink.
+func BuildLabels(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = emitter.Describe(k, v)
+	}
+	return out
+}
+
+// SliceEmit ranges a slice, not a map — ordered, clean.
+func SliceEmit(w io.Writer, keys []string) {
+	for _, k := range keys {
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,30 @@
+// Package report is a maporder fixture dependency: the sink hides
+// behind an interface method, so flagging it in a dependent package
+// needs method-set resolution plus cross-package facts.
+package report
+
+import "fmt"
+
+// Reporter abstracts row emission.
+type Reporter interface {
+	Report(k string)
+}
+
+// Discard drops rows — no sink.
+type Discard struct{}
+
+// Report ignores the row.
+func (Discard) Report(k string) { _ = k }
+
+// File emits rows through fmt — an order-sensitive sink, reached
+// through an unexported helper so the fact is genuinely transitive.
+type File struct{}
+
+// Report prints the row.
+func (File) Report(k string) {
+	printRow(k)
+}
+
+func printRow(k string) {
+	fmt.Println(k)
+}

@@ -1,0 +1,16 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"chime/internal/analysis/analysistest"
+	"chime/internal/analysis/noalloc"
+)
+
+func TestNoAlloc(t *testing.T) {
+	// hotdep first: hot's cross-package cases consume its facts.
+	analysistest.Run(t, "testdata", noalloc.Analyzer,
+		"chime/internal/hotdep",
+		"chime/internal/hot",
+	)
+}

@@ -1,0 +1,156 @@
+// Package hot exercises noalloc: direct constructs, transitive
+// propagation within and across packages, interface dispatch, the
+// //chime:coldalloc waiver, and //lint:allow suppression.
+package hot
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"chime/internal/hotdep"
+)
+
+//chime:noalloc
+func BadMake(n int) []int {
+	return make([]int, n) // want `make in //chime:noalloc function BadMake`
+}
+
+//chime:noalloc
+func BadAppend(s []int) []int {
+	return append(s, 1) // want `append \(may grow\) in //chime:noalloc function BadAppend`
+}
+
+//chime:noalloc
+func BadLiteral() {
+	_ = []int{1, 2}      // want `slice literal in //chime:noalloc function BadLiteral`
+	_ = map[string]int{} // want `map literal in //chime:noalloc function BadLiteral`
+}
+
+type box struct{ v int }
+
+//chime:noalloc
+func BadEscape() *box {
+	return &box{v: 1} // want `heap-escaping composite literal \(&T\{\}\) in //chime:noalloc function BadEscape`
+}
+
+//chime:noalloc
+func BadClosure(n int) func() int {
+	return func() int { return n } // want `closure capturing n in //chime:noalloc function BadClosure`
+}
+
+//chime:noalloc
+func BadConcat(a, b string) string {
+	return a + b // want `string concatenation in //chime:noalloc function BadConcat`
+}
+
+//chime:noalloc
+func BadConvert(s string) []byte {
+	return []byte(s) // want `string to \[\]byte/\[\]rune conversion in //chime:noalloc function BadConvert`
+}
+
+//chime:noalloc
+func BadMapInsert(m map[int]int, k int) {
+	m[k] = 1 // want `map insert \(may grow\) in //chime:noalloc function BadMapInsert`
+}
+
+//chime:noalloc
+func BadGo(f func()) {
+	go f() // want `go statement in //chime:noalloc function BadGo` `call cannot be verified allocation-free \(call through function value\) in //chime:noalloc function BadGo`
+}
+
+func sinkAny(v any) { _ = v }
+
+//chime:noalloc
+func BadBox(x int) {
+	sinkAny(x) // want `interface boxing \(arg to any param\) in //chime:noalloc function BadBox`
+}
+
+//chime:noalloc
+func BadFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want `call allocates \(call to fmt\.Sprintf\) in //chime:noalloc function BadFmt` `interface boxing \(arg to any param\) in //chime:noalloc function BadFmt`
+}
+
+// grow is not annotated — no diagnostics of its own, but its summary
+// poisons annotated callers.
+func grow(s []int) []int {
+	return append(s, 1)
+}
+
+//chime:noalloc
+func BadTransitive(s []int) []int {
+	return grow(s) // want `call allocates \(grow: append \(may grow\)\) in //chime:noalloc function BadTransitive`
+}
+
+//chime:noalloc
+func BadCross(s []byte) []byte {
+	return hotdep.Grow(s) // want `call allocates \(hotdep\.Grow: append \(may grow\)\) in //chime:noalloc function BadCross`
+}
+
+//chime:noalloc
+func BadOpaque() int {
+	return hotdep.Mystery() // want `call cannot be verified allocation-free \(hotdep\.Mystery: calls os\.Getpid \(not allocation-free-listed\)\) in //chime:noalloc function BadOpaque`
+}
+
+// Adder dispatches dynamically; one implementation allocates.
+type Adder interface{ Add(v int64) }
+
+// SlowAdder allocates on Add.
+type SlowAdder struct{ s []int64 }
+
+// Add appends.
+func (a *SlowAdder) Add(v int64) { a.s = append(a.s, v) }
+
+// FastAdder is allocation-free.
+type FastAdder struct{ v int64 }
+
+// Add accumulates in place.
+func (f *FastAdder) Add(v int64) { atomic.AddInt64(&f.v, v) }
+
+//chime:noalloc
+func BadIface(a Adder) {
+	a.Add(1) // want `call allocates \(\(chime/internal/hot\.SlowAdder\)\.Add: append \(may grow\)\) in //chime:noalloc function BadIface`
+}
+
+// Ghost has no implementation anywhere in the fixture universe.
+type Ghost interface{ BooNobodyImplementsThis() }
+
+//chime:noalloc
+func BadGhost(g Ghost) {
+	g.BooNobodyImplementsThis() // want `call cannot be verified allocation-free \(interface call Ghost\.BooNobodyImplementsThis with no known implementation\) in //chime:noalloc function BadGhost`
+}
+
+//chime:coldalloc pools warm up on first use; steady state is pinned by alloc tests
+func warmPool(n int) []int {
+	return make([]int, n)
+}
+
+var mu sync.Mutex
+
+//chime:noalloc
+func GoodHot(x *int64, s []int) int {
+	mu.Lock()
+	atomic.AddInt64(x, 1)
+	n := bits.OnesCount64(uint64(*x))
+	if len(s) == 0 {
+		s = warmPool(8)
+	}
+	mu.Unlock()
+	return n + len(s)
+}
+
+//chime:noalloc
+func GoodAllowed(buf []int) []int {
+	buf = append(buf[:0], 1) //lint:allow noalloc append into capacity retained by the freelist
+	return buf
+}
+
+//chime:coldalloc
+func badCold() { // want `//chime:coldalloc on badCold requires a reason`
+}
+
+// unannotated allocates freely without diagnostics.
+func unannotated() []int {
+	return append(make([]int, 0, 4), 1, 2, 3)
+}

@@ -1,0 +1,25 @@
+// Package hotdep is a noalloc fixture dependency: its allocation
+// summaries must reach annotated callers in dependent packages
+// through facts.
+package hotdep
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// Grow allocates — the "allocates" fact crosses the package boundary.
+func Grow(s []byte) []byte {
+	return append(s, 0)
+}
+
+// Bump is allocation-free.
+func Bump(x *int64) {
+	atomic.AddInt64(x, 1)
+}
+
+// Mystery calls stdlib outside the allowlist — opaque, which must
+// poison annotated callers just like a proven allocation.
+func Mystery() int {
+	return os.Getpid()
+}

@@ -6,14 +6,20 @@ import (
 	"chime/internal/analysis"
 	"chime/internal/analysis/dmerrors"
 	"chime/internal/analysis/durableio"
+	"chime/internal/analysis/lockorder"
 	"chime/internal/analysis/lockword"
+	"chime/internal/analysis/maporder"
+	"chime/internal/analysis/noalloc"
 	"chime/internal/analysis/obsnames"
 	"chime/internal/analysis/seededrand"
 	"chime/internal/analysis/verbgate"
 	"chime/internal/analysis/virtualclock"
 )
 
-// All returns every analyzer chimelint runs, in stable order.
+// All returns every analyzer chimelint runs, in stable order: the
+// per-package seven first, then the interprocedural three (maporder,
+// noalloc, lockorder), which consume the fact flow the drivers thread
+// through packages in dependency order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		virtualclock.Analyzer,
@@ -23,5 +29,8 @@ func All() []*analysis.Analyzer {
 		dmerrors.Analyzer,
 		obsnames.Analyzer,
 		durableio.Analyzer,
+		maporder.Analyzer,
+		noalloc.Analyzer,
+		lockorder.Analyzer,
 	}
 }

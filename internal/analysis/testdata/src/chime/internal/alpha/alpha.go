@@ -1,0 +1,37 @@
+// Package alpha is an engine fixture: an interface, a concrete
+// implementation, and functions whose call edges (static and dynamic)
+// the determinism tests dump and compare across loads.
+package alpha
+
+// Sink consumes bytes.
+type Sink interface {
+	Emit(p []byte) int
+}
+
+// Buffer is the in-package Sink implementation.
+type Buffer struct{ n int }
+
+// Emit counts bytes.
+func (b *Buffer) Emit(p []byte) int {
+	b.n += len(p)
+	return b.n
+}
+
+// Twice emits through the interface twice — one function, two dynamic
+// call sites to the same method.
+func Twice(s Sink, p []byte) int {
+	s.Emit(p)
+	return s.Emit(p)
+}
+
+// direct calls Emit statically, and Twice dynamically via Buffer.
+func direct(b *Buffer, p []byte) int {
+	b.Emit(p)
+	return Twice(b, p)
+}
+
+// Chain keeps direct reachable.
+func Chain(p []byte) int {
+	var b Buffer
+	return direct(&b, p)
+}

@@ -1,0 +1,24 @@
+// Package beta is an engine fixture: it imports alpha, adds a second
+// Sink implementation, and calls across the package boundary both
+// statically and through the interface.
+package beta
+
+import "chime/internal/alpha"
+
+// Null is a second Sink implementation, visible only from beta's side
+// of the boundary: alpha's own graph must not list it, beta's must.
+type Null struct{}
+
+// Emit discards bytes.
+func (Null) Emit(p []byte) int { return 0 }
+
+// Relay calls alpha statically.
+func Relay(p []byte) int {
+	return alpha.Chain(p)
+}
+
+// Via dispatches through the shared interface; from beta both Buffer
+// and Null are candidate implementations.
+func Via(s alpha.Sink, p []byte) int {
+	return s.Emit(p)
+}

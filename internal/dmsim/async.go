@@ -88,6 +88,8 @@ func (h *Completion) recordLedger(penalty, arrival, nicDone, nicSvc int64) {
 // one the first few times. Together with Release this makes the
 // steady-state post/poll path allocation-free: the freelist grows to
 // the client's peak pipeline depth and is then recycled forever.
+//
+//chime:coldalloc freelist warms to peak pipeline depth, then recycles
 func (c *Client) newCompletion() *Completion {
 	if n := len(c.free); n > 0 {
 		h := c.free[n-1]
@@ -108,6 +110,8 @@ func (c *Client) newCompletion() *Completion {
 // it. Releasing nil is a no-op; releasing twice, releasing another
 // client's handle, or releasing before Poll panics, since each is a
 // lifetime bug that would silently corrupt a recycled handle later.
+//
+//chime:noalloc
 func (c *Client) Release(h *Completion) {
 	if h == nil {
 		return
@@ -122,6 +126,7 @@ func (c *Client) Release(h *Completion) {
 		panic("dmsim: double Release of a completion")
 	}
 	h.pooled = true
+	//lint:allow noalloc freelist retains capacity after warm-up
 	c.free = append(c.free, h)
 }
 
@@ -145,6 +150,8 @@ func (h *Completion) CASResult() (uint64, bool) {
 
 // post charges issue overhead, tracks in-flight depth, and wraps the NIC
 // completion time.
+//
+//chime:noalloc
 func (c *Client) post(nicDone int64) *Completion {
 	c.now += c.issueNs
 	c.fl.ChargeActive(c.issueNs)
@@ -161,6 +168,8 @@ func (c *Client) post(nicDone int64) *Completion {
 // payloads returns the client's reusable batch-payload scratch slice,
 // sized to n. One slice per client suffices: batches never nest, and
 // serveBatch consumes the slice before returning.
+//
+//chime:coldalloc scratch grows once to peak batch size, then is reused
 func (c *Client) payloads(n int) []int {
 	if cap(c.payloadScratch) < n {
 		c.payloadScratch = make([]int, n)
@@ -171,6 +180,8 @@ func (c *Client) payloads(n int) []int {
 // Poll reaps one completion: the client's clock advances to the verb's
 // completion time (never backward) and the handle is marked done.
 // Polling twice is harmless. Returns the client's clock after the poll.
+//
+//chime:noalloc
 func (c *Client) Poll(h *Completion) int64 {
 	if h == nil || h.polled {
 		return c.now
@@ -205,6 +216,8 @@ func (c *Client) Inflight() int { return int(c.inflight) }
 // PostRead posts a one-sided READ and returns immediately. buf is
 // filled at post time (see the package comment on data movement); the
 // completion carries the verb's timing.
+//
+//chime:noalloc
 func (c *Client) PostRead(a GAddr, buf []byte) (*Completion, error) {
 	c.syncGate()
 	mn, err := c.f.checkRange(a, len(buf))
@@ -232,9 +245,12 @@ func (c *Client) PostRead(a GAddr, buf []byte) (*Completion, error) {
 
 // PostReadBatch posts a doorbell batch of READs (one round trip, every
 // segment serviced back-to-back, all on one MN) and returns immediately.
+//
+//chime:noalloc
 func (c *Client) PostReadBatch(addrs []GAddr, bufs [][]byte) (*Completion, error) {
 	c.syncGate()
 	if len(addrs) != len(bufs) {
+		//lint:allow noalloc batch-validation error path, never taken by correct callers
 		return nil, fmt.Errorf("dmsim: PostReadBatch got %d addrs, %d bufs", len(addrs), len(bufs))
 	}
 	if len(addrs) == 0 {
@@ -253,6 +269,7 @@ func (c *Client) PostReadBatch(addrs []GAddr, bufs [][]byte) (*Completion, error
 	var total int64
 	for i, a := range addrs {
 		if a.MN != mn0 {
+			//lint:allow noalloc batch-validation error path, never taken by correct callers
 			return nil, fmt.Errorf("dmsim: PostReadBatch spans MNs %d and %d", mn0, a.MN)
 		}
 		mn, err := c.f.checkRange(a, len(bufs[i]))
@@ -279,6 +296,8 @@ func (c *Client) PostReadBatch(addrs []GAddr, bufs [][]byte) (*Completion, error
 
 // batchServiceNs recomputes a doorbell batch's total NIC service time
 // for the flight ledger (the hot path stages no per-segment slice).
+//
+//chime:noalloc
 func batchServiceNs(n *nic, payloads []int) int64 {
 	var svc int64
 	for _, p := range payloads {
@@ -289,6 +308,8 @@ func batchServiceNs(n *nic, payloads []int) int64 {
 
 // PostWrite posts a one-sided WRITE; data lands in remote memory at post
 // time, the completion carries the verb's timing.
+//
+//chime:noalloc
 func (c *Client) PostWrite(a GAddr, data []byte) (*Completion, error) {
 	c.syncGate()
 	mn, err := c.f.checkRange(a, len(data))
@@ -321,9 +342,12 @@ func (c *Client) PostWrite(a GAddr, data []byte) (*Completion, error) {
 
 // PostWriteBatch posts a doorbell batch of WRITEs (one round trip, all
 // on one MN) and returns immediately.
+//
+//chime:noalloc
 func (c *Client) PostWriteBatch(addrs []GAddr, datas [][]byte) (*Completion, error) {
 	c.syncGate()
 	if len(addrs) != len(datas) {
+		//lint:allow noalloc batch-validation error path, never taken by correct callers
 		return nil, fmt.Errorf("dmsim: PostWriteBatch got %d addrs, %d bufs", len(addrs), len(datas))
 	}
 	if len(addrs) == 0 {
@@ -341,6 +365,7 @@ func (c *Client) PostWriteBatch(addrs []GAddr, datas [][]byte) (*Completion, err
 	var total int64
 	for i, a := range addrs {
 		if a.MN != mn0 {
+			//lint:allow noalloc batch-validation error path, never taken by correct callers
 			return nil, fmt.Errorf("dmsim: PostWriteBatch spans MNs %d and %d", mn0, a.MN)
 		}
 		mn, err := c.f.checkRange(a, len(datas[i]))
@@ -372,11 +397,15 @@ func (c *Client) PostWriteBatch(addrs []GAddr, datas [][]byte) (*Completion, err
 
 // PostCAS posts an 8-byte compare-and-swap. The atomic applies at post
 // time; read the outcome with CASResult after polling.
+//
+//chime:noalloc
 func (c *Client) PostCAS(a GAddr, old, new uint64) (*Completion, error) {
 	return c.PostMaskedCAS(a, old, new, ^uint64(0), ^uint64(0))
 }
 
 // PostMaskedCAS posts the RDMA extended masked atomic (§4.2.1).
+//
+//chime:noalloc
 func (c *Client) PostMaskedCAS(a GAddr, cmp, swap, cmpMask, swapMask uint64) (*Completion, error) {
 	c.syncGate()
 	mn, err := c.f.checkRange(a, 8)
@@ -422,6 +451,8 @@ func (c *Client) PostMaskedCAS(a GAddr, cmp, swap, cmpMask, swapMask uint64) (*C
 
 // PostFetchAdd posts an 8-byte FETCH_AND_ADD; the previous value is
 // available via CASResult (swap outcome always true) after polling.
+//
+//chime:noalloc
 func (c *Client) PostFetchAdd(a GAddr, delta uint64) (*Completion, error) {
 	c.syncGate()
 	mn, err := c.f.checkRange(a, 8)

@@ -125,6 +125,8 @@ func (c *Client) ID() int64 { return c.id }
 func (c *Client) Now() int64 { return c.now }
 
 // Advance adds local (CN-side) compute time to the client's clock.
+//
+//chime:noalloc
 func (c *Client) Advance(ns int64) {
 	if ns > 0 {
 		c.now += ns
@@ -175,6 +177,8 @@ func (c *Client) LeaveCohort() {
 // state, the basis of parallel-deterministic execution); freewheeling
 // clients hash by ID so bootstrap loaders spread across shards. With
 // one shard (any gate-mode fabric) this is always 0.
+//
+//chime:noalloc
 func (c *Client) shard() int32 {
 	if c.f.shards == 1 {
 		return 0
@@ -187,6 +191,8 @@ func (c *Client) shard() int32 {
 
 // syncGate blocks a cohort member until its clock is inside the gate
 // window; freewheeling clients pass straight through.
+//
+//chime:noalloc
 func (c *Client) syncGate() {
 	if c.gated {
 		if c.f.loop != nil {
@@ -202,6 +208,8 @@ func (c *Client) syncGate() {
 // leader). A suspended member no longer holds up the gate window; it
 // must call Resume before issuing verbs again. No-op for freewheeling
 // clients. Returns whether the client was actually suspended.
+//
+//chime:noalloc
 func (c *Client) Suspend() bool {
 	if !c.gated {
 		return false
@@ -219,6 +227,8 @@ func (c *Client) Suspend() bool {
 // clock to at least now (virtual time never runs backward). The gate
 // window is NOT widened: the client blocks at its next verb until the
 // cohort's window reaches its (possibly far-ahead) clock.
+//
+//chime:noalloc
 func (c *Client) Resume(now int64) {
 	if now > c.now {
 		// The fast-forward is the time this client spent parked on its
@@ -253,6 +263,8 @@ func (c *Client) Fabric() *Fabric { return c.f }
 
 // finish advances the client past a round trip that completed at the NIC
 // at nicDone (two-sided RPCs, which have no posted form).
+//
+//chime:noalloc
 func (c *Client) finish(nicDone int64) {
 	c.now = nicDone + c.rttNs
 }
@@ -262,6 +274,8 @@ func (c *Client) finish(nicDone int64) {
 // multi-line transfer is not atomic as a whole: concurrent writers can
 // interleave at line boundaries, so readers must validate with version
 // checks, exactly as on real RDMA hardware.
+//
+//chime:noalloc
 func (c *Client) Read(a GAddr, buf []byte) error {
 	h, err := c.PostRead(a, buf)
 	if err != nil {
@@ -276,6 +290,8 @@ func (c *Client) Read(a GAddr, buf []byte) error {
 // a single round trip while the NIC services every segment. All
 // addresses must live on the same MN (the common case in the paper:
 // wrap-around segments of one node).
+//
+//chime:noalloc
 func (c *Client) ReadBatch(addrs []GAddr, bufs [][]byte) error {
 	h, err := c.PostReadBatch(addrs, bufs)
 	if err != nil {
@@ -287,6 +303,8 @@ func (c *Client) ReadBatch(addrs []GAddr, bufs [][]byte) error {
 }
 
 // Write stores data at the remote address using a one-sided WRITE.
+//
+//chime:noalloc
 func (c *Client) Write(a GAddr, data []byte) error {
 	h, err := c.PostWrite(a, data)
 	if err != nil {
@@ -300,6 +318,8 @@ func (c *Client) Write(a GAddr, data []byte) error {
 // WriteBatch issues several WRITEs as one doorbell batch (one round
 // trip). Used for wrap-around hop-range write-back and the combined
 // "write entry + unlock" pattern from Sherman and CHIME.
+//
+//chime:noalloc
 func (c *Client) WriteBatch(addrs []GAddr, datas [][]byte) error {
 	h, err := c.PostWriteBatch(addrs, datas)
 	if err != nil {
@@ -313,6 +333,8 @@ func (c *Client) WriteBatch(addrs []GAddr, datas [][]byte) error {
 // CAS atomically compares the 8-byte word at a with old and, when equal,
 // replaces it with new. It returns the value observed before the swap
 // and whether the swap happened. Word encoding is little-endian.
+//
+//chime:noalloc
 func (c *Client) CAS(a GAddr, old, new uint64) (uint64, bool, error) {
 	return c.MaskedCAS(a, old, new, ^uint64(0), ^uint64(0))
 }
@@ -320,6 +342,8 @@ func (c *Client) CAS(a GAddr, old, new uint64) (uint64, bool, error) {
 // MaskedCAS is the RDMA extended atomic used by CHIME's vacancy-bitmap
 // piggybacking (§4.2.1): compare only the bits under cmpMask, swap only
 // the bits under swapMask, and return the full previous word either way.
+//
+//chime:noalloc
 func (c *Client) MaskedCAS(a GAddr, cmp, swap, cmpMask, swapMask uint64) (uint64, bool, error) {
 	h, err := c.PostMaskedCAS(a, cmp, swap, cmpMask, swapMask)
 	if err != nil {
@@ -333,6 +357,8 @@ func (c *Client) MaskedCAS(a GAddr, cmp, swap, cmpMask, swapMask uint64) (uint64
 
 // FetchAdd atomically adds delta to the 8-byte word at a and returns the
 // previous value (RDMA FETCH_AND_ADD).
+//
+//chime:noalloc
 func (c *Client) FetchAdd(a GAddr, delta uint64) (uint64, error) {
 	h, err := c.PostFetchAdd(a, delta)
 	if err != nil {

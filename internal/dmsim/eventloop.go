@@ -106,6 +106,8 @@ func newEvLoop(quantum int64, nlanes int) *evLoop {
 // theirs. The member counts as running until it first parks, and its
 // first sync parks unconditionally so no verb is issued before the
 // first barrier establishes deterministic lane order.
+//
+//chime:coldalloc first-time enrollment allocates the park channel and lane slot
 func (l *evLoop) join(c *Client) {
 	l.mu.Lock()
 	if c.evSlot < 0 {
@@ -157,6 +159,8 @@ func (l *evLoop) leave(c *Client) {
 // has reached the window edge (or unconditionally on the first sync
 // after join/rejoin, so execution order is loop-controlled from the
 // first verb).
+//
+//chime:noalloc
 func (l *evLoop) sync(c *Client) {
 	if !c.evMustPark && c.now < l.window {
 		return
@@ -170,6 +174,8 @@ func (l *evLoop) sync(c *Client) {
 // deterministically — and blocks until a baton or barrier wakes it. The
 // caller returns runnable: its clock is inside the (possibly advanced)
 // window.
+//
+//chime:noalloc
 func (l *evLoop) park(c *Client) {
 	lane := &l.lanes[c.evLane]
 	lane.mu.Lock()
@@ -188,6 +194,7 @@ func (l *evLoop) park(c *Client) {
 			l.grant(lane, s)
 		}
 	} else {
+		//lint:allow noalloc pending retains capacity across barriers
 		lane.pending = append(lane.pending, c.evLocal)
 	}
 	lane.mu.Unlock()
@@ -205,6 +212,8 @@ func (l *evLoop) park(c *Client) {
 // grant wakes one parked member: it becomes its lane's runner. The
 // running increment happens before the token send so the count can
 // never spuriously touch zero while a wake is in flight.
+//
+//chime:noalloc
 func (l *evLoop) grant(lane *evLane, s int32) {
 	c := lane.clients[s]
 	c.evBaton = true
@@ -219,6 +228,8 @@ func (l *evLoop) grant(lane *evLane, s int32) {
 // one quantum past the slowest parked member — the same arithmetic as
 // timeGate.advanceLocked — and exactly one member per lane is woken to
 // seed the batons.
+//
+//chime:noalloc
 func (l *evLoop) advanceLocked() {
 	min := int64(maxInt64)
 	for i := range l.lanes {

@@ -190,6 +190,8 @@ func (f *Fabric) node(a GAddr) (*memoryNode, error) {
 }
 
 // checkRange validates that [a, a+n) lies inside the MN region.
+//
+//chime:coldalloc allocates only when building the out-of-bounds error
 func (f *Fabric) checkRange(a GAddr, n int) (*memoryNode, error) {
 	mn, err := f.node(a)
 	if err != nil {

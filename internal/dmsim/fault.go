@@ -182,6 +182,8 @@ const (
 // spikes plus timeout-and-repost rounds) or the terminal typed error.
 // Called after the time-gate sync and range checks, before any data
 // movement, so a crashed or failed verb leaves remote memory untouched.
+//
+//chime:coldalloc the injector interface is external and nil in steady state
 func (c *Client) faultGate(class VerbClass, mn int) (int64, error) {
 	if c.crashed {
 		return 0, ErrClientCrashed
@@ -238,6 +240,8 @@ func (c *Client) faultGate(class VerbClass, mn int) (int64, error) {
 }
 
 // observeCAS reports an applied atomic to the injector, if any.
+//
+//chime:coldalloc the injector interface is external and nil in steady state
 func (c *Client) observeCAS(a GAddr, swapped bool, cmpMask, swap uint64) {
 	if inj := c.f.inj; inj != nil {
 		inj.ObserveCAS(CASInfo{

@@ -118,6 +118,8 @@ func (n *nic) setObserver(mn int, s *obs.Sink) {
 }
 
 // serviceNs is the service time of one verb of the given payload size.
+//
+//chime:noalloc
 func (n *nic) serviceNs(payload int) int64 {
 	service := n.nsPerOp
 	if bw := float64(payload) * n.nsPerByte; bw > service {
@@ -133,6 +135,8 @@ func (n *nic) serviceNs(payload int) int64 {
 // pushBusy raises every shard's busy horizon to at least the given
 // virtual time. RestartMN (persist.go) uses it to make post-recovery
 // verbs queue behind the replay through the normal serve recurrence.
+//
+//chime:noalloc
 func (n *nic) pushBusy(until int64) {
 	for i := range n.shards {
 		s := &n.shards[i]
@@ -146,6 +150,8 @@ func (n *nic) pushBusy(until int64) {
 
 // sampleLocked decides (under the shard mutex) whether to emit a
 // timeline sample.
+//
+//chime:noalloc
 func (n *nic) sampleLocked(s *nicShard, completion int64) bool {
 	if n.tr == nil {
 		return false
@@ -163,6 +169,8 @@ func (n *nic) sampleLocked(s *nicShard, completion int64) bool {
 // bytes out of the MN, WRITEs move them in, atomics and RPCs move
 // nothing the byte counters track (their 8-byte words are charged to
 // client stats, as before sharding).
+//
+//chime:noalloc
 func (n *nic) serve(shard int32, kind verbKind, arrival int64, payload int) int64 {
 	sNs := n.serviceNs(payload)
 
@@ -192,6 +200,7 @@ func (n *nic) serve(shard int32, kind verbKind, arrival int64, payload int) int6
 		n.fr.AddNICBusy(start, completion)
 	}
 	if sample {
+		//lint:allow noalloc trace-sampling branch, disabled in steady state
 		n.tr.CounterSample(s.trName, completion, map[string]float64{
 			"backlog_ns": float64(completion - arrival),
 			"queued_ns":  float64(start - arrival),
@@ -212,6 +221,8 @@ func (n *nic) serve(shard int32, kind verbKind, arrival int64, payload int) int6
 // unbatched runs of the same verb stream. Per-segment service times are
 // recomputed in the histogram pass rather than staged in a slice, so
 // the hot path stays allocation-free.
+//
+//chime:noalloc
 func (n *nic) serveBatch(shard int32, kind verbKind, arrival int64, payloads []int) int64 {
 	var total, queuedInBatch, bytes int64
 	for _, p := range payloads {
@@ -253,6 +264,7 @@ func (n *nic) serveBatch(shard int32, kind verbKind, arrival int64, payloads []i
 		n.fr.AddNICBusy(start, completion)
 	}
 	if sample {
+		//lint:allow noalloc trace-sampling branch, disabled in steady state
 		n.tr.CounterSample(s.trName, completion, map[string]float64{
 			"backlog_ns": float64(completion - arrival),
 			"queued_ns":  float64(start - arrival),
@@ -262,6 +274,8 @@ func (n *nic) serveBatch(shard int32, kind verbKind, arrival int64, payloads []i
 }
 
 // frontier returns the latest busy time across the NIC's shards.
+//
+//chime:noalloc
 func (n *nic) frontier() int64 {
 	var fr int64
 	for i := range n.shards {

@@ -129,6 +129,8 @@ type pstore struct {
 // host I/O failure here (disk full, yanked volume) cannot be mapped to
 // a simulated fault — the durable record of an acked write would be
 // silently missing — so it panics.
+//
+//chime:coldalloc durable logging serializes each record to the folio store
 func (p *pstore) logWrite(off uint64, data []byte) int64 {
 	if err := p.st.AppendWrite(off, data); err != nil {
 		panic(fmt.Sprintf("dmsim: persist log append failed: %v", err))
@@ -459,4 +461,3 @@ func (f *Fabric) RestartMN(mnIdx int) (RecoveryStats, error) {
 func (f *Fabric) MNDownNow(mnIdx int) bool {
 	return mnIdx >= 0 && mnIdx < len(f.mns) && f.mns[mnIdx].dead.Load()
 }
-

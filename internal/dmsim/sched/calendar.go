@@ -90,6 +90,8 @@ func (c *Calendar) bucketOf(key int64) int {
 // very next harvest. Pushing an already-parked slot panics: the caller
 // has lost track of who is running, and continuing would corrupt the
 // chains.
+//
+//chime:noalloc
 func (c *Calendar) Push(slot int32, key int64) {
 	if c.parked[slot] {
 		panic("sched: Push of an already-parked slot")
@@ -115,6 +117,8 @@ func (c *Calendar) Push(slot int32, key int64) {
 // The first nonempty ring bucket at or after the cursor bounds every
 // later bucket's keys from below, so only that bucket's chain (plus the
 // rare overflow chain when the ring is empty) is scanned.
+//
+//chime:noalloc
 func (c *Calendar) MinKey() int64 {
 	if c.count == 0 {
 		return math.MaxInt64
@@ -146,6 +150,8 @@ func (c *Calendar) MinKey() int64 {
 // clock order; within a bucket the chain order (a pure function of push
 // history) decides. Advancing limit moves the scan cursor forward and
 // refiles overflow entries that enter the ring horizon.
+//
+//chime:noalloc
 func (c *Calendar) PopBelow(limit int64) int32 {
 	if c.count == 0 {
 		c.advanceTo(limit)
@@ -201,6 +207,7 @@ func (c *Calendar) PopBelow(limit int64) int32 {
 	return NoSlot
 }
 
+//chime:noalloc
 func (c *Calendar) unfile(s int32) {
 	c.next[s] = nilSlot
 	c.parked[s] = false
@@ -209,6 +216,8 @@ func (c *Calendar) unfile(s int32) {
 
 // advanceTo moves the scan cursor forward to limit (never backward) and
 // refiles overflow entries that the wider horizon can now hold.
+//
+//chime:noalloc
 func (c *Calendar) advanceTo(limit int64) {
 	if limit <= c.base {
 		return

@@ -219,30 +219,37 @@ func (f *Flight) Charge(p Phase, ns int64) {
 // segments with work the client already did — and already charged), so
 // segments are peeled from the end. Propagation is charged to the
 // active phase: "descend" means round trips, not wire congestion.
+//
+//chime:noalloc
 func (f *Flight) ChargeVerb(jump, penalty, nicQueue, nicSvc, mnQueue, mnSvc, rtt int64) {
 	if f == nil || f.depth == 0 || jump <= 0 {
 		return
 	}
-	peel := func(p Phase, ns int64) {
-		if jump <= 0 || ns <= 0 {
-			return
-		}
-		if ns > jump {
-			ns = jump
-		}
-		f.led[p] += ns
-		jump -= ns
-	}
-	peel(f.cur, rtt)
-	peel(PhaseMNService, mnSvc)
-	peel(PhaseMNQueue, mnQueue)
-	peel(PhaseNICService, nicSvc)
-	peel(PhaseNICQueue, nicQueue)
-	peel(PhaseFaultRetry, penalty)
+	jump = f.peel(f.cur, rtt, jump)
+	jump = f.peel(PhaseMNService, mnSvc, jump)
+	jump = f.peel(PhaseMNQueue, mnQueue, jump)
+	jump = f.peel(PhaseNICService, nicSvc, jump)
+	jump = f.peel(PhaseNICQueue, nicQueue, jump)
+	jump = f.peel(PhaseFaultRetry, penalty, jump)
 	// Anything left predates the verb (clock behind the whole verb
 	// timeline cannot happen — post charges issue overhead first — but
 	// stay total rather than silently losing nanoseconds).
-	peel(f.cur, jump)
+	f.peel(f.cur, jump, jump)
+}
+
+// peel charges min(ns, jump) of the remaining clock jump to phase p and
+// returns what is left of the jump.
+//
+//chime:noalloc
+func (f *Flight) peel(p Phase, ns, jump int64) int64 {
+	if jump <= 0 || ns <= 0 {
+		return jump
+	}
+	if ns > jump {
+		ns = jump
+	}
+	f.led[p] += ns
+	return jump - ns
 }
 
 // FlightConfig sizes a recorder. Zero fields take defaults.

@@ -54,6 +54,8 @@ func bucketMid(idx int) int64 {
 func NewHistogram() *Histogram { return &Histogram{} }
 
 // Observe records one sample. No-op on a nil histogram.
+//
+//chime:noalloc
 func (h *Histogram) Observe(ns int64) {
 	if h == nil {
 		return

@@ -23,6 +23,8 @@ type Counter struct {
 }
 
 // Inc adds one. No-op on a nil counter.
+//
+//chime:noalloc
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
@@ -30,6 +32,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n. No-op on a nil counter.
+//
+//chime:noalloc
 func (c *Counter) Add(n int64) {
 	if c != nil {
 		c.v.Add(n)
@@ -52,6 +56,8 @@ type Gauge struct {
 }
 
 // Add moves the level by delta, updating the running maximum.
+//
+//chime:noalloc
 func (g *Gauge) Add(delta int64) {
 	if g == nil {
 		return
@@ -66,6 +72,8 @@ func (g *Gauge) Add(delta int64) {
 }
 
 // Set forces the level, updating the running maximum.
+//
+//chime:noalloc
 func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return

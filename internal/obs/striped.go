@@ -27,6 +27,8 @@ type Striped struct {
 // Add adds n on the stripe selected by hint — pass a lane, shard, or
 // client index; any stable per-writer value spreads the load. No-op on
 // a nil counter.
+//
+//chime:noalloc
 func (s *Striped) Add(hint int32, n int64) {
 	if s != nil {
 		s.cells[uint32(hint)%stripes].v.Add(n)
@@ -34,6 +36,8 @@ func (s *Striped) Add(hint int32, n int64) {
 }
 
 // Inc adds one on the stripe selected by hint. No-op on nil.
+//
+//chime:noalloc
 func (s *Striped) Inc(hint int32) {
 	s.Add(hint, 1)
 }
